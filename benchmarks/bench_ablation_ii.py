@@ -1,0 +1,90 @@
+"""Ablation — what the bank-count minimum buys: achieved initiation
+interval of the centralized uniform design as the bank count is forced
+below / at / above the conflict-free minimum, vs our chain at n-1 banks.
+
+This quantifies Section 2.3's argument: every uniform bank below the
+conflict-free minimum serializes reads and multiplies the II, while the
+non-uniform chain holds II=1 with n-1 banks.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.report import format_table
+from repro.microarch.memory_system import build_memory_system
+from repro.partitioning.cyclic import plan_cyclic
+from repro.sim.baseline import run_forced_bank_count
+from repro.sim.engine import ChainSimulator
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE
+
+GRID = (20, 26)
+
+
+def bench_ablation_ii_vs_bank_count(benchmark):
+    """Benchmark the forced-bank-count sweep on DENOISE."""
+    spec = DENOISE.with_grid(GRID)
+    grid = make_input(spec)
+
+    def sweep():
+        rows = []
+        for banks in (1, 2, 3, 4, 5, 6, 8):
+            result = run_forced_bank_count(spec, banks, grid)
+            rows.append(
+                {
+                    "uniform_banks": banks,
+                    "worst_ii": result.stats.worst_iteration_cycles,
+                    "avg_ii": round(result.stats.achieved_ii, 3),
+                    "cycles": result.stats.total_cycles,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+
+    # II=1 only at/above the conflict-free count; degradation below.
+    min_free = plan_cyclic(spec.analysis()).num_banks
+    for row in rows:
+        if row["uniform_banks"] < min_free:
+            assert row["worst_ii"] > 1
+    assert rows[0]["worst_ii"] == 5  # one bank serializes all 5 reads
+    worst = [r["worst_ii"] for r in rows]
+    assert worst == sorted(worst, reverse=True)
+
+    # Our chain: n-1 = 4 banks, stream-rate throughput.
+    system = build_memory_system(spec.analysis())
+    ours = ChainSimulator(spec, system, grid).run()
+    assert np.allclose(
+        ours.output_values(), golden_output_sequence(spec, grid)
+    )
+    emit(
+        "Ablation — achieved II vs forced uniform bank count "
+        f"(DENOISE at {GRID[0]}x{GRID[1]}; conflict-free minimum = "
+        f"{min_free})",
+        format_table(rows)
+        + f"\nours: 4 non-uniform banks, {ours.stats.total_cycles} "
+        "cycles (stream-bound, II=1 at the kernel)",
+    )
+
+
+def bench_ablation_chain_vs_centralized_cycles(benchmark):
+    """Cycle counts: our chain vs the conflict-free uniform design."""
+    spec = DENOISE.with_grid(GRID)
+    grid = make_input(spec)
+    plan = plan_cyclic(spec.analysis())
+
+    def both():
+        system = build_memory_system(spec.analysis())
+        ours = ChainSimulator(spec, system, grid).run()
+        from repro.sim.baseline import run_uniform_plan
+
+        base = run_uniform_plan(spec, plan, grid)
+        return ours, base
+
+    ours, base = benchmark(both)
+    assert np.allclose(ours.output_values(), base.output_values())
+    # Both achieve ~1 cycle/iteration in steady state.
+    n = spec.iteration_domain.count()
+    assert ours.stats.total_cycles < 3 * n
+    assert base.stats.total_cycles < 3 * n

@@ -1,0 +1,84 @@
+"""Ablation — what heterogeneous mapping buys (Section 3.5.1): BRAM and
+slice cost of the non-uniform chain with the paper's heterogeneous
+FIFO mapping vs an all-BRAM mapping (what a uniform-minded flow would
+emit), across all benchmarks.
+"""
+
+from conftest import emit
+
+from repro.flow.report import format_table
+from repro.microarch.mapping import ALL_BRAM_POLICY, DEFAULT_POLICY
+from repro.microarch.memory_system import build_memory_system
+from repro.resources.estimate import estimate_memory_system
+from repro.stencil.kernels import PAPER_BENCHMARKS
+
+
+def bench_ablation_mapping_policies(benchmark):
+    """Benchmark both mapping policies across the suite."""
+
+    def sweep():
+        rows = []
+        for spec in PAPER_BENCHMARKS:
+            analysis = spec.analysis()
+            hetero = estimate_memory_system(
+                build_memory_system(analysis, policy=DEFAULT_POLICY)
+            )
+            allbram = estimate_memory_system(
+                build_memory_system(analysis, policy=ALL_BRAM_POLICY)
+            )
+            rows.append(
+                {
+                    "benchmark": spec.name,
+                    "bram_hetero": hetero.bram_18k,
+                    "bram_allbram": allbram.bram_18k,
+                    "slices_hetero": hetero.slices,
+                    "slices_allbram": allbram.slices,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+
+    for row in rows:
+        # Heterogeneous mapping strictly reduces BRAM usage (tiny
+        # FIFOs stop consuming whole BRAM primitives).
+        assert row["bram_hetero"] < row["bram_allbram"], row
+
+    emit(
+        "Ablation — heterogeneous FIFO mapping vs all-BRAM mapping",
+        format_table(rows),
+    )
+
+
+def bench_ablation_register_threshold(benchmark):
+    """Sensitivity of BRAM usage to the register/LUTRAM thresholds."""
+    from repro.microarch.mapping import MappingPolicy
+
+    def sweep():
+        out = []
+        for lutram_max in (8, 32, 128, 512):
+            policy = MappingPolicy(
+                register_threshold=4, lutram_threshold=lutram_max
+            )
+            usage = estimate_memory_system(
+                build_memory_system(
+                    PAPER_BENCHMARKS[-1].analysis(), policy=policy
+                )
+            )
+            out.append(
+                {
+                    "lutram_threshold": lutram_max,
+                    "bram_18k": usage.bram_18k,
+                    "slices": usage.slices,
+                }
+            )
+        return out
+
+    rows = benchmark(sweep)
+    brams = [r["bram_18k"] for r in rows]
+    assert brams == sorted(brams, reverse=True)
+    emit(
+        "Ablation — LUT-RAM threshold sensitivity "
+        "(SEGMENTATION_3D memory system)",
+        format_table(rows),
+    )

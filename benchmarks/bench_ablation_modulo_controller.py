@@ -1,0 +1,85 @@
+"""Ablation — the paper's Section 6 future-work design: the same
+non-uniform banks driven by a centralized *modulo-scheduled* controller
+instead of distributed streaming.
+
+Compares the two controllers in functional behaviour (identical
+outputs), storage (identical banks) and control cost: the static
+schedule needs a modulo-``c_k`` address counter per bank, and the
+non-power-of-two moduli (1023, 16127, ...) bring back DSP dividers and
+extra slices — quantifying why the paper's distributed design keeps
+"only counters iterating over the data domains".
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.report import format_table
+from repro.microarch.memory_system import build_memory_system
+from repro.resources.estimate import (
+    estimate_memory_system,
+    estimate_modulo_chain,
+)
+from repro.sim.engine import ChainSimulator
+from repro.sim.modulo_chain import ModuloChainSimulator
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE, PAPER_BENCHMARKS
+
+
+def bench_modulo_controller_equivalence(benchmark):
+    """Both controllers produce identical output streams."""
+    spec = DENOISE.with_grid((20, 26))
+    grid = make_input(spec)
+
+    def run_both():
+        streaming = ChainSimulator(
+            spec, build_memory_system(spec.analysis()), grid
+        ).run()
+        modulo = ModuloChainSimulator(
+            spec, build_memory_system(spec.analysis()), grid
+        ).run()
+        return streaming, modulo
+
+    streaming, modulo = benchmark(run_both)
+    golden = golden_output_sequence(spec, grid)
+    assert np.allclose(streaming.output_values(), golden)
+    assert np.allclose(modulo.output_values(), golden)
+    assert (
+        modulo.stats.total_cycles
+        == streaming.stats.total_cycles
+    )
+
+
+def bench_modulo_controller_cost(benchmark):
+    """Control-cost comparison across the suite."""
+
+    def sweep():
+        rows = []
+        for spec in PAPER_BENCHMARKS:
+            system = build_memory_system(spec.analysis())
+            streaming = estimate_memory_system(system)
+            modulo = estimate_modulo_chain(system)
+            rows.append(
+                {
+                    "benchmark": spec.name,
+                    "bram_both": streaming.bram_18k,
+                    "slices_streaming": streaming.slices,
+                    "slices_modulo": modulo.slices,
+                    "dsp_streaming": streaming.dsp,
+                    "dsp_modulo": modulo.dsp,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    for row in rows:
+        assert row["dsp_streaming"] == 0
+        assert row["dsp_modulo"] > 0  # non-pow2 moduli cost DSPs
+        assert row["bram_both"] >= 0
+    emit(
+        "Ablation — distributed streaming vs modulo-scheduled control "
+        "over identical non-uniform banks (Section 6)",
+        format_table(rows)
+        + "\nstorage is identical by construction; the centralized "
+        "schedule pays DSP dividers for its non-power-of-two moduli.",
+    )

@@ -1,0 +1,89 @@
+"""Extension — bandwidth sensitivity of the broken chain.
+
+Appendix 9.4's trade-off presumes the extra off-chip accesses per cycle
+exist.  This bench runs the 3-segment DENOISE chain against a shared
+off-chip bus of varying width (with a DRAM row-activation model) and
+shows throughput degrading gracefully when the bus is narrower than the
+segment count — and matching the ideal when it is wide enough.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.report import format_table
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tradeoff import with_offchip_streams
+from repro.sim.engine import ChainSimulator
+from repro.sim.offchip import DramTimingModel, OffchipBus
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE
+
+GRID = (20, 26)
+SEGMENTS = 3
+
+
+def bench_bus_width_sweep(benchmark):
+    spec = DENOISE.with_grid(GRID)
+    grid = make_input(spec)
+    golden = golden_output_sequence(spec, grid)
+
+    def sweep():
+        rows = []
+        for width in (1, 2, 3, 4):
+            bus = OffchipBus(words_per_cycle=width)
+            system = with_offchip_streams(
+                build_memory_system(spec.analysis()), SEGMENTS
+            )
+            result = ChainSimulator(
+                spec,
+                system,
+                grid,
+                bus=bus,
+                dram=DramTimingModel(row_miss_penalty=0),
+            ).run()
+            assert np.allclose(result.output_values(), golden)
+            rows.append(
+                {
+                    "bus_words_per_cycle": width,
+                    "segments": SEGMENTS,
+                    "cycles": result.stats.total_cycles,
+                    "bus_words_total": bus.total_words,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    cycles = [r["cycles"] for r in rows]
+    assert cycles == sorted(cycles, reverse=True)
+    # Enough bandwidth -> no further speedup.
+    assert cycles[3] >= cycles[2] - 2
+    emit(
+        f"Bandwidth sensitivity — {SEGMENTS}-segment DENOISE chain on "
+        "a shared off-chip bus",
+        format_table(rows),
+    )
+
+
+def bench_dram_row_stalls(benchmark):
+    """Row-activation stalls stretch the run by the expected factor."""
+    spec = DENOISE.with_grid(GRID)
+    grid = make_input(spec)
+
+    def run():
+        dram = DramTimingModel(
+            row_words=64, row_miss_penalty=8, initial_latency=20
+        )
+        return ChainSimulator(
+            spec,
+            build_memory_system(spec.analysis()),
+            grid,
+            dram=dram,
+        ).run()
+
+    result = benchmark(run)
+    ideal_cycles = 20 * 26  # stream length at 1 word/cycle
+    assert result.stats.total_cycles > ideal_cycles
+    assert np.allclose(
+        result.output_values(), golden_output_sequence(spec, grid)
+    )

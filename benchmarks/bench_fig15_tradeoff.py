@@ -1,0 +1,68 @@
+"""Fig 15 — bandwidth/memory trade-off for the 19-point SEGMENTATION
+stencil: on-chip buffer size as off-chip accesses per cycle sweep from
+1 to 18 (chain breaking at the largest remaining FIFO, Fig 14).
+
+Paper shape: three phases — give up inter-plane reuse first (large
+buffers), then inter-row reuse (medium), finally intra-row reuse
+(tiny) — with a graceful, monotone degradation.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.report import fig15_report, format_table
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tradeoff import with_offchip_streams
+from repro.sim.engine import ChainSimulator
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import SEGMENTATION_3D
+
+PLANE = 128 * 128
+ROW = 128
+
+
+def bench_fig15_curve(benchmark):
+    """Benchmark the full 1..18 sweep at paper scale."""
+    rows = benchmark(fig15_report, SEGMENTATION_3D)
+
+    buffers = [r["onchip_buffer"] for r in rows]
+    assert len(rows) == 18
+    assert buffers == sorted(buffers, reverse=True)
+    drops = [a - b for a, b in zip(buffers, buffers[1:])]
+    # Three phases (the paper's reading of the curve).
+    assert all(d > PLANE / 2 for d in drops[:2])
+    assert all(ROW / 2 < d < PLANE / 2 for d in drops[2:8])
+    assert all(d < ROW / 2 for d in drops[8:])
+
+    emit(
+        "Fig 15 — on-chip buffer vs off-chip accesses per cycle "
+        "(SEGMENTATION, 19-point)",
+        format_table(
+            [
+                {
+                    "offchip_accesses": r["offchip_accesses"],
+                    "onchip_buffer": r["onchip_buffer"],
+                }
+                for r in rows
+            ]
+        ),
+    )
+
+
+def bench_fig15_broken_chain_still_correct(benchmark):
+    """Simulate the 3-stream configuration at reduced scale and verify
+    functional correctness is preserved across chain breaking."""
+    spec = SEGMENTATION_3D.with_grid((7, 8, 9))
+    grid = make_input(spec)
+
+    def run():
+        system = with_offchip_streams(
+            build_memory_system(spec.analysis()), 3
+        )
+        return ChainSimulator(spec, system, grid).run()
+
+    result = benchmark(run)
+    assert np.allclose(
+        result.output_values(), golden_output_sequence(spec, grid)
+    )

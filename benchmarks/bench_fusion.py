@@ -1,0 +1,63 @@
+"""Extension — loop fusion (ref [12]): buffer and recompute cost of
+fusing two stencil stages vs chaining two accelerators.
+
+The paper motivates large stencil windows with loop fusion; this bench
+fuses DENOISE into RICIAN (window grows from 5/4 points to 13), checks
+that the fused accelerator still gets n-1 banks and the exact reuse
+window, and quantifies the trade: fusion eliminates the entire
+inter-stage stream at the cost of recomputation and a wider window.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.report import format_table
+from repro.microarch.memory_system import build_memory_system
+from repro.partitioning.nonuniform import plan_nonuniform
+from repro.sim.engine import ChainSimulator
+from repro.stencil.fusion import fuse, fusion_statistics
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE, RICIAN
+
+
+def bench_fusion_statistics(benchmark):
+    stats = benchmark(fusion_statistics, DENOISE, RICIAN)
+
+    assert stats["fused_points"] == 13
+    assert stats["fused_banks"] == 12  # still n-1
+    assert (
+        stats["fused_ops_per_output"]
+        > stats["chained_ops_per_output"]
+    )
+    emit(
+        "Loop fusion (DENOISE -> RICIAN): window growth vs recompute",
+        format_table([stats]),
+    )
+
+
+def bench_fused_accelerator_runs(benchmark):
+    fused = fuse(DENOISE.with_grid((16, 20)), RICIAN)
+    grid = make_input(fused)
+
+    def run():
+        system = build_memory_system(fused.analysis())
+        return ChainSimulator(fused, system, grid).run()
+
+    result = benchmark(run)
+    assert np.allclose(
+        result.output_values(),
+        golden_output_sequence(fused, grid),
+    )
+
+
+def bench_fused_plan_remains_optimal(benchmark):
+    """Non-uniform planning on the enlarged fused window at paper
+    scale — the regime the paper says favours the method most."""
+    fused = fuse(DENOISE, RICIAN)
+
+    plan = benchmark(plan_nonuniform, fused.analysis())
+    assert plan.num_banks == fused.n_points - 1
+    assert (
+        plan.total_size == fused.analysis().minimum_total_buffer()
+    )

@@ -1,0 +1,58 @@
+"""Extension — the full paper-scale DENOISE run, cycle by cycle.
+
+Simulates the actual 768x1024 grid of Fig 1/2 (786 432 streamed words,
+~783 k outputs) once, verifying at the paper's own scale:
+
+* function correctness against the vectorized NumPy reference,
+* the Table 3 fill point — all five ports first valid right after
+  A[2][1] streams in (stream rank 2*1024 + 2; the paper's "cycle 2049"
+  counts from A[0][1] with inter-module latency ignored),
+* full pipelining: total cycles == the closed-form stream-bound count,
+* tight FIFOs: both 1023-element FIFOs reach exactly full occupancy.
+
+Run once per session (pedantic benchmark, 1 round).
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.performance import predict
+from repro.microarch.memory_system import build_memory_system
+from repro.sim.engine import ChainSimulator
+from repro.stencil.golden import make_input, run_golden
+from repro.stencil.kernels import DENOISE
+
+
+def bench_denoise_full_scale(benchmark):
+    grid = make_input(DENOISE)
+    system = build_memory_system(DENOISE.analysis())
+
+    def run():
+        return ChainSimulator(DENOISE, system, grid).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    golden = run_golden(DENOISE, grid).ravel()
+    assert result.stats.outputs_produced == golden.size == 766 * 1022
+    assert np.allclose(result.output_values(), golden)
+
+    prediction = predict(DENOISE)
+    assert result.stats.total_cycles == prediction.total_cycles
+    # Fill point: the earliest reference's first element A[2][1] has
+    # stream rank 2*1024 + 2; the first output fires the cycle after.
+    assert result.stats.first_output_cycle == 2 * 1024 + 2 + 1
+    # Tight FIFOs fill completely.
+    for fid, cap in result.stats.fifo_capacity.items():
+        assert result.stats.fifo_max_occupancy[fid] == cap
+
+    emit(
+        "Paper-scale DENOISE (768x1024) cycle-level run",
+        f"outputs: {result.stats.outputs_produced}\n"
+        f"total cycles: {result.stats.total_cycles} "
+        f"(predicted {prediction.total_cycles})\n"
+        f"first output at cycle {result.stats.first_output_cycle} "
+        "(paper's Table 3 fill point, latency-accurate)\n"
+        f"FIFO max occupancy: {result.stats.fifo_max_occupancy} "
+        f"of {result.stats.fifo_capacity}",
+    )

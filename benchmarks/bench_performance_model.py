@@ -1,0 +1,75 @@
+"""Extension — closed-form performance model vs cycle simulation.
+
+The paper's "full pipelining" target has a closed-form consequence: the
+run is stream-bound (one off-chip word per cycle), the first output
+fires at the earliest reference's first stream rank + 1, and the total
+equals the last needed element's rank + 1.  This bench validates the
+model *exactly* against the simulator on scaled grids and prints the
+paper-scale predictions (e.g. DENOISE: 786k-word stream, 784k outputs,
+99.7 % of stream words produce an output).
+"""
+
+from conftest import emit
+
+from repro.flow.performance import predict, validate_model
+from repro.flow.report import format_table
+from repro.stencil.kernels import PAPER_BENCHMARKS
+
+SIM_GRIDS = {
+    "DENOISE": (24, 32),
+    "RICIAN": (24, 32),
+    "SOBEL": (20, 24),
+    "BICUBIC": (20, 24),
+    "DENOISE_3D": (8, 9, 10),
+    "SEGMENTATION_3D": (7, 8, 9),
+}
+
+
+def bench_model_validation(benchmark):
+    """Exact agreement on every benchmark at simulation scale."""
+
+    def sweep():
+        rows = []
+        for bench in PAPER_BENCHMARKS:
+            spec = bench.with_grid(SIM_GRIDS[bench.name])
+            v = validate_model(spec)
+            rows.append(
+                {
+                    "benchmark": bench.name,
+                    "predicted_cycles": v.predicted.total_cycles,
+                    "measured_cycles": v.measured_total_cycles,
+                    "predicted_fill": v.predicted.fill_cycles,
+                    "measured_fill": v.measured_fill_cycles,
+                    "exact": v.cycles_exact and v.fill_exact,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    assert all(r["exact"] for r in rows)
+    emit(
+        "Performance model vs simulator (scaled grids, exact match "
+        "required)",
+        format_table(rows),
+    )
+
+
+def bench_paper_scale_predictions(benchmark):
+    """Closed-form predictions at the paper's full grid sizes."""
+
+    def sweep():
+        return [
+            dict(
+                benchmark=spec.name, **predict(spec).as_row()
+            )
+            for spec in PAPER_BENCHMARKS
+        ]
+
+    rows = benchmark(sweep)
+    for row in rows:
+        assert 0.9 < row["efficiency"] <= 1.0  # near-perfect pipelining
+    emit(
+        "Paper-scale closed-form performance (one off-chip word per "
+        "cycle)",
+        format_table(rows),
+    )

@@ -1,0 +1,54 @@
+"""Power under the paper's power-gating hypothesis (Section 5.2).
+
+"If power gating is available in FPGA, the FPGA power will be
+proportional to resource usage, which is covered by Table 5."  This
+bench makes that projection explicit: gated power of both memory
+systems from the Table 5 resource vectors.
+"""
+
+from conftest import emit
+
+from repro.flow.report import format_table
+from repro.microarch.memory_system import build_memory_system
+from repro.partitioning.gmp import plan_gmp
+from repro.resources.estimate import (
+    estimate_memory_system,
+    estimate_uniform_memory_system,
+)
+from repro.resources.power import estimate_power, power_saving_ratio
+from repro.stencil.kernels import PAPER_BENCHMARKS
+
+
+def bench_power_projection(benchmark):
+    def sweep():
+        rows = []
+        for spec in PAPER_BENCHMARKS:
+            analysis = spec.analysis()
+            ours = estimate_memory_system(
+                build_memory_system(analysis)
+            )
+            base = estimate_uniform_memory_system(plan_gmp(analysis))
+            rows.append(
+                {
+                    "benchmark": spec.name,
+                    "gated_mw_gmp": estimate_power(
+                        base
+                    ).gated_total_mw,
+                    "gated_mw_ours": estimate_power(
+                        ours
+                    ).gated_total_mw,
+                    "saving_pct": round(
+                        100 * power_saving_ratio(ours, base), 1
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    for row in rows:
+        assert row["gated_mw_ours"] < row["gated_mw_gmp"]
+        assert row["saving_pct"] > 0
+    emit(
+        "Power projection under power gating (memory systems only)",
+        format_table(rows),
+    )

@@ -1,0 +1,71 @@
+"""Simulator performance — cycle-level simulation throughput per
+benchmark (cycles simulated per second of wall clock) plus an
+end-to-end compile benchmark of the Fig 11 flow.
+
+Not a paper artifact; it keeps the reproduction's own engineering
+honest (regressions in the simulator or the flow show up here).
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.automation import compile_accelerator
+from repro.microarch.memory_system import build_memory_system
+from repro.sim.engine import ChainSimulator
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import PAPER_BENCHMARKS
+
+#: Reduced grids sized for meaningful but fast simulation.
+SIM_GRIDS = {
+    "DENOISE": (32, 40),
+    "RICIAN": (32, 40),
+    "SOBEL": (28, 32),
+    "BICUBIC": (28, 32),
+    "DENOISE_3D": (10, 11, 12),
+    "SEGMENTATION_3D": (8, 9, 10),
+}
+
+
+def _simulate(spec):
+    grid = make_input(spec)
+    system = build_memory_system(spec.analysis())
+    result = ChainSimulator(spec, system, grid).run()
+    assert np.allclose(
+        result.output_values(), golden_output_sequence(spec, grid)
+    )
+    return result
+
+
+def bench_sim_denoise(benchmark):
+    spec = PAPER_BENCHMARKS[0].with_grid(SIM_GRIDS["DENOISE"])
+    result = benchmark(_simulate, spec)
+    assert result.stats.outputs_produced > 0
+
+
+def bench_sim_sobel(benchmark):
+    spec = PAPER_BENCHMARKS[2].with_grid(SIM_GRIDS["SOBEL"])
+    result = benchmark(_simulate, spec)
+    assert result.stats.outputs_produced > 0
+
+
+def bench_sim_segmentation_3d(benchmark):
+    spec = PAPER_BENCHMARKS[5].with_grid(
+        SIM_GRIDS["SEGMENTATION_3D"]
+    )
+    result = benchmark(_simulate, spec)
+    assert result.stats.outputs_produced > 0
+
+
+def bench_flow_compile_all(benchmark):
+    """End-to-end Fig 11 flow over the whole suite."""
+
+    def compile_all():
+        return [compile_accelerator(s) for s in PAPER_BENCHMARKS]
+
+    designs = benchmark(compile_all)
+    assert len(designs) == 6
+    emit(
+        "Flow summary — compile_accelerator over the full suite",
+        "\n".join(str(d.summary()) for d in designs),
+    )

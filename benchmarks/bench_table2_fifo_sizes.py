@@ -1,0 +1,48 @@
+"""Table 2 — non-uniform reuse-FIFO sizes and physical mapping for the
+DENOISE example (768x1024 grid, 5-point window).
+
+Paper values: FIFO 0/3 = 1023 elements in block RAM, FIFO 1/2 = 1
+element in registers, total 2048.
+"""
+
+from conftest import emit
+
+from repro.flow.report import format_table, table2_report
+from repro.microarch.memory_system import build_memory_system
+from repro.partitioning.nonuniform import plan_nonuniform
+from repro.stencil.kernels import DENOISE
+
+PAPER_SIZES = [1023, 1, 1, 1023]
+PAPER_IMPLS = ["block", "register", "register", "block"]
+
+
+def bench_table2_plan_generation(benchmark):
+    """Benchmark the full analysis + planning pipeline for DENOISE."""
+
+    def build():
+        analysis = DENOISE.analysis()
+        return plan_nonuniform(analysis)
+
+    plan = benchmark(build)
+    assert plan.fifo_capacities() == PAPER_SIZES
+    assert plan.total_size == 2048
+
+    rows = table2_report(DENOISE)
+    assert [r["size"] for r in rows] == PAPER_SIZES
+    assert [r["physical_impl"] for r in rows] == PAPER_IMPLS
+    emit(
+        "Table 2 — reuse FIFOs with non-uniform sizes (DENOISE)",
+        format_table(rows)
+        + f"\ntotal reuse buffer size: {plan.total_size} elements "
+        "(paper: 2048)",
+    )
+
+
+def bench_table2_memory_system_build(benchmark):
+    """Benchmark netlist construction from a finished analysis."""
+    analysis = DENOISE.analysis()
+    analysis.adjacent_pairs()  # warm the caches
+
+    system = benchmark(build_memory_system, analysis)
+    assert system.num_banks == 4
+    assert system.total_buffer_size == 2048

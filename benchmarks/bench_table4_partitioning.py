@@ -1,0 +1,72 @@
+"""Table 4 — high-level partitioning results across all six benchmarks:
+bank count and total reuse-buffer size, the [8]-style padded uniform
+baseline vs the paper's non-uniform chain.
+
+Paper shape: ours always uses n-1 banks (the theoretical minimum) and
+the exact reuse window; [8] needs >= n banks (n+1 for the Fig 6
+windows) plus padding overhead that grows with dimensionality.
+"""
+
+from conftest import emit
+
+from repro.flow.report import format_table, table4_report
+from repro.partitioning.gmp import plan_gmp
+from repro.partitioning.nonuniform import plan_nonuniform
+from repro.stencil.kernels import PAPER_BENCHMARKS
+
+#: The bank counts the paper reports for [8] (SEGMENTATION_3D measures
+#: 21 under our faithful bounded-padding search vs the paper's 20 — see
+#: EXPERIMENTS.md).
+PAPER_GMP_BANKS = {
+    "DENOISE": 5,
+    "RICIAN": 5,
+    "BICUBIC": 5,
+}
+
+
+def bench_table4_all_benchmarks(benchmark):
+    """Benchmark the full Table 4 computation (both partitioners on
+    all six paper-scale benchmarks)."""
+    rows = benchmark(table4_report, PAPER_BENCHMARKS)
+
+    for row in rows:
+        assert row["banks_ours"] == row["original_ii"] - 1
+        assert row["banks_ours"] < row["banks_gmp"]
+        assert row["size_ours"] <= row["size_gmp"]
+    by_name = {r["benchmark"]: r for r in rows}
+    for name, banks in PAPER_GMP_BANKS.items():
+        assert by_name[name]["banks_gmp"] == banks
+
+    emit(
+        "Table 4 — high-level partitioning results "
+        "([8]-style baseline vs ours)",
+        format_table(rows),
+    )
+
+
+def bench_table4_nonuniform_only(benchmark):
+    """Planning cost of our method alone across the suite."""
+
+    def plan_all():
+        return [
+            plan_nonuniform(spec.analysis())
+            for spec in PAPER_BENCHMARKS
+        ]
+
+    plans = benchmark(plan_all)
+    assert [p.num_banks for p in plans] == [4, 3, 7, 3, 6, 18]
+
+
+def bench_table4_gmp_search_only(benchmark):
+    """Search cost of the padded uniform baseline across the suite."""
+
+    def plan_all():
+        return [
+            plan_gmp(spec.analysis()) for spec in PAPER_BENCHMARKS
+        ]
+
+    plans = benchmark(plan_all)
+    assert all(
+        p.num_banks >= spec.n_points
+        for p, spec in zip(plans, PAPER_BENCHMARKS)
+    )

@@ -1,0 +1,57 @@
+"""Extension — buffer/traffic trade-off: chain breaking (Fig 14/15) vs
+classical tiling, on the same axes.
+
+Chain breaking buys buffer reduction with *bandwidth* (more accesses
+per cycle, same words per stream); tiling buys it with *traffic* (halo
+re-fetches, still one access per cycle).  This bench quantifies both
+for DENOISE and checks the tiled execution's functional correctness.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.flow.report import format_table
+from repro.microarch.tiling import compare_tradeoffs, simulate_tiled
+from repro.stencil.golden import make_input, run_golden
+from repro.stencil.kernels import DENOISE
+
+STRIP_WIDTHS = (32, 64, 128, 256, 512, 1022)
+
+
+def bench_tiling_vs_chain_breaking(benchmark):
+    data = benchmark(
+        compare_tradeoffs, DENOISE, STRIP_WIDTHS
+    )
+
+    breaking = data["chain_breaking"]
+    tiling = data["tiling"]
+    # Shapes: breaking reduces buffer at constant per-stream traffic;
+    # tiling reduces buffer as strips narrow, at growing total traffic.
+    assert [r["onchip_buffer"] for r in breaking] == sorted(
+        (r["onchip_buffer"] for r in breaking), reverse=True
+    )
+    assert [r["offchip_words"] for r in tiling] == sorted(
+        (r["offchip_words"] for r in tiling), reverse=True
+    )
+
+    emit(
+        "Trade-off comparison — chain breaking (bandwidth) vs tiling "
+        "(traffic), DENOISE 768x1024",
+        "chain breaking:\n"
+        + format_table(breaking)
+        + "\n\ntiling:\n"
+        + format_table(tiling),
+    )
+
+
+def bench_tiled_execution_correct(benchmark):
+    spec = DENOISE.with_grid((14, 40))
+    grid = make_input(spec)
+
+    def run():
+        return simulate_tiled(spec, 9, grid)
+
+    result = benchmark(run)
+    assert np.allclose(result.outputs, run_golden(spec, grid))
+    assert result.strips_run == 5

@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section and prints the reproduced rows (run with ``-s`` to
+see them, e.g. ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print one reproduced artifact with a recognizable banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

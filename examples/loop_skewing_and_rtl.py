@@ -1,0 +1,76 @@
+"""Loop skewing + register-level simulation with waveform dump.
+
+Combines two substrates: the unimodular transformation framework (the
+paper's ref [15]) skews DENOISE by 45 degrees — producing exactly the
+Fig 9 situation — and the RTL layer simulates the generated chain with
+control implemented purely by Fig 10 domain counters, dumping a
+VCD-style waveform of every counter, port and FIFO-occupancy signal.
+
+Run:  python examples/loop_skewing_and_rtl.py [wave.vcd]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.microarch.memory_system import build_memory_system
+from repro.polyhedral.transform import UnimodularTransform, transform_spec
+from repro.rtl.design import simulate_rtl
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE
+
+
+def main() -> None:
+    spec = DENOISE.with_grid((12, 16))
+    skew = UnimodularTransform.skew(2, 1, 0)
+    skewed = transform_spec(spec, skew)
+
+    print(f"original : {spec}")
+    print(f"  window {spec.window.offsets}")
+    print(f"skewed   : {skewed}")
+    print(f"  window {skewed.window.offsets}")
+    print(
+        f"  iteration domain still has "
+        f"{skewed.iteration_domain.count()} points "
+        "(unimodular => bijective)"
+    )
+
+    # Build with the exact union stream so the dynamic adaptation of
+    # Fig 9 shows up in the waveform.
+    system = build_memory_system(skewed.analysis(stream_mode="union"))
+    print()
+    print(
+        f"memory system: {system.num_banks} FIFOs "
+        f"{system.fifo_capacities()}, total "
+        f"{system.total_buffer_size} elements"
+    )
+
+    grid = make_input(skewed)
+    result = simulate_rtl(skewed, system, grid, dump_waveform=True)
+    golden = golden_output_sequence(skewed, grid)
+    assert np.allclose(result.outputs, golden)
+    print(
+        f"RTL simulation: {result.stats.total_cycles} cycles, "
+        f"{result.stats.outputs_produced} outputs, counter-driven "
+        "filtering matches golden ✓"
+    )
+    print("per-filter forwarded:", result.stats.filter_forwarded)
+    print("FIFO peak occupancy :", result.stats.fifo_max_occupancy)
+
+    path = sys.argv[1] if len(sys.argv) > 1 else None
+    text = result.dump.render()
+    print(
+        f"waveform: {len(result.dump.signals)} signals, "
+        f"{len(result.dump.changes)} value changes"
+    )
+    if path:
+        result.dump.write(path)
+        print(f"wrote {path}")
+    else:
+        print("first waveform lines:")
+        for line in text.splitlines()[:12]:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

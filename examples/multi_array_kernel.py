@@ -1,0 +1,81 @@
+"""Multi-array stencil kernel: one memory system per data array (Fig 3).
+
+The paper's architecture diagram shows the general case: "multiple
+memory systems, and each is optimized to a data array with stencil
+accesses".  This example builds the full Rician-denoising update, which
+reads two arrays — the current image estimate U (5-point window) and
+the noisy measurement F (single point) — generates an independent chain
+for each, and simulates both chains feeding one fully pipelined kernel.
+
+Run:  python examples/multi_array_kernel.py
+"""
+
+import numpy as np
+
+from repro.microarch.memory_system import build_memory_system
+from repro.sim.multi import MultiArraySimulator
+from repro.stencil.expr import Ref
+from repro.stencil.multi import (
+    MultiArraySpec,
+    golden_multi_sequence,
+    make_inputs,
+)
+
+
+def rician_update(grid=(32, 40)) -> MultiArraySpec:
+    """One fixed-point iteration of the Rician denoise model:
+    weighted neighbourhood smoothing of U pulled toward the data F."""
+    u = {
+        "c": Ref((0, 0), "U"),
+        "n": Ref((-1, 0), "U"),
+        "s": Ref((1, 0), "U"),
+        "w": Ref((0, -1), "U"),
+        "e": Ref((0, 1), "U"),
+    }
+    f = Ref((0, 0), "F")
+    expr = 0.6 * u["c"] + 0.08 * (
+        u["n"] + u["s"] + u["w"] + u["e"]
+    ) + 0.08 * f
+    return MultiArraySpec("RICIAN_FULL", grid, expr)
+
+
+def main() -> None:
+    spec = rician_update()
+    print(spec)
+    print(f"total kernel data ports: {spec.total_references()}")
+    print()
+
+    systems = {
+        array: build_memory_system(spec.analysis(array))
+        for array in spec.input_arrays
+    }
+    for array, system in systems.items():
+        print(f"memory system for array {array!r}:")
+        print(
+            f"  {system.n_references} references -> "
+            f"{system.num_banks} reuse FIFOs "
+            f"{system.fifo_capacities()}, total "
+            f"{system.total_buffer_size} elements"
+        )
+    print(
+        "note: the single-reference array F needs zero reuse "
+        "buffering — its chain is just a filter."
+    )
+
+    grids = make_inputs(spec)
+    result = MultiArraySimulator(spec, grids, systems=systems).run()
+    golden = golden_multi_sequence(spec, grids)
+    assert np.allclose(result.output_values(), golden)
+    print()
+    print(
+        f"simulated: {result.stats.total_cycles} cycles, "
+        f"{result.stats.outputs_produced} outputs, matches golden ✓"
+    )
+    print(
+        "off-chip words per array stream: "
+        f"{result.stats.elements_streamed_per_segment}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Skewed iteration domains and automatic reuse adaptation (Fig 9).
+
+After a 45-degree loop skew (common before stencil pipelining), the
+iteration domain is a parallelogram and the reuse distance between
+references changes as execution advances.  Centralized designs need
+explicit control logic for this; in the paper's distributed chain the
+adaptation is emergent — this example makes it visible by tracing FIFO
+occupancy over time with the exact input data domain streamed.
+
+Run:  python examples/skewed_grid.py
+"""
+
+import numpy as np
+
+from repro import ChainSimulator, build_memory_system, skewed_denoise
+from repro.sim.trace import TraceRecorder
+from repro.stencil.golden import golden_output_sequence, make_input
+
+
+def main() -> None:
+    spec = skewed_denoise(rows=10, cols=14)
+    grid = make_input(spec)
+    print(spec)
+    print(
+        f"iteration domain: {spec.iteration_domain.count()} points "
+        "(parallelogram, each row shifted one column right)"
+    )
+
+    hull = build_memory_system(spec.analysis())
+    union = build_memory_system(spec.analysis(stream_mode="union"))
+    print()
+    print("reuse-buffer sizing:")
+    print(
+        f"  hull-box streaming : FIFOs {hull.fifo_capacities()}, "
+        f"total {hull.total_buffer_size}"
+    )
+    print(
+        f"  exact-union streaming: FIFOs {union.fifo_capacities()}, "
+        f"total {union.total_buffer_size}"
+    )
+
+    trace = TraceRecorder(max_cycles=4000)
+    result = ChainSimulator(spec, union, grid, trace=trace).run()
+    assert np.allclose(
+        result.output_values(), golden_output_sequence(spec, grid)
+    )
+    print()
+    print(
+        f"simulated exact-union chain: {result.stats.total_cycles} "
+        f"cycles, {result.stats.outputs_produced} outputs, matches "
+        "golden ✓"
+    )
+
+    big = max(union.fifos, key=lambda f: f.capacity)
+    first = result.stats.first_output_cycle
+    series = [
+        row.fifo_occupancy[big.fifo_id]
+        for row in trace.rows
+        if row.cycle >= first
+    ]
+    print()
+    print(
+        f"FIFO {big.fifo_id} occupancy after the pipeline fills "
+        f"(capacity {big.capacity}):"
+    )
+    # Compress the series into runs for readability.
+    runs = []
+    for v in series:
+        if runs and runs[-1][0] == v:
+            runs[-1][1] += 1
+        else:
+            runs.append([v, 1])
+    print(
+        "  "
+        + " -> ".join(f"{v} (x{n})" for v, n in runs[:14])
+        + (" -> ..." if len(runs) > 14 else "")
+    )
+    distinct = sorted({v for v, _ in runs})
+    print(
+        f"  occupancy takes {len(distinct)} distinct values "
+        f"{distinct}: the distributed modules adapt the stored data "
+        "amount automatically (Fig 9 / Section 3.4.2)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""repro — reproduction of *An Optimal Microarchitecture for Stencil
+Computation Acceleration Based on Non-Uniform Partitioning of Data Reuse
+Buffers* (Cong, Li, Xiao, Zhang — DAC 2014).
+
+Quick start::
+
+    from repro import DENOISE, compile_accelerator
+
+    design = compile_accelerator(DENOISE)
+    print(design.memory_system.describe())
+
+Package map:
+
+* :mod:`repro.polyhedral` — iteration/data domains, lexicographic order,
+  reuse distances (Appendix 9.1).
+* :mod:`repro.stencil` — stencil spec DSL, the six paper benchmarks,
+  golden NumPy executor.
+* :mod:`repro.partitioning` — the non-uniform partitioner (the paper's
+  contribution) and the uniform cyclic baselines [5]-[8].
+* :mod:`repro.microarch` — the Fig 7 splitter/FIFO/filter chain,
+  heterogeneous mapping, bandwidth/memory trade-off.
+* :mod:`repro.sim` — cycle-level simulators of both microarchitectures.
+* :mod:`repro.hls` — HLS-lite: kernel IR, (modulo) scheduling, binding,
+  code generation.
+* :mod:`repro.resources` — Virtex-7 resource and timing models.
+* :mod:`repro.flow` — the end-to-end Fig 11 automation flow + reports.
+* :mod:`repro.integration` — prefetcher and accelerator chaining.
+"""
+
+from .flow.automation import CompiledDesign, compile_accelerator
+from .flow.docgen import generate_design_report, write_design_report
+from .flow.explore import explore
+from .flow.performance import predict, validate_model
+from .microarch.accelerator import Accelerator
+from .microarch.memory_system import MemorySystem, build_memory_system
+from .microarch.tradeoff import tradeoff_curve, with_offchip_streams
+from .partitioning.cyclic import plan_cyclic
+from .partitioning.gmp import plan_gmp
+from .partitioning.nonuniform import NonUniformPlan, plan_nonuniform
+from .polyhedral.analysis import StencilAnalysis
+from .polyhedral.transform import UnimodularTransform, transform_spec
+from .rtl.design import simulate_rtl
+from .sim.engine import ChainSimulator, DeadlockError, SimulationResult
+from .sim.modulo_chain import ModuloChainSimulator
+from .sim.multi import MultiArraySimulator
+from .stencil.golden import golden_output_sequence, make_input, run_golden
+from .stencil.kernels import (
+    BICUBIC,
+    DENOISE,
+    DENOISE_3D,
+    PAPER_BENCHMARKS,
+    RICIAN,
+    SEGMENTATION_3D,
+    SOBEL,
+    get_benchmark,
+    skewed_denoise,
+)
+from .stencil.fusion import fuse, fusion_statistics
+from .stencil.multi import MultiArraySpec
+from .stencil.spec import StencilSpec, StencilWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accelerator",
+    "BICUBIC",
+    "ChainSimulator",
+    "CompiledDesign",
+    "DENOISE",
+    "DENOISE_3D",
+    "DeadlockError",
+    "MemorySystem",
+    "ModuloChainSimulator",
+    "MultiArraySimulator",
+    "MultiArraySpec",
+    "NonUniformPlan",
+    "PAPER_BENCHMARKS",
+    "RICIAN",
+    "SEGMENTATION_3D",
+    "SOBEL",
+    "SimulationResult",
+    "StencilAnalysis",
+    "StencilSpec",
+    "StencilWindow",
+    "UnimodularTransform",
+    "__version__",
+    "build_memory_system",
+    "compile_accelerator",
+    "explore",
+    "fuse",
+    "fusion_statistics",
+    "generate_design_report",
+    "get_benchmark",
+    "golden_output_sequence",
+    "make_input",
+    "plan_cyclic",
+    "plan_gmp",
+    "plan_nonuniform",
+    "predict",
+    "run_golden",
+    "simulate_rtl",
+    "skewed_denoise",
+    "transform_spec",
+    "tradeoff_curve",
+    "validate_model",
+    "with_offchip_streams",
+    "write_design_report",
+]

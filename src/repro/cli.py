@@ -1,0 +1,301 @@
+"""Command-line interface: drive the flow without writing Python.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro info DENOISE
+    python -m repro compile DENOISE --streams 2 --show rtl
+    python -m repro report table4
+    python -m repro report fig15
+    python -m repro simulate DENOISE --grid 24x32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .flow.automation import compile_accelerator
+from .flow.report import (
+    fig5_report,
+    fig15_report,
+    format_table,
+    table2_report,
+    table4_report,
+    table5_report,
+)
+from .stencil.kernels import (
+    DENOISE,
+    PAPER_BENCHMARKS,
+    SEGMENTATION_3D,
+    get_benchmark,
+)
+
+
+def _parse_grid(text: str) -> tuple:
+    try:
+        parts = tuple(int(p) for p in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"grid must look like 24x32, got {text!r}"
+        )
+    if not parts or any(p <= 0 for p in parts):
+        raise argparse.ArgumentTypeError("grid extents must be positive")
+    return parts
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        {
+            "benchmark": spec.name,
+            "dim": spec.dim,
+            "window_points": spec.n_points,
+            "grid": "x".join(str(g) for g in spec.grid),
+            "min_banks": spec.n_points - 1,
+        }
+        for spec in PAPER_BENCHMARKS
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def cmd_info(args) -> int:
+    spec = get_benchmark(args.benchmark)
+    analysis = spec.analysis()
+    print(spec)
+    print(f"window offsets (filter order): {analysis.offsets()}")
+    print(f"reuse FIFO capacities: {analysis.fifo_capacities()}")
+    print(
+        f"minimum total buffer: {analysis.minimum_total_buffer()} "
+        "elements"
+    )
+    print(f"minimum banks: {analysis.minimum_banks()}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    spec = get_benchmark(args.benchmark)
+    if args.grid:
+        spec = spec.with_grid(args.grid)
+    design = compile_accelerator(spec, offchip_streams=args.streams)
+    print(design.memory_system.describe())
+    print()
+    summary = design.summary()
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    if args.show == "kernel":
+        print()
+        print(design.transformed.kernel_source)
+    elif args.show == "original":
+        print()
+        print(design.transformed.original_source)
+    elif args.show == "rtl":
+        print()
+        print(design.rtl)
+    elif args.show == "primitives":
+        from .hls.primitives import generate_primitives_library
+
+        print()
+        print(generate_primitives_library())
+    elif args.show == "table2":
+        print()
+        print(format_table(design.memory_system.table2_rows()))
+    return 0
+
+
+def cmd_report(args) -> int:
+    kind = args.artifact
+    if kind == "table2":
+        print(format_table(table2_report(DENOISE)))
+    elif kind == "table4":
+        print(format_table(table4_report(PAPER_BENCHMARKS)))
+    elif kind == "table5":
+        print(format_table(table5_report(PAPER_BENCHMARKS)))
+    elif kind == "fig5":
+        print(
+            format_table(fig5_report(DENOISE, range(1016, 1033)))
+        )
+    elif kind == "fig15":
+        print(format_table(fig15_report(SEGMENTATION_3D)))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(kind)
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .flow.explore import explore
+
+    spec = get_benchmark(args.benchmark)
+    result = explore(
+        spec,
+        bram_budget=args.bram,
+        bandwidth_budget=args.bandwidth,
+    )
+    print(f"design-space exploration for {spec.name}:")
+    print(
+        format_table([p.as_row() for p in result.candidates])
+    )
+    print()
+    print("Pareto frontier (BRAM vs off-chip traffic):")
+    print(format_table([p.as_row() for p in result.pareto]))
+    print()
+    if result.best is None:
+        print(
+            f"no design fits {args.bram} BRAM18 at "
+            f"{args.bandwidth} access(es)/cycle"
+        )
+        return 1
+    print(
+        f"best within {args.bram} BRAM18 and {args.bandwidth} "
+        f"access(es)/cycle: {result.best.label}"
+    )
+    return 0
+
+
+def cmd_datasheet(args) -> int:
+    from .flow.docgen import generate_design_report
+
+    spec = get_benchmark(args.benchmark)
+    if args.grid:
+        spec = spec.with_grid(args.grid)
+    design = compile_accelerator(spec, offchip_streams=args.streams)
+    report = generate_design_report(design)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    import numpy as np
+
+    from .microarch.memory_system import build_memory_system
+    from .microarch.tradeoff import with_offchip_streams
+    from .sim.engine import ChainSimulator
+    from .stencil.golden import golden_output_sequence, make_input
+
+    spec = get_benchmark(args.benchmark)
+    if args.grid:
+        spec = spec.with_grid(args.grid)
+    grid = make_input(spec, seed=args.seed)
+    system = build_memory_system(spec.analysis())
+    if args.streams > 1:
+        system = with_offchip_streams(system, args.streams)
+    result = ChainSimulator(spec, system, grid).run()
+    golden = golden_output_sequence(spec, grid)
+    matches = np.allclose(result.output_values(), golden)
+    print(f"simulated {spec}")
+    print(
+        f"  cycles: {result.stats.total_cycles}, outputs: "
+        f"{result.stats.outputs_produced}"
+    )
+    print(
+        f"  first output at cycle {result.stats.first_output_cycle}, "
+        f"worst output gap {result.stats.worst_output_gap}"
+    )
+    print(f"  golden match: {'yes' if matches else 'NO'}")
+    return 0 if matches else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Non-uniform reuse-buffer partitioning for stencil "
+            "accelerators (DAC'14 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper benchmarks").set_defaults(
+        func=cmd_list
+    )
+
+    p_info = sub.add_parser("info", help="analysis summary of one benchmark")
+    p_info.add_argument("benchmark")
+    p_info.set_defaults(func=cmd_info)
+
+    p_compile = sub.add_parser(
+        "compile", help="run the full Fig 11 flow on one benchmark"
+    )
+    p_compile.add_argument("benchmark")
+    p_compile.add_argument(
+        "--streams", type=int, default=1,
+        help="off-chip accesses per cycle (chain breaking)",
+    )
+    p_compile.add_argument(
+        "--grid", type=_parse_grid, default=None,
+        help="override the grid, e.g. 24x32",
+    )
+    p_compile.add_argument(
+        "--show",
+        choices=[
+            "none", "kernel", "original", "rtl", "primitives", "table2"
+        ],
+        default="none",
+        help="print a generated artifact",
+    )
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate one paper table/figure"
+    )
+    p_report.add_argument(
+        "artifact",
+        choices=["table2", "table4", "table5", "fig5", "fig15"],
+    )
+    p_report.set_defaults(func=cmd_report)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="capacity-driven design-space exploration",
+    )
+    p_explore.add_argument("benchmark")
+    p_explore.add_argument(
+        "--bram", type=int, default=8,
+        help="BRAM18 budget for the memory system",
+    )
+    p_explore.add_argument(
+        "--bandwidth", type=int, default=1,
+        help="off-chip accesses per cycle available",
+    )
+    p_explore.set_defaults(func=cmd_explore)
+
+    p_doc = sub.add_parser(
+        "datasheet", help="generate a markdown design report"
+    )
+    p_doc.add_argument("benchmark")
+    p_doc.add_argument("--grid", type=_parse_grid, default=None)
+    p_doc.add_argument("--streams", type=int, default=1)
+    p_doc.add_argument("--output", default=None)
+    p_doc.set_defaults(func=cmd_datasheet)
+
+    p_sim = sub.add_parser(
+        "simulate", help="cycle-simulate a benchmark vs golden"
+    )
+    p_sim.add_argument("benchmark")
+    p_sim.add_argument("--grid", type=_parse_grid, default=None)
+    p_sim.add_argument("--streams", type=int, default=1)
+    p_sim.add_argument("--seed", type=int, default=2014)
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Design-automation flow (Fig 11): transform, compile, report."""
+
+from .artifacts import collect_artifacts, write_artifacts
+from .automation import (
+    CompiledDesign,
+    compile_accelerator,
+    compile_multi_accelerator,
+)
+from .docgen import generate_design_report, write_design_report
+from .explore import (
+    DesignPoint,
+    ExplorationResult,
+    enumerate_candidates,
+    explore,
+    pareto_frontier,
+)
+from .performance import (
+    ModelValidation,
+    PerformancePrediction,
+    predict,
+    validate_model,
+)
+from .report import (
+    average_reduction,
+    fig5_report,
+    fig15_report,
+    format_table,
+    table2_report,
+    table4_report,
+    table5_report,
+)
+from .transform import TransformedKernel, access_counts, transform_kernel
+
+__all__ = [
+    "CompiledDesign",
+    "collect_artifacts",
+    "DesignPoint",
+    "ExplorationResult",
+    "ModelValidation",
+    "PerformancePrediction",
+    "TransformedKernel",
+    "access_counts",
+    "average_reduction",
+    "compile_accelerator",
+    "compile_multi_accelerator",
+    "enumerate_candidates",
+    "explore",
+    "fig15_report",
+    "fig5_report",
+    "format_table",
+    "generate_design_report",
+    "pareto_frontier",
+    "predict",
+    "table2_report",
+    "table4_report",
+    "table5_report",
+    "transform_kernel",
+    "validate_model",
+    "write_artifacts",
+    "write_design_report",
+]

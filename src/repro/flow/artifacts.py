@@ -1,0 +1,73 @@
+"""Machine-readable export of every reproduced paper artifact.
+
+``collect_artifacts`` computes all tables/figures in one pass and
+returns a JSON-serializable dict; ``write_artifacts`` dumps it to disk.
+This is the programmatic companion of the ``benchmarks/`` harness —
+downstream tooling (regression dashboards, paper-comparison scripts)
+consumes the JSON instead of parsing printed tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from ..stencil.kernels import DENOISE, PAPER_BENCHMARKS, SEGMENTATION_3D
+from ..stencil.spec import StencilSpec
+from .performance import predict
+from .report import (
+    average_reduction,
+    fig5_report,
+    fig15_report,
+    table2_report,
+    table4_report,
+    table5_report,
+)
+
+#: Fig 5's default row-size sweep.
+FIG5_ROW_SIZES = tuple(range(1016, 1033))
+
+
+def collect_artifacts(
+    benchmarks: Sequence[StencilSpec] = PAPER_BENCHMARKS,
+) -> Dict[str, object]:
+    """Compute all paper artifacts as one JSON-serializable dict."""
+    table5 = table5_report(benchmarks)
+    return {
+        "paper": {
+            "title": (
+                "An Optimal Microarchitecture for Stencil Computation "
+                "Acceleration Based on Non-Uniform Partitioning of "
+                "Data Reuse Buffers"
+            ),
+            "venue": "DAC 2014",
+        },
+        "table2": table2_report(DENOISE),
+        "table4": table4_report(benchmarks),
+        "table5": {
+            "rows": table5,
+            "average_bram_reduction_pct": average_reduction(
+                table5, "bram_ours", "bram_gmp"
+            ),
+            "average_slice_reduction_pct": average_reduction(
+                table5, "slice_ours", "slice_gmp"
+            ),
+        },
+        "fig5": fig5_report(DENOISE, FIG5_ROW_SIZES),
+        "fig15": fig15_report(SEGMENTATION_3D),
+        "performance": [
+            dict(benchmark=spec.name, **predict(spec).as_row())
+            for spec in benchmarks
+        ],
+    }
+
+
+def write_artifacts(
+    path: str,
+    benchmarks: Sequence[StencilSpec] = PAPER_BENCHMARKS,
+) -> Dict[str, object]:
+    """Compute and write the artifact bundle; returns the dict."""
+    data = collect_artifacts(benchmarks)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    return data

@@ -1,0 +1,151 @@
+"""The end-to-end design-automation flow (Fig 11).
+
+:func:`compile_accelerator` runs both branches of the paper's flow:
+
+* left branch — polyhedral analysis of the stencil accesses, non-uniform
+  partition planning, microarchitecture (memory system) generation;
+* right branch — kernel extraction (source-to-source transform) and
+  HLS-lite scheduling of the computation kernel;
+
+then integrates them into a complete :class:`Accelerator` and bundles
+resource/timing estimates plus the generated sources into a
+:class:`CompiledDesign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..hls.codegen import generate_memory_system_rtl
+from ..hls.ir import DataflowGraph
+from ..hls.schedule import FIXED32_LIBRARY, Schedule, schedule_kernel
+from ..microarch.accelerator import Accelerator, KernelInfo
+from ..microarch.mapping import DEFAULT_POLICY, MappingPolicy
+from ..microarch.memory_system import (
+    MemorySystem,
+    build_memory_system,
+)
+from ..microarch.tradeoff import with_offchip_streams
+from ..partitioning.nonuniform import plan_nonuniform
+from ..resources.estimate import AcceleratorEstimate, estimate_ours
+from ..resources.timing import TimingEstimate, estimate_timing_ours
+from ..stencil.spec import StencilSpec
+from .transform import TransformedKernel, transform_kernel
+
+
+@dataclass(frozen=True)
+class CompiledDesign:
+    """Everything the flow produces for one stencil application."""
+
+    accelerator: Accelerator
+    kernel_schedule: Schedule
+    transformed: TransformedKernel
+    rtl: str
+    resources: AcceleratorEstimate
+    timing: TimingEstimate
+
+    @property
+    def spec(self) -> StencilSpec:
+        return self.accelerator.spec
+
+    @property
+    def memory_system(self) -> MemorySystem:
+        return self.accelerator.primary
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "n_references": self.spec.n_points,
+            "banks": self.memory_system.num_banks,
+            "total_buffer": self.memory_system.total_buffer_size,
+            "offchip_accesses_per_cycle": (
+                self.memory_system.offchip_accesses_per_cycle
+            ),
+            "kernel_latency": self.kernel_schedule.latency,
+            "kernel_ii": self.kernel_schedule.ii,
+            "bram_18k": self.resources.total.bram_18k,
+            "slices": self.resources.total.slices,
+            "dsp": self.resources.total.dsp,
+            "critical_path_ns": self.timing.critical_path_ns,
+        }
+
+
+def compile_multi_accelerator(
+    spec,
+    mapping_policy: MappingPolicy = DEFAULT_POLICY,
+    operator_library=None,
+) -> Accelerator:
+    """Compile a multi-array kernel (Fig 3): one memory system per
+    input array, one shared pipelined kernel.
+
+    Takes a :class:`~repro.stencil.multi.MultiArraySpec`; returns the
+    assembled :class:`~repro.microarch.accelerator.Accelerator` with
+    ``memory_systems`` ordered like ``spec.input_arrays``.
+    """
+    from ..stencil.multi import MultiArraySpec
+
+    if not isinstance(spec, MultiArraySpec):
+        raise TypeError(
+            "compile_multi_accelerator expects a MultiArraySpec; use "
+            "compile_accelerator for single-array kernels"
+        )
+    library = operator_library or FIXED32_LIBRARY
+    systems = tuple(
+        build_memory_system(
+            spec.analysis(array), policy=mapping_policy
+        )
+        for array in spec.input_arrays
+    )
+    graph = DataflowGraph.from_expression(spec.expression)
+    schedule = schedule_kernel(graph, ii=1, library=library)
+    return Accelerator(
+        spec=spec,  # type: ignore[arg-type]
+        memory_systems=systems,
+        kernel=KernelInfo(
+            latency=schedule.latency,
+            ii=schedule.ii,
+            operation_counts=graph.opcode_histogram(),
+        ),
+    )
+
+
+def compile_accelerator(
+    spec: StencilSpec,
+    offchip_streams: int = 1,
+    mapping_policy: MappingPolicy = DEFAULT_POLICY,
+    operator_library=None,
+) -> CompiledDesign:
+    """Run the complete Fig 11 flow on one stencil spec."""
+    library = operator_library or FIXED32_LIBRARY
+
+    # Left branch: polyhedral analysis -> microarchitecture instance.
+    analysis = spec.analysis()
+    plan = plan_nonuniform(analysis)
+    system = build_memory_system(analysis, plan, mapping_policy)
+    if offchip_streams > 1:
+        system = with_offchip_streams(system, offchip_streams)
+
+    # Right branch: kernel transformation -> HLS.
+    transformed = transform_kernel(spec, system)
+    graph = DataflowGraph.from_expression(spec.expression)
+    schedule = schedule_kernel(graph, ii=1, library=library)
+
+    # Integration.
+    accelerator = Accelerator(
+        spec=spec,
+        memory_systems=(system,),
+        kernel=KernelInfo(
+            latency=schedule.latency,
+            ii=schedule.ii,
+            operation_counts=graph.opcode_histogram(),
+        ),
+    )
+    return CompiledDesign(
+        accelerator=accelerator,
+        kernel_schedule=schedule,
+        transformed=transformed,
+        rtl=generate_memory_system_rtl(system),
+        resources=estimate_ours(spec, system, library=library),
+        timing=estimate_timing_ours(system),
+    )

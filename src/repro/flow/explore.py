@@ -1,0 +1,179 @@
+"""Capacity-driven design-space exploration.
+
+Appendix 9.4 opens the trade-off space when "the maximum reuse distance
+is so large that the buffer sizes exceed the on-chip memory capacity".
+This explorer automates the decision: given a BRAM budget and an
+off-chip bandwidth budget, it enumerates
+
+* the pure non-uniform chain (1 access/cycle, minimum traffic),
+* chain-broken variants (Fig 14: k accesses/cycle, k x traffic rate),
+* tiled variants (1 access/cycle, halo traffic overhead),
+
+costs each with the Virtex-7 model, filters by the budgets, and returns
+the feasible set sorted by total off-chip traffic (the paper's primary
+system-level cost), plus the Pareto frontier on the (BRAM, traffic)
+plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..microarch.memory_system import build_memory_system
+from ..microarch.tiling import plan_tiling
+from ..microarch.tradeoff import tradeoff_curve, with_offchip_streams
+from ..resources.estimate import estimate_memory_system
+from ..stencil.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate organization of the reuse buffering."""
+
+    technique: str  # "chain", "break", "tile"
+    parameter: int  # streams for break, strip width for tile
+    onchip_buffer: int  # elements
+    bram_18k: int
+    offchip_words_per_pass: int  # total traffic for one grid pass
+    offchip_accesses_per_cycle: int
+
+    @property
+    def label(self) -> str:
+        if self.technique == "chain":
+            return "chain"
+        if self.technique == "break":
+            return f"break x{self.parameter}"
+        return f"tile w{self.parameter}"
+
+    def as_row(self) -> dict:
+        return {
+            "design": self.label,
+            "onchip_buffer": self.onchip_buffer,
+            "bram_18k": self.bram_18k,
+            "offchip_words": self.offchip_words_per_pass,
+            "accesses_per_cycle": self.offchip_accesses_per_cycle,
+        }
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    candidates: Tuple[DesignPoint, ...]
+    feasible: Tuple[DesignPoint, ...]
+    best: Optional[DesignPoint]
+    pareto: Tuple[DesignPoint, ...]
+
+
+def enumerate_candidates(
+    spec: StencilSpec,
+    strip_widths: Sequence[int] = (32, 64, 128, 256, 512),
+) -> List[DesignPoint]:
+    """All candidate organizations for one 2D/3D stencil spec."""
+    system = build_memory_system(spec.analysis())
+    stream_words = system.stream_domain.count()
+    points: List[DesignPoint] = []
+
+    # Pure chain + chain-broken variants.
+    for p in tradeoff_curve(system):
+        streams = p.offchip_accesses_per_cycle
+        if streams == 1:
+            variant = system
+            technique = "chain"
+        else:
+            variant = with_offchip_streams(system, streams)
+            technique = "break"
+        usage = estimate_memory_system(variant)
+        points.append(
+            DesignPoint(
+                technique=technique,
+                parameter=streams,
+                onchip_buffer=p.total_buffer_size,
+                bram_18k=usage.bram_18k,
+                offchip_words_per_pass=streams * stream_words,
+                offchip_accesses_per_cycle=streams,
+            )
+        )
+
+    # Tiled variants (strips along the innermost axis; any dim).
+    axis = spec.dim - 1
+    max_width = (
+        spec.iteration_domain.highs[axis]
+        - spec.iteration_domain.lows[axis]
+        + 1
+    )
+    for width in strip_widths:
+        if width >= max_width:
+            continue
+        plan = plan_tiling(spec, width)
+        widest = max(s.in_width for s in plan.strips)
+        strip = spec.with_grid(spec.grid[:axis] + (widest,))
+        usage = estimate_memory_system(
+            build_memory_system(strip.analysis())
+        )
+        points.append(
+            DesignPoint(
+                technique="tile",
+                parameter=width,
+                onchip_buffer=plan.buffer_per_strip,
+                bram_18k=usage.bram_18k,
+                offchip_words_per_pass=plan.total_offchip_words,
+                offchip_accesses_per_cycle=1,
+            )
+        )
+    return points
+
+
+def pareto_frontier(
+    points: Sequence[DesignPoint],
+) -> List[DesignPoint]:
+    """Non-dominated points on the (bram, traffic) plane."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            (q.bram_18k <= p.bram_18k)
+            and (
+                q.offchip_words_per_pass <= p.offchip_words_per_pass
+            )
+            and (
+                (q.bram_18k, q.offchip_words_per_pass)
+                != (p.bram_18k, p.offchip_words_per_pass)
+            )
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    frontier.sort(key=lambda p: (p.bram_18k, p.offchip_words_per_pass))
+    return frontier
+
+
+def explore(
+    spec: StencilSpec,
+    bram_budget: int,
+    bandwidth_budget: int = 1,
+    strip_widths: Sequence[int] = (32, 64, 128, 256, 512),
+) -> ExplorationResult:
+    """Pick the lowest-traffic organization within the budgets.
+
+    ``bram_budget`` is in 18 Kb blocks; ``bandwidth_budget`` is the
+    sustainable off-chip accesses per cycle.
+    """
+    if bram_budget < 0 or bandwidth_budget < 1:
+        raise ValueError("budgets must be non-negative / positive")
+    candidates = enumerate_candidates(spec, strip_widths)
+    feasible = [
+        p
+        for p in candidates
+        if p.bram_18k <= bram_budget
+        and p.offchip_accesses_per_cycle <= bandwidth_budget
+    ]
+    feasible.sort(
+        key=lambda p: (p.offchip_words_per_pass, p.bram_18k)
+    )
+    return ExplorationResult(
+        candidates=tuple(candidates),
+        feasible=tuple(feasible),
+        best=feasible[0] if feasible else None,
+        pareto=tuple(pareto_frontier(candidates)),
+    )

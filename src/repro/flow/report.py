@@ -1,0 +1,140 @@
+"""Report generation: the paper's tables and figure series as text.
+
+These functions compute and format the evaluation artifacts; the
+``benchmarks/`` harness calls them and prints the same rows the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..microarch.mapping import DEFAULT_POLICY, MappingPolicy
+from ..microarch.memory_system import build_memory_system
+from ..microarch.tradeoff import tradeoff_curve
+from ..partitioning.cyclic import bank_count_vs_row_size
+from ..partitioning.gmp import plan_gmp
+from ..partitioning.nonuniform import plan_nonuniform
+from ..resources.estimate import estimate_baseline, estimate_ours
+from ..resources.timing import (
+    estimate_timing_baseline,
+    estimate_timing_ours,
+)
+from ..stencil.spec import StencilSpec
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(str(r.get(c, "")).rjust(widths[c]) for c in columns)
+        for r in rows
+    ]
+    return "\n".join([header, sep] + body)
+
+
+def table2_report(spec: StencilSpec) -> List[Dict[str, object]]:
+    """Table 2: non-uniform FIFO sizes + physical mapping."""
+    system = build_memory_system(spec.analysis())
+    return system.table2_rows()
+
+
+def table4_report(
+    specs: Sequence[StencilSpec],
+) -> List[Dict[str, object]]:
+    """Table 4: high-level partitioning results, [8]-style baseline vs
+    ours, for every benchmark."""
+    rows = []
+    for spec in specs:
+        analysis = spec.analysis()
+        ours = plan_nonuniform(analysis)
+        base = plan_gmp(analysis)
+        rows.append(
+            {
+                "benchmark": spec.name,
+                "original_ii": spec.n_points,
+                "target_ii": 1,
+                "banks_gmp": base.num_banks,
+                "banks_ours": ours.num_banks,
+                "size_gmp": base.total_size,
+                "size_ours": ours.total_size,
+            }
+        )
+    return rows
+
+
+def table5_report(
+    specs: Sequence[StencilSpec],
+    mapping_policy: MappingPolicy = DEFAULT_POLICY,
+) -> List[Dict[str, object]]:
+    """Table 5: modelled synthesis results per benchmark."""
+    rows = []
+    for spec in specs:
+        analysis = spec.analysis()
+        system = build_memory_system(
+            analysis, policy=mapping_policy
+        )
+        base_plan = plan_gmp(analysis)
+        ours = estimate_ours(spec, system).total
+        base = estimate_baseline(spec, base_plan).total
+        t_ours = estimate_timing_ours(system)
+        t_base = estimate_timing_baseline(base_plan)
+
+        def pct(our: float, theirs: float) -> float:
+            return round(100.0 * our / theirs, 1) if theirs else 0.0
+
+        rows.append(
+            {
+                "benchmark": spec.name,
+                "bram_gmp": base.bram_18k,
+                "bram_ours": ours.bram_18k,
+                "bram_pct": pct(ours.bram_18k, base.bram_18k),
+                "slice_gmp": base.slices,
+                "slice_ours": ours.slices,
+                "slice_pct": pct(ours.slices, base.slices),
+                "dsp_gmp": base.dsp,
+                "dsp_ours": ours.dsp,
+                "cp_gmp": round(t_base.critical_path_ns, 2),
+                "cp_ours": round(t_ours.critical_path_ns, 2),
+            }
+        )
+    return rows
+
+
+def fig5_report(
+    spec: StencilSpec, row_sizes: Iterable[int]
+) -> List[Dict[str, object]]:
+    """Fig 5: linear cyclic [5] bank count vs grid row size."""
+    return [
+        {"row_size": row, "banks": banks}
+        for row, banks in bank_count_vs_row_size(
+            spec.window, row_sizes
+        )
+    ]
+
+
+def fig15_report(spec: StencilSpec) -> List[Dict[str, object]]:
+    """Fig 15: off-chip accesses per cycle vs on-chip buffer size."""
+    system = build_memory_system(spec.analysis())
+    return [p.as_row() for p in tradeoff_curve(system)]
+
+
+def average_reduction(
+    rows: Sequence[Dict[str, object]], ours_key: str, base_key: str
+) -> float:
+    """Average percentage reduction (ours vs baseline) over rows."""
+    ratios = []
+    for r in rows:
+        base = float(r[base_key])  # type: ignore[arg-type]
+        ours = float(r[ours_key])  # type: ignore[arg-type]
+        if base > 0:
+            ratios.append(1.0 - ours / base)
+    return round(100.0 * sum(ratios) / len(ratios), 1) if ratios else 0.0

@@ -1,0 +1,52 @@
+"""HLS-lite: the computation-kernel compilation substrate (scheduling,
+binding, code generation) substituting for Vivado HLS in the Fig 11
+flow."""
+
+from .bind import Binding, BindingError, bind_units
+from .codegen import (
+    generate_kernel_source,
+    generate_memory_system_rtl,
+    generate_original_source,
+)
+from .ir import CONST, LOAD, DataflowGraph, Operation
+from .primitives import (
+    data_filter_verilog,
+    data_path_splitter_verilog,
+    generate_primitives_library,
+    reuse_fifo_verilog,
+)
+from .schedule import (
+    FIXED32_LIBRARY,
+    FLOAT32_LIBRARY,
+    OperatorSpec,
+    Schedule,
+    SchedulingError,
+    asap_schedule,
+    modulo_schedule,
+    schedule_kernel,
+)
+
+__all__ = [
+    "Binding",
+    "BindingError",
+    "CONST",
+    "DataflowGraph",
+    "FIXED32_LIBRARY",
+    "FLOAT32_LIBRARY",
+    "LOAD",
+    "Operation",
+    "OperatorSpec",
+    "Schedule",
+    "SchedulingError",
+    "asap_schedule",
+    "bind_units",
+    "data_filter_verilog",
+    "data_path_splitter_verilog",
+    "generate_kernel_source",
+    "generate_primitives_library",
+    "generate_memory_system_rtl",
+    "generate_original_source",
+    "modulo_schedule",
+    "reuse_fifo_verilog",
+    "schedule_kernel",
+]

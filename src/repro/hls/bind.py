@@ -1,0 +1,65 @@
+"""Functional-unit binding for shared-unit (II > 1) schedules.
+
+At II = 1 the datapath is fully spatial and binding is the identity; at
+larger IIs, operations scheduled in different modulo slots can share a
+unit.  Left-edge binding assigns each operation the lowest-numbered unit
+of its opcode that is free in its modulo slot, and verifies the resource
+claim of the scheduler (never more units than ``unit_counts``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .ir import DataflowGraph
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Operation-to-unit assignment."""
+
+    assignments: Dict[int, Tuple[str, int]]  # node -> (opcode, unit idx)
+    units_used: Dict[str, int]
+
+    def unit_of(self, node_id: int) -> Tuple[str, int]:
+        return self.assignments[node_id]
+
+
+class BindingError(RuntimeError):
+    """The schedule over-subscribes its own resource claim."""
+
+
+def bind_units(graph: DataflowGraph, schedule: Schedule) -> Binding:
+    """Left-edge binding of arithmetic operations to functional units."""
+    ii = schedule.ii
+    # opcode -> unit index -> set of occupied modulo slots
+    occupancy: Dict[str, List[set]] = {}
+    assignments: Dict[int, Tuple[str, int]] = {}
+    used: Dict[str, int] = {}
+    for op in graph.arithmetic_ops():
+        slot = schedule.start_times[op.node_id] % ii
+        units = occupancy.setdefault(op.opcode, [])
+        placed = False
+        for idx, slots in enumerate(units):
+            if slot not in slots:
+                slots.add(slot)
+                assignments[op.node_id] = (op.opcode, idx)
+                placed = True
+                break
+        if not placed:
+            units.append({slot})
+            idx = len(units) - 1
+            assignments[op.node_id] = (op.opcode, idx)
+        used[op.opcode] = max(
+            used.get(op.opcode, 0), assignments[op.node_id][1] + 1
+        )
+    for opcode, count in used.items():
+        claimed = schedule.unit_counts.get(opcode, 0)
+        if count > claimed:
+            raise BindingError(
+                f"binding needs {count} {opcode!r} units but the "
+                f"schedule claimed {claimed}"
+            )
+    return Binding(assignments=assignments, units_used=used)

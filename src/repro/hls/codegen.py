@@ -1,0 +1,236 @@
+"""Code generation: the Fig 4 kernel source and the Fig 7 RTL netlist.
+
+Two emitters:
+
+* :func:`generate_kernel_source` — the source-to-source transformation of
+  the paper's right branch (ROSE in the original flow): the kernel with
+  every memory access replaced by a ``volatile`` data-port read, plus the
+  pipeline pragma, ready for HLS (the paper's Fig 4).
+* :func:`generate_original_source` — the untransformed Fig 1-style loop
+  nest, for comparison and documentation.
+* :func:`generate_memory_system_rtl` — a structural Verilog-style
+  netlist of the generated memory system (splitters, non-uniform FIFOs,
+  counter-based data filters).  This is documentation-grade RTL: the
+  behavioural truth lives in :mod:`repro.sim`, but the netlist makes the
+  generated architecture inspectable and is exercised by tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..microarch.memory_system import MemorySystem
+from ..stencil.expr import to_c_source
+from ..stencil.spec import StencilSpec
+
+
+def _index_names(dim: int) -> List[str]:
+    base = "ijklmnpq"
+    return (
+        list(base[:dim])
+        if dim <= len(base)
+        else [f"i{d}" for d in range(dim)]
+    )
+
+
+def _port_name(label: str) -> str:
+    """C identifier for a data port, e.g. ``A[i-1][j]`` -> ``A_im1_j``."""
+    out = []
+    for ch in label:
+        if ch.isalnum():
+            out.append(ch)
+        elif ch == "-":
+            out.append("m")
+        elif ch == "+":
+            out.append("p")
+        elif ch in "[]":
+            out.append("_")
+    name = "".join(out).strip("_")
+    while "__" in name:
+        name = name.replace("__", "_")
+    return name
+
+
+def generate_original_source(spec: StencilSpec) -> str:
+    """The Fig 1-style original loop nest with direct array accesses."""
+    dim = spec.dim
+    names = _index_names(dim)
+    domain = spec.iteration_domain
+    lows, highs = domain.bounding_box()
+    lines = [
+        f"// {spec.name}: original stencil computation "
+        f"({spec.n_points}-point window)",
+        f"void {spec.name.lower()}_original("
+        f"float {spec.input_array}{_dims(spec.grid)}, "
+        f"float {spec.output_array}{_dims(spec.grid)}) {{",
+    ]
+    indent = "  "
+    for d, name in enumerate(names):
+        lines.append(
+            f"{indent}for (int {name} = {lows[d]}; {name} <= "
+            f"{highs[d]}; {name}++) {{"
+        )
+        indent += "  "
+    body = to_c_source(spec.expression, names)
+    out_idx = "".join(f"[{n}]" for n in names)
+    lines.append(f"{indent}{spec.output_array}{out_idx} = {body};")
+    for d in range(dim):
+        indent = indent[:-2]
+        lines.append(f"{indent}}}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_kernel_source(
+    spec: StencilSpec, system: MemorySystem
+) -> str:
+    """The Fig 4-style transformed kernel: all accesses offloaded to the
+    memory system's data ports, innermost loop pipelined."""
+    dim = spec.dim
+    names = _index_names(dim)
+    domain = spec.iteration_domain
+    lows, highs = domain.bounding_box()
+    ports = [
+        (_port_name(f.reference.label), f.reference)
+        for f in system.filters
+    ]
+    args = ", ".join(
+        f"volatile float *{port}" for port, _ in ports
+    )
+    lines = [
+        f"// {spec.name}: computation kernel after source-to-source",
+        "// transformation: memory accesses offloaded to the stencil",
+        "// microarchitecture (one volatile data port per reference).",
+        f"void {spec.name.lower()}_kernel({args}, "
+        f"volatile float *{spec.output_array}_out) {{",
+    ]
+    indent = "  "
+    for d, name in enumerate(names):
+        lines.append(
+            f"{indent}for (int {name} = {lows[d]}; {name} <= "
+            f"{highs[d]}; {name}++) {{"
+        )
+        indent += "  "
+    lines.append(f"{indent}#pragma HLS pipeline II=1")
+    # Read every port once per iteration.
+    env_names = {}
+    for port, ref in ports:
+        var = f"v_{port}"
+        env_names[ref.offset] = var
+        lines.append(f"{indent}float {var} = *{port};")
+    body = _expression_with_port_vars(spec, env_names)
+    lines.append(f"{indent}*{spec.output_array}_out = {body};")
+    for d in range(dim):
+        indent = indent[:-2]
+        lines.append(f"{indent}}}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _expression_with_port_vars(spec: StencilSpec, names) -> str:
+    from ..stencil.expr import BinOp, Const, Expr, Ref, UnOp
+
+    def render(node: Expr) -> str:
+        if isinstance(node, Ref):
+            return names[node.offset]
+        if isinstance(node, Const):
+            return repr(node.value)
+        if isinstance(node, UnOp):
+            inner = render(node.operand)
+            if node.op == "neg":
+                return f"(-{inner})"
+            if node.op == "abs":
+                return f"fabs({inner})"
+            return f"sqrt({inner})"
+        if isinstance(node, BinOp):
+            sym = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+            left, right = render(node.left), render(node.right)
+            if node.op in sym:
+                return f"({left} {sym[node.op]} {right})"
+            fn = "fmin" if node.op == "min" else "fmax"
+            return f"{fn}({left}, {right})"
+        raise TypeError(node)
+
+    return render(spec.expression)
+
+
+def _dims(grid: Sequence[int]) -> str:
+    return "".join(f"[{g}]" for g in grid)
+
+
+# ----------------------------------------------------------------------
+# Structural RTL netlist
+# ----------------------------------------------------------------------
+
+def generate_memory_system_rtl(
+    system: MemorySystem, data_width: int = 32
+) -> str:
+    """Structural Verilog-style netlist of the Fig 7 memory system."""
+    lines = [
+        f"// Memory system for array {system.array} — "
+        f"{system.n_references} references, {system.num_banks} "
+        "non-uniform reuse FIFOs",
+        f"module mem_system_{system.array.lower()} (",
+        "  input  wire clk,",
+        "  input  wire rst,",
+    ]
+    for seg in system.segments:
+        lines.append(
+            f"  input  wire [{data_width - 1}:0] "
+            f"stream_in_{seg.segment_id},"
+        )
+        lines.append(
+            f"  input  wire stream_valid_{seg.segment_id},"
+        )
+        lines.append(
+            f"  output wire stream_ready_{seg.segment_id},"
+        )
+    for f in system.filters:
+        port = _port_name(f.reference.label)
+        lines.append(
+            f"  output wire [{data_width - 1}:0] port_{port},"
+        )
+        lines.append(f"  output wire valid_{port},")
+        lines.append(f"  input  wire consume_{port},")
+    lines[-1] = lines[-1].rstrip(",")
+    lines.append(");")
+    lines.append("")
+    for fifo in system.fifos:
+        style = {
+            "block": "block",
+            "distributed": "distributed",
+            "register": "registers",
+        }[fifo.impl.value]
+        lines.append(
+            f"  // FIFO {fifo.fifo_id}: {fifo.precedent_label} -> "
+            f"{fifo.successive_label}"
+        )
+        lines.append(
+            f"  reuse_fifo #(.DEPTH({fifo.capacity}), "
+            f".WIDTH({data_width}), .STYLE(\"{style}\")) "
+            f"fifo_{fifo.fifo_id} (.clk(clk), .rst(rst));"
+        )
+    lines.append("")
+    for sp in system.splitters:
+        fan = 2 if sp.feeds_fifo else 1
+        lines.append(
+            f"  data_path_splitter #(.FANOUT({fan})) "
+            f"splitter_{sp.splitter_id} (.clk(clk), .rst(rst));"
+        )
+    lines.append("")
+    for f in system.filters:
+        lo, hi = f.output_domain.bounding_box()
+        dims = ", ".join(
+            f"{a}:{b}" for a, b in zip(lo, hi)
+        )
+        lines.append(
+            f"  // filter {f.filter_id}: reference "
+            f"{f.reference.label}, output domain [{dims}]"
+        )
+        lines.append(
+            f"  data_filter #(.DIM({len(lo)})) "
+            f"filter_{f.filter_id} (.clk(clk), .rst(rst));"
+        )
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines)

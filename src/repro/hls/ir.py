@@ -1,0 +1,147 @@
+"""Dataflow IR for the computation kernel (the right branch of Fig 11).
+
+HLS-lite compiles the kernel's expression tree into a dataflow graph of
+primitive operations (loads from the memory system's data ports,
+constants, arithmetic), which the scheduler then maps onto clock cycles.
+This substitutes for Vivado HLS in the paper's flow: it produces the
+pipeline latency, initiation interval and operator counts that the
+resource and timing models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..polyhedral.lexorder import Vector
+from ..stencil.expr import BinOp, Const, Expr, Ref, UnOp
+
+#: Opcodes of the dataflow IR.
+LOAD = "load"
+CONST = "const"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One IR operation.
+
+    ``operands`` are node ids of the producing operations; ``payload``
+    holds the reference offset for loads / the value for constants.
+    """
+
+    node_id: int
+    opcode: str
+    operands: Tuple[int, ...]
+    payload: object = None
+
+    @property
+    def is_input(self) -> bool:
+        return self.opcode in (LOAD, CONST)
+
+
+class DataflowGraph:
+    """A DAG of operations with one designated output node.
+
+    Common subexpressions are shared structurally: identical subtree
+    shapes hash to the same node (value numbering), so e.g. the two uses
+    of ``se`` in the Sobel kernel become one load feeding two adders.
+    """
+
+    def __init__(self) -> None:
+        self.operations: List[Operation] = []
+        self._value_numbers: Dict[tuple, int] = {}
+        self.output: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _intern(
+        self, opcode: str, operands: Tuple[int, ...], payload: object
+    ) -> int:
+        key = (opcode, operands, payload)
+        if key in self._value_numbers:
+            return self._value_numbers[key]
+        node_id = len(self.operations)
+        self.operations.append(
+            Operation(node_id, opcode, operands, payload)
+        )
+        self._value_numbers[key] = node_id
+        return node_id
+
+    def add_load(self, array: str, offset: Vector) -> int:
+        return self._intern(LOAD, (), (array, offset))
+
+    def add_const(self, value: float) -> int:
+        return self._intern(CONST, (), value)
+
+    def add_op(self, opcode: str, *operands: int) -> int:
+        for o in operands:
+            if not 0 <= o < len(self.operations):
+                raise ValueError(f"unknown operand node {o}")
+        return self._intern(opcode, tuple(operands), None)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_expression(cls, expr: Expr) -> "DataflowGraph":
+        graph = cls()
+
+        def build(node: Expr) -> int:
+            if isinstance(node, Ref):
+                return graph.add_load(node.array, node.offset)
+            if isinstance(node, Const):
+                return graph.add_const(node.value)
+            if isinstance(node, UnOp):
+                return graph.add_op(node.op, build(node.operand))
+            if isinstance(node, BinOp):
+                return graph.add_op(
+                    node.op, build(node.left), build(node.right)
+                )
+            raise TypeError(f"unknown expression node {node!r}")
+
+        graph.output = build(expr)
+        return graph
+
+    # ------------------------------------------------------------------
+    @property
+    def n_operations(self) -> int:
+        return len(self.operations)
+
+    def loads(self) -> List[Operation]:
+        return [op for op in self.operations if op.opcode == LOAD]
+
+    def arithmetic_ops(self) -> List[Operation]:
+        return [op for op in self.operations if not op.is_input]
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for op in self.arithmetic_ops():
+            hist[op.opcode] = hist.get(op.opcode, 0) + 1
+        return hist
+
+    def consumers(self) -> Dict[int, List[int]]:
+        """node id -> ids of operations that read it."""
+        out: Dict[int, List[int]] = {
+            op.node_id: [] for op in self.operations
+        }
+        for op in self.operations:
+            for operand in op.operands:
+                out[operand].append(op.node_id)
+        return out
+
+    def topological_order(self) -> List[Operation]:
+        """Operations in dependency order (construction order is already
+        topological because operands are built before users)."""
+        return list(self.operations)
+
+    def validate(self) -> None:
+        """Structural checks: one output, acyclic by construction,
+        every non-output node is consumed."""
+        if self.output is None:
+            raise ValueError("graph has no output node")
+        consumers = self.consumers()
+        for op in self.operations:
+            if op.node_id != self.output and not consumers[op.node_id]:
+                raise ValueError(
+                    f"dead operation {op.node_id} ({op.opcode})"
+                )
+            for operand in op.operands:
+                if operand >= op.node_id:
+                    raise ValueError("operand does not precede user")

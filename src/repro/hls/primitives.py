@@ -1,0 +1,182 @@
+"""Behavioural Verilog for the three chain primitives.
+
+The structural netlist of :func:`generate_memory_system_rtl`
+instantiates ``reuse_fifo``, ``data_path_splitter`` and ``data_filter``;
+this module emits their parametric behavioural definitions so the
+generated design is a complete, self-contained RTL bundle:
+
+* ``reuse_fifo`` — circular-buffer FIFO with a synthesis-style RAM
+  attribute selected by the STYLE parameter (block / distributed /
+  registers) and first-word-fall-through read behaviour (the
+  cut-through semantics the simulators model);
+* ``data_path_splitter`` — AND-gated valid/ready fork to one or two
+  sinks;
+* ``data_filter`` — the Fig 10 structure: two multi-dimension domain
+  counters with carry chains, bounds comparators for polyhedral
+  membership, an equality comparator and the forwarding switch.
+
+The text is exercised by tests (structure, parameters, balance) and is
+intended as hand-off collateral; functional truth lives in
+:mod:`repro.sim` and :mod:`repro.rtl`.
+"""
+
+from __future__ import annotations
+
+PRIMITIVES_HEADER = "// Chain primitives for the non-uniform reuse microarchitecture"
+
+
+def reuse_fifo_verilog() -> str:
+    return """\
+module reuse_fifo #(
+  parameter DEPTH = 16,
+  parameter WIDTH = 32,
+  parameter STYLE = "block"  // block | distributed | registers
+) (
+  input  wire             clk,
+  input  wire             rst,
+  input  wire [WIDTH-1:0] wr_data,
+  input  wire             wr_valid,
+  output wire             wr_ready,
+  output wire [WIDTH-1:0] rd_data,
+  output wire             rd_valid,
+  input  wire             rd_ready
+);
+  localparam AW = (DEPTH <= 1) ? 1 : $clog2(DEPTH);
+  (* ram_style = STYLE *) reg [WIDTH-1:0] mem [0:DEPTH-1];
+  reg [AW:0] wr_ptr, rd_ptr;
+  wire [AW:0] count = wr_ptr - rd_ptr;
+  assign wr_ready = (count < DEPTH);
+  assign rd_valid = (count != 0);
+  assign rd_data  = mem[rd_ptr[AW-1:0]];
+  always @(posedge clk) begin
+    if (rst) begin
+      wr_ptr <= 0;
+      rd_ptr <= 0;
+    end else begin
+      if (wr_valid && wr_ready) begin
+        mem[wr_ptr[AW-1:0]] <= wr_data;
+        wr_ptr <= wr_ptr + 1;
+      end
+      if (rd_valid && rd_ready)
+        rd_ptr <= rd_ptr + 1;
+    end
+  end
+endmodule"""
+
+
+def data_path_splitter_verilog() -> str:
+    return """\
+module data_path_splitter #(
+  parameter WIDTH = 32,
+  parameter FANOUT = 2  // 2: FIFO + filter; 1: filter only (chain tail)
+) (
+  input  wire             clk,
+  input  wire             rst,
+  input  wire [WIDTH-1:0] in_data,
+  input  wire             in_valid,
+  output wire             in_ready,
+  output wire [WIDTH-1:0] out0_data,  // towards the next reuse FIFO
+  output wire             out0_valid,
+  input  wire             out0_ready,
+  output wire [WIDTH-1:0] out1_data,  // towards this stage's filter
+  output wire             out1_valid,
+  input  wire             out1_ready
+);
+  // Fires only when every sink can accept: AND-gated fork.
+  wire sinks_ready = (FANOUT == 2) ? (out0_ready && out1_ready)
+                                   : out1_ready;
+  wire fire = in_valid && sinks_ready;
+  assign in_ready   = sinks_ready;
+  assign out0_data  = in_data;
+  assign out0_valid = fire && (FANOUT == 2);
+  assign out1_data  = in_data;
+  assign out1_valid = fire;
+endmodule"""
+
+
+def data_filter_verilog() -> str:
+    return """\
+module data_filter #(
+  parameter WIDTH = 32,
+  parameter DIM = 2,
+  parameter [DIM*32-1:0] IN_LO  = 0,  // input-counter domain bounds
+  parameter [DIM*32-1:0] IN_HI  = 0,
+  parameter [DIM*32-1:0] OUT_LO = 0,  // output-counter domain bounds
+  parameter [DIM*32-1:0] OUT_HI = 0
+) (
+  input  wire             clk,
+  input  wire             rst,
+  input  wire [WIDTH-1:0] in_data,
+  input  wire             in_valid,
+  output wire             in_ready,
+  output reg  [WIDTH-1:0] port_data,
+  output reg              port_valid,
+  input  wire             port_consume
+);
+  // Fig 10: input counter over D_A, output counter over D_Ax, and a
+  // data switch that forwards on counter equality.
+  reg signed [31:0] in_cnt  [0:DIM-1];
+  reg signed [31:0] out_cnt [0:DIM-1];
+  integer d;
+
+  function counters_equal;
+    input dummy;
+    begin
+      counters_equal = 1'b1;
+      for (d = 0; d < DIM; d = d + 1)
+        if (in_cnt[d] != out_cnt[d]) counters_equal = 1'b0;
+    end
+  endfunction
+
+  task advance;  // lexicographic +1 with per-dimension wrap
+    inout reg signed [31:0] cnt [0:DIM-1];
+    input [DIM*32-1:0] lo;
+    input [DIM*32-1:0] hi;
+    integer k;
+    begin
+      for (k = DIM - 1; k >= 0; k = k - 1) begin
+        if (cnt[k] < $signed(hi[k*32 +: 32])) begin
+          cnt[k] = cnt[k] + 1;
+          k = -1;  // break
+        end else begin
+          cnt[k] = $signed(lo[k*32 +: 32]);
+        end
+      end
+    end
+  endtask
+
+  assign in_ready = !port_valid;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      port_valid <= 1'b0;
+      for (d = 0; d < DIM; d = d + 1) begin
+        in_cnt[d]  <= $signed(IN_LO[d*32 +: 32]);
+        out_cnt[d] <= $signed(OUT_LO[d*32 +: 32]);
+      end
+    end else begin
+      if (port_valid && port_consume)
+        port_valid <= 1'b0;
+      if (in_valid && in_ready) begin
+        if (counters_equal(1'b0)) begin
+          port_data  <= in_data;
+          port_valid <= 1'b1;
+          advance(out_cnt, OUT_LO, OUT_HI);
+        end
+        advance(in_cnt, IN_LO, IN_HI);
+      end
+    end
+  end
+endmodule"""
+
+
+def generate_primitives_library() -> str:
+    """The complete primitives file the generated netlist needs."""
+    return "\n\n".join(
+        [
+            PRIMITIVES_HEADER,
+            reuse_fifo_verilog(),
+            data_path_splitter_verilog(),
+            data_filter_verilog(),
+        ]
+    )

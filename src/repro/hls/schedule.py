@@ -1,0 +1,225 @@
+"""Operation scheduling: ASAP + modulo scheduling for pipelined loops.
+
+The paper's computation kernel is compiled by HLS into a fully pipelined
+datapath (``#pragma pipeline``, II = 1).  HLS-lite reproduces the two
+relevant scheduling modes:
+
+* :func:`asap_schedule` — dependence-constrained earliest start times;
+  the schedule length is the pipeline latency.
+* :func:`modulo_schedule` — resource-constrained modulo scheduling for a
+  target initiation interval: with II = 1 every operation needs a private
+  functional unit (fully spatial pipeline, what the paper's kernels use);
+  larger IIs share units across modulo slots, trading DSPs/LUTs for
+  throughput.
+
+The floating-point operator library is modelled on Xilinx 7-series
+characterization (latencies/DSP usage of the single-precision cores).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .ir import CONST, LOAD, DataflowGraph, Operation
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Latency and per-unit cost of one operator type."""
+
+    latency: int
+    dsp: int
+    lut: int
+    ff: int
+
+
+#: Single-precision floating point operators on Virtex-7 (approximate
+#: Vivado HLS characterization at 200 MHz).
+FLOAT32_LIBRARY: Dict[str, OperatorSpec] = {
+    LOAD: OperatorSpec(latency=1, dsp=0, lut=16, ff=32),
+    CONST: OperatorSpec(latency=0, dsp=0, lut=0, ff=0),
+    "add": OperatorSpec(latency=8, dsp=2, lut=214, ff=227),
+    "sub": OperatorSpec(latency=8, dsp=2, lut=214, ff=227),
+    "mul": OperatorSpec(latency=4, dsp=3, lut=135, ff=128),
+    "div": OperatorSpec(latency=16, dsp=0, lut=802, ff=1446),
+    "min": OperatorSpec(latency=1, dsp=0, lut=88, ff=66),
+    "max": OperatorSpec(latency=1, dsp=0, lut=88, ff=66),
+    "abs": OperatorSpec(latency=1, dsp=0, lut=16, ff=33),
+    "neg": OperatorSpec(latency=1, dsp=0, lut=16, ff=33),
+    "sqrt": OperatorSpec(latency=16, dsp=0, lut=469, ff=810),
+}
+
+
+#: 32-bit fixed-point operators (the arithmetic the paper's imaging
+#: kernels synthesize to): adds are carry chains, multiplies by
+#: compile-time constants strength-reduce to shift-add trees — no DSPs.
+FIXED32_LIBRARY: Dict[str, OperatorSpec] = {
+    LOAD: OperatorSpec(latency=1, dsp=0, lut=16, ff=32),
+    CONST: OperatorSpec(latency=0, dsp=0, lut=0, ff=0),
+    "add": OperatorSpec(latency=1, dsp=0, lut=32, ff=32),
+    "sub": OperatorSpec(latency=1, dsp=0, lut=32, ff=32),
+    "mul": OperatorSpec(latency=2, dsp=0, lut=96, ff=64),
+    "div": OperatorSpec(latency=18, dsp=0, lut=520, ff=680),
+    "min": OperatorSpec(latency=1, dsp=0, lut=48, ff=32),
+    "max": OperatorSpec(latency=1, dsp=0, lut=48, ff=32),
+    "abs": OperatorSpec(latency=1, dsp=0, lut=32, ff=32),
+    "neg": OperatorSpec(latency=1, dsp=0, lut=32, ff=32),
+    "sqrt": OperatorSpec(latency=16, dsp=0, lut=420, ff=520),
+}
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no feasible schedule exists within bounds."""
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling one dataflow graph."""
+
+    start_times: Dict[int, int]
+    latency: int
+    ii: int
+    unit_counts: Dict[str, int]  # functional units per opcode
+    library: Dict[str, OperatorSpec]
+
+    def dsp_usage(self) -> int:
+        return sum(
+            self.library[opc].dsp * n
+            for opc, n in self.unit_counts.items()
+        )
+
+    def lut_usage(self) -> int:
+        return sum(
+            self.library[opc].lut * n
+            for opc, n in self.unit_counts.items()
+        )
+
+    def ff_usage(self) -> int:
+        return sum(
+            self.library[opc].ff * n
+            for opc, n in self.unit_counts.items()
+        )
+
+
+def asap_schedule(
+    graph: DataflowGraph,
+    library: Optional[Dict[str, OperatorSpec]] = None,
+) -> Schedule:
+    """Earliest-start schedule; length == pipeline latency at II=1."""
+    lib = library or FLOAT32_LIBRARY
+    start: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    for op in graph.topological_order():
+        spec = _spec_of(op, lib)
+        ready = max(
+            (finish[o] for o in op.operands), default=0
+        )
+        start[op.node_id] = ready
+        finish[op.node_id] = ready + spec.latency
+    latency = max(finish.values(), default=0)
+    units = _spatial_unit_counts(graph)
+    return Schedule(
+        start_times=start,
+        latency=latency,
+        ii=1,
+        unit_counts=units,
+        library=lib,
+    )
+
+
+def modulo_schedule(
+    graph: DataflowGraph,
+    ii: int,
+    library: Optional[Dict[str, OperatorSpec]] = None,
+    max_latency: int = 512,
+) -> Schedule:
+    """Resource-constrained modulo schedule at a target II.
+
+    Functional units per opcode: ``ceil(ops_of_type / ii)`` (the classic
+    resource lower bound); operations are placed greedily in topological
+    order at the earliest dependence-feasible cycle whose modulo slot has
+    a free unit.  Loads and constants are not resource-constrained (each
+    data port is private).
+    """
+    if ii < 1:
+        raise ValueError("II must be >= 1")
+    lib = library or FLOAT32_LIBRARY
+    histogram = graph.opcode_histogram()
+    units = {
+        opc: max(1, math.ceil(count / ii))
+        for opc, count in histogram.items()
+    }
+    # modulo reservation table: opcode -> slot -> used units
+    table: Dict[str, List[int]] = {
+        opc: [0] * ii for opc in units
+    }
+    start: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    for op in graph.topological_order():
+        spec = _spec_of(op, lib)
+        ready = max((finish[o] for o in op.operands), default=0)
+        if op.is_input:
+            start[op.node_id] = ready
+            finish[op.node_id] = ready + spec.latency
+            continue
+        t = ready
+        while True:
+            if t - ready > max_latency:
+                raise SchedulingError(
+                    f"no modulo slot for {op.opcode} within "
+                    f"{max_latency} cycles at II={ii}"
+                )
+            slot = t % ii
+            if table[op.opcode][slot] < units[op.opcode]:
+                table[op.opcode][slot] += 1
+                break
+            t += 1
+        start[op.node_id] = t
+        finish[op.node_id] = t + spec.latency
+    latency = max(finish.values(), default=0)
+    counts = dict(units)
+    for op in graph.loads():
+        counts[LOAD] = counts.get(LOAD, 0) + 1
+    return Schedule(
+        start_times=start,
+        latency=latency,
+        ii=ii,
+        unit_counts=counts,
+        library=lib,
+    )
+
+
+def _spec_of(
+    op: Operation, lib: Dict[str, OperatorSpec]
+) -> OperatorSpec:
+    if op.opcode not in lib:
+        raise SchedulingError(
+            f"operator library has no entry for {op.opcode!r}"
+        )
+    return lib[op.opcode]
+
+
+def _spatial_unit_counts(graph: DataflowGraph) -> Dict[str, int]:
+    """Fully spatial pipeline: one unit per operation, one port per
+    load."""
+    counts: Dict[str, int] = {}
+    for op in graph.operations:
+        if op.opcode == CONST:
+            continue
+        counts[op.opcode] = counts.get(op.opcode, 0) + 1
+    return counts
+
+
+def schedule_kernel(
+    graph: DataflowGraph,
+    ii: int = 1,
+    library: Optional[Dict[str, OperatorSpec]] = None,
+) -> Schedule:
+    """Front door: fully pipelined (II=1) uses the spatial ASAP schedule,
+    larger IIs use modulo scheduling with unit sharing."""
+    graph.validate()
+    if ii == 1:
+        return asap_schedule(graph, library)
+    return modulo_schedule(graph, ii, library)

@@ -1,0 +1,27 @@
+"""System integration: off-chip prefetching and accelerator chaining
+(Fig 13 / Appendix 9.3)."""
+
+from .chaining import (
+    ChainedRun,
+    ChainingError,
+    ForwardingAnalysis,
+    chain_accelerators,
+    compose_consumer,
+    forwarding_analysis,
+    golden_chain,
+    intermediate_grid_shape,
+)
+from .prefetcher import BurstPrefetcher, simulate_with_prefetch
+
+__all__ = [
+    "BurstPrefetcher",
+    "ChainedRun",
+    "ChainingError",
+    "ForwardingAnalysis",
+    "chain_accelerators",
+    "compose_consumer",
+    "forwarding_analysis",
+    "golden_chain",
+    "intermediate_grid_shape",
+    "simulate_with_prefetch",
+]

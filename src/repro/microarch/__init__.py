@@ -1,0 +1,70 @@
+"""Microarchitecture generation: the Fig 7 chain, physical mapping,
+bandwidth/memory trade-off and full-accelerator assembly."""
+
+from .accelerator import Accelerator, KernelInfo
+from .components import (
+    ChainSegment,
+    DataFilter,
+    DataPathSplitter,
+    FifoImpl,
+    ReuseFifo,
+)
+from .mapping import (
+    ALL_BRAM_POLICY,
+    DEFAULT_POLICY,
+    LUTRAM_THRESHOLD,
+    REGISTER_THRESHOLD,
+    MappingPolicy,
+    map_capacities,
+    map_fifo,
+    mapping_histogram,
+)
+from .memory_system import MemorySystem, build_memory_system
+from .tiling import (
+    TiledRunResult,
+    TilingPlan,
+    compare_tradeoffs,
+    plan_tiling,
+    simulate_tiled,
+    tiling_tradeoff_curve,
+)
+from .tradeoff import (
+    TradeoffPoint,
+    break_chain,
+    resegment,
+    select_breaks,
+    tradeoff_curve,
+    with_offchip_streams,
+)
+
+__all__ = [
+    "ALL_BRAM_POLICY",
+    "Accelerator",
+    "ChainSegment",
+    "DEFAULT_POLICY",
+    "DataFilter",
+    "DataPathSplitter",
+    "FifoImpl",
+    "KernelInfo",
+    "LUTRAM_THRESHOLD",
+    "MappingPolicy",
+    "MemorySystem",
+    "REGISTER_THRESHOLD",
+    "ReuseFifo",
+    "TiledRunResult",
+    "TilingPlan",
+    "TradeoffPoint",
+    "break_chain",
+    "compare_tradeoffs",
+    "build_memory_system",
+    "map_capacities",
+    "map_fifo",
+    "mapping_histogram",
+    "plan_tiling",
+    "resegment",
+    "select_breaks",
+    "simulate_tiled",
+    "tiling_tradeoff_curve",
+    "tradeoff_curve",
+    "with_offchip_streams",
+]

@@ -1,0 +1,88 @@
+"""Complete accelerator assembly (Fig 3).
+
+An :class:`Accelerator` couples the generated memory system(s) with the
+HLS-compiled computation kernel: the memory system streams the input
+array once in lexicographic order and feeds every array reference's data
+port; the fully pipelined kernel consumes all ``n`` ports per cycle and
+emits one output per cycle in steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..stencil.spec import StencilSpec
+from .memory_system import MemorySystem
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Summary of the HLS-compiled computation kernel."""
+
+    latency: int  # pipeline depth in cycles
+    ii: int  # initiation interval (1 when fully pipelined)
+    operation_counts: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("kernel latency must be >= 0")
+        if self.ii < 1:
+            raise ValueError("kernel II must be >= 1")
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A complete stencil accelerator: memory systems + kernel."""
+
+    spec: StencilSpec
+    memory_systems: Tuple[MemorySystem, ...]
+    kernel: KernelInfo
+
+    def __post_init__(self) -> None:
+        if not self.memory_systems:
+            raise ValueError("an accelerator needs >= 1 memory system")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def primary(self) -> MemorySystem:
+        """The memory system of the (single) input array."""
+        return self.memory_systems[0]
+
+    @property
+    def total_buffer_size(self) -> int:
+        return sum(ms.total_buffer_size for ms in self.memory_systems)
+
+    @property
+    def num_banks(self) -> int:
+        return sum(ms.num_banks for ms in self.memory_systems)
+
+    @property
+    def offchip_accesses_per_cycle(self) -> int:
+        return sum(
+            ms.offchip_accesses_per_cycle for ms in self.memory_systems
+        )
+
+    def expected_output_count(self) -> int:
+        """Number of outputs one run produces (iteration-domain size)."""
+        return self.spec.iteration_domain.count()
+
+    def steady_state_cycles(self) -> int:
+        """Lower-bound total cycles: fill latency + one output/cycle."""
+        fill = max(
+            (ms.total_buffer_size for ms in self.memory_systems),
+            default=0,
+        )
+        return fill + self.expected_output_count() + self.kernel.latency
+
+    def describe(self) -> str:
+        lines = [
+            f"Accelerator {self.name}: II={self.kernel.ii}, "
+            f"kernel latency={self.kernel.latency}",
+        ]
+        for ms in self.memory_systems:
+            lines.append(ms.describe())
+        return "\n".join(lines)

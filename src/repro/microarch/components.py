@@ -1,0 +1,120 @@
+"""Structural components of the paper's memory system (Fig 7 / Fig 10).
+
+These are *descriptors* — the static netlist the design-automation flow
+emits.  Their cycle-level behaviour lives in :mod:`repro.sim.modules`;
+their cost model lives in :mod:`repro.resources`.
+
+One memory system per data array contains, in chain order:
+
+* ``n`` data-path splitters (``s0 .. s(n-1)``),
+* ``n - 1`` reuse FIFOs with non-uniform capacities,
+* ``n`` data filters, one per array reference, each a data switch driven
+  by an input counter over the streamed domain ``D_A`` and an output
+  counter over the reference's data domain ``D_Ax`` (Fig 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..polyhedral.access import ArrayReference
+from ..polyhedral.domain import IntegerPolyhedron
+
+
+class FifoImpl(enum.Enum):
+    """Physical implementation of a reuse FIFO on an FPGA (Table 2)."""
+
+    REGISTER = "register"  # slice registers: tiny FIFOs
+    LUTRAM = "distributed"  # distributed (LUT) memory: medium FIFOs
+    BRAM = "block"  # block RAM: large FIFOs
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ReuseFifo:
+    """A reuse FIFO between two adjacent data filters."""
+
+    fifo_id: int
+    capacity: int
+    precedent_label: str
+    successive_label: str
+    impl: FifoImpl
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("a reuse FIFO needs capacity >= 1")
+
+    def table2_row(self) -> dict:
+        return {
+            "fifo_id": f"FIFO {self.fifo_id}",
+            "precedent": self.precedent_label,
+            "successive": self.successive_label,
+            "size": self.capacity,
+            "physical_impl": self.impl.value,
+        }
+
+
+@dataclass(frozen=True)
+class DataPathSplitter:
+    """A splitter forwarding each element to the next FIFO and to its
+    data filter.  The last splitter in a segment has no FIFO output."""
+
+    splitter_id: int
+    feeds_fifo: bool
+
+
+@dataclass(frozen=True)
+class DataFilter:
+    """A data filter for one array reference (Fig 10).
+
+    ``output_domain`` is the reference's data domain ``D_Ax``; the
+    streamed input domain lives on the enclosing
+    :class:`~repro.microarch.memory_system.MemorySystem`.
+    """
+
+    filter_id: int
+    reference: ArrayReference
+    output_domain: IntegerPolyhedron
+
+    @property
+    def label(self) -> str:
+        return self.reference.label
+
+
+@dataclass(frozen=True)
+class ChainSegment:
+    """A maximal run of the filter chain fed by one off-chip stream.
+
+    The baseline microarchitecture is a single segment covering all
+    references; the bandwidth/memory trade-off of Fig 14 breaks the chain
+    at large FIFOs, producing one segment (and one off-chip access per
+    cycle) per break + 1.
+    """
+
+    segment_id: int
+    first_filter: int  # inclusive filter index
+    last_filter: int  # inclusive filter index
+    fifos: Tuple[ReuseFifo, ...]  # internal FIFOs of this segment
+
+    def __post_init__(self) -> None:
+        if self.last_filter < self.first_filter:
+            raise ValueError("segment covers no filters")
+        expected = self.last_filter - self.first_filter
+        if len(self.fifos) != expected:
+            raise ValueError(
+                f"segment over filters [{self.first_filter}, "
+                f"{self.last_filter}] needs {expected} FIFOs, got "
+                f"{len(self.fifos)}"
+            )
+
+    @property
+    def n_filters(self) -> int:
+        return self.last_filter - self.first_filter + 1
+
+    @property
+    def buffer_size(self) -> int:
+        return sum(f.capacity for f in self.fifos)

@@ -1,0 +1,78 @@
+"""Heterogeneous mapping of reuse buffers to physical memories.
+
+Section 3.5.1: because the non-uniform chain produces FIFOs of wildly
+different sizes (1 vs 1023 for DENOISE), each one can pick the cheapest
+physical implementation — slice registers for tiny FIFOs, distributed
+(LUT) memory for medium ones, block RAM only for large ones.  Uniform
+schemes cannot do this: all their banks are equally large and all go to
+BRAM.
+
+Thresholds follow Xilinx 7-series sizing: a SLICEM provides 32x2-bit
+(to 256x1) distributed RAM, so buffers beyond a few hundred elements are
+only economical in 18 Kb block RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .components import FifoImpl
+
+#: Capacity (elements) up to which a FIFO maps to slice registers.
+REGISTER_THRESHOLD = 4
+#: Capacity (elements) up to which a FIFO maps to distributed LUT RAM.
+LUTRAM_THRESHOLD = 128
+
+
+@dataclass(frozen=True)
+class MappingPolicy:
+    """Thresholds steering the FIFO-to-memory mapping."""
+
+    register_threshold: int = REGISTER_THRESHOLD
+    lutram_threshold: int = LUTRAM_THRESHOLD
+    force_bram: bool = False  # ablation: uniform-style all-BRAM mapping
+
+    def __post_init__(self) -> None:
+        if self.register_threshold < 0:
+            raise ValueError("register threshold must be >= 0")
+        if self.lutram_threshold < self.register_threshold:
+            raise ValueError(
+                "LUT-RAM threshold must be >= register threshold"
+            )
+
+
+DEFAULT_POLICY = MappingPolicy()
+ALL_BRAM_POLICY = MappingPolicy(force_bram=True)
+
+
+def map_fifo(
+    capacity: int, policy: MappingPolicy = DEFAULT_POLICY
+) -> FifoImpl:
+    """Choose the physical implementation for one FIFO."""
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    if policy.force_bram:
+        return FifoImpl.BRAM
+    if capacity <= policy.register_threshold:
+        return FifoImpl.REGISTER
+    if capacity <= policy.lutram_threshold:
+        return FifoImpl.LUTRAM
+    return FifoImpl.BRAM
+
+
+def map_capacities(
+    capacities: Sequence[int], policy: MappingPolicy = DEFAULT_POLICY
+) -> List[FifoImpl]:
+    """Map a whole chain of FIFO capacities."""
+    return [map_fifo(c, policy) for c in capacities]
+
+
+def mapping_histogram(
+    capacities: Sequence[int], policy: MappingPolicy = DEFAULT_POLICY
+) -> dict:
+    """How many FIFOs land in each implementation class."""
+    hist = {impl: 0 for impl in FifoImpl}
+    for impl in map_capacities(capacities, policy):
+        hist[impl] += 1
+    return {impl.value: count for impl, count in hist.items()}

@@ -1,0 +1,160 @@
+"""Memory-system construction (the Fig 7 netlist builder).
+
+:func:`build_memory_system` turns a non-uniform partition plan into the
+structural chain of splitters, reuse FIFOs and data filters that the
+simulator executes and the resource model costs.  The default build is a
+single chain segment (one off-chip access per cycle); the
+bandwidth/memory trade-off of Fig 14 re-segments it via
+:mod:`repro.microarch.tradeoff`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..polyhedral.analysis import StencilAnalysis
+from ..polyhedral.domain import BoxDomain
+from ..partitioning.nonuniform import NonUniformPlan, plan_nonuniform
+from .components import (
+    ChainSegment,
+    DataFilter,
+    DataPathSplitter,
+    ReuseFifo,
+)
+from .mapping import DEFAULT_POLICY, MappingPolicy, map_fifo
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """The complete memory system for one data array's stencil accesses.
+
+    Attributes
+    ----------
+    array:
+        Array name.
+    stream_domain:
+        The lexicographically streamed input domain (hull box of all
+        reference data domains).
+    filters:
+        One :class:`DataFilter` per array reference, in chain order
+        (filter 0 serves the lexicographically earliest reference).
+    fifos:
+        All reuse FIFOs still present (chain-breaking removes some).
+    splitters:
+        One splitter per filter.
+    segments:
+        Chain segments; each consumes one off-chip stream per cycle.
+    """
+
+    array: str
+    stream_domain: BoxDomain
+    filters: Tuple[DataFilter, ...]
+    fifos: Tuple[ReuseFifo, ...]
+    splitters: Tuple[DataPathSplitter, ...]
+    segments: Tuple[ChainSegment, ...]
+    plan: NonUniformPlan
+
+    @property
+    def n_references(self) -> int:
+        return len(self.filters)
+
+    @property
+    def num_banks(self) -> int:
+        """Number of reuse buffer banks (FIFOs) currently instantiated."""
+        return len(self.fifos)
+
+    @property
+    def total_buffer_size(self) -> int:
+        return sum(f.capacity for f in self.fifos)
+
+    @property
+    def offchip_accesses_per_cycle(self) -> int:
+        """Off-chip stream words consumed per cycle in steady state."""
+        return len(self.segments)
+
+    def fifo_capacities(self) -> List[int]:
+        return [f.capacity for f in self.fifos]
+
+    def table2_rows(self) -> List[dict]:
+        """The paper's Table 2: FIFO sizes and physical mapping."""
+        return [f.table2_row() for f in self.fifos]
+
+    def segment_of_filter(self, filter_id: int) -> ChainSegment:
+        for seg in self.segments:
+            if seg.first_filter <= filter_id <= seg.last_filter:
+                return seg
+        raise KeyError(f"no segment covers filter {filter_id}")
+
+    def describe(self) -> str:
+        """Human-readable structure dump (used by examples/reports)."""
+        lines = [
+            f"Memory system for array {self.array!r}: "
+            f"{self.n_references} references, {self.num_banks} reuse "
+            f"FIFOs, total {self.total_buffer_size} elements, "
+            f"{self.offchip_accesses_per_cycle} off-chip access(es) "
+            f"per cycle",
+        ]
+        for seg in self.segments:
+            lines.append(
+                f"  segment {seg.segment_id}: filters "
+                f"{seg.first_filter}..{seg.last_filter}"
+            )
+            for k in range(seg.first_filter, seg.last_filter + 1):
+                f = self.filters[k]
+                lines.append(f"    filter {k}: {f.label}")
+                if k < seg.last_filter:
+                    fifo = seg.fifos[k - seg.first_filter]
+                    lines.append(
+                        f"    FIFO {fifo.fifo_id}: capacity "
+                        f"{fifo.capacity} ({fifo.impl.value})"
+                    )
+        return "\n".join(lines)
+
+
+def build_memory_system(
+    analysis: StencilAnalysis,
+    plan: Optional[NonUniformPlan] = None,
+    policy: MappingPolicy = DEFAULT_POLICY,
+) -> MemorySystem:
+    """Build the single-segment Fig 7 memory system for one array."""
+    if plan is None:
+        plan = plan_nonuniform(analysis)
+    stream = analysis.stream_domain()
+    filters = tuple(
+        DataFilter(
+            filter_id=k,
+            reference=ref,
+            output_domain=analysis.data_domain(ref),
+        )
+        for k, ref in enumerate(plan.references)
+    )
+    fifos = tuple(
+        ReuseFifo(
+            fifo_id=spec.fifo_id,
+            capacity=spec.capacity,
+            precedent_label=spec.precedent.label,
+            successive_label=spec.successive.label,
+            impl=map_fifo(spec.capacity, policy),
+        )
+        for spec in plan.fifos
+    )
+    splitters = tuple(
+        DataPathSplitter(splitter_id=k, feeds_fifo=k < len(filters) - 1)
+        for k in range(len(filters))
+    )
+    segment = ChainSegment(
+        segment_id=0,
+        first_filter=0,
+        last_filter=len(filters) - 1,
+        fifos=fifos,
+    )
+    return MemorySystem(
+        array=analysis.array,
+        stream_domain=stream,
+        filters=filters,
+        fifos=fifos,
+        splitters=splitters,
+        segments=(segment,),
+        plan=plan,
+    )

@@ -1,0 +1,242 @@
+"""Grid tiling: the classical alternative to the Fig 14 trade-off.
+
+Appendix 9.4 addresses the case where "the maximum reuse distance is so
+large that the buffer sizes exceed the on-chip memory capacity" by
+trading off-chip bandwidth for buffer size via chain breaking.  The
+classical alternative is *tiling*: split the grid into strips along the
+innermost dimension, process each strip with a small reuse buffer, and
+re-fetch the halo columns shared by adjacent strips.
+
+Works for any dimensionality with a box iteration domain: 2D grids tile
+into column strips, 3D grids into x-line strips (shrinking both the
+inter-row and the inter-plane reuse FIFOs, which scale with the
+innermost extent).
+
+Both techniques trade extra off-chip traffic for on-chip memory, with
+different currencies: chain breaking adds whole extra passes of the
+stream (bandwidth per cycle), tiling adds halo re-fetches (total
+traffic) and keeps one access per cycle.  :func:`compare_tradeoffs`
+puts both on a single buffer-vs-traffic plot; the tests verify tiled
+execution is functionally identical to the monolithic accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..polyhedral.domain import BoxDomain
+from ..stencil.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class TileStrip:
+    """One innermost-axis strip of the tiled execution."""
+
+    index: int
+    out_col_lo: int  # global iteration coords covered (innermost axis)
+    out_col_hi: int
+    in_col_lo: int  # global input coords fetched (incl. halo)
+    in_col_hi: int
+
+    @property
+    def out_width(self) -> int:
+        return self.out_col_hi - self.out_col_lo + 1
+
+    @property
+    def in_width(self) -> int:
+        return self.in_col_hi - self.in_col_lo + 1
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """A tiling of one stencil spec into innermost-axis strips."""
+
+    spec: StencilSpec
+    strip_width: int
+    strips: Tuple[TileStrip, ...]
+    buffer_per_strip: int
+    words_per_strip: Tuple[int, ...]
+
+    @property
+    def n_strips(self) -> int:
+        return len(self.strips)
+
+    @property
+    def total_offchip_words(self) -> int:
+        return sum(self.words_per_strip)
+
+    @property
+    def monolithic_words(self) -> int:
+        total = 1
+        for g in self.spec.grid:
+            total *= g
+        return total
+
+    @property
+    def traffic_overhead(self) -> float:
+        """Fractional extra off-chip traffic vs one monolithic pass."""
+        return self.total_offchip_words / self.monolithic_words - 1.0
+
+
+def plan_tiling(spec: StencilSpec, strip_width: int) -> TilingPlan:
+    """Tile a box-domain spec into innermost-axis strips of output
+    width ``strip_width`` (the last strip may be narrower)."""
+    domain = spec.iteration_domain
+    if not isinstance(domain, BoxDomain):
+        raise ValueError("tiling requires a box iteration domain")
+    if strip_width < 1:
+        raise ValueError("strip width must be >= 1")
+    mins, maxs = spec.window.span()
+    axis = spec.dim - 1  # innermost dimension
+    col_lo, col_hi = domain.lows[axis], domain.highs[axis]
+    outer_words = 1
+    for d, g in enumerate(spec.grid):
+        if d != axis:
+            outer_words *= g
+    strips: List[TileStrip] = []
+    words: List[int] = []
+    a = col_lo
+    while a <= col_hi:
+        b = min(a + strip_width - 1, col_hi)
+        strip = TileStrip(
+            index=len(strips),
+            out_col_lo=a,
+            out_col_hi=b,
+            in_col_lo=a + mins[axis],
+            in_col_hi=b + maxs[axis],
+        )
+        strips.append(strip)
+        words.append(outer_words * strip.in_width)
+        a = b + 1
+    # Per-strip buffer: analyze the strip-shaped sub-spec.
+    widest = max(s.in_width for s in strips)
+    sub_grid = spec.grid[:axis] + (widest,)
+    sub = spec.with_grid(sub_grid)
+    buffer_per_strip = sub.analysis().minimum_total_buffer()
+    return TilingPlan(
+        spec=spec,
+        strip_width=strip_width,
+        strips=tuple(strips),
+        buffer_per_strip=buffer_per_strip,
+        words_per_strip=tuple(words),
+    )
+
+
+def strip_spec(plan: TilingPlan, strip: TileStrip) -> StencilSpec:
+    """The stand-alone spec executed for one strip."""
+    axis = plan.spec.dim - 1
+    grid = plan.spec.grid[:axis] + (strip.in_width,)
+    return plan.spec.with_grid(grid)
+
+
+def extract_strip_input(
+    plan: TilingPlan, strip: TileStrip, grid: np.ndarray
+) -> np.ndarray:
+    """Cut the strip's input slab (with halo) out of the full grid."""
+    return np.ascontiguousarray(
+        grid[..., strip.in_col_lo : strip.in_col_hi + 1]
+    )
+
+
+@dataclass
+class TiledRunResult:
+    """Stitched output plus per-strip statistics."""
+
+    outputs: np.ndarray  # shaped like the full iteration domain
+    total_cycles: int
+    offchip_words: int
+    strips_run: int
+
+
+def simulate_tiled(
+    spec: StencilSpec,
+    strip_width: int,
+    grid: np.ndarray,
+    kernel_latency: int = 4,
+) -> TiledRunResult:
+    """Run every strip through the cycle simulator and stitch the
+    outputs back into the full iteration-domain array."""
+    from ..sim.engine import ChainSimulator
+    from .memory_system import build_memory_system
+
+    plan = plan_tiling(spec, strip_width)
+    domain = spec.iteration_domain
+    out_shape = domain.shape
+    stitched = np.zeros(out_shape)
+    cycles = 0
+    words = 0
+    axis = spec.dim - 1
+    for strip in plan.strips:
+        sub = strip_spec(plan, strip)
+        sub_grid = extract_strip_input(plan, strip, grid)
+        system = build_memory_system(sub.analysis())
+        result = ChainSimulator(
+            sub, system, sub_grid, kernel_latency=kernel_latency
+        ).run()
+        values = np.array(result.output_values()).reshape(
+            sub.iteration_domain.shape
+        )
+        col0 = strip.out_col_lo - domain.lows[axis]
+        dest = [slice(None)] * spec.dim
+        dest[axis] = slice(col0, col0 + strip.out_width)
+        stitched[tuple(dest)] = values
+        cycles += result.stats.total_cycles
+        words += sum(result.stats.elements_streamed_per_segment)
+    return TiledRunResult(
+        outputs=stitched,
+        total_cycles=cycles,
+        offchip_words=words,
+        strips_run=plan.n_strips,
+    )
+
+
+def tiling_tradeoff_curve(
+    spec: StencilSpec, strip_widths
+) -> List[dict]:
+    """Buffer vs traffic across strip widths."""
+    rows = []
+    for width in strip_widths:
+        plan = plan_tiling(spec, width)
+        rows.append(
+            {
+                "strip_width": width,
+                "strips": plan.n_strips,
+                "onchip_buffer": plan.buffer_per_strip,
+                "offchip_words": plan.total_offchip_words,
+                "traffic_overhead_pct": round(
+                    100 * plan.traffic_overhead, 1
+                ),
+            }
+        )
+    return rows
+
+
+def compare_tradeoffs(
+    spec: StencilSpec, strip_widths, max_streams: Optional[int] = None
+) -> dict:
+    """Chain breaking vs tiling on the buffer/traffic plane.
+
+    Chain breaking multiplies *bandwidth* (streams/cycle) at constant
+    total traffic per stream; tiling multiplies *traffic* (halo
+    re-fetches) at constant bandwidth.  Returns both curves.
+    """
+    from .memory_system import build_memory_system
+    from .tradeoff import tradeoff_curve
+
+    system = build_memory_system(spec.analysis())
+    stream_words = system.stream_domain.count()
+    breaking = [
+        {
+            "streams_per_cycle": p.offchip_accesses_per_cycle,
+            "onchip_buffer": p.total_buffer_size,
+            "offchip_words": (
+                p.offchip_accesses_per_cycle * stream_words
+            ),
+        }
+        for p in tradeoff_curve(system, max_streams)
+    ]
+    tiling = tiling_tradeoff_curve(spec, strip_widths)
+    return {"chain_breaking": breaking, "tiling": tiling}

@@ -1,0 +1,183 @@
+"""Bandwidth / on-chip-memory trade-off by chain breaking (Appendix 9.4).
+
+When more off-chip bandwidth is available, the largest remaining reuse
+FIFO can be removed and its downstream sub-chain fed by a second off-chip
+stream of the same (lexicographically ordered) data (Fig 14).  Each break
+trades one extra off-chip access per cycle for the capacity of the removed
+FIFO.  Sweeping from 1 to ``n - 1`` streams yields the graceful
+degradation curve of Fig 15 — with its three phases for SEGMENTATION
+(give up inter-plane reuse first, then inter-row, finally intra-row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .components import ChainSegment, ReuseFifo
+from .memory_system import MemorySystem
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point on the bandwidth/memory design curve."""
+
+    offchip_accesses_per_cycle: int
+    total_buffer_size: int
+    removed_fifo_ids: Tuple[int, ...]
+
+    def as_row(self) -> dict:
+        return {
+            "offchip_accesses": self.offchip_accesses_per_cycle,
+            "onchip_buffer": self.total_buffer_size,
+            "removed_fifos": list(self.removed_fifo_ids),
+        }
+
+
+def _largest_fifo(fifos: Sequence[ReuseFifo]) -> ReuseFifo:
+    """The FIFO the next break removes: largest capacity; ties broken
+    toward the upstream end (earliest fifo_id), which drops the
+    longest-reach reuse first, as in Fig 14."""
+    return max(fifos, key=lambda f: (f.capacity, -f.fifo_id))
+
+
+def select_breaks(
+    fifos: Sequence[ReuseFifo], num_breaks: int
+) -> List[int]:
+    """Greedy break selection: remove the largest FIFO at each step."""
+    if num_breaks < 0:
+        raise ValueError("number of breaks must be non-negative")
+    if num_breaks > len(fifos):
+        raise ValueError(
+            f"cannot break {num_breaks} times with {len(fifos)} FIFOs"
+        )
+    remaining = list(fifos)
+    removed: List[int] = []
+    for _ in range(num_breaks):
+        victim = _largest_fifo(remaining)
+        removed.append(victim.fifo_id)
+        remaining.remove(victim)
+    return removed
+
+
+def break_chain(
+    system: MemorySystem, extra_streams: int
+) -> MemorySystem:
+    """Return a re-segmented memory system using ``1 + extra_streams``
+    off-chip accesses per cycle (convenience wrapper over
+    :func:`with_offchip_streams`)."""
+    return with_offchip_streams(system, 1 + extra_streams)
+
+
+def resegment(
+    system: MemorySystem, removed_fifo_ids: Sequence[int]
+) -> MemorySystem:
+    """Rebuild segments after removing the given FIFOs from the chain."""
+    removed = set(removed_fifo_ids)
+    all_fifos = {f.fifo_id: f for f in _original_fifos(system)}
+    for fid in removed:
+        if fid not in all_fifos:
+            raise KeyError(f"no FIFO with id {fid} in the chain")
+    n = system.n_references
+    segments: List[ChainSegment] = []
+    kept: List[ReuseFifo] = []
+    start = 0
+    seg_fifos: List[ReuseFifo] = []
+    for k in range(n - 1):
+        fifo = all_fifos[k]
+        if k in removed:
+            segments.append(
+                ChainSegment(
+                    segment_id=len(segments),
+                    first_filter=start,
+                    last_filter=k,
+                    fifos=tuple(seg_fifos),
+                )
+            )
+            start = k + 1
+            seg_fifos = []
+        else:
+            seg_fifos.append(fifo)
+            kept.append(fifo)
+    segments.append(
+        ChainSegment(
+            segment_id=len(segments),
+            first_filter=start,
+            last_filter=n - 1,
+            fifos=tuple(seg_fifos),
+        )
+    )
+    return MemorySystem(
+        array=system.array,
+        stream_domain=system.stream_domain,
+        filters=system.filters,
+        fifos=tuple(kept),
+        splitters=system.splitters,
+        segments=tuple(segments),
+        plan=system.plan,
+    )
+
+
+def _original_fifos(system: MemorySystem) -> List[ReuseFifo]:
+    """The full chain's FIFOs (before any breaking), reconstructed from
+    the plan so repeated re-segmentation stays consistent."""
+    from .mapping import DEFAULT_POLICY, map_fifo
+
+    return [
+        ReuseFifo(
+            fifo_id=s.fifo_id,
+            capacity=s.capacity,
+            precedent_label=s.precedent.label,
+            successive_label=s.successive.label,
+            impl=map_fifo(s.capacity, DEFAULT_POLICY),
+        )
+        for s in system.plan.fifos
+    ]
+
+
+def with_offchip_streams(
+    system: MemorySystem, streams: int
+) -> MemorySystem:
+    """The Fig 14 transformation: a memory system consuming ``streams``
+    off-chip accesses per cycle, with greedily minimized buffering."""
+    if streams < 1:
+        raise ValueError("at least one off-chip stream is required")
+    max_streams = system.n_references
+    if streams > max_streams:
+        raise ValueError(
+            f"{streams} streams exceed the {max_streams} references"
+        )
+    originals = _original_fifos(system)
+    removed = select_breaks(originals, streams - 1)
+    return resegment(system, removed)
+
+
+def tradeoff_curve(
+    system: MemorySystem, max_streams: Optional[int] = None
+) -> List[TradeoffPoint]:
+    """The Fig 15 curve: on-chip buffer vs off-chip accesses per cycle.
+
+    Sweeps stream counts from 1 up to ``max_streams`` (default
+    ``n - 1``, matching the paper's 1..18 sweep for the 19-point
+    SEGMENTATION stencil).
+    """
+    n = system.n_references
+    if max_streams is None:
+        max_streams = max(1, n - 1)
+    if not 1 <= max_streams <= n:
+        raise ValueError("max_streams out of range")
+    originals = _original_fifos(system)
+    points = []
+    for streams in range(1, max_streams + 1):
+        removed = select_breaks(originals, streams - 1)
+        remaining = sum(
+            f.capacity for f in originals if f.fifo_id not in set(removed)
+        )
+        points.append(
+            TradeoffPoint(
+                offchip_accesses_per_cycle=streams,
+                total_buffer_size=remaining,
+                removed_fifo_ids=tuple(removed),
+            )
+        )
+    return points

@@ -1,0 +1,80 @@
+"""Memory-partitioning schemes: the paper's non-uniform chain plus the
+uniform cyclic baselines it is evaluated against."""
+
+from .base import (
+    BankSpec,
+    PartitioningInfeasibleError,
+    PartitionPlan,
+    UniformBankMapping,
+    UniformPlan,
+)
+from .cyclic import (
+    bank_count_vs_row_size,
+    is_conflict_free,
+    linear_offsets,
+    minimum_banks_linear,
+    pairwise_differences,
+    plan_cyclic,
+)
+from .gmp import GmpCandidate, padding_candidates, plan_gmp, search_gmp
+from .nonuniform import (
+    DeadlockConditionError,
+    NonUniformPlan,
+    OptimalityError,
+    ReuseFifoSpec,
+    check_deadlock_conditions,
+    check_optimality,
+    pairwise_deadlock_analysis,
+    plan_nonuniform,
+    table2_rows,
+    validate_plan,
+)
+from .proof import (
+    PairProofResult,
+    check_all_pairs,
+    check_ordered_offsets,
+    check_pair,
+    is_deadlock_free,
+)
+from .verify import (
+    ConflictReport,
+    measure_ii_for_bank_count,
+    scan_conflicts,
+    verify_uniform_plan,
+)
+
+__all__ = [
+    "BankSpec",
+    "ConflictReport",
+    "DeadlockConditionError",
+    "GmpCandidate",
+    "NonUniformPlan",
+    "OptimalityError",
+    "PairProofResult",
+    "PartitionPlan",
+    "PartitioningInfeasibleError",
+    "ReuseFifoSpec",
+    "UniformBankMapping",
+    "UniformPlan",
+    "bank_count_vs_row_size",
+    "check_all_pairs",
+    "check_deadlock_conditions",
+    "check_ordered_offsets",
+    "check_pair",
+    "check_optimality",
+    "is_conflict_free",
+    "is_deadlock_free",
+    "linear_offsets",
+    "measure_ii_for_bank_count",
+    "minimum_banks_linear",
+    "padding_candidates",
+    "pairwise_deadlock_analysis",
+    "pairwise_differences",
+    "plan_cyclic",
+    "plan_gmp",
+    "plan_nonuniform",
+    "scan_conflicts",
+    "table2_rows",
+    "validate_plan",
+    "verify_uniform_plan",
+]

@@ -1,0 +1,145 @@
+"""Common types for memory-partitioning plans.
+
+A *partition plan* describes how the data-reuse buffer of one array is
+split into banks: how many banks, each bank's capacity, and (for uniform
+cyclic schemes) the address-to-bank mapping.  Plans are produced by
+
+* :mod:`repro.partitioning.nonuniform` — the paper's method,
+* :mod:`repro.partitioning.cyclic` — linear cyclic partitioning [5, 6],
+* :mod:`repro.partitioning.gmp` — padded multidimensional cyclic
+  partitioning in the style of [7, 8],
+
+and consumed by the microarchitecture generator, the resource estimator
+and the verification / simulation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..polyhedral.lexorder import Vector
+
+
+@dataclass(frozen=True)
+class BankSpec:
+    """One physical memory bank in a partitioned reuse buffer."""
+
+    bank_id: int
+    capacity: int
+    role: str  # "reuse_fifo" for the paper's chain, "cyclic_bank" for
+    # uniform schemes
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError("bank capacity must be non-negative")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Base result shared by all partitioning schemes."""
+
+    scheme: str
+    array: str
+    n_references: int
+    banks: Tuple[BankSpec, ...]
+    achieved_ii: int
+
+    @property
+    def num_banks(self) -> int:
+        """Number of memory banks (the paper's primary metric)."""
+        return len(self.banks)
+
+    @property
+    def total_size(self) -> int:
+        """Total reuse-buffer storage in data elements."""
+        return sum(b.capacity for b in self.banks)
+
+    def summary_row(self) -> dict:
+        """One row in the style of Table 4."""
+        return {
+            "scheme": self.scheme,
+            "array": self.array,
+            "original_ii": self.n_references,
+            "target_ii": 1,
+            "achieved_ii": self.achieved_ii,
+            "banks": self.num_banks,
+            "total_size": self.total_size,
+        }
+
+
+@dataclass(frozen=True)
+class UniformBankMapping:
+    """Address-to-bank mapping of a uniform cyclic scheme.
+
+    ``bank(h) = (sum_j weights[j] * h[j]) mod num_banks`` over the
+    (possibly padded) linearized address space.  ``strides`` are the
+    linearization strides of the padded grid (innermost stride 1), so
+    ``weights == strides`` for plain linearized-cyclic schemes.
+    """
+
+    num_banks: int
+    weights: Vector
+    padded_extents: Vector
+    original_extents: Vector
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ValueError("need at least one bank")
+        if len(self.weights) != len(self.padded_extents):
+            raise ValueError("weights/extents dimension mismatch")
+        for orig, padded in zip(self.original_extents, self.padded_extents):
+            if padded < orig:
+                raise ValueError("padding cannot shrink an extent")
+
+    @property
+    def dim(self) -> int:
+        return len(self.weights)
+
+    def linear_address(self, point: Sequence[int]) -> int:
+        """Row-major address in the padded grid."""
+        addr = 0
+        for extent, coord in zip(self.padded_extents, point):
+            addr = addr * extent + coord
+        return addr
+
+    def bank_of(self, point: Sequence[int]) -> int:
+        """Bank index of a data element."""
+        return (
+            sum(w * c for w, c in zip(self.weights, point))
+            % self.num_banks
+        )
+
+    def local_address(self, point: Sequence[int]) -> int:
+        """Intra-bank address (linear address divided by bank count)."""
+        return self.linear_address(point) // self.num_banks
+
+    def padding_overhead(self) -> float:
+        """Fractional storage growth introduced by padding."""
+        orig = 1
+        padded = 1
+        for o, p in zip(self.original_extents, self.padded_extents):
+            orig *= o
+            padded *= p
+        return padded / orig - 1.0
+
+
+@dataclass(frozen=True)
+class UniformPlan(PartitionPlan):
+    """Plan produced by a uniform cyclic scheme ([5]-[8] family)."""
+
+    mapping: UniformBankMapping = field(
+        default=None  # type: ignore[arg-type]
+    )
+    window_span: int = 0  # reuse window extent in padded address space
+    uses_dsp_address_transform: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mapping is None:
+            raise ValueError("uniform plan requires a bank mapping")
+
+
+class PartitioningInfeasibleError(RuntimeError):
+    """Raised when a scheme cannot find a conflict-free banking within
+    its search bounds."""

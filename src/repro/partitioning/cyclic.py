@@ -1,0 +1,157 @@
+"""Linear (flattened-address) cyclic partitioning — baseline [5, 6].
+
+The classic memory-partitioning scheme of Cong et al. (ICCAD'09):
+linearize the multidimensional data index row-major and assign
+``bank(h) = linear(h) mod N``.  The scheme is conflict-free iff every pair
+of simultaneous accesses lands in different banks, i.e. iff all pairwise
+differences of the references' linear offsets are non-zero modulo ``N``.
+
+Because the row size of the grid enters the linear offsets, the minimum
+conflict-free ``N`` *changes with the grid's row size* even for a fixed
+stencil window — the effect plotted in the paper's Fig 5 (5 to 8 banks
+for the constant 5-point DENOISE window).  :func:`bank_count_vs_row_size`
+regenerates that curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..polyhedral.analysis import StencilAnalysis
+from ..polyhedral.lexorder import Vector, as_vector
+from ..stencil.spec import StencilWindow
+from .base import (
+    BankSpec,
+    PartitioningInfeasibleError,
+    UniformBankMapping,
+    UniformPlan,
+)
+
+#: Upper bound on the bank-count search.
+DEFAULT_MAX_BANKS = 64
+
+
+def linear_offsets(
+    offsets: Sequence[Sequence[int]], extents: Sequence[int]
+) -> List[int]:
+    """Row-major linear value of each offset vector for given extents."""
+    values = []
+    for off in offsets:
+        off = as_vector(off)
+        if len(off) != len(extents):
+            raise ValueError("offset/extent dimension mismatch")
+        addr = 0
+        for extent, coord in zip(extents, off):
+            addr = addr * extent + coord
+        values.append(addr)
+    return values
+
+
+def pairwise_differences(values: Sequence[int]) -> List[int]:
+    """All non-trivial pairwise differences (positive representatives)."""
+    diffs = []
+    for i in range(len(values)):
+        for j in range(i + 1, len(values)):
+            diffs.append(abs(values[i] - values[j]))
+    return diffs
+
+
+def is_conflict_free(values: Sequence[int], num_banks: int) -> bool:
+    """True iff all linear offsets are pairwise distinct mod N."""
+    residues = {v % num_banks for v in values}
+    return len(residues) == len(values)
+
+
+def minimum_banks_linear(
+    offsets: Sequence[Sequence[int]],
+    extents: Sequence[int],
+    max_banks: int = DEFAULT_MAX_BANKS,
+) -> int:
+    """Smallest conflict-free ``N`` for the linear cyclic scheme."""
+    values = linear_offsets(offsets, extents)
+    n = len(values)
+    for num_banks in range(n, max_banks + 1):
+        if is_conflict_free(values, num_banks):
+            return num_banks
+    raise PartitioningInfeasibleError(
+        f"no conflict-free linear cyclic banking with <= {max_banks} banks"
+    )
+
+
+def plan_cyclic(
+    analysis: StencilAnalysis,
+    max_banks: int = DEFAULT_MAX_BANKS,
+) -> UniformPlan:
+    """Build the [5]-style plan for one analyzed array.
+
+    The reuse buffer covers the live window span (the same element
+    lifetime the paper's Section 2.3 derives), split into ``N`` uniform
+    banks of ``ceil(span / N)`` elements each.
+    """
+    extents = analysis.stream_domain().shape
+    offsets = analysis.offsets()
+    num_banks = minimum_banks_linear(offsets, extents, max_banks)
+    values = linear_offsets(offsets, extents)
+    span = max(values) - min(values) + 1
+    bank_depth = math.ceil(span / num_banks)
+    weights = _row_major_strides(extents)
+    mapping = UniformBankMapping(
+        num_banks=num_banks,
+        weights=weights,
+        padded_extents=as_vector(extents),
+        original_extents=as_vector(extents),
+    )
+    banks = tuple(
+        BankSpec(bank_id=k, capacity=bank_depth, role="cyclic_bank")
+        for k in range(num_banks)
+    )
+    return UniformPlan(
+        scheme="cyclic_linear",
+        array=analysis.array,
+        n_references=analysis.n_references,
+        banks=banks,
+        achieved_ii=1,
+        mapping=mapping,
+        window_span=span,
+        uses_dsp_address_transform=not _is_power_of_two(num_banks),
+    )
+
+
+def bank_count_vs_row_size(
+    window: StencilWindow,
+    row_sizes: Iterable[int],
+    column_extent_factor: Optional[float] = None,
+    max_banks: int = DEFAULT_MAX_BANKS,
+) -> List[Tuple[int, int]]:
+    """Fig 5: minimum banks of the linear cyclic scheme as the grid row
+    size sweeps, window held constant.
+
+    ``row_sizes`` are innermost extents; the outer extent only needs to
+    be large enough not to constrain anything, so it is irrelevant to the
+    modular analysis and fixed internally.
+    """
+    if window.dim != 2:
+        raise ValueError("the Fig 5 sweep is defined for 2D windows")
+    del column_extent_factor  # outer extent does not affect the result
+    results = []
+    for row in row_sizes:
+        if row < 3:
+            raise ValueError("row size too small for the window")
+        extents = (1 << 20, row)  # outer extent arbitrary/large
+        banks = minimum_banks_linear(
+            window.offsets, extents, max_banks
+        )
+        results.append((row, banks))
+    return results
+
+
+def _row_major_strides(extents: Sequence[int]) -> Vector:
+    strides = [1] * len(extents)
+    for j in range(len(extents) - 2, -1, -1):
+        strides[j] = strides[j + 1] * extents[j + 1]
+    return tuple(strides)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,211 @@
+"""Non-uniform reuse-buffer partitioning — the paper's core contribution.
+
+Given the polyhedral analysis of an array's stencil accesses, the plan is
+fully determined (Section 3):
+
+1. Sort the ``n`` references by *descending lexicographic order* of their
+   access offsets (deadlock-free condition 1, Eq. 1).
+2. Allocate one reuse FIFO between each adjacent pair; its capacity is the
+   *maximum reuse distance* between the pair (deadlock-free condition 2,
+   Eq. 2) — non-uniform by construction.
+
+The resulting design is optimal (Section 3.3.3):
+
+* exactly ``n - 1`` banks — the theoretical minimum, and
+* total capacity equal to the maximum reuse distance between the earliest
+  and latest references — the theoretical minimum buffer size — because
+  maximum reuse distances add along the chain (Property 3).
+
+:func:`plan_nonuniform` builds the plan; :func:`validate_plan` re-checks
+every claimed property from first principles (used heavily in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..polyhedral.access import ArrayReference
+from ..polyhedral.analysis import AdjacentReusePair, StencilAnalysis
+from ..polyhedral.lexorder import Vector, is_strictly_descending, lex_gt
+from ..polyhedral.reuse import max_reuse_distance
+from .base import BankSpec, PartitionPlan
+
+
+@dataclass(frozen=True)
+class ReuseFifoSpec:
+    """One reuse FIFO of the non-uniform chain (a row of Table 2)."""
+
+    fifo_id: int
+    precedent: ArrayReference
+    successive: ArrayReference
+    capacity: int
+    distance_vector: Vector
+
+    def as_bank(self) -> BankSpec:
+        return BankSpec(
+            bank_id=self.fifo_id,
+            capacity=self.capacity,
+            role="reuse_fifo",
+            note=f"{self.precedent.label} -> {self.successive.label}",
+        )
+
+
+@dataclass(frozen=True)
+class NonUniformPlan(PartitionPlan):
+    """The paper's partition plan: an ordered chain of reuse FIFOs."""
+
+    fifos: Tuple[ReuseFifoSpec, ...] = ()
+    references: Tuple[ArrayReference, ...] = ()
+
+    @property
+    def filter_order(self) -> List[str]:
+        """Reference labels in filter order (filter 0 first)."""
+        return [r.label for r in self.references]
+
+    def fifo_capacities(self) -> List[int]:
+        return [f.capacity for f in self.fifos]
+
+
+class DeadlockConditionError(RuntimeError):
+    """A plan violates one of the two deadlock-free conditions."""
+
+
+class OptimalityError(RuntimeError):
+    """A plan fails one of the paper's optimality guarantees."""
+
+
+def plan_nonuniform(analysis: StencilAnalysis) -> NonUniformPlan:
+    """Build the non-uniform partition plan from a stencil analysis."""
+    refs = tuple(analysis.references)
+    pairs: List[AdjacentReusePair] = analysis.adjacent_pairs()
+    fifos = tuple(
+        ReuseFifoSpec(
+            fifo_id=k,
+            precedent=pair.ref_from,
+            successive=pair.ref_to,
+            capacity=pair.max_distance,
+            distance_vector=pair.distance_vector,
+        )
+        for k, pair in enumerate(pairs)
+    )
+    plan = NonUniformPlan(
+        scheme="nonuniform",
+        array=analysis.array,
+        n_references=analysis.n_references,
+        banks=tuple(f.as_bank() for f in fifos),
+        achieved_ii=1,
+        fifos=fifos,
+        references=refs,
+    )
+    validate_plan(plan, analysis)
+    return plan
+
+
+def validate_plan(
+    plan: NonUniformPlan, analysis: StencilAnalysis
+) -> None:
+    """Re-derive and assert every property the paper claims.
+
+    Raises :class:`DeadlockConditionError` or :class:`OptimalityError`
+    with a specific message on the first violated property.
+    """
+    check_deadlock_conditions(plan, analysis)
+    check_optimality(plan, analysis)
+
+
+def check_deadlock_conditions(
+    plan: NonUniformPlan, analysis: StencilAnalysis
+) -> None:
+    """Conditions 1 and 2 of Section 3.3.2 / Appendix 9.2."""
+    offsets = [r.offset for r in plan.references]
+    if not is_strictly_descending(offsets):
+        raise DeadlockConditionError(
+            "condition 1 violated: filter offsets are not in strictly "
+            f"descending lexicographic order: {offsets}"
+        )
+    stream = analysis.stream_domain()
+    for fifo in plan.fifos:
+        required = max_reuse_distance(
+            fifo.precedent,
+            fifo.successive,
+            analysis.iteration_domain,
+            stream,
+        )
+        if fifo.capacity < required:
+            raise DeadlockConditionError(
+                f"condition 2 violated on FIFO {fifo.fifo_id}: capacity "
+                f"{fifo.capacity} < max reuse distance {required} between "
+                f"{fifo.precedent.label} and {fifo.successive.label}"
+            )
+
+
+def check_optimality(
+    plan: NonUniformPlan, analysis: StencilAnalysis
+) -> None:
+    """Both optimality targets of Section 3.3.3.
+
+    The total-size optimum relies on the linearity of maximum reuse
+    distances (Property 3), which the paper establishes for lex-ordered
+    streaming of the hull box.  Under exact-union streaming of a
+    non-convex domain the pairwise maxima may be attained at different
+    points, so the chain total may exceed the end-to-end maximum by the
+    slack of Property 3; the check then degrades to an inequality.
+    """
+    from ..polyhedral.domain import BoxDomain
+
+    n = analysis.n_references
+    if plan.num_banks != max(0, n - 1):
+        raise OptimalityError(
+            f"bank count {plan.num_banks} is not the theoretical minimum "
+            f"n - 1 = {n - 1}"
+        )
+    minimum = analysis.minimum_total_buffer()
+    exact_linearity = isinstance(analysis.stream_domain(), BoxDomain)
+    if exact_linearity and plan.total_size != minimum:
+        raise OptimalityError(
+            f"total buffer size {plan.total_size} is not the theoretical "
+            f"minimum {minimum} (max reuse distance earliest -> latest)"
+        )
+    if plan.total_size < minimum:
+        raise OptimalityError(
+            f"total buffer size {plan.total_size} is below the reuse "
+            f"window {minimum}: the chain cannot hold all live data"
+        )
+
+
+def pairwise_deadlock_analysis(
+    plan: NonUniformPlan,
+) -> List[Tuple[str, str, bool]]:
+    """For every filter pair ``x < y``, report whether condition 1 holds
+    (``f_x >_l f_y``) — the mutual-exclusion argument of Fig 8/12 applies
+    to *all* pairs, not only adjacent ones."""
+    out = []
+    refs = plan.references
+    for x in range(len(refs)):
+        for y in range(x + 1, len(refs)):
+            out.append(
+                (
+                    refs[x].label,
+                    refs[y].label,
+                    lex_gt(refs[x].offset, refs[y].offset),
+                )
+            )
+    return out
+
+
+def table2_rows(plan: NonUniformPlan) -> List[dict]:
+    """Rows in the exact shape of the paper's Table 2 (physical
+    implementation column filled in by
+    :func:`repro.microarch.mapping.map_fifo`)."""
+    rows = []
+    for fifo in plan.fifos:
+        rows.append(
+            {
+                "fifo_id": f"FIFO {fifo.fifo_id}",
+                "precedent": fifo.precedent.label,
+                "successive": fifo.successive.label,
+                "size": fifo.capacity,
+            }
+        )
+    return rows

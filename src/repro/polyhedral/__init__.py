@@ -1,0 +1,81 @@
+"""Polyhedral model substrate (Appendix 9.1 of the paper).
+
+Public surface:
+
+* lexicographic-order helpers (:mod:`repro.polyhedral.lexorder`),
+* integer polyhedra and boxes (:mod:`repro.polyhedral.domain`),
+* stencil access functions and array references
+  (:mod:`repro.polyhedral.access`),
+* reuse-distance computation (:mod:`repro.polyhedral.reuse`),
+* whole-array analysis (:mod:`repro.polyhedral.analysis`).
+"""
+
+from .access import (
+    AccessFunction,
+    ArrayReference,
+    NotAStencilAccessError,
+    input_data_domain,
+)
+from .analysis import AdjacentReusePair, StencilAnalysis
+from .domain import (
+    BoxDomain,
+    DomainUnion,
+    EmptyDomainError,
+    IntegerPolyhedron,
+    domain_from_extents,
+)
+from .lexorder import (
+    as_vector,
+    is_strictly_descending,
+    lex_compare,
+    lex_ge,
+    lex_gt,
+    lex_le,
+    lex_lt,
+    lex_max,
+    lex_min,
+    lex_sorted,
+)
+from .transform import UnimodularTransform, transform_spec
+from .reuse import (
+    ReuseProfileEntry,
+    box_lex_span,
+    check_linearity,
+    max_reuse_distance,
+    reuse_distance_profile,
+    reuse_distance_vector,
+    total_reuse_window,
+)
+
+__all__ = [
+    "AccessFunction",
+    "AdjacentReusePair",
+    "ArrayReference",
+    "BoxDomain",
+    "DomainUnion",
+    "EmptyDomainError",
+    "IntegerPolyhedron",
+    "NotAStencilAccessError",
+    "ReuseProfileEntry",
+    "StencilAnalysis",
+    "UnimodularTransform",
+    "as_vector",
+    "box_lex_span",
+    "check_linearity",
+    "domain_from_extents",
+    "input_data_domain",
+    "is_strictly_descending",
+    "lex_compare",
+    "lex_ge",
+    "lex_gt",
+    "lex_le",
+    "lex_lt",
+    "lex_max",
+    "lex_min",
+    "lex_sorted",
+    "max_reuse_distance",
+    "reuse_distance_profile",
+    "reuse_distance_vector",
+    "total_reuse_window",
+    "transform_spec",
+]

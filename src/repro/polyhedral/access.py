@@ -1,0 +1,174 @@
+"""Array references and stencil access functions (Definitions 3-6).
+
+Under the paper's polyhedral framework a *stencil* access function is the
+identity plus a constant offset: ``h = i + f`` (Definition 4).  Each array
+reference ``A_x`` is therefore fully described by its constant offset
+vector ``f_x``; its data domain is the iteration domain translated by
+``f_x`` (Definition 5), and the input data domain of the whole array is
+the union over all references (Definition 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from .domain import DomainUnion, IntegerPolyhedron
+from .lexorder import Vector, as_vector
+
+
+class NotAStencilAccessError(ValueError):
+    """Raised when an access function does not satisfy Definition 4."""
+
+
+@dataclass(frozen=True)
+class AccessFunction:
+    """A general affine access ``h = H i + f`` (Definition 3).
+
+    ``matrix`` is stored as a tuple of rows.  :meth:`is_stencil` checks
+    Definition 4 (``H`` is the identity), and :meth:`offset_only` extracts
+    the stencil offset, raising otherwise.
+    """
+
+    matrix: Tuple[Tuple[int, ...], ...]
+    offset: Vector
+
+    def __post_init__(self) -> None:
+        rows = tuple(tuple(int(c) for c in row) for row in self.matrix)
+        object.__setattr__(self, "matrix", rows)
+        object.__setattr__(self, "offset", as_vector(self.offset))
+        if len(rows) != len(self.offset):
+            raise ValueError("matrix rows must match offset length")
+        width = len(rows[0]) if rows else 0
+        for row in rows:
+            if len(row) != width:
+                raise ValueError("ragged access matrix")
+
+    @classmethod
+    def stencil(cls, offset: Sequence[int]) -> "AccessFunction":
+        """The identity-plus-offset access of Definition 4."""
+        f = as_vector(offset)
+        m = len(f)
+        identity = tuple(
+            tuple(1 if i == j else 0 for j in range(m)) for i in range(m)
+        )
+        return cls(identity, f)
+
+    @property
+    def array_dim(self) -> int:
+        """Dimensionality ``k`` of the accessed array."""
+        return len(self.matrix)
+
+    @property
+    def iter_dim(self) -> int:
+        """Dimensionality ``m`` of the iteration space."""
+        return len(self.matrix[0]) if self.matrix else 0
+
+    def is_stencil(self) -> bool:
+        """True iff ``H`` is the identity matrix (Definition 4)."""
+        if self.array_dim != self.iter_dim:
+            return False
+        return all(
+            c == (1 if i == j else 0)
+            for i, row in enumerate(self.matrix)
+            for j, c in enumerate(row)
+        )
+
+    def offset_only(self) -> Vector:
+        """The stencil offset ``f``; raises if not a stencil access."""
+        if not self.is_stencil():
+            raise NotAStencilAccessError(
+                "access function is not identity-plus-offset"
+            )
+        return self.offset
+
+    def apply(self, iteration: Sequence[int]) -> Vector:
+        """Evaluate ``h = H i + f`` at a concrete iteration vector."""
+        i = as_vector(iteration)
+        if len(i) != self.iter_dim:
+            raise ValueError("iteration vector dimension mismatch")
+        return tuple(
+            sum(c * x for c, x in zip(row, i)) + f
+            for row, f in zip(self.matrix, self.offset)
+        )
+
+
+@dataclass(frozen=True)
+class ArrayReference:
+    """One read reference ``A_x`` of a data array inside the kernel.
+
+    ``offset`` is the constant data-access offset ``f_x = h_x - i`` of
+    Table 1.  ``label`` is the human-readable source form, e.g.
+    ``"A[i-1][j]"``; it defaults to a canonical rendering of the offset.
+    """
+
+    array: str
+    offset: Vector
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offset", as_vector(self.offset))
+        if not self.label:
+            object.__setattr__(self, "label", self.default_label())
+
+    @property
+    def dim(self) -> int:
+        return len(self.offset)
+
+    def default_label(self) -> str:
+        """Canonical source rendering, e.g. ``A[i-1][j]`` for 2D."""
+        names = _index_names(self.dim)
+        parts = []
+        for name, d in zip(names, self.offset):
+            if d == 0:
+                parts.append(f"[{name}]")
+            elif d > 0:
+                parts.append(f"[{name}+{d}]")
+            else:
+                parts.append(f"[{name}{d}]")
+        return self.array + "".join(parts)
+
+    def access_function(self) -> AccessFunction:
+        """The stencil access function of this reference."""
+        return AccessFunction.stencil(self.offset)
+
+    def data_domain(
+        self, iteration_domain: IntegerPolyhedron
+    ) -> IntegerPolyhedron:
+        """``D_Ax = {i + f_x : i in D}`` (Definition 5)."""
+        if iteration_domain.dim != self.dim:
+            raise ValueError(
+                "iteration domain dimension does not match reference"
+            )
+        return iteration_domain.translate(self.offset)
+
+    def access_index(self, iteration: Sequence[int]) -> Vector:
+        """The data index ``h = i + f_x`` for one iteration."""
+        i = as_vector(iteration)
+        if len(i) != self.dim:
+            raise ValueError("iteration vector dimension mismatch")
+        return tuple(x + d for x, d in zip(i, self.offset))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def _index_names(dim: int) -> Tuple[str, ...]:
+    """Loop-variable names outermost-first: i, j, k, l, ..."""
+    base = "ijklmnpq"
+    if dim <= len(base):
+        return tuple(base[:dim])
+    return tuple(f"i{d}" for d in range(dim))
+
+
+def input_data_domain(
+    references: Sequence[ArrayReference],
+    iteration_domain: IntegerPolyhedron,
+) -> DomainUnion:
+    """The input data domain ``D_A`` (Definition 6): union of all
+    reference data domains."""
+    if not references:
+        raise ValueError("need at least one array reference")
+    return DomainUnion(
+        [r.data_domain(iteration_domain) for r in references]
+    )

@@ -1,0 +1,199 @@
+"""Whole-array stencil access analysis (the left branch of Fig 11).
+
+:class:`StencilAnalysis` bundles everything the microarchitecture
+generator needs about one data array: the references sorted in descending
+lexicographic offset order (deadlock-free condition 1), per-reference data
+domains, the streamed input domain, and the maximum reuse distances
+between adjacent references (the non-uniform FIFO capacities, deadlock-
+free condition 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .access import ArrayReference, input_data_domain
+from .domain import BoxDomain, DomainUnion, IntegerPolyhedron
+from .lexorder import is_strictly_descending
+from .reuse import (
+    max_reuse_distance,
+    reuse_distance_vector,
+    total_reuse_window,
+)
+
+
+@dataclass(frozen=True)
+class AdjacentReusePair:
+    """Reuse information between two adjacent (sorted) references."""
+
+    ref_from: ArrayReference
+    ref_to: ArrayReference
+    distance_vector: Tuple[int, ...]
+    max_distance: int
+
+
+class StencilAnalysis:
+    """Polyhedral analysis of all stencil references to one data array.
+
+    Parameters
+    ----------
+    array:
+        Name of the data array (e.g. ``"A"``).
+    references:
+        The read references appearing in the kernel; order is arbitrary,
+        they are re-sorted internally.
+    iteration_domain:
+        The loop-nest iteration domain ``D`` (Definition 1).
+    """
+
+    def __init__(
+        self,
+        array: str,
+        references: Sequence[ArrayReference],
+        iteration_domain: IntegerPolyhedron,
+        stream_mode: str = "hull",
+    ) -> None:
+        if not references:
+            raise ValueError("stencil analysis needs at least one reference")
+        dims = {ref.dim for ref in references}
+        if len(dims) != 1:
+            raise ValueError("references disagree on dimensionality")
+        if iteration_domain.dim != dims.pop():
+            raise ValueError(
+                "iteration domain dimension does not match references"
+            )
+        offsets = [ref.offset for ref in references]
+        if len(set(offsets)) != len(offsets):
+            raise ValueError("duplicate array references (equal offsets)")
+        for ref in references:
+            if ref.array != array:
+                raise ValueError(
+                    f"reference {ref.label} is to array {ref.array!r}, "
+                    f"not {array!r}"
+                )
+        if stream_mode not in ("hull", "union"):
+            raise ValueError(
+                f"stream_mode must be 'hull' or 'union', got "
+                f"{stream_mode!r}"
+            )
+        self.array = array
+        self.iteration_domain = iteration_domain
+        #: "hull": stream the bounding box of the input union (the
+        #: paper's pragmatic choice for near-rectangular domains);
+        #: "union": stream the exact input data domain D_A — required
+        #: to observe the Fig 9 dynamic reuse adaptation on skewed
+        #: grids, at the cost of exact (enumerative) analysis.
+        self.stream_mode = stream_mode
+        # Descending lexicographic order of offsets: the earliest
+        # reference (largest offset) first — the filter order of Fig 7.
+        self.references: List[ArrayReference] = sorted(
+            references, key=lambda r: r.offset, reverse=True
+        )
+        assert is_strictly_descending(
+            [r.offset for r in self.references]
+        )
+        self._input_union: Optional[DomainUnion] = None
+        self._stream_domain: Optional[BoxDomain] = None
+        self._pairs: Optional[List[AdjacentReusePair]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_references(self) -> int:
+        """The stencil window size ``n``."""
+        return len(self.references)
+
+    @property
+    def earliest(self) -> ArrayReference:
+        """Reference with the lexicographically greatest offset (touches
+        each element first)."""
+        return self.references[0]
+
+    @property
+    def latest(self) -> ArrayReference:
+        """Reference with the smallest offset (touches each element
+        last)."""
+        return self.references[-1]
+
+    def data_domain(self, ref: ArrayReference) -> IntegerPolyhedron:
+        """``D_Ax`` for one reference."""
+        return ref.data_domain(self.iteration_domain)
+
+    def input_union(self) -> DomainUnion:
+        """Exact input data domain ``D_A`` (Definition 6)."""
+        if self._input_union is None:
+            self._input_union = input_data_domain(
+                self.references, self.iteration_domain
+            )
+        return self._input_union
+
+    def stream_domain(self):
+        """The streamed input domain.
+
+        In ``hull`` mode: the bounding box of the input union (the
+        paper streams ``A[0..767][0..1023]`` for DENOISE and lets the
+        data filters discard the four corners).  In ``union`` mode: the
+        exact input data domain ``D_A`` of Definition 6.
+        """
+        if self._stream_domain is None:
+            if self.stream_mode == "union":
+                self._stream_domain = self.input_union()
+            else:
+                self._stream_domain = self.input_union().hull_box()
+        return self._stream_domain
+
+    def adjacent_pairs(self) -> List[AdjacentReusePair]:
+        """Reuse info for each adjacent pair in filter order; the
+        ``max_distance`` values are exactly the reuse-FIFO capacities."""
+        if self._pairs is None:
+            stream = self.stream_domain()
+            pairs = []
+            for a, b in zip(self.references, self.references[1:]):
+                pairs.append(
+                    AdjacentReusePair(
+                        ref_from=a,
+                        ref_to=b,
+                        distance_vector=reuse_distance_vector(a, b),
+                        max_distance=max_reuse_distance(
+                            a, b, self.iteration_domain, stream
+                        ),
+                    )
+                )
+            self._pairs = pairs
+        return list(self._pairs)
+
+    def fifo_capacities(self) -> List[int]:
+        """The n-1 non-uniform reuse-FIFO sizes (Table 2's sizes)."""
+        return [p.max_distance for p in self.adjacent_pairs()]
+
+    def minimum_total_buffer(self) -> int:
+        """Theoretical minimum total reuse-buffer size (Section 2.3):
+        the max reuse distance between earliest and latest references."""
+        return total_reuse_window(
+            self.references, self.iteration_domain, self.stream_domain()
+        )
+
+    def minimum_banks(self) -> int:
+        """Theoretical minimum number of buffer banks: ``n - 1``."""
+        return max(0, self.n_references - 1)
+
+    def offsets(self) -> List[Tuple[int, ...]]:
+        """Sorted offsets, earliest (lex greatest) first."""
+        return [r.offset for r in self.references]
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dict view, handy for reports and tests."""
+        return {
+            "array": self.array,
+            "n_references": self.n_references,
+            "offsets": self.offsets(),
+            "fifo_capacities": self.fifo_capacities(),
+            "minimum_total_buffer": self.minimum_total_buffer(),
+            "minimum_banks": self.minimum_banks(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StencilAnalysis(array={self.array!r}, "
+            f"n={self.n_references}, dim={self.iteration_domain.dim})"
+        )

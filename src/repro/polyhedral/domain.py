@@ -1,0 +1,562 @@
+"""Integer polyhedral domains (Definitions 1, 5, 6 of the paper).
+
+The paper models iteration domains and data domains as sets of integer
+points ``{x in Z^m : A x <= b}``.  Grid shapes can be arbitrary polyhedra
+(rectangles, triangles, skewed parallelograms, ...), so this module
+implements a small but exact integer-polyhedron library:
+
+* :class:`IntegerPolyhedron` — general ``A x <= b`` sets with membership
+  tests, exact bounding boxes via Fourier–Motzkin elimination, and
+  lexicographic-order point enumeration.
+* :class:`BoxDomain` — axis-aligned boxes with O(1) counting and
+  lexicographic ranking (the common case for stencil grids; used as the
+  fast path throughout the simulator).
+* :class:`DomainUnion` — finite unions, used for input data domains
+  (Definition 6: the union of all array-reference data domains).
+
+Enumeration is always in lexicographic order, outermost dimension most
+significant, matching Property 1 (lexicographic access pattern).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .lexorder import Vector, as_vector, lex_le
+
+# A linear constraint sum_j coeffs[j] * x[j] <= bound.
+Constraint = Tuple[Tuple[int, ...], int]
+
+#: Safety cap for exact whole-domain enumeration of general polyhedra.
+ENUMERATION_LIMIT = 5_000_000
+
+
+class EmptyDomainError(ValueError):
+    """Raised when an operation requires a non-empty domain."""
+
+
+def _eliminate_variable(
+    constraints: List[Constraint], var: int
+) -> List[Constraint]:
+    """One step of Fourier–Motzkin elimination (rational relaxation).
+
+    Removes variable ``var`` from the constraint system.  Combining a
+    lower-bound row with an upper-bound row uses integer cross
+    multiplication, so coefficients stay integral.
+    """
+    zero_rows: List[Constraint] = []
+    pos_rows: List[Constraint] = []
+    neg_rows: List[Constraint] = []
+    for coeffs, bound in constraints:
+        c = coeffs[var]
+        if c == 0:
+            zero_rows.append((coeffs, bound))
+        elif c > 0:
+            pos_rows.append((coeffs, bound))
+        else:
+            neg_rows.append((coeffs, bound))
+    result = list(zero_rows)
+    for (pc, pb) in pos_rows:
+        for (nc, nb) in neg_rows:
+            a = pc[var]
+            b = -nc[var]
+            combined = tuple(b * p + a * q for p, q in zip(pc, nc))
+            result.append((combined, b * pb + a * nb))
+    return result
+
+
+def _dedup_constraints(constraints: List[Constraint]) -> List[Constraint]:
+    """Drop duplicate rows and rows scaled by a positive common factor."""
+    seen = set()
+    out: List[Constraint] = []
+    for coeffs, bound in constraints:
+        g = 0
+        for c in coeffs:
+            g = math.gcd(g, abs(c))
+        g = math.gcd(g, abs(bound))
+        if g > 1:
+            coeffs = tuple(c // g for c in coeffs)
+            bound = bound // g if bound % g == 0 else bound // g
+        key = (coeffs, bound)
+        if key not in seen:
+            seen.add(key)
+            out.append((coeffs, bound))
+    return out
+
+
+class IntegerPolyhedron:
+    """The set of integer points ``{x in Z^m : A x <= b}``.
+
+    Parameters
+    ----------
+    coefficients:
+        Iterable of coefficient rows, one per constraint.
+    bounds:
+        Right-hand side, one value per constraint.
+
+    The polyhedron must be bounded for counting/enumeration to be usable;
+    unbounded directions raise :class:`ValueError` at those call sites.
+    """
+
+    def __init__(
+        self,
+        coefficients: Iterable[Sequence[int]],
+        bounds: Iterable[int],
+    ) -> None:
+        rows = [tuple(int(c) for c in row) for row in coefficients]
+        rhs = [int(b) for b in bounds]
+        if len(rows) != len(rhs):
+            raise ValueError(
+                f"{len(rows)} coefficient rows but {len(rhs)} bounds"
+            )
+        if rows:
+            dim = len(rows[0])
+            for row in rows:
+                if len(row) != dim:
+                    raise ValueError("inconsistent constraint dimensions")
+        else:
+            raise ValueError(
+                "a polyhedron needs at least one constraint to fix its "
+                "dimension; use BoxDomain for simple shapes"
+            )
+        self._constraints: List[Constraint] = _dedup_constraints(
+            list(zip(rows, rhs))
+        )
+        self._dim = len(rows[0])
+        self._count_cache: Optional[int] = None
+        self._bbox_cache: Optional[Tuple[Vector, Vector]] = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of dimensions ``m``."""
+        return self._dim
+
+    @property
+    def constraints(self) -> List[Constraint]:
+        """The (deduplicated) constraint rows ``(coeffs, bound)``."""
+        return list(self._constraints)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """True iff ``point`` satisfies every constraint."""
+        p = as_vector(point)
+        if len(p) != self._dim:
+            return False
+        for coeffs, bound in self._constraints:
+            if sum(c * x for c, x in zip(coeffs, p)) > bound:
+                return False
+        return True
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        return self.contains(point)
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def _variable_bounds(
+        self, constraints: List[Constraint], var: int
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Integer (lo, hi) bounds of one variable after eliminating all
+        later variables.  ``None`` means unbounded in that direction."""
+        remaining = constraints
+        for later in range(self._dim - 1, var, -1):
+            remaining = _eliminate_variable(remaining, later)
+            if len(remaining) > 4000:
+                remaining = _dedup_constraints(remaining)
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        feasible = True
+        for coeffs, bound in remaining:
+            c = coeffs[var]
+            if c > 0:
+                ub = math.floor(bound / c)
+                hi = ub if hi is None else min(hi, ub)
+            elif c < 0:
+                lb = math.ceil(bound / c)
+                lo = lb if lo is None else max(lo, lb)
+            elif bound < 0:
+                feasible = False
+        if not feasible:
+            return (1, 0)  # empty marker: lo > hi
+        return (lo, hi)
+
+    def bounding_box(self) -> Tuple[Vector, Vector]:
+        """Exact rational bounding box, rounded inward to integers.
+
+        Returns ``(lows, highs)``.  Raises :class:`ValueError` if any
+        dimension is unbounded and :class:`EmptyDomainError` if the
+        (relaxed) polyhedron is empty.
+        """
+        if self._bbox_cache is not None:
+            return self._bbox_cache
+        lows = []
+        highs = []
+        for var in range(self._dim):
+            # Eliminate all variables except `var`.
+            remaining = list(self._constraints)
+            for other in range(self._dim - 1, -1, -1):
+                if other != var:
+                    remaining = _eliminate_variable(remaining, other)
+                    remaining = _dedup_constraints(remaining)
+            lo: Optional[int] = None
+            hi: Optional[int] = None
+            for coeffs, bound in remaining:
+                c = coeffs[var]
+                if c > 0:
+                    ub = math.floor(bound / c)
+                    hi = ub if hi is None else min(hi, ub)
+                elif c < 0:
+                    lb = math.ceil(bound / c)
+                    lo = lb if lo is None else max(lo, lb)
+                elif bound < 0:
+                    raise EmptyDomainError("polyhedron is empty")
+            if lo is None or hi is None:
+                raise ValueError(
+                    f"polyhedron is unbounded in dimension {var}"
+                )
+            if lo > hi:
+                raise EmptyDomainError("polyhedron is empty")
+            lows.append(lo)
+            highs.append(hi)
+        self._bbox_cache = (tuple(lows), tuple(highs))
+        return self._bbox_cache
+
+    # ------------------------------------------------------------------
+    # Enumeration (lexicographic order)
+    # ------------------------------------------------------------------
+    def _substitute(
+        self, constraints: List[Constraint], var: int, value: int
+    ) -> List[Constraint]:
+        """Fix ``x[var] = value``, folding it into the bounds."""
+        out: List[Constraint] = []
+        for coeffs, bound in constraints:
+            c = coeffs[var]
+            new_coeffs = coeffs[:var] + (0,) + coeffs[var + 1:]
+            out.append((new_coeffs, bound - c * value))
+        return out
+
+    def iter_points(self) -> Iterator[Vector]:
+        """Yield all integer points in ascending lexicographic order."""
+        try:
+            self.bounding_box()
+        except EmptyDomainError:
+            return
+        yield from self._iter_rec(list(self._constraints), 0, ())
+
+    def _iter_rec(
+        self, constraints: List[Constraint], var: int, prefix: Vector
+    ) -> Iterator[Vector]:
+        lo, hi = self._variable_bounds(constraints, var)
+        if lo is None or hi is None:
+            raise ValueError("cannot enumerate an unbounded polyhedron")
+        if var == self._dim - 1:
+            for v in range(lo, hi + 1):
+                point = prefix + (v,)
+                if self.contains(point):
+                    yield point
+            return
+        for v in range(lo, hi + 1):
+            fixed = self._substitute(constraints, var, v)
+            yield from self._iter_rec(fixed, var + 1, prefix + (v,))
+
+    def count(self) -> int:
+        """Exact number of integer points (cached)."""
+        if self._count_cache is None:
+            total = 0
+            for _ in self.iter_points():
+                total += 1
+                if total > ENUMERATION_LIMIT:
+                    raise ValueError(
+                        "domain too large for exact enumeration; "
+                        f"limit is {ENUMERATION_LIMIT}"
+                    )
+            self._count_cache = total
+        return self._count_cache
+
+    def is_empty(self) -> bool:
+        """True iff the domain contains no integer point."""
+        for _ in self.iter_points():
+            return False
+        return True
+
+    def lex_first(self) -> Vector:
+        """Lexicographically smallest point."""
+        for p in self.iter_points():
+            return p
+        raise EmptyDomainError("lex_first of an empty domain")
+
+    def lex_last(self) -> Vector:
+        """Lexicographically greatest point."""
+        last = None
+        for p in self.iter_points():
+            last = p
+        if last is None:
+            raise EmptyDomainError("lex_last of an empty domain")
+        return last
+
+    def lex_rank(self, point: Sequence[int]) -> int:
+        """Number of domain points ``g`` with ``g <=_l point``.
+
+        ``point`` itself need not belong to the domain.
+        """
+        p = as_vector(point)
+        total = 0
+        for g in self.iter_points():
+            if lex_le(g, p):
+                total += 1
+            else:
+                break
+        return total
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def translate(self, offset: Sequence[int]) -> "IntegerPolyhedron":
+        """The translated set ``{x + offset : x in self}``.
+
+        ``A x <= b`` becomes ``A (y - f) <= b``, i.e. ``A y <= b + A f``.
+        """
+        f = as_vector(offset)
+        if len(f) != self._dim:
+            raise ValueError("offset dimension mismatch")
+        coeffs = [c for c, _ in self._constraints]
+        bounds = [
+            b + sum(c * x for c, x in zip(row, f))
+            for row, b in self._constraints
+        ]
+        return IntegerPolyhedron(coeffs, bounds)
+
+    def intersect(self, other: "IntegerPolyhedron") -> "IntegerPolyhedron":
+        """Intersection of two polyhedra of equal dimension."""
+        if other.dim != self._dim:
+            raise ValueError("dimension mismatch in intersection")
+        coeffs = [c for c, _ in self._constraints]
+        bounds = [b for _, b in self._constraints]
+        for c, b in other.constraints:
+            coeffs.append(c)
+            bounds.append(b)
+        return IntegerPolyhedron(coeffs, bounds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntegerPolyhedron):
+            return NotImplemented
+        if self.dim != other.dim:
+            return False
+        mine = set(self.iter_points())
+        theirs = set(other.iter_points())
+        return mine == theirs
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegerPolyhedron(dim={self._dim}, "
+            f"constraints={len(self._constraints)})"
+        )
+
+
+class BoxDomain(IntegerPolyhedron):
+    """Axis-aligned box ``lows[j] <= x[j] <= highs[j]`` with fast paths.
+
+    Boxes are the dominant domain shape in stencil computation (the paper's
+    DENOISE example streams ``A[0..767][0..1023]``), so counting, ranking
+    and enumeration get closed-form / vectorizable implementations.
+    """
+
+    def __init__(self, lows: Sequence[int], highs: Sequence[int]) -> None:
+        lows_v = as_vector(lows)
+        highs_v = as_vector(highs)
+        if len(lows_v) != len(highs_v):
+            raise ValueError("lows and highs must have equal length")
+        if not lows_v:
+            raise ValueError("box must have at least one dimension")
+        dim = len(lows_v)
+        coeffs: List[Tuple[int, ...]] = []
+        bounds: List[int] = []
+        for j in range(dim):
+            unit = tuple(1 if k == j else 0 for k in range(dim))
+            neg = tuple(-1 if k == j else 0 for k in range(dim))
+            coeffs.append(unit)
+            bounds.append(highs_v[j])
+            coeffs.append(neg)
+            bounds.append(-lows_v[j])
+        super().__init__(coeffs, bounds)
+        self.lows = lows_v
+        self.highs = highs_v
+
+    @property
+    def shape(self) -> Vector:
+        """Extent per dimension (0 for an empty box)."""
+        return tuple(
+            max(0, h - l + 1) for l, h in zip(self.lows, self.highs)
+        )
+
+    def contains(self, point: Sequence[int]) -> bool:
+        p = tuple(point)
+        if len(p) != self.dim:
+            return False
+        return all(
+            l <= x <= h for l, x, h in zip(self.lows, p, self.highs)
+        )
+
+    def count(self) -> int:
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    def is_empty(self) -> bool:
+        return self.count() == 0
+
+    def iter_points(self) -> Iterator[Vector]:
+        if self.is_empty():
+            return iter(())
+        ranges = [
+            range(l, h + 1) for l, h in zip(self.lows, self.highs)
+        ]
+        return iter(itertools.product(*ranges))
+
+    def lex_first(self) -> Vector:
+        if self.is_empty():
+            raise EmptyDomainError("lex_first of an empty box")
+        return self.lows
+
+    def lex_last(self) -> Vector:
+        if self.is_empty():
+            raise EmptyDomainError("lex_last of an empty box")
+        return self.highs
+
+    def lex_rank(self, point: Sequence[int]) -> int:
+        """Closed-form count of box points ``<=_l point``.
+
+        Works in O(m): mixed-radix position of the clamped point.
+        """
+        p = as_vector(point)
+        if len(p) != self.dim:
+            raise ValueError("point dimension mismatch")
+        if self.is_empty():
+            return 0
+        # Suffix products of extents.
+        extents = self.shape
+        suffix = [1] * (self.dim + 1)
+        for j in range(self.dim - 1, -1, -1):
+            suffix[j] = suffix[j + 1] * extents[j]
+        total = 0
+        for j in range(self.dim):
+            if p[j] < self.lows[j]:
+                return total
+            if p[j] > self.highs[j]:
+                return total + (self.highs[j] - self.lows[j] + 1) * (
+                    suffix[j + 1]
+                )
+            total += (p[j] - self.lows[j]) * suffix[j + 1]
+        # point is inside the box; include it.
+        return total + 1
+
+    def translate(self, offset: Sequence[int]) -> "BoxDomain":
+        f = as_vector(offset)
+        if len(f) != self.dim:
+            raise ValueError("offset dimension mismatch")
+        return BoxDomain(
+            tuple(l + d for l, d in zip(self.lows, f)),
+            tuple(h + d for h, d in zip(self.highs, f)),
+        )
+
+    def __repr__(self) -> str:
+        return f"BoxDomain(lows={self.lows}, highs={self.highs})"
+
+
+class DomainUnion:
+    """Finite union of domains (Definition 6: input data domains).
+
+    The paper notes that input data domains like DENOISE's are "almost" a
+    box (a box minus four corners) and streams the bounding box instead;
+    :meth:`hull_box` provides that pragmatic approximation while
+    :meth:`count` / :meth:`iter_points` stay exact.
+    """
+
+    def __init__(self, parts: Sequence[IntegerPolyhedron]) -> None:
+        if not parts:
+            raise ValueError("union of zero domains")
+        dim = parts[0].dim
+        for p in parts:
+            if p.dim != dim:
+                raise ValueError("union parts must share dimension")
+        self.parts = list(parts)
+        self._dim = dim
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def contains(self, point: Sequence[int]) -> bool:
+        return any(p.contains(point) for p in self.parts)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        return self.contains(point)
+
+    def hull_box(self) -> BoxDomain:
+        """Bounding box of the union (the streaming domain of Fig 7)."""
+        lows = None
+        highs = None
+        for p in self.parts:
+            lo, hi = p.bounding_box()
+            if lows is None:
+                lows, highs = list(lo), list(hi)
+            else:
+                lows = [min(a, b) for a, b in zip(lows, lo)]
+                highs = [max(a, b) for a, b in zip(highs, hi)]
+        assert lows is not None and highs is not None
+        return BoxDomain(lows, highs)
+
+    def bounding_box(self) -> Tuple[Vector, Vector]:
+        """Bounding box of the union (``(lows, highs)``)."""
+        hull = self.hull_box()
+        return hull.lows, hull.highs
+
+    def iter_points(self) -> Iterator[Vector]:
+        """Exact union enumeration in lexicographic order."""
+        for point in self.hull_box().iter_points():
+            if self.contains(point):
+                yield point
+
+    def count(self) -> int:
+        """Exact number of points in the union."""
+        total = 0
+        for _ in self.iter_points():
+            total += 1
+            if total > ENUMERATION_LIMIT:
+                raise ValueError("union too large for exact enumeration")
+        return total
+
+    def lex_rank(self, point: Sequence[int]) -> int:
+        """Number of union points ``g`` with ``g <=_l point``."""
+        p = as_vector(point)
+        total = 0
+        for g in self.iter_points():
+            if lex_le(g, p):
+                total += 1
+            else:
+                break
+        return total
+
+    def __repr__(self) -> str:
+        return f"DomainUnion({len(self.parts)} parts, dim={self._dim})"
+
+
+def domain_from_extents(*extents: int) -> BoxDomain:
+    """Convenience constructor: a box ``[0, e_j - 1]`` per dimension.
+
+    ``domain_from_extents(768, 1024)`` is the DENOISE iteration grid.
+    """
+    if not extents:
+        raise ValueError("at least one extent required")
+    for e in extents:
+        if e <= 0:
+            raise ValueError(f"extents must be positive, got {e}")
+    return BoxDomain([0] * len(extents), [e - 1 for e in extents])

@@ -1,0 +1,114 @@
+"""Lexicographic order on integer vectors (Definition 2 of the paper).
+
+The paper orders loop iterations and data-access indices lexicographically,
+from outermost to innermost loop dimension.  ``i >_l j`` means iteration
+``i`` happens *after* iteration ``j`` (``i`` is lexicographically greater).
+
+All helpers accept any sequence of ints (tuples, lists, numpy rows) and are
+tolerant of mixed input types; vectors must have equal length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+Vector = Tuple[int, ...]
+
+
+def as_vector(point: Iterable[int]) -> Vector:
+    """Normalize a point to a tuple of Python ints."""
+    return tuple(int(c) for c in point)
+
+
+def lex_compare(a: Sequence[int], b: Sequence[int]) -> int:
+    """Three-way lexicographic comparison.
+
+    Returns ``-1`` if ``a <_l b``, ``0`` if equal, ``+1`` if ``a >_l b``.
+    The first (outermost) dimension is the most significant.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"lexicographic comparison of vectors with different "
+            f"dimensions: {len(a)} vs {len(b)}"
+        )
+    for x, y in zip(a, b):
+        if x < y:
+            return -1
+        if x > y:
+            return 1
+    return 0
+
+
+def lex_lt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff ``a <_l b``."""
+    return lex_compare(a, b) < 0
+
+
+def lex_le(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff ``a <=_l b``."""
+    return lex_compare(a, b) <= 0
+
+
+def lex_gt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff ``a >_l b``."""
+    return lex_compare(a, b) > 0
+
+
+def lex_ge(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff ``a >=_l b``."""
+    return lex_compare(a, b) >= 0
+
+
+def lex_min(points: Iterable[Sequence[int]]) -> Vector:
+    """Lexicographic minimum of a non-empty collection of points."""
+    it = iter(points)
+    try:
+        best = as_vector(next(it))
+    except StopIteration:
+        raise ValueError("lex_min of an empty collection") from None
+    for p in it:
+        p = as_vector(p)
+        if lex_lt(p, best):
+            best = p
+    return best
+
+
+def lex_max(points: Iterable[Sequence[int]]) -> Vector:
+    """Lexicographic maximum of a non-empty collection of points."""
+    it = iter(points)
+    try:
+        best = as_vector(next(it))
+    except StopIteration:
+        raise ValueError("lex_max of an empty collection") from None
+    for p in it:
+        p = as_vector(p)
+        if lex_gt(p, best):
+            best = p
+    return best
+
+
+def lex_sorted(
+    points: Iterable[Sequence[int]], descending: bool = False
+) -> list:
+    """Return points sorted in lexicographic order.
+
+    With ``descending=True`` the result starts from the lexicographically
+    greatest point — the order in which the paper maps array references to
+    data filters (Section 3.3.2, deadlock-free condition 1).
+    """
+    normalized = [as_vector(p) for p in points]
+    # Tuples already compare lexicographically in Python.
+    return sorted(normalized, reverse=descending)
+
+
+def is_strictly_descending(points: Sequence[Sequence[int]]) -> bool:
+    """True iff each point is lexicographically greater than the next.
+
+    This is exactly condition 1 of Section 3.3.2: for filters ``x < y`` the
+    offsets must satisfy ``f_x >_l f_y`` (strictly, since stencil offsets
+    are distinct).
+    """
+    for a, b in zip(points, points[1:]):
+        if not lex_gt(a, b):
+            return False
+    return True

@@ -1,0 +1,279 @@
+"""Reuse distances between array references (Definitions 7-9, Props 2-3).
+
+A data element accessed by reference ``A_x`` at iteration ``i`` is accessed
+again by ``A_y`` at iteration ``i + r`` where ``r = f_x - f_y`` is the
+constant *reuse distance vector* (Property 2).  The *reuse distance*
+(Definition 8) counts the stream elements between the two accesses:
+
+    dist(h) = |{ g in D_A : h <_l g <=_l h + r }|
+
+where ``D_A`` is the (streamed) input data domain.  The maximum over
+``h in D_Ax`` (Definition 9) is exactly the reuse-FIFO capacity required
+between adjacent references, and sums linearly along a chain of references
+(Property 3) — which is why the paper's non-uniform chain achieves the
+global minimum total buffer size.
+
+Fast path: when the streaming domain is an axis-aligned box and both the
+source and the shifted source stay inside it, the distance is the constant
+mixed-radix value of ``r`` (e.g. ``r0 * W + r1`` in 2D with row size
+``W``).  The general path enumerates exactly and is used for skewed grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .access import ArrayReference
+from .domain import BoxDomain, IntegerPolyhedron
+from .lexorder import Vector, as_vector, lex_le, lex_lt
+
+#: Guard for exact per-point enumeration on general domains.
+EXACT_ENUMERATION_LIMIT = 2_000_000
+
+
+def reuse_distance_vector(
+    ref_from: ArrayReference, ref_to: ArrayReference
+) -> Vector:
+    """``r = f_x - f_y`` (Property 2): iterations between first and
+    repeated access of the same element."""
+    if ref_from.dim != ref_to.dim:
+        raise ValueError("references have different dimensions")
+    return tuple(
+        a - b for a, b in zip(ref_from.offset, ref_to.offset)
+    )
+
+
+def box_lex_span(box: BoxDomain, vector: Sequence[int]) -> int:
+    """Number of box points in a half-open lex interval of width ``vector``.
+
+    For interior points ``h``, ``rank(h + vector) - rank(h)`` equals the
+    mixed-radix value of ``vector`` in the box's extents:
+    ``sum_j vector[j] * prod_{k>j} extent[k]``.
+    """
+    v = as_vector(vector)
+    if len(v) != box.dim:
+        raise ValueError("vector dimension mismatch")
+    extents = box.shape
+    suffix = 1
+    total = 0
+    for j in range(box.dim - 1, -1, -1):
+        total += v[j] * suffix
+        suffix *= extents[j]
+    return total
+
+
+def max_reuse_distance(
+    ref_from: ArrayReference,
+    ref_to: ArrayReference,
+    iteration_domain: IntegerPolyhedron,
+    stream_domain: Optional[IntegerPolyhedron] = None,
+) -> int:
+    """Maximum reuse distance (Definition 9) from ``ref_from`` to
+    ``ref_to`` over the streamed input domain.
+
+    At every iteration ``i``, ``ref_from`` consumes stream element
+    ``i + f_from`` while ``ref_to`` consumes ``i + f_to``; the buffered
+    lag between the two chain positions is the number of stream elements
+    in the lex interval ``(i + f_to, i + f_from]``, and the required
+    FIFO capacity is its maximum over the iteration domain.
+
+    When the stream domain is an axis-aligned box, both interval ends
+    lie inside it for every iteration (data domains are subsets of the
+    hull), so the distance is the constant mixed-radix span of
+    ``r = f_from - f_to`` — the closed form behind the paper's Table 2
+    numbers.  General stream domains (exact unions, skewed shapes) are
+    handled by exact enumeration.
+
+    ``stream_domain`` defaults to the bounding box of the union of the
+    two data domains — the domain streamed by the microarchitecture
+    (Section 3.3.1).  ``ref_from`` must not be lexicographically later
+    than ``ref_to`` (the earlier reference touches data first).
+    """
+    r = reuse_distance_vector(ref_from, ref_to)
+    if lex_lt(ref_from.offset, ref_to.offset):
+        raise ValueError(
+            f"{ref_from.label} is later than {ref_to.label}: reuse flows "
+            "from lexicographically greater offsets to smaller ones"
+        )
+    if stream_domain is None:
+        stream_domain = _default_stream_domain(
+            [ref_from, ref_to], iteration_domain
+        )
+    if isinstance(stream_domain, BoxDomain):
+        return box_lex_span(stream_domain, r)
+    return _max_reuse_distance_exact(
+        ref_from, ref_to, iteration_domain, stream_domain
+    )
+
+
+def _default_stream_domain(
+    references: Sequence[ArrayReference],
+    iteration_domain: IntegerPolyhedron,
+) -> BoxDomain:
+    lows: Optional[List[int]] = None
+    highs: Optional[List[int]] = None
+    for ref in references:
+        lo, hi = ref.data_domain(iteration_domain).bounding_box()
+        if lows is None:
+            lows, highs = list(lo), list(hi)
+        else:
+            assert highs is not None
+            lows = [min(a, b) for a, b in zip(lows, lo)]
+            highs = [max(a, b) for a, b in zip(highs, hi)]
+    assert lows is not None and highs is not None
+    return BoxDomain(lows, highs)
+
+
+def _max_reuse_distance_exact(
+    ref_from: ArrayReference,
+    ref_to: ArrayReference,
+    iteration_domain: IntegerPolyhedron,
+    stream_domain,
+) -> int:
+    """Exact maximum over iterations of
+    ``rank(i + f_from) - rank(i + f_to)`` for a general stream domain.
+
+    A single lexicographic sweep over the stream domain assigns ranks to
+    exactly the points the two references touch.
+    """
+    wanted = set()
+    iteration_points = []
+    total = 0
+    for i in iteration_domain.iter_points():
+        total += 1
+        if total > EXACT_ENUMERATION_LIMIT:
+            raise ValueError(
+                "iteration domain too large for exact reuse-distance "
+                "computation"
+            )
+        iteration_points.append(i)
+        wanted.add(ref_from.access_index(i))
+        wanted.add(ref_to.access_index(i))
+    ranks: Dict[Vector, int] = {}
+    rank = 0
+    streamed = 0
+    for g in stream_domain.iter_points():
+        streamed += 1
+        if streamed > EXACT_ENUMERATION_LIMIT:
+            raise ValueError(
+                "stream domain too large for exact reuse-distance "
+                "computation"
+            )
+        rank += 1
+        if g in ranks:
+            continue
+        if g in wanted:
+            ranks[g] = rank
+
+    def rank_of(point: Vector) -> int:
+        if point in ranks:
+            return ranks[point]
+        # Point outside the stream domain: clamp to the number of
+        # stream points lexicographically at or before it.
+        return stream_domain.lex_rank(point)
+
+    best = 0
+    for i in iteration_points:
+        d = rank_of(ref_from.access_index(i)) - rank_of(
+            ref_to.access_index(i)
+        )
+        if d > best:
+            best = d
+    return best
+
+
+@dataclass(frozen=True)
+class ReuseProfileEntry:
+    """Reuse distance at one loop iteration (used for skewed grids)."""
+
+    point: Vector  # the iteration vector
+    distance: int
+
+
+def reuse_distance_profile(
+    ref_from: ArrayReference,
+    ref_to: ArrayReference,
+    iteration_domain: IntegerPolyhedron,
+    stream_domain: Optional[IntegerPolyhedron] = None,
+) -> List[ReuseProfileEntry]:
+    """Per-iteration reuse distances (exact, enumeration based).
+
+    On a skewed grid streamed exactly, the distance changes along the
+    execution (Fig 9); this profile is what the adaptive-FIFO tests
+    inspect.  Intended for small domains.
+    """
+    if stream_domain is None:
+        stream_domain = _default_stream_domain(
+            [ref_from, ref_to], iteration_domain
+        )
+    stream_points = list(stream_domain.iter_points())
+    if len(stream_points) > EXACT_ENUMERATION_LIMIT:
+        raise ValueError("stream domain too large for profiling")
+    rank_map = {p: k + 1 for k, p in enumerate(stream_points)}
+
+    def rank_of(point: Vector) -> int:
+        if point in rank_map:
+            return rank_map[point]
+        count = 0
+        for p in stream_points:
+            if lex_le(p, point):
+                count += 1
+            else:
+                break
+        return count
+
+    profile = []
+    for i in iteration_domain.iter_points():
+        d = rank_of(ref_from.access_index(i)) - rank_of(
+            ref_to.access_index(i)
+        )
+        profile.append(ReuseProfileEntry(i, d))
+    return profile
+
+
+def total_reuse_window(
+    references: Sequence[ArrayReference],
+    iteration_domain: IntegerPolyhedron,
+    stream_domain: Optional[IntegerPolyhedron] = None,
+) -> int:
+    """Maximum reuse distance between the lexicographically earliest and
+    latest references — the theoretical minimum total buffer size
+    (Section 2.3)."""
+    if len(references) < 2:
+        return 0
+    ordered = sorted(
+        references, key=lambda ref: ref.offset, reverse=True
+    )
+    if stream_domain is None:
+        stream_domain = _default_stream_domain(
+            list(references), iteration_domain
+        )
+    return max_reuse_distance(
+        ordered[0], ordered[-1], iteration_domain, stream_domain
+    )
+
+
+def check_linearity(
+    refs: Sequence[ArrayReference],
+    iteration_domain: IntegerPolyhedron,
+    stream_domain: Optional[IntegerPolyhedron] = None,
+) -> bool:
+    """Verify Property 3 on a chain of lex-descending references:
+    the max reuse distance end-to-end equals the sum over adjacent
+    pairs."""
+    ordered = sorted(refs, key=lambda ref: ref.offset, reverse=True)
+    if len(ordered) < 3:
+        return True
+    if stream_domain is None:
+        stream_domain = _default_stream_domain(
+            list(refs), iteration_domain
+        )
+    chained = sum(
+        max_reuse_distance(a, b, iteration_domain, stream_domain)
+        for a, b in zip(ordered, ordered[1:])
+    )
+    direct = max_reuse_distance(
+        ordered[0], ordered[-1], iteration_domain, stream_domain
+    )
+    return chained == direct

@@ -1,0 +1,248 @@
+"""Unimodular loop transformations (the paper's ref [15] substrate).
+
+The paper's Fig 9 skewed domain "is usually needed when a rectangular
+grid is iterated along the 45-degree direction after certain loop
+transform", and the Fig 13c accelerator chaining relies on "loop
+reordering" so producer and consumer stream in the same order.  This
+module implements the classical unimodular transformation framework:
+
+* a :class:`UnimodularTransform` is an integer matrix ``T`` with
+  ``|det T| = 1``; it maps iteration vectors ``i -> T i``;
+* applying ``T`` to a domain ``{i : A i <= b}`` gives
+  ``{y : A T^{-1} y <= b}`` (exact, because ``T^{-1}`` is integral);
+* co-transforming the data layout with the same ``T`` keeps stencil
+  accesses stencil: ``h' = T h = T i + T f = i' + (T f)``, so the
+  window offsets simply become ``T f``.
+
+:func:`transform_spec` applies a transform to a whole
+:class:`~repro.stencil.spec.StencilSpec`, producing the skewed-domain
+kernels that exercise the dynamic-reuse machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .domain import IntegerPolyhedron
+from .lexorder import Vector, as_vector
+
+
+@dataclass(frozen=True)
+class UnimodularTransform:
+    """An integer matrix with determinant +/-1."""
+
+    matrix: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        rows = tuple(tuple(int(c) for c in row) for row in self.matrix)
+        object.__setattr__(self, "matrix", rows)
+        m = len(rows)
+        if any(len(r) != m for r in rows):
+            raise ValueError("transform matrix must be square")
+        det = _determinant(rows)
+        if det not in (1, -1):
+            raise ValueError(
+                f"matrix determinant is {det}; unimodular transforms "
+                "need |det| = 1"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return len(self.matrix)
+
+    def apply(self, point: Sequence[int]) -> Vector:
+        """``y = T x``."""
+        x = as_vector(point)
+        if len(x) != self.dim:
+            raise ValueError("point dimension mismatch")
+        return tuple(
+            sum(c * v for c, v in zip(row, x)) for row in self.matrix
+        )
+
+    def inverse(self) -> "UnimodularTransform":
+        """The exact integer inverse (adjugate over +/-1 determinant)."""
+        det = _determinant(self.matrix)
+        adj = _adjugate(self.matrix)
+        inv = tuple(
+            tuple(c * det for c in row) for row in adj
+        )  # det is +/-1, so adj/det == adj*det
+        return UnimodularTransform(inv)
+
+    def compose(self, other: "UnimodularTransform") -> "UnimodularTransform":
+        """``self . other``: apply ``other`` first."""
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch in composition")
+        m = self.dim
+        product = tuple(
+            tuple(
+                sum(
+                    self.matrix[i][k] * other.matrix[k][j]
+                    for k in range(m)
+                )
+                for j in range(m)
+            )
+            for i in range(m)
+        )
+        return UnimodularTransform(product)
+
+    def transform_domain(
+        self, domain: IntegerPolyhedron
+    ) -> IntegerPolyhedron:
+        """The image ``{T i : i in domain}``."""
+        if domain.dim != self.dim:
+            raise ValueError("domain dimension mismatch")
+        inv = self.inverse().matrix
+        coeffs = []
+        bounds = []
+        for row, b in domain.constraints:
+            new_row = tuple(
+                sum(row[k] * inv[k][j] for k in range(self.dim))
+                for j in range(self.dim)
+            )
+            coeffs.append(new_row)
+            bounds.append(b)
+        return IntegerPolyhedron(coeffs, bounds)
+
+    # ------------------------------------------------------------------
+    # Classic factory methods
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, dim: int) -> "UnimodularTransform":
+        return cls(
+            tuple(
+                tuple(1 if i == j else 0 for j in range(dim))
+                for i in range(dim)
+            )
+        )
+
+    @classmethod
+    def skew(
+        cls, dim: int, target: int, source: int, factor: int = 1
+    ) -> "UnimodularTransform":
+        """``i[target] += factor * i[source]`` (the 45-degree skew of
+        Fig 9 is ``skew(2, 1, 0)``)."""
+        if target == source:
+            raise ValueError("skew needs two distinct dimensions")
+        rows = [
+            [1 if i == j else 0 for j in range(dim)] for i in range(dim)
+        ]
+        rows[target][source] = factor
+        return cls(tuple(tuple(r) for r in rows))
+
+    @classmethod
+    def interchange(
+        cls, dim: int, a: int, b: int
+    ) -> "UnimodularTransform":
+        """Swap two loop dimensions (the Fig 13c loop reordering)."""
+        rows = [
+            [1 if i == j else 0 for j in range(dim)] for i in range(dim)
+        ]
+        rows[a], rows[b] = rows[b], rows[a]
+        return cls(tuple(tuple(r) for r in rows))
+
+    @classmethod
+    def reversal(cls, dim: int, axis: int) -> "UnimodularTransform":
+        """Negate one loop dimension."""
+        rows = [
+            [1 if i == j else 0 for j in range(dim)] for i in range(dim)
+        ]
+        rows[axis][axis] = -1
+        return cls(tuple(tuple(r) for r in rows))
+
+
+def _determinant(rows) -> int:
+    m = len(rows)
+    if m == 1:
+        return rows[0][0]
+    if m == 2:
+        return rows[0][0] * rows[1][1] - rows[0][1] * rows[1][0]
+    det = 0
+    for j in range(m):
+        minor = tuple(
+            tuple(row[k] for k in range(m) if k != j)
+            for row in rows[1:]
+        )
+        det += (-1) ** j * rows[0][j] * _determinant(minor)
+    return det
+
+
+def _adjugate(rows) -> Tuple[Tuple[int, ...], ...]:
+    m = len(rows)
+    if m == 1:
+        return ((1,),)
+    cof = []
+    for i in range(m):
+        cof_row = []
+        for j in range(m):
+            minor = tuple(
+                tuple(rows[r][c] for c in range(m) if c != j)
+                for r in range(m)
+                if r != i
+            )
+            cof_row.append((-1) ** (i + j) * _determinant(minor))
+        cof.append(tuple(cof_row))
+    # adjugate = transpose of cofactor matrix
+    return tuple(
+        tuple(cof[j][i] for j in range(m)) for i in range(m)
+    )
+
+
+def transform_spec(spec, transform: UnimodularTransform):
+    """Apply a unimodular loop + layout co-transformation to a spec.
+
+    The result is a new :class:`~repro.stencil.spec.StencilSpec` with
+    the transformed (generally non-rectangular) iteration domain, the
+    transformed window offsets ``T f``, and a grid sized to the
+    transformed data footprint.  The kernel expression is rewritten so
+    its references use the transformed offsets.
+    """
+    from ..stencil.expr import BinOp, Const, Expr, Ref, UnOp
+    from ..stencil.spec import StencilSpec, StencilWindow
+
+    if transform.dim != spec.dim:
+        raise ValueError("transform dimensionality mismatch")
+
+    new_domain = transform.transform_domain(spec.iteration_domain)
+    offset_map = {
+        o: transform.apply(o) for o in spec.window.offsets
+    }
+    new_window = StencilWindow.from_offsets(
+        list(offset_map.values())
+    )
+
+    def rewrite(node: Expr) -> Expr:
+        if isinstance(node, Ref):
+            if node.array == spec.input_array:
+                return Ref(offset_map[node.offset], node.array)
+            return node
+        if isinstance(node, Const):
+            return node
+        if isinstance(node, UnOp):
+            return UnOp(node.op, rewrite(node.operand))
+        if isinstance(node, BinOp):
+            return BinOp(node.op, rewrite(node.left), rewrite(node.right))
+        raise TypeError(node)
+
+    # Grid: bounding box of all transformed data accesses, shifted to
+    # start at zero via the domain's own coordinates (we keep absolute
+    # coordinates, so the grid must cover the transformed footprint).
+    lo, hi = new_domain.bounding_box()
+    mins, maxs = new_window.span()
+    lows = [l + m for l, m in zip(lo, mins)]
+    highs = [h + m for h, m in zip(hi, maxs)]
+    if any(l < 0 for l in lows):
+        shift = tuple(max(0, -l) for l in lows)
+        new_domain = new_domain.translate(shift)
+        highs = [h + s for h, s in zip(highs, shift)]
+    grid = tuple(h + 1 for h in highs)
+    return StencilSpec(
+        name=f"{spec.name}_T",
+        grid=grid,
+        window=new_window,
+        expression=rewrite(spec.expression),
+        input_array=spec.input_array,
+        output_array=spec.output_array,
+        iteration_domain=new_domain,
+    )

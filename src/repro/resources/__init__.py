@@ -1,0 +1,69 @@
+"""FPGA device, resource and timing models (the Table 5 substrate)."""
+
+from .estimate import (
+    DATA_WIDTH,
+    AcceleratorEstimate,
+    estimate_address_transformer,
+    estimate_baseline,
+    estimate_crossbar,
+    estimate_fifo,
+    estimate_filter,
+    estimate_kernel,
+    estimate_memory_system,
+    estimate_modulo_chain,
+    estimate_ours,
+    estimate_splitter,
+    estimate_uniform_bank,
+    estimate_uniform_controller,
+    estimate_uniform_memory_system,
+)
+from .power import (
+    PowerEstimate,
+    estimate_power,
+    power_saving_ratio,
+)
+from .fpga import (
+    BRAM18_BITS,
+    FpgaDevice,
+    ResourceUsage,
+    XC7VX485T,
+    bram18_for_memory,
+    slices_for_lut_ff,
+)
+from .timing import (
+    TARGET_CLOCK_NS,
+    TimingEstimate,
+    estimate_timing_baseline,
+    estimate_timing_ours,
+)
+
+__all__ = [
+    "AcceleratorEstimate",
+    "BRAM18_BITS",
+    "DATA_WIDTH",
+    "FpgaDevice",
+    "PowerEstimate",
+    "ResourceUsage",
+    "TARGET_CLOCK_NS",
+    "TimingEstimate",
+    "XC7VX485T",
+    "bram18_for_memory",
+    "estimate_address_transformer",
+    "estimate_baseline",
+    "estimate_crossbar",
+    "estimate_fifo",
+    "estimate_filter",
+    "estimate_kernel",
+    "estimate_memory_system",
+    "estimate_modulo_chain",
+    "estimate_power",
+    "estimate_ours",
+    "estimate_splitter",
+    "estimate_timing_baseline",
+    "estimate_timing_ours",
+    "estimate_uniform_bank",
+    "estimate_uniform_controller",
+    "estimate_uniform_memory_system",
+    "power_saving_ratio",
+    "slices_for_lut_ff",
+]

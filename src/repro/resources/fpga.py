@@ -1,0 +1,107 @@
+"""FPGA device models (the paper targets a Virtex-7 XC7VX485T).
+
+Capacities follow the Xilinx Virtex-7 data sheet; BRAM is counted in
+18 Kb units (one RAMB36 = two RAMB18).  The model also encodes the block
+RAM aspect-ratio table used to cost memories of a given depth x width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+#: Usable bits in one 18 Kb block RAM (data bits; parity excluded for a
+#: conservative estimate at 32-bit data).
+BRAM18_BITS = 18 * 1024
+#: Maximum depth of one RAMB18 at 18-bit width (1024 x 18); wider data
+#: cascades horizontally.
+BRAM18_MAX_WIDTH = 18
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Capacity envelope of one FPGA part."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    slices: int
+    bram_18k: int
+    dsp48: int
+
+    def utilization(self, usage: "ResourceUsage") -> Dict[str, float]:
+        """Fractional utilization per resource class."""
+        return {
+            "bram_18k": usage.bram_18k / self.bram_18k,
+            "slices": usage.slices / self.slices,
+            "dsp": usage.dsp / self.dsp48,
+        }
+
+    def fits(self, usage: "ResourceUsage") -> bool:
+        return all(v <= 1.0 for v in self.utilization(usage).values())
+
+
+#: The paper's target device (Virtex-7 XC7VX485T, speed grade -2).
+XC7VX485T = FpgaDevice(
+    name="XC7VX485T",
+    luts=303_600,
+    flip_flops=607_200,
+    slices=75_900,
+    bram_18k=2_060,
+    dsp48=2_800,
+)
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """One design's resource vector (Table 5 columns)."""
+
+    bram_18k: int = 0
+    slices: int = 0
+    dsp: int = 0
+    lut: int = 0
+    ff: int = 0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            bram_18k=self.bram_18k + other.bram_18k,
+            slices=self.slices + other.slices,
+            dsp=self.dsp + other.dsp,
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+        )
+
+    def scaled(self, factor: int) -> "ResourceUsage":
+        return ResourceUsage(
+            bram_18k=self.bram_18k * factor,
+            slices=self.slices * factor,
+            dsp=self.dsp * factor,
+            lut=self.lut * factor,
+            ff=self.ff * factor,
+        )
+
+
+def bram18_for_memory(depth: int, width_bits: int) -> int:
+    """Number of RAMB18 primitives for a ``depth x width`` memory.
+
+    Models the Xilinx aspect-ratio table: each RAMB18 provides 18 Kb with
+    a maximum configured width of 18 bits (wider words cascade several
+    RAMB18 side by side, each covering up to 1024-deep x 18-bit).
+    """
+    if depth <= 0 or width_bits <= 0:
+        raise ValueError("depth and width must be positive")
+    columns = math.ceil(width_bits / BRAM18_MAX_WIDTH)
+    depth_per_column = BRAM18_BITS // min(width_bits, BRAM18_MAX_WIDTH)
+    # A column of RAMB18s covers depth in units of its configured depth.
+    rows = math.ceil(depth / max(1, depth_per_column))
+    return columns * rows
+
+
+def slices_for_lut_ff(lut: int, ff: int) -> int:
+    """Slice estimate from LUT/FF counts (4 LUTs + 8 FFs per 7-series
+    slice, at a typical 70 % packing efficiency)."""
+    if lut < 0 or ff < 0:
+        raise ValueError("negative resource count")
+    packed = max(math.ceil(lut / 4), math.ceil(ff / 8))
+    return math.ceil(packed / 0.7)

@@ -1,0 +1,65 @@
+"""Power estimation (Section 5.2's closing observation).
+
+The paper found XPower dominated by static power, "almost invariant
+with custom circuits", and notes that *with power gating* FPGA power
+would be proportional to resource usage — "which is covered by
+Table 5".  This module makes that proportionality explicit: a static
+baseline for the powered-on region plus per-resource dynamic/leakage
+coefficients, so resource savings translate into gated-power savings.
+
+Coefficients are order-of-magnitude Virtex-7 figures (28 nm, 200 MHz,
+moderate toggle rates); as with the resource model, the comparison
+between designs is the target, not absolute watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fpga import ResourceUsage
+
+#: Per-unit power at 200 MHz, in milliwatts.
+MW_PER_BRAM18 = 7.0
+MW_PER_SLICE = 0.12
+MW_PER_DSP = 8.0
+#: Static power of the always-on fabric region (clocking, config).
+STATIC_MW = 180.0
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Gated-power breakdown of one design."""
+
+    dynamic_mw: float
+    static_mw: float = STATIC_MW
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.static_mw
+
+    @property
+    def gated_total_mw(self) -> float:
+        """Total if unused fabric is power-gated: usage-proportional
+        (the paper's hypothetical)."""
+        return self.dynamic_mw
+
+
+def estimate_power(usage: ResourceUsage) -> PowerEstimate:
+    """Usage-proportional power of one design's resource vector."""
+    dynamic = (
+        usage.bram_18k * MW_PER_BRAM18
+        + usage.slices * MW_PER_SLICE
+        + usage.dsp * MW_PER_DSP
+    )
+    return PowerEstimate(dynamic_mw=round(dynamic, 2))
+
+
+def power_saving_ratio(
+    ours: ResourceUsage, baseline: ResourceUsage
+) -> float:
+    """Fractional gated-power saving of ours vs a baseline."""
+    p_ours = estimate_power(ours).gated_total_mw
+    p_base = estimate_power(baseline).gated_total_mw
+    if p_base <= 0:
+        return 0.0
+    return 1.0 - p_ours / p_base

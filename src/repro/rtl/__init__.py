@@ -1,0 +1,38 @@
+"""Register-level elaboration and simulation of the generated chain
+(the paper's Section 3.4 RTL-simulation vantage point, with control
+implemented purely by Fig 10 domain counters)."""
+
+from .components import RtlFifo, RtlFilter, RtlKernel, RtlStreamSource
+from .core import (
+    DomainCounter,
+    RtlModule,
+    RtlSimulator,
+    Signal,
+    WaveformDump,
+)
+from .design import (
+    RtlDeadlockError,
+    RtlDesign,
+    RtlRunResult,
+    RtlRunStats,
+    elaborate,
+    simulate_rtl,
+)
+
+__all__ = [
+    "DomainCounter",
+    "RtlDeadlockError",
+    "RtlDesign",
+    "RtlFifo",
+    "RtlFilter",
+    "RtlKernel",
+    "RtlModule",
+    "RtlRunResult",
+    "RtlRunStats",
+    "RtlSimulator",
+    "RtlStreamSource",
+    "Signal",
+    "WaveformDump",
+    "elaborate",
+    "simulate_rtl",
+]

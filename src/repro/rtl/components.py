@@ -1,0 +1,209 @@
+"""Register-level models of the chain modules.
+
+Unlike :mod:`repro.sim.modules`, data here is *values only*: all
+control decisions come from the counters, exactly as in the synthesized
+hardware.  A data filter (Fig 10) owns
+
+* an input counter iterating the streamed domain ``D_A`` (advances on
+  every accepted element),
+* an output counter iterating its reference's data domain ``D_Ax``,
+* an equality comparator: when the counters agree the switch forwards
+  the element to the kernel port, otherwise it discards it.
+
+The computation kernel binds port values to reference offsets by
+*position* (port k is reference k), evaluates the expression, and
+pushes results through a shift register of ``latency`` stages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..polyhedral.domain import IntegerPolyhedron
+from ..stencil.expr import Expr, evaluate
+from .core import DomainCounter, RtlModule, Signal
+
+
+class RtlStreamSource(RtlModule):
+    """Feeds raw values in lexicographic domain order, 1 per cycle."""
+
+    def __init__(self, name: str, domain, grid) -> None:
+        self.name = name
+        self._iter = domain.iter_points()
+        self._grid = grid
+        self._head: Optional[float] = None
+        self.valid = Signal(f"{name}_valid", 0)
+        self.streamed = Signal(f"{name}_count", 0)
+        self._load_next()
+
+    def _load_next(self) -> None:
+        try:
+            point = next(self._iter)
+        except StopIteration:
+            self._head = None
+            self.valid.value = 0
+            return
+        self._head = float(self._grid[point])
+        self.valid.value = 1
+
+    def peek(self) -> float:
+        assert self._head is not None
+        return self._head
+
+    def pop(self) -> float:
+        value = self.peek()
+        self.streamed.value += 1
+        self._load_next()
+        return value
+
+    def signals(self):
+        return (self.valid, self.streamed)
+
+
+class RtlFifo(RtlModule):
+    """A value FIFO with occupancy signal."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("FIFO capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[float] = deque()
+        self.occupancy = Signal(f"{name}_occ", 0)
+        self.max_occupancy = 0
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, value: float) -> None:
+        if self.full:
+            raise OverflowError(f"push to full {self.name}")
+        self._queue.append(value)
+        self.occupancy.value = len(self._queue)
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+
+    def pop(self) -> float:
+        value = self._queue.popleft()
+        self.occupancy.value = len(self._queue)
+        return value
+
+    def signals(self):
+        return (self.occupancy,)
+
+
+class RtlFilter(RtlModule):
+    """The Fig 10 data filter: two domain counters and a comparator."""
+
+    def __init__(
+        self,
+        name: str,
+        stream_domain,
+        output_domain: IntegerPolyhedron,
+    ) -> None:
+        self.name = name
+        self.input_counter = DomainCounter(stream_domain, f"{name}_in")
+        self.output_counter = DomainCounter(
+            output_domain, f"{name}_out"
+        )
+        self.port_valid = Signal(f"{name}_port_valid", 0)
+        self.port_value = Signal(f"{name}_port_value", 0.0)
+        self.forwarded = Signal(f"{name}_forwarded", 0)
+        self.discarded = Signal(f"{name}_discarded", 0)
+
+    @property
+    def ready(self) -> bool:
+        """Accepts an element iff the port register is free."""
+        return not self.port_valid.value
+
+    def accept(self, value: float) -> None:
+        """Process one element: compare counters, forward or discard."""
+        if not self.ready:
+            raise RuntimeError(f"{self.name} accepted while stalled")
+        matches = (
+            not self.output_counter.done.value
+            and self.input_counter.current()
+            == self.output_counter.current()
+        )
+        if matches:
+            self.port_value.value = value
+            self.port_valid.value = 1
+            self.forwarded.value += 1
+            self.output_counter.advance()
+        else:
+            self.discarded.value += 1
+        self.input_counter.advance()
+
+    def consume_port(self) -> float:
+        if not self.port_valid.value:
+            raise RuntimeError(f"{self.name} port read while invalid")
+        self.port_valid.value = 0
+        return float(self.port_value.value)
+
+    def signals(self):
+        return (
+            tuple(self.input_counter.signals())
+            + tuple(self.output_counter.signals())
+            + (
+                self.port_valid,
+                self.port_value,
+                self.forwarded,
+                self.discarded,
+            )
+        )
+
+
+class RtlKernel(RtlModule):
+    """Pipelined datapath: fires when all ports valid, result appears
+    ``latency`` cycles later."""
+
+    def __init__(
+        self,
+        references,
+        expression: Expr,
+        latency: int = 4,
+    ) -> None:
+        self.name = "kernel"
+        self._references = references
+        self._expression = expression
+        self.latency = latency
+        self._pipeline: Deque[float] = deque()
+        self._pipeline_ages: Deque[int] = deque()
+        self.outputs: List[float] = []
+        self.fired = Signal("kernel_fired", 0)
+        self.out_count = Signal("kernel_outputs", 0)
+        self._cycle = 0
+
+    def try_fire(self, filters: List[RtlFilter]) -> bool:
+        if any(not f.port_valid.value for f in filters):
+            return False
+        env = {}
+        for ref, flt in zip(self._references, filters):
+            env[(ref.array, ref.offset)] = flt.consume_port()
+        value = float(evaluate(self._expression, env))
+        self._pipeline.append(value)
+        self._pipeline_ages.append(self._cycle + self.latency)
+        self.fired.value += 1
+        return True
+
+    def drain(self) -> None:
+        """Retire pipeline stages whose latency elapsed."""
+        self._cycle += 1
+        while (
+            self._pipeline_ages
+            and self._pipeline_ages[0] <= self._cycle
+        ):
+            self._pipeline_ages.popleft()
+            self.outputs.append(self._pipeline.popleft())
+            self.out_count.value += 1
+
+    def all_retired(self) -> bool:
+        return not self._pipeline
+
+    def signals(self):
+        return (self.fired, self.out_count)

@@ -1,0 +1,220 @@
+"""Elaboration of a memory system into an RTL design + simulation.
+
+:func:`elaborate` builds the register-level chain for a (single- or
+multi-segment) memory system; :class:`RtlDesign` executes it with the
+downstream-to-upstream combinational order of the handshake chain and
+collects outputs, statistics and (optionally) a waveform dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..microarch.memory_system import MemorySystem
+from ..stencil.spec import StencilSpec
+from .components import RtlFifo, RtlFilter, RtlKernel, RtlStreamSource
+from .core import WaveformDump
+
+
+class RtlDeadlockError(RuntimeError):
+    """No RTL module made progress while the run was incomplete."""
+
+
+@dataclass
+class RtlRunStats:
+    total_cycles: int
+    outputs_produced: int
+    fifo_max_occupancy: Dict[str, int]
+    filter_forwarded: Dict[str, int]
+    filter_discarded: Dict[str, int]
+
+
+@dataclass
+class RtlRunResult:
+    outputs: List[float]
+    stats: RtlRunStats
+    dump: Optional[WaveformDump]
+
+
+@dataclass
+class _RtlSegment:
+    first: int
+    last: int
+    source: RtlStreamSource
+    fifos: List[RtlFifo]
+
+
+class RtlDesign:
+    """An elaborated chain ready to simulate on a concrete grid."""
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        system: MemorySystem,
+        grid: np.ndarray,
+        kernel_latency: int = 4,
+        dump_waveform: bool = False,
+    ) -> None:
+        if tuple(grid.shape) != tuple(spec.grid):
+            raise ValueError("grid shape does not match spec")
+        self.spec = spec
+        self.system = system
+        self.filters: List[RtlFilter] = [
+            RtlFilter(
+                name=f"filter{f.filter_id}",
+                stream_domain=system.stream_domain,
+                output_domain=f.output_domain,
+            )
+            for f in system.filters
+        ]
+        self.segments: List[_RtlSegment] = []
+        for seg in system.segments:
+            self.segments.append(
+                _RtlSegment(
+                    first=seg.first_filter,
+                    last=seg.last_filter,
+                    source=RtlStreamSource(
+                        f"stream{seg.segment_id}",
+                        system.stream_domain,
+                        grid,
+                    ),
+                    fifos=[
+                        RtlFifo(f"fifo{f.fifo_id}", f.capacity)
+                        for f in seg.fifos
+                    ],
+                )
+            )
+        self.kernel = RtlKernel(
+            references=[f.reference for f in system.filters],
+            expression=spec.expression,
+            latency=kernel_latency,
+        )
+        self.dump = WaveformDump() if dump_waveform else None
+        if self.dump is not None:
+            for flt in self.filters:
+                self.dump.watch(*flt.signals())
+            for seg in self.segments:
+                self.dump.watch(*seg.source.signals())
+                for fifo in seg.fifos:
+                    self.dump.watch(*fifo.signals())
+            self.dump.watch(*self.kernel.signals())
+        self._expected = spec.iteration_domain.count()
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def _step(self) -> bool:
+        progress = False
+        retired_before = len(self.kernel.outputs)
+        if self.kernel.try_fire(self.filters):
+            progress = True
+        for seg in self.segments:
+            for k in range(seg.last, seg.first - 1, -1):
+                flt = self.filters[k]
+                if not flt.ready:
+                    continue
+                # Upstream of splitter k.
+                if k == seg.first:
+                    if not seg.source.valid.value:
+                        continue
+                    upstream_pop = seg.source.pop
+                else:
+                    fifo_in = seg.fifos[k - seg.first - 1]
+                    if fifo_in.empty:
+                        continue
+                    upstream_pop = fifo_in.pop
+                fifo_out = (
+                    seg.fifos[k - seg.first] if k < seg.last else None
+                )
+                if fifo_out is not None and fifo_out.full:
+                    continue
+                value = upstream_pop()
+                if fifo_out is not None:
+                    fifo_out.push(value)
+                flt.accept(value)
+                progress = True
+        self.kernel.drain()
+        if len(self.kernel.outputs) > retired_before:
+            progress = True  # pipeline retirement is forward progress
+        if self.dump is not None:
+            self.dump.sample(self.cycle)
+        return progress
+
+    def run(self, max_cycles: Optional[int] = None) -> RtlRunResult:
+        if max_cycles is None:
+            stream_len = self.system.stream_domain.count()
+            max_cycles = 4 * (
+                stream_len
+                + self._expected
+                + self.system.total_buffer_size
+                + self.kernel.latency
+                + 64
+            )
+        while (
+            len(self.kernel.outputs) < self._expected
+            or not self.kernel.all_retired()
+        ):
+            self.cycle += 1
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"RTL run exceeded {max_cycles} cycles with "
+                    f"{len(self.kernel.outputs)}/{self._expected} "
+                    "outputs"
+                )
+            progress = self._step()
+            if not progress and not self.kernel._pipeline:
+                raise RtlDeadlockError(
+                    f"RTL deadlock at cycle {self.cycle}: "
+                    f"{len(self.kernel.outputs)}/{self._expected} "
+                    "outputs"
+                )
+        stats = RtlRunStats(
+            total_cycles=self.cycle,
+            outputs_produced=len(self.kernel.outputs),
+            fifo_max_occupancy={
+                fifo.name: fifo.max_occupancy
+                for seg in self.segments
+                for fifo in seg.fifos
+            },
+            filter_forwarded={
+                flt.name: int(flt.forwarded.value)
+                for flt in self.filters
+            },
+            filter_discarded={
+                flt.name: int(flt.discarded.value)
+                for flt in self.filters
+            },
+        )
+        return RtlRunResult(
+            outputs=list(self.kernel.outputs),
+            stats=stats,
+            dump=self.dump,
+        )
+
+
+def elaborate(
+    spec: StencilSpec,
+    system: MemorySystem,
+    grid: np.ndarray,
+    kernel_latency: int = 4,
+    dump_waveform: bool = False,
+) -> RtlDesign:
+    """Elaborate the generated memory system into an RTL design."""
+    return RtlDesign(
+        spec, system, grid, kernel_latency, dump_waveform
+    )
+
+
+def simulate_rtl(
+    spec: StencilSpec,
+    system: MemorySystem,
+    grid: np.ndarray,
+    kernel_latency: int = 4,
+    dump_waveform: bool = False,
+) -> RtlRunResult:
+    """One-call elaboration + simulation."""
+    return elaborate(
+        spec, system, grid, kernel_latency, dump_waveform
+    ).run()

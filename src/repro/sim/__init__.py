@@ -1,0 +1,53 @@
+"""Cycle-level simulation of both microarchitectures: the paper's
+distributed streaming chain and the centralized uniform-banked baseline."""
+
+from .baseline import (
+    BaselineResult,
+    BaselineStats,
+    UniformBankedSimulator,
+    run_forced_bank_count,
+    run_uniform_plan,
+)
+from .engine import (
+    ChainSimulator,
+    DeadlockError,
+    SimulationResult,
+    SimulationStats,
+)
+from .modulo_chain import (
+    ModuloChainResult,
+    ModuloChainSimulator,
+    ModuloChainStats,
+)
+from .multi import MultiArraySimulator
+from .offchip import DramTimingModel, OffchipBus, ThrottledDataStream
+from .modules import Element, KernelOutput, SimFifo, SimFilter, SimKernel
+from .stream import DataStream
+from .trace import TraceRecorder, TraceRow
+
+__all__ = [
+    "BaselineResult",
+    "BaselineStats",
+    "ChainSimulator",
+    "DataStream",
+    "DeadlockError",
+    "DramTimingModel",
+    "Element",
+    "KernelOutput",
+    "ModuloChainResult",
+    "ModuloChainSimulator",
+    "ModuloChainStats",
+    "MultiArraySimulator",
+    "OffchipBus",
+    "SimFifo",
+    "SimFilter",
+    "SimKernel",
+    "SimulationResult",
+    "SimulationStats",
+    "ThrottledDataStream",
+    "TraceRecorder",
+    "TraceRow",
+    "UniformBankedSimulator",
+    "run_forced_bank_count",
+    "run_uniform_plan",
+]

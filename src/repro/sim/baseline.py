@@ -1,0 +1,177 @@
+"""Behavioural simulator of the *uniform* cyclic-partitioned baseline.
+
+Models the conventional centralized design of [5]-[8] that the paper
+contrasts against (Section 3.4): a reuse buffer split into ``N`` uniform
+banks addressed by ``bank(h) = linear(h) mod N``, a centralized controller
+that (a) fills the buffer from the off-chip stream — one element per
+cycle through the single write port — and (b) issues the ``n`` window
+reads of each iteration, serializing reads that collide on the same
+bank's single remaining read port.
+
+With a conflict-free plan the achieved II is 1 and outputs match the
+golden reference; with fewer banks than the conflict-free minimum the II
+degrades — the ablation measured by ``benchmarks/bench_ablation_ii.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..partitioning.base import UniformBankMapping, UniformPlan
+from ..polyhedral.lexorder import Vector
+from ..stencil.expr import evaluate
+from ..stencil.spec import StencilSpec
+
+
+@dataclass
+class BaselineStats:
+    """Timing statistics of a uniform-banked baseline run."""
+
+    total_cycles: int
+    outputs_produced: int
+    conflict_iterations: int
+    achieved_ii: float
+    worst_iteration_cycles: int
+    buffer_capacity_used: int
+
+
+@dataclass
+class BaselineResult:
+    outputs: List[Tuple[Vector, float]]
+    stats: BaselineStats
+
+    def output_values(self) -> List[float]:
+        return [v for _, v in self.outputs]
+
+
+class UniformBankedSimulator:
+    """Cycle-counting simulator of the centralized uniform design."""
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        mapping: UniformBankMapping,
+        grid: np.ndarray,
+        buffer_capacity: Optional[int] = None,
+    ) -> None:
+        if tuple(grid.shape) != tuple(spec.grid):
+            raise ValueError("grid shape does not match spec")
+        self.spec = spec
+        self.mapping = mapping
+        self.grid = grid
+        analysis = spec.analysis()
+        self._references = analysis.references
+        self._stream_domain = analysis.stream_domain()
+        # Default capacity: the live window (max reuse distance) plus the
+        # element being produced — the minimum a correct centralized
+        # controller must retain.
+        self.buffer_capacity = (
+            buffer_capacity
+            if buffer_capacity is not None
+            else analysis.minimum_total_buffer() + 1
+        )
+
+    def run(self) -> BaselineResult:
+        stream = self._stream_domain.iter_points()
+        live: Dict[Vector, float] = {}
+        arrival: Dict[Vector, int] = {}
+        order: List[Vector] = []  # insertion (lex) order for eviction
+        evict_at = 0
+        cycles = 0
+        stream_done = False
+        outputs: List[Tuple[Vector, float]] = []
+        conflicts = 0
+        worst = 1
+        used = 0
+
+        def fetch_one() -> bool:
+            nonlocal stream_done, evict_at
+            if stream_done:
+                return False
+            try:
+                point = next(stream)
+            except StopIteration:
+                stream_done = True
+                return False
+            live[point] = float(self.grid[point])
+            order.append(point)
+            # Evict elements that fell out of the reuse window (the
+            # expired-data half of the controller's job).
+            while len(live) > self.buffer_capacity:
+                victim = order[evict_at]
+                evict_at += 1
+                del live[victim]
+            return True
+
+        refs = self._references
+        for i in self.spec.iteration_domain.iter_points():
+            needed = [ref.access_index(i) for ref in refs]
+            # Fill until every needed element has arrived (1 elem/cycle
+            # through the write port).
+            while any(h not in live for h in needed):
+                if not fetch_one():
+                    raise RuntimeError(
+                        f"stream exhausted before iteration {i} was "
+                        "satisfiable"
+                    )
+                cycles += 1
+                used = max(used, len(live))
+            # Issue the n reads; same-bank reads serialize.
+            banks = Counter(
+                self.mapping.bank_of(h) for h in needed
+            )
+            iteration_cycles = max(banks.values())
+            worst = max(worst, iteration_cycles)
+            if iteration_cycles > 1:
+                conflicts += 1
+            cycles += iteration_cycles
+            # Read the banks for this iteration...
+            env = {}
+            for ref, h in zip(refs, needed):
+                env[(ref.array, ref.offset)] = live[h]
+            outputs.append(
+                (i, float(evaluate(self.spec.expression, env)))
+            )
+            # ... then replace one expired element through the write
+            # port (steady-state fill).
+            if fetch_one():
+                used = max(used, len(live))
+
+        n_out = len(outputs)
+        stats = BaselineStats(
+            total_cycles=cycles,
+            outputs_produced=n_out,
+            conflict_iterations=conflicts,
+            achieved_ii=cycles / n_out if n_out else 0.0,
+            worst_iteration_cycles=worst,
+            buffer_capacity_used=used,
+        )
+        return BaselineResult(outputs=outputs, stats=stats)
+
+
+def run_uniform_plan(
+    spec: StencilSpec, plan: UniformPlan, grid: np.ndarray
+) -> BaselineResult:
+    """Convenience wrapper: simulate a uniform partitioning plan."""
+    return UniformBankedSimulator(spec, plan.mapping, grid).run()
+
+
+def run_forced_bank_count(
+    spec: StencilSpec, num_banks: int, grid: np.ndarray
+) -> BaselineResult:
+    """Ablation: run the baseline with a *forced* uniform bank count
+    (possibly below the conflict-free minimum) and watch the II."""
+    from ..partitioning.cyclic import _row_major_strides
+
+    extents = spec.analysis().stream_domain().shape
+    mapping = UniformBankMapping(
+        num_banks=num_banks,
+        weights=_row_major_strides(extents),
+        padded_extents=extents,
+        original_extents=extents,
+    )
+    return UniformBankedSimulator(spec, mapping, grid).run()

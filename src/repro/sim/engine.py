@@ -1,0 +1,367 @@
+"""Cycle-level simulation engine for the streaming microarchitecture.
+
+:class:`ChainSimulator` executes a generated
+:class:`~repro.microarch.memory_system.MemorySystem` (any number of chain
+segments) together with the computation kernel, cycle by cycle:
+
+1. The kernel fires when all ``n`` filter ports hold valid data,
+   freeing every pending slot (flow-through consumption).
+2. Within each segment, splitters are evaluated downstream-to-upstream so
+   a FIFO popped this cycle can be refilled this cycle — the cut-through
+   behaviour of the RTL handshake chain.  Splitter ``k`` fires only when
+   its upstream (previous FIFO or the segment's off-chip stream) has
+   data, its filter's pending slot is free, and the next FIFO has space.
+3. Segment streams deliver at most one element per cycle (one off-chip
+   access per cycle per segment).
+
+The engine asserts global progress: if no module fires during a cycle
+before the run is complete, it raises :class:`DeadlockError` with a state
+dump — this is how the deadlock-freedom tests exercise Eq. (1)/(2) of
+Section 3.3.2 (violating either condition makes this trip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..microarch.memory_system import MemorySystem
+from ..polyhedral.lexorder import Vector
+from ..stencil.spec import StencilSpec
+from .modules import Element, SimFifo, SimFilter, SimKernel
+from .stream import DataStream
+from .trace import TraceRecorder
+
+
+class DeadlockError(RuntimeError):
+    """No module can make progress but the run is incomplete."""
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate statistics of one simulation run."""
+
+    total_cycles: int
+    outputs_produced: int
+    first_output_cycle: Optional[int]
+    steady_state_ii: float
+    worst_output_gap: int
+    fifo_max_occupancy: Dict[int, int]
+    fifo_capacity: Dict[int, int]
+    elements_streamed_per_segment: List[int]
+    filter_forwarded: Dict[int, int]
+    filter_discarded: Dict[int, int]
+
+    @property
+    def fill_latency(self) -> Optional[int]:
+        return self.first_output_cycle
+
+
+@dataclass
+class SimulationResult:
+    """Outputs plus statistics (and an optional Table 3 trace)."""
+
+    outputs: List[Tuple[Vector, float]]
+    stats: SimulationStats
+    trace: Optional[TraceRecorder] = None
+
+    def output_values(self) -> List[float]:
+        return [v for _, v in self.outputs]
+
+    def output_iterations(self) -> List[Vector]:
+        return [i for i, _ in self.outputs]
+
+
+class ChainSimulator:
+    """Executes one memory system + kernel on a concrete input grid."""
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        system: MemorySystem,
+        grid: np.ndarray,
+        kernel_latency: int = 4,
+        stream_latency: int = 0,
+        trace: Optional[TraceRecorder] = None,
+        fifo_capacity_override: Optional[Dict[int, int]] = None,
+        filter_order_override: Optional[Sequence[int]] = None,
+        dram=None,
+        bus=None,
+    ) -> None:
+        """``fifo_capacity_override`` and ``filter_order_override`` exist
+        for the deadlock experiments: they deliberately mis-size FIFOs or
+        permute the filter order to violate conditions (2) / (1).
+
+        ``dram`` (a :class:`~repro.sim.offchip.DramTimingModel`) and
+        ``bus`` (an :class:`~repro.sim.offchip.OffchipBus`) route the
+        segment streams through the off-chip substrate instead of an
+        ideal 1-word-per-cycle source."""
+        if tuple(grid.shape) != tuple(spec.grid):
+            raise ValueError(
+                f"grid shape {grid.shape} does not match spec "
+                f"{spec.grid}"
+            )
+        self.spec = spec
+        self.system = system
+        self.grid = grid
+        self.trace = trace
+        order = list(
+            filter_order_override
+            if filter_order_override is not None
+            else range(system.n_references)
+        )
+        if sorted(order) != list(range(system.n_references)):
+            raise ValueError("filter order override must be a permutation")
+        self._filters: List[SimFilter] = []
+        for position, original in enumerate(order):
+            f = system.filters[original]
+            self._filters.append(
+                SimFilter(
+                    filter_id=position,
+                    reference=f.reference,
+                    output_domain=f.output_domain,
+                )
+            )
+        overrides = fifo_capacity_override or {}
+        self._bus = bus
+        self._segments: List[_SegmentRuntime] = []
+        for seg in system.segments:
+            fifos = [
+                SimFifo(
+                    fifo_id=f.fifo_id,
+                    capacity=overrides.get(f.fifo_id, f.capacity),
+                )
+                for f in seg.fifos
+            ]
+            if dram is not None or bus is not None:
+                from .offchip import ThrottledDataStream
+
+                stream = ThrottledDataStream(
+                    system.stream_domain, grid, dram=dram, bus=bus
+                )
+            else:
+                stream = DataStream(
+                    system.stream_domain,
+                    grid,
+                    initial_latency=stream_latency,
+                )
+            self._segments.append(
+                _SegmentRuntime(
+                    first=seg.first_filter,
+                    last=seg.last_filter,
+                    fifos=fifos,
+                    stream=stream,
+                )
+            )
+        self._kernel = SimKernel(
+            references=[f.reference for f in self._filters],
+            expression=spec.expression,
+            latency=kernel_latency,
+        )
+        self._expected_outputs = spec.iteration_domain.count()
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Run to completion (or raise on deadlock / cycle budget)."""
+        if max_cycles is None:
+            # Fill + streaming + drain, with generous headroom.
+            stream_len = self.system.stream_domain.count()
+            max_cycles = 4 * (
+                stream_len
+                + self._expected_outputs
+                + self.system.total_buffer_size
+                + self._kernel.latency
+                + 64
+            )
+        while self._kernel.consumed_iterations < self._expected_outputs:
+            self.cycle += 1
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles with "
+                    f"{self._kernel.consumed_iterations}/"
+                    f"{self._expected_outputs} outputs"
+                )
+            waiting = any(
+                seg.stream.waiting for seg in self._segments
+            )
+            progress = self._step()
+            if not progress and not waiting:
+                raise DeadlockError(self._deadlock_report())
+        return self._result()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> bool:
+        """One clock cycle; returns True if any module fired."""
+        progress = False
+        accepted: Dict[int, bool] = {}
+        if self._bus is not None:
+            self._bus.begin_cycle()
+
+        # Phase 1: the kernel consumes all ports if possible.
+        if self._kernel.try_fire(self._filters, self.cycle):
+            progress = True
+
+        # Phase 2: splitters, downstream to upstream per segment.
+        streamed_label: Optional[str] = None
+        for seg in self._segments:
+            for k in range(seg.last, seg.first - 1, -1):
+                flt = self._filters[k]
+                if not flt.ready:
+                    accepted[k] = False
+                    continue
+                upstream = seg.upstream_of(k)
+                if upstream is None:
+                    accepted[k] = False
+                    continue
+                fifo_out = seg.fifo_after(k)
+                if fifo_out is not None and fifo_out.full:
+                    accepted[k] = False
+                    continue
+                element = seg.pop_upstream(k)
+                if fifo_out is not None:
+                    fifo_out.push(element)
+                flt.accept(element)
+                accepted[k] = True
+                progress = True
+                if seg is self._segments[0] and k == seg.first:
+                    streamed_label = _element_label(
+                        self.spec.input_array, element
+                    )
+
+        # End of cycle: one latency cycle of each stream elapses.
+        for seg in self._segments:
+            seg.stream.tick()
+
+        # Phase 3: statuses for filters that got no input.
+        for k, flt in enumerate(self._filters):
+            if not accepted.get(k, False):
+                flt.mark_no_input()
+
+        if self.trace is not None:
+            self.trace.record(
+                cycle=self.cycle,
+                stream_label=streamed_label,
+                filter_statuses=[f.status for f in self._filters],
+                fifo_occupancy={
+                    f.fifo_id: len(f)
+                    for seg in self._segments
+                    for f in seg.fifos
+                },
+            )
+        return progress
+
+    # ------------------------------------------------------------------
+    def _result(self) -> SimulationResult:
+        outputs = [
+            (o.iteration, o.value) for o in self._kernel.outputs
+        ]
+        issue_cycles = [o.issue_cycle for o in self._kernel.outputs]
+        if len(issue_cycles) >= 2:
+            gaps = [
+                b - a for a, b in zip(issue_cycles, issue_cycles[1:])
+            ]
+            steady = sum(gaps) / len(gaps)
+            worst = max(gaps)
+        else:
+            steady = 1.0
+            worst = 1
+        stats = SimulationStats(
+            total_cycles=self.cycle,
+            outputs_produced=len(outputs),
+            first_output_cycle=(
+                issue_cycles[0] if issue_cycles else None
+            ),
+            steady_state_ii=steady,
+            worst_output_gap=worst,
+            fifo_max_occupancy={
+                f.fifo_id: f.max_occupancy
+                for seg in self._segments
+                for f in seg.fifos
+            },
+            fifo_capacity={
+                f.fifo_id: f.capacity
+                for seg in self._segments
+                for f in seg.fifos
+            },
+            elements_streamed_per_segment=[
+                seg.stream.elements_streamed for seg in self._segments
+            ],
+            filter_forwarded={
+                f.filter_id: f.forwarded for f in self._filters
+            },
+            filter_discarded={
+                f.filter_id: f.discarded for f in self._filters
+            },
+        )
+        return SimulationResult(
+            outputs=outputs, stats=stats, trace=self.trace
+        )
+
+    def _deadlock_report(self) -> str:
+        lines = [
+            f"deadlock at cycle {self.cycle}: "
+            f"{self._kernel.consumed_iterations}/"
+            f"{self._expected_outputs} outputs produced"
+        ]
+        for k, flt in enumerate(self._filters):
+            pend = (
+                f"pending {flt.pending[0]}"
+                if flt.pending is not None
+                else "pending empty"
+            )
+            lines.append(
+                f"  filter {k} ({flt.reference.label}): {pend}, "
+                f"status {flt.status}"
+            )
+        for seg in self._segments:
+            for f in seg.fifos:
+                lines.append(
+                    f"  FIFO {f.fifo_id}: {len(f)}/{f.capacity}"
+                )
+            lines.append(
+                f"  stream: available={seg.stream.available} "
+                f"exhausted={seg.stream.exhausted}"
+            )
+        return "\n".join(lines)
+
+
+class _SegmentRuntime:
+    """Mutable per-segment state: its stream and internal FIFOs."""
+
+    def __init__(
+        self,
+        first: int,
+        last: int,
+        fifos: List[SimFifo],
+        stream: DataStream,
+    ) -> None:
+        self.first = first
+        self.last = last
+        self.fifos = fifos
+        self.stream = stream
+
+    def upstream_of(self, k: int) -> Optional[object]:
+        """The data source feeding splitter ``k`` if it has data."""
+        if k == self.first:
+            return self.stream if self.stream.available else None
+        fifo = self.fifos[k - self.first - 1]
+        return fifo if not fifo.empty else None
+
+    def fifo_after(self, k: int) -> Optional[SimFifo]:
+        if k == self.last:
+            return None
+        return self.fifos[k - self.first]
+
+    def pop_upstream(self, k: int) -> Element:
+        if k == self.first:
+            return self.stream.pop()
+        return self.fifos[k - self.first - 1].pop()
+
+
+def _element_label(array: str, element: Element) -> str:
+    point, _ = element
+    indices = "".join(f"[{c}]" for c in point)
+    return f"{array}{indices}"

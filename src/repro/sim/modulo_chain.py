@@ -1,0 +1,175 @@
+"""The paper's future-work alternative (Section 6): a *modulo-scheduled*
+centralized controller over the same non-uniform banks.
+
+"Our data streaming method may not be the only solution for utilizing
+the non-uniform reuse buffers.  A modified modulo scheduling extended
+from conventional uniform memory partitioning is also a good candidate."
+
+This module implements that candidate: keep the paper's n-1 banks with
+their exact non-uniform capacities, but drive them with a static
+schedule instead of distributed handshakes.  Bank ``k`` is a circular
+buffer of capacity ``c_k`` addressed by ``(t mod c_k)`` counters.  Every
+cycle one element enters bank 0; the element *read* from bank ``k``
+(age ``D_k = c_0 + ... + c_k``) is forwarded simultaneously to reference
+port ``k+1`` and to bank ``k+1``'s write port — one read plus one write
+per dual-ported bank per cycle, so the schedule is port-feasible.
+
+Properties (verified by tests):
+
+* same bank count and total capacity as the streaming design — the
+  non-uniform optimality transfers to the centralized controller;
+* functionally identical output on rectangular (hull-streamed) domains;
+* the address generation needs a modulo counter per bank with a
+  *non-uniform, generally non-power-of-two* modulus — this is the cost
+  the streaming design avoids, quantified by
+  :func:`repro.resources.estimate.estimate_modulo_chain`.
+
+Limitation (deliberate, also the paper's point): the static schedule
+assumes constant reuse distances, i.e. hull-box streaming of box
+domains; skewed domains would need the dynamic adaptation that only the
+distributed design provides (Section 3.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..microarch.memory_system import MemorySystem
+from ..polyhedral.domain import BoxDomain
+from ..polyhedral.lexorder import Vector
+from ..stencil.expr import evaluate
+from ..stencil.spec import StencilSpec
+
+
+@dataclass
+class ModuloChainStats:
+    """Timing/occupancy statistics of a modulo-scheduled run."""
+
+    total_cycles: int
+    outputs_produced: int
+    fill_cycles: int
+    bank_moduli: List[int]
+
+
+@dataclass
+class ModuloChainResult:
+    outputs: List[Tuple[Vector, float]]
+    stats: ModuloChainStats
+
+    def output_values(self) -> List[float]:
+        return [v for _, v in self.outputs]
+
+
+class ModuloChainSimulator:
+    """Cycle-counting simulator of the modulo-scheduled controller."""
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        system: MemorySystem,
+        grid: np.ndarray,
+    ) -> None:
+        if tuple(grid.shape) != tuple(spec.grid):
+            raise ValueError("grid shape does not match spec")
+        if not isinstance(system.stream_domain, BoxDomain):
+            raise TypeError(
+                "the static modulo schedule requires hull-box "
+                "streaming (constant reuse distances)"
+            )
+        if len(system.segments) != 1:
+            raise ValueError(
+                "modulo scheduling drives the unbroken single-stream "
+                "chain"
+            )
+        self.spec = spec
+        self.system = system
+        self.grid = grid
+        self._capacities = system.fifo_capacities()
+        self._references = [f.reference for f in system.filters]
+        self._expression = spec.expression
+
+    def run(self) -> ModuloChainResult:
+        stream_domain = self.system.stream_domain
+        refs = self._references
+        caps = self._capacities
+        n = len(refs)
+        # Cumulative delays: reference k lags reference 0 by D_{k-1}.
+        delays = [0]
+        for c in caps:
+            delays.append(delays[-1] + c)
+        # Circular banks, addressed (t mod c_k).
+        banks: List[List[Optional[Tuple[Vector, float]]]] = [
+            [None] * c for c in caps
+        ]
+        expected = self.spec.iteration_domain.count()
+        outputs: List[Tuple[Vector, float]] = []
+        first_output_cycle: Optional[int] = None
+
+        # The kernel fires at the cycle the earliest reference's needed
+        # element arrives; iterate iterations in lex order and walk the
+        # stream in lock step.
+        iter_points = self.spec.iteration_domain.iter_points()
+        next_iter = next(iter_points, None)
+        t = 0
+        for element_point in stream_domain.iter_points():
+            t += 1
+            incoming: Tuple[Vector, float] = (
+                element_point,
+                float(self.grid[element_point]),
+            )
+            # Modulo-scheduled data movement: the element read out of
+            # bank k this cycle cascades into bank k+1.
+            cascade = incoming
+            port_values: List[Tuple[Vector, float]] = [incoming]
+            for k in range(n - 1):
+                slot = t % caps[k]
+                read_out = banks[k][slot]
+                banks[k][slot] = cascade
+                cascade = read_out  # forwarded to port k+1 and bank k+1
+                port_values.append(read_out)  # may be None during fill
+
+            # Fire the kernel if the current iteration's earliest
+            # element is exactly the incoming one.
+            if next_iter is not None:
+                needed_first = refs[0].access_index(next_iter)
+                if needed_first == element_point:
+                    env: Dict[Tuple[str, Vector], float] = {}
+                    for ref, slot_value in zip(refs, port_values):
+                        if slot_value is None:
+                            raise RuntimeError(
+                                "modulo schedule underflow: bank read "
+                                f"empty at iteration {next_iter}"
+                            )
+                        point, value = slot_value
+                        expected_point = ref.access_index(next_iter)
+                        if point != expected_point:
+                            raise RuntimeError(
+                                "modulo schedule misalignment: port "
+                                f"for {ref.label} holds {point}, "
+                                f"expected {expected_point}"
+                            )
+                        env[(ref.array, ref.offset)] = value
+                    outputs.append(
+                        (
+                            next_iter,
+                            float(evaluate(self._expression, env)),
+                        )
+                    )
+                    if first_output_cycle is None:
+                        first_output_cycle = t
+                    next_iter = next(iter_points, None)
+        if len(outputs) != expected:
+            raise RuntimeError(
+                f"modulo-scheduled run produced {len(outputs)} of "
+                f"{expected} outputs"
+            )
+        stats = ModuloChainStats(
+            total_cycles=t,
+            outputs_produced=len(outputs),
+            fill_cycles=first_output_cycle or 0,
+            bank_moduli=list(caps),
+        )
+        return ModuloChainResult(outputs=outputs, stats=stats)

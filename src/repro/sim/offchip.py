@@ -1,0 +1,187 @@
+"""Off-chip memory substrate: DRAM timing and a shared bus.
+
+"External memory bandwidth is a dominant bottleneck for system
+performance and power consumption" (Section 1) — and the Appendix 9.4
+trade-off only works if the extra off-chip accesses per cycle actually
+exist.  This module supplies that substrate:
+
+* :class:`DramTimingModel` — a sequential-burst DRAM read stream:
+  ``words_per_cycle`` peak rate, an initial latency, and a periodic
+  row-activation stall every DRAM row (the streaming accesses are
+  perfectly sequential, so no reordering model is needed);
+* :class:`OffchipBus` — a fixed-width bus shared by all chain segments;
+  each cycle it grants at most ``words_per_cycle`` stream pops, in
+  rotating round-robin order across the attached streams;
+* :class:`ThrottledDataStream` — a :class:`~repro.sim.stream.DataStream`
+  gated by a DRAM model and/or a bus grant.
+
+With these, the simulator shows *both* sides of the Fig 14/15 story:
+breaking the chain shrinks the buffers when bandwidth exists, and
+degrades throughput when it does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..polyhedral.domain import IntegerPolyhedron
+from .stream import DataStream
+
+
+@dataclass(frozen=True)
+class DramTimingModel:
+    """Timing of one sequential DRAM read stream.
+
+    Parameters
+    ----------
+    words_per_cycle:
+        Sustained transfer rate while a row is open (words granted
+        per cycle; may be fractional, e.g. 0.5 = one word every other
+        cycle).
+    row_words:
+        Words per DRAM row; crossing a row boundary stalls the stream.
+    row_miss_penalty:
+        Stall cycles per row activation (precharge + activate + CAS).
+    initial_latency:
+        Cycles before the first word arrives.
+    """
+
+    words_per_cycle: float = 1.0
+    row_words: int = 512
+    row_miss_penalty: int = 4
+    initial_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.words_per_cycle <= 0:
+            raise ValueError("DRAM rate must be positive")
+        if self.row_words < 1:
+            raise ValueError("row size must be >= 1 word")
+        if self.row_miss_penalty < 0 or self.initial_latency < 0:
+            raise ValueError("penalties must be non-negative")
+
+    def effective_rate(self) -> float:
+        """Long-run words per cycle including row-activation stalls."""
+        cycles_per_row = (
+            self.row_words / self.words_per_cycle
+            + self.row_miss_penalty
+        )
+        return self.row_words / cycles_per_row
+
+
+class ThrottledDataStream(DataStream):
+    """A data stream gated by DRAM timing and optionally a shared bus.
+
+    Credits accumulate at the DRAM rate; a pop consumes one credit and,
+    when attached to a bus, one bus grant.  Row-boundary stalls pause
+    credit accumulation for ``row_miss_penalty`` cycles.
+    """
+
+    def __init__(
+        self,
+        domain: IntegerPolyhedron,
+        grid: np.ndarray,
+        dram: Optional[DramTimingModel] = None,
+        bus: Optional["OffchipBus"] = None,
+    ) -> None:
+        model = dram or DramTimingModel()
+        super().__init__(
+            domain, grid, initial_latency=model.initial_latency
+        )
+        self._dram = model
+        self._bus = bus
+        self._credits = 0.0
+        self._stall = 0
+        if bus is not None:
+            bus.attach(self)
+
+    def tick(self) -> None:
+        super().tick()
+        if self._latency > 0:
+            return
+        if self._stall > 0:
+            self._stall -= 1
+            return
+        self._credits = min(
+            self._credits + self._dram.words_per_cycle,
+            4 * self._dram.words_per_cycle + 1,
+        )
+
+    @property
+    def available(self) -> bool:
+        if not super().available:
+            return False
+        if self._stall > 0 or self._credits < 1.0:
+            return False
+        if self._bus is not None and not self._bus.can_grant(self):
+            return False
+        return True
+
+    def pop(self):
+        element = super().pop()
+        self._credits -= 1.0
+        if self._bus is not None:
+            self._bus.grant(self)
+        if (
+            self.elements_streamed % self._dram.row_words == 0
+            and self._dram.row_miss_penalty > 0
+        ):
+            self._stall = self._dram.row_miss_penalty
+        return element
+
+    @property
+    def waiting(self) -> bool:
+        """Progress is pending whenever data remains but timing
+        (latency, stalls, credits or bus contention) gates it."""
+        if self._head is None:
+            return False
+        return not self.available
+
+
+class OffchipBus:
+    """A shared off-chip bus granting a fixed word budget per cycle.
+
+    Streams are served in rotating round-robin order: the rotation
+    offset advances every cycle so no chain segment is starved.
+    """
+
+    def __init__(self, words_per_cycle: int = 1) -> None:
+        if words_per_cycle < 1:
+            raise ValueError("bus width must be >= 1 word/cycle")
+        self.words_per_cycle = words_per_cycle
+        self._streams: List[ThrottledDataStream] = []
+        self._grants_left = words_per_cycle
+        self._rotation = 0
+        self.total_words = 0
+
+    def attach(self, stream: ThrottledDataStream) -> None:
+        self._streams.append(stream)
+
+    def begin_cycle(self) -> None:
+        """Reset this cycle's grant budget and advance the rotation."""
+        self._grants_left = self.words_per_cycle
+        if self._streams:
+            self._rotation = (self._rotation + 1) % len(self._streams)
+
+    def _priority(self, stream: ThrottledDataStream) -> int:
+        idx = self._streams.index(stream)
+        return (idx - self._rotation) % len(self._streams)
+
+    def can_grant(self, stream: ThrottledDataStream) -> bool:
+        """Work-conserving arbitration: any grant left may be used.
+
+        Fairness across segments comes from the chain's own
+        backpressure — a segment whose filters are stalled stops
+        popping, freeing the bus for the others — so reserving grants
+        for stalled consumers would only waste bandwidth.
+        """
+        del stream
+        return self._grants_left > 0
+
+    def grant(self, stream: ThrottledDataStream) -> None:
+        if self._grants_left <= 0:
+            raise RuntimeError("bus over-granted")
+        self._grants_left -= 1
+        self.total_words += 1

@@ -1,0 +1,88 @@
+"""Off-chip data streams feeding the memory system.
+
+The microarchitecture consumes each data array as a single lexicographic
+stream (Section 3.3.1: the order "fits well with burst accesses to
+external memory").  :class:`DataStream` walks the streamed domain in lex
+order and produces ``(point, value)`` elements from a backing NumPy grid,
+at most one per cycle per stream (one off-chip access per cycle per chain
+segment); an optional initial latency models the DRAM/bus round trip
+hidden by the prefetcher of Fig 13b.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..polyhedral.domain import IntegerPolyhedron
+from ..polyhedral.lexorder import Vector
+
+
+class DataStream:
+    """One lexicographically ordered element stream over a domain.
+
+    ``peek`` exposes the head element without consuming it; ``pop``
+    consumes it.  ``pop`` may be called at most once per cycle by the
+    chain (enforced structurally: only one splitter reads each stream).
+    """
+
+    def __init__(
+        self,
+        domain: IntegerPolyhedron,
+        grid: np.ndarray,
+        initial_latency: int = 0,
+    ) -> None:
+        if initial_latency < 0:
+            raise ValueError("initial latency must be >= 0")
+        self._domain = domain
+        self._grid = grid
+        self._iter: Iterator[Vector] = domain.iter_points()
+        self._head: Optional[Tuple[Vector, float]] = None
+        self._exhausted = False
+        self._latency = initial_latency
+        self.elements_streamed = 0
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            point = next(self._iter)
+        except StopIteration:
+            self._head = None
+            self._exhausted = True
+            return
+        value = float(self._grid[point])
+        self._head = (point, value)
+
+    def tick(self) -> None:
+        """Advance one cycle of initial latency (no-op afterwards)."""
+        if self._latency > 0:
+            self._latency -= 1
+
+    @property
+    def available(self) -> bool:
+        """True iff an element can be popped this cycle."""
+        return self._latency == 0 and self._head is not None
+
+    @property
+    def waiting(self) -> bool:
+        """True iff the stream is still serving its initial latency
+        (progress is coming even though nothing can pop yet)."""
+        return self._latency > 0 and self._head is not None
+
+    @property
+    def exhausted(self) -> bool:
+        """True iff every element has been streamed."""
+        return self._exhausted and self._head is None
+
+    def peek(self) -> Tuple[Vector, float]:
+        if not self.available:
+            raise RuntimeError("peek on an unavailable stream")
+        assert self._head is not None
+        return self._head
+
+    def pop(self) -> Tuple[Vector, float]:
+        element = self.peek()
+        self.elements_streamed += 1
+        self._advance()
+        return element

@@ -1,0 +1,140 @@
+"""Execution-flow tracing in the format of the paper's Table 3.
+
+Each recorded cycle captures: the element entering the chain from the
+off-chip stream, every data filter's status (``f`` forwarding, ``d``
+discarding, ``s`` stalled, ``.`` idle), and every reuse FIFO's occupancy.
+The rendered table makes the automatic buffer-filling process (Section
+3.4.1) directly visible and comparable against Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One cycle of the execution-flow trace."""
+
+    cycle: int
+    stream_label: Optional[str]
+    filter_statuses: tuple
+    fifo_occupancy: Dict[int, int]
+
+
+class TraceRecorder:
+    """Collects per-cycle rows, bounded by ``max_cycles``."""
+
+    def __init__(self, max_cycles: int = 4096) -> None:
+        if max_cycles < 1:
+            raise ValueError("max_cycles must be positive")
+        self.max_cycles = max_cycles
+        self.rows: List[TraceRow] = []
+
+    def record(
+        self,
+        cycle: int,
+        stream_label: Optional[str],
+        filter_statuses: Sequence[str],
+        fifo_occupancy: Dict[int, int],
+    ) -> None:
+        if len(self.rows) >= self.max_cycles:
+            return
+        self.rows.append(
+            TraceRow(
+                cycle=cycle,
+                stream_label=stream_label,
+                filter_statuses=tuple(filter_statuses),
+                fifo_occupancy=dict(fifo_occupancy),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def first_cycle_with_status(
+        self, filter_id: int, status: str
+    ) -> Optional[int]:
+        """First cycle a given filter shows a given status (used to
+        check the filling order of Table 3)."""
+        for row in self.rows:
+            if (
+                filter_id < len(row.filter_statuses)
+                and row.filter_statuses[filter_id] == status
+            ):
+                return row.cycle
+        return None
+
+    def fifo_fill_cycle(self, fifo_id: int) -> Optional[int]:
+        """First cycle a FIFO reaches its maximum observed occupancy."""
+        peak = max(
+            (row.fifo_occupancy.get(fifo_id, 0) for row in self.rows),
+            default=0,
+        )
+        if peak == 0:
+            return None
+        for row in self.rows:
+            if row.fifo_occupancy.get(fifo_id, 0) == peak:
+                return row.cycle
+        return None
+
+    def occupancy_series(self, fifo_id: int) -> List[int]:
+        """Per-cycle occupancy of one FIFO (skewed-grid analysis)."""
+        return [
+            row.fifo_occupancy.get(fifo_id, 0) for row in self.rows
+        ]
+
+    # ------------------------------------------------------------------
+    def render(
+        self, max_rows: Optional[int] = None, compress: bool = True
+    ) -> str:
+        """ASCII rendering in the style of Table 3.
+
+        With ``compress=True``, runs of identical (statuses, occupancy)
+        rows collapse into one line with a cycle range.
+        """
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        if not rows:
+            return "(empty trace)"
+        fifo_ids = sorted(rows[0].fifo_occupancy)
+        n_filters = len(rows[0].filter_statuses)
+        header = (
+            ["cycle", "stream"]
+            + [f"flt{k}" for k in range(n_filters)]
+            + [f"FIFO{j}" for j in fifo_ids]
+        )
+        lines = ["  ".join(f"{h:>10s}" for h in header)]
+
+        def fmt(row: TraceRow, cycle_text: str) -> str:
+            cells = [cycle_text, row.stream_label or "-"]
+            cells += list(row.filter_statuses)
+            cells += [str(row.fifo_occupancy.get(j, 0)) for j in fifo_ids]
+            return "  ".join(f"{c:>10s}" for c in cells)
+
+        if not compress:
+            lines += [fmt(r, str(r.cycle)) for r in rows]
+            return "\n".join(lines)
+
+        def signature(row: TraceRow):
+            return (row.filter_statuses, tuple(sorted(
+                row.fifo_occupancy.items()
+            )))
+
+        start = 0
+        while start < len(rows):
+            end = start
+            while (
+                end + 1 < len(rows)
+                and signature(rows[end + 1]) == signature(rows[start])
+            ):
+                end += 1
+            if end == start:
+                lines.append(fmt(rows[start], str(rows[start].cycle)))
+            else:
+                lines.append(
+                    fmt(
+                        rows[start],
+                        f"{rows[start].cycle}-{rows[end].cycle}",
+                    )
+                )
+            start = end + 1
+        return "\n".join(lines)

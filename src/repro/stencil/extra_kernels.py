@@ -1,0 +1,209 @@
+"""Extended stencil kernel library beyond the paper's six benchmarks.
+
+The paper's method applies to *any* stencil access pattern; this module
+provides the standard kernels of the wider stencil literature so
+downstream users (and our property tests) can exercise shapes the paper
+never measured: Jacobi relaxations, heat equations, wide Gaussian
+windows, high-order finite differences and asymmetric/strided windows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Tuple
+
+from .expr import Ref, weighted_sum
+from .spec import StencilSpec, StencilWindow
+
+# ----------------------------------------------------------------------
+# 2D kernels
+# ----------------------------------------------------------------------
+
+JACOBI_2D = StencilSpec(
+    name="JACOBI_2D",
+    grid=(512, 512),
+    window=StencilWindow.von_neumann(2, 1, include_center=False),
+    expression=0.25
+    * (Ref((-1, 0)) + Ref((1, 0)) + Ref((0, -1)) + Ref((0, 1))),
+)
+
+HEAT_2D = StencilSpec(
+    name="HEAT_2D",
+    grid=(512, 512),
+    window=StencilWindow.von_neumann(2, 1),
+    expression=Ref((0, 0))
+    + 0.1
+    * (
+        Ref((-1, 0))
+        + Ref((1, 0))
+        + Ref((0, -1))
+        + Ref((0, 1))
+        - 4.0 * Ref((0, 0))
+    ),
+)
+
+
+def _gaussian_5x5() -> StencilSpec:
+    """Separable 5x5 Gaussian blur (25-point window)."""
+    weights_1d = [1.0, 4.0, 6.0, 4.0, 1.0]
+    terms = []
+    for di, wi in zip(range(-2, 3), weights_1d):
+        for dj, wj in zip(range(-2, 3), weights_1d):
+            terms.append(((di, dj), wi * wj / 256.0))
+    return StencilSpec(
+        name="GAUSSIAN_5X5",
+        grid=(480, 640),
+        window=StencilWindow.from_offsets([t[0] for t in terms]),
+        expression=weighted_sum(terms),
+    )
+
+
+GAUSSIAN_5X5 = _gaussian_5x5()
+
+
+def _fd4_laplacian() -> StencilSpec:
+    """4th-order finite-difference Laplacian (9-point cross, reach 2)."""
+    c = -60.0 / 12.0
+    terms = [((0, 0), c * 2)]
+    for axis in (0, 1):
+        for dist, w in ((1, 16.0 / 12.0), (2, -1.0 / 12.0)):
+            for sign in (-1, 1):
+                off = [0, 0]
+                off[axis] = sign * dist
+                terms.append((tuple(off), w))
+    return StencilSpec(
+        name="FD4_LAPLACIAN",
+        grid=(512, 512),
+        window=StencilWindow.from_offsets([t[0] for t in terms]),
+        expression=weighted_sum(terms),
+    )
+
+
+FD4_LAPLACIAN = _fd4_laplacian()
+
+#: An asymmetric window (forward differences + one diagonal), the kind
+#: loop fusion produces (ref [12]).
+FUSED_FORWARD = StencilSpec(
+    name="FUSED_FORWARD",
+    grid=(256, 320),
+    window=StencilWindow.from_offsets(
+        [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 0)]
+    ),
+    expression=weighted_sum(
+        [
+            ((0, 0), 0.4),
+            ((0, 1), 0.2),
+            ((0, 2), 0.05),
+            ((1, 0), 0.2),
+            ((1, 1), 0.1),
+            ((2, 0), 0.05),
+        ]
+    ),
+)
+
+# ----------------------------------------------------------------------
+# 1D kernels (signal processing)
+# ----------------------------------------------------------------------
+
+FIR_5TAP = StencilSpec(
+    name="FIR_5TAP",
+    grid=(4096,),
+    window=StencilWindow.from_offsets(
+        [(-2,), (-1,), (0,), (1,), (2,)]
+    ),
+    expression=weighted_sum(
+        [
+            ((-2,), 0.0625),
+            ((-1,), 0.25),
+            ((0,), 0.375),
+            ((1,), 0.25),
+            ((2,), 0.0625),
+        ]
+    ),
+)
+
+FIR_SPARSE = StencilSpec(
+    name="FIR_SPARSE",
+    grid=(4096,),
+    window=StencilWindow.from_offsets([(-8,), (-3,), (0,), (5,)]),
+    expression=weighted_sum(
+        [((-8,), 0.1), ((-3,), 0.3), ((0,), 0.4), ((5,), 0.2)]
+    ),
+)
+
+# ----------------------------------------------------------------------
+# 3D kernels
+# ----------------------------------------------------------------------
+
+JACOBI_3D = StencilSpec(
+    name="JACOBI_3D",
+    grid=(96, 96, 96),
+    window=StencilWindow.von_neumann(3, 1, include_center=False),
+    expression=weighted_sum(
+        [
+            (o, 1.0 / 6.0)
+            for o in StencilWindow.von_neumann(
+                3, 1, include_center=False
+            ).offsets
+        ]
+    ),
+)
+
+HEAT_3D = StencilSpec(
+    name="HEAT_3D",
+    grid=(96, 96, 96),
+    window=StencilWindow.von_neumann(3, 1),
+    expression=weighted_sum(
+        [((0, 0, 0), 0.4)]
+        + [
+            (o, 0.1)
+            for o in StencilWindow.von_neumann(
+                3, 1, include_center=False
+            ).offsets
+        ]
+    ),
+)
+
+
+def _moore_3d() -> StencilSpec:
+    """Full 27-point 3D box window (e.g. trilinear smoothing)."""
+    offsets = list(itertools.product((-1, 0, 1), repeat=3))
+    weight = {0: 8.0, 1: 4.0, 2: 2.0, 3: 1.0}
+    terms = [
+        (o, weight[sum(abs(c) for c in o)] / 64.0) for o in offsets
+    ]
+    return StencilSpec(
+        name="MOORE_27PT",
+        grid=(64, 64, 64),
+        window=StencilWindow.from_offsets(offsets),
+        expression=weighted_sum(terms),
+    )
+
+
+MOORE_27PT = _moore_3d()
+
+#: All extended kernels by name.
+EXTRA_BENCHMARKS: Dict[str, StencilSpec] = {
+    spec.name: spec
+    for spec in (
+        JACOBI_2D,
+        HEAT_2D,
+        GAUSSIAN_5X5,
+        FD4_LAPLACIAN,
+        FUSED_FORWARD,
+        FIR_5TAP,
+        FIR_SPARSE,
+        JACOBI_3D,
+        HEAT_3D,
+        MOORE_27PT,
+    )
+}
+
+
+def get_extra_benchmark(name: str) -> StencilSpec:
+    key = name.upper()
+    if key not in EXTRA_BENCHMARKS:
+        known = ", ".join(sorted(EXTRA_BENCHMARKS))
+        raise KeyError(f"unknown kernel {name!r}; known: {known}")
+    return EXTRA_BENCHMARKS[key]

@@ -1,0 +1,166 @@
+"""Stencil loop fusion (the paper's ref [12] substrate).
+
+Section 2.1 motivates large stencil windows with "loop fusion of
+stencil applications for computation reduction as proposed in [12]":
+fusing a producer stencil into its consumer eliminates the intermediate
+array (and the paper's Fig 13c inter-accelerator buffer) at the cost of
+recomputation and an *enlarged window* — the Minkowski sum of the two
+windows.  Those enlarged windows are exactly where non-uniform
+partitioning shines (Fig 6c / Table 4's SEGMENTATION row).
+
+:func:`fuse` performs the transformation symbolically on the expression
+AST; the result is an ordinary :class:`~repro.stencil.spec.StencilSpec`
+the whole flow consumes.  Tests verify fused-vs-chained functional
+equivalence, and the fusion bench quantifies the buffer-vs-recompute
+trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..polyhedral.lexorder import Vector
+from .expr import BinOp, Const, Expr, Ref, UnOp, collect_refs
+from .spec import StencilSpec, StencilWindow
+
+
+def shift_expression(expr: Expr, delta: Vector, array: str) -> Expr:
+    """Shift every reference to ``array`` by ``delta``."""
+    if isinstance(expr, Ref):
+        if expr.array == array:
+            return Ref(
+                tuple(o + d for o, d in zip(expr.offset, delta)),
+                expr.array,
+            )
+        return expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, shift_expression(expr.operand, delta, array))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            shift_expression(expr.left, delta, array),
+            shift_expression(expr.right, delta, array),
+        )
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def substitute_producer(
+    consumer_expr: Expr,
+    producer_expr: Expr,
+    intermediate_array: str,
+    producer_array: str,
+) -> Expr:
+    """Replace each read of the intermediate array at offset ``c`` with
+    the producer's expression shifted by ``c``."""
+    if isinstance(consumer_expr, Ref):
+        if consumer_expr.array == intermediate_array:
+            return shift_expression(
+                producer_expr, consumer_expr.offset, producer_array
+            )
+        return consumer_expr
+    if isinstance(consumer_expr, Const):
+        return consumer_expr
+    if isinstance(consumer_expr, UnOp):
+        return UnOp(
+            consumer_expr.op,
+            substitute_producer(
+                consumer_expr.operand,
+                producer_expr,
+                intermediate_array,
+                producer_array,
+            ),
+        )
+    if isinstance(consumer_expr, BinOp):
+        return BinOp(
+            consumer_expr.op,
+            substitute_producer(
+                consumer_expr.left,
+                producer_expr,
+                intermediate_array,
+                producer_array,
+            ),
+            substitute_producer(
+                consumer_expr.right,
+                producer_expr,
+                intermediate_array,
+                producer_array,
+            ),
+        )
+    raise TypeError(f"unknown expression node {consumer_expr!r}")
+
+
+def minkowski_window(
+    producer: StencilWindow, consumer: StencilWindow
+) -> StencilWindow:
+    """The fused window: every producer offset reached from every
+    consumer offset."""
+    offsets = {
+        tuple(p + c for p, c in zip(po, co))
+        for po in producer.offsets
+        for co in consumer.offsets
+    }
+    return StencilWindow.from_offsets(sorted(offsets))
+
+
+def fuse(producer: StencilSpec, consumer: StencilSpec) -> StencilSpec:
+    """Fuse ``consumer(producer(A))`` into one stencil over ``A``.
+
+    Both stages must share dimensionality and read a single array; the
+    consumer is interpreted as reading the producer's output.  The
+    fused kernel runs on the producer's grid, with the Minkowski-sum
+    window and the symbolically substituted expression.
+    """
+    if producer.dim != consumer.dim:
+        raise ValueError("fusion requires equal dimensionality")
+    fused_expr = substitute_producer(
+        consumer.expression,
+        producer.expression,
+        intermediate_array=consumer.input_array,
+        producer_array=producer.input_array,
+    )
+    window = minkowski_window(producer.window, consumer.window)
+    # Sanity: the substituted expression's refs equal the window.
+    refs = {
+        r.offset
+        for r in collect_refs(fused_expr)
+        if r.array == producer.input_array
+    }
+    assert refs == set(window.offsets)
+    return StencilSpec(
+        name=f"{producer.name}+{consumer.name}",
+        grid=producer.grid,
+        window=window,
+        expression=fused_expr,
+        input_array=producer.input_array,
+        output_array=consumer.output_array,
+    )
+
+
+def fusion_statistics(
+    producer: StencilSpec, consumer: StencilSpec
+) -> Dict[str, object]:
+    """Quantify the fusion trade-off for the bench/report:
+
+    * fused window size vs the two original windows,
+    * reuse-buffer sizes of the three accelerators,
+    * arithmetic operations per output (the recompute cost).
+    """
+    from .expr import count_operations
+
+    fused = fuse(producer, consumer)
+    ops_p = sum(count_operations(producer.expression).values())
+    ops_c = sum(count_operations(consumer.expression).values())
+    ops_f = sum(count_operations(fused.expression).values())
+    return {
+        "producer_points": producer.n_points,
+        "consumer_points": consumer.n_points,
+        "fused_points": fused.n_points,
+        "producer_buffer": producer.analysis().minimum_total_buffer(),
+        "consumer_buffer": consumer.analysis().minimum_total_buffer(),
+        "fused_buffer": fused.analysis().minimum_total_buffer(),
+        "chained_ops_per_output": ops_p + ops_c,
+        "fused_ops_per_output": ops_f,
+        "fused_banks": fused.analysis().minimum_banks(),
+    }

@@ -1,0 +1,236 @@
+"""The paper's benchmark suite (Section 5.1).
+
+Six real-life stencil kernels: DENOISE (2D/3D), RICIAN (2D) and
+SEGMENTATION (3D) from medical imaging, BICUBIC (2D) from bicubic
+interpolation, and SOBEL (2D) from edge detection.
+
+The paper only shows the window shapes as figures, so the exact offsets
+below are reconstructed from the cited application domains (see DESIGN.md
+"Substitutions"):
+
+* DENOISE — the 5-point cross of Fig 1/2 on a 768x1024 grid (given
+  explicitly in the paper).
+* RICIAN — a 4-point diamond without centre (Fig 6b), the neighbour
+  term of the Rician-noise regularizer.
+* SOBEL — the 8 neighbours of a 3x3 window (both Sobel kernels have a
+  zero centre coefficient).
+* BICUBIC — 4 stride-2 taps (Fig 6a): the even-pixel taps of a
+  factor-2 bicubic interpolation.
+* DENOISE_3D — the 7-point 3D cross.
+* SEGMENTATION_3D — the 19-point 3D stencil of Fig 6c: centre, 6 face
+  neighbours and 12 edge neighbours.
+
+``PAPER_BENCHMARKS`` preserves Table 4/5 row order.  Each entry also
+carries a skewed variant helper for the Fig 9 experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Tuple
+
+from ..polyhedral.domain import IntegerPolyhedron
+from .expr import Ref, absolute, weighted_sum
+from .spec import StencilSpec, StencilWindow
+
+# ----------------------------------------------------------------------
+# Window definitions
+# ----------------------------------------------------------------------
+
+DENOISE_WINDOW = StencilWindow.von_neumann(dim=2, radius=1)
+
+RICIAN_WINDOW = StencilWindow.von_neumann(
+    dim=2, radius=1, include_center=False
+)
+
+SOBEL_WINDOW = StencilWindow.moore(dim=2, radius=1, include_center=False)
+
+BICUBIC_WINDOW = StencilWindow.from_offsets(
+    [(0, 0), (0, 2), (2, 0), (2, 2)]
+)
+
+DENOISE_3D_WINDOW = StencilWindow.von_neumann(dim=3, radius=1)
+
+SEGMENTATION_3D_WINDOW = StencilWindow.from_offsets(
+    [
+        p
+        for p in itertools.product((-1, 0, 1), repeat=3)
+        if sum(abs(c) for c in p) <= 2
+    ]
+)
+
+
+# ----------------------------------------------------------------------
+# Kernel expressions
+# ----------------------------------------------------------------------
+
+def _denoise_expr():
+    """Weighted 5-point update from the DENOISE regularizer."""
+    c = Ref((0, 0))
+    n = Ref((-1, 0))
+    s = Ref((1, 0))
+    w = Ref((0, -1))
+    e = Ref((0, 1))
+    return 0.5 * c + 0.125 * (n + s + w + e)
+
+
+def _rician_expr():
+    """4-neighbour averaging term of the Rician denoise model."""
+    n = Ref((-1, 0))
+    s = Ref((1, 0))
+    w = Ref((0, -1))
+    e = Ref((0, 1))
+    return 0.25 * (n + s + w + e)
+
+
+def _sobel_expr():
+    """|Gx| + |Gy| of the Sobel operator (zero-centre 3x3 kernels)."""
+    nw, n, ne = Ref((-1, -1)), Ref((-1, 0)), Ref((-1, 1))
+    w, e = Ref((0, -1)), Ref((0, 1))
+    sw, s, se = Ref((1, -1)), Ref((1, 0)), Ref((1, 1))
+    gx = (ne + 2.0 * e + se) - (nw + 2.0 * w + sw)
+    gy = (sw + 2.0 * s + se) - (nw + 2.0 * n + ne)
+    return absolute(gx) + absolute(gy)
+
+
+def _bicubic_expr():
+    """Catmull-Rom midpoint weights on the 4 stride-2 taps."""
+    return weighted_sum(
+        [
+            ((0, 0), 0.5625),
+            ((0, 2), -0.0625),
+            ((2, 0), -0.0625),
+            ((2, 2), 0.5625),
+        ]
+    )
+
+
+def _denoise_3d_expr():
+    """7-point 3D cross update."""
+    c = Ref((0, 0, 0))
+    faces = [
+        Ref((-1, 0, 0)),
+        Ref((1, 0, 0)),
+        Ref((0, -1, 0)),
+        Ref((0, 1, 0)),
+        Ref((0, 0, -1)),
+        Ref((0, 0, 1)),
+    ]
+    acc = faces[0]
+    for f in faces[1:]:
+        acc = acc + f
+    return 0.4 * c + 0.1 * acc
+
+
+def _segmentation_3d_expr():
+    """19-point weighted smoothing used in 3D segmentation."""
+    terms: List[Tuple[Tuple[int, int, int], float]] = []
+    for p in SEGMENTATION_3D_WINDOW.offsets:
+        weight_by_l1 = {0: 0.28, 1: 0.06, 2: 0.03}
+        terms.append((p, weight_by_l1[sum(abs(c) for c in p)]))
+    return weighted_sum(terms)
+
+
+# ----------------------------------------------------------------------
+# Benchmark specs (paper-scale grids)
+# ----------------------------------------------------------------------
+
+DENOISE = StencilSpec(
+    name="DENOISE",
+    grid=(768, 1024),
+    window=DENOISE_WINDOW,
+    expression=_denoise_expr(),
+)
+
+RICIAN = StencilSpec(
+    name="RICIAN",
+    grid=(768, 1024),
+    window=RICIAN_WINDOW,
+    expression=_rician_expr(),
+)
+
+SOBEL = StencilSpec(
+    name="SOBEL",
+    grid=(512, 512),
+    window=SOBEL_WINDOW,
+    expression=_sobel_expr(),
+)
+
+BICUBIC = StencilSpec(
+    name="BICUBIC",
+    grid=(512, 512),
+    window=BICUBIC_WINDOW,
+    expression=_bicubic_expr(),
+)
+
+DENOISE_3D = StencilSpec(
+    name="DENOISE_3D",
+    grid=(128, 128, 128),
+    window=DENOISE_3D_WINDOW,
+    expression=_denoise_3d_expr(),
+)
+
+SEGMENTATION_3D = StencilSpec(
+    name="SEGMENTATION_3D",
+    grid=(128, 128, 128),
+    window=SEGMENTATION_3D_WINDOW,
+    expression=_segmentation_3d_expr(),
+)
+
+#: Table 4/5 row order.
+PAPER_BENCHMARKS: Tuple[StencilSpec, ...] = (
+    DENOISE,
+    RICIAN,
+    SOBEL,
+    BICUBIC,
+    DENOISE_3D,
+    SEGMENTATION_3D,
+)
+
+#: Lookup by name (upper-case).
+BENCHMARKS_BY_NAME: Dict[str, StencilSpec] = {
+    spec.name: spec for spec in PAPER_BENCHMARKS
+}
+
+
+def get_benchmark(name: str) -> StencilSpec:
+    """Look up a paper benchmark by (case-insensitive) name."""
+    key = name.upper()
+    if key not in BENCHMARKS_BY_NAME:
+        known = ", ".join(sorted(BENCHMARKS_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return BENCHMARKS_BY_NAME[key]
+
+
+def skewed_denoise(rows: int = 16, cols: int = 20) -> StencilSpec:
+    """A DENOISE-like kernel on the skewed (parallelogram) iteration
+    domain of Fig 9, where reuse distances change dynamically.
+
+    The domain is ``{(i, j) : 1 <= i <= rows, i + 1 <= j <= i + cols}`` —
+    each row shifted one column right of the previous one, which is what a
+    45-degree loop skew of a rectangular grid produces.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("skewed domain too small for a 5-point window")
+    # Constraints over (i, j):
+    #   1 <= i <= rows
+    #   i + 1 <= j           =>  i - j <= -1
+    #   j <= i + cols        => -i + j <= cols
+    domain = IntegerPolyhedron(
+        coefficients=[
+            (1, 0),
+            (-1, 0),
+            (1, -1),
+            (-1, 1),
+        ],
+        bounds=[rows, -1, -1, cols],
+    )
+    grid_rows = rows + 2
+    grid_cols = rows + cols + 2
+    return StencilSpec(
+        name="DENOISE_SKEWED",
+        grid=(grid_rows, grid_cols),
+        window=DENOISE_WINDOW,
+        expression=_denoise_expr(),
+        iteration_domain=domain,
+    )

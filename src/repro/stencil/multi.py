@@ -1,0 +1,206 @@
+"""Multi-array stencil kernels (the full Fig 3 architecture).
+
+The paper's overall architecture contains "multiple memory systems, and
+each is optimized to a data array with stencil accesses.  Since there
+are no reuse opportunities among different data arrays, the memory
+systems for different arrays are independent of each other."
+
+:class:`MultiArraySpec` describes a kernel whose expression reads any
+number of input arrays, each with its own stencil window; one memory
+system is generated per array and all of them feed the same computation
+kernel.  Real kernels of this shape include the full RICIAN update
+(image + previous-iterate arrays) and frame-difference kernels
+(two video frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..polyhedral.access import ArrayReference
+from ..polyhedral.analysis import StencilAnalysis
+from ..polyhedral.domain import BoxDomain, IntegerPolyhedron
+from ..polyhedral.lexorder import Vector, as_vector
+from .expr import Expr, collect_refs, evaluate
+from .spec import StencilWindow
+
+
+@dataclass(frozen=True)
+class MultiArraySpec:
+    """A stencil kernel over several input arrays on one shared grid.
+
+    All arrays live on the same grid shape (the common case: multiple
+    fields over one physical domain) and are indexed by the same
+    iteration vector plus per-reference constant offsets.
+
+    Parameters
+    ----------
+    name:
+        Kernel name.
+    grid:
+        Shared grid extents, outermost first.
+    expression:
+        Kernel body; its :class:`~repro.stencil.expr.Ref` leaves define
+        the per-array windows.
+    output_array:
+        Name for the produced array.
+    iteration_domain:
+        Optional custom domain; defaults to the interior where every
+        reference of every array stays in bounds.
+    """
+
+    name: str
+    grid: Vector
+    expression: Expr
+    output_array: str = "OUT"
+    iteration_domain: Optional[IntegerPolyhedron] = field(default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "grid", as_vector(self.grid))
+        refs = collect_refs(self.expression)
+        if not refs:
+            raise ValueError("expression references no arrays")
+        dims = {len(r.offset) for r in refs}
+        if len(dims) != 1:
+            raise ValueError("references disagree on dimensionality")
+        dim = dims.pop()
+        if dim != len(self.grid):
+            raise ValueError(
+                f"grid has {len(self.grid)} dims but references have "
+                f"{dim}"
+            )
+        if any(g <= 0 for g in self.grid):
+            raise ValueError("grid extents must be positive")
+        arrays = sorted({r.array for r in refs})
+        if self.output_array in arrays:
+            raise ValueError(
+                "output array name collides with an input array"
+            )
+        object.__setattr__(self, "_input_arrays", tuple(arrays))
+        if self.iteration_domain is None:
+            object.__setattr__(
+                self, "iteration_domain", self._default_domain()
+            )
+        if self.iteration_domain.dim != dim:
+            raise ValueError("iteration domain dimensionality mismatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return len(self.grid)
+
+    @property
+    def input_arrays(self) -> Tuple[str, ...]:
+        """Input array names, sorted."""
+        return self._input_arrays  # type: ignore[attr-defined]
+
+    def window(self, array: str) -> StencilWindow:
+        """The stencil window of one input array."""
+        offsets = [
+            r.offset
+            for r in collect_refs(self.expression)
+            if r.array == array
+        ]
+        if not offsets:
+            raise KeyError(f"no references to array {array!r}")
+        return StencilWindow.from_offsets(offsets)
+
+    def total_references(self) -> int:
+        """Window points summed over all arrays (the kernel's port
+        count)."""
+        return len(collect_refs(self.expression))
+
+    def _default_domain(self) -> BoxDomain:
+        lows = [0] * self.dim
+        highs = [g - 1 for g in self.grid]
+        for ref in collect_refs(self.expression):
+            for j, d in enumerate(ref.offset):
+                lows[j] = max(lows[j], -d)
+                highs[j] = min(highs[j], self.grid[j] - 1 - d)
+        for lo, hi in zip(lows, highs):
+            if lo > hi:
+                raise ValueError(
+                    "grid too small for the union of all windows"
+                )
+        return BoxDomain(lows, highs)
+
+    # ------------------------------------------------------------------
+    def references(self, array: str) -> List[ArrayReference]:
+        """References of one array in descending lex offset order."""
+        return [
+            ArrayReference(array, o) for o in self.window(array).offsets
+        ]
+
+    def analysis(
+        self, array: str, stream_mode: str = "hull"
+    ) -> StencilAnalysis:
+        """Per-array stencil analysis (one memory system per array)."""
+        return StencilAnalysis(
+            array,
+            self.references(array),
+            self.iteration_domain,
+            stream_mode=stream_mode,
+        )
+
+    def analyses(
+        self, stream_mode: str = "hull"
+    ) -> Dict[str, StencilAnalysis]:
+        return {
+            a: self.analysis(a, stream_mode) for a in self.input_arrays
+        }
+
+    def __str__(self) -> str:
+        dims = "x".join(str(g) for g in self.grid)
+        parts = ", ".join(
+            f"{a}:{self.window(a).n_points}pt" for a in self.input_arrays
+        )
+        return f"{self.name}: multi-array stencil ({parts}) on {dims}"
+
+
+def make_inputs(
+    spec: MultiArraySpec, seed: int = 2014
+) -> Dict[str, np.ndarray]:
+    """Deterministic input grids, one per input array."""
+    rng = np.random.default_rng(seed)
+    return {
+        array: rng.uniform(0.0, 255.0, size=spec.grid)
+        for array in spec.input_arrays
+    }
+
+
+def run_golden_multi(
+    spec: MultiArraySpec, grids: Dict[str, np.ndarray]
+) -> np.ndarray:
+    """Vectorized golden output over the (box) iteration domain."""
+    domain = spec.iteration_domain
+    if not isinstance(domain, BoxDomain):
+        raise TypeError(
+            "vectorized multi-array golden needs a box domain"
+        )
+    missing = set(spec.input_arrays) - set(grids)
+    if missing:
+        raise ValueError(f"missing input grids for {sorted(missing)}")
+    env = {}
+    for ref in collect_refs(spec.expression):
+        grid = grids[ref.array]
+        if tuple(grid.shape) != tuple(spec.grid):
+            raise ValueError(
+                f"grid for {ref.array!r} has shape {grid.shape}, "
+                f"expected {spec.grid}"
+            )
+        slices = tuple(
+            slice(lo + d, hi + d + 1)
+            for lo, hi, d in zip(domain.lows, domain.highs, ref.offset)
+        )
+        env[(ref.array, ref.offset)] = grid[slices]
+    return np.asarray(evaluate(spec.expression, env))
+
+
+def golden_multi_sequence(
+    spec: MultiArraySpec, grids: Dict[str, np.ndarray]
+) -> List[float]:
+    """Golden outputs as the flat lexicographic sequence."""
+    return [float(v) for v in run_golden_multi(spec, grids).ravel()]

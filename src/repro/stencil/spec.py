@@ -1,0 +1,267 @@
+"""Stencil application specifications (the DSL front end of Fig 11).
+
+A :class:`StencilSpec` fully describes one stencil kernel: the grid, the
+stencil window (equivalently the set of array-reference offsets), and the
+computation expression.  It derives the iteration domain — by default the
+grid *interior* on which every window point stays inside the grid, exactly
+as in the paper's Fig 1 DENOISE loop (``i in [1, 766]``, ``j in
+[1, 1022]`` for a 768x1024 grid with a 5-point window) — and exposes the
+polyhedral analysis used by every downstream stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..polyhedral.access import ArrayReference
+from ..polyhedral.analysis import StencilAnalysis
+from ..polyhedral.domain import BoxDomain, IntegerPolyhedron
+from ..polyhedral.lexorder import Vector, as_vector
+from .expr import Expr, Ref, collect_refs, weighted_sum
+
+
+@dataclass(frozen=True)
+class StencilWindow:
+    """A stencil window: the set of constant access offsets.
+
+    Offsets are stored sorted in *descending* lexicographic order (the
+    paper's filter order: lexicographically earliest reference first).
+    """
+
+    offsets: Tuple[Vector, ...]
+
+    def __post_init__(self) -> None:
+        pts = [as_vector(p) for p in self.offsets]
+        if not pts:
+            raise ValueError("stencil window must contain at least 1 point")
+        dims = {len(p) for p in pts}
+        if len(dims) != 1:
+            raise ValueError("window offsets disagree on dimensionality")
+        if len(set(pts)) != len(pts):
+            raise ValueError("duplicate offsets in stencil window")
+        object.__setattr__(
+            self, "offsets", tuple(sorted(pts, reverse=True))
+        )
+
+    @property
+    def n_points(self) -> int:
+        """Window size ``n`` — also the original pipeline II before
+        partitioning (Table 4's "Original II")."""
+        return len(self.offsets)
+
+    @property
+    def dim(self) -> int:
+        return len(self.offsets[0])
+
+    def span(self) -> Tuple[Vector, Vector]:
+        """Per-dimension (min, max) offset extents."""
+        mins = tuple(
+            min(p[j] for p in self.offsets) for j in range(self.dim)
+        )
+        maxs = tuple(
+            max(p[j] for p in self.offsets) for j in range(self.dim)
+        )
+        return mins, maxs
+
+    def __iter__(self):
+        return iter(self.offsets)
+
+    def __contains__(self, offset: Sequence[int]) -> bool:
+        return as_vector(offset) in self.offsets
+
+    # ------------------------------------------------------------------
+    # Common window shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def von_neumann(
+        cls, dim: int, radius: int = 1, include_center: bool = True
+    ) -> "StencilWindow":
+        """Diamond window: all points with L1 norm <= radius."""
+        points = []
+
+        def rec(prefix: List[int], budget: int) -> None:
+            if len(prefix) == dim:
+                points.append(tuple(prefix))
+                return
+            for v in range(-budget, budget + 1):
+                rec(prefix + [v], budget - abs(v))
+
+        rec([], radius)
+        if not include_center:
+            points.remove((0,) * dim)
+        return cls(tuple(points))
+
+    @classmethod
+    def moore(
+        cls, dim: int, radius: int = 1, include_center: bool = True
+    ) -> "StencilWindow":
+        """Box window: all points with L-inf norm <= radius."""
+        import itertools
+
+        rng = range(-radius, radius + 1)
+        points = list(itertools.product(rng, repeat=dim))
+        if not include_center:
+            points.remove((0,) * dim)
+        return cls(tuple(points))
+
+    @classmethod
+    def from_offsets(
+        cls, offsets: Sequence[Sequence[int]]
+    ) -> "StencilWindow":
+        return cls(tuple(as_vector(o) for o in offsets))
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """A complete stencil application.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (e.g. ``"DENOISE"``).
+    grid:
+        Extents of the data grid per dimension, outermost first.
+    window:
+        The stencil window.
+    expression:
+        Kernel body; defaults to the unweighted average over the window.
+    input_array / output_array:
+        Array names used in generated code and reports.
+    iteration_domain:
+        Custom (possibly non-rectangular) iteration domain.  Defaults to
+        the grid interior where the whole window is in bounds.
+    """
+
+    name: str
+    grid: Vector
+    window: StencilWindow
+    expression: Optional[Expr] = None
+    input_array: str = "A"
+    output_array: str = "B"
+    iteration_domain: Optional[IntegerPolyhedron] = field(default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "grid", as_vector(self.grid))
+        if len(self.grid) != self.window.dim:
+            raise ValueError(
+                f"grid dimensionality {len(self.grid)} does not match "
+                f"window dimensionality {self.window.dim}"
+            )
+        if any(g <= 0 for g in self.grid):
+            raise ValueError("grid extents must be positive")
+        if self.expression is None:
+            n = self.window.n_points
+            object.__setattr__(
+                self,
+                "expression",
+                weighted_sum(
+                    [(o, 1.0 / n) for o in self.window.offsets],
+                    self.input_array,
+                ),
+            )
+        expr_offsets = {
+            r.offset
+            for r in collect_refs(self.expression)
+            if r.array == self.input_array
+        }
+        window_offsets = set(self.window.offsets)
+        if expr_offsets != window_offsets:
+            raise ValueError(
+                "expression references "
+                f"{sorted(expr_offsets)} but the window declares "
+                f"{sorted(window_offsets)}"
+            )
+        if self.iteration_domain is None:
+            object.__setattr__(
+                self, "iteration_domain", self.default_iteration_domain()
+            )
+        if self.iteration_domain.dim != self.window.dim:
+            raise ValueError("iteration domain dimensionality mismatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.window.dim
+
+    @property
+    def n_points(self) -> int:
+        return self.window.n_points
+
+    def default_iteration_domain(self) -> BoxDomain:
+        """Grid interior: iterations where every window point is in
+        bounds.  Raises if the grid is smaller than the window span."""
+        mins, maxs = self.window.span()
+        lows = []
+        highs = []
+        for j, extent in enumerate(self.grid):
+            lo = -mins[j]
+            hi = extent - 1 - maxs[j]
+            if lo > hi:
+                raise ValueError(
+                    f"grid extent {extent} in dim {j} is too small for a "
+                    f"window spanning [{mins[j]}, {maxs[j]}]"
+                )
+            lows.append(lo)
+            highs.append(hi)
+        return BoxDomain(lows, highs)
+
+    def references(self) -> List[ArrayReference]:
+        """One :class:`ArrayReference` per window point, in descending
+        lexicographic offset order."""
+        return [
+            ArrayReference(self.input_array, o)
+            for o in self.window.offsets
+        ]
+
+    def analysis(self, stream_mode: str = "hull") -> StencilAnalysis:
+        """Polyhedral stencil analysis of this spec.
+
+        ``stream_mode="union"`` streams the exact input data domain
+        instead of its bounding box (see
+        :class:`~repro.polyhedral.analysis.StencilAnalysis`).
+        """
+        return StencilAnalysis(
+            self.input_array,
+            self.references(),
+            self.iteration_domain,
+            stream_mode=stream_mode,
+        )
+
+    def grid_domain(self) -> BoxDomain:
+        """The full data grid as a box domain."""
+        return BoxDomain(
+            [0] * len(self.grid), [g - 1 for g in self.grid]
+        )
+
+    def with_grid(self, grid: Sequence[int]) -> "StencilSpec":
+        """Same stencil on a different grid (iteration domain re-derived).
+
+        Used to scale paper-sized benchmarks down for simulation."""
+        return StencilSpec(
+            name=self.name,
+            grid=as_vector(grid),
+            window=self.window,
+            expression=self.expression,
+            input_array=self.input_array,
+            output_array=self.output_array,
+        )
+
+    def scaled(self, factor: int) -> "StencilSpec":
+        """Shrink every grid extent by ``factor`` (minimum size keeps the
+        window span valid)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        mins, maxs = self.window.span()
+        new_grid = []
+        for j, g in enumerate(self.grid):
+            need = maxs[j] - mins[j] + 1
+            new_grid.append(max(need + 1, g // factor))
+        return self.with_grid(new_grid)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(g) for g in self.grid)
+        return (
+            f"{self.name}: {self.n_points}-point {self.dim}D stencil "
+            f"on a {dims} grid"
+        )

@@ -1,0 +1,65 @@
+"""Shared fixtures: scaled-down benchmark specs and input grids.
+
+Simulation-based tests run on small grids (the microarchitecture's
+structure — bank counts, filter order, deadlock conditions — is
+grid-size independent; only the FIFO capacities scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stencil import (
+    BICUBIC,
+    DENOISE,
+    DENOISE_3D,
+    PAPER_BENCHMARKS,
+    RICIAN,
+    SEGMENTATION_3D,
+    SOBEL,
+    make_input,
+    skewed_denoise,
+)
+
+#: Small grids that keep every window valid but simulate in milliseconds.
+SMALL_GRIDS = {
+    "DENOISE": (12, 16),
+    "RICIAN": (12, 16),
+    "SOBEL": (10, 12),
+    "BICUBIC": (11, 13),
+    "DENOISE_3D": (6, 7, 8),
+    "SEGMENTATION_3D": (6, 7, 8),
+}
+
+
+def small_spec(spec):
+    """A paper benchmark re-gridded to its small test size."""
+    return spec.with_grid(SMALL_GRIDS[spec.name])
+
+
+@pytest.fixture(params=list(PAPER_BENCHMARKS), ids=lambda s: s.name)
+def paper_spec(request):
+    """Each paper benchmark at full (paper) scale — analysis only."""
+    return request.param
+
+
+@pytest.fixture(params=list(PAPER_BENCHMARKS), ids=lambda s: s.name)
+def small_benchmark(request):
+    """Each paper benchmark scaled down for simulation."""
+    return small_spec(request.param)
+
+
+@pytest.fixture
+def denoise_small():
+    return small_spec(DENOISE)
+
+
+@pytest.fixture
+def denoise_grid(denoise_small):
+    return make_input(denoise_small)
+
+
+@pytest.fixture
+def skewed_spec():
+    return skewed_denoise(rows=8, cols=10)

@@ -1,0 +1,119 @@
+"""Unit tests for access functions and array references (Defs 3-5)."""
+
+import pytest
+
+from repro.polyhedral.access import (
+    AccessFunction,
+    ArrayReference,
+    NotAStencilAccessError,
+    input_data_domain,
+)
+from repro.polyhedral.domain import BoxDomain
+
+
+class TestAccessFunction:
+    def test_stencil_constructor_is_identity_plus_offset(self):
+        f = AccessFunction.stencil((1, -1))
+        assert f.is_stencil()
+        assert f.offset_only() == (1, -1)
+        assert f.apply((2, 3)) == (3, 2)
+
+    def test_paper_example_2(self):
+        # Access function of A[i][j+1]: h = I*i + (0, 1).
+        f = AccessFunction.stencil((0, 1))
+        assert f.apply((5, 7)) == (5, 8)
+
+    def test_non_identity_matrix_not_stencil(self):
+        f = AccessFunction(((1, 0), (0, 2)), (0, 0))
+        assert not f.is_stencil()
+        with pytest.raises(NotAStencilAccessError):
+            f.offset_only()
+
+    def test_non_square_not_stencil(self):
+        f = AccessFunction(((1, 0),), (0,))
+        assert not f.is_stencil()
+        assert f.array_dim == 1
+        assert f.iter_dim == 2
+
+    def test_apply_general_affine(self):
+        # h = [[1,1],[0,1]] i + (1, 0)
+        f = AccessFunction(((1, 1), (0, 1)), (1, 0))
+        assert f.apply((2, 3)) == (6, 3)
+
+    def test_apply_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            AccessFunction.stencil((0, 0)).apply((1,))
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            AccessFunction(((1, 0), (0,)), (0, 0))
+
+    def test_rows_offset_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AccessFunction(((1, 0),), (0, 0))
+
+
+class TestArrayReference:
+    def test_default_label_2d(self):
+        assert ArrayReference("A", (0, 1)).label == "A[i][j+1]"
+        assert ArrayReference("A", (-1, 0)).label == "A[i-1][j]"
+        assert ArrayReference("A", (0, 0)).label == "A[i][j]"
+
+    def test_default_label_3d(self):
+        assert (
+            ArrayReference("A", (1, 0, -2)).label == "A[i+1][j][k-2]"
+        )
+
+    def test_explicit_label_preserved(self):
+        ref = ArrayReference("A", (0, 0), label="center")
+        assert ref.label == "center"
+        assert str(ref) == "center"
+
+    def test_access_index(self):
+        ref = ArrayReference("A", (1, -1))
+        assert ref.access_index((3, 3)) == (4, 2)
+
+    def test_access_index_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayReference("A", (1, -1)).access_index((3,))
+
+    def test_data_domain_is_translated_iteration_domain(self):
+        iter_domain = BoxDomain((1, 1), (4, 6))
+        ref = ArrayReference("A", (0, 1))
+        dd = ref.data_domain(iter_domain)
+        lo, hi = dd.bounding_box()
+        assert lo == (1, 2)
+        assert hi == (4, 7)
+
+    def test_data_domain_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayReference("A", (0, 1)).data_domain(
+                BoxDomain((0,), (5,))
+            )
+
+    def test_access_function_roundtrip(self):
+        ref = ArrayReference("A", (2, -3))
+        assert ref.access_function().offset_only() == (2, -3)
+
+    def test_references_hashable_and_comparable(self):
+        a = ArrayReference("A", (0, 1))
+        b = ArrayReference("A", (0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestInputDataDomain:
+    def test_union_covers_all_reference_domains(self):
+        iter_domain = BoxDomain((1, 1), (3, 3))
+        refs = [
+            ArrayReference("A", o)
+            for o in [(0, 0), (1, 0), (-1, 0)]
+        ]
+        union = input_data_domain(refs, iter_domain)
+        for ref in refs:
+            for p in ref.data_domain(iter_domain).iter_points():
+                assert p in union
+
+    def test_empty_reference_list_rejected(self):
+        with pytest.raises(ValueError):
+            input_data_domain([], BoxDomain((0,), (1,)))

@@ -1,0 +1,122 @@
+"""Unit tests for whole-array stencil analysis."""
+
+import pytest
+
+from repro.polyhedral.access import ArrayReference
+from repro.polyhedral.analysis import StencilAnalysis
+from repro.polyhedral.domain import BoxDomain
+
+
+def denoise_analysis(grid=(768, 1024)):
+    iter_domain = BoxDomain((1, 1), (grid[0] - 2, grid[1] - 2))
+    refs = [
+        ArrayReference("A", o)
+        for o in [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)]
+    ]
+    return StencilAnalysis("A", refs, iter_domain)
+
+
+class TestConstruction:
+    def test_references_sorted_descending(self):
+        an = denoise_analysis()
+        assert an.offsets() == [
+            (1, 0),
+            (0, 1),
+            (0, 0),
+            (0, -1),
+            (-1, 0),
+        ]
+
+    def test_earliest_and_latest(self):
+        an = denoise_analysis()
+        assert an.earliest.offset == (1, 0)
+        assert an.latest.offset == (-1, 0)
+
+    def test_duplicate_offsets_rejected(self):
+        refs = [
+            ArrayReference("A", (0, 0)),
+            ArrayReference("A", (0, 0)),
+        ]
+        with pytest.raises(ValueError):
+            StencilAnalysis("A", refs, BoxDomain((0, 0), (3, 3)))
+
+    def test_wrong_array_name_rejected(self):
+        refs = [ArrayReference("B", (0, 0))]
+        with pytest.raises(ValueError):
+            StencilAnalysis("A", refs, BoxDomain((0, 0), (3, 3)))
+
+    def test_mixed_dimensions_rejected(self):
+        refs = [
+            ArrayReference("A", (0, 0)),
+            ArrayReference("A", (0, 0, 0)),
+        ]
+        with pytest.raises(ValueError):
+            StencilAnalysis("A", refs, BoxDomain((0, 0), (3, 3)))
+
+    def test_domain_dimension_mismatch_rejected(self):
+        refs = [ArrayReference("A", (0, 0))]
+        with pytest.raises(ValueError):
+            StencilAnalysis("A", refs, BoxDomain((0,), (3,)))
+
+    def test_empty_reference_list_rejected(self):
+        with pytest.raises(ValueError):
+            StencilAnalysis("A", [], BoxDomain((0, 0), (3, 3)))
+
+
+class TestDerivedQuantities:
+    def test_stream_domain_is_full_grid(self):
+        an = denoise_analysis()
+        stream = an.stream_domain()
+        assert stream.lows == (0, 0)
+        assert stream.highs == (767, 1023)
+
+    def test_fifo_capacities_table2(self):
+        an = denoise_analysis()
+        assert an.fifo_capacities() == [1023, 1, 1, 1023]
+
+    def test_minimum_total_buffer(self):
+        assert denoise_analysis().minimum_total_buffer() == 2048
+
+    def test_minimum_banks_is_n_minus_1(self):
+        assert denoise_analysis().minimum_banks() == 4
+
+    def test_capacities_sum_to_total(self):
+        an = denoise_analysis()
+        assert sum(an.fifo_capacities()) == an.minimum_total_buffer()
+
+    def test_adjacent_pairs_structure(self):
+        an = denoise_analysis()
+        pairs = an.adjacent_pairs()
+        assert len(pairs) == 4
+        assert pairs[0].ref_from.offset == (1, 0)
+        assert pairs[0].ref_to.offset == (0, 1)
+        assert pairs[0].distance_vector == (1, -1)
+        assert pairs[0].max_distance == 1023
+
+    def test_single_reference_analysis(self):
+        an = StencilAnalysis(
+            "A",
+            [ArrayReference("A", (0, 0))],
+            BoxDomain((0, 0), (3, 3)),
+        )
+        assert an.minimum_banks() == 0
+        assert an.fifo_capacities() == []
+        assert an.minimum_total_buffer() == 0
+
+    def test_summary_keys(self):
+        summary = denoise_analysis().summary()
+        assert summary["n_references"] == 5
+        assert summary["minimum_banks"] == 4
+        assert summary["minimum_total_buffer"] == 2048
+
+    def test_data_domain_lookup(self):
+        an = denoise_analysis((8, 10))
+        dd = an.data_domain(an.earliest)
+        lo, hi = dd.bounding_box()
+        assert lo == (2, 1)
+        assert hi == (7, 8)
+
+    def test_scaling_preserves_bank_count(self):
+        small = denoise_analysis((8, 10))
+        large = denoise_analysis((768, 1024))
+        assert small.minimum_banks() == large.minimum_banks()

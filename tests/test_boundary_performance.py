@@ -1,0 +1,130 @@
+"""Tests for boundary handling and the analytic performance model."""
+
+import numpy as np
+import pytest
+
+from repro.flow.performance import predict, validate_model
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tradeoff import with_offchip_streams
+from repro.stencil.boundary import (
+    pad_grid,
+    pad_spec,
+    padding_amounts,
+    run_with_boundary,
+    simulate_with_boundary,
+)
+from repro.stencil.golden import make_input, run_golden
+from repro.stencil.kernels import BICUBIC, DENOISE, PAPER_BENCHMARKS
+
+from conftest import SMALL_GRIDS, small_spec
+
+
+class TestPadding:
+    def test_padding_amounts_symmetric_window(self):
+        assert padding_amounts(DENOISE) == ((1, 1), (1, 1))
+
+    def test_padding_amounts_forward_window(self):
+        # BICUBIC reaches only forward: no leading padding needed.
+        assert padding_amounts(BICUBIC) == ((0, 2), (0, 2))
+
+    def test_pad_spec_covers_grid(self):
+        spec = small_spec(DENOISE)
+        padded = pad_spec(spec)
+        assert padded.iteration_domain.count() == (
+            spec.grid[0] * spec.grid[1]
+        )
+
+    def test_pad_grid_edge_mode(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        padded = pad_grid(spec, grid, mode="edge")
+        assert padded.shape == (
+            spec.grid[0] + 2,
+            spec.grid[1] + 2,
+        )
+        assert padded[0, 1] == grid[0, 0]
+        assert padded[1, 1] == grid[0, 0]
+
+    def test_pad_grid_constant_mode(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        padded = pad_grid(
+            spec, grid, mode="constant", constant_value=7.0
+        )
+        assert padded[0, 0] == 7.0
+
+    def test_invalid_mode(self):
+        spec = small_spec(DENOISE)
+        with pytest.raises(ValueError):
+            pad_grid(spec, make_input(spec), mode="wrap")
+
+    def test_wrong_shape(self):
+        spec = small_spec(DENOISE)
+        with pytest.raises(ValueError):
+            pad_grid(spec, np.zeros((2, 2)))
+
+
+class TestFullSizeOutput:
+    def test_output_has_input_shape(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        out = run_with_boundary(spec, grid, mode="edge")
+        assert out.shape == grid.shape
+
+    def test_interior_matches_unpadded(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        full = run_with_boundary(spec, grid, mode="edge")
+        interior = run_golden(spec, grid)
+        lo = spec.iteration_domain.lows
+        hi = spec.iteration_domain.highs
+        assert np.allclose(
+            full[lo[0] : hi[0] + 1, lo[1] : hi[1] + 1], interior
+        )
+
+    def test_simulated_full_size_matches_golden(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        golden = run_with_boundary(spec, grid, mode="reflect")
+        simulated, stats = simulate_with_boundary(
+            spec, grid, mode="reflect"
+        )
+        assert np.allclose(simulated, golden)
+        assert stats.outputs_produced == grid.size
+
+
+class TestPerformanceModel:
+    @pytest.mark.parametrize(
+        "bench", PAPER_BENCHMARKS, ids=lambda s: s.name
+    )
+    def test_model_exact_on_all_benchmarks(self, bench):
+        spec = bench.with_grid(SMALL_GRIDS[bench.name])
+        v = validate_model(spec)
+        assert v.cycles_exact, (
+            v.predicted.total_cycles,
+            v.measured_total_cycles,
+        )
+        assert v.fill_exact
+
+    def test_efficiency_below_one(self):
+        spec = small_spec(DENOISE)
+        p = predict(spec)
+        assert 0 < p.outputs_per_stream_word < 1.0
+
+    def test_prediction_row(self):
+        row = predict(small_spec(DENOISE)).as_row()
+        assert set(row) == {
+            "stream_words",
+            "iterations",
+            "fill_cycles",
+            "total_cycles",
+            "efficiency",
+        }
+
+    def test_multi_segment_rejected(self):
+        spec = small_spec(DENOISE)
+        system = with_offchip_streams(
+            build_memory_system(spec.analysis()), 2
+        )
+        with pytest.raises(ValueError):
+            predict(spec, system)

@@ -1,0 +1,108 @@
+"""Tests for the design-report generator and the extended kernels."""
+
+import numpy as np
+import pytest
+
+from repro.flow.automation import compile_accelerator
+from repro.flow.docgen import generate_design_report, write_design_report
+from repro.microarch.memory_system import build_memory_system
+from repro.sim.engine import ChainSimulator
+from repro.stencil.extra_kernels import (
+    EXTRA_BENCHMARKS,
+    FD4_LAPLACIAN,
+    FUSED_FORWARD,
+    GAUSSIAN_5X5,
+    JACOBI_2D,
+    MOORE_27PT,
+    get_extra_benchmark,
+)
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE
+
+
+class TestDesignReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_design_report(compile_accelerator(DENOISE))
+
+    def test_has_all_sections(self, report):
+        for heading in (
+            "# Design report — DENOISE",
+            "## Architecture",
+            "## Reuse FIFOs (Table 2)",
+            "## Computation kernel",
+            "## Resources and timing",
+            "## Baseline comparison",
+            "## Transformed kernel (Fig 4)",
+            "## Memory-system netlist",
+        ):
+            assert heading in report
+
+    def test_quotes_key_numbers(self, report):
+        assert "2048" in report
+        assert "FIFO 0" in report
+        assert "1023" in report
+
+    def test_baseline_rows_present(self, report):
+        assert "[5] linear cyclic" in report
+        assert "[8] padded GMP" in report
+        assert "ours (non-uniform)" in report
+
+    def test_embeds_sources(self, report):
+        assert "#pragma HLS pipeline" in report
+        assert "reuse_fifo #" in report
+
+    def test_write_to_file(self, tmp_path):
+        design = compile_accelerator(DENOISE.with_grid((16, 20)))
+        path = tmp_path / "denoise.md"
+        write_design_report(design, str(path))
+        assert path.read_text().startswith("# Design report")
+
+
+class TestExtraKernels:
+    def test_registry(self):
+        assert len(EXTRA_BENCHMARKS) == 10
+        assert get_extra_benchmark("jacobi_2d") is JACOBI_2D
+        with pytest.raises(KeyError):
+            get_extra_benchmark("NOTHING")
+
+    def test_gaussian_is_25_point(self):
+        assert GAUSSIAN_5X5.n_points == 25
+        assert GAUSSIAN_5X5.analysis().minimum_banks() == 24
+
+    def test_fd4_reach_two_cross(self):
+        assert FD4_LAPLACIAN.n_points == 9
+        assert (0, 2) in FD4_LAPLACIAN.window
+        assert (2, 2) not in FD4_LAPLACIAN.window
+
+    def test_moore27_bank_count(self):
+        assert MOORE_27PT.analysis().minimum_banks() == 26
+
+    def test_asymmetric_window_plan_is_optimal(self):
+        from repro.partitioning.nonuniform import plan_nonuniform
+
+        plan = plan_nonuniform(FUSED_FORWARD.analysis())
+        assert plan.num_banks == FUSED_FORWARD.n_points - 1
+
+    @pytest.mark.parametrize(
+        "name", sorted(EXTRA_BENCHMARKS), ids=str
+    )
+    def test_every_extra_kernel_simulates(self, name):
+        spec = EXTRA_BENCHMARKS[name]
+        small = spec.scaled(40 if spec.dim <= 2 else 12)
+        grid = make_input(small)
+        result = ChainSimulator(
+            small, build_memory_system(small.analysis()), grid
+        ).run()
+        assert np.allclose(
+            result.output_values(),
+            golden_output_sequence(small, grid),
+        )
+
+    def test_gaussian_weights_sum_to_one(self):
+        small = GAUSSIAN_5X5.scaled(40)
+        grid = np.full(small.grid, 3.0)
+        from repro.stencil.golden import run_golden
+
+        out = run_golden(small, grid)
+        assert np.allclose(out, 3.0)

@@ -1,0 +1,263 @@
+"""Unit tests for integer polyhedral domains (Definitions 1, 5, 6)."""
+
+import pytest
+
+from repro.polyhedral.domain import (
+    BoxDomain,
+    DomainUnion,
+    EmptyDomainError,
+    IntegerPolyhedron,
+    domain_from_extents,
+)
+
+
+def triangle(n):
+    """{(i, j) : 0 <= i, 0 <= j, i + j <= n} — a non-box polyhedron."""
+    return IntegerPolyhedron(
+        coefficients=[(-1, 0), (0, -1), (1, 1)],
+        bounds=[0, 0, n],
+    )
+
+
+class TestConstruction:
+    def test_mismatched_rows_and_bounds(self):
+        with pytest.raises(ValueError):
+            IntegerPolyhedron([(1, 0)], [1, 2])
+
+    def test_ragged_rows(self):
+        with pytest.raises(ValueError):
+            IntegerPolyhedron([(1, 0), (1,)], [1, 2])
+
+    def test_no_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerPolyhedron([], [])
+
+    def test_dim(self):
+        assert triangle(3).dim == 2
+
+
+class TestContains:
+    def test_triangle_membership(self):
+        t = triangle(3)
+        assert (0, 0) in t
+        assert (1, 2) in t
+        assert (3, 0) in t
+        assert (2, 2) not in t
+        assert (-1, 0) not in t
+
+    def test_wrong_dimension_not_contained(self):
+        assert (1, 1, 1) not in triangle(3)
+
+
+class TestBoundingBox:
+    def test_triangle_bbox(self):
+        lo, hi = triangle(4).bounding_box()
+        assert lo == (0, 0)
+        assert hi == (4, 4)
+
+    def test_empty_polyhedron_raises(self):
+        empty = IntegerPolyhedron(
+            coefficients=[(1, 0), (-1, 0)], bounds=[0, -1]
+        )
+        with pytest.raises(EmptyDomainError):
+            empty.bounding_box()
+
+    def test_unbounded_raises(self):
+        half = IntegerPolyhedron(coefficients=[(-1,)], bounds=[0])
+        with pytest.raises(ValueError):
+            half.bounding_box()
+
+    def test_skewed_parallelogram(self):
+        # 1 <= i <= 3, i <= j <= i + 2
+        p = IntegerPolyhedron(
+            coefficients=[(1, 0), (-1, 0), (1, -1), (-1, 1)],
+            bounds=[3, -1, 0, 2],
+        )
+        lo, hi = p.bounding_box()
+        assert lo == (1, 1)
+        assert hi == (3, 5)
+
+
+class TestEnumeration:
+    def test_triangle_count(self):
+        # Points with i + j <= n, i,j >= 0: (n+1)(n+2)/2.
+        assert triangle(3).count() == 10
+
+    def test_lex_order(self):
+        pts = list(triangle(2).iter_points())
+        assert pts == sorted(pts)
+        assert pts[0] == (0, 0)
+        assert pts[-1] == (2, 0)
+
+    def test_lex_first_last(self):
+        t = triangle(2)
+        assert t.lex_first() == (0, 0)
+        assert t.lex_last() == (2, 0)
+
+    def test_is_empty(self):
+        empty = IntegerPolyhedron(
+            coefficients=[(1,), (-1,)], bounds=[0, -1]
+        )
+        assert empty.is_empty()
+        assert not triangle(1).is_empty()
+
+    def test_lex_rank_of_member(self):
+        t = triangle(2)
+        pts = list(t.iter_points())
+        for k, p in enumerate(pts):
+            assert t.lex_rank(p) == k + 1
+
+    def test_lex_rank_of_nonmember(self):
+        t = triangle(2)
+        # (0, 5) is after all (0, j<=2) points but before (1, *).
+        assert t.lex_rank((0, 5)) == 3
+
+
+class TestGeometry:
+    def test_translate(self):
+        t = triangle(2).translate((10, 20))
+        assert (10, 20) in t
+        assert (12, 20) in t
+        assert (9, 20) not in t
+        assert t.count() == 6
+
+    def test_translate_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            triangle(2).translate((1,))
+
+    def test_intersect(self):
+        t = triangle(4)
+        box = BoxDomain((1, 1), (4, 4))
+        inter = t.intersect(box)
+        expected = {
+            p for p in t.iter_points() if box.contains(p)
+        }
+        assert set(inter.iter_points()) == expected
+
+    def test_equality_by_point_set(self):
+        assert triangle(2) == triangle(2)
+        assert triangle(2) != triangle(3)
+
+
+class TestBoxDomain:
+    def test_shape_and_count(self):
+        box = BoxDomain((0, 0), (2, 3))
+        assert box.shape == (3, 4)
+        assert box.count() == 12
+
+    def test_negative_extent_is_empty(self):
+        box = BoxDomain((2,), (1,))
+        assert box.is_empty()
+        assert box.count() == 0
+        assert list(box.iter_points()) == []
+
+    def test_contains(self):
+        box = BoxDomain((1, 1), (3, 3))
+        assert (1, 1) in box
+        assert (3, 3) in box
+        assert (0, 2) not in box
+        assert (2, 4) not in box
+
+    def test_iter_matches_generic_enumeration(self):
+        box = BoxDomain((0, -1), (2, 1))
+        generic = IntegerPolyhedron(
+            coefficients=[c for c, _ in box.constraints],
+            bounds=[b for _, b in box.constraints],
+        )
+        assert list(box.iter_points()) == list(generic.iter_points())
+
+    def test_lex_rank_closed_form_matches_enumeration(self):
+        box = BoxDomain((0, 0), (3, 4))
+        pts = list(box.iter_points())
+        for k, p in enumerate(pts):
+            assert box.lex_rank(p) == k + 1
+        # Out-of-box probes.
+        assert box.lex_rank((-1, 0)) == 0
+        assert box.lex_rank((9, 9)) == box.count()
+        assert box.lex_rank((1, 99)) == 2 * 5
+        assert box.lex_rank((1, -5)) == 1 * 5
+
+    def test_translate_stays_box(self):
+        box = BoxDomain((0, 0), (2, 2)).translate((1, -1))
+        assert isinstance(box, BoxDomain)
+        assert box.lows == (1, -1)
+        assert box.highs == (3, 1)
+
+    def test_lex_first_last(self):
+        box = BoxDomain((1, 2), (3, 4))
+        assert box.lex_first() == (1, 2)
+        assert box.lex_last() == (3, 4)
+
+    def test_empty_box_first_raises(self):
+        with pytest.raises(EmptyDomainError):
+            BoxDomain((1,), (0,)).lex_first()
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoxDomain((0, 0), (1,))
+
+
+class TestDomainFromExtents:
+    def test_standard_grid(self):
+        g = domain_from_extents(768, 1024)
+        assert g.lows == (0, 0)
+        assert g.highs == (767, 1023)
+        assert g.count() == 768 * 1024
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            domain_from_extents(0, 5)
+        with pytest.raises(ValueError):
+            domain_from_extents()
+
+
+class TestDomainUnion:
+    def test_union_of_shifted_boxes(self):
+        a = BoxDomain((0, 0), (1, 1))
+        b = BoxDomain((1, 1), (2, 2))
+        u = DomainUnion([a, b])
+        assert (0, 0) in u
+        assert (2, 2) in u
+        assert (0, 2) not in u
+        assert u.count() == 4 + 4 - 1
+
+    def test_hull_box(self):
+        u = DomainUnion(
+            [BoxDomain((0, 0), (1, 1)), BoxDomain((2, 3), (4, 5))]
+        )
+        hull = u.hull_box()
+        assert hull.lows == (0, 0)
+        assert hull.highs == (4, 5)
+
+    def test_denoise_input_domain_is_grid_minus_corners(self):
+        # Example 4 of the paper: the DENOISE input domain is the full
+        # grid minus its four corners (checked at toy scale 6x8).
+        from repro.polyhedral.access import (
+            ArrayReference,
+            input_data_domain,
+        )
+
+        iter_domain = BoxDomain((1, 1), (4, 6))
+        offsets = [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)]
+        refs = [ArrayReference("A", o) for o in offsets]
+        union = input_data_domain(refs, iter_domain)
+        grid_points = set(BoxDomain((0, 0), (5, 7)).iter_points())
+        corners = {(0, 0), (0, 7), (5, 0), (5, 7)}
+        assert set(union.iter_points()) == grid_points - corners
+
+    def test_union_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            DomainUnion(
+                [BoxDomain((0,), (1,)), BoxDomain((0, 0), (1, 1))]
+            )
+
+    def test_union_of_zero_parts(self):
+        with pytest.raises(ValueError):
+            DomainUnion([])
+
+    def test_union_iteration_in_lex_order(self):
+        u = DomainUnion(
+            [BoxDomain((0, 0), (2, 1)), BoxDomain((1, 1), (3, 3))]
+        )
+        pts = list(u.iter_points())
+        assert pts == sorted(set(pts))

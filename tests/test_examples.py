@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Each example asserts its own correctness internally (golden matches),
+so a zero exit status is a meaningful check, not just "it imports".
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=lambda p: p.stem
+)
+def test_example_runs(path):
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "medical_imaging_pipeline",
+        "bandwidth_memory_tradeoff",
+        "skewed_grid",
+        "design_space_exploration",
+        "multi_array_kernel",
+        "loop_skewing_and_rtl",
+        "capacity_exploration",
+    } <= names

@@ -1,0 +1,156 @@
+"""Unit tests for the kernel expression AST."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stencil.expr import (
+    BinOp,
+    Const,
+    Ref,
+    UnOp,
+    absolute,
+    collect_refs,
+    count_operations,
+    depth,
+    evaluate,
+    maximum,
+    minimum,
+    square_root,
+    to_c_source,
+    weighted_sum,
+    wrap,
+)
+
+
+class TestConstruction:
+    def test_operator_overloads(self):
+        e = Ref((0, 0)) + Ref((0, 1))
+        assert isinstance(e, BinOp)
+        assert e.op == "add"
+
+    def test_scalar_coercion(self):
+        e = 2.0 * Ref((0, 0))
+        assert isinstance(e.left, Const)
+        assert e.left.value == 2.0
+
+    def test_right_hand_scalar(self):
+        e = Ref((0, 0)) - 1
+        assert isinstance(e.right, Const)
+
+    def test_division_and_negation(self):
+        e = -(Ref((0, 0)) / 4)
+        assert isinstance(e, UnOp)
+        assert e.op == "neg"
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("pow", Const(1.0), Const(2.0))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValueError):
+            UnOp("sin", Const(1.0))
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(TypeError):
+            wrap("x")
+
+
+class TestCollectRefs:
+    def test_distinct_refs_in_order(self):
+        e = Ref((0, 1)) + Ref((1, 0)) + Ref((0, 1))
+        refs = collect_refs(e)
+        assert [r.offset for r in refs] == [(0, 1), (1, 0)]
+
+    def test_refs_from_weighted_sum(self):
+        e = weighted_sum([((0, 0), 1), ((0, 1), 2), ((1, 0), 0.5)])
+        assert len(collect_refs(e)) == 3
+
+    def test_multi_array_refs(self):
+        e = Ref((0, 0), "A") + Ref((0, 0), "B")
+        refs = collect_refs(e)
+        assert {r.array for r in refs} == {"A", "B"}
+
+
+class TestEvaluate:
+    def test_scalar_arithmetic(self):
+        e = 0.5 * Ref((0, 0)) + 2.0
+        assert evaluate(e, {("A", (0, 0)): 4.0}) == 4.0
+
+    def test_division(self):
+        e = Ref((0, 0)) / 4.0
+        assert evaluate(e, {("A", (0, 0)): 2.0}) == 0.5
+
+    def test_min_max_abs_sqrt(self):
+        env = {("A", (0, 0)): -9.0, ("A", (0, 1)): 4.0}
+        assert evaluate(
+            minimum(Ref((0, 0)), Ref((0, 1))), env
+        ) == -9.0
+        assert evaluate(
+            maximum(Ref((0, 0)), Ref((0, 1))), env
+        ) == 4.0
+        assert evaluate(absolute(Ref((0, 0))), env) == 9.0
+        assert evaluate(square_root(Ref((0, 1))), env) == 2.0
+
+    def test_vectorized_numpy(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.ones((2, 3))
+        e = Ref((0, 0)) + 2 * Ref((0, 1))
+        out = evaluate(e, {("A", (0, 0)): a, ("A", (0, 1)): b})
+        assert np.allclose(out, a + 2)
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(Ref((0, 0)), {})
+
+    def test_numpy_sqrt_fallback(self):
+        arr = np.array([4.0, 9.0])
+        out = evaluate(square_root(Ref((0,))), {("A", (0,)): arr})
+        assert np.allclose(out, [2.0, 3.0])
+
+
+class TestStructureQueries:
+    def test_count_operations(self):
+        e = 0.5 * Ref((0, 0)) + 0.25 * (Ref((0, 1)) + Ref((0, -1)))
+        counts = count_operations(e)
+        assert counts["mul"] == 2
+        assert counts["add"] == 2
+
+    def test_depth(self):
+        assert depth(Ref((0, 0))) == 0
+        assert depth(Ref((0, 0)) + 1) == 1
+        assert depth((Ref((0, 0)) + 1) * 2) == 2
+
+    def test_weighted_sum_unit_coefficients_skip_mul(self):
+        e = weighted_sum([((0, 0), 1), ((0, 1), 1)])
+        assert count_operations(e).get("mul", 0) == 0
+
+    def test_weighted_sum_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_sum([])
+
+
+class TestCSource:
+    def test_ref_rendering(self):
+        src = to_c_source(Ref((-1, 1)), ["i", "j"])
+        assert src == "A[i-1][j+1]"
+
+    def test_expression_rendering(self):
+        e = 0.25 * (Ref((0, 1)) + Ref((0, -1)))
+        src = to_c_source(e, ["i", "j"])
+        assert "A[i][j+1]" in src
+        assert "A[i][j-1]" in src
+        assert "*" in src
+
+    def test_abs_and_min(self):
+        src = to_c_source(
+            minimum(absolute(Ref((0, 0))), Const(1.0)), ["i", "j"]
+        )
+        assert "fabs" in src
+        assert "fmin" in src
+
+    def test_str_repr_roundtrip(self):
+        e = Ref((0, 0)) + 1
+        assert "A" in str(e)
+        assert "+" in str(e)

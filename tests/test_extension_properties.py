@@ -1,0 +1,146 @@
+"""Property tests for the extension subsystems: tiling, boundary
+handling and loop transforms on randomized inputs."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tiling import plan_tiling, simulate_tiled
+from repro.polyhedral.transform import (
+    UnimodularTransform,
+    transform_spec,
+)
+from repro.sim.engine import ChainSimulator
+from repro.stencil.boundary import run_with_boundary
+from repro.stencil.golden import golden_output_sequence, run_golden
+from repro.stencil.kernels import DENOISE
+from repro.stencil.spec import StencilSpec, StencilWindow
+
+
+@st.composite
+def small_2d_case(draw, max_points=5):
+    n = draw(st.integers(2, max_points))
+    offsets = draw(
+        st.sets(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    window = StencilWindow.from_offsets(sorted(offsets))
+    mins, maxs = window.span()
+    rows = draw(st.integers(maxs[0] - mins[0] + 2, 9))
+    cols = draw(st.integers(maxs[1] - mins[1] + 4, 14))
+    spec = StencilSpec("P", (rows, cols), window)
+    seed = draw(st.integers(0, 2**16))
+    grid = np.random.default_rng(seed).uniform(
+        -4, 4, size=spec.grid
+    )
+    return spec, grid
+
+
+class TestTilingProperties:
+    @given(small_2d_case(), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_tiled_equals_monolithic(self, case, width):
+        spec, grid = case
+        result = simulate_tiled(spec, width, grid)
+        assert np.allclose(result.outputs, run_golden(spec, grid))
+
+    @given(small_2d_case(), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_strip_buffers_never_exceed_monolithic(self, case, width):
+        spec, _ = case
+        plan = plan_tiling(spec, width)
+        full = spec.analysis().minimum_total_buffer()
+        assert plan.buffer_per_strip <= full
+
+    @given(small_2d_case(), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_traffic_at_least_monolithic(self, case, width):
+        spec, _ = case
+        plan = plan_tiling(spec, width)
+        assert plan.traffic_overhead >= -1e-9
+
+
+class TestBoundaryProperties:
+    @given(
+        small_2d_case(),
+        st.sampled_from(["edge", "reflect", "constant"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_full_size_output_shape_and_interior(self, case, mode):
+        spec, grid = case
+        full = run_with_boundary(spec, grid, mode=mode)
+        assert full.shape == grid.shape
+        # Where the original iteration domain overlaps the grid, the
+        # full-size output must equal the unpadded computation (for
+        # one-sided windows the domain can extend past the grid, so
+        # clip the comparison region).
+        lo = spec.iteration_domain.lows
+        hi = spec.iteration_domain.highs
+        r0, r1 = max(lo[0], 0), min(hi[0], grid.shape[0] - 1)
+        c0, c1 = max(lo[1], 0), min(hi[1], grid.shape[1] - 1)
+        if r0 > r1 or c0 > c1:
+            return
+        interior = run_golden(spec, grid)
+        assert np.allclose(
+            full[r0 : r1 + 1, c0 : c1 + 1],
+            interior[
+                r0 - lo[0] : r1 - lo[0] + 1,
+                c0 - lo[1] : c1 - lo[1] + 1,
+            ],
+        )
+
+
+class TestTransformProperties:
+    @given(st.integers(-2, 2), st.integers(0, 1))
+    @settings(max_examples=12, deadline=None)
+    def test_skewed_denoise_simulates(self, factor, axis_pick):
+        if factor == 0:
+            return
+        spec = DENOISE.with_grid((8, 10))
+        t = (
+            UnimodularTransform.skew(2, 1, 0, factor)
+            if axis_pick == 0
+            else UnimodularTransform.skew(2, 0, 1, factor)
+        )
+        skewed = transform_spec(spec, t)
+        assert (
+            skewed.iteration_domain.count()
+            == spec.iteration_domain.count()
+        )
+        rng = np.random.default_rng(1)
+        grid = rng.uniform(-3, 3, size=skewed.grid)
+        result = ChainSimulator(
+            skewed, build_memory_system(skewed.analysis()), grid
+        ).run()
+        assert np.allclose(
+            result.output_values(),
+            golden_output_sequence(skewed, grid),
+        )
+
+    @given(
+        st.lists(
+            st.sampled_from(["swap", "skew+", "skew-", "rev0"]),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_composed_transforms_stay_unimodular(self, ops):
+        t = UnimodularTransform.identity(2)
+        table = {
+            "swap": UnimodularTransform.interchange(2, 0, 1),
+            "skew+": UnimodularTransform.skew(2, 1, 0, 1),
+            "skew-": UnimodularTransform.skew(2, 1, 0, -1),
+            "rev0": UnimodularTransform.reversal(2, 0),
+        }
+        for op in ops:
+            t = table[op].compose(t)
+        # Still unimodular: inverse round-trips.
+        assert (
+            t.compose(t.inverse()).matrix
+            == UnimodularTransform.identity(2).matrix
+        )

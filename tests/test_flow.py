@@ -1,0 +1,141 @@
+"""Unit tests for the design-automation flow (Fig 11) and reports."""
+
+import pytest
+
+from repro.flow.automation import CompiledDesign, compile_accelerator
+from repro.flow.report import (
+    average_reduction,
+    fig5_report,
+    fig15_report,
+    format_table,
+    table2_report,
+    table4_report,
+    table5_report,
+)
+from repro.flow.transform import access_counts, transform_kernel
+from repro.microarch.memory_system import build_memory_system
+from repro.stencil.kernels import DENOISE, PAPER_BENCHMARKS, SEGMENTATION_3D
+
+
+class TestTransform:
+    def test_access_counts(self):
+        counts = access_counts(DENOISE)
+        assert counts["original_loads_per_iteration"] == 5
+        assert counts["original_ii_lower_bound"] == 5
+        assert counts["transformed_addressed_loads"] == 0
+        assert counts["target_ii"] == 1
+
+    def test_transform_kernel_bundles_sources(self):
+        system = build_memory_system(DENOISE.analysis())
+        t = transform_kernel(DENOISE, system)
+        assert "denoise_original" in t.original_source
+        assert "denoise_kernel" in t.kernel_source
+        assert t.n_data_ports == 5
+
+    def test_port_names_extracted(self):
+        system = build_memory_system(DENOISE.analysis())
+        t = transform_kernel(DENOISE, system)
+        ports = t.port_names()
+        assert len(ports) == 5
+        assert ports[0] == "A_ip1_j"
+
+
+class TestCompileAccelerator:
+    def test_end_to_end_denoise(self):
+        design = compile_accelerator(DENOISE)
+        assert isinstance(design, CompiledDesign)
+        summary = design.summary()
+        assert summary["banks"] == 4
+        assert summary["total_buffer"] == 2048
+        assert summary["kernel_ii"] == 1
+        assert summary["dsp"] == 0
+        assert summary["critical_path_ns"] <= 5.0
+
+    def test_multi_stream_compile(self):
+        design = compile_accelerator(DENOISE, offchip_streams=2)
+        assert (
+            design.memory_system.offchip_accesses_per_cycle == 2
+        )
+        assert design.memory_system.total_buffer_size < 2048
+
+    @pytest.mark.parametrize(
+        "spec", PAPER_BENCHMARKS, ids=lambda s: s.name
+    )
+    def test_every_benchmark_compiles(self, spec):
+        design = compile_accelerator(spec)
+        assert design.memory_system.num_banks == spec.n_points - 1
+        assert design.rtl.startswith("// Memory system")
+        assert design.kernel_schedule.ii == 1
+
+    def test_float_library_changes_kernel(self):
+        from repro.hls.schedule import FLOAT32_LIBRARY
+
+        fx = compile_accelerator(DENOISE)
+        fp = compile_accelerator(
+            DENOISE, operator_library=FLOAT32_LIBRARY
+        )
+        assert (
+            fp.kernel_schedule.latency > fx.kernel_schedule.latency
+        )
+        assert fp.resources.kernel.dsp > 0
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_format_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_table2_report(self):
+        rows = table2_report(DENOISE)
+        assert [r["size"] for r in rows] == [1023, 1, 1, 1023]
+        assert rows[0]["physical_impl"] == "block"
+
+    def test_table4_report_shape(self):
+        rows = table4_report(PAPER_BENCHMARKS[:2])
+        assert rows[0]["benchmark"] == "DENOISE"
+        assert rows[0]["banks_ours"] == 4
+        assert rows[0]["banks_gmp"] == 5
+        assert rows[0]["size_ours"] == 2048
+        assert rows[0]["original_ii"] == 5
+        assert rows[0]["target_ii"] == 1
+
+    def test_table4_ours_always_wins(self):
+        for row in table4_report(PAPER_BENCHMARKS):
+            assert row["banks_ours"] < row["banks_gmp"]
+            assert row["size_ours"] <= row["size_gmp"]
+
+    def test_table5_report_shape(self):
+        rows = table5_report([DENOISE])
+        row = rows[0]
+        assert row["dsp_ours"] == 0
+        assert row["dsp_gmp"] > 0
+        assert row["bram_ours"] < row["bram_gmp"]
+        assert row["bram_pct"] < 100.0
+        assert row["cp_ours"] <= row["cp_gmp"]
+
+    def test_fig5_report(self):
+        rows = fig5_report(DENOISE, range(1020, 1026))
+        assert len(rows) == 6
+        assert all(r["banks"] >= 5 for r in rows)
+
+    def test_fig15_report(self):
+        rows = fig15_report(SEGMENTATION_3D)
+        assert len(rows) == 18
+        buffers = [r["onchip_buffer"] for r in rows]
+        assert buffers == sorted(buffers, reverse=True)
+
+    def test_average_reduction(self):
+        rows = [
+            {"ours": 1, "base": 2},
+            {"ours": 3, "base": 4},
+        ]
+        assert average_reduction(rows, "ours", "base") == round(
+            100 * (0.5 + 0.25) / 2, 1
+        )

@@ -1,0 +1,198 @@
+"""Tests for stencil fusion and the design-space explorer."""
+
+import numpy as np
+import pytest
+
+from repro.flow.explore import (
+    DesignPoint,
+    enumerate_candidates,
+    explore,
+    pareto_frontier,
+)
+from repro.microarch.memory_system import build_memory_system
+from repro.sim.engine import ChainSimulator
+from repro.stencil.expr import Ref, collect_refs
+from repro.stencil.fusion import (
+    fuse,
+    fusion_statistics,
+    minkowski_window,
+    shift_expression,
+)
+from repro.stencil.golden import (
+    golden_output_sequence,
+    make_input,
+    run_golden,
+)
+from repro.stencil.kernels import DENOISE, DENOISE_3D, RICIAN
+from repro.stencil.spec import StencilWindow
+
+
+class TestShiftAndWindow:
+    def test_shift_expression(self):
+        e = Ref((0, 0)) + 2.0 * Ref((1, -1))
+        shifted = shift_expression(e, (0, 1), "A")
+        offsets = {r.offset for r in collect_refs(shifted)}
+        assert offsets == {(0, 1), (1, 0)}
+
+    def test_shift_ignores_other_arrays(self):
+        e = Ref((0, 0), "A") + Ref((0, 0), "B")
+        shifted = shift_expression(e, (1, 1), "A")
+        offsets = {
+            (r.array, r.offset) for r in collect_refs(shifted)
+        }
+        assert ("A", (1, 1)) in offsets
+        assert ("B", (0, 0)) in offsets
+
+    def test_minkowski_window(self):
+        cross = StencilWindow.von_neumann(2, 1)
+        fused = minkowski_window(cross, cross)
+        # cross + cross = diamond of radius 2: 13 points.
+        assert fused.n_points == 13
+        assert (2, 0) in fused
+        assert (1, 1) in fused
+        assert (2, 1) not in fused
+
+
+class TestFuse:
+    def test_fused_window_size(self):
+        # DENOISE cross (5) + RICIAN diamond-no-centre (4): the full
+        # radius-2 diamond (13 points; the centre reappears through
+        # e.g. (0,1)+(0,-1)).
+        fused = fuse(DENOISE, RICIAN)
+        assert fused.n_points == 13
+        offsets = set(fused.window.offsets)
+        assert (2, 0) in offsets
+        assert (0, 0) in offsets
+        assert (1, 1) in offsets
+
+    def test_fused_equals_chained_golden(self):
+        producer = DENOISE.with_grid((14, 18))
+        fused = fuse(producer, RICIAN)
+        grid = make_input(fused)
+        fused_out = run_golden(fused, grid)
+        intermediate = run_golden(producer, grid)
+        consumer = RICIAN.with_grid(intermediate.shape)
+        chained_out = run_golden(consumer, intermediate)
+        assert np.allclose(fused_out, chained_out)
+
+    def test_fused_accelerator_simulates(self):
+        fused = fuse(DENOISE.with_grid((14, 18)), RICIAN)
+        grid = make_input(fused)
+        system = build_memory_system(fused.analysis())
+        result = ChainSimulator(fused, system, grid).run()
+        assert np.allclose(
+            result.output_values(),
+            golden_output_sequence(fused, grid),
+        )
+
+    def test_self_fusion_diamond(self):
+        fused = fuse(
+            DENOISE.with_grid((16, 20)), DENOISE.with_grid((16, 20))
+        )
+        assert fused.n_points == 13
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fuse(DENOISE, DENOISE_3D)
+
+    def test_statistics(self):
+        stats = fusion_statistics(DENOISE, RICIAN)
+        assert stats["fused_points"] > stats["producer_points"]
+        assert (
+            stats["fused_ops_per_output"]
+            > stats["chained_ops_per_output"]
+        )  # recompute cost
+        assert stats["fused_banks"] == stats["fused_points"] - 1
+        assert (
+            stats["fused_buffer"]
+            >= stats["producer_buffer"]
+        )
+
+
+class TestExplorer:
+    def test_candidates_cover_all_techniques(self):
+        cands = enumerate_candidates(DENOISE)
+        techniques = {c.technique for c in cands}
+        assert techniques == {"chain", "break", "tile"}
+
+    def test_3d_also_gets_tiles(self):
+        cands = enumerate_candidates(DENOISE_3D)
+        assert {c.technique for c in cands} == {
+            "chain",
+            "break",
+            "tile",
+        }
+
+    def test_tight_bram_forces_alternative(self):
+        res = explore(DENOISE, bram_budget=2, bandwidth_budget=1)
+        assert res.best is not None
+        assert res.best.technique == "tile"
+        assert res.best.bram_18k <= 2
+
+    def test_ample_budget_picks_pure_chain(self):
+        res = explore(DENOISE, bram_budget=64, bandwidth_budget=1)
+        assert res.best is not None
+        assert res.best.technique == "chain"
+
+    def test_bandwidth_allows_chain_breaking(self):
+        res = explore(
+            DENOISE_3D,
+            bram_budget=10,
+            bandwidth_budget=4,
+            strip_widths=(),
+        )
+        assert res.best is not None
+        assert res.best.technique == "break"
+        assert res.best.offchip_accesses_per_cycle <= 4
+
+    def test_infeasible_returns_none(self):
+        res = explore(
+            DENOISE_3D, bram_budget=0, bandwidth_budget=1
+        )
+        assert res.best is None
+
+    def test_feasible_respects_budgets(self):
+        res = explore(DENOISE, bram_budget=3, bandwidth_budget=2)
+        for p in res.feasible:
+            assert p.bram_18k <= 3
+            assert p.offchip_accesses_per_cycle <= 2
+
+    def test_best_minimizes_traffic(self):
+        res = explore(DENOISE, bram_budget=64, bandwidth_budget=8)
+        assert res.best is not None
+        assert all(
+            res.best.offchip_words_per_pass
+            <= p.offchip_words_per_pass
+            for p in res.feasible
+        )
+
+    def test_pareto_is_nondominated(self):
+        res = explore(DENOISE, bram_budget=64)
+        for p in res.pareto:
+            for q in res.candidates:
+                strictly_better = (
+                    q.bram_18k <= p.bram_18k
+                    and q.offchip_words_per_pass
+                    < p.offchip_words_per_pass
+                ) or (
+                    q.bram_18k < p.bram_18k
+                    and q.offchip_words_per_pass
+                    <= p.offchip_words_per_pass
+                )
+                assert not strictly_better
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            explore(DENOISE, bram_budget=-1)
+        with pytest.raises(ValueError):
+            explore(DENOISE, bram_budget=4, bandwidth_budget=0)
+
+    def test_pareto_frontier_helper(self):
+        pts = [
+            DesignPoint("chain", 1, 100, 4, 1000, 1),
+            DesignPoint("tile", 64, 50, 0, 2000, 1),
+            DesignPoint("break", 2, 60, 4, 2000, 2),  # dominated
+        ]
+        frontier = pareto_frontier(pts)
+        labels = {p.label for p in frontier}
+        assert labels == {"chain", "tile w64"}

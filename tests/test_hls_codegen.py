@@ -1,0 +1,149 @@
+"""Unit tests for code generation (Fig 4 kernels + RTL netlists) and
+functional-unit binding."""
+
+import pytest
+
+from repro.hls.bind import BindingError, bind_units
+from repro.hls.codegen import (
+    generate_kernel_source,
+    generate_memory_system_rtl,
+    generate_original_source,
+)
+from repro.hls.ir import DataflowGraph
+from repro.hls.schedule import (
+    FIXED32_LIBRARY,
+    modulo_schedule,
+    schedule_kernel,
+)
+from repro.microarch.memory_system import build_memory_system
+from repro.stencil.kernels import DENOISE, SOBEL
+
+from conftest import small_spec
+
+
+@pytest.fixture
+def denoise_system():
+    return build_memory_system(DENOISE.analysis())
+
+
+class TestOriginalSource:
+    def test_loop_bounds_match_iteration_domain(self):
+        src = generate_original_source(DENOISE)
+        assert "for (int i = 1; i <= 766; i++)" in src
+        assert "for (int j = 1; j <= 1022; j++)" in src
+
+    def test_array_accesses_present(self):
+        src = generate_original_source(DENOISE)
+        assert "A[i-1][j]" in src
+        assert "A[i+1][j]" in src
+        assert "B[i][j] =" in src
+
+    def test_3d_loop_nest(self):
+        from repro.stencil.kernels import DENOISE_3D
+
+        src = generate_original_source(DENOISE_3D)
+        assert "for (int k" in src
+        assert "A[i][j][k+1]" in src or "A[i][j][k-1]" in src
+
+
+class TestTransformedKernel:
+    def test_volatile_ports_in_filter_order(self, denoise_system):
+        src = generate_kernel_source(DENOISE, denoise_system)
+        sig = src.splitlines()[3]
+        assert sig.index("A_ip1_j") < sig.index("A_i_jp1")
+        assert sig.index("A_i_jp1") < sig.index("A_im1_j")
+        assert "volatile float *" in sig
+
+    def test_pipeline_pragma(self, denoise_system):
+        src = generate_kernel_source(DENOISE, denoise_system)
+        assert "#pragma HLS pipeline II=1" in src
+
+    def test_no_addressed_array_accesses_remain(self, denoise_system):
+        src = generate_kernel_source(DENOISE, denoise_system)
+        assert "A[i" not in src  # all loads go through ports
+
+    def test_every_port_read_once(self, denoise_system):
+        src = generate_kernel_source(DENOISE, denoise_system)
+        for f in denoise_system.filters:
+            label = f.reference.label
+            port = (
+                label.replace("[", "_")
+                .replace("]", "")
+                .replace("+", "p")
+                .replace("-", "m")
+            )
+            assert src.count(f"*{port};") == 1
+
+
+class TestRtlNetlist:
+    def test_fifo_instances_with_depth_and_style(self, denoise_system):
+        rtl = generate_memory_system_rtl(denoise_system)
+        assert 'reuse_fifo #(.DEPTH(1023), .WIDTH(32), .STYLE("block"))' in rtl
+        assert '.STYLE("registers")' in rtl
+        assert rtl.count("reuse_fifo #") == 4
+
+    def test_splitters_and_filters_counted(self, denoise_system):
+        rtl = generate_memory_system_rtl(denoise_system)
+        assert rtl.count("data_path_splitter #") == 5
+        assert rtl.count("data_filter #") == 5
+
+    def test_last_splitter_fanout_1(self, denoise_system):
+        rtl = generate_memory_system_rtl(denoise_system)
+        assert ".FANOUT(1)) splitter_4" in rtl
+        assert ".FANOUT(2)) splitter_0" in rtl
+
+    def test_stream_ports_per_segment(self, denoise_system):
+        from repro.microarch.tradeoff import with_offchip_streams
+
+        rtl1 = generate_memory_system_rtl(denoise_system)
+        assert rtl1.count("stream_in_") == 1
+        rtl2 = generate_memory_system_rtl(
+            with_offchip_streams(denoise_system, 2)
+        )
+        assert rtl2.count("stream_in_") == 2
+
+    def test_module_name_and_balanced(self, denoise_system):
+        rtl = generate_memory_system_rtl(denoise_system)
+        assert rtl.strip().startswith("// Memory system")
+        assert "module mem_system_a (" in rtl
+        assert rtl.strip().endswith("endmodule")
+
+    def test_custom_width(self, denoise_system):
+        rtl = generate_memory_system_rtl(denoise_system, data_width=16)
+        assert "[15:0]" in rtl
+        assert ".WIDTH(16)" in rtl
+
+
+class TestBinding:
+    def test_spatial_binding_one_op_per_unit(self):
+        g = DataflowGraph.from_expression(DENOISE.expression)
+        sched = schedule_kernel(g, ii=1, library=FIXED32_LIBRARY)
+        binding = bind_units(g, sched)
+        assert len(binding.assignments) == len(g.arithmetic_ops())
+
+    def test_shared_binding_within_claim(self):
+        g = DataflowGraph.from_expression(SOBEL.expression)
+        sched = modulo_schedule(g, ii=3, library=FIXED32_LIBRARY)
+        binding = bind_units(g, sched)
+        for opcode, used in binding.units_used.items():
+            assert used <= sched.unit_counts[opcode]
+
+    def test_no_unit_double_booked(self):
+        g = DataflowGraph.from_expression(SOBEL.expression)
+        sched = modulo_schedule(g, ii=2, library=FIXED32_LIBRARY)
+        binding = bind_units(g, sched)
+        seen = set()
+        for op in g.arithmetic_ops():
+            unit = binding.unit_of(op.node_id)
+            slot = sched.start_times[op.node_id] % sched.ii
+            key = (unit, slot)
+            assert key not in seen
+            seen.add(key)
+
+    def test_overclaim_detected(self):
+        g = DataflowGraph.from_expression(SOBEL.expression)
+        sched = modulo_schedule(g, ii=2, library=FIXED32_LIBRARY)
+        # Tamper: claim fewer units than the schedule actually needs.
+        sched.unit_counts["add"] = 1
+        with pytest.raises(BindingError):
+            bind_units(g, sched)

@@ -1,0 +1,93 @@
+"""Unit tests for the HLS-lite dataflow IR."""
+
+import pytest
+
+from repro.hls.ir import CONST, LOAD, DataflowGraph
+from repro.stencil.expr import Ref, absolute
+from repro.stencil.kernels import DENOISE, SOBEL
+
+
+class TestConstruction:
+    def test_from_simple_expression(self):
+        g = DataflowGraph.from_expression(Ref((0, 0)) + Ref((0, 1)))
+        assert g.n_operations == 3
+        assert len(g.loads()) == 2
+        assert g.opcode_histogram() == {"add": 1}
+
+    def test_output_designated(self):
+        g = DataflowGraph.from_expression(Ref((0, 0)) + 1.0)
+        assert g.output == g.n_operations - 1
+
+    def test_common_subexpression_shared(self):
+        se = Ref((1, 1))
+        expr = (se + Ref((0, 0))) + (se + Ref((0, 1)))
+        g = DataflowGraph.from_expression(expr)
+        # `se` appears twice in the tree but once in the DAG.
+        assert len(g.loads()) == 3
+
+    def test_identical_subtrees_value_numbered(self):
+        a = Ref((0, 0)) + Ref((0, 1))
+        expr = a * a
+        g = DataflowGraph.from_expression(expr)
+        assert g.opcode_histogram() == {"add": 1, "mul": 1}
+
+    def test_unary_ops(self):
+        g = DataflowGraph.from_expression(absolute(Ref((0, 0))))
+        assert g.opcode_histogram() == {"abs": 1}
+
+    def test_constants_interned(self):
+        expr = 2.0 * Ref((0, 0)) + 2.0 * Ref((0, 1))
+        g = DataflowGraph.from_expression(expr)
+        consts = [o for o in g.operations if o.opcode == CONST]
+        assert len(consts) == 1
+
+
+class TestStructure:
+    def test_topological_property(self):
+        g = DataflowGraph.from_expression(DENOISE.expression)
+        for op in g.topological_order():
+            for operand in op.operands:
+                assert operand < op.node_id
+
+    def test_consumers(self):
+        g = DataflowGraph.from_expression(Ref((0, 0)) + Ref((0, 1)))
+        consumers = g.consumers()
+        add_id = g.output
+        for load in g.loads():
+            assert add_id in consumers[load.node_id]
+        assert consumers[add_id] == []
+
+    def test_validate_ok_for_benchmarks(self):
+        for spec in (DENOISE, SOBEL):
+            g = DataflowGraph.from_expression(spec.expression)
+            g.validate()  # must not raise
+
+    def test_validate_rejects_dead_code(self):
+        g = DataflowGraph()
+        g.add_load("A", (0, 0))
+        dead = g.add_load("A", (0, 1))
+        g.output = g.add_op("abs", 0)
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_validate_requires_output(self):
+        g = DataflowGraph()
+        g.add_load("A", (0, 0))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_unknown_operand_rejected(self):
+        g = DataflowGraph()
+        with pytest.raises(ValueError):
+            g.add_op("add", 0, 1)
+
+    def test_denoise_loads_match_window(self):
+        g = DataflowGraph.from_expression(DENOISE.expression)
+        offsets = {op.payload[1] for op in g.loads()}
+        assert offsets == set(DENOISE.window.offsets)
+
+    def test_sobel_shares_corner_loads(self):
+        """Sobel uses each corner pixel in both Gx and Gy: 8 loads,
+        not 12."""
+        g = DataflowGraph.from_expression(SOBEL.expression)
+        assert len(g.loads()) == 8

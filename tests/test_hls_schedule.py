@@ -1,0 +1,151 @@
+"""Unit tests for HLS-lite scheduling (ASAP + modulo)."""
+
+import pytest
+
+from repro.hls.ir import DataflowGraph, LOAD
+from repro.hls.schedule import (
+    FIXED32_LIBRARY,
+    FLOAT32_LIBRARY,
+    OperatorSpec,
+    SchedulingError,
+    asap_schedule,
+    modulo_schedule,
+    schedule_kernel,
+)
+from repro.stencil.expr import Ref
+from repro.stencil.kernels import DENOISE, PAPER_BENCHMARKS, SOBEL
+
+
+def graph_of(expr):
+    return DataflowGraph.from_expression(expr)
+
+
+class TestAsap:
+    def test_dependencies_respected(self):
+        g = graph_of((Ref((0, 0)) + Ref((0, 1))) * Ref((1, 0)))
+        sched = asap_schedule(g, FLOAT32_LIBRARY)
+        ops = {op.opcode: op for op in g.arithmetic_ops()}
+        add_end = (
+            sched.start_times[ops["add"].node_id]
+            + FLOAT32_LIBRARY["add"].latency
+        )
+        assert sched.start_times[ops["mul"].node_id] >= add_end
+
+    def test_latency_is_critical_path(self):
+        g = graph_of(Ref((0, 0)) + Ref((0, 1)))
+        sched = asap_schedule(g, FLOAT32_LIBRARY)
+        assert sched.latency == (
+            FLOAT32_LIBRARY[LOAD].latency
+            + FLOAT32_LIBRARY["add"].latency
+        )
+
+    def test_fixed_point_shorter_than_float(self):
+        g = graph_of(DENOISE.expression)
+        fx = asap_schedule(g, FIXED32_LIBRARY)
+        fp = asap_schedule(g, FLOAT32_LIBRARY)
+        assert fx.latency < fp.latency
+
+    def test_ii_is_1(self):
+        sched = asap_schedule(graph_of(DENOISE.expression))
+        assert sched.ii == 1
+
+    def test_unit_counts_fully_spatial(self):
+        g = graph_of(DENOISE.expression)
+        sched = asap_schedule(g)
+        hist = g.opcode_histogram()
+        for opcode, count in hist.items():
+            assert sched.unit_counts[opcode] == count
+        assert sched.unit_counts[LOAD] == len(g.loads())
+
+    def test_unknown_opcode_rejected(self):
+        g = graph_of(Ref((0, 0)) + Ref((0, 1)))
+        with pytest.raises(SchedulingError):
+            asap_schedule(g, {LOAD: OperatorSpec(1, 0, 0, 0)})
+
+
+class TestModulo:
+    def test_ii2_halves_adder_count(self):
+        # DENOISE has 4 adds; at II=2 two adders suffice.
+        g = graph_of(DENOISE.expression)
+        sched = modulo_schedule(g, ii=2, library=FIXED32_LIBRARY)
+        assert sched.unit_counts["add"] == 2
+
+    def test_reservation_table_respected(self):
+        g = graph_of(SOBEL.expression)
+        for ii in (2, 3):
+            sched = modulo_schedule(g, ii=ii, library=FIXED32_LIBRARY)
+            # Count ops per (opcode, modulo slot); never exceeds units.
+            usage = {}
+            for op in g.arithmetic_ops():
+                key = (op.opcode, sched.start_times[op.node_id] % ii)
+                usage[key] = usage.get(key, 0) + 1
+            for (opcode, _), used in usage.items():
+                assert used <= sched.unit_counts[opcode]
+
+    def test_dependencies_respected(self):
+        g = graph_of(SOBEL.expression)
+        sched = modulo_schedule(g, ii=2, library=FIXED32_LIBRARY)
+        lib = sched.library
+        for op in g.arithmetic_ops():
+            for operand_id in op.operands:
+                operand = g.operations[operand_id]
+                end = sched.start_times[operand_id] + lib[
+                    operand.opcode
+                ].latency
+                assert sched.start_times[op.node_id] >= end
+
+    def test_latency_not_shorter_than_asap(self):
+        g = graph_of(SOBEL.expression)
+        asap = asap_schedule(g, FIXED32_LIBRARY)
+        mod = modulo_schedule(g, ii=4, library=FIXED32_LIBRARY)
+        assert mod.latency >= asap.latency
+
+    def test_invalid_ii(self):
+        with pytest.raises(ValueError):
+            modulo_schedule(graph_of(Ref((0, 0)) + 1.0), ii=0)
+
+
+class TestScheduleKernel:
+    def test_front_door_ii1_is_asap(self):
+        g = graph_of(DENOISE.expression)
+        assert schedule_kernel(g, ii=1).latency == (
+            asap_schedule(g).latency
+        )
+
+    def test_front_door_validates(self):
+        g = DataflowGraph()
+        g.add_load("A", (0, 0))
+        with pytest.raises(ValueError):
+            schedule_kernel(g)
+
+    @pytest.mark.parametrize(
+        "spec", PAPER_BENCHMARKS, ids=lambda s: s.name
+    )
+    def test_all_benchmarks_schedule(self, spec):
+        g = graph_of(spec.expression)
+        sched = schedule_kernel(g, ii=1, library=FIXED32_LIBRARY)
+        assert sched.latency > 0
+        assert sched.ii == 1
+
+
+class TestResourceAccounting:
+    def test_fixed_point_uses_no_dsps(self):
+        g = graph_of(DENOISE.expression)
+        sched = schedule_kernel(g, library=FIXED32_LIBRARY)
+        assert sched.dsp_usage() == 0
+
+    def test_float_uses_dsps(self):
+        g = graph_of(DENOISE.expression)
+        sched = schedule_kernel(g, library=FLOAT32_LIBRARY)
+        assert sched.dsp_usage() > 0
+
+    def test_lut_ff_positive(self):
+        sched = schedule_kernel(graph_of(DENOISE.expression))
+        assert sched.lut_usage() > 0
+        assert sched.ff_usage() > 0
+
+    def test_sharing_reduces_luts(self):
+        g = graph_of(SOBEL.expression)
+        spatial = schedule_kernel(g, ii=1, library=FIXED32_LIBRARY)
+        shared = modulo_schedule(g, ii=4, library=FIXED32_LIBRARY)
+        assert shared.lut_usage() < spatial.lut_usage()

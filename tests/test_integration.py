@@ -1,0 +1,165 @@
+"""Integration tests: prefetching and accelerator chaining (Fig 13)."""
+
+import numpy as np
+import pytest
+
+from repro.integration.chaining import (
+    ChainingError,
+    chain_accelerators,
+    compose_consumer,
+    forwarding_analysis,
+    golden_chain,
+    intermediate_grid_shape,
+)
+from repro.integration.prefetcher import (
+    BurstPrefetcher,
+    simulate_with_prefetch,
+)
+from repro.microarch.memory_system import build_memory_system
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE, RICIAN, skewed_denoise
+
+from conftest import small_spec
+
+
+class TestBurstPrefetcher:
+    def test_required_buffer_covers_latency(self):
+        p = BurstPrefetcher(bus_latency=50, burst_length=16)
+        assert p.required_buffer() >= 50
+        assert p.required_buffer() % 16 == 0
+
+    def test_zero_latency_needs_one_burst(self):
+        p = BurstPrefetcher(bus_latency=0, burst_length=8)
+        assert p.required_buffer() == 8
+
+    def test_bandwidth_check(self):
+        assert BurstPrefetcher(10, 8, 1.0).sustains_full_rate(1)
+        assert not BurstPrefetcher(10, 8, 1.0).sustains_full_rate(2)
+        assert BurstPrefetcher(10, 8, 2.0).sustains_full_rate(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstPrefetcher(-1, 8)
+        with pytest.raises(ValueError):
+            BurstPrefetcher(1, 0)
+        with pytest.raises(ValueError):
+            BurstPrefetcher(1, 8, 0.0)
+
+    def test_simulation_behind_prefetcher_is_correct(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        system = build_memory_system(spec.analysis())
+        p = BurstPrefetcher(bus_latency=25, burst_length=8)
+        result = simulate_with_prefetch(spec, system, grid, p)
+        assert np.allclose(
+            result.output_values(),
+            golden_output_sequence(spec, grid),
+        )
+
+    def test_latency_only_shifts_completion(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        base = build_memory_system(spec.analysis())
+        r0 = simulate_with_prefetch(
+            spec, base, grid, BurstPrefetcher(0, 8)
+        )
+        r25 = simulate_with_prefetch(
+            spec,
+            build_memory_system(spec.analysis()),
+            grid,
+            BurstPrefetcher(25, 8),
+        )
+        assert (
+            r25.stats.total_cycles - r0.stats.total_cycles == 25
+        )
+
+
+class TestChaining:
+    def test_intermediate_shape(self):
+        spec = small_spec(DENOISE)
+        assert intermediate_grid_shape(spec) == (
+            spec.iteration_domain.shape
+        )
+
+    def test_skewed_producer_rejected(self):
+        with pytest.raises(ChainingError):
+            intermediate_grid_shape(skewed_denoise())
+
+    def test_compose_consumer_regrids(self):
+        producer = small_spec(DENOISE)
+        consumer = compose_consumer(producer, RICIAN)
+        assert consumer.grid == producer.iteration_domain.shape
+
+    def test_dimension_mismatch_rejected(self):
+        from repro.stencil.kernels import DENOISE_3D
+
+        with pytest.raises(ChainingError):
+            compose_consumer(small_spec(DENOISE), DENOISE_3D)
+
+    def test_chained_pipeline_matches_golden(self):
+        producer = DENOISE.with_grid((14, 18))
+        grid = make_input(producer)
+        run = chain_accelerators(producer, RICIAN, grid)
+        golden = golden_chain(producer, RICIAN, grid)
+        assert np.allclose(run.final, golden)
+
+    def test_denoise_twice(self):
+        producer = DENOISE.with_grid((14, 18))
+        grid = make_input(producer)
+        run = chain_accelerators(producer, DENOISE, grid)
+        golden = golden_chain(producer, DENOISE, grid)
+        assert np.allclose(run.final, golden)
+
+    def test_intermediate_matches_first_stage_golden(self):
+        from repro.stencil.golden import run_golden
+
+        producer = DENOISE.with_grid((14, 18))
+        grid = make_input(producer)
+        run = chain_accelerators(producer, RICIAN, grid)
+        assert np.allclose(
+            run.intermediate, run_golden(producer, grid)
+        )
+
+
+class TestForwardingAnalysis:
+    def test_forwarding_saves_block_buffer(self):
+        producer = small_spec(DENOISE)
+        analysis = forwarding_analysis(producer, RICIAN)
+        assert analysis.block_buffer_elements == (
+            producer.iteration_domain.count()
+        )
+        assert (
+            analysis.forwarding_fifo_elements
+            < analysis.block_buffer_elements
+        )
+        assert 0.0 < analysis.saving_ratio <= 1.0
+
+    def test_consumer_reuse_reported(self):
+        producer = small_spec(DENOISE)
+        analysis = forwarding_analysis(producer, RICIAN)
+        consumer = compose_consumer(producer, RICIAN)
+        assert analysis.consumer_reuse_elements == (
+            consumer.analysis().minimum_total_buffer()
+        )
+
+
+class TestThreeStagePipeline:
+    def test_three_chained_accelerators(self):
+        """A deeper Fig 13c pipeline: DENOISE -> DENOISE -> RICIAN."""
+        from repro.integration.chaining import (
+            chain_accelerators,
+            compose_consumer,
+            golden_chain,
+        )
+
+        stage1 = DENOISE.with_grid((16, 20))
+        grid = make_input(stage1)
+        run12 = chain_accelerators(stage1, DENOISE, grid)
+        stage2 = compose_consumer(stage1, DENOISE)
+        run23 = chain_accelerators(
+            stage2, RICIAN, run12.intermediate
+        )
+        golden12 = golden_chain(stage1, DENOISE, grid)
+        golden23 = golden_chain(stage2, RICIAN, run12.intermediate)
+        assert np.allclose(run12.final, golden12)
+        assert np.allclose(run23.final, golden23)

@@ -1,0 +1,151 @@
+"""Unit tests for the paper benchmark definitions."""
+
+import pytest
+
+from repro.stencil.expr import collect_refs
+from repro.stencil.kernels import (
+    BENCHMARKS_BY_NAME,
+    BICUBIC,
+    DENOISE,
+    DENOISE_3D,
+    PAPER_BENCHMARKS,
+    RICIAN,
+    SEGMENTATION_3D,
+    SOBEL,
+    get_benchmark,
+    skewed_denoise,
+)
+
+
+class TestWindowShapes:
+    def test_denoise_is_5_point_cross(self):
+        assert DENOISE.n_points == 5
+        assert set(DENOISE.window.offsets) == {
+            (0, 0),
+            (0, 1),
+            (0, -1),
+            (1, 0),
+            (-1, 0),
+        }
+
+    def test_rician_is_4_point_diamond(self):
+        assert RICIAN.n_points == 4
+        assert (0, 0) not in RICIAN.window
+
+    def test_sobel_is_8_point(self):
+        assert SOBEL.n_points == 8
+        assert (0, 0) not in SOBEL.window
+
+    def test_bicubic_is_4_stride2_taps(self):
+        assert BICUBIC.n_points == 4
+        assert set(BICUBIC.window.offsets) == {
+            (0, 0),
+            (0, 2),
+            (2, 0),
+            (2, 2),
+        }
+
+    def test_denoise_3d_is_7_point(self):
+        assert DENOISE_3D.n_points == 7
+        assert DENOISE_3D.dim == 3
+
+    def test_segmentation_is_19_point(self):
+        assert SEGMENTATION_3D.n_points == 19
+        # centre + 6 faces + 12 edges, no corners
+        assert (1, 1, 1) not in SEGMENTATION_3D.window
+        assert (1, 1, 0) in SEGMENTATION_3D.window
+        assert (0, 0, 0) in SEGMENTATION_3D.window
+
+
+class TestGrids:
+    def test_denoise_paper_grid(self):
+        assert DENOISE.grid == (768, 1024)
+
+    def test_expressions_cover_windows(self):
+        for spec in PAPER_BENCHMARKS:
+            refs = {
+                r.offset
+                for r in collect_refs(spec.expression)
+                if r.array == spec.input_array
+            }
+            assert refs == set(spec.window.offsets), spec.name
+
+    def test_table4_row_order(self):
+        assert [s.name for s in PAPER_BENCHMARKS] == [
+            "DENOISE",
+            "RICIAN",
+            "SOBEL",
+            "BICUBIC",
+            "DENOISE_3D",
+            "SEGMENTATION_3D",
+        ]
+
+
+class TestMinimumTargets:
+    """The theoretical targets of Section 2.3 for each benchmark."""
+
+    @pytest.mark.parametrize(
+        "name,banks",
+        [
+            ("DENOISE", 4),
+            ("RICIAN", 3),
+            ("SOBEL", 7),
+            ("BICUBIC", 3),
+            ("DENOISE_3D", 6),
+            ("SEGMENTATION_3D", 18),
+        ],
+    )
+    def test_minimum_banks_is_n_minus_1(self, name, banks):
+        spec = BENCHMARKS_BY_NAME[name]
+        assert spec.analysis().minimum_banks() == banks
+
+    def test_denoise_minimum_buffer_is_2048(self):
+        assert DENOISE.analysis().minimum_total_buffer() == 2048
+
+    def test_denoise_fifo_sizes_match_table2(self):
+        assert DENOISE.analysis().fifo_capacities() == [
+            1023,
+            1,
+            1,
+            1023,
+        ]
+
+
+class TestLookup:
+    def test_get_benchmark_case_insensitive(self):
+        assert get_benchmark("denoise") is DENOISE
+        assert get_benchmark("SOBEL") is SOBEL
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("JACOBI")
+
+
+class TestSkewedDenoise:
+    def test_domain_is_skewed(self):
+        spec = skewed_denoise(rows=6, cols=8)
+        pts = list(spec.iteration_domain.iter_points())
+        rows = {}
+        for i, j in pts:
+            rows.setdefault(i, []).append(j)
+        # Each row starts one column later than the previous.
+        starts = [min(v) for _, v in sorted(rows.items())]
+        assert starts == sorted(starts)
+        assert starts[1] - starts[0] == 1
+
+    def test_window_is_denoise(self):
+        spec = skewed_denoise()
+        assert spec.n_points == 5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_denoise(rows=1, cols=1)
+
+    def test_grid_covers_all_accesses(self):
+        spec = skewed_denoise(rows=5, cols=6)
+        grid_rows, grid_cols = spec.grid
+        for i in spec.iteration_domain.iter_points():
+            for ref in spec.references():
+                h = ref.access_index(i)
+                assert 0 <= h[0] < grid_rows
+                assert 0 <= h[1] < grid_cols

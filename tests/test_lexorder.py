@@ -1,0 +1,118 @@
+"""Unit tests for lexicographic-order helpers (Definition 2)."""
+
+import pytest
+
+from repro.polyhedral.lexorder import (
+    as_vector,
+    is_strictly_descending,
+    lex_compare,
+    lex_ge,
+    lex_gt,
+    lex_le,
+    lex_lt,
+    lex_max,
+    lex_min,
+    lex_sorted,
+)
+
+
+class TestLexCompare:
+    def test_equal_vectors(self):
+        assert lex_compare((1, 2), (1, 2)) == 0
+
+    def test_first_dimension_dominates(self):
+        assert lex_compare((1, 0), (0, 9)) == 1
+        assert lex_compare((0, 9), (1, 0)) == -1
+
+    def test_tie_broken_by_inner_dimension(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((1, 3), (1, 2)) == 1
+
+    def test_paper_example_order(self):
+        # (1,0) >_l (0,1) >_l (0,0) >_l (-1,0) — Table 1's example.
+        assert lex_gt((1, 0), (0, 1))
+        assert lex_gt((0, 1), (0, 0))
+        assert lex_gt((0, 0), (-1, 0))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            lex_compare((1, 2), (1, 2, 3))
+
+    def test_three_dimensional(self):
+        assert lex_lt((0, 5, 5), (1, 0, 0))
+        assert lex_gt((0, 0, 1), (0, 0, 0))
+
+
+class TestPredicates:
+    def test_lt_le_consistency(self):
+        assert lex_lt((0, 1), (1, 0))
+        assert lex_le((0, 1), (1, 0))
+        assert lex_le((0, 1), (0, 1))
+        assert not lex_lt((0, 1), (0, 1))
+
+    def test_gt_ge_consistency(self):
+        assert lex_gt((2,), (1,))
+        assert lex_ge((2,), (2,))
+        assert not lex_gt((2,), (2,))
+
+    def test_trichotomy(self):
+        pairs = [((0, 0), (0, 1)), ((1, 1), (1, 1)), ((2, 0), (1, 9))]
+        for a, b in pairs:
+            outcomes = [lex_lt(a, b), a == b, lex_gt(a, b)]
+            assert sum(outcomes) == 1
+
+
+class TestMinMaxSort:
+    def test_lex_min_and_max(self):
+        pts = [(0, 1), (1, 0), (0, 0), (-1, 5)]
+        assert lex_min(pts) == (-1, 5)
+        assert lex_max(pts) == (1, 0)
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            lex_min([])
+        with pytest.raises(ValueError):
+            lex_max([])
+
+    def test_sorted_ascending(self):
+        pts = [(1, 0), (0, 1), (0, -1), (0, 0), (-1, 0)]
+        assert lex_sorted(pts) == [
+            (-1, 0),
+            (0, -1),
+            (0, 0),
+            (0, 1),
+            (1, 0),
+        ]
+
+    def test_sorted_descending_matches_filter_order(self):
+        # DENOISE filter order of Fig 7.
+        pts = [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)]
+        assert lex_sorted(pts, descending=True) == [
+            (1, 0),
+            (0, 1),
+            (0, 0),
+            (0, -1),
+            (-1, 0),
+        ]
+
+    def test_as_vector_coerces_numpy(self):
+        import numpy as np
+
+        v = as_vector(np.array([1, 2, 3]))
+        assert v == (1, 2, 3)
+        assert all(isinstance(c, int) for c in v)
+
+
+class TestStrictlyDescending:
+    def test_descending_sequence(self):
+        assert is_strictly_descending([(1, 0), (0, 1), (0, 0)])
+
+    def test_equal_adjacent_fails(self):
+        assert not is_strictly_descending([(1, 0), (1, 0)])
+
+    def test_ascending_fails(self):
+        assert not is_strictly_descending([(0, 0), (0, 1)])
+
+    def test_single_and_empty_are_descending(self):
+        assert is_strictly_descending([(0, 0)])
+        assert is_strictly_descending([])

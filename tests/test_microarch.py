@@ -1,0 +1,182 @@
+"""Unit tests for microarchitecture components, mapping and assembly."""
+
+import pytest
+
+from repro.microarch.accelerator import Accelerator, KernelInfo
+from repro.microarch.components import (
+    ChainSegment,
+    DataPathSplitter,
+    FifoImpl,
+    ReuseFifo,
+)
+from repro.microarch.mapping import (
+    ALL_BRAM_POLICY,
+    DEFAULT_POLICY,
+    MappingPolicy,
+    map_capacities,
+    map_fifo,
+    mapping_histogram,
+)
+from repro.microarch.memory_system import build_memory_system
+from repro.stencil.kernels import DENOISE, PAPER_BENCHMARKS
+
+from conftest import small_spec
+
+
+class TestMapping:
+    def test_thresholds(self):
+        assert map_fifo(1) is FifoImpl.REGISTER
+        assert map_fifo(4) is FifoImpl.REGISTER
+        assert map_fifo(5) is FifoImpl.LUTRAM
+        assert map_fifo(128) is FifoImpl.LUTRAM
+        assert map_fifo(129) is FifoImpl.BRAM
+        assert map_fifo(1023) is FifoImpl.BRAM
+
+    def test_force_bram_policy(self):
+        assert map_fifo(1, ALL_BRAM_POLICY) is FifoImpl.BRAM
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            map_fifo(0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            MappingPolicy(register_threshold=10, lutram_threshold=5)
+
+    def test_map_capacities(self):
+        impls = map_capacities([1, 60, 2000])
+        assert impls == [
+            FifoImpl.REGISTER,
+            FifoImpl.LUTRAM,
+            FifoImpl.BRAM,
+        ]
+
+    def test_histogram(self):
+        hist = mapping_histogram([1023, 1, 1, 1023])
+        assert hist["block"] == 2
+        assert hist["register"] == 2
+        assert hist["distributed"] == 0
+
+
+class TestComponents:
+    def test_fifo_capacity_positive(self):
+        with pytest.raises(ValueError):
+            ReuseFifo(0, 0, "a", "b", FifoImpl.REGISTER)
+
+    def test_segment_fifo_count_checked(self):
+        fifo = ReuseFifo(0, 4, "a", "b", FifoImpl.REGISTER)
+        with pytest.raises(ValueError):
+            ChainSegment(0, 0, 2, (fifo,))  # needs 2 FIFOs
+
+    def test_segment_buffer_size(self):
+        fifos = (
+            ReuseFifo(0, 4, "a", "b", FifoImpl.REGISTER),
+            ReuseFifo(1, 6, "b", "c", FifoImpl.LUTRAM),
+        )
+        seg = ChainSegment(0, 0, 2, fifos)
+        assert seg.buffer_size == 10
+        assert seg.n_filters == 3
+
+    def test_table2_row(self):
+        fifo = ReuseFifo(0, 1023, "A[i+1][j]", "A[i][j+1]", FifoImpl.BRAM)
+        row = fifo.table2_row()
+        assert row["size"] == 1023
+        assert row["physical_impl"] == "block"
+
+
+class TestMemorySystemBuild:
+    def test_denoise_structure(self):
+        system = build_memory_system(DENOISE.analysis())
+        assert system.n_references == 5
+        assert system.num_banks == 4
+        assert system.total_buffer_size == 2048
+        assert len(system.splitters) == 5
+        assert system.splitters[-1].feeds_fifo is False
+        assert all(s.feeds_fifo for s in system.splitters[:-1])
+
+    def test_table2_physical_mapping(self):
+        system = build_memory_system(DENOISE.analysis())
+        rows = system.table2_rows()
+        assert [r["physical_impl"] for r in rows] == [
+            "block",
+            "register",
+            "register",
+            "block",
+        ]
+
+    def test_filters_cover_references_in_order(self):
+        system = build_memory_system(DENOISE.analysis())
+        labels = [f.reference.label for f in system.filters]
+        assert labels == [
+            "A[i+1][j]",
+            "A[i][j+1]",
+            "A[i][j]",
+            "A[i][j-1]",
+            "A[i-1][j]",
+        ]
+
+    def test_single_segment_by_default(self):
+        system = build_memory_system(DENOISE.analysis())
+        assert len(system.segments) == 1
+        assert system.offchip_accesses_per_cycle == 1
+
+    def test_segment_of_filter(self):
+        system = build_memory_system(DENOISE.analysis())
+        assert system.segment_of_filter(3).segment_id == 0
+        with pytest.raises(KeyError):
+            system.segment_of_filter(99)
+
+    def test_describe_mentions_all_fifos(self):
+        system = build_memory_system(DENOISE.analysis())
+        text = system.describe()
+        for fifo in system.fifos:
+            assert f"FIFO {fifo.fifo_id}" in text
+
+    @pytest.mark.parametrize(
+        "spec", PAPER_BENCHMARKS, ids=lambda s: s.name
+    )
+    def test_every_benchmark_builds(self, spec):
+        system = build_memory_system(spec.analysis())
+        assert system.num_banks == spec.n_points - 1
+
+
+class TestAccelerator:
+    def _make(self, spec):
+        system = build_memory_system(spec.analysis())
+        return Accelerator(
+            spec=spec,
+            memory_systems=(system,),
+            kernel=KernelInfo(latency=6, ii=1),
+        )
+
+    def test_properties(self):
+        acc = self._make(small_spec(DENOISE))
+        assert acc.num_banks == 4
+        assert acc.offchip_accesses_per_cycle == 1
+        assert acc.total_buffer_size > 0
+
+    def test_expected_output_count(self):
+        spec = small_spec(DENOISE)
+        acc = self._make(spec)
+        assert (
+            acc.expected_output_count()
+            == spec.iteration_domain.count()
+        )
+
+    def test_kernel_info_validation(self):
+        with pytest.raises(ValueError):
+            KernelInfo(latency=-1, ii=1)
+        with pytest.raises(ValueError):
+            KernelInfo(latency=1, ii=0)
+
+    def test_needs_memory_system(self):
+        with pytest.raises(ValueError):
+            Accelerator(
+                spec=small_spec(DENOISE),
+                memory_systems=(),
+                kernel=KernelInfo(latency=1, ii=1),
+            )
+
+    def test_describe(self):
+        acc = self._make(small_spec(DENOISE))
+        assert "DENOISE" in acc.describe()

@@ -1,0 +1,130 @@
+"""Tests for the Section 6 future-work design: modulo-scheduled
+centralized control over the same non-uniform banks."""
+
+import numpy as np
+import pytest
+
+from repro.microarch.memory_system import build_memory_system
+from repro.resources.estimate import (
+    estimate_memory_system,
+    estimate_modulo_chain,
+)
+from repro.sim.modulo_chain import ModuloChainSimulator
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE, skewed_denoise
+
+from conftest import small_spec
+
+
+class TestCorrectness:
+    def test_every_benchmark_matches_golden(self, small_benchmark):
+        spec = small_benchmark
+        grid = make_input(spec)
+        system = build_memory_system(spec.analysis())
+        result = ModuloChainSimulator(spec, system, grid).run()
+        assert np.allclose(
+            result.output_values(),
+            golden_output_sequence(spec, grid),
+        )
+
+    def test_outputs_in_iteration_order(self, denoise_small):
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        result = ModuloChainSimulator(
+            denoise_small, system, grid
+        ).run()
+        iters = [i for i, _ in result.outputs]
+        assert iters == sorted(iters)
+
+    def test_same_output_as_streaming_design(self, denoise_small):
+        from repro.sim.engine import ChainSimulator
+
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        streaming = ChainSimulator(
+            denoise_small,
+            build_memory_system(denoise_small.analysis()),
+            grid,
+        ).run()
+        modulo = ModuloChainSimulator(
+            denoise_small, system, grid
+        ).run()
+        assert np.allclose(
+            streaming.output_values(), modulo.output_values()
+        )
+
+    def test_cycle_count_is_stream_length(self, denoise_small):
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        result = ModuloChainSimulator(
+            denoise_small, system, grid
+        ).run()
+        assert (
+            result.stats.total_cycles
+            == system.stream_domain.count()
+        )
+
+    def test_bank_moduli_are_the_nonuniform_capacities(
+        self, denoise_small
+    ):
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        result = ModuloChainSimulator(
+            denoise_small, system, grid
+        ).run()
+        assert result.stats.bank_moduli == system.fifo_capacities()
+
+
+class TestRestrictions:
+    def test_union_streaming_rejected(self):
+        """The static schedule needs constant reuse distances — the
+        very limitation the distributed design removes (Fig 9)."""
+        spec = skewed_denoise(rows=6, cols=8)
+        grid = make_input(spec)
+        system = build_memory_system(spec.analysis(stream_mode="union"))
+        with pytest.raises(TypeError):
+            ModuloChainSimulator(spec, system, grid)
+
+    def test_broken_chain_rejected(self):
+        from repro.microarch.tradeoff import with_offchip_streams
+
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        system = with_offchip_streams(
+            build_memory_system(spec.analysis()), 2
+        )
+        with pytest.raises(ValueError):
+            ModuloChainSimulator(spec, system, grid)
+
+    def test_wrong_grid_rejected(self):
+        spec = small_spec(DENOISE)
+        system = build_memory_system(spec.analysis())
+        with pytest.raises(ValueError):
+            ModuloChainSimulator(spec, system, np.zeros((2, 2)))
+
+
+class TestResourceComparison:
+    def test_same_storage_both_designs(self):
+        system = build_memory_system(DENOISE.analysis())
+        streaming = estimate_memory_system(system)
+        modulo = estimate_modulo_chain(system)
+        assert streaming.bram_18k == modulo.bram_18k
+
+    def test_modulo_controller_needs_dsps(self):
+        """Non-power-of-two bank moduli (1023 for DENOISE) cost DSP
+        reciprocal dividers — the price the streaming design avoids."""
+        system = build_memory_system(DENOISE.analysis())
+        streaming = estimate_memory_system(system)
+        modulo = estimate_modulo_chain(system)
+        assert streaming.dsp == 0
+        assert modulo.dsp > 0
+
+    def test_pow2_capacities_avoid_dsps(self):
+        from repro.stencil.spec import StencilSpec, StencilWindow
+
+        # Row size 16 with a (1,0)/(0,0) pair gives capacity 16 (pow2)
+        window = StencilWindow.from_offsets([(0, 0), (1, 0)])
+        spec = StencilSpec("P2", (10, 16), window)
+        system = build_memory_system(spec.analysis())
+        assert system.fifo_capacities() == [16]
+        assert estimate_modulo_chain(system).dsp == 0

@@ -1,0 +1,153 @@
+"""Unit tests for the non-uniform partitioner (the core contribution)."""
+
+import pytest
+
+from repro.partitioning.base import BankSpec
+from repro.partitioning.nonuniform import (
+    DeadlockConditionError,
+    NonUniformPlan,
+    OptimalityError,
+    ReuseFifoSpec,
+    check_deadlock_conditions,
+    check_optimality,
+    pairwise_deadlock_analysis,
+    plan_nonuniform,
+    table2_rows,
+)
+from repro.stencil.kernels import DENOISE, PAPER_BENCHMARKS
+
+from conftest import small_spec
+
+
+class TestPlanStructure:
+    def test_denoise_plan_matches_paper(self):
+        plan = plan_nonuniform(DENOISE.analysis())
+        assert plan.num_banks == 4
+        assert plan.total_size == 2048
+        assert plan.fifo_capacities() == [1023, 1, 1, 1023]
+        assert plan.achieved_ii == 1
+
+    def test_filter_order_matches_fig7(self):
+        plan = plan_nonuniform(DENOISE.analysis())
+        assert plan.filter_order == [
+            "A[i+1][j]",
+            "A[i][j+1]",
+            "A[i][j]",
+            "A[i][j-1]",
+            "A[i-1][j]",
+        ]
+
+    def test_all_benchmarks_get_n_minus_1_banks(self):
+        for spec in PAPER_BENCHMARKS:
+            plan = plan_nonuniform(spec.analysis())
+            assert plan.num_banks == spec.n_points - 1, spec.name
+
+    def test_all_benchmarks_get_minimum_size(self):
+        for spec in PAPER_BENCHMARKS:
+            analysis = spec.analysis()
+            plan = plan_nonuniform(analysis)
+            assert (
+                plan.total_size == analysis.minimum_total_buffer()
+            ), spec.name
+
+    def test_fifo_endpoints_chain_through_references(self):
+        plan = plan_nonuniform(DENOISE.analysis())
+        for k, fifo in enumerate(plan.fifos):
+            assert fifo.precedent is plan.references[k]
+            assert fifo.successive is plan.references[k + 1]
+
+    def test_banks_are_reuse_fifos(self):
+        plan = plan_nonuniform(DENOISE.analysis())
+        assert all(b.role == "reuse_fifo" for b in plan.banks)
+
+    def test_summary_row(self):
+        row = plan_nonuniform(DENOISE.analysis()).summary_row()
+        assert row["original_ii"] == 5
+        assert row["target_ii"] == 1
+        assert row["banks"] == 4
+        assert row["total_size"] == 2048
+
+
+class TestValidation:
+    def _tampered(self, plan, **changes):
+        return NonUniformPlan(
+            scheme=plan.scheme,
+            array=plan.array,
+            n_references=plan.n_references,
+            banks=changes.get("banks", plan.banks),
+            achieved_ii=plan.achieved_ii,
+            fifos=changes.get("fifos", plan.fifos),
+            references=changes.get("references", plan.references),
+        )
+
+    def test_undersized_fifo_fails_condition_2(self):
+        analysis = small_spec(DENOISE).analysis()
+        plan = plan_nonuniform(analysis)
+        bad_fifo = ReuseFifoSpec(
+            fifo_id=0,
+            precedent=plan.fifos[0].precedent,
+            successive=plan.fifos[0].successive,
+            capacity=plan.fifos[0].capacity - 1,
+            distance_vector=plan.fifos[0].distance_vector,
+        )
+        tampered = self._tampered(
+            plan, fifos=(bad_fifo,) + plan.fifos[1:]
+        )
+        with pytest.raises(DeadlockConditionError):
+            check_deadlock_conditions(tampered, analysis)
+
+    def test_wrong_order_fails_condition_1(self):
+        analysis = small_spec(DENOISE).analysis()
+        plan = plan_nonuniform(analysis)
+        refs = list(plan.references)
+        refs[0], refs[-1] = refs[-1], refs[0]
+        tampered = self._tampered(plan, references=tuple(refs))
+        with pytest.raises(DeadlockConditionError):
+            check_deadlock_conditions(tampered, analysis)
+
+    def test_extra_bank_fails_optimality(self):
+        analysis = small_spec(DENOISE).analysis()
+        plan = plan_nonuniform(analysis)
+        extra = plan.banks + (
+            BankSpec(bank_id=99, capacity=1, role="reuse_fifo"),
+        )
+        tampered = self._tampered(plan, banks=extra)
+        with pytest.raises(OptimalityError):
+            check_optimality(tampered, analysis)
+
+    def test_oversized_total_fails_optimality(self):
+        analysis = small_spec(DENOISE).analysis()
+        plan = plan_nonuniform(analysis)
+        banks = list(plan.banks)
+        banks[0] = BankSpec(
+            bank_id=0,
+            capacity=banks[0].capacity + 10,
+            role="reuse_fifo",
+        )
+        tampered = self._tampered(plan, banks=tuple(banks))
+        with pytest.raises(OptimalityError):
+            check_optimality(tampered, analysis)
+
+
+class TestPairwiseAnalysis:
+    def test_all_pairs_satisfy_condition_1(self):
+        plan = plan_nonuniform(DENOISE.analysis())
+        for x_label, y_label, holds in pairwise_deadlock_analysis(plan):
+            assert holds, f"{x_label} vs {y_label}"
+
+    def test_pair_count(self):
+        plan = plan_nonuniform(DENOISE.analysis())
+        n = plan.n_references
+        assert len(pairwise_deadlock_analysis(plan)) == n * (n - 1) // 2
+
+
+class TestTable2Rows:
+    def test_rows_match_paper(self):
+        rows = table2_rows(plan_nonuniform(DENOISE.analysis()))
+        assert rows[0] == {
+            "fifo_id": "FIFO 0",
+            "precedent": "A[i+1][j]",
+            "successive": "A[i][j+1]",
+            "size": 1023,
+        }
+        assert [r["size"] for r in rows] == [1023, 1, 1, 1023]

@@ -1,0 +1,183 @@
+"""Tests for the off-chip DRAM/bus substrate."""
+
+import numpy as np
+import pytest
+
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tradeoff import with_offchip_streams
+from repro.polyhedral.domain import BoxDomain
+from repro.sim.engine import ChainSimulator
+from repro.sim.offchip import (
+    DramTimingModel,
+    OffchipBus,
+    ThrottledDataStream,
+)
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE
+
+from conftest import small_spec
+
+
+class TestDramTimingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramTimingModel(words_per_cycle=0)
+        with pytest.raises(ValueError):
+            DramTimingModel(row_words=0)
+        with pytest.raises(ValueError):
+            DramTimingModel(row_miss_penalty=-1)
+
+    def test_effective_rate(self):
+        ideal = DramTimingModel(row_miss_penalty=0)
+        assert ideal.effective_rate() == pytest.approx(1.0)
+        lossy = DramTimingModel(row_words=64, row_miss_penalty=16)
+        assert lossy.effective_rate() == pytest.approx(
+            64 / (64 + 16)
+        )
+
+    def test_throttled_stream_order_preserved(self):
+        grid = np.arange(12.0).reshape(3, 4)
+        stream = ThrottledDataStream(
+            BoxDomain((0, 0), (2, 3)),
+            grid,
+            dram=DramTimingModel(row_words=4, row_miss_penalty=2),
+        )
+        points = []
+        guard = 0
+        while points.__len__() < 12:
+            stream.tick()
+            if stream.available:
+                points.append(stream.pop()[0])
+            guard += 1
+            assert guard < 200
+        assert points == sorted(points)
+
+    def test_row_stall_gates_supply(self):
+        grid = np.arange(8.0)
+        stream = ThrottledDataStream(
+            BoxDomain((0,), (7,)),
+            grid,
+            dram=DramTimingModel(row_words=2, row_miss_penalty=3),
+        )
+        served_at = []
+        for cycle in range(1, 40):
+            stream.tick()
+            if stream.available:
+                stream.pop()
+                served_at.append(cycle)
+            if len(served_at) == 8:
+                break
+        # After every 2 words there is a >= 3 cycle gap.
+        assert served_at[2] - served_at[1] >= 4
+
+
+class TestSimulationWithDram:
+    def test_full_rate_dram_only_adds_stalls(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        base = ChainSimulator(
+            spec, build_memory_system(spec.analysis()), grid
+        ).run()
+        dram = DramTimingModel(
+            row_words=32, row_miss_penalty=4, initial_latency=8
+        )
+        slow = ChainSimulator(
+            spec,
+            build_memory_system(spec.analysis()),
+            grid,
+            dram=dram,
+        ).run()
+        assert np.allclose(
+            slow.output_values(), golden_output_sequence(spec, grid)
+        )
+        assert slow.stats.total_cycles > base.stats.total_cycles
+
+    def test_half_rate_doubles_cycles(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        base = ChainSimulator(
+            spec, build_memory_system(spec.analysis()), grid
+        ).run()
+        slow = ChainSimulator(
+            spec,
+            build_memory_system(spec.analysis()),
+            grid,
+            dram=DramTimingModel(
+                words_per_cycle=0.5, row_miss_penalty=0
+            ),
+        ).run()
+        assert slow.stats.total_cycles == pytest.approx(
+            2 * base.stats.total_cycles, rel=0.05
+        )
+
+
+class TestOffchipBus:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffchipBus(words_per_cycle=0)
+
+    def _run_segments_on_bus(self, streams, width):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        system = with_offchip_streams(
+            build_memory_system(spec.analysis()), streams
+        )
+        bus = OffchipBus(words_per_cycle=width)
+        result = ChainSimulator(
+            spec,
+            system,
+            grid,
+            bus=bus,
+            dram=DramTimingModel(row_miss_penalty=0),
+        ).run()
+        golden = golden_output_sequence(spec, grid)
+        assert np.allclose(result.output_values(), golden)
+        return result
+
+    def test_wide_bus_matches_ideal(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        ideal = ChainSimulator(
+            spec,
+            with_offchip_streams(
+                build_memory_system(spec.analysis()), 3
+            ),
+            grid,
+        ).run()
+        on_bus = self._run_segments_on_bus(streams=3, width=3)
+        assert (
+            on_bus.stats.total_cycles
+            <= ideal.stats.total_cycles + 2
+        )
+
+    def test_narrow_bus_degrades_gracefully(self):
+        wide = self._run_segments_on_bus(streams=3, width=3)
+        narrow = self._run_segments_on_bus(streams=3, width=1)
+        assert (
+            narrow.stats.total_cycles > wide.stats.total_cycles
+        )
+
+    def test_bus_counts_total_words(self):
+        spec = small_spec(DENOISE)
+        grid = make_input(spec)
+        system = with_offchip_streams(
+            build_memory_system(spec.analysis()), 2
+        )
+        bus = OffchipBus(words_per_cycle=2)
+        result = ChainSimulator(
+            spec,
+            system,
+            grid,
+            bus=bus,
+            dram=DramTimingModel(row_miss_penalty=0),
+        ).run()
+        assert bus.total_words == sum(
+            result.stats.elements_streamed_per_segment
+        )
+
+    def test_monotone_in_bus_width(self):
+        cycles = [
+            self._run_segments_on_bus(3, w).stats.total_cycles
+            for w in (1, 2, 3)
+        ]
+        assert cycles == sorted(cycles, reverse=True)

@@ -1,0 +1,212 @@
+"""End-to-end checks of the paper's concrete evaluation artifacts.
+
+Each test pins one number or relationship the paper states explicitly,
+at the paper's own scale.  These are the repository's ground truth for
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.flow.report import (
+    average_reduction,
+    table4_report,
+    table5_report,
+)
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tradeoff import tradeoff_curve
+from repro.partitioning.cyclic import minimum_banks_linear
+from repro.partitioning.gmp import plan_gmp
+from repro.partitioning.nonuniform import plan_nonuniform
+from repro.stencil.kernels import (
+    DENOISE,
+    PAPER_BENCHMARKS,
+    SEGMENTATION_3D,
+)
+
+
+class TestSection2Targets:
+    """Section 2.3: the three optimal design targets for DENOISE."""
+
+    def test_minimum_buffer_size_2048(self):
+        # "the minimum size of the data reuse buffer for array A will
+        # be 2048" (A[2][2] spans 2048 cycles of lifetime).
+        assert DENOISE.analysis().minimum_total_buffer() == 2048
+
+    def test_minimum_banks_4(self):
+        # "n = 5 indicates that we need at least four memory banks"
+        assert DENOISE.analysis().minimum_banks() == 4
+
+    def test_element_lifetime_matches_reuse_window(self):
+        """A[2][2] is touched first by A[i+1][j] (at i=(1,2)) and last
+        by A[i-1][j] (at i=(3,2)), 2048 stream elements later."""
+        from repro.polyhedral.reuse import max_reuse_distance
+
+        analysis = DENOISE.analysis()
+        assert (
+            max_reuse_distance(
+                analysis.earliest,
+                analysis.latest,
+                analysis.iteration_domain,
+                analysis.stream_domain(),
+            )
+            == 2048
+        )
+
+
+class TestTable2:
+    """Table 2 verbatim: FIFO sizes and implementations for DENOISE."""
+
+    def test_fifo_rows(self):
+        system = build_memory_system(DENOISE.analysis())
+        rows = system.table2_rows()
+        expected = [
+            ("FIFO 0", "A[i+1][j]", "A[i][j+1]", 1023, "block"),
+            ("FIFO 1", "A[i][j+1]", "A[i][j]", 1, "register"),
+            ("FIFO 2", "A[i][j]", "A[i][j-1]", 1, "register"),
+            ("FIFO 3", "A[i][j-1]", "A[i-1][j]", 1023, "block"),
+        ]
+        got = [
+            (
+                r["fifo_id"],
+                r["precedent"],
+                r["successive"],
+                r["size"],
+                r["physical_impl"],
+            )
+            for r in rows
+        ]
+        assert got == expected
+
+    def test_total_size_2048(self):
+        system = build_memory_system(DENOISE.analysis())
+        assert system.total_buffer_size == 2048
+
+
+class TestFig5:
+    """Fig 5: [5]'s bank count varies with row size, 5 at best."""
+
+    def test_banks_vary_and_bottom_at_5(self):
+        offsets = DENOISE.window.offsets
+        counts = {
+            minimum_banks_linear(offsets, (768, w))
+            for w in range(1018, 1033)
+        }
+        assert 5 in counts
+        assert len(counts) > 1
+        assert min(counts) == 5
+
+
+class TestFig6:
+    """Fig 6: windows where uniform schemes exceed the n-bank bound
+    while ours stays at n - 1."""
+
+    @pytest.mark.parametrize(
+        "name,expected_uniform",
+        [("RICIAN", 5), ("BICUBIC", 5)],
+    )
+    def test_uniform_needs_n_plus_1(self, name, expected_uniform):
+        from repro.stencil.kernels import BENCHMARKS_BY_NAME
+
+        spec = BENCHMARKS_BY_NAME[name]
+        plan = plan_gmp(spec.analysis())
+        assert plan.num_banks == expected_uniform
+        assert plan.num_banks > spec.n_points
+
+    def test_ours_always_n_minus_1(self):
+        for name in ("RICIAN", "BICUBIC", "SEGMENTATION_3D"):
+            from repro.stencil.kernels import BENCHMARKS_BY_NAME
+
+            spec = BENCHMARKS_BY_NAME[name]
+            plan = plan_nonuniform(spec.analysis())
+            assert plan.num_banks == spec.n_points - 1
+
+
+class TestTable4:
+    """Table 4: our method saves banks on all six benchmarks, never
+    needs padding, and never uses more storage."""
+
+    def test_all_rows(self):
+        rows = table4_report(PAPER_BENCHMARKS)
+        assert len(rows) == 6
+        for row in rows:
+            assert row["banks_ours"] == row["original_ii"] - 1
+            assert row["banks_ours"] < row["banks_gmp"]
+            assert row["size_ours"] <= row["size_gmp"]
+
+    def test_no_padding_in_ours(self):
+        """Our totals equal the exact reuse window — no padding
+        overhead ever."""
+        for spec in PAPER_BENCHMARKS:
+            analysis = spec.analysis()
+            plan = plan_nonuniform(analysis)
+            assert (
+                plan.total_size == analysis.minimum_total_buffer()
+            )
+
+    def test_padding_overhead_grows_in_3d(self):
+        rows = {
+            r["benchmark"]: r for r in table4_report(PAPER_BENCHMARKS)
+        }
+        overhead_2d = (
+            rows["DENOISE"]["size_gmp"] / rows["DENOISE"]["size_ours"]
+        )
+        overhead_3d = (
+            rows["SEGMENTATION_3D"]["size_gmp"]
+            / rows["SEGMENTATION_3D"]["size_ours"]
+        )
+        assert overhead_3d > overhead_2d
+
+
+class TestTable5:
+    """Table 5's qualitative content under our resource model."""
+
+    def test_directional_results(self):
+        rows = table5_report(PAPER_BENCHMARKS)
+        for row in rows:
+            assert row["bram_ours"] < row["bram_gmp"], row
+            assert row["slice_ours"] < row["slice_gmp"], row
+            assert row["dsp_ours"] == 0
+            assert row["dsp_gmp"] > 0
+            assert row["cp_ours"] <= row["cp_gmp"]
+            assert row["cp_ours"] <= 5.0
+
+    def test_average_reductions_substantial(self):
+        rows = table5_report(PAPER_BENCHMARKS)
+        bram_red = average_reduction(rows, "bram_ours", "bram_gmp")
+        slice_red = average_reduction(rows, "slice_ours", "slice_gmp")
+        # The paper reports 66% BRAM / 25% slice savings; our model
+        # reproduces the direction with substantial margins.
+        assert bram_red > 20.0
+        assert slice_red > 20.0
+
+
+class TestFig15:
+    """Fig 15: graceful buffer degradation with extra bandwidth."""
+
+    def test_segmentation_sweep_1_to_18(self):
+        system = build_memory_system(SEGMENTATION_3D.analysis())
+        curve = tradeoff_curve(system)
+        assert [p.offchip_accesses_per_cycle for p in curve] == list(
+            range(1, 19)
+        )
+
+    def test_three_phase_structure(self):
+        system = build_memory_system(SEGMENTATION_3D.analysis())
+        curve = tradeoff_curve(system)
+        drops = [
+            a.total_buffer_size - b.total_buffer_size
+            for a, b in zip(curve, curve[1:])
+        ]
+        # Inter-plane reuse (~grid plane) goes first, then inter-row
+        # (~grid row), then intra-row (a few elements).
+        plane = 128 * 128
+        row = 128
+        assert drops[0] > plane / 2
+        assert drops[1] > plane / 2
+        assert all(row / 2 < d < plane / 2 for d in drops[2:8])
+        assert all(d < row / 2 for d in drops[8:])
+
+    def test_last_point_is_one_element(self):
+        system = build_memory_system(SEGMENTATION_3D.analysis())
+        curve = tradeoff_curve(system)
+        assert curve[-1].total_buffer_size == 1

@@ -1,0 +1,102 @@
+"""Property-based tests: for *random* stencil windows the paper's plan is
+always optimal and the baselines are always conflict-free but never
+better."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.partitioning.cyclic import plan_cyclic
+from repro.partitioning.gmp import plan_gmp
+from repro.partitioning.nonuniform import plan_nonuniform
+from repro.partitioning.verify import scan_conflicts
+from repro.polyhedral.access import ArrayReference
+from repro.polyhedral.analysis import StencilAnalysis
+from repro.polyhedral.domain import BoxDomain
+
+
+@st.composite
+def random_analysis(draw):
+    """A random 2D stencil window on a small grid."""
+    n = draw(st.integers(2, 7))
+    offsets = draw(
+        st.sets(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    rows = draw(st.integers(10, 18))
+    cols = draw(st.integers(10, 18))
+    mins = [min(o[d] for o in offsets) for d in (0, 1)]
+    maxs = [max(o[d] for o in offsets) for d in (0, 1)]
+    iter_domain = BoxDomain(
+        (-mins[0], -mins[1]),
+        (rows - 1 - maxs[0], cols - 1 - maxs[1]),
+    )
+    refs = [ArrayReference("A", o) for o in offsets]
+    return StencilAnalysis("A", refs, iter_domain)
+
+
+class TestNonUniformProperties:
+    @given(random_analysis())
+    @settings(max_examples=50, deadline=None)
+    def test_plan_always_optimal(self, analysis):
+        """plan_nonuniform internally re-validates both deadlock-free
+        conditions and both optimality targets; building it must never
+        raise for any stencil window."""
+        plan = plan_nonuniform(analysis)
+        assert plan.num_banks == analysis.n_references - 1
+        assert plan.total_size == analysis.minimum_total_buffer()
+
+    @given(random_analysis())
+    @settings(max_examples=50, deadline=None)
+    def test_capacities_match_pairwise_distances(self, analysis):
+        plan = plan_nonuniform(analysis)
+        pairs = analysis.adjacent_pairs()
+        assert plan.fifo_capacities() == [
+            p.max_distance for p in pairs
+        ]
+
+    @given(random_analysis())
+    @settings(max_examples=50, deadline=None)
+    def test_never_more_banks_than_uniform(self, analysis):
+        ours = plan_nonuniform(analysis)
+        cyclic = plan_cyclic(analysis, max_banks=256)
+        assert ours.num_banks < cyclic.num_banks
+
+    @given(random_analysis())
+    @settings(max_examples=30, deadline=None)
+    def test_never_more_storage_than_gmp(self, analysis):
+        ours = plan_nonuniform(analysis)
+        gmp = plan_gmp(analysis, max_banks=256)
+        assert ours.total_size <= gmp.total_size
+        assert ours.num_banks < gmp.num_banks
+
+
+class TestUniformProperties:
+    @given(random_analysis())
+    @settings(max_examples=30, deadline=None)
+    def test_cyclic_plans_conflict_free(self, analysis):
+        plan = plan_cyclic(analysis, max_banks=256)
+        report = scan_conflicts(plan, analysis, sample_limit=500)
+        assert report.conflict_free
+
+    @given(random_analysis())
+    @settings(max_examples=30, deadline=None)
+    def test_gmp_plans_conflict_free(self, analysis):
+        plan = plan_gmp(analysis, max_banks=256)
+        report = scan_conflicts(plan, analysis, sample_limit=500)
+        assert report.conflict_free
+
+    @given(random_analysis())
+    @settings(max_examples=30, deadline=None)
+    def test_gmp_never_worse_than_unpadded_cyclic(self, analysis):
+        cyclic = plan_cyclic(analysis, max_banks=256)
+        gmp = plan_gmp(analysis, max_banks=256)
+        assert gmp.num_banks <= cyclic.num_banks
+
+    @given(random_analysis())
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_banks_at_least_n(self, analysis):
+        plan = plan_cyclic(analysis, max_banks=256)
+        assert plan.num_banks >= analysis.n_references

@@ -1,0 +1,160 @@
+"""Unit tests for partition-plan conflict verification."""
+
+import pytest
+
+from repro.partitioning.base import (
+    BankSpec,
+    PartitionPlan,
+    UniformBankMapping,
+    UniformPlan,
+)
+from repro.partitioning.cyclic import plan_cyclic
+from repro.partitioning.verify import (
+    measure_ii_for_bank_count,
+    scan_conflicts,
+    verify_uniform_plan,
+)
+from repro.stencil.kernels import DENOISE
+
+from conftest import small_spec
+
+
+class TestUniformBankMapping:
+    def test_bank_of_linear(self):
+        m = UniformBankMapping(
+            num_banks=5,
+            weights=(10, 1),
+            padded_extents=(8, 10),
+            original_extents=(8, 10),
+        )
+        assert m.bank_of((0, 0)) == 0
+        assert m.bank_of((0, 7)) == 2
+        assert m.bank_of((1, 0)) == 0
+        assert m.bank_of((1, 2)) == 2
+
+    def test_linear_and_local_address(self):
+        m = UniformBankMapping(
+            num_banks=4,
+            weights=(10, 1),
+            padded_extents=(8, 10),
+            original_extents=(8, 10),
+        )
+        assert m.linear_address((2, 3)) == 23
+        assert m.local_address((2, 3)) == 5
+
+    def test_padding_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            UniformBankMapping(
+                num_banks=4,
+                weights=(8, 1),
+                padded_extents=(8, 8),
+                original_extents=(8, 10),
+            )
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ValueError):
+            UniformBankMapping(
+                num_banks=0,
+                weights=(1,),
+                padded_extents=(4,),
+                original_extents=(4,),
+            )
+
+
+class TestScanConflicts:
+    def test_conflict_free_plan_passes(self):
+        spec = small_spec(DENOISE)
+        analysis = spec.analysis()
+        plan = plan_cyclic(analysis)
+        report = scan_conflicts(plan, analysis)
+        assert report.conflict_free
+        assert report.achieved_ii == 1
+        assert report.first_conflict is None
+        assert report.iterations_checked > 0
+
+    def test_forced_conflicts_detected(self):
+        spec = small_spec(DENOISE)
+        analysis = spec.analysis()
+        good = plan_cyclic(analysis)
+        # Deliberately fewer banks than the conflict-free minimum.
+        bad_mapping = UniformBankMapping(
+            num_banks=2,
+            weights=good.mapping.weights,
+            padded_extents=good.mapping.padded_extents,
+            original_extents=good.mapping.original_extents,
+        )
+        bad = UniformPlan(
+            scheme="forced",
+            array=good.array,
+            n_references=good.n_references,
+            banks=tuple(
+                BankSpec(k, 64, "cyclic_bank") for k in range(2)
+            ),
+            achieved_ii=1,
+            mapping=bad_mapping,
+            window_span=good.window_span,
+        )
+        report = scan_conflicts(bad, analysis)
+        assert not report.conflict_free
+        assert report.achieved_ii > 1
+        assert report.first_conflict is not None
+
+    def test_verify_raises_on_conflicts(self):
+        spec = small_spec(DENOISE)
+        analysis = spec.analysis()
+        good = plan_cyclic(analysis)
+        bad = UniformPlan(
+            scheme="forced",
+            array=good.array,
+            n_references=good.n_references,
+            banks=good.banks[:2],
+            achieved_ii=1,
+            mapping=UniformBankMapping(
+                num_banks=2,
+                weights=good.mapping.weights,
+                padded_extents=good.mapping.padded_extents,
+                original_extents=good.mapping.original_extents,
+            ),
+            window_span=good.window_span,
+        )
+        with pytest.raises(AssertionError):
+            verify_uniform_plan(bad, analysis)
+
+
+class TestMeasureII:
+    def test_ii_one_at_conflict_free_count(self):
+        spec = small_spec(DENOISE)
+        analysis = spec.analysis()
+        good = plan_cyclic(analysis)
+        assert (
+            measure_ii_for_bank_count(analysis, good.num_banks) == 1
+        )
+
+    def test_ii_degrades_below_minimum(self):
+        spec = small_spec(DENOISE)
+        analysis = spec.analysis()
+        assert measure_ii_for_bank_count(analysis, 1) == 5
+        assert measure_ii_for_bank_count(analysis, 2) >= 2
+
+    def test_sampling_covers_large_domains(self):
+        analysis = DENOISE.analysis()  # full 768x1024
+        plan = plan_cyclic(analysis)
+        report = scan_conflicts(plan, analysis, sample_limit=2000)
+        assert report.conflict_free
+        assert report.iterations_checked <= 4200
+
+
+class TestUniformPlanBasics:
+    def test_requires_mapping(self):
+        with pytest.raises((ValueError, TypeError)):
+            UniformPlan(
+                scheme="x",
+                array="A",
+                n_references=2,
+                banks=(),
+                achieved_ii=1,
+            )
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BankSpec(bank_id=0, capacity=-1, role="cyclic_bank")

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the polyhedral substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.polyhedral.access import ArrayReference
+from repro.polyhedral.analysis import StencilAnalysis
+from repro.polyhedral.domain import BoxDomain
+from repro.polyhedral.lexorder import (
+    lex_compare,
+    lex_le,
+    lex_lt,
+    lex_sorted,
+)
+from repro.polyhedral.reuse import (
+    box_lex_span,
+    max_reuse_distance,
+    reuse_distance_vector,
+)
+
+vectors2 = st.tuples(
+    st.integers(-5, 5), st.integers(-5, 5)
+)
+small_boxes = st.builds(
+    lambda l0, l1, e0, e1: BoxDomain(
+        (l0, l1), (l0 + e0, l1 + e1)
+    ),
+    st.integers(-3, 3),
+    st.integers(-3, 3),
+    st.integers(0, 6),
+    st.integers(0, 6),
+)
+
+
+@st.composite
+def stencil_windows(draw, dim=2, max_points=6, reach=2):
+    """A random set of distinct offsets (a stencil window)."""
+    n = draw(st.integers(2, max_points))
+    offsets = draw(
+        st.sets(
+            st.tuples(
+                *[st.integers(-reach, reach) for _ in range(dim)]
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return sorted(offsets, reverse=True)
+
+
+class TestLexOrderProperties:
+    @given(vectors2, vectors2)
+    def test_antisymmetry(self, a, b):
+        assert lex_compare(a, b) == -lex_compare(b, a)
+
+    @given(vectors2, vectors2, vectors2)
+    def test_transitivity(self, a, b, c):
+        if lex_le(a, b) and lex_le(b, c):
+            assert lex_le(a, c)
+
+    @given(st.lists(vectors2, min_size=1, max_size=10))
+    def test_sorted_is_total_order(self, pts):
+        asc = lex_sorted(pts)
+        for x, y in zip(asc, asc[1:]):
+            assert lex_le(x, y)
+        desc = lex_sorted(pts, descending=True)
+        assert desc == asc[::-1]
+
+    @given(vectors2, vectors2)
+    def test_compare_matches_tuple_compare(self, a, b):
+        # Python tuple comparison *is* lexicographic.
+        expected = (a > b) - (a < b)
+        assert lex_compare(a, b) == expected
+
+
+class TestBoxProperties:
+    @given(small_boxes)
+    def test_count_matches_enumeration(self, box):
+        assert box.count() == len(list(box.iter_points()))
+
+    @given(small_boxes)
+    def test_enumeration_is_lex_sorted_and_unique(self, box):
+        pts = list(box.iter_points())
+        assert pts == sorted(set(pts))
+
+    @given(small_boxes, vectors2)
+    def test_translate_preserves_count(self, box, offset):
+        assert box.translate(offset).count() == box.count()
+
+    @given(small_boxes, vectors2)
+    def test_lex_rank_counts_leq_points(self, box, probe):
+        expected = sum(
+            1 for p in box.iter_points() if lex_le(p, probe)
+        )
+        assert box.lex_rank(probe) == expected
+
+    @given(small_boxes)
+    def test_rank_of_last_is_count(self, box):
+        if not box.is_empty():
+            assert box.lex_rank(box.lex_last()) == box.count()
+            assert box.lex_rank(box.lex_first()) == 1
+
+
+class TestReuseProperties:
+    @given(stencil_windows())
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_of_max_reuse_distance(self, offsets):
+        """Property 3: distances along the sorted chain sum to the
+        end-to-end distance."""
+        refs = [ArrayReference("A", o) for o in offsets]
+        iter_domain = BoxDomain((2, 2), (7, 8))
+        stream = BoxDomain((0, 0), (9, 10))
+        chained = sum(
+            max_reuse_distance(a, b, iter_domain, stream)
+            for a, b in zip(refs, refs[1:])
+        )
+        direct = max_reuse_distance(
+            refs[0], refs[-1], iter_domain, stream
+        )
+        assert chained == direct
+
+    @given(stencil_windows())
+    @settings(max_examples=40, deadline=None)
+    def test_distances_nonnegative(self, offsets):
+        refs = [ArrayReference("A", o) for o in offsets]
+        iter_domain = BoxDomain((2, 2), (7, 8))
+        stream = BoxDomain((0, 0), (9, 10))
+        for a, b in zip(refs, refs[1:]):
+            assert (
+                max_reuse_distance(a, b, iter_domain, stream) >= 0
+            )
+
+    @given(stencil_windows())
+    @settings(max_examples=40, deadline=None)
+    def test_distance_vector_antisymmetric(self, offsets):
+        refs = [ArrayReference("A", o) for o in offsets]
+        r_fwd = reuse_distance_vector(refs[0], refs[-1])
+        r_bwd = reuse_distance_vector(refs[-1], refs[0])
+        assert tuple(-c for c in r_fwd) == r_bwd
+
+    @given(
+        st.tuples(st.integers(0, 3), st.integers(-3, 3)),
+        st.integers(4, 12),
+        st.integers(4, 12),
+    )
+    def test_box_lex_span_matches_rank_difference(self, vec, h, w):
+        box = BoxDomain((0, 0), (h - 1, w - 1))
+        span = box_lex_span(box, vec)
+        # Pick an interior point where both ends are in the box.
+        h0 = (max(0, -vec[0]), max(0, -vec[1]))
+        h1 = (h0[0] + vec[0], h0[1] + vec[1])
+        if box.contains(h0) and box.contains(h1):
+            assert span == box.lex_rank(h1) - box.lex_rank(h0)
+
+
+class TestAnalysisProperties:
+    @given(stencil_windows(max_points=5))
+    @settings(max_examples=30, deadline=None)
+    def test_capacities_sum_to_minimum_total(self, offsets):
+        refs = [ArrayReference("A", o) for o in offsets]
+        an = StencilAnalysis("A", refs, BoxDomain((2, 2), (8, 9)))
+        assert sum(an.fifo_capacities()) == an.minimum_total_buffer()
+
+    @given(stencil_windows(max_points=5))
+    @settings(max_examples=30, deadline=None)
+    def test_offsets_strictly_descending(self, offsets):
+        refs = [ArrayReference("A", o) for o in offsets]
+        an = StencilAnalysis("A", refs, BoxDomain((2, 2), (8, 9)))
+        out = an.offsets()
+        for a, b in zip(out, out[1:]):
+            assert lex_lt(b, a)

@@ -1,0 +1,178 @@
+"""Tests for the power model and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.microarch.memory_system import build_memory_system
+from repro.partitioning.gmp import plan_gmp
+from repro.resources.estimate import (
+    estimate_memory_system,
+    estimate_uniform_memory_system,
+)
+from repro.resources.fpga import ResourceUsage
+from repro.resources.power import (
+    PowerEstimate,
+    estimate_power,
+    power_saving_ratio,
+)
+from repro.stencil.kernels import DENOISE, PAPER_BENCHMARKS
+
+
+class TestPowerModel:
+    def test_zero_usage_zero_dynamic(self):
+        assert estimate_power(ResourceUsage()).dynamic_mw == 0.0
+
+    def test_proportionality(self):
+        one = estimate_power(ResourceUsage(bram_18k=1))
+        two = estimate_power(ResourceUsage(bram_18k=2))
+        assert two.dynamic_mw == pytest.approx(2 * one.dynamic_mw)
+
+    def test_total_includes_static(self):
+        p = estimate_power(ResourceUsage(slices=100))
+        assert p.total_mw > p.dynamic_mw
+        assert p.gated_total_mw == p.dynamic_mw
+
+    def test_ours_saves_gated_power_everywhere(self):
+        """The paper: with power gating, 'FPGA power will be
+        proportional to resource usage, which is covered by
+        Table 5'."""
+        for spec in PAPER_BENCHMARKS:
+            analysis = spec.analysis()
+            ours = estimate_memory_system(
+                build_memory_system(analysis)
+            )
+            base = estimate_uniform_memory_system(plan_gmp(analysis))
+            assert power_saving_ratio(ours, base) > 0.0, spec.name
+
+    def test_saving_ratio_bounds(self):
+        a = ResourceUsage(slices=50)
+        b = ResourceUsage(slices=100)
+        assert power_saving_ratio(a, b) == pytest.approx(0.5)
+        assert power_saving_ratio(b, b) == pytest.approx(0.0)
+        assert power_saving_ratio(a, ResourceUsage()) == 0.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "DENOISE" in out
+        assert "SEGMENTATION_3D" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "denoise"]) == 0
+        out = capsys.readouterr().out
+        assert "2048" in out
+        assert "[1023, 1, 1, 1023]" in out
+
+    def test_info_unknown_benchmark(self, capsys):
+        assert main(["info", "NOPE"]) == 2
+
+    def test_compile_with_table2(self, capsys):
+        assert main(["compile", "DENOISE", "--show", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "FIFO 0" in out
+        assert "block" in out
+
+    def test_compile_streams(self, capsys):
+        assert main(["compile", "DENOISE", "--streams", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 off-chip access(es)" in out
+
+    def test_compile_kernel_source(self, capsys):
+        assert main(["compile", "RICIAN", "--show", "kernel"]) == 0
+        assert "#pragma HLS pipeline" in capsys.readouterr().out
+
+    def test_compile_rtl(self, capsys):
+        assert main(["compile", "BICUBIC", "--show", "rtl"]) == 0
+        assert "reuse_fifo" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "artifact", ["table2", "table4", "table5", "fig5", "fig15"]
+    )
+    def test_reports(self, capsys, artifact):
+        assert main(["report", artifact]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_simulate(self, capsys):
+        assert (
+            main(["simulate", "DENOISE", "--grid", "16x20"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "golden match: yes" in out
+
+    def test_simulate_multi_stream(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "RICIAN",
+                    "--grid",
+                    "14x18",
+                    "--streams",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "golden match: yes" in capsys.readouterr().out
+
+    def test_bad_grid_format(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "DENOISE", "--grid", "banana"])
+
+    def test_grid_override_in_compile(self, capsys):
+        assert (
+            main(["compile", "DENOISE", "--grid", "24x32"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "total 64 elements" in out  # 31+1+1+31 (32-wide rows)
+
+
+class TestCliExploreAndDatasheet:
+    def test_explore_feasible(self, capsys):
+        assert main(["explore", "DENOISE", "--bram", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "best within 2 BRAM18" in out
+
+    def test_explore_infeasible(self, capsys):
+        assert (
+            main(
+                [
+                    "explore",
+                    "SEGMENTATION_3D",
+                    "--bram",
+                    "0",
+                    "--bandwidth",
+                    "1",
+                ]
+            )
+            == 1
+        )
+        assert "no design fits" in capsys.readouterr().out
+
+    def test_datasheet_stdout(self, capsys):
+        assert (
+            main(["datasheet", "DENOISE", "--grid", "24x32"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("# Design report")
+        assert "## Baseline comparison" in out
+
+    def test_datasheet_file(self, tmp_path, capsys):
+        path = tmp_path / "r.md"
+        assert (
+            main(
+                [
+                    "datasheet",
+                    "BICUBIC",
+                    "--grid",
+                    "20x24",
+                    "--output",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert path.read_text().startswith("# Design report")

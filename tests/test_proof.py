@@ -1,0 +1,112 @@
+"""Tests for the executable Appendix 9.2 deadlock-freedom proof."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.partitioning.proof import (
+    check_all_pairs,
+    check_ordered_offsets,
+    check_pair,
+    is_deadlock_free,
+)
+from repro.polyhedral.access import ArrayReference
+from repro.polyhedral.analysis import StencilAnalysis
+from repro.polyhedral.domain import BoxDomain
+from repro.stencil.kernels import DENOISE, RICIAN, SOBEL
+
+from conftest import small_spec
+
+
+class TestCorrectDesigns:
+    @pytest.mark.parametrize(
+        "bench", [DENOISE, RICIAN, SOBEL], ids=lambda s: s.name
+    )
+    def test_paper_benchmarks_deadlock_free(self, bench):
+        spec = bench.with_grid((8, 10))
+        assert is_deadlock_free(spec.analysis())
+
+    def test_all_pairs_covered(self):
+        spec = DENOISE.with_grid((8, 10))
+        rows = check_all_pairs(spec.analysis())
+        n = spec.n_points
+        assert len(rows) == n * (n - 1) // 2
+        assert all(r.deadlock_free for r in rows)
+        assert all(r.states_checked > 0 for r in rows)
+
+    def test_3d_design_deadlock_free(self):
+        from repro.stencil.kernels import DENOISE_3D
+
+        spec = DENOISE_3D.with_grid((4, 5, 6))
+        assert is_deadlock_free(spec.analysis())
+
+
+class TestViolations:
+    def test_undersized_capacity_yields_e2_e4_witness(self):
+        """Condition (2) violated: FIFO one short of the max reuse
+        distance produces a reachable full+waiting cycle."""
+        spec = DENOISE.with_grid((8, 10))
+        analysis = spec.analysis()
+        needed = analysis.adjacent_pairs()[0].max_distance
+        result = check_pair(
+            analysis, 0, 1, capacity_override=needed - 1
+        )
+        assert result.e2_and_e4_witness is not None
+        assert result.e1_and_e3_witness is None
+
+    def test_exact_capacity_has_no_witness(self):
+        spec = DENOISE.with_grid((8, 10))
+        analysis = spec.analysis()
+        needed = analysis.adjacent_pairs()[0].max_distance
+        result = check_pair(
+            analysis, 0, 1, capacity_override=needed
+        )
+        assert result.deadlock_free
+
+    def test_wrong_order_yields_e1_e3_witness(self):
+        """Condition (1) violated: putting the lexicographically later
+        reference upstream produces an empty+waiting cycle."""
+        stream = BoxDomain((0, 0), (7, 9))
+        # Upstream offset (0,-1) <_l downstream (0,1): wrong order.
+        result = check_ordered_offsets(
+            f_x=(0, -1), f_y=(0, 1), capacity=4, stream=stream
+        )
+        assert result.e1_and_e3_witness is not None
+
+    def test_correct_order_no_e1_e3(self):
+        stream = BoxDomain((0, 0), (7, 9))
+        result = check_ordered_offsets(
+            f_x=(0, 1), f_y=(0, -1), capacity=2, stream=stream
+        )
+        assert result.e1_and_e3_witness is None
+
+    def test_bad_indices_rejected(self):
+        spec = DENOISE.with_grid((8, 10))
+        with pytest.raises(ValueError):
+            check_pair(spec.analysis(), 1, 1)
+        with pytest.raises(ValueError):
+            check_pair(spec.analysis(), 3, 1)
+
+    def test_state_space_guard(self):
+        spec = DENOISE.with_grid((8, 10))
+        with pytest.raises(ValueError):
+            check_pair(spec.analysis(), 0, 4, max_states=10)
+
+
+class TestProofProperties:
+    @given(
+        st.sets(
+            st.tuples(st.integers(-1, 1), st.integers(-1, 1)),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_plans_always_pass_the_proof(self, offsets):
+        """For random windows, the planner's order + capacities always
+        satisfy the executable proof."""
+        refs = [ArrayReference("A", o) for o in sorted(offsets)]
+        analysis = StencilAnalysis(
+            "A", refs, BoxDomain((1, 1), (6, 7))
+        )
+        assert is_deadlock_free(analysis)

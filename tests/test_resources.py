@@ -1,0 +1,196 @@
+"""Unit tests for the FPGA resource and timing models."""
+
+import pytest
+
+from repro.microarch.components import FifoImpl
+from repro.microarch.mapping import ALL_BRAM_POLICY
+from repro.microarch.memory_system import build_memory_system
+from repro.partitioning.gmp import plan_gmp
+from repro.resources.estimate import (
+    estimate_baseline,
+    estimate_fifo,
+    estimate_memory_system,
+    estimate_ours,
+    estimate_uniform_memory_system,
+)
+from repro.resources.fpga import (
+    ResourceUsage,
+    XC7VX485T,
+    bram18_for_memory,
+    slices_for_lut_ff,
+)
+from repro.resources.timing import (
+    TARGET_CLOCK_NS,
+    estimate_timing_baseline,
+    estimate_timing_ours,
+)
+from repro.stencil.kernels import DENOISE, PAPER_BENCHMARKS
+
+
+class TestFpgaDevice:
+    def test_xc7vx485t_capacities(self):
+        assert XC7VX485T.bram_18k == 2060
+        assert XC7VX485T.dsp48 == 2800
+
+    def test_utilization_and_fits(self):
+        small = ResourceUsage(bram_18k=10, slices=100, dsp=5)
+        util = XC7VX485T.utilization(small)
+        assert 0 < util["bram_18k"] < 0.01
+        assert XC7VX485T.fits(small)
+        huge = ResourceUsage(bram_18k=99999)
+        assert not XC7VX485T.fits(huge)
+
+    def test_usage_addition(self):
+        a = ResourceUsage(bram_18k=1, slices=2, dsp=3)
+        b = ResourceUsage(bram_18k=10, slices=20, dsp=30)
+        c = a + b
+        assert (c.bram_18k, c.slices, c.dsp) == (11, 22, 33)
+
+    def test_usage_scaling(self):
+        a = ResourceUsage(slices=3).scaled(4)
+        assert a.slices == 12
+
+
+class TestBramSizing:
+    def test_32bit_1024_deep_takes_2(self):
+        # 32-bit needs two 18-bit columns; 1023 deep fits one row.
+        assert bram18_for_memory(1023, 32) == 2
+
+    def test_deep_memory_cascades(self):
+        assert bram18_for_memory(2048, 32) == 4
+        assert bram18_for_memory(16256, 32) == 32
+
+    def test_narrow_memory(self):
+        assert bram18_for_memory(1024, 18) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bram18_for_memory(0, 32)
+        with pytest.raises(ValueError):
+            bram18_for_memory(32, 0)
+
+    def test_slices_for_lut_ff(self):
+        assert slices_for_lut_ff(0, 0) == 0
+        assert slices_for_lut_ff(4, 8) == 2  # 1 slice / 0.7 packing
+        with pytest.raises(ValueError):
+            slices_for_lut_ff(-1, 0)
+
+
+class TestFifoEstimates:
+    def test_bram_fifo_uses_bram(self):
+        u = estimate_fifo(1023, FifoImpl.BRAM)
+        assert u.bram_18k == 2
+        assert u.dsp == 0
+
+    def test_register_fifo_uses_slices_only(self):
+        u = estimate_fifo(1, FifoImpl.REGISTER)
+        assert u.bram_18k == 0
+        assert u.slices > 0
+
+    def test_lutram_fifo(self):
+        u = estimate_fifo(64, FifoImpl.LUTRAM)
+        assert u.bram_18k == 0
+        assert u.slices >= 64 * 32 // 256
+
+
+class TestSystemComparison:
+    @pytest.mark.parametrize(
+        "spec", PAPER_BENCHMARKS, ids=lambda s: s.name
+    )
+    def test_ours_beats_baseline_everywhere(self, spec):
+        """Table 5's qualitative content: fewer BRAMs, fewer slices,
+        zero DSPs, no worse timing — for every benchmark."""
+        analysis = spec.analysis()
+        system = build_memory_system(analysis)
+        base_plan = plan_gmp(analysis)
+        ours = estimate_ours(spec, system).total
+        base = estimate_baseline(spec, base_plan).total
+        assert ours.bram_18k < base.bram_18k
+        assert ours.slices < base.slices
+        assert ours.dsp == 0
+        assert base.dsp > 0
+        t_ours = estimate_timing_ours(system)
+        t_base = estimate_timing_baseline(base_plan)
+        assert t_ours.slack_ns >= t_base.slack_ns
+
+    def test_all_bram_mapping_costs_more_bram(self):
+        analysis = DENOISE.analysis()
+        hetero = build_memory_system(analysis)
+        forced = build_memory_system(analysis, policy=ALL_BRAM_POLICY)
+        assert (
+            estimate_memory_system(forced).bram_18k
+            > estimate_memory_system(hetero).bram_18k
+        )
+
+    def test_baseline_memory_dsp_source_is_address_transform(self):
+        plan = plan_gmp(DENOISE.analysis())
+        u = estimate_uniform_memory_system(plan)
+        assert u.dsp > 0  # non-power-of-two bank count -> DSP mod/div
+
+    def test_kernel_identical_for_both(self):
+        spec = DENOISE
+        system = build_memory_system(spec.analysis())
+        base_plan = plan_gmp(spec.analysis())
+        ours = estimate_ours(spec, system)
+        base = estimate_baseline(spec, base_plan)
+        assert ours.kernel == base.kernel
+
+    def test_designs_fit_the_device(self):
+        for spec in PAPER_BENCHMARKS:
+            system = build_memory_system(spec.analysis())
+            usage = estimate_ours(spec, system).total
+            assert XC7VX485T.fits(usage), spec.name
+
+
+class TestTiming:
+    def test_both_meet_200mhz(self):
+        for spec in PAPER_BENCHMARKS:
+            system = build_memory_system(spec.analysis())
+            plan = plan_gmp(spec.analysis())
+            assert estimate_timing_ours(system).meets_target
+            assert estimate_timing_baseline(plan).meets_target
+
+    def test_ours_slack_positive(self):
+        system = build_memory_system(DENOISE.analysis())
+        t = estimate_timing_ours(system)
+        assert 0 < t.slack_ns < TARGET_CLOCK_NS
+
+    def test_larger_windows_slow_our_handshake(self):
+        from repro.stencil.kernels import SEGMENTATION_3D
+
+        small = estimate_timing_ours(
+            build_memory_system(DENOISE.analysis())
+        )
+        big = estimate_timing_ours(
+            build_memory_system(SEGMENTATION_3D.analysis())
+        )
+        assert big.critical_path_ns >= small.critical_path_ns
+
+    def test_pow2_bank_count_avoids_mod_delay(self):
+        from repro.partitioning.base import (
+            BankSpec,
+            UniformBankMapping,
+            UniformPlan,
+        )
+
+        def plan_with_banks(n):
+            return UniformPlan(
+                scheme="x",
+                array="A",
+                n_references=4,
+                banks=tuple(
+                    BankSpec(k, 16, "cyclic_bank") for k in range(n)
+                ),
+                achieved_ii=1,
+                mapping=UniformBankMapping(
+                    num_banks=n,
+                    weights=(16, 1),
+                    padded_extents=(16, 16),
+                    original_extents=(16, 16),
+                ),
+                window_span=33,
+            )
+
+        pow2 = estimate_timing_baseline(plan_with_banks(8))
+        odd = estimate_timing_baseline(plan_with_banks(7))
+        assert pow2.critical_path_ns <= odd.critical_path_ns

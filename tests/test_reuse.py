@@ -1,0 +1,200 @@
+"""Unit tests for reuse distances (Definitions 7-9, Properties 2-3)."""
+
+import pytest
+
+from repro.polyhedral.access import ArrayReference
+from repro.polyhedral.domain import BoxDomain, IntegerPolyhedron
+from repro.polyhedral.reuse import (
+    box_lex_span,
+    check_linearity,
+    max_reuse_distance,
+    reuse_distance_profile,
+    reuse_distance_vector,
+    total_reuse_window,
+)
+
+
+def ref(offset):
+    return ArrayReference("A", offset)
+
+
+DENOISE_ITER = BoxDomain((1, 1), (766, 1022))  # paper's Fig 1 loop
+DENOISE_STREAM = BoxDomain((0, 0), (767, 1023))
+
+
+class TestReuseDistanceVector:
+    def test_property_2_constant_vector(self):
+        # Example 5: from A[i-1][j] to A[i+1][j] the vector is (2, 0)
+        # ... in the paper's j - i orientation the *offset* difference
+        # f_x - f_y with x = A[i+1][j] is (2, 0).
+        assert reuse_distance_vector(ref((1, 0)), ref((-1, 0))) == (2, 0)
+
+    def test_adjacent_pair(self):
+        assert reuse_distance_vector(ref((1, 0)), ref((0, 1))) == (1, -1)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            reuse_distance_vector(ref((1, 0)), ref((1,)))
+
+
+class TestBoxLexSpan:
+    def test_2d_row_major(self):
+        box = BoxDomain((0, 0), (767, 1023))
+        assert box_lex_span(box, (1, -1)) == 1023
+        assert box_lex_span(box, (2, 0)) == 2048
+        assert box_lex_span(box, (0, 1)) == 1
+
+    def test_3d(self):
+        box = BoxDomain((0, 0, 0), (9, 9, 9))
+        assert box_lex_span(box, (1, 0, 0)) == 100
+        assert box_lex_span(box, (0, 1, -1)) == 9
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            box_lex_span(BoxDomain((0,), (3,)), (1, 1))
+
+
+class TestMaxReuseDistance:
+    def test_paper_example_6(self):
+        # Max reuse distance from A[i+1][j] to A[i-1][j] is 2048.
+        assert (
+            max_reuse_distance(
+                ref((1, 0)), ref((-1, 0)), DENOISE_ITER, DENOISE_STREAM
+            )
+            == 2048
+        )
+
+    def test_table2_fifo_sizes(self):
+        assert (
+            max_reuse_distance(
+                ref((1, 0)), ref((0, 1)), DENOISE_ITER, DENOISE_STREAM
+            )
+            == 1023
+        )
+        assert (
+            max_reuse_distance(
+                ref((0, 1)), ref((0, 0)), DENOISE_ITER, DENOISE_STREAM
+            )
+            == 1
+        )
+        assert (
+            max_reuse_distance(
+                ref((0, -1)), ref((-1, 0)), DENOISE_ITER, DENOISE_STREAM
+            )
+            == 1023
+        )
+
+    def test_wrong_direction_raises(self):
+        with pytest.raises(ValueError):
+            max_reuse_distance(
+                ref((-1, 0)), ref((1, 0)), DENOISE_ITER, DENOISE_STREAM
+            )
+
+    def test_default_stream_domain_is_hull(self):
+        # Without an explicit stream domain the hull of the two data
+        # domains is used.
+        iter_domain = BoxDomain((1, 1), (6, 8))
+        d = max_reuse_distance(ref((1, 0)), ref((-1, 0)), iter_domain)
+        # Hull has row width 9 (columns 0..8 spanned by j +/- 0 with
+        # i +/- 1 -> columns 1..8? offsets (1,0),(-1,0): cols 1..8).
+        assert d == 2 * 8
+
+    def test_exact_path_matches_fast_path_on_boxes(self):
+        iter_domain = BoxDomain((1, 1), (5, 6))
+        stream = BoxDomain((0, 0), (6, 7))
+        fast = max_reuse_distance(
+            ref((1, 0)), ref((0, 1)), iter_domain, stream
+        )
+        # Force the exact path through a structurally identical
+        # general polyhedron.
+        general_stream = IntegerPolyhedron(
+            coefficients=[c for c, _ in stream.constraints],
+            bounds=[b for _, b in stream.constraints],
+        )
+        exact = max_reuse_distance(
+            ref((1, 0)), ref((0, 1)), iter_domain, general_stream
+        )
+        assert fast == exact
+
+    def test_same_reference_distance_zero(self):
+        assert (
+            max_reuse_distance(
+                ref((0, 0)), ref((0, 0)), BoxDomain((1, 1), (4, 4))
+            )
+            == 0
+        )
+
+
+class TestSkewedProfile:
+    def _skewed(self):
+        # Triangle with growing rows: 1 <= i <= 5, 1 <= j <= i + 2 —
+        # the "filter iterating over a longer row" situation of Fig 9.
+        return IntegerPolyhedron(
+            coefficients=[(1, 0), (-1, 0), (0, -1), (-1, 1)],
+            bounds=[5, -1, -1, 2],
+        )
+
+    def test_profile_distance_varies(self):
+        """On a skewed grid streamed *exactly* (the union input data
+        domain, not its hull box) the reuse distance is not constant —
+        the Fig 9 phenomenon."""
+        from repro.polyhedral.access import input_data_domain
+
+        iter_domain = self._skewed()
+        refs = [ref((1, 0)), ref((0, 1))]
+        union = input_data_domain(refs, iter_domain)
+        profile = reuse_distance_profile(
+            refs[0], refs[1], iter_domain, union
+        )
+        distances = {e.distance for e in profile}
+        assert len(distances) > 1
+
+    def test_hull_box_profile_is_constant(self):
+        """Streaming the hull box makes the per-iteration lag constant
+        (the closed-form Table 2 regime)."""
+        iter_domain = self._skewed()
+        profile = reuse_distance_profile(
+            ref((1, 0)), ref((0, 1)), iter_domain
+        )
+        assert len({e.distance for e in profile}) == 1
+
+    def test_max_distance_equals_profile_max(self):
+        iter_domain = self._skewed()
+        profile = reuse_distance_profile(
+            ref((1, 0)), ref((0, 1)), iter_domain
+        )
+        max_d = max_reuse_distance(
+            ref((1, 0)), ref((0, 1)), iter_domain
+        )
+        assert max_d == max(e.distance for e in profile)
+
+
+class TestLinearity:
+    def test_property_3_on_denoise_window(self):
+        offsets = [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)]
+        refs = [ref(o) for o in offsets]
+        assert check_linearity(refs, BoxDomain((1, 1), (8, 10)))
+
+    def test_property_3_on_3d_window(self):
+        offsets = [
+            (0, 0, 0),
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ]
+        refs = [ref(o) for o in offsets]
+        assert check_linearity(refs, BoxDomain((1, 1, 1), (4, 5, 6)))
+
+    def test_total_window_equals_earliest_to_latest(self):
+        offsets = [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)]
+        refs = [ref(o) for o in offsets]
+        total = total_reuse_window(refs, DENOISE_ITER, DENOISE_STREAM)
+        assert total == 2048
+
+    def test_total_window_single_reference_is_zero(self):
+        assert (
+            total_reuse_window([ref((0, 0))], DENOISE_ITER) == 0
+        )

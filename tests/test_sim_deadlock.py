@@ -1,0 +1,129 @@
+"""Deadlock experiments: violating either Section 3.3.2 condition
+deadlocks the chain; honoring both never does (Appendix 9.2)."""
+
+import pytest
+
+from repro.microarch.memory_system import build_memory_system
+from repro.sim.engine import ChainSimulator, DeadlockError
+from repro.stencil.golden import make_input
+from repro.stencil.kernels import DENOISE, RICIAN
+
+from conftest import small_spec
+
+
+@pytest.fixture
+def denoise_setup():
+    spec = small_spec(DENOISE)
+    return spec, build_memory_system(spec.analysis()), make_input(spec)
+
+
+class TestCondition2Violations:
+    """FIFO capacities below the max reuse distance (Eq. 2)."""
+
+    def test_undersized_large_fifo_deadlocks(self, denoise_setup):
+        spec, system, grid = denoise_setup
+        big = max(system.fifos, key=lambda f: f.capacity)
+        with pytest.raises(DeadlockError):
+            ChainSimulator(
+                spec,
+                system,
+                grid,
+                fifo_capacity_override={big.fifo_id: big.capacity - 1},
+            ).run()
+
+    def test_oversized_fifo_is_harmless(self, denoise_setup):
+        spec, system, grid = denoise_setup
+        big = max(system.fifos, key=lambda f: f.capacity)
+        result = ChainSimulator(
+            spec,
+            system,
+            grid,
+            fifo_capacity_override={big.fifo_id: big.capacity + 50},
+        ).run()
+        assert result.stats.outputs_produced == (
+            spec.iteration_domain.count()
+        )
+
+    def test_exact_capacity_never_deadlocks(self, small_benchmark):
+        """The paper's sizing (capacity == max reuse distance) is
+        tight: it must complete for every benchmark."""
+        spec = small_benchmark
+        system = build_memory_system(spec.analysis())
+        result = ChainSimulator(spec, system, make_input(spec)).run()
+        assert result.stats.outputs_produced == (
+            spec.iteration_domain.count()
+        )
+
+    def test_all_small_fifos_undersizing_not_possible(
+        self, denoise_setup
+    ):
+        # Register FIFOs already have capacity 1; capacity 0 is
+        # structurally rejected.
+        spec, system, grid = denoise_setup
+        small = min(system.fifos, key=lambda f: f.capacity)
+        assert small.capacity == 1
+        with pytest.raises(ValueError):
+            ChainSimulator(
+                spec,
+                system,
+                grid,
+                fifo_capacity_override={small.fifo_id: 0},
+            ).run()
+
+
+class TestCondition1Violations:
+    """Filters not in descending lexicographic offset order (Eq. 1)."""
+
+    def test_swapped_extreme_filters_deadlock(self, denoise_setup):
+        spec, system, grid = denoise_setup
+        order = [4, 1, 2, 3, 0]
+        with pytest.raises(DeadlockError):
+            ChainSimulator(
+                spec, system, grid, filter_order_override=order
+            ).run()
+
+    def test_reversed_order_deadlocks(self, denoise_setup):
+        spec, system, grid = denoise_setup
+        with pytest.raises(DeadlockError):
+            ChainSimulator(
+                spec,
+                system,
+                grid,
+                filter_order_override=[4, 3, 2, 1, 0],
+            ).run()
+
+    def test_adjacent_swap_deadlocks_rician(self):
+        spec = small_spec(RICIAN)
+        system = build_memory_system(spec.analysis())
+        grid = make_input(spec)
+        with pytest.raises(DeadlockError):
+            ChainSimulator(
+                spec,
+                system,
+                grid,
+                filter_order_override=[1, 0, 2, 3],
+            ).run()
+
+    def test_identity_order_is_fine(self, denoise_setup):
+        spec, system, grid = denoise_setup
+        result = ChainSimulator(
+            spec, system, grid, filter_order_override=[0, 1, 2, 3, 4]
+        ).run()
+        assert result.stats.outputs_produced > 0
+
+
+class TestDeadlockDiagnostics:
+    def test_report_names_filters_and_fifos(self, denoise_setup):
+        spec, system, grid = denoise_setup
+        big = max(system.fifos, key=lambda f: f.capacity)
+        with pytest.raises(DeadlockError) as exc:
+            ChainSimulator(
+                spec,
+                system,
+                grid,
+                fifo_capacity_override={big.fifo_id: 1},
+            ).run()
+        message = str(exc.value)
+        assert "filter" in message
+        assert "FIFO" in message
+        assert "outputs produced" in message

@@ -1,0 +1,191 @@
+"""Integration tests: the cycle-level simulator vs the golden reference.
+
+These are the function-correctness experiments of Section 3.3.1: for
+every benchmark (scaled down), the streaming microarchitecture must emit
+exactly the golden output sequence, fully pipelined, from a single
+lexicographic input stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tradeoff import with_offchip_streams
+from repro.sim.engine import ChainSimulator
+from repro.stencil.golden import golden_output_sequence, make_input
+from repro.stencil.kernels import DENOISE
+
+from conftest import small_spec
+
+
+class TestFunctionCorrectness:
+    def test_every_benchmark_matches_golden(self, small_benchmark):
+        spec = small_benchmark
+        grid = make_input(spec)
+        system = build_memory_system(spec.analysis())
+        result = ChainSimulator(spec, system, grid).run()
+        golden = golden_output_sequence(spec, grid)
+        assert len(result.outputs) == len(golden)
+        assert np.allclose(result.output_values(), golden)
+
+    def test_outputs_in_lexicographic_iteration_order(
+        self, small_benchmark
+    ):
+        spec = small_benchmark
+        grid = make_input(spec)
+        system = build_memory_system(spec.analysis())
+        result = ChainSimulator(spec, system, grid).run()
+        iters = result.output_iterations()
+        assert iters == sorted(iters)
+
+    def test_two_stream_variant_matches_golden(self, small_benchmark):
+        spec = small_benchmark
+        grid = make_input(spec)
+        base = build_memory_system(spec.analysis())
+        system = with_offchip_streams(base, 2)
+        result = ChainSimulator(spec, system, grid).run()
+        assert np.allclose(
+            result.output_values(),
+            golden_output_sequence(spec, grid),
+        )
+
+
+class TestThroughput:
+    def test_total_cycles_equal_stream_length(self, denoise_small):
+        """With one off-chip access per cycle the run is stream-bound:
+        exactly one cycle per streamed element (full pipelining)."""
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        result = ChainSimulator(denoise_small, system, grid).run()
+        assert (
+            result.stats.total_cycles
+            == system.stream_domain.count()
+        )
+
+    def test_kernel_consumes_every_cycle_in_steady_rows(
+        self, denoise_small
+    ):
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        result = ChainSimulator(denoise_small, system, grid).run()
+        # Within a row, outputs are back-to-back: worst gap happens at
+        # row turnarounds only (<= window column span + 1).
+        assert result.stats.worst_output_gap <= 3
+
+    def test_first_output_after_fill(self, denoise_small):
+        grid = make_input(denoise_small)
+        analysis = denoise_small.analysis()
+        system = build_memory_system(analysis)
+        result = ChainSimulator(denoise_small, system, grid).run()
+        # The first output fires the cycle after the earliest
+        # reference's first element arrives, i.e. after its stream rank
+        # has been streamed in (Table 3: all ports valid at cycle
+        # rank+1).
+        first_needed = analysis.data_domain(
+            analysis.earliest
+        ).lex_first()
+        rank = system.stream_domain.lex_rank(first_needed)
+        assert result.stats.first_output_cycle == rank + 1
+
+    def test_more_streams_do_not_slow_down(self, denoise_small):
+        grid = make_input(denoise_small)
+        base = build_memory_system(denoise_small.analysis())
+        t1 = ChainSimulator(denoise_small, base, grid).run()
+        t2 = ChainSimulator(
+            denoise_small, with_offchip_streams(base, 2), grid
+        ).run()
+        assert (
+            t2.stats.total_cycles <= t1.stats.total_cycles + 1
+        )
+
+
+class TestFifoBehaviour:
+    def test_occupancy_never_exceeds_capacity(self, small_benchmark):
+        spec = small_benchmark
+        grid = make_input(spec)
+        system = build_memory_system(spec.analysis())
+        result = ChainSimulator(spec, system, grid).run()
+        for fid, occ in result.stats.fifo_max_occupancy.items():
+            assert occ <= result.stats.fifo_capacity[fid]
+
+    def test_minimum_fifos_fill_completely(self, denoise_small):
+        """Capacities equal max reuse distances, so the large FIFOs
+        must reach exactly full occupancy during execution — the
+        capacities are tight, not conservative."""
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        result = ChainSimulator(denoise_small, system, grid).run()
+        for fid, cap in result.stats.fifo_capacity.items():
+            assert result.stats.fifo_max_occupancy[fid] == cap
+
+    def test_each_filter_forwards_its_domain_size(self, denoise_small):
+        grid = make_input(denoise_small)
+        analysis = denoise_small.analysis()
+        system = build_memory_system(analysis)
+        result = ChainSimulator(denoise_small, system, grid).run()
+        n_iter = denoise_small.iteration_domain.count()
+        for fid, count in result.stats.filter_forwarded.items():
+            assert count == n_iter
+
+    def test_forwarded_plus_discarded_bounded_by_stream(
+        self, denoise_small
+    ):
+        """Each filter processes at most the whole stream (elements
+        still in flight when the last output fires never traverse the
+        tail of the chain)."""
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        result = ChainSimulator(denoise_small, system, grid).run()
+        stream_len = system.stream_domain.count()
+        n_iter = denoise_small.iteration_domain.count()
+        for fid in result.stats.filter_forwarded:
+            total = (
+                result.stats.filter_forwarded[fid]
+                + result.stats.filter_discarded[fid]
+            )
+            assert n_iter <= total <= stream_len
+
+
+class TestInputValidation:
+    def test_wrong_grid_shape(self, denoise_small):
+        system = build_memory_system(denoise_small.analysis())
+        with pytest.raises(ValueError):
+            ChainSimulator(
+                denoise_small, system, np.zeros((3, 3))
+            )
+
+    def test_bad_filter_order_permutation(self, denoise_small):
+        system = build_memory_system(denoise_small.analysis())
+        grid = make_input(denoise_small)
+        with pytest.raises(ValueError):
+            ChainSimulator(
+                denoise_small,
+                system,
+                grid,
+                filter_order_override=[0, 0, 1, 2, 3],
+            )
+
+    def test_cycle_budget_enforced(self, denoise_small):
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        sim = ChainSimulator(denoise_small, system, grid)
+        with pytest.raises(RuntimeError):
+            sim.run(max_cycles=3)
+
+
+class TestStreamLatency:
+    def test_initial_latency_shifts_but_preserves_output(
+        self, denoise_small
+    ):
+        grid = make_input(denoise_small)
+        system = build_memory_system(denoise_small.analysis())
+        base = ChainSimulator(denoise_small, system, grid).run()
+        system2 = build_memory_system(denoise_small.analysis())
+        delayed = ChainSimulator(
+            denoise_small, system2, grid, stream_latency=10
+        ).run()
+        assert delayed.output_values() == base.output_values()
+        assert (
+            delayed.stats.total_cycles
+            == base.stats.total_cycles + 10
+        )

@@ -1,0 +1,152 @@
+"""Unit tests for stencil windows and specs."""
+
+import pytest
+
+from repro.polyhedral.domain import BoxDomain, IntegerPolyhedron
+from repro.stencil.expr import Ref, weighted_sum
+from repro.stencil.spec import StencilSpec, StencilWindow
+
+
+class TestStencilWindow:
+    def test_offsets_sorted_descending(self):
+        w = StencilWindow.from_offsets(
+            [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)]
+        )
+        assert w.offsets == ((1, 0), (0, 1), (0, 0), (0, -1), (-1, 0))
+
+    def test_n_points_and_dim(self):
+        w = StencilWindow.von_neumann(2, 1)
+        assert w.n_points == 5
+        assert w.dim == 2
+
+    def test_von_neumann_without_center(self):
+        w = StencilWindow.von_neumann(2, 1, include_center=False)
+        assert w.n_points == 4
+        assert (0, 0) not in w
+
+    def test_von_neumann_3d_radius_1(self):
+        w = StencilWindow.von_neumann(3, 1)
+        assert w.n_points == 7
+
+    def test_moore_2d(self):
+        w = StencilWindow.moore(2, 1)
+        assert w.n_points == 9
+        w8 = StencilWindow.moore(2, 1, include_center=False)
+        assert w8.n_points == 8
+
+    def test_span(self):
+        w = StencilWindow.from_offsets([(0, 0), (2, -1), (-1, 3)])
+        mins, maxs = w.span()
+        assert mins == (-1, -1)
+        assert maxs == (2, 3)
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            StencilWindow.from_offsets([(0, 0), (0, 0)])
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            StencilWindow.from_offsets([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            StencilWindow.from_offsets([(0, 0), (0, 0, 0)])
+
+    def test_contains(self):
+        w = StencilWindow.von_neumann(2, 1)
+        assert (1, 0) in w
+        assert (1, 1) not in w
+
+
+class TestStencilSpec:
+    def _window(self):
+        return StencilWindow.von_neumann(2, 1)
+
+    def test_default_iteration_domain_is_interior(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        dom = spec.iteration_domain
+        assert dom.lows == (1, 1)
+        assert dom.highs == (6, 8)
+
+    def test_default_expression_is_window_average(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        from repro.stencil.expr import collect_refs
+
+        assert len(collect_refs(spec.expression)) == 5
+
+    def test_expression_window_mismatch_rejected(self):
+        expr = Ref((0, 0)) + Ref((0, 5))
+        with pytest.raises(ValueError):
+            StencilSpec("T", (8, 10), self._window(), expression=expr)
+
+    def test_grid_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec("T", (8,), self._window())
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec("T", (2, 2), self._window())
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec("T", (0, 10), self._window())
+
+    def test_with_grid_changes_domain(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        bigger = spec.with_grid((20, 30))
+        assert bigger.iteration_domain.highs == (18, 28)
+        assert bigger.name == spec.name
+        assert bigger.window is spec.window
+
+    def test_scaled_keeps_window_valid(self):
+        spec = StencilSpec("T", (768, 1024), self._window())
+        small = spec.scaled(64)
+        assert small.grid == (12, 16)
+        small.analysis()  # must not raise
+
+    def test_scaled_never_below_window_span(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        tiny = spec.scaled(1000)
+        assert all(g >= 4 for g in tiny.grid)
+
+    def test_scale_factor_must_be_positive(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        with pytest.raises(ValueError):
+            spec.scaled(0)
+
+    def test_references_in_filter_order(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        offsets = [r.offset for r in spec.references()]
+        assert offsets == sorted(offsets, reverse=True)
+
+    def test_custom_iteration_domain(self):
+        skew = IntegerPolyhedron(
+            coefficients=[(1, 0), (-1, 0), (1, -1), (-1, 1)],
+            bounds=[4, -1, -1, 3],
+        )
+        spec = StencilSpec(
+            "SKEW",
+            (8, 12),
+            self._window(),
+            iteration_domain=skew,
+        )
+        assert spec.iteration_domain is skew
+
+    def test_grid_domain(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        g = spec.grid_domain()
+        assert g.lows == (0, 0)
+        assert g.highs == (7, 9)
+
+    def test_str(self):
+        spec = StencilSpec("T", (8, 10), self._window())
+        assert "5-point" in str(spec)
+        assert "8x10" in str(spec)
+
+    def test_stride2_window_interior(self):
+        w = StencilWindow.from_offsets(
+            [(0, 0), (0, 2), (2, 0), (2, 2)]
+        )
+        spec = StencilSpec("B", (8, 8), w)
+        assert spec.iteration_domain.lows == (0, 0)
+        assert spec.iteration_domain.highs == (5, 5)

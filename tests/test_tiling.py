@@ -1,0 +1,128 @@
+"""Tests for grid tiling (the alternative buffer/traffic trade-off)."""
+
+import numpy as np
+import pytest
+
+from repro.microarch.tiling import (
+    compare_tradeoffs,
+    plan_tiling,
+    simulate_tiled,
+    tiling_tradeoff_curve,
+)
+from repro.stencil.golden import make_input, run_golden
+from repro.stencil.kernels import DENOISE, DENOISE_3D, skewed_denoise
+
+
+class TestPlanTiling:
+    def test_strips_partition_output_columns(self):
+        spec = DENOISE.with_grid((16, 40))
+        plan = plan_tiling(spec, 10)
+        domain = spec.iteration_domain
+        covered = []
+        for strip in plan.strips:
+            covered.extend(
+                range(strip.out_col_lo, strip.out_col_hi + 1)
+            )
+        assert covered == list(
+            range(domain.lows[1], domain.highs[1] + 1)
+        )
+
+    def test_halo_columns_overlap(self):
+        spec = DENOISE.with_grid((16, 40))
+        plan = plan_tiling(spec, 10)
+        a, b = plan.strips[0], plan.strips[1]
+        assert a.in_col_hi >= b.in_col_lo  # shared halo
+
+    def test_buffer_shrinks_with_strip_width(self):
+        buffers = [
+            plan_tiling(DENOISE, w).buffer_per_strip
+            for w in (512, 128, 32)
+        ]
+        assert buffers == sorted(buffers, reverse=True)
+
+    def test_traffic_grows_with_narrower_strips(self):
+        words = [
+            plan_tiling(DENOISE, w).total_offchip_words
+            for w in (512, 128, 32)
+        ]
+        assert words == sorted(words)
+
+    def test_single_strip_equals_monolithic(self):
+        spec = DENOISE.with_grid((16, 40))
+        width = (
+            spec.iteration_domain.highs[1]
+            - spec.iteration_domain.lows[1]
+            + 1
+        )
+        plan = plan_tiling(spec, width)
+        assert plan.n_strips == 1
+        assert plan.traffic_overhead == pytest.approx(0.0)
+
+    def test_3d_tiling_along_innermost_axis(self):
+        plan = plan_tiling(DENOISE_3D.with_grid((8, 9, 40)), 10)
+        assert plan.n_strips == 4
+        # Buffers shrink with narrower strips in 3D too (inter-plane
+        # FIFOs scale with the innermost extent).
+        wide = plan_tiling(DENOISE_3D.with_grid((8, 9, 40)), 38)
+        assert plan.buffer_per_strip < wide.buffer_per_strip
+
+    def test_3d_tiled_simulation_matches_golden(self):
+        spec = DENOISE_3D.with_grid((6, 7, 16))
+        grid = make_input(spec)
+        result = simulate_tiled(spec, 5, grid)
+        assert np.allclose(result.outputs, run_golden(spec, grid))
+
+    def test_rejects_skewed_domain(self):
+        with pytest.raises(ValueError):
+            plan_tiling(skewed_denoise(), 4)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            plan_tiling(DENOISE, 0)
+
+
+class TestSimulateTiled:
+    @pytest.mark.parametrize("width", [5, 9, 17, 38])
+    def test_stitched_output_matches_golden(self, width):
+        spec = DENOISE.with_grid((14, 40))
+        grid = make_input(spec)
+        result = simulate_tiled(spec, width, grid)
+        assert np.allclose(result.outputs, run_golden(spec, grid))
+
+    def test_narrower_strips_stream_more_words(self):
+        spec = DENOISE.with_grid((14, 40))
+        grid = make_input(spec)
+        wide = simulate_tiled(spec, 38, grid)
+        narrow = simulate_tiled(spec, 5, grid)
+        assert narrow.offchip_words > wide.offchip_words
+        assert narrow.strips_run > wide.strips_run
+
+    def test_words_match_plan(self):
+        spec = DENOISE.with_grid((14, 40))
+        grid = make_input(spec)
+        plan = plan_tiling(spec, 9)
+        result = simulate_tiled(spec, 9, grid)
+        assert result.offchip_words == plan.total_offchip_words
+
+
+class TestTradeoffComparison:
+    def test_curves_have_expected_shape(self):
+        data = compare_tradeoffs(
+            DENOISE, strip_widths=(64, 128, 256, 512)
+        )
+        breaking = data["chain_breaking"]
+        tiling = data["tiling"]
+        # Chain breaking: constant traffic per stream, buffer falls.
+        buffers = [r["onchip_buffer"] for r in breaking]
+        assert buffers == sorted(buffers, reverse=True)
+        # Tiling: buffer grows with strip width, traffic falls.
+        t_buffers = [r["onchip_buffer"] for r in tiling]
+        t_words = [r["offchip_words"] for r in tiling]
+        assert t_buffers == sorted(t_buffers)
+        assert t_words == sorted(t_words, reverse=True)
+
+    def test_tiling_keeps_single_stream(self):
+        rows = tiling_tradeoff_curve(DENOISE, (64, 256))
+        # One access per cycle regardless of strip count: the traffic
+        # overhead column is the only cost.
+        assert all(r["traffic_overhead_pct"] >= 0 for r in rows)

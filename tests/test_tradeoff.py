@@ -1,0 +1,141 @@
+"""Unit tests for the bandwidth/memory trade-off (Fig 14/15)."""
+
+import pytest
+
+from repro.microarch.memory_system import build_memory_system
+from repro.microarch.tradeoff import (
+    break_chain,
+    resegment,
+    select_breaks,
+    tradeoff_curve,
+    with_offchip_streams,
+)
+from repro.stencil.kernels import DENOISE, SEGMENTATION_3D
+
+
+def denoise_system():
+    return build_memory_system(DENOISE.analysis())
+
+
+def segmentation_system():
+    return build_memory_system(SEGMENTATION_3D.analysis())
+
+
+class TestSelectBreaks:
+    def test_largest_first(self):
+        system = denoise_system()
+        removed = select_breaks(system.fifos, 1)
+        # Ties between the two 1023-capacity FIFOs break upstream-first.
+        assert removed == [0]
+
+    def test_two_breaks_remove_both_brams(self):
+        system = denoise_system()
+        removed = select_breaks(system.fifos, 2)
+        assert set(removed) == {0, 3}
+
+    def test_zero_breaks(self):
+        system = denoise_system()
+        assert select_breaks(system.fifos, 0) == []
+
+    def test_too_many_breaks(self):
+        system = denoise_system()
+        with pytest.raises(ValueError):
+            select_breaks(system.fifos, 5)
+
+    def test_negative_breaks(self):
+        with pytest.raises(ValueError):
+            select_breaks(denoise_system().fifos, -1)
+
+
+class TestResegment:
+    def test_break_at_fifo0(self):
+        system = resegment(denoise_system(), [0])
+        assert len(system.segments) == 2
+        assert system.segments[0].first_filter == 0
+        assert system.segments[0].last_filter == 0
+        assert system.segments[1].first_filter == 1
+        assert system.segments[1].last_filter == 4
+        assert system.num_banks == 3
+        assert system.total_buffer_size == 2048 - 1023
+
+    def test_unknown_fifo_rejected(self):
+        with pytest.raises(KeyError):
+            resegment(denoise_system(), [77])
+
+    def test_filters_unchanged(self):
+        before = denoise_system()
+        after = resegment(before, [0, 3])
+        assert after.filters == before.filters
+        assert len(after.segments) == 3
+
+
+class TestWithOffchipStreams:
+    def test_one_stream_is_identity_shape(self):
+        system = with_offchip_streams(denoise_system(), 1)
+        assert len(system.segments) == 1
+        assert system.total_buffer_size == 2048
+
+    def test_max_streams_removes_all_fifos(self):
+        base = denoise_system()
+        system = with_offchip_streams(base, base.n_references)
+        assert system.num_banks == 0
+        assert system.total_buffer_size == 0
+        assert len(system.segments) == base.n_references
+
+    def test_invalid_stream_counts(self):
+        base = denoise_system()
+        with pytest.raises(ValueError):
+            with_offchip_streams(base, 0)
+        with pytest.raises(ValueError):
+            with_offchip_streams(base, base.n_references + 1)
+
+    def test_break_chain_wrapper(self):
+        system = break_chain(denoise_system(), 1)
+        assert len(system.segments) == 2
+
+
+class TestTradeoffCurve:
+    def test_monotone_decreasing_buffer(self):
+        curve = tradeoff_curve(segmentation_system())
+        sizes = [p.total_buffer_size for p in curve]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_full_sweep_length(self):
+        curve = tradeoff_curve(segmentation_system())
+        assert len(curve) == 18  # the paper sweeps 1..18
+        assert curve[0].offchip_accesses_per_cycle == 1
+        assert curve[-1].offchip_accesses_per_cycle == 18
+
+    def test_three_phases_for_segmentation(self):
+        """Fig 15's three phases: inter-plane reuse (huge buffers) goes
+        first, then inter-row (medium), finally intra-row (tiny)."""
+        curve = tradeoff_curve(segmentation_system())
+        drops = [
+            a.total_buffer_size - b.total_buffer_size
+            for a, b in zip(curve, curve[1:])
+        ]
+        huge = [d for d in drops if d > 10000]
+        medium = [d for d in drops if 100 < d <= 10000]
+        tiny = [d for d in drops if d <= 100]
+        assert len(huge) == 2  # two inter-plane FIFOs
+        assert len(medium) == 6  # six inter-row FIFOs
+        assert len(tiny) == len(drops) - 8
+        # Phases appear in order: huge drops first.
+        assert drops == sorted(drops, reverse=True)
+
+    def test_first_point_is_minimum_buffer(self):
+        system = segmentation_system()
+        curve = tradeoff_curve(system)
+        assert (
+            curve[0].total_buffer_size == system.total_buffer_size
+        )
+
+    def test_as_row(self):
+        row = tradeoff_curve(denoise_system())[1].as_row()
+        assert row["offchip_accesses"] == 2
+        assert "onchip_buffer" in row
+
+    def test_max_streams_bound(self):
+        with pytest.raises(ValueError):
+            tradeoff_curve(denoise_system(), max_streams=99)
