@@ -3,12 +3,68 @@
 Every ``bench_*`` module regenerates one table or figure of the paper's
 evaluation section and prints the reproduced rows (run with ``-s`` to
 see them, e.g. ``pytest benchmarks/ --benchmark-only -s``).
+
+Each bench additionally runs inside an obs span with a fresh tracer and
+metrics registry installed, and on teardown writes
+``benchmarks/results/BENCH_<name>.json`` (wall time, span totals, key
+counters) so the perf trajectory is machine-readable PR over PR.  Set
+``OBS_BENCH_DIR`` to redirect the output, or ``OBS_BENCH_DIR=''`` to
+disable recording.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import re
+import time
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    install_metrics,
+    install_tracer,
+    uninstall_metrics,
+    uninstall_tracer,
+)
+from repro.obs.report import summarize_tracer
+
+_DEFAULT_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def emit(title: str, body: str) -> None:
     """Print one reproduced artifact with a recognizable banner."""
     bar = "=" * 72
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(autouse=True)
+def obs_bench_record(request):
+    """Wrap each bench in a span and dump a BENCH_<name>.json result."""
+    out_dir = os.environ.get("OBS_BENCH_DIR", _DEFAULT_DIR)
+    if not out_dir:
+        yield
+        return
+    tracer = install_tracer(Tracer())
+    registry = install_metrics(MetricsRegistry())
+    start = time.perf_counter()
+    with tracer.span(f"bench.{request.node.name}"):
+        yield
+    wall_s = time.perf_counter() - start
+    uninstall_tracer()
+    uninstall_metrics()
+    snapshot = registry.snapshot()
+    payload = {
+        "bench": request.node.name,
+        "wall_s": round(wall_s, 6),
+        "spans": summarize_tracer(tracer),
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+    }
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", request.node.name)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{safe}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)

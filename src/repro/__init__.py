@@ -25,6 +25,8 @@ Package map:
 * :mod:`repro.resources` — Virtex-7 resource and timing models.
 * :mod:`repro.flow` — the end-to-end Fig 11 automation flow + reports.
 * :mod:`repro.integration` — prefetcher and accelerator chaining.
+* :mod:`repro.obs` — observability: spans/tracing, metrics, simulator
+  probes (``--trace-out`` / ``--metrics-out`` / ``--profile``).
 """
 
 from .flow.automation import CompiledDesign, compile_accelerator
@@ -32,6 +34,7 @@ from .flow.docgen import generate_design_report, write_design_report
 from .flow.explore import explore
 from .flow.performance import predict, validate_model
 from .microarch.accelerator import Accelerator
+from .obs import MetricsProbe, MetricsRegistry, SimProbe, Tracer
 from .microarch.memory_system import MemorySystem, build_memory_system
 from .microarch.tradeoff import tradeoff_curve, with_offchip_streams
 from .partitioning.cyclic import plan_cyclic
@@ -70,6 +73,8 @@ __all__ = [
     "DENOISE_3D",
     "DeadlockError",
     "MemorySystem",
+    "MetricsProbe",
+    "MetricsRegistry",
     "ModuloChainSimulator",
     "MultiArraySimulator",
     "MultiArraySpec",
@@ -78,10 +83,12 @@ __all__ = [
     "RICIAN",
     "SEGMENTATION_3D",
     "SOBEL",
+    "SimProbe",
     "SimulationResult",
     "StencilAnalysis",
     "StencilSpec",
     "StencilWindow",
+    "Tracer",
     "UnimodularTransform",
     "__version__",
     "build_memory_system",

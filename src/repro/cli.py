@@ -15,6 +15,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -45,6 +46,82 @@ def _parse_grid(text: str) -> tuple:
     if not parts or any(p <= 0 for p in parts):
         raise argparse.ArgumentTypeError("grid extents must be positive")
     return parts
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the heavyweight subcommands."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a span trace: Chrome trace_event JSON "
+            "(chrome://tracing / Perfetto), or JSONL if FILE ends "
+            "in .jsonl"
+        ),
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write collected metrics: Prometheus text, or a JSON "
+            "snapshot if FILE ends in .json"
+        ),
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a hot-path span summary after the command",
+    )
+
+
+@contextlib.contextmanager
+def _obs_session(args):
+    """Install tracer/registry for one command, export on the way out.
+
+    Yields ``(tracer, registry)`` when any observability flag is set,
+    else ``(None, None)`` — commands use the registry presence to
+    decide whether to attach a simulator probe.
+    """
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        install_metrics,
+        install_tracer,
+        uninstall_metrics,
+        uninstall_tracer,
+    )
+
+    if not (args.trace_out or args.metrics_out or args.profile):
+        yield None, None
+        return
+    tracer = install_tracer(Tracer())
+    registry = install_metrics(MetricsRegistry())
+    try:
+        yield tracer, registry
+    finally:
+        uninstall_tracer()
+        uninstall_metrics()
+        if args.trace_out:
+            if args.trace_out.endswith(".jsonl"):
+                n = tracer.export_jsonl(args.trace_out)
+            else:
+                n = tracer.export_chrome(args.trace_out)
+            print(f"wrote {args.trace_out} ({n} spans)")
+        if args.metrics_out:
+            if args.metrics_out.endswith(".json"):
+                registry.export_json(args.metrics_out)
+            else:
+                registry.export_prometheus(args.metrics_out)
+            print(f"wrote {args.metrics_out}")
+        if args.profile:
+            from .obs.report import format_summary, summarize_tracer
+
+            print()
+            print("hot paths (per span name):")
+            print(format_summary(summarize_tracer(tracer)))
 
 
 def cmd_list(_args) -> int:
@@ -80,7 +157,10 @@ def cmd_compile(args) -> int:
     spec = get_benchmark(args.benchmark)
     if args.grid:
         spec = spec.with_grid(args.grid)
-    design = compile_accelerator(spec, offchip_streams=args.streams)
+    with _obs_session(args):
+        design = compile_accelerator(
+            spec, offchip_streams=args.streams
+        )
     print(design.memory_system.describe())
     print()
     summary = design.summary()
@@ -129,11 +209,12 @@ def cmd_explore(args) -> int:
     from .flow.explore import explore
 
     spec = get_benchmark(args.benchmark)
-    result = explore(
-        spec,
-        bram_budget=args.bram,
-        bandwidth_budget=args.bandwidth,
-    )
+    with _obs_session(args):
+        result = explore(
+            spec,
+            bram_budget=args.bram,
+            bandwidth_budget=args.bandwidth,
+        )
     print(f"design-space exploration for {spec.name}:")
     print(
         format_table([p.as_row() for p in result.candidates])
@@ -184,10 +265,16 @@ def cmd_simulate(args) -> int:
     if args.grid:
         spec = spec.with_grid(args.grid)
     grid = make_input(spec, seed=args.seed)
-    system = build_memory_system(spec.analysis())
-    if args.streams > 1:
-        system = with_offchip_streams(system, args.streams)
-    result = ChainSimulator(spec, system, grid).run()
+    with _obs_session(args) as (_, registry):
+        system = build_memory_system(spec.analysis())
+        if args.streams > 1:
+            system = with_offchip_streams(system, args.streams)
+        probe = None
+        if registry is not None:
+            from .obs import MetricsProbe
+
+            probe = MetricsProbe(registry=registry)
+        result = ChainSimulator(spec, system, grid, probe=probe).run()
     golden = golden_output_sequence(spec, grid)
     matches = np.allclose(result.output_values(), golden)
     print(f"simulated {spec}")
@@ -241,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="print a generated artifact",
     )
+    _add_obs_flags(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_report = sub.add_parser(
@@ -265,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--bandwidth", type=int, default=1,
         help="off-chip accesses per cycle available",
     )
+    _add_obs_flags(p_explore)
     p_explore.set_defaults(func=cmd_explore)
 
     p_doc = sub.add_parser(
@@ -283,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--grid", type=_parse_grid, default=None)
     p_sim.add_argument("--streams", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=2014)
+    _add_obs_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
     return parser
 

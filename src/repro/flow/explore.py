@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..microarch.memory_system import build_memory_system
 from ..microarch.tiling import plan_tiling
 from ..microarch.tradeoff import tradeoff_curve, with_offchip_streams
+from ..obs.tracing import span
 from ..resources.estimate import estimate_memory_system
 from ..stencil.spec import StencilSpec
 
@@ -84,17 +85,20 @@ def enumerate_candidates(
         else:
             variant = with_offchip_streams(system, streams)
             technique = "break"
-        usage = estimate_memory_system(variant)
-        points.append(
-            DesignPoint(
-                technique=technique,
-                parameter=streams,
-                onchip_buffer=p.total_buffer_size,
-                bram_18k=usage.bram_18k,
-                offchip_words_per_pass=streams * stream_words,
-                offchip_accesses_per_cycle=streams,
+        with span(
+            "explore.candidate", technique=technique, parameter=streams
+        ):
+            usage = estimate_memory_system(variant)
+            points.append(
+                DesignPoint(
+                    technique=technique,
+                    parameter=streams,
+                    onchip_buffer=p.total_buffer_size,
+                    bram_18k=usage.bram_18k,
+                    offchip_words_per_pass=streams * stream_words,
+                    offchip_accesses_per_cycle=streams,
+                )
             )
-        )
 
     # Tiled variants (strips along the innermost axis; any dim).
     axis = spec.dim - 1
@@ -106,22 +110,25 @@ def enumerate_candidates(
     for width in strip_widths:
         if width >= max_width:
             continue
-        plan = plan_tiling(spec, width)
-        widest = max(s.in_width for s in plan.strips)
-        strip = spec.with_grid(spec.grid[:axis] + (widest,))
-        usage = estimate_memory_system(
-            build_memory_system(strip.analysis())
-        )
-        points.append(
-            DesignPoint(
-                technique="tile",
-                parameter=width,
-                onchip_buffer=plan.buffer_per_strip,
-                bram_18k=usage.bram_18k,
-                offchip_words_per_pass=plan.total_offchip_words,
-                offchip_accesses_per_cycle=1,
+        with span(
+            "explore.candidate", technique="tile", parameter=width
+        ):
+            plan = plan_tiling(spec, width)
+            widest = max(s.in_width for s in plan.strips)
+            strip = spec.with_grid(spec.grid[:axis] + (widest,))
+            usage = estimate_memory_system(
+                build_memory_system(strip.analysis())
             )
-        )
+            points.append(
+                DesignPoint(
+                    technique="tile",
+                    parameter=width,
+                    onchip_buffer=plan.buffer_per_strip,
+                    bram_18k=usage.bram_18k,
+                    offchip_words_per_pass=plan.total_offchip_words,
+                    offchip_accesses_per_cycle=1,
+                )
+            )
     return points
 
 
@@ -161,19 +168,25 @@ def explore(
     """
     if bram_budget < 0 or bandwidth_budget < 1:
         raise ValueError("budgets must be non-negative / positive")
-    candidates = enumerate_candidates(spec, strip_widths)
-    feasible = [
-        p
-        for p in candidates
-        if p.bram_18k <= bram_budget
-        and p.offchip_accesses_per_cycle <= bandwidth_budget
-    ]
-    feasible.sort(
-        key=lambda p: (p.offchip_words_per_pass, p.bram_18k)
-    )
-    return ExplorationResult(
-        candidates=tuple(candidates),
-        feasible=tuple(feasible),
-        best=feasible[0] if feasible else None,
-        pareto=tuple(pareto_frontier(candidates)),
-    )
+    with span(
+        "flow.explore",
+        benchmark=spec.name,
+        bram_budget=bram_budget,
+        bandwidth_budget=bandwidth_budget,
+    ):
+        candidates = enumerate_candidates(spec, strip_widths)
+        feasible = [
+            p
+            for p in candidates
+            if p.bram_18k <= bram_budget
+            and p.offchip_accesses_per_cycle <= bandwidth_budget
+        ]
+        feasible.sort(
+            key=lambda p: (p.offchip_words_per_pass, p.bram_18k)
+        )
+        return ExplorationResult(
+            candidates=tuple(candidates),
+            feasible=tuple(feasible),
+            best=feasible[0] if feasible else None,
+            pareto=tuple(pareto_frontier(candidates)),
+        )

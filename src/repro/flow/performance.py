@@ -25,6 +25,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..microarch.memory_system import MemorySystem, build_memory_system
+from ..obs.tracing import span
 from ..stencil.spec import StencilSpec
 
 
@@ -111,12 +112,13 @@ def validate_model(
     from ..sim.engine import ChainSimulator
     from ..stencil.golden import make_input
 
-    system = build_memory_system(spec.analysis())
-    prediction = predict(spec, system)
-    grid = make_input(spec, seed=seed)
-    result = ChainSimulator(spec, system, grid).run()
-    return ModelValidation(
-        predicted=prediction,
-        measured_total_cycles=result.stats.total_cycles,
-        measured_fill_cycles=result.stats.first_output_cycle or 0,
-    )
+    with span("flow.validate_model", benchmark=spec.name):
+        system = build_memory_system(spec.analysis())
+        prediction = predict(spec, system)
+        grid = make_input(spec, seed=seed)
+        result = ChainSimulator(spec, system, grid).run()
+        return ModelValidation(
+            predicted=prediction,
+            measured_total_cycles=result.stats.total_cycles,
+            measured_fill_cycles=result.stats.first_output_cycle or 0,
+        )

@@ -1,0 +1,59 @@
+"""Observability: tracing, metrics and simulator probes.
+
+A dependency-free instrumentation layer with three pillars:
+
+* :mod:`repro.obs.tracing` — nested :class:`Span` timing with JSONL and
+  Chrome ``trace_event`` export (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with Prometheus-text and JSON exporters;
+* :mod:`repro.obs.probe` — the :class:`SimProbe` hook the cycle
+  simulator drives (per-module fire/stall counters, FIFO occupancy
+  histograms, deadlock pre-state ring buffer).
+
+Everything is opt-in: with no tracer/registry installed and no probe
+attached, instrumented code paths cost one global read (spans) or one
+attribute check per simulated cycle (the engine).  The CLI exposes the
+layer as ``--trace-out``, ``--metrics-out`` and ``--profile`` flags;
+``tools/obs_report.py`` summarizes a trace file into a hot-path table.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    install_metrics,
+    uninstall_metrics,
+)
+from .probe import MetricsProbe, SimProbe
+from .tracing import (
+    Span,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    record_span,
+    span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsProbe",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "SimProbe",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "install_metrics",
+    "install_tracer",
+    "record_span",
+    "span",
+    "uninstall_metrics",
+    "uninstall_tracer",
+]

@@ -1,0 +1,304 @@
+"""Counters, gauges and histograms with Prometheus/JSON export.
+
+A :class:`MetricsRegistry` hands out three metric kinds, keyed by
+``(name, labels)`` so repeated lookups return the same instance:
+
+* :class:`Counter` — monotonically increasing (module fire counts,
+  words streamed, candidates evaluated);
+* :class:`Gauge` — a point-in-time value (total cycles, buffer sizes);
+* :class:`Histogram` — fixed cumulative buckets (FIFO occupancy
+  distributions, per-candidate evaluation latencies).
+
+Two exporters cover both machine consumers: Prometheus text exposition
+(:meth:`MetricsRegistry.to_prometheus`, ``*.prom``) and a nested JSON
+snapshot (:meth:`MetricsRegistry.snapshot`).  Like the tracer, a
+process-wide registry can be installed (:func:`install_metrics`) for
+call sites that do not thread a registry explicitly; everything is a
+no-op when none is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "install_metrics",
+    "uninstall_metrics",
+]
+
+Labels = Tuple[Tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """A valid Prometheus metric name (invalid chars become ``_``)."""
+    name = _NAME_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _label_suffix(labels: Labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to anything at any time."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf``
+    bucket always exists, so every observation lands somewhere.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    DEFAULT_BUCKETS: Tuple[float, ...] = (
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if buckets is None:
+            buckets = self.DEFAULT_BUCKETS
+        bounds = tuple(sorted(set(buckets)))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at +Inf."""
+        total = 0
+        out: List[Tuple[float, int]] = []
+        for bound, n in zip(self.buckets, self.counts):
+            total += n
+            out.append((bound, total))
+        out.append((math.inf, total + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create store of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, str, Labels], object] = {}
+
+    # -- get-or-create -------------------------------------------------
+    def _get(self, kind, cls, name, labels, **kwargs):
+        name = _sanitize(name)
+        key = (kind, name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, labels, **kwargs)
+                self._metrics[key] = metric
+            return metric
+
+    @staticmethod
+    def _labels(labels: Optional[Dict[str, str]]) -> Labels:
+        if not labels:
+            return ()
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        return self._get("counter", Counter, name, self._labels(labels))
+
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        return self._get("gauge", Gauge, name, self._labels(labels))
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get(
+            "histogram",
+            Histogram,
+            name,
+            self._labels(labels),
+            buckets=buckets,
+        )
+
+    def metrics(self) -> List[object]:
+        with self._lock:
+            return [m for _, m in sorted(self._metrics.items(),
+                                         key=lambda kv: kv[0])]
+
+    # -- exporters -----------------------------------------------------
+    def to_prometheus(self, fileobj: Optional[IO[str]] = None) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        seen_type: set = set()
+        for metric in self.metrics():
+            if metric.name not in seen_type:
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+                seen_type.add(metric.name)
+            if isinstance(metric, Histogram):
+                for bound, cum in metric.cumulative():
+                    suffix = _label_suffix(
+                        metric.labels, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket{suffix} {cum}"
+                    )
+                base = _label_suffix(metric.labels)
+                lines.append(
+                    f"{metric.name}_sum{base} "
+                    f"{_format_value(metric.sum)}"
+                )
+                lines.append(f"{metric.name}_count{base} {metric.count}")
+            else:
+                lines.append(
+                    f"{metric.name}{_label_suffix(metric.labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if fileobj is not None:
+            fileobj.write(text)
+        return text
+
+    def export_prometheus(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            self.to_prometheus(fh)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe nested snapshot of every metric."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for metric in self.metrics():
+            key = metric.name + _label_suffix(metric.labels)
+            if isinstance(metric, Histogram):
+                out["histograms"][key] = {
+                    "buckets": [
+                        [
+                            "+Inf" if b == math.inf else b,
+                            c,
+                        ]
+                        for b, c in metric.cumulative()
+                    ],
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+            elif isinstance(metric, Counter):
+                out["counters"][key] = metric.value
+            else:
+                out["gauges"][key] = metric.value
+        return out
+
+    def export_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=1, sort_keys=True)
+
+
+# ---------------------------------------------------------------------
+_install_lock = threading.Lock()
+_registry: Optional[MetricsRegistry] = None
+
+
+def install_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Install (and return) the process-wide metrics registry."""
+    global _registry
+    with _install_lock:
+        _registry = registry if registry is not None else MetricsRegistry()
+        return _registry
+
+
+def uninstall_metrics() -> Optional[MetricsRegistry]:
+    global _registry
+    with _install_lock:
+        registry, _registry = _registry, None
+        return registry
+
+
+def get_metrics() -> Optional[MetricsRegistry]:
+    return _registry

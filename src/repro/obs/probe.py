@@ -1,0 +1,189 @@
+"""Opt-in simulator instrumentation: the :class:`SimProbe` interface.
+
+:class:`~repro.sim.engine.ChainSimulator` accepts a probe and calls it
+once per simulated cycle (plus once on completion and once on
+deadlock).  When no probe is attached the engine pays one attribute
+check per cycle — the contract enforced by
+``tests/test_obs_overhead.py``.
+
+:class:`MetricsProbe` is the standard implementation.  Per cycle it
+
+* increments one fire/discard/stall/idle counter per data filter
+  (``sim_filter_cycles_total{filter=..,ref=..,status=..}``),
+* observes every reuse FIFO's occupancy into a per-FIFO histogram
+  sized to that FIFO's capacity (``sim_fifo_occupancy``),
+* counts kernel fires and total cycles, and
+* appends the cycle's compact state to a bounded ring buffer.
+
+On deadlock the ring buffer becomes the *pre-state* of the failure: the
+engine appends :meth:`MetricsProbe.deadlock_context` to the
+:class:`~repro.sim.engine.DeadlockError` message, so the report shows
+the last N cycles of per-module activity instead of only the final
+frozen state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .metrics import Counter, Histogram, MetricsRegistry, get_metrics
+
+__all__ = ["MetricsProbe", "SimProbe"]
+
+
+class SimProbe:
+    """Interface the simulator drives; the base class observes nothing."""
+
+    def on_cycle(self, sim, progress: bool) -> None:
+        """Called at the end of every simulated cycle."""
+
+    def on_complete(self, sim, result) -> None:
+        """Called once when the run produced all expected outputs."""
+
+    def deadlock_context(self, sim) -> List[str]:
+        """Extra report lines appended to the ``DeadlockError`` dump."""
+        return []
+
+
+def _occupancy_buckets(capacity: int) -> List[float]:
+    """0, 1, 2, 4, ... buckets covering one FIFO's capacity."""
+    buckets: List[float] = [0.0]
+    bound = 1
+    while bound < capacity:
+        buckets.append(float(bound))
+        bound *= 2
+    buckets.append(float(capacity))
+    return buckets
+
+
+class MetricsProbe(SimProbe):
+    """Populate a metrics registry + ring buffer from a simulation.
+
+    ``registry`` defaults to the globally installed one (see
+    :func:`repro.obs.metrics.install_metrics`) or a fresh private
+    registry; ``ring_size`` bounds the deadlock pre-state history.
+    """
+
+    #: Per-cycle status code -> metric label (Table 3 notation).
+    STATUS_NAMES = {
+        "f": "forward",
+        "d": "discard",
+        "s": "stall",
+        ".": "idle",
+    }
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        ring_size: int = 16,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError("ring size must be >= 1")
+        if registry is None:
+            registry = get_metrics() or MetricsRegistry()
+        self.registry = registry
+        self.ring: Deque[Tuple[int, str, Tuple[int, ...]]] = deque(
+            maxlen=ring_size
+        )
+        self._bound = False
+        self._filter_counters: List[dict] = []
+        self._fifos: List[object] = []
+        self._fifo_hists: List[Histogram] = []
+        self._cycle_counter: Optional[Counter] = None
+        self._kernel_counter: Optional[Counter] = None
+        self._last_outputs = 0
+
+    # ------------------------------------------------------------------
+    def _bind(self, sim) -> None:
+        reg = self.registry
+        for flt in sim._filters:
+            self._filter_counters.append(
+                {
+                    code: reg.counter(
+                        "sim_filter_cycles_total",
+                        labels={
+                            "filter": str(flt.filter_id),
+                            "ref": flt.reference.label,
+                            "status": status,
+                        },
+                    )
+                    for code, status in self.STATUS_NAMES.items()
+                }
+            )
+        for seg in sim._segments:
+            for fifo in seg.fifos:
+                self._fifos.append(fifo)
+                self._fifo_hists.append(
+                    reg.histogram(
+                        "sim_fifo_occupancy",
+                        labels={"fifo": str(fifo.fifo_id)},
+                        buckets=_occupancy_buckets(fifo.capacity),
+                    )
+                )
+        self._cycle_counter = reg.counter("sim_cycles_total")
+        self._kernel_counter = reg.counter("sim_kernel_fires_total")
+        self._bound = True
+
+    # ------------------------------------------------------------------
+    def on_cycle(self, sim, progress: bool) -> None:
+        if not self._bound:
+            self._bind(sim)
+        statuses = []
+        for flt, counters in zip(sim._filters, self._filter_counters):
+            code = flt.status
+            counters[code].inc()
+            statuses.append(code)
+        occupancies = []
+        for fifo, hist in zip(self._fifos, self._fifo_hists):
+            occ = len(fifo)
+            hist.observe(occ)
+            occupancies.append(occ)
+        self._cycle_counter.inc()
+        fired = sim._kernel.consumed_iterations
+        if fired > self._last_outputs:
+            self._kernel_counter.inc(fired - self._last_outputs)
+            self._last_outputs = fired
+        self.ring.append(
+            (sim.cycle, "".join(statuses), tuple(occupancies))
+        )
+
+    # ------------------------------------------------------------------
+    def on_complete(self, sim, result) -> None:
+        reg = self.registry
+        stats = result.stats
+        reg.gauge("sim_total_cycles").set(stats.total_cycles)
+        reg.gauge("sim_outputs_produced").set(stats.outputs_produced)
+        if stats.first_output_cycle is not None:
+            reg.gauge("sim_fill_latency_cycles").set(
+                stats.first_output_cycle
+            )
+        reg.gauge("sim_steady_state_ii").set(stats.steady_state_ii)
+        for index, seg in enumerate(sim._segments):
+            labels = {"segment": str(index)}
+            reg.counter(
+                "offchip_words_streamed_total", labels=labels
+            ).inc(seg.stream.elements_streamed)
+            stalls = getattr(seg.stream, "row_stall_cycles", None)
+            if stalls is not None:
+                reg.counter(
+                    "offchip_row_stall_cycles_total", labels=labels
+                ).inc(stalls)
+        bus = sim._bus
+        if bus is not None:
+            reg.counter("offchip_bus_words_total").inc(bus.total_words)
+
+    # ------------------------------------------------------------------
+    def deadlock_context(self, sim) -> List[str]:
+        if not self.ring:
+            return []
+        lines = [
+            f"last {len(self.ring)} cycles before deadlock "
+            "(filters: f=forward d=discard s=stall .=idle):"
+        ]
+        for cycle, statuses, occupancies in self.ring:
+            lines.append(
+                f"  cycle {cycle}: filters={statuses} "
+                f"fifos={list(occupancies)}"
+            )
+        return lines

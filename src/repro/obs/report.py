@@ -1,0 +1,129 @@
+"""Trace summarization: turn a span dump into a hot-path table.
+
+Accepts either export format of :class:`~repro.obs.tracing.Tracer`
+(JSONL span lines or a Chrome ``trace_event`` document), aggregates the
+spans by name and renders the classic profiler table: call count, total
+and mean time, share of the traced wall clock.  ``tools/obs_report.py``
+is the command-line wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List
+
+__all__ = [
+    "format_summary",
+    "load_trace_events",
+    "summarize_events",
+    "summarize_tracer",
+]
+
+
+def _normalize(raw: dict) -> dict:
+    """One event as ``{name, ts, dur}`` in microseconds."""
+    if "ts_us" in raw:  # JSONL span record
+        return {
+            "name": raw["name"],
+            "ts": float(raw["ts_us"]),
+            "dur": float(raw["dur_us"]),
+        }
+    return {  # Chrome trace_event
+        "name": raw["name"],
+        "ts": float(raw["ts"]),
+        "dur": float(raw.get("dur", 0.0)),
+    }
+
+
+def load_trace_events(path: str) -> List[dict]:
+    """Load spans from a JSONL or Chrome trace_event file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read().strip()
+    if not text:
+        return []
+    if text[0] in "[{" and "\n{" not in text[:2]:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            data = None
+        if isinstance(data, dict):
+            events = data.get("traceEvents", [])
+            return [
+                _normalize(e) for e in events if e.get("ph", "X") == "X"
+            ]
+        if isinstance(data, list):
+            return [
+                _normalize(e) for e in data if e.get("ph", "X") == "X"
+            ]
+    return [
+        _normalize(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def summarize_events(events: Iterable[dict]) -> List[dict]:
+    """Aggregate spans by name, sorted by total time descending.
+
+    ``pct_wall`` is each name's total time over the traced wall-clock
+    window; nested spans overlap their parents, so the column can sum
+    past 100% — it ranks hot paths, it is not a partition of time.
+    """
+    groups: Dict[str, List[float]] = {}
+    start = float("inf")
+    end = 0.0
+    for event in events:
+        groups.setdefault(event["name"], []).append(event["dur"])
+        start = min(start, event["ts"])
+        end = max(end, event["ts"] + event["dur"])
+    wall_us = max(end - start, 1e-9)
+    rows = []
+    for name, durs in groups.items():
+        total = sum(durs)
+        rows.append(
+            {
+                "span": name,
+                "calls": len(durs),
+                "total_ms": round(total / 1e3, 3),
+                "mean_us": round(total / len(durs), 1),
+                "max_us": round(max(durs), 1),
+                "pct_wall": round(100.0 * total / wall_us, 1),
+            }
+        )
+    rows.sort(key=lambda r: -r["total_ms"])
+    return rows
+
+
+def summarize_tracer(tracer) -> List[dict]:
+    """Summarize an in-process tracer without exporting first."""
+    return summarize_events(
+        {
+            "name": r.name,
+            "ts": r.start_us,
+            "dur": r.duration_us,
+        }
+        for r in tracer.records
+    )
+
+
+def format_summary(rows: List[dict], top: int = 0) -> str:
+    """Render summary rows as an aligned text table."""
+    if not rows:
+        return "(no spans recorded)"
+    if top:
+        rows = rows[:top]
+    headers = list(rows[0].keys())
+    table = [[str(r[h]) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in table))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""Spans and tracing: where does the wall-clock time of a run go?
+
+A :class:`Span` measures one named region of code with monotonic
+timestamps (``time.perf_counter_ns``); spans nest, so a trace of one
+``explore`` run shows each candidate evaluation inside the exploration,
+each partitioning plan inside the candidate, and so on.  The
+:class:`Tracer` collects finished spans thread-safely and exports them
+in two formats:
+
+* **JSONL** (:meth:`Tracer.export_jsonl`) — one span per line, trivially
+  greppable and streamable;
+* **Chrome trace_event JSON** (:meth:`Tracer.export_chrome`) — loadable
+  directly in ``chrome://tracing`` or https://ui.perfetto.dev for a
+  flame-chart view of the flow.
+
+Instrumentation sites call the module-level :func:`span` helper, which
+is a **no-op unless a tracer is installed** (:func:`install_tracer`):
+without one it returns a shared stateless null context manager, so the
+instrumented code pays a single global read per call site.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "install_tracer",
+    "record_span",
+    "span",
+    "traced",
+    "uninstall_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: name, timing and structural position."""
+
+    name: str
+    start_us: float  # monotonic microseconds since the tracer epoch
+    duration_us: float
+    thread_id: int
+    depth: int
+    parent: Optional[str]
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ts_us": round(self.start_us, 3),
+            "dur_us": round(self.duration_us, 3),
+            "tid": self.thread_id,
+            "depth": self.depth,
+            "parent": self.parent,
+            "args": self.args,
+        }
+
+    def as_chrome_event(self, pid: int) -> Dict[str, Any]:
+        """A Chrome ``trace_event`` complete ("X") event."""
+        return {
+            "name": self.name,
+            "ph": "X",
+            "ts": round(self.start_us, 3),
+            "dur": round(self.duration_us, 3),
+            "pid": pid,
+            "tid": self.thread_id,
+            "args": self.args,
+        }
+
+
+class Span:
+    """Context manager timing one named region (created by a tracer)."""
+
+    __slots__ = ("_tracer", "name", "args", "_start_ns", "_depth", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start_ns = 0
+        self._depth = 0
+        self._parent: Optional[str] = None
+
+    def annotate(self, **kwargs: Any) -> "Span":
+        """Attach extra key/value arguments to the span."""
+        self.args.update(kwargs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self._parent = stack[-1].name if stack else None
+        self._depth = len(stack)
+        stack.append(self)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(self, self._start_ns, end_ns)
+        return False
+
+
+class _NullSpan:
+    """Shared stateless no-op span used when no tracer is installed."""
+
+    __slots__ = ()
+
+    def annotate(self, **kwargs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-safe in-process span collector.
+
+    All timestamps are monotonic nanoseconds relative to the tracer's
+    construction, exported as microseconds (the trace_event unit).
+    """
+
+    def __init__(self) -> None:
+        self._epoch_ns = time.perf_counter_ns()
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **args: Any) -> Span:
+        """A new (not yet entered) span owned by this tracer."""
+        return Span(self, name, args)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, span_obj: Span, start_ns: int, end_ns: int) -> None:
+        record = SpanRecord(
+            name=span_obj.name,
+            start_us=(start_ns - self._epoch_ns) / 1e3,
+            duration_us=(end_ns - start_ns) / 1e3,
+            thread_id=threading.get_ident() & 0xFFFFFFFF,
+            depth=span_obj._depth,
+            parent=span_obj._parent,
+            args=dict(span_obj.args),
+        )
+        with self._lock:
+            self._records.append(record)
+
+    def add_complete(
+        self, name: str, start_ns: int, end_ns: int, **args: Any
+    ) -> None:
+        """Record an externally timed region (no nesting bookkeeping).
+
+        Used by call sites whose begin/end do not bracket a ``with``
+        block (e.g. the off-chip stream, which starts on its first pop
+        and ends at exhaustion many cycles later).
+        """
+        record = SpanRecord(
+            name=name,
+            start_us=(start_ns - self._epoch_ns) / 1e3,
+            duration_us=(end_ns - start_ns) / 1e3,
+            thread_id=threading.get_ident() & 0xFFFFFFFF,
+            depth=0,
+            parent=None,
+            args=args,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def records(self) -> List[SpanRecord]:
+        """A snapshot of all finished spans, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    # -- exporters -----------------------------------------------------
+    def to_jsonl(self, fileobj: IO[str]) -> int:
+        """Write one JSON object per span; returns the line count."""
+        records = self.records
+        for record in records:
+            fileobj.write(json.dumps(record.as_dict()) + "\n")
+        return len(records)
+
+    def export_jsonl(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as fh:
+            return self.to_jsonl(fh)
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        pid = os.getpid()
+        return [r.as_chrome_event(pid) for r in self.records]
+
+    def to_chrome(self, fileobj: IO[str]) -> int:
+        """Write a ``chrome://tracing``-loadable JSON document."""
+        events = self.chrome_events()
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            fileobj,
+            indent=1,
+        )
+        return len(events)
+
+    def export_chrome(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as fh:
+            return self.to_chrome(fh)
+
+
+# ---------------------------------------------------------------------
+# Global installation: one process-wide tracer, read without locking on
+# the hot path (module-global load), written under a lock.
+_install_lock = threading.Lock()
+_tracer: Optional[Tracer] = None
+
+
+def install_tracer(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide tracer."""
+    global _tracer
+    with _install_lock:
+        _tracer = tracer if tracer is not None else Tracer()
+        return _tracer
+
+
+def uninstall_tracer() -> Optional[Tracer]:
+    """Remove and return the installed tracer (if any)."""
+    global _tracer
+    with _install_lock:
+        tracer, _tracer = _tracer, None
+        return tracer
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _tracer
+
+
+def span(name: str, **args: Any):
+    """A span on the installed tracer, or a shared no-op without one."""
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)
+
+
+def record_span(name: str, start_ns: int, end_ns: int, **args: Any) -> None:
+    """Record an externally timed span if a tracer is installed."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.add_complete(name, start_ns, end_ns, **args)
+
+
+def traced(name: str):
+    """Decorator: wrap every call of a function in a named span.
+
+    With no tracer installed the wrapper short-circuits to the plain
+    function call.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            tracer = _tracer
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

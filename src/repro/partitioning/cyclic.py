@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.tracing import traced
 from ..polyhedral.analysis import StencilAnalysis
 from ..polyhedral.lexorder import Vector, as_vector
 from ..stencil.spec import StencilWindow
@@ -79,6 +80,7 @@ def minimum_banks_linear(
     )
 
 
+@traced("partition.cyclic")
 def plan_cyclic(
     analysis: StencilAnalysis,
     max_banks: int = DEFAULT_MAX_BANKS,

@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs.tracing import traced
 from ..polyhedral.analysis import StencilAnalysis
 from ..polyhedral.lexorder import Vector, as_vector
 from .base import (
@@ -112,6 +113,7 @@ def search_gmp(
     )
 
 
+@traced("partition.gmp")
 def plan_gmp(
     analysis: StencilAnalysis,
     max_banks: int = DEFAULT_MAX_BANKS,

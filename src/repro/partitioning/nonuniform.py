@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs.tracing import traced
 from ..polyhedral.access import ArrayReference
 from ..polyhedral.analysis import AdjacentReusePair, StencilAnalysis
 from ..polyhedral.lexorder import Vector, is_strictly_descending, lex_gt
@@ -75,6 +76,7 @@ class OptimalityError(RuntimeError):
     """A plan fails one of the paper's optimality guarantees."""
 
 
+@traced("partition.nonuniform")
 def plan_nonuniform(analysis: StencilAnalysis) -> NonUniformPlan:
     """Build the non-uniform partition plan from a stencil analysis."""
     refs = tuple(analysis.references)

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..microarch.memory_system import MemorySystem
+from ..obs.probe import SimProbe
+from ..obs.tracing import span
 from ..polyhedral.lexorder import Vector
 from ..stencil.spec import StencilSpec
 from .modules import Element, SimFifo, SimFilter, SimKernel
@@ -89,6 +91,7 @@ class ChainSimulator:
         filter_order_override: Optional[Sequence[int]] = None,
         dram=None,
         bus=None,
+        probe: Optional[SimProbe] = None,
     ) -> None:
         """``fifo_capacity_override`` and ``filter_order_override`` exist
         for the deadlock experiments: they deliberately mis-size FIFOs or
@@ -97,7 +100,11 @@ class ChainSimulator:
         ``dram`` (a :class:`~repro.sim.offchip.DramTimingModel`) and
         ``bus`` (an :class:`~repro.sim.offchip.OffchipBus`) route the
         segment streams through the off-chip substrate instead of an
-        ideal 1-word-per-cycle source."""
+        ideal 1-word-per-cycle source.
+
+        ``probe`` (a :class:`~repro.obs.probe.SimProbe`) receives one
+        callback per cycle plus completion/deadlock hooks; with no probe
+        the cycle loop pays a single attribute check per cycle."""
         if tuple(grid.shape) != tuple(spec.grid):
             raise ValueError(
                 f"grid shape {grid.shape} does not match spec "
@@ -107,6 +114,7 @@ class ChainSimulator:
         self.system = system
         self.grid = grid
         self.trace = trace
+        self._probe = probe
         order = list(
             filter_order_override
             if filter_order_override is not None
@@ -176,21 +184,28 @@ class ChainSimulator:
                 + self._kernel.latency
                 + 64
             )
-        while self._kernel.consumed_iterations < self._expected_outputs:
-            self.cycle += 1
-            if self.cycle > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles with "
-                    f"{self._kernel.consumed_iterations}/"
-                    f"{self._expected_outputs} outputs"
+        with span(
+            "sim.run",
+            benchmark=self.spec.name,
+            grid="x".join(str(g) for g in self.spec.grid),
+        ):
+            while (
+                self._kernel.consumed_iterations < self._expected_outputs
+            ):
+                self.cycle += 1
+                if self.cycle > max_cycles:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles} cycles with "
+                        f"{self._kernel.consumed_iterations}/"
+                        f"{self._expected_outputs} outputs"
+                    )
+                waiting = any(
+                    seg.stream.waiting for seg in self._segments
                 )
-            waiting = any(
-                seg.stream.waiting for seg in self._segments
-            )
-            progress = self._step()
-            if not progress and not waiting:
-                raise DeadlockError(self._deadlock_report())
-        return self._result()
+                progress = self._step()
+                if not progress and not waiting:
+                    raise DeadlockError(self._deadlock_report())
+            return self._result()
 
     # ------------------------------------------------------------------
     def _step(self) -> bool:
@@ -251,6 +266,8 @@ class ChainSimulator:
                     for f in seg.fifos
                 },
             )
+        if self._probe is not None:
+            self._probe.on_cycle(self, progress)
         return progress
 
     # ------------------------------------------------------------------
@@ -296,9 +313,12 @@ class ChainSimulator:
                 f.filter_id: f.discarded for f in self._filters
             },
         )
-        return SimulationResult(
+        result = SimulationResult(
             outputs=outputs, stats=stats, trace=self.trace
         )
+        if self._probe is not None:
+            self._probe.on_complete(self, result)
+        return result
 
     def _deadlock_report(self) -> str:
         lines = [
@@ -325,6 +345,8 @@ class ChainSimulator:
                 f"  stream: available={seg.stream.available} "
                 f"exhausted={seg.stream.exhausted}"
             )
+        if self._probe is not None:
+            lines.extend(self._probe.deadlock_context(self))
         return "\n".join(lines)
 
 

@@ -22,11 +22,13 @@ degrades throughput when it does not.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+from ..obs.tracing import record_span
 from ..polyhedral.domain import IntegerPolyhedron
 from .stream import DataStream
 
@@ -94,6 +96,10 @@ class ThrottledDataStream(DataStream):
         self._bus = bus
         self._credits = 0.0
         self._stall = 0
+        self.row_stall_cycles = 0
+        self.row_activations = 0
+        self._obs_start_ns: Optional[int] = None
+        self._obs_done = False
         if bus is not None:
             bus.attach(self)
 
@@ -103,6 +109,7 @@ class ThrottledDataStream(DataStream):
             return
         if self._stall > 0:
             self._stall -= 1
+            self.row_stall_cycles += 1
             return
         self._credits = min(
             self._credits + self._dram.words_per_cycle,
@@ -120,6 +127,8 @@ class ThrottledDataStream(DataStream):
         return True
 
     def pop(self):
+        if self._obs_start_ns is None:
+            self._obs_start_ns = time.perf_counter_ns()
         element = super().pop()
         self._credits -= 1.0
         if self._bus is not None:
@@ -129,6 +138,20 @@ class ThrottledDataStream(DataStream):
             and self._dram.row_miss_penalty > 0
         ):
             self._stall = self._dram.row_miss_penalty
+            self.row_activations += 1
+        if self.exhausted and not self._obs_done:
+            # One span per full pass of the stream: first pop ->
+            # exhaustion, tagged with the off-chip substrate counters.
+            self._obs_done = True
+            record_span(
+                "offchip.stream",
+                self._obs_start_ns,
+                time.perf_counter_ns(),
+                words=self.elements_streamed,
+                row_activations=self.row_activations,
+                row_stall_cycles=self.row_stall_cycles,
+                effective_rate=round(self._dram.effective_rate(), 4),
+            )
         return element
 
     @property

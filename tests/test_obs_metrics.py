@@ -1,0 +1,137 @@
+"""Metric semantics and the Prometheus / JSON exporters."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    install_metrics,
+    uninstall_metrics,
+)
+
+#: One Prometheus exposition line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    uninstall_metrics()
+    yield
+    uninstall_metrics()
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("events_total", labels={"kind": "a"}).inc()
+    reg.counter("events_total", labels={"kind": "a"}).inc(2)
+    reg.counter("events_total", labels={"kind": "b"}).inc()
+    reg.gauge("level").set(7.5)
+    hist = reg.histogram("sizes", buckets=(1, 4, 16))
+    for v in (0, 1, 3, 5, 100):
+        hist.observe(v)
+    return reg
+
+
+class TestMetricKinds:
+    def test_counter_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", labels={"x": "1"})
+        assert reg.counter("c", labels={"x": "1"}) is a
+        assert reg.counter("c", labels={"x": "2"}) is not a
+
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_name_sanitization(self):
+        reg = MetricsRegistry()
+        assert reg.counter("weird name/1").name == "weird_name_1"
+
+    def test_histogram_cumulative(self):
+        h = Histogram("h", (), buckets=(1, 4, 16))
+        for v in (0, 1, 3, 5, 100):
+            h.observe(v)
+        assert h.cumulative() == [
+            (1, 2), (4, 3), (16, 4), (math.inf, 5),
+        ]
+        assert h.count == 5
+        assert h.sum == 109
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=())
+
+
+class TestPrometheusExport:
+    def test_every_line_parses(self):
+        text = populated_registry().to_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# TYPE [a-zA-Z_:][\w:]* \w+$", line)
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_counter_and_gauge_samples(self):
+        text = populated_registry().to_prometheus()
+        assert '# TYPE events_total counter' in text
+        assert 'events_total{kind="a"} 3' in text
+        assert 'events_total{kind="b"} 1' in text
+        assert "# TYPE level gauge" in text
+        assert "level 7.5" in text
+
+    def test_histogram_exposition(self):
+        text = populated_registry().to_prometheus()
+        assert "# TYPE sizes histogram" in text
+        assert 'sizes_bucket{le="1"} 2' in text
+        assert 'sizes_bucket{le="4"} 3' in text
+        assert 'sizes_bucket{le="16"} 4' in text
+        assert 'sizes_bucket{le="+Inf"} 5' in text
+        assert "sizes_sum 109" in text
+        assert "sizes_count 5" in text
+        # le buckets are cumulative and non-decreasing.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("sizes_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_export_file(self, tmp_path):
+        path = tmp_path / "m.prom"
+        populated_registry().export_prometheus(str(path))
+        assert "events_total" in path.read_text()
+
+
+class TestJsonSnapshot:
+    def test_snapshot_round_trips(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "m.json"
+        reg.export_json(str(path))
+        snap = json.loads(path.read_text())
+        assert snap["counters"]['events_total{kind="a"}'] == 3
+        assert snap["gauges"]["level"] == 7.5
+        hist = snap["histograms"]["sizes"]
+        assert hist["count"] == 5
+        assert hist["buckets"][-1] == ["+Inf", 5]
+
+
+class TestGlobalInstall:
+    def test_install_uninstall(self):
+        assert get_metrics() is None
+        reg = install_metrics()
+        assert get_metrics() is reg
+        assert uninstall_metrics() is reg
+        assert get_metrics() is None

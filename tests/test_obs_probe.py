@@ -1,0 +1,241 @@
+"""MetricsProbe wiring: simulator counters, histograms, off-chip
+stats, the CLI observability flags and the trace report tool."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.microarch.memory_system import build_memory_system
+from repro.obs import MetricsProbe, MetricsRegistry, SimProbe
+from repro.obs.report import (
+    format_summary,
+    load_trace_events,
+    summarize_events,
+)
+from repro.obs.tracing import uninstall_tracer
+from repro.obs.metrics import uninstall_metrics
+from repro.sim.engine import ChainSimulator
+from repro.sim.offchip import DramTimingModel
+from repro.stencil.golden import make_input
+from repro.stencil.kernels import DENOISE
+
+from conftest import small_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    uninstall_tracer()
+    uninstall_metrics()
+    yield
+    uninstall_tracer()
+    uninstall_metrics()
+
+
+def run_probed(spec, probe=None, **sim_kwargs):
+    system = build_memory_system(spec.analysis())
+    grid = make_input(spec)
+    probe = probe or MetricsProbe(registry=MetricsRegistry())
+    sim = ChainSimulator(spec, system, grid, probe=probe, **sim_kwargs)
+    return sim.run(), probe
+
+
+class TestMetricsProbe:
+    def test_filter_counters_match_stats(self, denoise_small):
+        result, probe = run_probed(denoise_small)
+        snap = probe.registry.snapshot()["counters"]
+        cycles = result.stats.total_cycles
+        forwarded = result.stats.filter_forwarded
+        for key, value in snap.items():
+            if not key.startswith("sim_filter_cycles_total"):
+                continue
+            assert 0 <= value <= cycles
+        # Per-filter: forward counter == stats' forwarded count.
+        for filter_id, count in forwarded.items():
+            matches = [
+                v
+                for k, v in snap.items()
+                if f'filter="{filter_id}"' in k
+                and 'status="forward"' in k
+            ]
+            assert matches == [count]
+        # Statuses partition the cycles for each filter.
+        for filter_id in forwarded:
+            total = sum(
+                v
+                for k, v in snap.items()
+                if k.startswith("sim_filter_cycles_total")
+                and f'filter="{filter_id}"' in k
+            )
+            assert total == cycles
+
+    def test_kernel_and_cycle_counters(self, denoise_small):
+        result, probe = run_probed(denoise_small)
+        snap = probe.registry.snapshot()
+        assert (
+            snap["counters"]["sim_kernel_fires_total"]
+            == result.stats.outputs_produced
+        )
+        assert (
+            snap["counters"]["sim_cycles_total"]
+            == result.stats.total_cycles
+        )
+        assert (
+            snap["gauges"]["sim_total_cycles"]
+            == result.stats.total_cycles
+        )
+        assert (
+            snap["gauges"]["sim_fill_latency_cycles"]
+            == result.stats.first_output_cycle
+        )
+
+    def test_fifo_occupancy_histograms(self, denoise_small):
+        result, probe = run_probed(denoise_small)
+        hists = probe.registry.snapshot()["histograms"]
+        capacities = result.stats.fifo_capacity
+        max_occ = result.stats.fifo_max_occupancy
+        assert len(hists) == len(capacities)
+        for fifo_id, capacity in capacities.items():
+            hist = hists[f'sim_fifo_occupancy{{fifo="{fifo_id}"}}']
+            assert hist["count"] == result.stats.total_cycles
+            bounds = [
+                b for b, _ in hist["buckets"] if b != "+Inf"
+            ]
+            assert max(bounds) == capacity
+            # Nothing beyond capacity: +Inf adds no observations.
+            assert hist["buckets"][-1][1] == hist["buckets"][-2][1]
+            del max_occ[fifo_id]
+        assert not max_occ
+
+    def test_ring_buffer_is_bounded(self, denoise_small):
+        _, probe = run_probed(
+            denoise_small, probe=MetricsProbe(ring_size=5)
+        )
+        assert len(probe.ring) == 5
+        cycles = [entry[0] for entry in probe.ring]
+        assert cycles == sorted(cycles)
+
+    def test_ring_size_validated(self):
+        with pytest.raises(ValueError):
+            MetricsProbe(ring_size=0)
+
+    def test_offchip_counters(self, denoise_small):
+        dram = DramTimingModel(
+            words_per_cycle=1.0, row_words=64, row_miss_penalty=3
+        )
+        result, probe = run_probed(denoise_small, dram=dram)
+        snap = probe.registry.snapshot()["counters"]
+        assert (
+            snap['offchip_words_streamed_total{segment="0"}']
+            == result.stats.elements_streamed_per_segment[0]
+        )
+        assert snap['offchip_row_stall_cycles_total{segment="0"}'] > 0
+
+    def test_base_probe_is_inert(self, denoise_small):
+        result, _ = run_probed(denoise_small, probe=SimProbe())
+        assert result.stats.outputs_produced > 0
+
+
+class TestCliObservability:
+    def test_simulate_exports(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        rc = cli_main(
+            [
+                "simulate", "DENOISE", "--grid", "12x16",
+                "--trace-out", str(trace),
+                "--metrics-out", str(prom),
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hot paths" in out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "sim.run" in names
+        assert "partition.nonuniform" in names
+        text = prom.read_text()
+        assert "sim_filter_cycles_total" in text
+        assert 'status="stall"' in text
+        assert "sim_fifo_occupancy_bucket" in text
+        assert "sim_kernel_fires_total" in text
+
+    def test_explore_exports_jsonl_and_json_metrics(self, tmp_path):
+        trace = tmp_path / "explore.jsonl"
+        metrics = tmp_path / "metrics.json"
+        rc = cli_main(
+            [
+                "explore", "DENOISE", "--bram", "8",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert rc == 0
+        names = [
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        ]
+        assert "flow.explore" in names
+        assert names.count("explore.candidate") >= 4
+        assert isinstance(json.loads(metrics.read_text()), dict)
+
+    def test_flags_off_leave_globals_clean(self):
+        from repro.obs import get_metrics, get_tracer
+
+        rc = cli_main(["simulate", "DENOISE", "--grid", "12x16"])
+        assert rc == 0
+        assert get_tracer() is None and get_metrics() is None
+
+
+class TestObsReport:
+    def test_summarize_both_formats(self, tmp_path):
+        trace = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        cli_main(
+            [
+                "simulate", "DENOISE", "--grid", "12x16",
+                "--trace-out", str(trace),
+            ]
+        )
+        cli_main(
+            [
+                "simulate", "DENOISE", "--grid", "12x16",
+                "--trace-out", str(jsonl),
+            ]
+        )
+        for path in (trace, jsonl):
+            events = load_trace_events(str(path))
+            assert events
+            rows = summarize_events(events)
+            assert rows[0]["total_ms"] >= rows[-1]["total_ms"]
+            table = format_summary(rows)
+            assert "sim.run" in table
+            assert "calls" in table
+
+    def test_format_empty(self):
+        assert "no spans" in format_summary([])
+
+    def test_tool_entry_point(self, tmp_path, capsys):
+        import importlib.util
+        import pathlib
+
+        trace = tmp_path / "t.json"
+        cli_main(
+            [
+                "simulate", "DENOISE", "--grid", "12x16",
+                "--trace-out", str(trace),
+            ]
+        )
+        tool = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "tools" / "obs_report.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "obs_report", tool
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main([str(trace), "--top", "3"]) == 0
+        assert "sim.run" in capsys.readouterr().out

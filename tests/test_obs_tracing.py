@@ -1,0 +1,176 @@
+"""Tracer/span behaviour and both trace export formats."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    Tracer,
+    get_tracer,
+    install_tracer,
+    record_span,
+    span,
+    traced,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+def traced_tree():
+    """A small nested workload; returns its tracer."""
+    tracer = Tracer()
+    with tracer.span("outer", kind="demo"):
+        for i in range(3):
+            with tracer.span("inner", index=i):
+                pass
+    with tracer.span("sibling"):
+        pass
+    return tracer
+
+
+class TestSpans:
+    def test_records_and_nesting(self):
+        tracer = traced_tree()
+        records = tracer.records
+        assert [r.name for r in records] == [
+            "inner", "inner", "inner", "outer", "sibling",
+        ]
+        inner = records[0]
+        outer = records[3]
+        assert inner.parent == "outer" and inner.depth == 1
+        assert outer.parent is None and outer.depth == 0
+        assert outer.duration_us >= sum(
+            r.duration_us for r in records[:3]
+        )
+        assert inner.args == {"index": 0}
+
+    def test_timestamps_are_monotonic_nonnegative(self):
+        for r in traced_tree().records:
+            assert r.start_us >= 0
+            assert r.duration_us >= 0
+
+    def test_annotate(self):
+        tracer = Tracer()
+        with tracer.span("s") as s:
+            s.annotate(extra=42)
+        assert tracer.records[0].args["extra"] == 42
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert [r.name for r in tracer.records] == ["boom"]
+        assert tracer._stack() == []
+
+    def test_thread_safety(self):
+        tracer = Tracer()
+
+        def work(tid):
+            for i in range(50):
+                with tracer.span(f"t{tid}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.records) == 200
+        # Per-thread stacks: every span is a root in its own thread.
+        assert all(r.depth == 0 for r in tracer.records)
+
+
+class TestGlobalInstall:
+    def test_span_is_noop_without_tracer(self):
+        assert get_tracer() is None
+        s = span("anything")
+        with s:
+            pass
+        assert s is tracing._NULL_SPAN
+        assert s.annotate(x=1) is s
+
+    def test_install_routes_spans(self):
+        tracer = install_tracer()
+        with span("routed", a=1):
+            pass
+        assert [r.name for r in tracer.records] == ["routed"]
+        assert uninstall_tracer() is tracer
+        assert get_tracer() is None
+
+    def test_traced_decorator(self):
+        @traced("deco.fn")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2  # no tracer: plain call
+        tracer = install_tracer()
+        assert fn(2) == 3
+        assert [r.name for r in tracer.records] == ["deco.fn"]
+
+    def test_record_span_external_timing(self):
+        tracer = install_tracer()
+        record_span("ext", 1_000, 4_000, words=7)
+        (record,) = tracer.records
+        assert record.name == "ext"
+        assert record.duration_us == pytest.approx(3.0)
+        assert record.args == {"words": 7}
+
+
+class TestExporters:
+    def test_jsonl_round_trip_schema(self, tmp_path):
+        tracer = traced_tree()
+        path = tmp_path / "trace.jsonl"
+        n = tracer.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert n == len(lines) == 5
+        for line in lines:
+            rec = json.loads(line)
+            assert set(rec) == {
+                "name", "ts_us", "dur_us", "tid", "depth",
+                "parent", "args",
+            }
+            assert rec["dur_us"] >= 0
+
+    def test_chrome_export_schema(self, tmp_path):
+        tracer = traced_tree()
+        path = tmp_path / "trace.json"
+        n = tracer.export_chrome(str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert n == len(events) == 5
+        for event in events:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event, f"missing {key}"
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # Nesting invariant chrome://tracing relies on: a child is
+        # contained in its parent's [ts, ts+dur] window.
+        outer = next(e for e in events if e["name"] == "outer")
+        for inner in (e for e in events if e["name"] == "inner"):
+            assert inner["ts"] >= outer["ts"]
+            assert (
+                inner["ts"] + inner["dur"]
+                <= outer["ts"] + outer["dur"] + 1e-6
+            )
+
+    def test_chrome_buffer_export(self):
+        buf = io.StringIO()
+        traced_tree().to_chrome(buf)
+        assert len(json.loads(buf.getvalue())["traceEvents"]) == 5
+
+    def test_clear(self):
+        tracer = traced_tree()
+        tracer.clear()
+        assert tracer.records == []

@@ -4,6 +4,7 @@ deadlocks the chain; honoring both never does (Appendix 9.2)."""
 import pytest
 
 from repro.microarch.memory_system import build_memory_system
+from repro.obs import MetricsProbe
 from repro.sim.engine import ChainSimulator, DeadlockError
 from repro.stencil.golden import make_input
 from repro.stencil.kernels import DENOISE, RICIAN
@@ -127,3 +128,46 @@ class TestDeadlockDiagnostics:
         assert "filter" in message
         assert "FIFO" in message
         assert "outputs produced" in message
+
+    def test_probe_ring_buffer_enriches_report(self, denoise_setup):
+        """With a probe attached the report carries the last N cycles
+        of per-module fire/stall state, not just the frozen end."""
+        spec, system, grid = denoise_setup
+        big = max(system.fifos, key=lambda f: f.capacity)
+        probe = MetricsProbe(ring_size=8)
+        with pytest.raises(DeadlockError) as exc:
+            ChainSimulator(
+                spec,
+                system,
+                grid,
+                fifo_capacity_override={big.fifo_id: 1},
+                probe=probe,
+            ).run()
+        message = str(exc.value)
+        assert "cycles before deadlock" in message
+        assert "f=forward d=discard s=stall" in message
+        # One pre-state line per ring entry, each with both module
+        # families' state.
+        ring_lines = [
+            line
+            for line in message.splitlines()
+            if "filters=" in line and "fifos=" in line
+        ]
+        assert len(ring_lines) == len(probe.ring) == 8
+        # The last ring entry is the deadlock cycle itself.
+        final_cycle = int(
+            message.split("deadlock at cycle ")[1].split(":")[0]
+        )
+        assert probe.ring[-1][0] == final_cycle
+
+    def test_no_probe_report_is_unchanged(self, denoise_setup):
+        spec, system, grid = denoise_setup
+        big = max(system.fifos, key=lambda f: f.capacity)
+        with pytest.raises(DeadlockError) as exc:
+            ChainSimulator(
+                spec,
+                system,
+                grid,
+                fifo_capacity_override={big.fifo_id: 1},
+            ).run()
+        assert "cycles before deadlock" not in str(exc.value)

@@ -1,0 +1,65 @@
+"""Summarize an obs trace file into a human-readable hot-path table.
+
+Accepts either export format of ``repro.obs.tracing.Tracer``: a Chrome
+``trace_event`` JSON document (``--trace-out trace.json``) or JSONL span
+lines (``--trace-out trace.jsonl``).  Run from the repo root:
+
+    python tools/obs_report.py trace.json [--top N] [--sort KEY]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.report import (  # noqa: E402
+    format_summary,
+    load_trace_events,
+    summarize_events,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="hot-path summary of an obs trace file"
+    )
+    parser.add_argument("trace", help="trace file (.json or .jsonl)")
+    parser.add_argument(
+        "--top", type=int, default=0,
+        help="show only the N hottest span names",
+    )
+    parser.add_argument(
+        "--sort",
+        choices=["total_ms", "calls", "mean_us", "max_us"],
+        default="total_ms",
+        help="ranking column (default: total time)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_trace_events(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"no spans in {args.trace}")
+        return 1
+    rows = summarize_events(events)
+    rows.sort(key=lambda r: -r[args.sort])
+    print(f"{args.trace}: {len(events)} spans, {len(rows)} span names")
+    print(format_summary(rows, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
