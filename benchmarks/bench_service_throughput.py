@@ -1,0 +1,115 @@
+"""Service throughput — the repro.service layer under a mixed load.
+
+Not a paper artifact; it tracks the serving layer's own engineering:
+end-to-end requests per second over the full benchmark suite, the
+cold-compile vs warm cache-hit cost split, and the cache hit rate.
+Besides the harness's automatic ``BENCH_bench_service_throughput.json``
+record, this bench writes a dedicated
+``benchmarks/results/BENCH_service_throughput.json`` with the derived
+throughput numbers.
+"""
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import ServiceConfig, StencilService
+
+#: Reduced grids: execution stays sub-millisecond, so the bench mostly
+#: measures the serving machinery (queue, cache, batching) itself.
+SERVICE_GRIDS = {
+    "DENOISE": (24, 32),
+    "RICIAN": (24, 32),
+    "SOBEL": (20, 24),
+    "BICUBIC": (22, 26),
+    "DENOISE_3D": (8, 9, 10),
+    "SEGMENTATION_3D": (8, 9, 10),
+}
+
+N_REQUESTS = 240
+
+
+def _mixed_requests(n):
+    names = sorted(SERVICE_GRIDS)
+    return [
+        {
+            "id": f"bench-{k}",
+            "benchmark": names[k % len(names)],
+            "grid": list(SERVICE_GRIDS[names[k % len(names)]]),
+            "seed": k % 11,
+            "timeout_s": 300.0,
+        }
+        for k in range(n)
+    ]
+
+
+def _hist_mean(snapshot, key):
+    hist = snapshot["histograms"].get(key)
+    if not hist or not hist["count"]:
+        return None
+    return hist["sum"] / hist["count"]
+
+
+def bench_service_throughput():
+    registry = MetricsRegistry()
+    config = ServiceConfig(
+        workers=8, max_queue=64, max_batch=16, validate_every=50
+    )
+    requests = _mixed_requests(N_REQUESTS)
+
+    started = time.perf_counter()
+    with StencilService(config, registry=registry) as service:
+        slots = [service.submit(req) for req in requests]
+        replies = [slot.result(300.0) for slot in slots]
+    wall_s = time.perf_counter() - started
+
+    assert len(replies) == N_REQUESTS
+    assert all(r["status"] == "ok" for r in replies)
+
+    snap = registry.snapshot()
+    counters = snap["counters"]
+    hits = counters.get('service_cache_total{outcome="hit"}', 0)
+    misses = counters.get('service_cache_total{outcome="miss"}', 0)
+    coalesced = counters.get(
+        'service_cache_total{outcome="coalesced"}', 0
+    )
+    lookups = hits + misses + coalesced
+    record = {
+        "bench": "service_throughput",
+        "requests": N_REQUESTS,
+        "wall_s": round(wall_s, 6),
+        "requests_per_s": round(N_REQUESTS / wall_s, 2),
+        "cache": {
+            "hit": hits,
+            "miss": misses,
+            "coalesced": coalesced,
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+        },
+        "cold_compile_ms_mean": _hist_mean(
+            snap, 'service_compile_ms{cache="miss"}'
+        ),
+        "warm_hit_ms_mean": _hist_mean(
+            snap, 'service_compile_ms{cache="hit"}'
+        ),
+        "latency_ms_mean": _hist_mean(snap, "service_request_latency_ms"),
+        "validations": counters.get("service_validation_total", 0),
+    }
+    assert record["cache"]["miss"] == len(SERVICE_GRIDS)
+
+    out_dir = os.environ.get(
+        "OBS_BENCH_DIR",
+        os.path.join(os.path.dirname(__file__), "results"),
+    )
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "BENCH_service_throughput.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+
+    emit(
+        "Service throughput — mixed suite load through repro.service",
+        json.dumps(record, indent=1, sort_keys=True),
+    )

@@ -27,6 +27,8 @@ Package map:
 * :mod:`repro.integration` — prefetcher and accelerator chaining.
 * :mod:`repro.obs` — observability: spans/tracing, metrics, simulator
   probes (``--trace-out`` / ``--metrics-out`` / ``--profile``).
+* :mod:`repro.service` — concurrent compile-and-execute service with a
+  content-addressed plan cache (``repro serve`` / ``repro submit``).
 """
 
 from .flow.automation import CompiledDesign, compile_accelerator
@@ -43,6 +45,7 @@ from .partitioning.nonuniform import NonUniformPlan, plan_nonuniform
 from .polyhedral.analysis import StencilAnalysis
 from .polyhedral.transform import UnimodularTransform, transform_spec
 from .rtl.design import simulate_rtl
+from .service import ServiceConfig, StencilService
 from .sim.engine import ChainSimulator, DeadlockError, SimulationResult
 from .sim.modulo_chain import ModuloChainSimulator
 from .sim.multi import MultiArraySimulator
@@ -83,9 +86,11 @@ __all__ = [
     "RICIAN",
     "SEGMENTATION_3D",
     "SOBEL",
+    "ServiceConfig",
     "SimProbe",
     "SimulationResult",
     "StencilAnalysis",
+    "StencilService",
     "StencilSpec",
     "StencilWindow",
     "Tracer",

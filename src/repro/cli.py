@@ -10,13 +10,17 @@ Examples
     python -m repro report table4
     python -m repro report fig15
     python -m repro simulate DENOISE --grid 24x32
+    python -m repro submit DENOISE --grid 24x32 --count 8
+    echo '{"benchmark": "SOBEL", "grid": [10, 12]}' | python -m repro serve
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
+from collections import deque
 from typing import Optional, Sequence
 
 from .flow.automation import compile_accelerator
@@ -290,6 +294,111 @@ def cmd_simulate(args) -> int:
     return 0 if matches else 1
 
 
+def _service_config(args):
+    from .service import ServiceConfig
+
+    return ServiceConfig(
+        workers=args.workers,
+        max_queue=args.queue,
+        max_batch=args.max_batch,
+        validate_every=args.validate_every,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("service")
+    group.add_argument(
+        "--workers", type=int, default=4,
+        help="executor worker threads (default 4)",
+    )
+    group.add_argument(
+        "--queue", type=int, default=256,
+        help="bounded admission queue size (default 256)",
+    )
+    group.add_argument(
+        "--max-batch", type=int, default=16,
+        help="max requests one worker drains per round (default 16)",
+    )
+    group.add_argument(
+        "--validate-every", type=int, default=0, metavar="N",
+        help=(
+            "cycle-sim-validate 1 in N executions against the cached "
+            "plan (0 disables the canary)"
+        ),
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist compiled plans as JSON under DIR",
+    )
+
+
+def cmd_submit(args) -> int:
+    """One-shot client: spin a service, submit, print responses."""
+    from .service import StencilService
+
+    for name in args.benchmark:
+        get_benchmark(name)  # fail fast on typos, before any workers
+    with _obs_session(args):
+        service = StencilService(_service_config(args)).start()
+        slots = []
+        for name in args.benchmark:
+            for k in range(args.count):
+                request = {"benchmark": name, "seed": args.seed + k}
+                if args.grid:
+                    request["grid"] = list(args.grid)
+                if args.streams != 1:
+                    request["streams"] = args.streams
+                slots.append(service.submit(request))
+        failures = 0
+        for slot in slots:
+            response = slot.result()
+            print(json.dumps(response, sort_keys=True))
+            if response["status"] != "ok":
+                failures += 1
+        service.shutdown(drain=True)
+    return 0 if failures == 0 else 1
+
+
+def cmd_serve(args) -> int:
+    """JSONL server: one request per stdin line, one response per
+    stdout line (submission order), graceful drain on EOF."""
+    from .service import StencilService
+
+    with _obs_session(args):
+        service = StencilService(_service_config(args)).start()
+        print(
+            f"repro service: {args.workers} workers, queue "
+            f"{args.queue}, reading JSONL requests from stdin",
+            file=sys.stderr,
+        )
+        pending = deque()
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            pending.append(service.submit_json(line))
+            while pending and pending[0].done():
+                print(
+                    json.dumps(pending.popleft().result(),
+                               sort_keys=True),
+                    flush=True,
+                )
+        while pending:
+            print(
+                json.dumps(pending.popleft().result(), sort_keys=True),
+                flush=True,
+            )
+        drained = service.shutdown(drain=True)
+        print(
+            f"drained: {drained}, cache "
+            f"{service.cache.stats.hits} hits / "
+            f"{service.cache.stats.misses} misses",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -374,6 +483,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=2014)
     _add_obs_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit benchmark requests to an in-process service",
+    )
+    p_submit.add_argument(
+        "benchmark", nargs="+",
+        help="one or more benchmark names (repeated --count times each)",
+    )
+    p_submit.add_argument(
+        "--count", type=int, default=1,
+        help="submissions per benchmark (distinct seeds)",
+    )
+    p_submit.add_argument("--grid", type=_parse_grid, default=None)
+    p_submit.add_argument("--streams", type=int, default=1)
+    p_submit.add_argument("--seed", type=int, default=2014)
+    _add_service_flags(p_submit)
+    _add_obs_flags(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the stencil service over JSONL stdin/stdout",
+    )
+    _add_service_flags(p_serve)
+    _add_obs_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 
@@ -383,6 +519,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.func(args)
     except KeyError as exc:
+        # e.g. an unknown benchmark name: print the message, not a
+        # traceback (KeyError's str() wraps its argument in repr quotes).
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

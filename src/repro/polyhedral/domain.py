@@ -560,3 +560,50 @@ def domain_from_extents(*extents: int) -> BoxDomain:
         if e <= 0:
             raise ValueError(f"extents must be positive, got {e}")
     return BoxDomain([0] * len(extents), [e - 1 for e in extents])
+
+
+# ----------------------------------------------------------------------
+# JSON serialization (used by StencilSpec.to_json and the service layer)
+# ----------------------------------------------------------------------
+
+def domain_to_json(domain) -> dict:
+    """A JSON-safe description of any domain kind.
+
+    Boxes keep their ``lows``/``highs`` form (the round trip preserves
+    the fast paths); general polyhedra serialize their constraint rows;
+    unions serialize each part.
+    """
+    if isinstance(domain, BoxDomain):
+        return {
+            "kind": "box",
+            "lows": list(domain.lows),
+            "highs": list(domain.highs),
+        }
+    if isinstance(domain, IntegerPolyhedron):
+        return {
+            "kind": "polyhedron",
+            "coefficients": [
+                list(coeffs) for coeffs, _ in domain.constraints
+            ],
+            "bounds": [bound for _, bound in domain.constraints],
+        }
+    if isinstance(domain, DomainUnion):
+        return {
+            "kind": "union",
+            "parts": [domain_to_json(p) for p in domain.parts],
+        }
+    raise TypeError(f"cannot serialize domain {domain!r}")
+
+
+def domain_from_json(data: dict):
+    """Inverse of :func:`domain_to_json`."""
+    kind = data.get("kind")
+    if kind == "box":
+        return BoxDomain(data["lows"], data["highs"])
+    if kind == "polyhedron":
+        return IntegerPolyhedron(data["coefficients"], data["bounds"])
+    if kind == "union":
+        return DomainUnion(
+            [domain_from_json(p) for p in data["parts"]]
+        )
+    raise ValueError(f"unknown domain kind {kind!r}")

@@ -1,0 +1,60 @@
+"""repro.service — a concurrent compile-and-execute stencil service.
+
+The deterministic Fig 11 pipeline compiles one spec into one plan, so a
+serving layer only ever needs to pay that cost once per distinct
+(spec, options) content hash.  This package turns the reproduction into
+a long-running service around that observation:
+
+* :mod:`repro.service.fingerprint` — canonical, version-stamped content
+  hashes of ``StencilSpec`` + compile options;
+* :mod:`repro.service.plancache` — two-tier plan cache (bounded
+  in-memory LRU over on-disk JSON) with single-flight stampede
+  protection;
+* :mod:`repro.service.scheduler` — bounded admission queue with
+  per-request deadlines and graceful drain;
+* :mod:`repro.service.executor` — worker-pool batch executor that
+  groups requests by fingerprint, runs the vectorized golden path and
+  cycle-sim-validates a 1-in-N sample against the cached plan;
+* :mod:`repro.service.api` — the :class:`StencilService` facade plus
+  the JSON request/response surface behind ``repro serve`` /
+  ``repro submit``.
+"""
+
+from .api import ServiceConfig, StencilService
+from .executor import (
+    PlanExecutor,
+    PlanValidationError,
+    compile_plan,
+    make_response,
+)
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    CompileOptions,
+    fingerprint,
+)
+from .plancache import CachedPlan, CacheStats, PlanCache
+from .scheduler import (
+    QueueClosedError,
+    ResultSlot,
+    Scheduler,
+    WorkItem,
+)
+
+__all__ = [
+    "CachedPlan",
+    "CacheStats",
+    "CompileOptions",
+    "FINGERPRINT_VERSION",
+    "PlanCache",
+    "PlanExecutor",
+    "PlanValidationError",
+    "QueueClosedError",
+    "ResultSlot",
+    "Scheduler",
+    "ServiceConfig",
+    "StencilService",
+    "WorkItem",
+    "compile_plan",
+    "fingerprint",
+    "make_response",
+]

@@ -1,0 +1,281 @@
+"""The stencil service facade and its JSON request/response surface.
+
+:class:`StencilService` wires the four lower layers together —
+fingerprinting, the two-tier plan cache, the bounded scheduler and the
+worker-pool executor — behind two calls:
+
+* :meth:`StencilService.submit` — admit one request, get a
+  :class:`~repro.service.scheduler.ResultSlot` to block on;
+* :meth:`StencilService.handle` — synchronous submit-and-wait.
+
+Request JSON (one object per request; unknown keys are ignored)::
+
+    {"id": "r1", "benchmark": "DENOISE", "grid": [24, 32],
+     "streams": 1, "seed": 2014, "timeout_s": 30.0, "validate": true}
+
+or, for a custom stencil, ``"spec": {...}`` with
+:meth:`StencilSpec.to_json` output instead of ``"benchmark"``.
+Responses always carry ``id`` and ``status`` (``ok``, ``invalid``,
+``rejected``, ``timeout``, ``error``, ``validation_failed`` or
+``cancelled``); successful ones add the plan fingerprint, cache
+outcome, output digest and design summary.
+
+Every stage is instrumented through :mod:`repro.obs`: spans per request
+stage and counters/histograms for cache outcomes, queue depth and
+end-to-end latency live in :attr:`StencilService.metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.tracing import span
+from ..stencil.kernels import get_benchmark
+from ..stencil.spec import StencilSpec
+from .executor import PlanExecutor, make_response
+from .fingerprint import CompileOptions, fingerprint
+from .plancache import PlanCache
+from .scheduler import QueueClosedError, ResultSlot, Scheduler, WorkItem
+
+__all__ = ["ServiceConfig", "StencilService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance (all bounded by default)."""
+
+    workers: int = 4
+    max_queue: int = 256
+    max_batch: int = 16
+    default_timeout_s: float = 30.0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.02
+    validate_every: int = 0  # 0 disables the sampled canary
+    canary_cell_limit: int = 20_000
+    cache_entries: int = 128
+    cache_bytes: int = 16 * 1024 * 1024
+    cache_dir: Optional[str] = None
+
+
+class StencilService:
+    """A long-running compile-and-execute service over stencil specs."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        fault_hook=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = (
+            registry or get_metrics() or MetricsRegistry()
+        )
+        self.cache = PlanCache(
+            max_entries=self.config.cache_entries,
+            max_bytes=self.config.cache_bytes,
+            disk_dir=self.config.cache_dir,
+        )
+        self.scheduler = Scheduler(
+            max_queue=self.config.max_queue, registry=self.metrics
+        )
+        self.executor = PlanExecutor(
+            cache=self.cache,
+            scheduler=self.scheduler,
+            registry=self.metrics,
+            workers=self.config.workers,
+            max_batch=self.config.max_batch,
+            validate_every=self.config.validate_every,
+            canary_cell_limit=self.config.canary_cell_limit,
+            retry_backoff_s=self.config.retry_backoff_s,
+            fault_hook=fault_hook,
+        )
+        self._started = False
+        self._seq = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "StencilService":
+        if not self._started:
+            self.executor.start()
+            self._started = True
+        return self
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = 60.0
+    ) -> bool:
+        """Stop the service.
+
+        With ``drain=True`` (the default) admission closes and every
+        already-admitted request still gets a real response before the
+        workers exit.  With ``drain=False`` queued-but-unstarted
+        requests resolve immediately with ``status="cancelled"``.
+        Returns True when everything resolved within ``timeout``.
+        """
+        self.scheduler.close()
+        if not drain:
+            self.scheduler.flush_cancelled(
+                lambda item: make_response(
+                    item, "cancelled", error="service shut down"
+                )
+            )
+        drained = self.scheduler.wait_drained(timeout)
+        self.executor.stop()
+        self._started = False
+        return drained
+
+    def __enter__(self) -> "StencilService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # -- request parsing -----------------------------------------------
+    @staticmethod
+    def _parse_grid(value) -> Optional[tuple]:
+        if value is None:
+            return None
+        if isinstance(value, str):
+            parts = tuple(int(p) for p in value.lower().split("x"))
+        else:
+            parts = tuple(int(p) for p in value)
+        if not parts or any(p <= 0 for p in parts):
+            raise ValueError(f"grid extents must be positive: {value!r}")
+        return parts
+
+    def _parse(self, request: Dict[str, Any], request_id: str) -> WorkItem:
+        has_benchmark = "benchmark" in request
+        has_spec = "spec" in request
+        if has_benchmark == has_spec:
+            raise ValueError(
+                "request needs exactly one of 'benchmark' or 'spec'"
+            )
+        if has_benchmark:
+            spec = get_benchmark(str(request["benchmark"]))
+        else:
+            spec = StencilSpec.from_json(request["spec"])
+        grid = self._parse_grid(request.get("grid"))
+        if grid is not None:
+            spec = spec.with_grid(grid)
+        options = CompileOptions(
+            offchip_streams=int(request.get("streams", 1))
+        )
+        timeout_s = float(
+            request.get("timeout_s", self.config.default_timeout_s)
+        )
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        validate = request.get("validate")
+        if validate is not None:
+            validate = bool(validate)
+        return WorkItem(
+            request_id=request_id,
+            spec=spec,
+            options=options,
+            fingerprint=fingerprint(spec, options),
+            seed=int(request.get("seed", 2014)),
+            deadline=time.monotonic() + timeout_s,
+            slot=self.scheduler.make_slot(),
+            validate=validate,
+            retries_left=int(
+                request.get("retries", self.config.max_retries)
+            ),
+            raw=request,
+        )
+
+    # -- submission ----------------------------------------------------
+    def _next_id(self, request: Dict[str, Any]) -> str:
+        if "id" in request and request["id"] is not None:
+            return str(request["id"])
+        self._seq += 1
+        return f"req-{self._seq}"
+
+    def _count(self, status: str) -> None:
+        self.metrics.counter(
+            "service_requests_total", {"status": status}
+        ).inc()
+
+    def submit(
+        self,
+        request: Dict[str, Any],
+        block: bool = True,
+        admission_timeout: Optional[float] = None,
+    ) -> ResultSlot:
+        """Admit one request; always returns a slot that will resolve.
+
+        Parse failures, a full queue (non-blocking admission) and a
+        draining service all resolve the slot immediately with
+        ``invalid`` / ``rejected`` responses — a submitter can always
+        block on the slot, nothing is dropped without a response.
+        """
+        if not self._started:
+            self.start()
+        request_id = self._next_id(request)
+        with span("service.admit", request=request_id):
+            try:
+                item = self._parse(request, request_id)
+            except (KeyError, TypeError, ValueError) as exc:
+                # str(KeyError) wraps the message in repr quotes.
+                message = (
+                    exc.args[0]
+                    if isinstance(exc, KeyError) and exc.args
+                    else str(exc)
+                )
+                slot = self.scheduler.make_slot()
+                slot.resolve(
+                    {
+                        "id": request_id,
+                        "status": "invalid",
+                        "error": message,
+                    }
+                )
+                self._count("invalid")
+                return slot
+            try:
+                admitted = self.scheduler.submit(
+                    item, block=block, timeout=admission_timeout
+                )
+            except QueueClosedError:
+                admitted = False
+            if not admitted:
+                self.metrics.counter("service_rejected_total").inc()
+                self._resolve_rejection(item)
+            return item.slot
+
+    def _resolve_rejection(self, item: WorkItem) -> None:
+        reason = (
+            "service is draining"
+            if self.scheduler.closed
+            else f"queue full ({self.scheduler.max_queue})"
+        )
+        item.slot.resolve(make_response(item, "rejected", error=reason))
+        self._count("rejected")
+
+    def submit_json(self, line: str, **kwargs) -> ResultSlot:
+        """Submit one JSON-encoded request line."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            slot = self.scheduler.make_slot()
+            slot.resolve(
+                {
+                    "id": None,
+                    "status": "invalid",
+                    "error": f"bad request JSON: {exc}",
+                }
+            )
+            self._count("invalid")
+            return slot
+        return self.submit(request, **kwargs)
+
+    def handle(
+        self,
+        request: Dict[str, Any],
+        wait_timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Synchronous convenience: submit and wait for the response."""
+        return self.submit(request).result(wait_timeout)

@@ -1,0 +1,356 @@
+"""Worker-pool batch executor: compile-once, execute-many, spot-check.
+
+Workers pull batches off the :class:`~repro.service.scheduler.Scheduler`
+and group them by plan fingerprint, so one cache lookup (and at most one
+compile, thanks to single-flight) serves the whole group.  Execution
+itself runs the *vectorized golden path*
+(:mod:`repro.stencil.golden`) — the paper-exact NumPy evaluation — and
+returns an output digest rather than the raw grid.
+
+Correctness canary
+------------------
+A configurable 1-in-N sample of executions is additionally validated by
+the cycle-level simulator *against the cached plan*: the memory system
+is rebuilt for the spec but its reuse-FIFO depths are overridden with
+the depths stored in the cache entry.  A corrupted entry (for example a
+flipped FIFO depth) therefore either deadlocks the chain (violating
+deadlock-free condition 2) or produces outputs that diverge from the
+golden reference — both are caught, counted, and evict the poisoned
+entry from every cache tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..flow.automation import compile_accelerator
+from ..microarch.memory_system import build_memory_system
+from ..microarch.tradeoff import with_offchip_streams
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import span
+from ..sim.engine import ChainSimulator, DeadlockError
+from ..stencil.golden import golden_output_sequence, make_input
+from ..stencil.spec import StencilSpec
+from .fingerprint import CompileOptions
+from .plancache import CachedPlan, PlanCache
+from .scheduler import Scheduler, WorkItem
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "PlanExecutor",
+    "PlanValidationError",
+    "compile_plan",
+    "make_response",
+]
+
+#: Millisecond buckets shared by the service latency histograms.
+LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 5000,
+)
+
+
+class PlanValidationError(RuntimeError):
+    """The cycle-sim canary contradicted a cached plan."""
+
+
+def compile_plan(
+    spec: StencilSpec, options: CompileOptions, fp: str
+) -> CachedPlan:
+    """Run the full Fig 11 flow and reduce it to a cacheable plan."""
+    with span(
+        "service.compile",
+        benchmark=spec.name,
+        streams=options.offchip_streams,
+    ):
+        design = compile_accelerator(
+            spec, offchip_streams=options.offchip_streams
+        )
+        system = design.memory_system
+        return CachedPlan(
+            fingerprint=fp,
+            spec=spec.to_json(),
+            options=options.to_json(),
+            fifo_capacities=system.fifo_capacities(),
+            filter_order=list(system.plan.filter_order),
+            num_banks=system.num_banks,
+            total_buffer=system.total_buffer_size,
+            summary={
+                k: v for k, v in design.summary().items()
+            },
+        )
+
+
+def make_response(
+    item: WorkItem, status: str, **fields: Any
+) -> Dict[str, Any]:
+    """The JSON response shape shared by every resolution path."""
+    response: Dict[str, Any] = {
+        "id": item.request_id,
+        "status": status,
+        "benchmark": item.spec.name,
+        "fingerprint": item.fingerprint,
+        "latency_ms": round(
+            (time.monotonic() - item.admitted_at) * 1e3, 3
+        ),
+        "attempts": item.attempts,
+    }
+    response.update(fields)
+    return response
+
+
+class PlanExecutor:
+    """N worker threads draining the scheduler in fingerprint groups."""
+
+    def __init__(
+        self,
+        cache: PlanCache,
+        scheduler: Scheduler,
+        registry: MetricsRegistry,
+        workers: int = 4,
+        max_batch: int = 16,
+        validate_every: int = 0,
+        canary_cell_limit: int = 20_000,
+        retry_backoff_s: float = 0.02,
+        fault_hook: Optional[Callable[[WorkItem], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.cache = cache
+        self.scheduler = scheduler
+        self.registry = registry
+        self.workers = workers
+        self.max_batch = max(1, max_batch)
+        self.validate_every = validate_every
+        self.canary_cell_limit = canary_cell_limit
+        self.retry_backoff_s = retry_backoff_s
+        self.fault_hook = fault_hook
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._exec_counter = 0
+        self._exec_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        for k in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{k}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        """Signal workers to exit once the scheduler is idle and join."""
+        self._stop.set()
+        for t in self._threads:
+            t.join(join_timeout)
+        self._threads.clear()
+
+    # -- worker loop ---------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.scheduler.next_batch(
+                self.max_batch, wait_s=0.05
+            )
+            if not batch:
+                if self._stop.is_set() and self.scheduler.queue_depth() == 0:
+                    break
+                if self.scheduler.idle():
+                    break
+                continue
+            groups: Dict[str, List[WorkItem]] = {}
+            for item in batch:
+                groups.setdefault(item.fingerprint, []).append(item)
+            for fp, items in groups.items():
+                self._process_group(fp, items)
+
+    def _process_group(self, fp: str, items: List[WorkItem]) -> None:
+        """One cache round trip serves every request in the group."""
+        live: List[WorkItem] = []
+        for item in items:
+            if item.expired():
+                self._resolve_timeout(item)
+            else:
+                live.append(item)
+        if not live:
+            return
+        exemplar = live[0]
+        started = time.perf_counter()
+        try:
+            plan, outcome = self.cache.get_or_compile(
+                fp,
+                lambda: compile_plan(
+                    exemplar.spec, exemplar.options, fp
+                ),
+            )
+        except Exception as exc:
+            for item in live:
+                self._retry_or_fail(item, f"compile failed: {exc}")
+            return
+        compile_ms = (time.perf_counter() - started) * 1e3
+        self.registry.counter(
+            "service_cache_total", {"outcome": outcome}
+        ).inc()
+        self.registry.histogram(
+            "service_compile_ms",
+            {"cache": outcome},
+            buckets=LATENCY_BUCKETS_MS,
+        ).observe(compile_ms)
+        for item in live:
+            self._process_item(item, plan, outcome)
+
+    # -- per-request stages --------------------------------------------
+    def _process_item(
+        self, item: WorkItem, plan: CachedPlan, cache_outcome: str
+    ) -> None:
+        if item.expired():
+            self._resolve_timeout(item)
+            return
+        item.attempts += 1
+        try:
+            with span(
+                "service.execute",
+                benchmark=item.spec.name,
+                request=item.request_id,
+            ):
+                if self.fault_hook is not None:
+                    self.fault_hook(item)
+                grid = make_input(item.spec, seed=item.seed)
+                outputs = golden_output_sequence(item.spec, grid)
+            validated: Optional[bool] = None
+            if self._should_validate(item):
+                self._validate(item, plan, grid, outputs)
+                validated = True
+            digest = hashlib.sha256(
+                np.asarray(outputs, dtype=np.float64).tobytes()
+            ).hexdigest()
+            self._resolve(
+                item,
+                make_response(
+                    item,
+                    "ok",
+                    cache=cache_outcome,
+                    n_outputs=len(outputs),
+                    mean=float(np.mean(outputs)) if outputs else 0.0,
+                    checksum=digest[:16],
+                    validated=validated,
+                    summary=plan.summary,
+                ),
+            )
+        except PlanValidationError as exc:
+            self.cache.invalidate(item.fingerprint)
+            self.registry.counter(
+                "service_validation_failures_total"
+            ).inc()
+            self._resolve(
+                item,
+                make_response(
+                    item,
+                    "validation_failed",
+                    cache=cache_outcome,
+                    validated=False,
+                    error=str(exc),
+                ),
+            )
+        except Exception as exc:
+            self._retry_or_fail(item, str(exc))
+
+    def _should_validate(self, item: WorkItem) -> bool:
+        if item.validate is not None:
+            return item.validate
+        if self.validate_every <= 0:
+            return False
+        cells = 1
+        for g in item.spec.grid:
+            cells *= g
+        if cells > self.canary_cell_limit:
+            self.registry.counter(
+                "service_validation_skipped_total"
+            ).inc()
+            return False
+        with self._exec_lock:
+            self._exec_counter += 1
+            return self._exec_counter % self.validate_every == 0
+
+    def _validate(
+        self,
+        item: WorkItem,
+        plan: CachedPlan,
+        grid: np.ndarray,
+        golden: List[float],
+    ) -> None:
+        """Cycle-sim the chain with the *cached* FIFO depths."""
+        self.registry.counter("service_validation_total").inc()
+        with span(
+            "service.validate",
+            benchmark=item.spec.name,
+            fingerprint=item.fingerprint[:12],
+        ):
+            system = build_memory_system(item.spec.analysis())
+            if item.options.offchip_streams > 1:
+                system = with_offchip_streams(
+                    system, item.options.offchip_streams
+                )
+            if len(plan.fifo_capacities) != len(system.fifos):
+                raise PlanValidationError(
+                    f"cached plan has {len(plan.fifo_capacities)} FIFOs "
+                    f"but the rebuilt chain has {len(system.fifos)}"
+                )
+            override = {
+                f.fifo_id: cap
+                for f, cap in zip(system.fifos, plan.fifo_capacities)
+            }
+            try:
+                result = ChainSimulator(
+                    item.spec,
+                    system,
+                    grid,
+                    fifo_capacity_override=override,
+                ).run()
+            except DeadlockError as exc:
+                raise PlanValidationError(
+                    "cached plan deadlocks the chain (condition 2 "
+                    f"violated): {exc}"
+                ) from exc
+            if not np.allclose(result.output_values(), golden):
+                raise PlanValidationError(
+                    "cycle-sim outputs diverge from the golden "
+                    "reference under the cached FIFO depths"
+                )
+
+    # -- resolution paths ----------------------------------------------
+    def _resolve(self, item: WorkItem, response: Dict[str, Any]) -> None:
+        if item.slot.resolve(response):
+            self.registry.counter(
+                "service_requests_total",
+                {"status": response["status"]},
+            ).inc()
+            self.registry.histogram(
+                "service_request_latency_ms",
+                buckets=LATENCY_BUCKETS_MS,
+            ).observe(response["latency_ms"])
+
+    def _resolve_timeout(self, item: WorkItem) -> None:
+        self._resolve(
+            item,
+            make_response(
+                item, "timeout", error="deadline exceeded in queue"
+            ),
+        )
+
+    def _retry_or_fail(self, item: WorkItem, error: str) -> None:
+        if item.retries_left > 0 and not item.expired():
+            item.retries_left -= 1
+            self.registry.counter("service_retries_total").inc()
+            backoff = self.retry_backoff_s * (2 ** (item.attempts - 1))
+            time.sleep(min(backoff, 1.0))
+            if self.scheduler.requeue(item):
+                return
+            error = f"{error} (retry requeue failed: queue full)"
+        self._resolve(item, make_response(item, "error", error=error))

@@ -1,0 +1,305 @@
+"""Two-tier plan cache with single-flight stampede protection.
+
+Tier 1 is an in-memory LRU bounded by entry count *and* total encoded
+bytes; tier 2 is an optional on-disk directory of ``<fingerprint>.json``
+files that survives process restarts.  A memory miss falls through to
+disk and re-promotes the entry; a disk miss compiles.
+
+Concurrent misses for the same fingerprint are collapsed by
+:meth:`PlanCache.get_or_compile`: the first caller becomes the *leader*
+and runs the compile function exactly once while followers block on the
+flight and share the leader's result (or its exception).  This is the
+classic single-flight pattern — without it, a cold popular spec would
+stampede every worker into the same expensive polyhedral analysis.
+
+The cache never re-validates plan *content* on read (that is the
+executor's sampled cycle-sim canary); it only checks the format version
+and that the file matches its fingerprint key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs.tracing import span
+from .fingerprint import FINGERPRINT_VERSION
+
+__all__ = ["CachedPlan", "CacheStats", "PlanCache"]
+
+
+@dataclass
+class CachedPlan:
+    """A compiled, serialization-ready stencil plan.
+
+    Everything the service needs to *execute* a request without
+    re-running the compile pipeline: the spec (for the golden path),
+    the FIFO depths and filter order (for the cycle-sim canary), and
+    the design summary (for the response payload).
+    """
+
+    fingerprint: str
+    spec: dict  # StencilSpec.to_json()
+    options: dict  # CompileOptions.to_json()
+    fifo_capacities: List[int]
+    filter_order: List[str]
+    num_banks: int
+    total_buffer: int
+    summary: dict
+    version: int = FINGERPRINT_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "version": self.version,
+            "spec": self.spec,
+            "options": self.options,
+            "fifo_capacities": list(self.fifo_capacities),
+            "filter_order": list(self.filter_order),
+            "num_banks": self.num_banks,
+            "total_buffer": self.total_buffer,
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CachedPlan":
+        return cls(
+            fingerprint=data["fingerprint"],
+            spec=data["spec"],
+            options=data["options"],
+            fifo_capacities=[int(c) for c in data["fifo_capacities"]],
+            filter_order=list(data["filter_order"]),
+            num_banks=int(data["num_banks"]),
+            total_buffer=int(data["total_buffer"]),
+            summary=data["summary"],
+            version=int(data.get("version", -1)),
+        )
+
+    def encoded_size(self) -> int:
+        """Bytes of the canonical encoding (the LRU's size unit)."""
+        return len(
+            json.dumps(self.to_json(), sort_keys=True).encode("utf-8")
+        )
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time cache counters (also mirrored to obs metrics)."""
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+
+class _Flight:
+    """One in-progress compile that followers can wait on."""
+
+    __slots__ = ("event", "plan", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.plan: Optional[CachedPlan] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, plan: CachedPlan) -> None:
+        self.plan = plan
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> CachedPlan:
+        if not self.event.wait(timeout):
+            raise TimeoutError("timed out waiting for in-flight compile")
+        if self.error is not None:
+            raise self.error
+        assert self.plan is not None
+        return self.plan
+
+
+class PlanCache:
+    """Bounded in-memory LRU over an optional on-disk JSON tier."""
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        max_bytes: int = 16 * 1024 * 1024,
+        disk_dir: Optional[str] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.disk_dir = disk_dir
+        self._lock = threading.RLock()
+        self._lru: "OrderedDict[str, Tuple[CachedPlan, int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._flights: Dict[str, _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self.stats = CacheStats()
+        if disk_dir:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    # -- tier plumbing -------------------------------------------------
+    def _disk_path(self, fp: str) -> Optional[str]:
+        if not self.disk_dir:
+            return None
+        return os.path.join(self.disk_dir, f"{fp}.json")
+
+    def _insert(self, plan: CachedPlan) -> None:
+        """Insert into the LRU (caller holds the lock) and evict."""
+        size = plan.encoded_size()
+        old = self._lru.pop(plan.fingerprint, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._lru[plan.fingerprint] = (plan, size)
+        self._bytes += size
+        while self._lru and (
+            len(self._lru) > self.max_entries
+            or self._bytes > self.max_bytes
+        ):
+            if len(self._lru) == 1:
+                break  # never evict the sole (possibly oversized) entry
+            _, (_, evicted_size) = self._lru.popitem(last=False)
+            self._bytes -= evicted_size
+            self.stats.evictions += 1
+        self.stats.entries = len(self._lru)
+        self.stats.bytes = self._bytes
+
+    def _load_disk(self, fp: str) -> Optional[CachedPlan]:
+        path = self._disk_path(fp)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                plan = CachedPlan.from_json(json.load(fh))
+        except (OSError, ValueError, KeyError):
+            return None  # unreadable entry: treat as a miss
+        if (
+            plan.version != FINGERPRINT_VERSION
+            or plan.fingerprint != fp
+        ):
+            return None  # stale format or misfiled entry
+        return plan
+
+    def _store_disk(self, plan: CachedPlan) -> None:
+        path = self._disk_path(plan.fingerprint)
+        if path is None:
+            return
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(plan.to_json(), fh, sort_keys=True)
+        os.replace(tmp, path)  # atomic against concurrent readers
+
+    # -- public API ----------------------------------------------------
+    def get(self, fp: str) -> Optional[CachedPlan]:
+        """Look up both tiers; promotes on hit, counts the outcome."""
+        return self._get(fp, count=True)
+
+    def _get(self, fp: str, count: bool) -> Optional[CachedPlan]:
+        with self._lock:
+            entry = self._lru.get(fp)
+            if entry is not None:
+                self._lru.move_to_end(fp)
+                if count:
+                    self.stats.hits += 1
+                return entry[0]
+        plan = self._load_disk(fp)
+        if plan is not None:
+            with self._lock:
+                if count:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                self._insert(plan)
+            return plan
+        if count:
+            with self._lock:
+                self.stats.misses += 1
+        return None
+
+    def put(self, plan: CachedPlan) -> None:
+        """Insert into both tiers."""
+        with self._lock:
+            self._insert(plan)
+        self._store_disk(plan)
+
+    def invalidate(self, fp: str) -> bool:
+        """Drop an entry from both tiers (the canary's eviction path)."""
+        dropped = False
+        with self._lock:
+            entry = self._lru.pop(fp, None)
+            if entry is not None:
+                self._bytes -= entry[1]
+                self.stats.entries = len(self._lru)
+                self.stats.bytes = self._bytes
+                dropped = True
+        path = self._disk_path(fp)
+        if path is not None and os.path.exists(path):
+            try:
+                os.remove(path)
+                dropped = True
+            except OSError:
+                pass
+        return dropped
+
+    def get_or_compile(
+        self,
+        fp: str,
+        compile_fn: Callable[[], CachedPlan],
+        timeout: Optional[float] = None,
+    ) -> Tuple[CachedPlan, str]:
+        """Single-flight lookup: returns ``(plan, outcome)``.
+
+        ``outcome`` is ``"hit"`` (either tier), ``"miss"`` (this caller
+        ran ``compile_fn``) or ``"coalesced"`` (another caller's
+        in-flight compile was shared).  ``compile_fn`` runs exactly
+        once per fingerprint no matter how many callers race.
+        """
+        plan = self.get(fp)
+        if plan is not None:
+            return plan, "hit"
+        with self._flight_lock:
+            flight = self._flights.get(fp)
+            if flight is None:
+                flight = _Flight()
+                self._flights[fp] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            plan = flight.wait(timeout)
+            with self._lock:
+                self.stats.coalesced += 1
+            return plan, "coalesced"
+        try:
+            # Re-check under flight leadership: a racing leader may have
+            # finished between our miss and acquiring the flight.  The
+            # stats already counted this caller's miss, so don't again.
+            plan = self._get(fp, count=False)
+            outcome = "hit"
+            if plan is None:
+                with span("service.cache_compile", fingerprint=fp[:12]):
+                    plan = compile_fn()
+                self.put(plan)
+                outcome = "miss"
+            flight.resolve(plan)
+            return plan, outcome
+        except BaseException as exc:
+            flight.fail(exc)
+            raise
+        finally:
+            with self._flight_lock:
+                self._flights.pop(fp, None)

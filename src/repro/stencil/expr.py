@@ -264,6 +264,50 @@ def depth(expr: Expr) -> int:
     raise TypeError(f"unknown expression node {expr!r}")
 
 
+def expr_to_json(expr: Expr) -> dict:
+    """A JSON-safe tree description (inverse of :func:`expr_from_json`)."""
+    if isinstance(expr, Const):
+        return {"kind": "const", "value": expr.value}
+    if isinstance(expr, Ref):
+        return {
+            "kind": "ref",
+            "array": expr.array,
+            "offset": list(expr.offset),
+        }
+    if isinstance(expr, UnOp):
+        return {
+            "kind": "unop",
+            "op": expr.op,
+            "operand": expr_to_json(expr.operand),
+        }
+    if isinstance(expr, BinOp):
+        return {
+            "kind": "binop",
+            "op": expr.op,
+            "left": expr_to_json(expr.left),
+            "right": expr_to_json(expr.right),
+        }
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def expr_from_json(data: dict) -> Expr:
+    """Rebuild an expression tree from :func:`expr_to_json` output."""
+    kind = data.get("kind")
+    if kind == "const":
+        return Const(float(data["value"]))
+    if kind == "ref":
+        return Ref(as_vector(data["offset"]), data.get("array", "A"))
+    if kind == "unop":
+        return UnOp(data["op"], expr_from_json(data["operand"]))
+    if kind == "binop":
+        return BinOp(
+            data["op"],
+            expr_from_json(data["left"]),
+            expr_from_json(data["right"]),
+        )
+    raise ValueError(f"unknown expression kind {kind!r}")
+
+
 def to_c_source(expr: Expr, index_names: Sequence[str]) -> str:
     """Render the tree as C-like source with explicit index arithmetic
     (used by the Fig 4-style kernel code generator)."""

@@ -18,7 +18,14 @@ from ..polyhedral.access import ArrayReference
 from ..polyhedral.analysis import StencilAnalysis
 from ..polyhedral.domain import BoxDomain, IntegerPolyhedron
 from ..polyhedral.lexorder import Vector, as_vector
-from .expr import Expr, Ref, collect_refs, weighted_sum
+from .expr import (
+    Expr,
+    Ref,
+    collect_refs,
+    expr_from_json,
+    expr_to_json,
+    weighted_sum,
+)
 
 
 @dataclass(frozen=True)
@@ -258,6 +265,60 @@ class StencilSpec:
             need = maxs[j] - mins[j] + 1
             new_grid.append(max(need + 1, g // factor))
         return self.with_grid(new_grid)
+
+    # ------------------------------------------------------------------
+    # JSON round trip (the service API's wire format)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """A JSON-safe dict fully describing this spec.
+
+        The default (derived) iteration domain serializes as ``None`` so
+        the representation stays canonical: two specs that differ only
+        in whether the default domain was passed explicitly produce the
+        same JSON, and :meth:`from_json` re-derives it.
+        """
+        from ..polyhedral.domain import domain_to_json
+
+        domain_json = None
+        domain = self.iteration_domain
+        if isinstance(domain, BoxDomain):
+            default = self.default_iteration_domain()
+            if (
+                domain.lows == default.lows
+                and domain.highs == default.highs
+            ):
+                domain = None
+        if domain is not None:
+            domain_json = domain_to_json(domain)
+        return {
+            "name": self.name,
+            "grid": list(self.grid),
+            "window": [list(o) for o in self.window.offsets],
+            "expression": expr_to_json(self.expression),
+            "input_array": self.input_array,
+            "output_array": self.output_array,
+            "iteration_domain": domain_json,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StencilSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        from ..polyhedral.domain import domain_from_json
+
+        domain_json = data.get("iteration_domain")
+        return cls(
+            name=data["name"],
+            grid=as_vector(data["grid"]),
+            window=StencilWindow.from_offsets(data["window"]),
+            expression=expr_from_json(data["expression"]),
+            input_array=data.get("input_array", "A"),
+            output_array=data.get("output_array", "B"),
+            iteration_domain=(
+                domain_from_json(domain_json)
+                if domain_json is not None
+                else None
+            ),
+        )
 
     def __str__(self) -> str:
         dims = "x".join(str(g) for g in self.grid)

@@ -233,6 +233,94 @@ class TestArtifactsExport:
         json.dumps(collect_artifacts())  # must not raise
 
 
+class TestCliRobustness:
+    """User mistakes must produce clean errors, never tracebacks."""
+
+    def _run(self, argv, capsys):
+        from repro.cli import main
+
+        rc = main(argv)
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def test_unknown_benchmark_clean_error(self, capsys):
+        rc, _, err = self._run(["info", "NOPE"], capsys)
+        assert rc == 2
+        assert err.startswith("error: unknown benchmark 'NOPE'")
+        assert "known: " in err
+        assert "Traceback" not in err
+
+    def test_unknown_benchmark_submit(self, capsys):
+        rc, _, err = self._run(
+            ["submit", "NOPE", "--grid", "8x9"], capsys
+        )
+        assert rc == 2
+        assert err.startswith("error: unknown benchmark")
+        assert "Traceback" not in err
+
+    def test_malformed_grid_clean_error(self, capsys):
+        from repro.cli import main
+
+        for bad in ("12xbanana", "12x", "x", "0x5", "-3x4"):
+            # argparse rejects the value with a clean usage error.
+            with pytest.raises(SystemExit) as excinfo:
+                main(["submit", "DENOISE", "--grid", bad])
+            assert excinfo.value.code == 2, bad
+            err = capsys.readouterr().err
+            assert "grid" in err, bad
+            assert "Traceback" not in err, bad
+
+    def test_valid_submit_smoke(self, capsys):
+        import json
+
+        rc, out, _ = self._run(
+            ["submit", "DENOISE", "--grid", "12x16"], capsys
+        )
+        assert rc == 0
+        reply = json.loads(out.strip().splitlines()[-1])
+        assert reply["status"] == "ok"
+        assert reply["benchmark"] == "DENOISE"
+
+    def test_serve_jsonl_subprocess(self, tmp_path):
+        import json
+        import pathlib
+        import subprocess
+        import sys
+
+        root = pathlib.Path(__file__).parent.parent
+        lines = "\n".join(
+            [
+                json.dumps(
+                    {"id": "a", "benchmark": "SOBEL", "grid": [10, 12]}
+                ),
+                "not json at all",
+                json.dumps({"id": "b", "benchmark": "BOGUS"}),
+            ]
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve", "--workers", "2"],
+            input=lines,
+            capture_output=True,
+            text=True,
+            cwd=str(root),
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(root / "src"),
+            },
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        replies = [
+            json.loads(line) for line in result.stdout.splitlines()
+        ]
+        assert [r["status"] for r in replies] == [
+            "ok",
+            "invalid",
+            "invalid",
+        ]
+        assert replies[0]["id"] == "a"
+
+
 class TestApiDocsGenerator:
     def test_generates_reference(self, tmp_path):
         import subprocess

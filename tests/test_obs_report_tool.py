@@ -1,0 +1,80 @@
+"""Direct unit tests for the ``tools/obs_report.py`` summarizer."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+_TOOL = (
+    pathlib.Path(__file__).parent.parent / "tools" / "obs_report.py"
+)
+
+
+@pytest.fixture(scope="module")
+def obs_report():
+    spec = importlib.util.spec_from_file_location("obs_report", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _traced_file(tmp_path, fmt):
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    path = tmp_path / f"trace.{fmt}"
+    if fmt == "jsonl":
+        tracer.export_jsonl(str(path))
+    else:
+        tracer.export_chrome(str(path))
+    return path
+
+
+@pytest.mark.parametrize("fmt", ["json", "jsonl"])
+def test_trace_input_summarized(obs_report, tmp_path, capsys, fmt):
+    path = _traced_file(tmp_path, fmt)
+    rc = obs_report.main([str(path), "--top", "5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "3 spans, 2 span names" in out
+    assert "outer" in out and "inner" in out
+
+
+def test_sort_by_calls(obs_report, tmp_path, capsys):
+    path = _traced_file(tmp_path, "jsonl")
+    rc = obs_report.main([str(path), "--sort", "calls"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    # "inner" ran twice, so it leads the calls-sorted table.
+    table = out.splitlines()
+    inner_row = next(i for i, l in enumerate(table) if "inner" in l)
+    outer_row = next(i for i, l in enumerate(table) if "outer" in l)
+    assert inner_row < outer_row
+
+
+def test_metrics_json_input_is_graceful(obs_report, tmp_path, capsys):
+    """A metrics snapshot is valid JSON but holds no spans: the tool
+    must report that cleanly (rc 1), not crash or fabricate rows."""
+    registry = MetricsRegistry()
+    registry.counter("service_requests_total", {"status": "ok"}).inc()
+    registry.histogram("service_compile_ms").observe(1.5)
+    path = tmp_path / "metrics.json"
+    registry.export_json(str(path))
+
+    rc = obs_report.main([str(path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "no spans" in out
+
+
+def test_missing_file_errors(obs_report, tmp_path, capsys):
+    rc = obs_report.main([str(tmp_path / "absent.json")])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "cannot read" in err

@@ -1,0 +1,365 @@
+"""Unit tests for repro.service: fingerprinting, cache, scheduler, API."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    CachedPlan,
+    CompileOptions,
+    PlanCache,
+    QueueClosedError,
+    Scheduler,
+    ServiceConfig,
+    StencilService,
+    fingerprint,
+)
+from repro.service.executor import compile_plan
+from repro.stencil import DENOISE, SOBEL
+from repro.stencil.spec import StencilSpec
+
+from conftest import small_spec
+
+
+def make_plan(fp="f" * 64, pad=0):
+    """A synthetic cache entry; ``pad`` inflates its encoded size."""
+    return CachedPlan(
+        fingerprint=fp,
+        spec={"pad": "x" * pad},
+        options={"offchip_streams": 1},
+        fifo_capacities=[3, 1, 1, 3],
+        filter_order=["w"],
+        num_banks=4,
+        total_buffer=8,
+        summary={},
+    )
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        spec = small_spec(DENOISE)
+        opts = CompileOptions()
+        assert fingerprint(spec, opts) == fingerprint(spec, opts)
+
+    def test_name_excluded(self):
+        """Renamed copies of a spec share one cache entry."""
+        spec = small_spec(DENOISE)
+        renamed = StencilSpec(
+            name="DENOISE_COPY",
+            grid=spec.grid,
+            window=spec.window,
+            expression=spec.expression,
+            iteration_domain=spec.iteration_domain,
+            input_array=spec.input_array,
+            output_array=spec.output_array,
+        )
+        opts = CompileOptions()
+        assert fingerprint(spec, opts) == fingerprint(renamed, opts)
+
+    def test_sensitive_to_grid_and_options(self):
+        spec = small_spec(DENOISE)
+        base = fingerprint(spec, CompileOptions())
+        assert fingerprint(spec.with_grid((14, 18)), CompileOptions()) != base
+        assert fingerprint(spec, CompileOptions(offchip_streams=2)) != base
+
+    def test_distinct_benchmarks_distinct(self):
+        opts = CompileOptions()
+        fps = {
+            fingerprint(small_spec(s), opts) for s in (DENOISE, SOBEL)
+        }
+        assert len(fps) == 2
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            CompileOptions(offchip_streams=0)
+
+
+class TestPlanCache:
+    def test_lru_entry_bound(self):
+        cache = PlanCache(max_entries=2)
+        for k in range(3):
+            cache.put(make_plan(fp=f"{k:064d}"))
+        assert cache.get("0" * 64) is None  # oldest evicted
+        assert cache.get(f"{1:064d}") is not None
+        assert cache.get(f"{2:064d}") is not None
+        assert cache.stats.evictions == 1
+        assert cache.stats.entries == 2
+
+    def test_lru_promotion_on_get(self):
+        cache = PlanCache(max_entries=2)
+        cache.put(make_plan(fp="a" * 64))
+        cache.put(make_plan(fp="b" * 64))
+        cache.get("a" * 64)  # promote; "b" becomes the LRU victim
+        cache.put(make_plan(fp="c" * 64))
+        assert cache.get("a" * 64) is not None
+        assert cache.get("b" * 64) is None
+
+    def test_byte_bound(self):
+        one = make_plan(fp="a" * 64, pad=512)
+        cache = PlanCache(max_entries=10, max_bytes=one.encoded_size() + 8)
+        cache.put(one)
+        cache.put(make_plan(fp="b" * 64, pad=512))
+        assert cache.stats.entries == 1  # no room for both
+        assert cache.get("b" * 64) is not None
+
+    def test_sole_oversized_entry_kept(self):
+        cache = PlanCache(max_entries=4, max_bytes=16)
+        cache.put(make_plan(pad=512))
+        assert cache.stats.entries == 1
+
+    def test_disk_persistence(self, tmp_path):
+        first = PlanCache(disk_dir=str(tmp_path))
+        first.put(make_plan())
+        assert os.path.exists(tmp_path / ("f" * 64 + ".json"))
+        fresh = PlanCache(disk_dir=str(tmp_path))
+        plan = fresh.get("f" * 64)
+        assert plan is not None and plan.num_banks == 4
+        assert fresh.stats.disk_hits == 1
+
+    def test_disk_rejects_stale_version(self, tmp_path):
+        stale = make_plan()
+        stale.version = -5
+        path = tmp_path / ("f" * 64 + ".json")
+        path.write_text(json.dumps(stale.to_json()))
+        assert PlanCache(disk_dir=str(tmp_path)).get("f" * 64) is None
+
+    def test_disk_rejects_misfiled_entry(self, tmp_path):
+        path = tmp_path / ("a" * 64 + ".json")
+        path.write_text(json.dumps(make_plan(fp="b" * 64).to_json()))
+        assert PlanCache(disk_dir=str(tmp_path)).get("a" * 64) is None
+
+    def test_invalidate_drops_both_tiers(self, tmp_path):
+        cache = PlanCache(disk_dir=str(tmp_path))
+        cache.put(make_plan())
+        assert cache.invalidate("f" * 64)
+        assert cache.get("f" * 64) is None
+        assert not os.path.exists(tmp_path / ("f" * 64 + ".json"))
+
+    def test_single_flight_compiles_once(self):
+        cache = PlanCache()
+        calls = []
+        gate = threading.Event()
+
+        def compile_fn():
+            calls.append(1)
+            gate.wait(2.0)
+            return make_plan()
+
+        outcomes = []
+
+        def worker():
+            _, outcome = cache.get_or_compile("f" * 64, compile_fn)
+            outcomes.append(outcome)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)  # let followers pile onto the flight
+        gate.set()
+        for t in threads:
+            t.join(5.0)
+        assert len(calls) == 1
+        assert outcomes.count("miss") == 1
+        assert set(outcomes) <= {"miss", "coalesced", "hit"}
+
+    def test_single_flight_shares_failure(self):
+        cache = PlanCache()
+
+        def boom():
+            raise RuntimeError("synthesis exploded")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compile("f" * 64, boom)
+        # The failed flight is cleaned up: the next caller retries.
+        plan, outcome = cache.get_or_compile("f" * 64, make_plan)
+        assert outcome == "miss" and plan is not None
+
+    def test_compile_plan_matches_memory_system(self):
+        spec = small_spec(DENOISE)
+        opts = CompileOptions()
+        plan = compile_plan(spec, opts, fingerprint(spec, opts))
+        assert plan.fifo_capacities == [15, 1, 1, 15]
+        assert plan.num_banks == 4
+        assert plan.summary["name"] == "DENOISE"
+
+
+class TestScheduler:
+    def test_rejects_when_closed(self):
+        sched = Scheduler(max_queue=4)
+        sched.close()
+        with pytest.raises(QueueClosedError):
+            sched.submit(object(), block=False)
+
+    def test_bounded_nonblocking(self):
+        sched = Scheduler(max_queue=1)
+        assert sched.submit(object(), block=False)
+        assert not sched.submit(object(), block=False)
+
+    def test_drain_waits_for_slots(self):
+        sched = Scheduler(max_queue=4)
+        slot = sched.make_slot()
+        sched.close()
+        assert not sched.wait_drained(timeout=0.05)
+        slot.resolve({"status": "ok"})
+        assert sched.wait_drained(timeout=1.0)
+        assert sched.idle()
+
+    def test_slot_first_writer_wins(self):
+        sched = Scheduler()
+        slot = sched.make_slot()
+        assert slot.resolve({"status": "ok"})
+        assert not slot.resolve({"status": "error"})
+        assert slot.result()["status"] == "ok"
+        assert sched.unresolved == 0
+
+
+class TestServiceApi:
+    def _service(self, **overrides):
+        defaults = dict(workers=2, max_queue=32, default_timeout_s=10.0)
+        defaults.update(overrides)
+        return StencilService(
+            ServiceConfig(**defaults), registry=MetricsRegistry()
+        )
+
+    def test_spec_request_round_trip(self):
+        spec = small_spec(SOBEL)
+        with self._service() as svc:
+            reply = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=30.0,
+            )
+        assert reply["status"] == "ok"
+        assert reply["benchmark"] == "SOBEL"
+        assert reply["validated"] is True
+
+    def test_same_seed_same_checksum(self):
+        with self._service() as svc:
+            req = {"benchmark": "DENOISE", "grid": [12, 16], "seed": 7}
+            first = svc.handle(req, wait_timeout=30.0)
+            second = svc.handle(req, wait_timeout=30.0)
+        assert first["status"] == second["status"] == "ok"
+        assert first["checksum"] == second["checksum"]
+        assert first["fingerprint"] == second["fingerprint"]
+        assert second["cache"] == "hit"
+
+    def test_invalid_requests_get_responses(self):
+        with self._service() as svc:
+            bad = [
+                {},  # neither benchmark nor spec
+                {"benchmark": "DENOISE", "spec": {}},  # both
+                {"benchmark": "NOPE"},
+                {"benchmark": "DENOISE", "grid": "12xbanana"},
+                {"benchmark": "DENOISE", "grid": [0, 5]},
+                {"benchmark": "DENOISE", "timeout_s": -1},
+            ]
+            replies = [svc.handle(r, wait_timeout=10.0) for r in bad]
+        assert [r["status"] for r in replies] == ["invalid"] * len(bad)
+        assert all("error" in r for r in replies)
+
+    def test_bad_json_line(self):
+        with self._service() as svc:
+            reply = svc.submit_json("{not json").result(5.0)
+        assert reply["status"] == "invalid"
+
+    def test_retry_then_succeed(self):
+        failures = {"count": 0}
+
+        def flaky(item):
+            if failures["count"] < 2:
+                failures["count"] += 1
+                raise RuntimeError("transient fault")
+
+        svc = StencilService(
+            ServiceConfig(workers=1, max_retries=2, retry_backoff_s=0.01),
+            registry=MetricsRegistry(),
+            fault_hook=flaky,
+        )
+        with svc:
+            reply = svc.handle(
+                {"benchmark": "DENOISE", "grid": [12, 16]},
+                wait_timeout=30.0,
+            )
+        assert reply["status"] == "ok"
+        assert reply["attempts"] == 3
+        snap = svc.metrics.snapshot()
+        assert snap["counters"]["service_retries_total"] == 2
+
+    def test_retries_exhausted(self):
+        def always(item):
+            raise RuntimeError("permanent fault")
+
+        svc = StencilService(
+            ServiceConfig(workers=1, max_retries=1, retry_backoff_s=0.01),
+            registry=MetricsRegistry(),
+            fault_hook=always,
+        )
+        with svc:
+            reply = svc.handle(
+                {"benchmark": "DENOISE", "grid": [12, 16]},
+                wait_timeout=30.0,
+            )
+        assert reply["status"] == "error"
+        assert "permanent fault" in reply["error"]
+
+    def test_queued_deadline_times_out(self):
+        gate = threading.Event()
+
+        def slow(item):
+            if item.raw.get("slow"):
+                gate.wait(2.0)
+
+        svc = StencilService(
+            ServiceConfig(workers=1, max_batch=1),
+            registry=MetricsRegistry(),
+            fault_hook=slow,
+        )
+        svc.start()
+        blocker = svc.submit(
+            {"benchmark": "DENOISE", "grid": [12, 16], "slow": True}
+        )
+        victim = svc.submit(
+            {"benchmark": "DENOISE", "grid": [12, 16], "timeout_s": 0.05}
+        )
+        time.sleep(0.3)  # victim's deadline passes while queued
+        gate.set()
+        assert victim.result(10.0)["status"] == "timeout"
+        assert blocker.result(10.0)["status"] == "ok"
+        svc.shutdown()
+
+    def test_nondrain_shutdown_cancels_queued(self):
+        gate = threading.Event()
+
+        def slow(item):
+            gate.wait(2.0)
+
+        svc = StencilService(
+            ServiceConfig(workers=1, max_batch=1),
+            registry=MetricsRegistry(),
+            fault_hook=slow,
+        )
+        svc.start()
+        slots = [
+            svc.submit({"benchmark": "DENOISE", "grid": [12, 16]})
+            for _ in range(4)
+        ]
+        time.sleep(0.2)  # worker picks up the first, rest stay queued
+        threading.Timer(0.5, gate.set).start()  # unblock mid-drain
+        svc.shutdown(drain=False, timeout=10.0)
+        statuses = [s.result(5.0)["status"] for s in slots]
+        assert statuses.count("cancelled") >= 1
+        assert all(s in ("ok", "cancelled") for s in statuses)
+
+    def test_submit_after_close_is_rejected(self):
+        svc = self._service()
+        svc.start()
+        svc.scheduler.close()
+        reply = svc.submit(
+            {"benchmark": "DENOISE", "grid": [12, 16]}
+        ).result(5.0)
+        assert reply["status"] == "rejected"
+        assert "draining" in reply["error"]
+        svc.shutdown()

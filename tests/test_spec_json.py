@@ -1,0 +1,140 @@
+"""Round-trip property tests for the StencilSpec JSON wire format."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral.domain import (
+    BoxDomain,
+    DomainUnion,
+    IntegerPolyhedron,
+    domain_from_json,
+    domain_to_json,
+)
+from repro.stencil.expr import expr_from_json, expr_to_json
+from repro.stencil.golden import make_input, run_golden
+from repro.stencil.kernels import skewed_denoise
+from repro.stencil.spec import StencilSpec, StencilWindow
+
+
+class TestPaperBenchmarkRoundTrip:
+    def test_round_trip_identity(self, paper_spec):
+        data = paper_spec.to_json()
+        back = StencilSpec.from_json(json.loads(json.dumps(data)))
+        assert back.name == paper_spec.name
+        assert tuple(back.grid) == tuple(paper_spec.grid)
+        assert back.window.offsets == paper_spec.window.offsets
+        assert back.expression == paper_spec.expression
+        assert back.input_array == paper_spec.input_array
+        assert back.output_array == paper_spec.output_array
+        # A second encode is byte-identical (canonical form).
+        assert back.to_json() == data
+
+    def test_round_trip_preserves_golden_output(self, small_benchmark):
+        back = StencilSpec.from_json(small_benchmark.to_json())
+        grid = make_input(small_benchmark)
+        assert np.allclose(
+            run_golden(back, grid), run_golden(small_benchmark, grid)
+        )
+
+    def test_default_domain_serializes_null(self, paper_spec):
+        assert paper_spec.to_json()["iteration_domain"] is None
+
+    def test_skewed_domain_round_trip(self):
+        spec = skewed_denoise(rows=8, cols=10)
+        data = spec.to_json()
+        assert data["iteration_domain"]["kind"] == "polyhedron"
+        back = StencilSpec.from_json(data)
+        assert list(back.iteration_domain.iter_points()) == list(
+            spec.iteration_domain.iter_points()
+        )
+
+
+class TestDomainJson:
+    def test_box(self):
+        box = BoxDomain((1, 2), (5, 7))
+        back = domain_from_json(domain_to_json(box))
+        assert isinstance(back, BoxDomain)
+        assert back.lows == box.lows and back.highs == box.highs
+
+    def test_polyhedron(self):
+        tri = IntegerPolyhedron(
+            coefficients=[(-1, 0), (0, -1), (1, 1)], bounds=[0, 0, 4]
+        )
+        back = domain_from_json(domain_to_json(tri))
+        assert set(back.iter_points()) == set(tri.iter_points())
+
+    def test_union(self):
+        union = DomainUnion(
+            [BoxDomain((0, 0), (1, 1)), BoxDomain((3, 3), (4, 4))]
+        )
+        back = domain_from_json(domain_to_json(union))
+        assert isinstance(back, DomainUnion)
+        assert list(back.iter_points()) == list(union.iter_points())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            domain_from_json({"kind": "moebius"})
+
+
+class TestExprJson:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            expr_from_json({"kind": "quantum"})
+
+
+@st.composite
+def random_specs(draw):
+    """Small random stencil specs: window, weights, grid."""
+    dim = draw(st.integers(min_value=1, max_value=3))
+    n_offsets = draw(st.integers(min_value=1, max_value=6))
+    offsets = draw(
+        st.lists(
+            st.tuples(
+                *[st.integers(min_value=-2, max_value=2)] * dim
+            ),
+            min_size=n_offsets,
+            max_size=n_offsets,
+            unique=True,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(
+                min_value=-4.0,
+                max_value=4.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ).filter(lambda w: w != 0.0),
+            min_size=len(offsets),
+            max_size=len(offsets),
+        )
+    )
+    window = StencilWindow.from_offsets(offsets)
+    mins, maxs = window.span()
+    grid = tuple(
+        (maxs[j] - mins[j] + 1) + draw(st.integers(2, 6))
+        for j in range(dim)
+    )
+    from repro.stencil.expr import weighted_sum
+
+    return StencilSpec(
+        name="RANDOM",
+        grid=grid,
+        window=window,
+        expression=weighted_sum(list(zip(offsets, weights))),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=random_specs())
+def test_random_spec_round_trip(spec):
+    text = json.dumps(spec.to_json(), sort_keys=True)
+    back = StencilSpec.from_json(json.loads(text))
+    assert back.window.offsets == spec.window.offsets
+    assert back.expression == spec.expression
+    assert tuple(back.grid) == tuple(spec.grid)
+    assert json.dumps(back.to_json(), sort_keys=True) == text
