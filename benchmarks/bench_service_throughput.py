@@ -11,6 +11,7 @@ throughput numbers.
 
 import json
 import os
+import tempfile
 import time
 
 from conftest import emit
@@ -53,10 +54,91 @@ def _hist_mean(snapshot, key):
     return hist["sum"] / hist["count"]
 
 
-def bench_service_throughput():
+def _distinct_cold_requests(n):
+    """``n`` distinct fingerprints (grid size is part of the hash).
+
+    Every request compiles *and* cycle-validates: validation is the
+    pure-Python, GIL-bound part of a cold request, so this is where
+    crash-isolated worker processes buy real parallelism over
+    threads.
+    """
+    return [
+        {
+            "id": f"cold-{k}",
+            "benchmark": "DENOISE",
+            "grid": [36, 48 + 2 * k],
+            "validate": True,
+            "timeout_s": 300.0,
+        }
+        for k in range(n)
+    ]
+
+
+def _cold_compile_mode(worker_mode, n=12, workers=4):
+    """Cold compile-and-validate throughput of one executor back end."""
+    config = ServiceConfig(
+        workers=workers,
+        max_queue=64,
+        max_batch=4,
+        worker_mode=worker_mode,
+        canary_cell_limit=100_000,
+    )
+    requests = _distinct_cold_requests(n)
+    started = time.perf_counter()
+    with StencilService(config, registry=MetricsRegistry()) as svc:
+        slots = [svc.submit(req) for req in requests]
+        replies = [slot.result(300.0) for slot in slots]
+    wall_s = time.perf_counter() - started
+    assert all(r["status"] == "ok" for r in replies)
+    return {
+        "requests": n,
+        "workers": workers,
+        "wall_s": round(wall_s, 6),
+        "requests_per_s": round(n / wall_s, 2),
+    }
+
+
+def _disk_restart_pass(cache_dir):
+    """A restarted service over a warm disk tier: all promotions."""
     registry = MetricsRegistry()
     config = ServiceConfig(
-        workers=8, max_queue=64, max_batch=16, validate_every=50
+        workers=4, max_queue=64, cache_dir=cache_dir
+    )
+    with StencilService(config, registry=registry) as svc:
+        replies = [
+            svc.handle(
+                {
+                    "benchmark": name,
+                    "grid": list(SERVICE_GRIDS[name]),
+                    "timeout_s": 300.0,
+                },
+                wait_timeout=300.0,
+            )
+            for name in sorted(SERVICE_GRIDS)
+        ]
+        stats = svc.cache.stats
+        counters = registry.snapshot()["counters"]
+    assert all(r["status"] == "ok" for r in replies)
+    return {
+        "disk_lookups": stats.disk_lookups,
+        "disk_hits": stats.disk_hits,
+        "disk_hit_rate": stats.disk_hit_rate(),
+        "promotions": counters.get(
+            "service_cache_disk_promotions_total", 0
+        ),
+        "corrupt_files": stats.corrupt_files,
+    }
+
+
+def bench_service_throughput():
+    registry = MetricsRegistry()
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    config = ServiceConfig(
+        workers=8,
+        max_queue=64,
+        max_batch=16,
+        validate_every=50,
+        cache_dir=cache_dir,
     )
     requests = _mixed_requests(N_REQUESTS)
 
@@ -64,6 +146,7 @@ def bench_service_throughput():
     with StencilService(config, registry=registry) as service:
         slots = [service.submit(req) for req in requests]
         replies = [slot.result(300.0) for slot in slots]
+        cache_stats = service.cache.stats
     wall_s = time.perf_counter() - started
 
     assert len(replies) == N_REQUESTS
@@ -71,12 +154,17 @@ def bench_service_throughput():
 
     snap = registry.snapshot()
     counters = snap["counters"]
+    gauges = snap["gauges"]
     hits = counters.get('service_cache_total{outcome="hit"}', 0)
     misses = counters.get('service_cache_total{outcome="miss"}', 0)
     coalesced = counters.get(
         'service_cache_total{outcome="coalesced"}', 0
     )
     lookups = hits + misses + coalesced
+    modes = {
+        "thread": _cold_compile_mode("thread"),
+        "process": _cold_compile_mode("process"),
+    }
     record = {
         "bench": "service_throughput",
         "requests": N_REQUESTS,
@@ -87,7 +175,16 @@ def bench_service_throughput():
             "miss": misses,
             "coalesced": coalesced,
             "hit_rate": round(hits / lookups, 4) if lookups else None,
+            "entries": gauges.get("service_cache_entries", 0),
+            "bytes": gauges.get("service_cache_bytes", 0),
+            "evictions": counters.get(
+                "service_cache_evictions_total", 0
+            ),
+            "disk_lookups": cache_stats.disk_lookups,
+            "disk_hit_rate": cache_stats.disk_hit_rate(),
+            "disk_corrupt_files": cache_stats.corrupt_files,
         },
+        "disk_restart": _disk_restart_pass(cache_dir),
         "cold_compile_ms_mean": _hist_mean(
             snap, 'service_compile_ms{cache="miss"}'
         ),
@@ -96,8 +193,21 @@ def bench_service_throughput():
         ),
         "latency_ms_mean": _hist_mean(snap, "service_request_latency_ms"),
         "validations": counters.get("service_validation_total", 0),
+        # Cold-compile scaling: distinct fingerprints so every request
+        # pays a compile plus a GIL-bound cycle validation; the
+        # process pool spreads them across cores while the thread
+        # pool contends on the GIL.  Recorded, not asserted — a
+        # single-core host cannot show a speedup.
+        "cpus": os.cpu_count(),
+        "cold_compile_modes": modes,
+        "process_vs_thread_speedup": round(
+            modes["process"]["requests_per_s"]
+            / modes["thread"]["requests_per_s"],
+            3,
+        ),
     }
     assert record["cache"]["miss"] == len(SERVICE_GRIDS)
+    assert record["disk_restart"]["promotions"] == len(SERVICE_GRIDS)
 
     out_dir = os.environ.get(
         "OBS_BENCH_DIR",

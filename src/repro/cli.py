@@ -113,13 +113,15 @@ def _obs_session(args):
                 n = tracer.export_jsonl(args.trace_out)
             else:
                 n = tracer.export_chrome(args.trace_out)
-            print(f"wrote {args.trace_out} ({n} spans)")
+            # Status notices go to stderr: serve's stdout is a pure
+            # JSONL response stream that clients parse line by line.
+            print(f"wrote {args.trace_out} ({n} spans)", file=sys.stderr)
         if args.metrics_out:
             if args.metrics_out.endswith(".json"):
                 registry.export_json(args.metrics_out)
             else:
                 registry.export_prometheus(args.metrics_out)
-            print(f"wrote {args.metrics_out}")
+            print(f"wrote {args.metrics_out}", file=sys.stderr)
         if args.profile:
             from .obs.report import format_summary, summarize_tracer
 
@@ -295,14 +297,29 @@ def cmd_simulate(args) -> int:
 
 
 def _service_config(args):
-    from .service import ServiceConfig
+    from .service import ChaosConfig, ServiceConfig
 
+    chaos = None
+    if (
+        getattr(args, "chaos_rate", 0.0)
+        or getattr(args, "chaos_hang_rate", 0.0)
+        or getattr(args, "chaos_slow_rate", 0.0)
+    ):
+        chaos = ChaosConfig(
+            seed=args.chaos_seed,
+            kill_rate=args.chaos_rate,
+            hang_rate=args.chaos_hang_rate,
+            slow_rate=args.chaos_slow_rate,
+        )
     return ServiceConfig(
         workers=args.workers,
         max_queue=args.queue,
         max_batch=args.max_batch,
         validate_every=args.validate_every,
         cache_dir=args.cache_dir,
+        worker_mode=args.worker_mode,
+        hang_timeout_s=args.hang_timeout,
+        chaos=chaos,
     )
 
 
@@ -310,7 +327,16 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("service")
     group.add_argument(
         "--workers", type=int, default=4,
-        help="executor worker threads (default 4)",
+        help="executor workers (default 4)",
+    )
+    group.add_argument(
+        "--worker-mode", choices=["thread", "process"],
+        default="thread",
+        help=(
+            "thread workers in-process, or a crash-isolated "
+            "fingerprint-sharded multiprocessing pool with supervised "
+            "restarts and circuit breaking (default thread)"
+        ),
     )
     group.add_argument(
         "--queue", type=int, default=256,
@@ -323,13 +349,39 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--validate-every", type=int, default=0, metavar="N",
         help=(
-            "cycle-sim-validate 1 in N executions against the cached "
-            "plan (0 disables the canary)"
+            "cycle-sim-validate ~1 in N executions against the cached "
+            "plan, biased toward fresh plans (0 disables the canary)"
         ),
     )
     group.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist compiled plans as JSON under DIR",
+    )
+    group.add_argument(
+        "--hang-timeout", type=float, default=60.0, metavar="S",
+        help=(
+            "kill and respawn a process worker that stays silent this "
+            "long past every in-flight deadline (default 60)"
+        ),
+    )
+    chaos = parser.add_argument_group(
+        "chaos (fault injection; requires --worker-mode process)"
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=2014,
+        help="deterministic fault-injection seed (default 2014)",
+    )
+    chaos.add_argument(
+        "--chaos-rate", type=float, default=0.0, metavar="P",
+        help="kill the executing worker on fraction P of attempts",
+    )
+    chaos.add_argument(
+        "--chaos-hang-rate", type=float, default=0.0, metavar="P",
+        help="hang the executing worker on fraction P of attempts",
+    )
+    chaos.add_argument(
+        "--chaos-slow-rate", type=float, default=0.0, metavar="P",
+        help="slow the executing worker on fraction P of attempts",
     )
 
 

@@ -13,6 +13,7 @@ import json
 from typing import Dict, IO, Iterable, List
 
 __all__ = [
+    "format_service_metrics",
     "format_summary",
     "load_trace_events",
     "summarize_events",
@@ -104,6 +105,165 @@ def summarize_tracer(tracer) -> List[dict]:
         }
         for r in tracer.records
     )
+
+
+def _split_key(key: str):
+    """``'name{a="x",b="y"}'`` -> ``("name", {"a": "x", "b": "y"})``."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for part in rest.rstrip("}").split(","):
+        if "=" in part:
+            k, _, v = part.partition("=")
+            labels[k] = v.strip('"')
+    return name, labels
+
+
+def _label_rows(snapshot: dict, name: str, label: str) -> Dict[str, float]:
+    """All ``name{label=...}`` counter values keyed by the label."""
+    out: Dict[str, float] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        base, labels = _split_key(key)
+        if base == name and label in labels:
+            out[labels[label]] = out.get(labels[label], 0) + value
+    return out
+
+
+def format_service_metrics(snapshot: dict) -> str:
+    """Render a service metrics snapshot as a readable health report.
+
+    Input is the :meth:`MetricsRegistry.snapshot` JSON shape; output
+    groups the service's operational story — requests, cache churn
+    (LRU evictions, disk-tier traffic), canary validation and the
+    process pool's fault counters — one ``key: value`` line each, so
+    a failed chaos run can be diagnosed from the uploaded artifact.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    sections = []
+
+    def section(title: str, pairs) -> None:
+        pairs = [(k, v) for k, v in pairs if v is not None]
+        if pairs:
+            body = "\n".join(f"  {k}: {v}" for k, v in pairs)
+            sections.append(f"{title}\n{body}")
+
+    def fmt(value: float) -> object:
+        return int(value) if value == int(value) else round(value, 3)
+
+    statuses = _label_rows(snapshot, "service_requests_total", "status")
+    section(
+        "requests",
+        [(status, fmt(v)) for status, v in sorted(statuses.items())],
+    )
+
+    outcomes = _label_rows(snapshot, "service_cache_total", "outcome")
+    disk = _label_rows(
+        snapshot, "service_cache_disk_lookups_total", "outcome"
+    )
+    disk_total = sum(disk.values())
+    cache_pairs = [
+        (f"lookup_{k}", fmt(v)) for k, v in sorted(outcomes.items())
+    ]
+    cache_pairs += [
+        ("entries", fmt(gauges.get("service_cache_entries", 0))),
+        ("bytes", fmt(gauges.get("service_cache_bytes", 0))),
+        (
+            "evictions",
+            fmt(counters.get("service_cache_evictions_total", 0)),
+        ),
+        (
+            "disk_hit_rate",
+            (
+                round(disk.get("hit", 0) / disk_total, 3)
+                if disk_total
+                else None
+            ),
+        ),
+        (
+            "disk_promotions",
+            fmt(
+                counters.get("service_cache_disk_promotions_total", 0)
+            ),
+        ),
+        (
+            "disk_corrupt_files",
+            fmt(counters.get("service_cache_disk_corrupt_total", 0)),
+        ),
+    ]
+    section("plan cache", cache_pairs)
+
+    fresh = _label_rows(snapshot, "service_canary_fresh_total", "reason")
+    section(
+        "validation canary",
+        [
+            (
+                "validations",
+                fmt(counters.get("service_validation_total", 0)),
+            ),
+            (
+                "failures",
+                fmt(
+                    counters.get("service_validation_failures_total", 0)
+                ),
+            ),
+            (
+                "skipped_over_cell_limit",
+                fmt(
+                    counters.get("service_validation_skipped_total", 0)
+                ),
+            ),
+        ]
+        + [
+            (f"fresh_{k}", fmt(v)) for k, v in sorted(fresh.items())
+        ],
+    )
+
+    jobs = _label_rows(snapshot, "service_pool_jobs_total", "outcome")
+    restarts = _label_rows(
+        snapshot, "service_worker_restarts_total", "reason"
+    )
+    transitions = _label_rows(
+        snapshot, "service_breaker_transitions_total", "to"
+    )
+    open_breakers = sum(
+        1
+        for key, value in gauges.items()
+        if _split_key(key)[0] == "service_breaker_state" and value >= 1
+    )
+    pool_pairs = (
+        [(f"jobs_{k}", fmt(v)) for k, v in sorted(jobs.items())]
+        + [
+            (f"restarts_{k}", fmt(v))
+            for k, v in sorted(restarts.items())
+        ]
+        + [
+            (f"breaker_to_{k}", fmt(v))
+            for k, v in sorted(transitions.items())
+        ]
+    )
+    if pool_pairs:
+        pool_pairs.append(("breakers_not_closed", open_breakers))
+    section("process pool", pool_pairs)
+
+    latency = histograms.get("service_request_latency_ms")
+    if latency and latency.get("count"):
+        section(
+            "latency",
+            [
+                ("requests_measured", fmt(latency["count"])),
+                (
+                    "mean_ms",
+                    round(latency["sum"] / latency["count"], 3),
+                ),
+            ],
+        )
+
+    if not sections:
+        return "(no service metrics in this snapshot)"
+    return "\n".join(sections)
 
 
 def format_summary(rows: List[dict], top: int = 0) -> str:

@@ -14,19 +14,31 @@ a long-running service around that observation:
   per-request deadlines and graceful drain;
 * :mod:`repro.service.executor` — worker-pool batch executor that
   groups requests by fingerprint, runs the vectorized golden path and
-  cycle-sim-validates a 1-in-N sample against the cached plan;
+  cycle-sim-validates a weighted 1-in-N sample against the cached
+  plan;
+* :mod:`repro.service.pool` — the crash-isolated process-pool
+  executor: fingerprint-sharded ``multiprocessing`` workers with
+  supervised restarts, sibling-shard retries and per-plan circuit
+  breaking;
+* :mod:`repro.service.chaos` — deterministic fault injection (worker
+  kills/hangs/slowdowns, cached-plan field fuzzing, disk-tier
+  corruption) for the chaos campaign tests;
 * :mod:`repro.service.api` — the :class:`StencilService` facade plus
   the JSON request/response surface behind ``repro serve`` /
   ``repro submit``.
 """
 
 from .api import ServiceConfig, StencilService
+from .chaos import ChaosConfig, ChaosInjector, PlanFuzzer
 from .executor import (
+    CanarySampler,
     PlanExecutor,
     PlanValidationError,
     compile_plan,
     make_response,
+    validate_plan,
 )
+from .pool import CircuitBreaker, ProcessPlanExecutor, shard_of
 from .fingerprint import (
     FINGERPRINT_VERSION,
     CompileOptions,
@@ -43,11 +55,17 @@ from .scheduler import (
 __all__ = [
     "CachedPlan",
     "CacheStats",
+    "CanarySampler",
+    "ChaosConfig",
+    "ChaosInjector",
+    "CircuitBreaker",
     "CompileOptions",
     "FINGERPRINT_VERSION",
     "PlanCache",
     "PlanExecutor",
+    "PlanFuzzer",
     "PlanValidationError",
+    "ProcessPlanExecutor",
     "QueueClosedError",
     "ResultSlot",
     "Scheduler",
@@ -57,4 +75,6 @@ __all__ = [
     "compile_plan",
     "fingerprint",
     "make_response",
+    "shard_of",
+    "validate_plan",
 ]

@@ -16,9 +16,15 @@ Request JSON (one object per request; unknown keys are ignored)::
 or, for a custom stencil, ``"spec": {...}`` with
 :meth:`StencilSpec.to_json` output instead of ``"benchmark"``.
 Responses always carry ``id`` and ``status`` (``ok``, ``invalid``,
-``rejected``, ``timeout``, ``error``, ``validation_failed`` or
-``cancelled``); successful ones add the plan fingerprint, cache
-outcome, output digest and design summary.
+``rejected``, ``timeout``, ``error``, ``validation_failed``,
+``circuit_open`` or ``cancelled``); successful ones add the plan
+fingerprint, cache outcome, output digest and design summary.
+
+Two execution back ends share this surface
+(``ServiceConfig.worker_mode``): ``"thread"`` workers inside this
+process, or ``"process"`` — the crash-isolated, fingerprint-sharded
+pool of :mod:`repro.service.pool` with supervised worker restarts and
+per-plan circuit breaking (required for chaos fault injection).
 
 Every stage is instrumented through :mod:`repro.obs`: spans per request
 stage and counters/histograms for cache outcomes, queue depth and
@@ -36,9 +42,11 @@ from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracing import span
 from ..stencil.kernels import get_benchmark
 from ..stencil.spec import StencilSpec
+from .chaos import ChaosConfig
 from .executor import PlanExecutor, make_response
 from .fingerprint import CompileOptions, fingerprint
 from .plancache import PlanCache
+from .pool import ProcessPlanExecutor
 from .scheduler import QueueClosedError, ResultSlot, Scheduler, WorkItem
 
 __all__ = ["ServiceConfig", "StencilService"]
@@ -56,9 +64,30 @@ class ServiceConfig:
     retry_backoff_s: float = 0.02
     validate_every: int = 0  # 0 disables the sampled canary
     canary_cell_limit: int = 20_000
+    canary_hot_weight: float = 4.0  # fresh-plan sampling bias
+    canary_hot_window: int = 64
     cache_entries: int = 128
     cache_bytes: int = 16 * 1024 * 1024
     cache_dir: Optional[str] = None
+    worker_mode: str = "thread"  # "thread" | "process"
+    breaker_threshold: int = 3  # lethal events before the circuit opens
+    breaker_cooldown_s: float = 5.0
+    hang_timeout_s: float = 60.0  # unresponsive-worker kill deadline
+    chaos: Optional[ChaosConfig] = None  # process mode only
+
+    def __post_init__(self) -> None:
+        if self.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', "
+                f"got {self.worker_mode!r}"
+            )
+        if self.chaos is not None and self.chaos.enabled() and (
+            self.worker_mode != "process"
+        ):
+            raise ValueError(
+                "chaos fault injection kills workers; it requires "
+                "worker_mode='process' (crash-isolated workers)"
+            )
 
 
 class StencilService:
@@ -78,11 +107,12 @@ class StencilService:
             max_entries=self.config.cache_entries,
             max_bytes=self.config.cache_bytes,
             disk_dir=self.config.cache_dir,
+            registry=self.metrics,
         )
         self.scheduler = Scheduler(
             max_queue=self.config.max_queue, registry=self.metrics
         )
-        self.executor = PlanExecutor(
+        shared = dict(
             cache=self.cache,
             scheduler=self.scheduler,
             registry=self.metrics,
@@ -91,8 +121,21 @@ class StencilService:
             validate_every=self.config.validate_every,
             canary_cell_limit=self.config.canary_cell_limit,
             retry_backoff_s=self.config.retry_backoff_s,
-            fault_hook=fault_hook,
+            canary_hot_weight=self.config.canary_hot_weight,
+            canary_hot_window=self.config.canary_hot_window,
         )
+        if self.config.worker_mode == "process":
+            self.executor = ProcessPlanExecutor(
+                breaker_threshold=self.config.breaker_threshold,
+                breaker_cooldown_s=self.config.breaker_cooldown_s,
+                hang_timeout_s=self.config.hang_timeout_s,
+                chaos=self.config.chaos,
+                **shared,
+            )
+        else:
+            self.executor = PlanExecutor(
+                fault_hook=fault_hook, **shared
+            )
         self._started = False
         self._seq = 0
 

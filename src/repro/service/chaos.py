@@ -1,0 +1,262 @@
+"""Deterministic fault injection for the service's robustness tests.
+
+Three fault surfaces, one seed:
+
+* **worker faults** — :class:`ChaosInjector` decides, per
+  ``(request id, attempt)``, whether the executing worker process
+  should be killed, hung or slowed.  Decisions are pure functions of
+  the chaos seed, so a campaign replays exactly; because the *attempt*
+  number is hashed in, a request killed on its first attempt can
+  succeed on its sibling-shard retry — transient faults stay
+  transient.  ``lethal_fingerprints`` marks whole plans as
+  unconditionally lethal, which is how the circuit-breaker tests build
+  a plan that keeps killing workers no matter where it runs.
+* **plan mutations** — :class:`PlanFuzzer` generalizes the original
+  flipped-FIFO-depth fault into an enumerable set of cached-plan field
+  mutations (FIFO depths, bank counts, filter order, buffer totals).
+  Every mutation must be caught by the executor's structural checks or
+  its cycle-sim canary; the campaign test asserts exactly that.
+* **disk corruption** — :func:`corrupt_disk_file` tears, truncates or
+  garbles a disk-tier cache file the way a crashed writer or failing
+  disk would.  The cache must treat every mode as a miss, never as an
+  exception on the request path.
+
+Worker-kill/hang injection only makes sense under the crash-isolated
+process pool (:mod:`repro.service.pool`); a killed *thread* worker
+would take the whole service down, which is precisely the failure mode
+the pool exists to remove.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .plancache import CachedPlan
+
+__all__ = [
+    "CHAOS_KILL_EXIT",
+    "ChaosConfig",
+    "ChaosInjector",
+    "DISK_CORRUPTIONS",
+    "PLAN_MUTATIONS",
+    "PlanFuzzer",
+    "corrupt_disk_file",
+]
+
+#: Exit code a chaos-killed worker dies with (aids log forensics).
+CHAOS_KILL_EXIT = 23
+
+#: Every plan-field mutation the fuzzer can apply.
+PLAN_MUTATIONS = (
+    "shrink_widest_fifo",
+    "zero_first_fifo",
+    "drop_last_fifo",
+    "append_phantom_fifo",
+    "swap_filter_order",
+    "drop_filter",
+    "inflate_bank_count",
+    "shrink_bank_count",
+    "corrupt_total_buffer",
+)
+
+#: Every way :func:`corrupt_disk_file` can damage a cache file.
+DISK_CORRUPTIONS = ("truncate", "garbage", "torn_json", "empty")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault rates for one campaign (all default to off)."""
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_ms: float = 25.0
+    hang_s: float = 3600.0
+    lethal_fingerprints: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "hang_rate", "slow_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.kill_rate + self.hang_rate + self.slow_rate > 1.0:
+            raise ValueError("fault rates must sum to <= 1")
+
+    def enabled(self) -> bool:
+        return bool(
+            self.kill_rate
+            or self.hang_rate
+            or self.slow_rate
+            or self.lethal_fingerprints
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kill_rate": self.kill_rate,
+            "hang_rate": self.hang_rate,
+            "slow_rate": self.slow_rate,
+            "slow_ms": self.slow_ms,
+            "hang_s": self.hang_s,
+            "lethal_fingerprints": list(self.lethal_fingerprints),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosConfig":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            kill_rate=float(data.get("kill_rate", 0.0)),
+            hang_rate=float(data.get("hang_rate", 0.0)),
+            slow_rate=float(data.get("slow_rate", 0.0)),
+            slow_ms=float(data.get("slow_ms", 25.0)),
+            hang_s=float(data.get("hang_s", 3600.0)),
+            lethal_fingerprints=tuple(
+                data.get("lethal_fingerprints", ())
+            ),
+        )
+
+
+class ChaosInjector:
+    """Pure-function fault decisions over (request, attempt, plan)."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+
+    def _uniform(self, request_id: str, attempt: int) -> float:
+        """A deterministic draw in [0, 1) per (seed, request, attempt)."""
+        payload = f"{self.config.seed}:{request_id}:{attempt}"
+        digest = hashlib.sha256(payload.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def decision(
+        self, request_id: str, attempt: int = 0, fingerprint: str = ""
+    ) -> str:
+        """``"kill"``, ``"hang"``, ``"slow"`` or ``"none"``."""
+        cfg = self.config
+        if fingerprint and fingerprint in cfg.lethal_fingerprints:
+            return "kill"
+        draw = self._uniform(request_id, attempt)
+        if draw < cfg.kill_rate:
+            return "kill"
+        if draw < cfg.kill_rate + cfg.hang_rate:
+            return "hang"
+        if draw < cfg.kill_rate + cfg.hang_rate + cfg.slow_rate:
+            return "slow"
+        return "none"
+
+    def apply(
+        self, request_id: str, attempt: int = 0, fingerprint: str = ""
+    ) -> str:
+        """Execute the decision inside a worker process."""
+        action = self.decision(request_id, attempt, fingerprint)
+        if action == "kill":
+            os._exit(CHAOS_KILL_EXIT)
+        elif action == "hang":
+            time.sleep(self.config.hang_s)
+        elif action == "slow":
+            time.sleep(self.config.slow_ms / 1e3)
+        return action
+
+
+class PlanFuzzer:
+    """Enumerable mutations of :class:`CachedPlan` fields.
+
+    Each mutation models one realistic corruption of a cached plan —
+    a bit flip in a FIFO depth, a lost list element, a reordered
+    filter chain — and must change the plan in a way the service's
+    validation (structural checks + cycle-sim canary) is guaranteed
+    to catch.  FIFO-depth mutations only ever *shrink* capacities:
+    shrinking below the reuse distance violates deadlock-free
+    condition 2, so the cycle simulator deadlocks or diverges, while
+    an inflated depth would be semantically harmless extra slack.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    @staticmethod
+    def mutations(plan: CachedPlan) -> List[str]:
+        """The subset of :data:`PLAN_MUTATIONS` applicable to ``plan``."""
+        out = []
+        for kind in PLAN_MUTATIONS:
+            if kind == "shrink_widest_fifo" and (
+                not plan.fifo_capacities
+                or max(plan.fifo_capacities) <= 1
+            ):
+                continue
+            if kind == "zero_first_fifo" and not plan.fifo_capacities:
+                continue
+            if kind == "drop_last_fifo" and not plan.fifo_capacities:
+                continue
+            if kind == "swap_filter_order" and len(plan.filter_order) < 2:
+                continue
+            if kind == "drop_filter" and not plan.filter_order:
+                continue
+            if kind == "shrink_bank_count" and plan.num_banks <= 1:
+                continue
+            out.append(kind)
+        return out
+
+    def mutate(self, plan: CachedPlan, kind: str) -> CachedPlan:
+        """A mutated *copy* of ``plan`` (the original is untouched)."""
+        data = plan.to_json()
+        depths = data["fifo_capacities"]
+        order = data["filter_order"]
+        if kind == "shrink_widest_fifo":
+            widest = max(range(len(depths)), key=lambda i: depths[i])
+            if depths[widest] <= 1:
+                raise ValueError("no shrinkable FIFO in this plan")
+            depths[widest] = 1
+        elif kind == "zero_first_fifo":
+            depths[0] = 0
+        elif kind == "drop_last_fifo":
+            depths.pop()
+        elif kind == "append_phantom_fifo":
+            depths.append(7)
+        elif kind == "swap_filter_order":
+            order[0], order[-1] = order[-1], order[0]
+            if order == plan.filter_order:  # palindrome guard
+                order.append(order[0])
+        elif kind == "drop_filter":
+            order.pop()
+        elif kind == "inflate_bank_count":
+            data["num_banks"] += 1
+        elif kind == "shrink_bank_count":
+            data["num_banks"] -= 1
+        elif kind == "corrupt_total_buffer":
+            data["total_buffer"] += 13
+        else:
+            raise ValueError(f"unknown mutation {kind!r}")
+        return CachedPlan.from_json(data)
+
+
+def corrupt_disk_file(path: str, mode: str, seed: int = 0) -> None:
+    """Damage one disk-tier cache file in place.
+
+    ``truncate`` keeps the first half of the bytes (a torn write),
+    ``garbage`` replaces the content with seeded non-JSON bytes,
+    ``torn_json`` cuts a valid JSON document mid-token and ``empty``
+    leaves a zero-byte file (a crashed writer that never flushed).
+    """
+    if mode not in DISK_CORRUPTIONS:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "rb") as fh:
+        content = fh.read()
+    if mode == "truncate":
+        damaged = content[: max(1, len(content) // 2)]
+    elif mode == "torn_json":
+        text = json.dumps(json.loads(content.decode("utf-8")))
+        damaged = text[: max(1, len(text) - 7)].encode("utf-8")
+    elif mode == "garbage":
+        digest = hashlib.sha256(f"garbage:{seed}".encode()).digest()
+        damaged = digest * (1 + len(content) // len(digest))
+    else:  # empty
+        damaged = b""
+    with open(path, "wb") as fh:
+        fh.write(damaged)

@@ -7,16 +7,30 @@ itself runs the *vectorized golden path*
 (:mod:`repro.stencil.golden`) — the paper-exact NumPy evaluation — and
 returns an output digest rather than the raw grid.
 
+Two executors share this module's machinery through
+:class:`ExecutorBase`:
+
+* :class:`PlanExecutor` — N worker *threads* in this process (low
+  latency, but heavy compiles contend on the GIL and a crashing
+  request takes the process down);
+* :class:`~repro.service.pool.ProcessPlanExecutor` — crash-isolated
+  worker *processes* sharded by fingerprint, with supervised restarts
+  and per-fingerprint circuit breaking.
+
 Correctness canary
 ------------------
-A configurable 1-in-N sample of executions is additionally validated by
-the cycle-level simulator *against the cached plan*: the memory system
-is rebuilt for the spec but its reuse-FIFO depths are overridden with
-the depths stored in the cache entry.  A corrupted entry (for example a
-flipped FIFO depth) therefore either deadlocks the chain (violating
-deadlock-free condition 2) or produces outputs that diverge from the
-golden reference — both are caught, counted, and evict the poisoned
-entry from every cache tier.
+A sampled subset of executions is additionally validated by the
+cycle-level simulator *against the cached plan*: structural fields
+(filter order, bank count, buffer total) must match a freshly rebuilt
+chain, and the memory system is re-simulated with the FIFO depths
+stored in the cache entry.  A corrupted entry (for example a flipped
+FIFO depth) therefore either fails a structural check, deadlocks the
+chain (violating deadlock-free condition 2) or produces outputs that
+diverge from the golden reference — all are caught, counted, and evict
+the poisoned entry from every cache tier.  Sampling is *weighted*
+(:class:`CanarySampler`): freshly compiled and freshly
+disk-promoted plans — where corruption is likeliest — are validated
+several times more often than long-cached ones.
 """
 
 from __future__ import annotations
@@ -24,7 +38,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,10 +56,14 @@ from .scheduler import Scheduler, WorkItem
 
 __all__ = [
     "LATENCY_BUCKETS_MS",
+    "CanarySampler",
+    "ExecutorBase",
     "PlanExecutor",
     "PlanValidationError",
     "compile_plan",
+    "execute_stencil",
     "make_response",
+    "validate_plan",
 ]
 
 #: Millisecond buckets shared by the service latency histograms.
@@ -55,7 +73,7 @@ LATENCY_BUCKETS_MS = (
 
 
 class PlanValidationError(RuntimeError):
-    """The cycle-sim canary contradicted a cached plan."""
+    """The structural checks or cycle-sim canary contradicted a plan."""
 
 
 def compile_plan(
@@ -85,6 +103,93 @@ def compile_plan(
         )
 
 
+def execute_stencil(
+    spec: StencilSpec, seed: int
+) -> Tuple[np.ndarray, List[float], str]:
+    """The golden execution path: ``(input grid, outputs, digest)``."""
+    grid = make_input(spec, seed=seed)
+    outputs = golden_output_sequence(spec, grid)
+    digest = hashlib.sha256(
+        np.asarray(outputs, dtype=np.float64).tobytes()
+    ).hexdigest()
+    return grid, outputs, digest
+
+
+def validate_plan(
+    spec: StencilSpec,
+    options: CompileOptions,
+    plan: CachedPlan,
+    grid: np.ndarray,
+    golden: List[float],
+) -> None:
+    """Check a cached plan against a freshly rebuilt memory system.
+
+    Structural fields are compared first (cheap, catches reordered or
+    dropped filters, wrong bank counts, corrupted buffer totals); the
+    chain is then cycle-simulated with the *cached* FIFO depths, which
+    catches depth corruption as a deadlock or a divergence from the
+    golden reference.  Raises :class:`PlanValidationError` on any
+    mismatch; process-pool workers run this too, so it touches no
+    registry — callers count successes/failures themselves.
+    """
+    with span(
+        "service.validate",
+        benchmark=spec.name,
+        fingerprint=plan.fingerprint[:12],
+    ):
+        system = build_memory_system(spec.analysis())
+        if options.offchip_streams > 1:
+            system = with_offchip_streams(
+                system, options.offchip_streams
+            )
+        if list(plan.filter_order) != list(system.plan.filter_order):
+            raise PlanValidationError(
+                "cached plan's filter order diverges from the "
+                "rebuilt chain"
+            )
+        if plan.num_banks != system.num_banks:
+            raise PlanValidationError(
+                f"cached plan claims {plan.num_banks} banks but the "
+                f"rebuilt chain has {system.num_banks}"
+            )
+        if plan.total_buffer != system.total_buffer_size:
+            raise PlanValidationError(
+                "cached plan's total buffer size diverges from the "
+                "rebuilt chain"
+            )
+        if len(plan.fifo_capacities) != len(system.fifos):
+            raise PlanValidationError(
+                f"cached plan has {len(plan.fifo_capacities)} FIFOs "
+                f"but the rebuilt chain has {len(system.fifos)}"
+            )
+        if any(c < 1 for c in plan.fifo_capacities):
+            raise PlanValidationError(
+                "cached plan holds a non-positive FIFO depth (every "
+                "reuse FIFO needs at least one slot)"
+            )
+        override = {
+            f.fifo_id: cap
+            for f, cap in zip(system.fifos, plan.fifo_capacities)
+        }
+        try:
+            result = ChainSimulator(
+                spec,
+                system,
+                grid,
+                fifo_capacity_override=override,
+            ).run()
+        except DeadlockError as exc:
+            raise PlanValidationError(
+                "cached plan deadlocks the chain (condition 2 "
+                f"violated): {exc}"
+            ) from exc
+        if not np.allclose(result.output_values(), golden):
+            raise PlanValidationError(
+                "cycle-sim outputs diverge from the golden "
+                "reference under the cached FIFO depths"
+            )
+
+
 def make_response(
     item: WorkItem, status: str, **fields: Any
 ) -> Dict[str, Any]:
@@ -103,7 +208,185 @@ def make_response(
     return response
 
 
-class PlanExecutor:
+class CanarySampler:
+    """Weighted 1-in-N canary sampling biased toward fresh plans.
+
+    A shared credit accumulator advances by ``hot_weight`` for
+    executions of *fresh* fingerprints (compiled or promoted from the
+    disk tier within the last ``hot_window`` executions of that plan)
+    and by 1 for everything else; a validation fires each time the
+    credit crosses ``every``.  Long-run effect: cold traffic is still
+    sampled at the configured 1-in-N floor, while the plans likeliest
+    to be corrupted — the ones that just entered a cache tier — are
+    validated ``hot_weight``× as often per request.  Deterministic
+    (no RNG), so the weighting distribution is unit-testable exactly.
+    """
+
+    def __init__(
+        self,
+        every: int,
+        hot_weight: float = 4.0,
+        hot_window: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if hot_weight < 1.0:
+            raise ValueError("hot_weight must be >= 1")
+        self.every = every
+        self.hot_weight = hot_weight
+        self.hot_window = hot_window
+        self._registry = registry
+        self._credit = 0.0
+        self._hot: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def note_fresh(self, fp: str, reason: str) -> None:
+        """Mark a fingerprint hot (``reason``: compiled | promoted)."""
+        if self.every <= 0:
+            return
+        with self._lock:
+            self._hot[fp] = self.hot_window
+        if self._registry is not None:
+            self._registry.counter(
+                "service_canary_fresh_total", {"reason": reason}
+            ).inc()
+
+    def should_validate(self, fp: str) -> bool:
+        if self.every <= 0:
+            return False
+        with self._lock:
+            weight = 1.0
+            left = self._hot.get(fp)
+            if left is not None:
+                weight = self.hot_weight
+                if left <= 1:
+                    del self._hot[fp]
+                else:
+                    self._hot[fp] = left - 1
+            self._credit += weight
+            if self._credit >= self.every:
+                # Cap the carry so a hot burst samples once, not twice.
+                self._credit = min(
+                    self._credit - self.every, float(self.every)
+                )
+                return True
+            return False
+
+
+class ExecutorBase:
+    """Resolution paths and canary policy shared by both executors."""
+
+    def __init__(
+        self,
+        cache: PlanCache,
+        scheduler: Scheduler,
+        registry: MetricsRegistry,
+        workers: int = 4,
+        max_batch: int = 16,
+        validate_every: int = 0,
+        canary_cell_limit: int = 20_000,
+        retry_backoff_s: float = 0.02,
+        canary_hot_weight: float = 4.0,
+        canary_hot_window: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.cache = cache
+        self.scheduler = scheduler
+        self.registry = registry
+        self.workers = workers
+        self.max_batch = max(1, max_batch)
+        self.validate_every = validate_every
+        self.canary_cell_limit = canary_cell_limit
+        self.retry_backoff_s = retry_backoff_s
+        self.sampler = CanarySampler(
+            every=validate_every,
+            hot_weight=canary_hot_weight,
+            hot_window=canary_hot_window,
+            registry=registry,
+        )
+
+    # -- canary policy -------------------------------------------------
+    def _note_cache_outcome(self, fp: str, outcome: str) -> None:
+        if outcome == "miss":
+            self.sampler.note_fresh(fp, "compiled")
+        elif outcome == "disk":
+            self.sampler.note_fresh(fp, "promoted")
+
+    def _should_validate(self, item: WorkItem) -> bool:
+        if item.validate is not None:
+            return item.validate
+        if self.validate_every <= 0:
+            return False
+        cells = 1
+        for g in item.spec.grid:
+            cells *= g
+        if cells > self.canary_cell_limit:
+            self.registry.counter(
+                "service_validation_skipped_total"
+            ).inc()
+            return False
+        return self.sampler.should_validate(item.fingerprint)
+
+    # -- resolution paths ----------------------------------------------
+    def _resolve(self, item: WorkItem, response: Dict[str, Any]) -> None:
+        if item.slot.resolve(response):
+            self.registry.counter(
+                "service_requests_total",
+                {"status": response["status"]},
+            ).inc()
+            self.registry.histogram(
+                "service_request_latency_ms",
+                buckets=LATENCY_BUCKETS_MS,
+            ).observe(response["latency_ms"])
+
+    def _resolve_timeout(self, item: WorkItem) -> None:
+        self._resolve(
+            item,
+            make_response(
+                item, "timeout", error="deadline exceeded in queue"
+            ),
+        )
+
+    def _resolve_validation_failure(
+        self, item: WorkItem, cache_outcome: str, error: str
+    ) -> None:
+        self.cache.invalidate(item.fingerprint)
+        self.registry.counter(
+            "service_validation_failures_total"
+        ).inc()
+        self._resolve(
+            item,
+            make_response(
+                item,
+                "validation_failed",
+                cache=cache_outcome,
+                validated=False,
+                error=error,
+            ),
+        )
+
+    def _requeue(self, item: WorkItem) -> bool:
+        """Re-admit a retried item (subclasses may redirect shards)."""
+        return self.scheduler.requeue(item)
+
+    def _retry_or_fail(
+        self, item: WorkItem, error: str, backoff: bool = True
+    ) -> None:
+        if item.retries_left > 0 and not item.expired():
+            item.retries_left -= 1
+            self.registry.counter("service_retries_total").inc()
+            if backoff:
+                delay = self.retry_backoff_s * (
+                    2 ** max(item.attempts - 1, 0)
+                )
+                time.sleep(min(delay, 1.0))
+            if self._requeue(item):
+                return
+            error = f"{error} (retry requeue failed: queue full)"
+        self._resolve(item, make_response(item, "error", error=error))
+
+
+class PlanExecutor(ExecutorBase):
     """N worker threads draining the scheduler in fingerprint groups."""
 
     def __init__(
@@ -117,22 +400,22 @@ class PlanExecutor:
         canary_cell_limit: int = 20_000,
         retry_backoff_s: float = 0.02,
         fault_hook: Optional[Callable[[WorkItem], None]] = None,
+        **canary_kwargs: Any,
     ) -> None:
-        if workers < 1:
-            raise ValueError("need at least one worker")
-        self.cache = cache
-        self.scheduler = scheduler
-        self.registry = registry
-        self.workers = workers
-        self.max_batch = max(1, max_batch)
-        self.validate_every = validate_every
-        self.canary_cell_limit = canary_cell_limit
-        self.retry_backoff_s = retry_backoff_s
+        super().__init__(
+            cache=cache,
+            scheduler=scheduler,
+            registry=registry,
+            workers=workers,
+            max_batch=max_batch,
+            validate_every=validate_every,
+            canary_cell_limit=canary_cell_limit,
+            retry_backoff_s=retry_backoff_s,
+            **canary_kwargs,
+        )
         self.fault_hook = fault_hook
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
-        self._exec_counter = 0
-        self._exec_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -202,6 +485,7 @@ class PlanExecutor:
             {"cache": outcome},
             buckets=LATENCY_BUCKETS_MS,
         ).observe(compile_ms)
+        self._note_cache_outcome(fp, outcome)
         for item in live:
             self._process_item(item, plan, outcome)
 
@@ -221,15 +505,16 @@ class PlanExecutor:
             ):
                 if self.fault_hook is not None:
                     self.fault_hook(item)
-                grid = make_input(item.spec, seed=item.seed)
-                outputs = golden_output_sequence(item.spec, grid)
+                grid, outputs, digest = execute_stencil(
+                    item.spec, item.seed
+                )
             validated: Optional[bool] = None
             if self._should_validate(item):
-                self._validate(item, plan, grid, outputs)
+                self.registry.counter("service_validation_total").inc()
+                validate_plan(
+                    item.spec, item.options, plan, grid, outputs
+                )
                 validated = True
-            digest = hashlib.sha256(
-                np.asarray(outputs, dtype=np.float64).tobytes()
-            ).hexdigest()
             self._resolve(
                 item,
                 make_response(
@@ -244,113 +529,8 @@ class PlanExecutor:
                 ),
             )
         except PlanValidationError as exc:
-            self.cache.invalidate(item.fingerprint)
-            self.registry.counter(
-                "service_validation_failures_total"
-            ).inc()
-            self._resolve(
-                item,
-                make_response(
-                    item,
-                    "validation_failed",
-                    cache=cache_outcome,
-                    validated=False,
-                    error=str(exc),
-                ),
+            self._resolve_validation_failure(
+                item, cache_outcome, str(exc)
             )
         except Exception as exc:
             self._retry_or_fail(item, str(exc))
-
-    def _should_validate(self, item: WorkItem) -> bool:
-        if item.validate is not None:
-            return item.validate
-        if self.validate_every <= 0:
-            return False
-        cells = 1
-        for g in item.spec.grid:
-            cells *= g
-        if cells > self.canary_cell_limit:
-            self.registry.counter(
-                "service_validation_skipped_total"
-            ).inc()
-            return False
-        with self._exec_lock:
-            self._exec_counter += 1
-            return self._exec_counter % self.validate_every == 0
-
-    def _validate(
-        self,
-        item: WorkItem,
-        plan: CachedPlan,
-        grid: np.ndarray,
-        golden: List[float],
-    ) -> None:
-        """Cycle-sim the chain with the *cached* FIFO depths."""
-        self.registry.counter("service_validation_total").inc()
-        with span(
-            "service.validate",
-            benchmark=item.spec.name,
-            fingerprint=item.fingerprint[:12],
-        ):
-            system = build_memory_system(item.spec.analysis())
-            if item.options.offchip_streams > 1:
-                system = with_offchip_streams(
-                    system, item.options.offchip_streams
-                )
-            if len(plan.fifo_capacities) != len(system.fifos):
-                raise PlanValidationError(
-                    f"cached plan has {len(plan.fifo_capacities)} FIFOs "
-                    f"but the rebuilt chain has {len(system.fifos)}"
-                )
-            override = {
-                f.fifo_id: cap
-                for f, cap in zip(system.fifos, plan.fifo_capacities)
-            }
-            try:
-                result = ChainSimulator(
-                    item.spec,
-                    system,
-                    grid,
-                    fifo_capacity_override=override,
-                ).run()
-            except DeadlockError as exc:
-                raise PlanValidationError(
-                    "cached plan deadlocks the chain (condition 2 "
-                    f"violated): {exc}"
-                ) from exc
-            if not np.allclose(result.output_values(), golden):
-                raise PlanValidationError(
-                    "cycle-sim outputs diverge from the golden "
-                    "reference under the cached FIFO depths"
-                )
-
-    # -- resolution paths ----------------------------------------------
-    def _resolve(self, item: WorkItem, response: Dict[str, Any]) -> None:
-        if item.slot.resolve(response):
-            self.registry.counter(
-                "service_requests_total",
-                {"status": response["status"]},
-            ).inc()
-            self.registry.histogram(
-                "service_request_latency_ms",
-                buckets=LATENCY_BUCKETS_MS,
-            ).observe(response["latency_ms"])
-
-    def _resolve_timeout(self, item: WorkItem) -> None:
-        self._resolve(
-            item,
-            make_response(
-                item, "timeout", error="deadline exceeded in queue"
-            ),
-        )
-
-    def _retry_or_fail(self, item: WorkItem, error: str) -> None:
-        if item.retries_left > 0 and not item.expired():
-            item.retries_left -= 1
-            self.registry.counter("service_retries_total").inc()
-            backoff = self.retry_backoff_s * (2 ** (item.attempts - 1))
-            time.sleep(min(backoff, 1.0))
-            if self.scheduler.requeue(item):
-                return
-            error = f"{error} (retry requeue failed: queue full)"
-        self._resolve(item, make_response(item, "error", error=error))

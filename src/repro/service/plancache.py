@@ -94,9 +94,17 @@ class CacheStats:
     misses: int = 0
     coalesced: int = 0
     disk_hits: int = 0
+    disk_lookups: int = 0
+    corrupt_files: int = 0
     evictions: int = 0
     entries: int = 0
     bytes: int = 0
+
+    def disk_hit_rate(self) -> Optional[float]:
+        """Disk-tier hit rate over memory-miss lookups (None if unused)."""
+        if not self.disk_lookups:
+            return None
+        return self.disk_hits / self.disk_lookups
 
 
 class _Flight:
@@ -134,6 +142,7 @@ class PlanCache:
         max_entries: int = 128,
         max_bytes: int = 16 * 1024 * 1024,
         disk_dir: Optional[str] = None,
+        registry=None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -150,8 +159,24 @@ class PlanCache:
         self._flights: Dict[str, _Flight] = {}
         self._flight_lock = threading.Lock()
         self.stats = CacheStats()
+        self._registry = registry
         if disk_dir:
             os.makedirs(disk_dir, exist_ok=True)
+
+    # -- telemetry -----------------------------------------------------
+    def _count(self, name: str, labels=None) -> None:
+        if self._registry is not None:
+            self._registry.counter(name, labels).inc()
+
+    def _sync_gauges(self) -> None:
+        """Mirror LRU occupancy into obs gauges (caller holds lock)."""
+        self.stats.entries = len(self._lru)
+        self.stats.bytes = self._bytes
+        if self._registry is not None:
+            self._registry.gauge("service_cache_entries").set(
+                len(self._lru)
+            )
+            self._registry.gauge("service_cache_bytes").set(self._bytes)
 
     # -- tier plumbing -------------------------------------------------
     def _disk_path(self, fp: str) -> Optional[str]:
@@ -176,8 +201,8 @@ class PlanCache:
             _, (_, evicted_size) = self._lru.popitem(last=False)
             self._bytes -= evicted_size
             self.stats.evictions += 1
-        self.stats.entries = len(self._lru)
-        self.stats.bytes = self._bytes
+            self._count("service_cache_evictions_total")
+        self._sync_gauges()
 
     def _load_disk(self, fp: str) -> Optional[CachedPlan]:
         path = self._disk_path(fp)
@@ -186,8 +211,20 @@ class PlanCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 plan = CachedPlan.from_json(json.load(fh))
-        except (OSError, ValueError, KeyError):
-            return None  # unreadable entry: treat as a miss
+        except OSError:
+            return None  # transient read failure: treat as a miss
+        except (ValueError, KeyError, TypeError):
+            # Truncated, garbage or partially written JSON: a torn
+            # write must read as a *miss*, never an exception on the
+            # request path, and the damaged file must not survive to
+            # poison future lookups.
+            self.stats.corrupt_files += 1
+            self._count("service_cache_disk_corrupt_total")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
         if (
             plan.version != FINGERPRINT_VERSION
             or plan.fingerprint != fp
@@ -207,28 +244,44 @@ class PlanCache:
     # -- public API ----------------------------------------------------
     def get(self, fp: str) -> Optional[CachedPlan]:
         """Look up both tiers; promotes on hit, counts the outcome."""
-        return self._get(fp, count=True)
+        return self.lookup(fp)[0]
 
-    def _get(self, fp: str, count: bool) -> Optional[CachedPlan]:
+    def lookup(
+        self, fp: str, count: bool = True
+    ) -> Tuple[Optional[CachedPlan], str]:
+        """Both-tier lookup returning ``(plan, tier)``.
+
+        ``tier`` is ``"memory"``, ``"disk"`` (found on disk and
+        promoted into the LRU) or ``"miss"``.
+        """
         with self._lock:
             entry = self._lru.get(fp)
             if entry is not None:
                 self._lru.move_to_end(fp)
                 if count:
                     self.stats.hits += 1
-                return entry[0]
+                return entry[0], "memory"
+        had_disk = self.disk_dir is not None
         plan = self._load_disk(fp)
+        if count and had_disk:
+            with self._lock:
+                self.stats.disk_lookups += 1
+            self._count(
+                "service_cache_disk_lookups_total",
+                {"outcome": "hit" if plan is not None else "miss"},
+            )
         if plan is not None:
             with self._lock:
                 if count:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
                 self._insert(plan)
-            return plan
+            self._count("service_cache_disk_promotions_total")
+            return plan, "disk"
         if count:
             with self._lock:
                 self.stats.misses += 1
-        return None
+        return None, "miss"
 
     def put(self, plan: CachedPlan) -> None:
         """Insert into both tiers."""
@@ -243,8 +296,7 @@ class PlanCache:
             entry = self._lru.pop(fp, None)
             if entry is not None:
                 self._bytes -= entry[1]
-                self.stats.entries = len(self._lru)
-                self.stats.bytes = self._bytes
+                self._sync_gauges()
                 dropped = True
         path = self._disk_path(fp)
         if path is not None and os.path.exists(path):
@@ -263,14 +315,15 @@ class PlanCache:
     ) -> Tuple[CachedPlan, str]:
         """Single-flight lookup: returns ``(plan, outcome)``.
 
-        ``outcome`` is ``"hit"`` (either tier), ``"miss"`` (this caller
-        ran ``compile_fn``) or ``"coalesced"`` (another caller's
-        in-flight compile was shared).  ``compile_fn`` runs exactly
-        once per fingerprint no matter how many callers race.
+        ``outcome`` is ``"hit"`` (memory tier), ``"disk"`` (disk tier,
+        promoted), ``"miss"`` (this caller ran ``compile_fn``) or
+        ``"coalesced"`` (another caller's in-flight compile was
+        shared).  ``compile_fn`` runs exactly once per fingerprint no
+        matter how many callers race.
         """
-        plan = self.get(fp)
+        plan, tier = self.lookup(fp)
         if plan is not None:
-            return plan, "hit"
+            return plan, "hit" if tier == "memory" else "disk"
         with self._flight_lock:
             flight = self._flights.get(fp)
             if flight is None:
@@ -288,8 +341,8 @@ class PlanCache:
             # Re-check under flight leadership: a racing leader may have
             # finished between our miss and acquiring the flight.  The
             # stats already counted this caller's miss, so don't again.
-            plan = self._get(fp, count=False)
-            outcome = "hit"
+            plan, tier = self.lookup(fp, count=False)
+            outcome = "hit" if tier == "memory" else "disk"
             if plan is None:
                 with span("service.cache_compile", fingerprint=fp[:12]):
                     plan = compile_fn()

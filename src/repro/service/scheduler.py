@@ -83,6 +83,10 @@ class WorkItem:
     validate: Optional[bool] = None  # None = sampled by the executor
     retries_left: int = 0
     attempts: int = 0
+    #: Shard-routing offset, bumped when a retry must land on a
+    #: *sibling* shard (e.g. after a worker crash killed the home
+    #: shard's process mid-request).  Ignored by the thread executor.
+    shard_hops: int = 0
     admitted_at: float = field(default_factory=time.monotonic)
     raw: Dict[str, Any] = field(default_factory=dict)
 

@@ -1,0 +1,170 @@
+"""Unit tests for the weighted canary sampler and its executor policy.
+
+The sampler is deterministic (a credit accumulator, no RNG), so the
+weighting distribution is asserted *exactly*: hot fingerprints —
+freshly compiled or freshly disk-promoted — are validated
+``hot_weight`` times as often per request as cold ones.
+"""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    CanarySampler,
+    CompileOptions,
+    PlanCache,
+    Scheduler,
+    fingerprint,
+)
+from repro.service.executor import ExecutorBase
+from repro.service.scheduler import WorkItem
+from repro.stencil import DENOISE
+
+from conftest import small_spec
+
+
+def fire_count(sampler, fp, n):
+    return sum(sampler.should_validate(fp) for _ in range(n))
+
+
+class TestCanarySampler:
+    def test_cold_traffic_samples_at_floor(self):
+        sampler = CanarySampler(every=4)
+        assert fire_count(sampler, "cold", 100) == 25
+
+    def test_hot_traffic_samples_hot_weight_times_as_often(self):
+        """Exactly hot_weight x the cold rate over the hot window."""
+        cold = CanarySampler(every=4, hot_weight=4.0, hot_window=100)
+        hot = CanarySampler(every=4, hot_weight=4.0, hot_window=100)
+        hot.note_fresh("fp", "compiled")
+        cold_fires = fire_count(cold, "fp", 100)
+        hot_fires = fire_count(hot, "fp", 100)
+        assert cold_fires == 25
+        assert hot_fires == 100  # +4 credit per call, fires every call
+        assert hot_fires == 4 * cold_fires
+
+    def test_hot_status_decays_after_window(self):
+        sampler = CanarySampler(every=8, hot_weight=4.0, hot_window=4)
+        sampler.note_fresh("fp", "compiled")
+        # 4 hot executions contribute 16 credit -> exactly 2 fires.
+        assert fire_count(sampler, "fp", 4) == 2
+        # Decayed: back to the 1-in-8 floor.
+        assert fire_count(sampler, "fp", 80) == 10
+
+    def test_hot_weight_applies_per_fingerprint(self):
+        sampler = CanarySampler(every=4, hot_weight=4.0, hot_window=50)
+        sampler.note_fresh("hot", "promoted")
+        assert sampler.should_validate("hot")  # 4 credit -> fires
+        # A different, cold fingerprint accrues only 1 per call.
+        assert fire_count(sampler, "cold", 3) == 0
+
+    def test_carry_is_capped_to_one_pending_fire(self):
+        """A single hot burst may bank at most one future validation."""
+        sampler = CanarySampler(every=2, hot_weight=10.0, hot_window=8)
+        sampler.note_fresh("fp", "compiled")
+        assert sampler.should_validate("fp")  # +10, fires, carry <= 2
+        sampler._hot.clear()  # go cold immediately
+        # 4 cold calls fire twice at the 1-in-2 floor; the burst may
+        # bank at most one extra (uncapped credit would make all 4
+        # fire).
+        assert fire_count(sampler, "fp", 4) == 3
+
+    def test_disabled_when_every_is_zero(self):
+        sampler = CanarySampler(every=0)
+        sampler.note_fresh("fp", "compiled")
+        assert not any(
+            sampler.should_validate("fp") for _ in range(50)
+        )
+
+    def test_note_fresh_counts_reasons(self):
+        registry = MetricsRegistry()
+        sampler = CanarySampler(every=4, registry=registry)
+        sampler.note_fresh("a", "compiled")
+        sampler.note_fresh("b", "compiled")
+        sampler.note_fresh("c", "promoted")
+        counters = registry.snapshot()["counters"]
+        assert (
+            counters['service_canary_fresh_total{reason="compiled"}']
+            == 2
+        )
+        assert (
+            counters['service_canary_fresh_total{reason="promoted"}']
+            == 1
+        )
+
+    def test_hot_weight_validated(self):
+        with pytest.raises(ValueError):
+            CanarySampler(every=4, hot_weight=0.5)
+
+
+class TestExecutorCanaryPolicy:
+    def _executor(self, **kwargs):
+        registry = MetricsRegistry()
+        return (
+            ExecutorBase(
+                cache=PlanCache(),
+                scheduler=Scheduler(registry=registry),
+                registry=registry,
+                validate_every=kwargs.pop("validate_every", 2),
+                **kwargs,
+            ),
+            registry,
+        )
+
+    def _item(self, validate=None):
+        spec = small_spec(DENOISE)
+        options = CompileOptions()
+        return WorkItem(
+            request_id="r1",
+            spec=spec,
+            options=options,
+            fingerprint=fingerprint(spec, options),
+            seed=1,
+            deadline=time.monotonic() + 30.0,
+            slot=None,
+            validate=validate,
+        )
+
+    def test_explicit_validate_overrides_sampling(self):
+        executor, _ = self._executor(validate_every=0)
+        assert executor._should_validate(self._item(validate=True))
+        executor, _ = self._executor(validate_every=1)
+        assert not executor._should_validate(self._item(validate=False))
+
+    def test_cell_limit_skips_and_counts(self):
+        executor, registry = self._executor(canary_cell_limit=10)
+        assert not executor._should_validate(self._item())  # 192 cells
+        counters = registry.snapshot()["counters"]
+        assert counters["service_validation_skipped_total"] == 1
+
+    def test_fresh_compile_biases_sampling(self):
+        executor, _ = self._executor(
+            validate_every=4, canary_hot_weight=4.0
+        )
+        item = self._item()
+        executor._note_cache_outcome(item.fingerprint, "miss")
+        assert executor._should_validate(item)  # hot: fires first call
+
+    def test_disk_promotion_biases_sampling(self):
+        executor, registry = self._executor(
+            validate_every=4, canary_hot_weight=4.0
+        )
+        item = self._item()
+        executor._note_cache_outcome(item.fingerprint, "disk")
+        assert executor._should_validate(item)
+        counters = registry.snapshot()["counters"]
+        assert (
+            counters['service_canary_fresh_total{reason="promoted"}']
+            == 1
+        )
+
+    def test_memory_hit_stays_cold(self):
+        executor, _ = self._executor(validate_every=4)
+        item = self._item()
+        executor._note_cache_outcome(item.fingerprint, "hit")
+        fires = sum(
+            executor._should_validate(self._item()) for _ in range(8)
+        )
+        assert fires == 2  # the plain 1-in-4 floor

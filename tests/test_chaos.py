@@ -1,0 +1,374 @@
+"""Chaos campaign: every injected fault class must end cleanly.
+
+The contract under test is the robustness invariant of the process
+pool: for every fault the harness can inject — worker kills, hangs,
+slowdowns, cached-plan field mutations, disk-tier corruption — a
+request resolves with either a *correct* result (checksum equal to
+the locally computed golden digest) or a clean structured error.
+Never a wrong answer, never a hang, never a dropped request.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    ChaosConfig,
+    ChaosInjector,
+    CompileOptions,
+    PlanFuzzer,
+    ServiceConfig,
+    StencilService,
+    fingerprint,
+)
+from repro.service.chaos import (
+    DISK_CORRUPTIONS,
+    PLAN_MUTATIONS,
+    corrupt_disk_file,
+)
+from repro.service.executor import compile_plan, execute_stencil
+from repro.stencil import DENOISE, SOBEL
+
+from conftest import small_spec
+
+
+def golden_checksum(spec, seed):
+    return execute_stencil(spec, seed)[2][:16]
+
+
+class TestChaosConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(hang_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosConfig(kill_rate=0.6, hang_rate=0.6)
+
+    def test_enabled(self):
+        assert not ChaosConfig().enabled()
+        assert ChaosConfig(kill_rate=0.1).enabled()
+        assert ChaosConfig(lethal_fingerprints=("f" * 64,)).enabled()
+
+    def test_json_round_trip(self):
+        cfg = ChaosConfig(
+            seed=9,
+            kill_rate=0.1,
+            hang_rate=0.05,
+            slow_rate=0.2,
+            lethal_fingerprints=("a" * 64,),
+        )
+        assert ChaosConfig.from_json(cfg.to_json()) == cfg
+
+
+class TestChaosInjector:
+    def test_decisions_replay_exactly(self):
+        a = ChaosInjector(ChaosConfig(seed=3, kill_rate=0.3))
+        b = ChaosInjector(ChaosConfig(seed=3, kill_rate=0.3))
+        ids = [f"r{k}" for k in range(50)]
+        assert [a.decision(i) for i in ids] == [
+            b.decision(i) for i in ids
+        ]
+
+    def test_seed_and_attempt_change_decisions(self):
+        base = ChaosInjector(ChaosConfig(seed=1, kill_rate=0.5))
+        other = ChaosInjector(ChaosConfig(seed=2, kill_rate=0.5))
+        ids = [f"r{k}" for k in range(100)]
+        assert [base.decision(i) for i in ids] != [
+            other.decision(i) for i in ids
+        ]
+        # A request killed on one attempt is not doomed on the next.
+        assert [base.decision(i, attempt=1) for i in ids] != [
+            base.decision(i, attempt=2) for i in ids
+        ]
+
+    def test_rates_approximately_honoured(self):
+        inj = ChaosInjector(
+            ChaosConfig(seed=5, kill_rate=0.2, hang_rate=0.1)
+        )
+        decisions = [inj.decision(f"r{k}") for k in range(2000)]
+        kills = decisions.count("kill") / len(decisions)
+        hangs = decisions.count("hang") / len(decisions)
+        assert abs(kills - 0.2) < 0.04
+        assert abs(hangs - 0.1) < 0.04
+
+    def test_lethal_fingerprint_always_kills(self):
+        fp = "c" * 64
+        inj = ChaosInjector(ChaosConfig(lethal_fingerprints=(fp,)))
+        assert all(
+            inj.decision(f"r{k}", attempt=k, fingerprint=fp) == "kill"
+            for k in range(20)
+        )
+        assert inj.decision("r0", fingerprint="d" * 64) == "none"
+
+
+def chaos_service(chaos, **overrides):
+    defaults = dict(
+        workers=2,
+        max_queue=64,
+        max_batch=4,
+        default_timeout_s=60.0,
+        max_retries=8,
+        retry_backoff_s=0.01,
+        worker_mode="process",
+        breaker_threshold=50,  # transient faults must not trip it
+        chaos=chaos,
+    )
+    defaults.update(overrides)
+    return StencilService(
+        ServiceConfig(**defaults), registry=MetricsRegistry()
+    )
+
+
+class TestWorkerFaultCampaigns:
+    def test_kill_campaign_never_wrong_never_dropped(self):
+        """Random worker kills: every reply is a correct result or a
+        clean structured error, and at least one kill actually fired."""
+        chaos = ChaosConfig(seed=2014, kill_rate=0.12)
+        inj = ChaosInjector(chaos)
+        ids = [f"chaos-{k}" for k in range(12)]
+        # The campaign must actually inject something (first attempts
+        # are numbered 1 by the pool).
+        assert any(inj.decision(i, attempt=1) == "kill" for i in ids)
+        spec = small_spec(DENOISE)
+        golden = {
+            k: golden_checksum(spec, seed=k) for k in range(len(ids))
+        }
+        with chaos_service(chaos) as svc:
+            slots = [
+                svc.submit(
+                    {
+                        "id": rid,
+                        "benchmark": "DENOISE",
+                        "grid": [12, 16],
+                        "seed": k,
+                    }
+                )
+                for k, rid in enumerate(ids)
+            ]
+            replies = [s.result(90.0) for s in slots]
+            snap = svc.metrics.snapshot()
+        assert len(replies) == len(ids)
+        for k, reply in enumerate(replies):
+            assert reply["status"] in ("ok", "error")
+            if reply["status"] == "ok":
+                assert reply["checksum"] == golden[k]
+        assert sum(r["status"] == "ok" for r in replies) >= 10
+        restarts = snap["counters"].get(
+            'service_worker_restarts_total{reason="death"}', 0
+        )
+        assert restarts >= 1
+
+    def test_hang_campaign_recovers_within_hang_timeout(self):
+        chaos = ChaosConfig(seed=11, hang_rate=0.25)
+        inj = ChaosInjector(chaos)
+        ids = [f"hang-{k}" for k in range(8)]
+        assert any(inj.decision(i, attempt=1) == "hang" for i in ids)
+        spec = small_spec(SOBEL)
+        golden = {
+            k: golden_checksum(spec, seed=k) for k in range(len(ids))
+        }
+        with chaos_service(chaos, hang_timeout_s=0.5) as svc:
+            slots = [
+                svc.submit(
+                    {
+                        "id": rid,
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": k,
+                    }
+                )
+                for k, rid in enumerate(ids)
+            ]
+            replies = [s.result(90.0) for s in slots]
+            snap = svc.metrics.snapshot()
+        for k, reply in enumerate(replies):
+            assert reply["status"] in ("ok", "error")
+            if reply["status"] == "ok":
+                assert reply["checksum"] == golden[k]
+        assert sum(r["status"] == "ok" for r in replies) >= 6
+        assert (
+            snap["counters"].get(
+                'service_worker_restarts_total{reason="hang"}', 0
+            )
+            >= 1
+        )
+
+    def test_slow_campaign_is_benign(self):
+        chaos = ChaosConfig(seed=4, slow_rate=0.5, slow_ms=5.0)
+        spec = small_spec(SOBEL)
+        with chaos_service(chaos) as svc:
+            replies = [
+                svc.handle(
+                    {
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": k,
+                    },
+                    wait_timeout=60.0,
+                )
+                for k in range(6)
+            ]
+        assert all(r["status"] == "ok" for r in replies)
+        assert all(
+            r["checksum"] == golden_checksum(spec, seed=k)
+            for k, r in enumerate(replies)
+        )
+
+    def test_lethal_plan_trips_breaker_others_keep_serving(self):
+        spec = small_spec(DENOISE)
+        lethal_fp = fingerprint(spec, CompileOptions())
+        chaos = ChaosConfig(lethal_fingerprints=(lethal_fp,))
+        svc = chaos_service(
+            chaos,
+            breaker_threshold=2,
+            breaker_cooldown_s=60.0,
+            max_retries=2,
+        )
+        with svc:
+            lethal = [
+                svc.handle(
+                    {"benchmark": "DENOISE", "grid": [12, 16]},
+                    wait_timeout=90.0,
+                )
+                for _ in range(3)
+            ]
+            bystander = svc.handle(
+                {"benchmark": "SOBEL", "grid": [10, 12]},
+                wait_timeout=90.0,
+            )
+            state = svc.executor.breaker_state(lethal_fp)
+            snap = svc.metrics.snapshot()
+        # The lethal plan never produces an answer, only clean errors,
+        # and once the breaker opens it is rejected without touching a
+        # worker at all.
+        assert all(
+            r["status"] in ("error", "circuit_open") for r in lethal
+        )
+        assert lethal[-1]["status"] == "circuit_open"
+        assert bystander["status"] == "ok"
+        assert state == "open"
+        counters = snap["counters"]
+        assert (
+            counters['service_breaker_transitions_total{to="open"}'] >= 1
+        )
+        gauge = snap["gauges"][
+            'service_breaker_state{fingerprint="%s"}' % lethal_fp[:12]
+        ]
+        assert gauge == 1  # open
+
+
+@pytest.fixture(scope="module")
+def denoise_plan():
+    spec = small_spec(DENOISE)
+    options = CompileOptions()
+    fp = fingerprint(spec, options)
+    return spec, options, fp, compile_plan(spec, options, fp)
+
+
+class TestPlanMutationCampaign:
+    @pytest.mark.parametrize("kind", PLAN_MUTATIONS)
+    def test_every_mutation_is_caught_then_healed(
+        self, kind, denoise_plan
+    ):
+        """Poison the cache with a mutated plan: the canary must flag
+        it, evict it, and the next request recompiles cleanly."""
+        spec, options, fp, base = denoise_plan
+        fuzzer = PlanFuzzer()
+        if kind not in fuzzer.mutations(base):
+            pytest.skip(f"{kind} not applicable to this plan")
+        mutated = fuzzer.mutate(base, kind)
+        assert mutated.to_json() != base.to_json()
+        svc = StencilService(
+            ServiceConfig(workers=1, validate_every=0),
+            registry=MetricsRegistry(),
+        )
+        with svc:
+            svc.cache.put(mutated)
+            poisoned = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=60.0,
+            )
+            healed = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=60.0,
+            )
+        assert poisoned["status"] == "validation_failed"
+        assert poisoned["cache"] == "hit"  # the poison was served...
+        assert healed["status"] == "ok"  # ...once: evicted, recompiled
+        assert healed["cache"] == "miss"
+        assert healed["validated"] is True
+
+    @pytest.mark.parametrize("kind", PLAN_MUTATIONS)
+    def test_mutations_caught_under_process_pool(
+        self, kind, denoise_plan
+    ):
+        """The same campaign through the crash-isolated pool: workers
+        run the validation and report it as a structured failure."""
+        spec, options, fp, base = denoise_plan
+        fuzzer = PlanFuzzer()
+        if kind not in fuzzer.mutations(base):
+            pytest.skip(f"{kind} not applicable to this plan")
+        mutated = fuzzer.mutate(base, kind)
+        svc = StencilService(
+            ServiceConfig(workers=1, worker_mode="process"),
+            registry=MetricsRegistry(),
+        )
+        with svc:
+            svc.cache.put(mutated)
+            poisoned = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=60.0,
+            )
+            healed = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=60.0,
+            )
+        assert poisoned["status"] == "validation_failed"
+        assert healed["status"] == "ok"
+        assert healed["validated"] is True
+
+
+class TestDiskCorruptionCampaign:
+    @pytest.mark.parametrize("mode", DISK_CORRUPTIONS)
+    def test_corrupt_cache_file_is_a_miss_and_is_deleted(
+        self, mode, tmp_path
+    ):
+        spec = small_spec(SOBEL)
+        req = {"spec": spec.to_json()}
+        seeder = StencilService(
+            ServiceConfig(workers=1, cache_dir=str(tmp_path)),
+            registry=MetricsRegistry(),
+        )
+        with seeder:
+            seeded = seeder.handle(dict(req), wait_timeout=60.0)
+        assert seeded["status"] == "ok"
+        path = tmp_path / (seeded["fingerprint"] + ".json")
+        assert path.exists()
+        corrupt_disk_file(str(path), mode, seed=1)
+
+        svc = StencilService(  # fresh memory tier, damaged disk tier
+            ServiceConfig(workers=1, cache_dir=str(tmp_path)),
+            registry=MetricsRegistry(),
+        )
+        with svc:
+            reply = svc.handle(dict(req), wait_timeout=60.0)
+            snap = svc.metrics.snapshot()
+        assert reply["status"] == "ok"
+        assert reply["cache"] == "miss"  # never served from the wreck
+        assert reply["checksum"] == seeded["checksum"]
+        assert (
+            snap["counters"]["service_cache_disk_corrupt_total"] == 1
+        )
+        assert svc.cache.stats.corrupt_files == 1
+        # The recompile rewrote a valid file over the damage.
+        assert path.exists()
+        fresh = StencilService(
+            ServiceConfig(workers=1, cache_dir=str(tmp_path)),
+            registry=MetricsRegistry(),
+        )
+        with fresh:
+            warm = fresh.handle(dict(req), wait_timeout=60.0)
+        assert warm["status"] == "ok"
+        assert warm["cache"] == "disk"

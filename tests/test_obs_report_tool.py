@@ -78,3 +78,54 @@ def test_missing_file_errors(obs_report, tmp_path, capsys):
     err = capsys.readouterr().err
     assert rc == 2
     assert "cannot read" in err
+
+
+def test_metrics_mode_reports_service_health(
+    obs_report, tmp_path, capsys
+):
+    registry = MetricsRegistry()
+    registry.counter("service_requests_total", {"status": "ok"}).inc(9)
+    registry.counter(
+        "service_requests_total", {"status": "error"}
+    ).inc()
+    registry.counter(
+        "service_cache_total", {"outcome": "hit"}
+    ).inc(7)
+    registry.counter("service_cache_evictions_total").inc(3)
+    registry.counter(
+        "service_cache_disk_lookups_total", {"outcome": "hit"}
+    ).inc()
+    registry.counter(
+        "service_cache_disk_lookups_total", {"outcome": "miss"}
+    ).inc(3)
+    registry.counter(
+        "service_worker_restarts_total", {"reason": "death"}
+    ).inc(2)
+    registry.gauge(
+        "service_breaker_state", {"fingerprint": "abcdef012345"}
+    ).set(1)
+    registry.counter(
+        "service_breaker_transitions_total", {"to": "open"}
+    ).inc()
+    path = tmp_path / "metrics.json"
+    registry.export_json(str(path))
+
+    rc = obs_report.main([str(path), "--metrics"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ok: 9" in out
+    assert "evictions: 3" in out
+    assert "disk_hit_rate: 0.25" in out
+    assert "restarts_death: 2" in out
+    assert "breakers_not_closed: 1" in out
+
+
+def test_metrics_mode_rejects_non_metrics_json(
+    obs_report, tmp_path, capsys
+):
+    path = _traced_file(tmp_path, "jsonl")
+    rc = obs_report.main([str(path), "--metrics"])
+    captured = capsys.readouterr()
+    out = captured.out + captured.err
+    assert rc in (1, 2)
+    assert "metrics" in out or "JSON" in out

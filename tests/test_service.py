@@ -132,6 +132,64 @@ class TestPlanCache:
         path.write_text(json.dumps(make_plan(fp="b" * 64).to_json()))
         assert PlanCache(disk_dir=str(tmp_path)).get("a" * 64) is None
 
+    def test_torn_disk_file_is_miss_and_deleted(self, tmp_path):
+        """Regression: a torn write used to raise on the request path
+        and the damaged file survived to poison every later lookup."""
+        from repro.service.chaos import corrupt_disk_file
+
+        seeder = PlanCache(disk_dir=str(tmp_path))
+        seeder.put(make_plan())
+        path = tmp_path / ("f" * 64 + ".json")
+        corrupt_disk_file(str(path), "torn_json")
+
+        reg = MetricsRegistry()
+        cache = PlanCache(disk_dir=str(tmp_path), registry=reg)
+        assert cache.get("f" * 64) is None  # a miss, not an exception
+        assert not path.exists()  # the wreck is gone
+        assert cache.stats.corrupt_files == 1
+        counters = reg.snapshot()["counters"]
+        assert counters["service_cache_disk_corrupt_total"] == 1
+        # And the slot is immediately reusable.
+        cache.put(make_plan())
+        fresh = PlanCache(disk_dir=str(tmp_path))
+        assert fresh.get("f" * 64) is not None
+
+    def test_eviction_and_occupancy_telemetry(self):
+        reg = MetricsRegistry()
+        cache = PlanCache(max_entries=2, registry=reg)
+        for k in range(3):
+            cache.put(make_plan(fp=f"{k:064d}"))
+        snap = reg.snapshot()
+        assert snap["counters"]["service_cache_evictions_total"] == 1
+        assert snap["gauges"]["service_cache_entries"] == 2
+        assert snap["gauges"]["service_cache_bytes"] == cache.stats.bytes
+        assert cache.stats.bytes > 0
+
+    def test_disk_tier_telemetry(self, tmp_path):
+        seeder = PlanCache(disk_dir=str(tmp_path))
+        seeder.put(make_plan(fp="a" * 64))
+        reg = MetricsRegistry()
+        cache = PlanCache(disk_dir=str(tmp_path), registry=reg)
+        assert cache.get("a" * 64) is not None  # promoted from disk
+        assert cache.get("b" * 64) is None  # disk miss
+        counters = reg.snapshot()["counters"]
+        assert (
+            counters['service_cache_disk_lookups_total{outcome="hit"}']
+            == 1
+        )
+        assert (
+            counters['service_cache_disk_lookups_total{outcome="miss"}']
+            == 1
+        )
+        assert counters["service_cache_disk_promotions_total"] == 1
+        assert cache.stats.disk_lookups == 2
+        assert cache.stats.disk_hit_rate() == 0.5
+
+    def test_disk_hit_rate_none_without_disk_tier(self):
+        cache = PlanCache()
+        cache.get("a" * 64)
+        assert cache.stats.disk_hit_rate() is None
+
     def test_invalidate_drops_both_tiers(self, tmp_path):
         cache = PlanCache(disk_dir=str(tmp_path))
         cache.put(make_plan())

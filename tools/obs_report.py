@@ -5,6 +5,12 @@ Accepts either export format of ``repro.obs.tracing.Tracer``: a Chrome
 lines (``--trace-out trace.jsonl``).  Run from the repo root:
 
     python tools/obs_report.py trace.json [--top N] [--sort KEY]
+
+With ``--metrics`` the input is instead a metrics snapshot JSON
+(``MetricsRegistry.export_json`` / ``repro serve --metrics-out``) and
+the output is the service health report: request statuses, plan-cache
+churn (evictions, disk-tier hit rate, corrupt files), canary
+validation counts and the process pool's restart/breaker counters.
 """
 
 from __future__ import annotations
@@ -18,10 +24,33 @@ sys.path.insert(
 )
 
 from repro.obs.report import (  # noqa: E402
+    format_service_metrics,
     format_summary,
     load_trace_events,
     summarize_events,
 )
+
+
+def _report_metrics(path: str) -> int:
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {path} is not JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(snapshot, dict) or not (
+        snapshot.keys() & {"counters", "gauges", "histograms"}
+    ):
+        print(f"no metrics in {path}")
+        return 1
+    print(f"{path}: service metrics")
+    print(format_service_metrics(snapshot))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -39,7 +68,15 @@ def main(argv=None) -> int:
         default="total_ms",
         help="ranking column (default: total time)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="treat the input as a metrics snapshot JSON and print "
+        "the service health report instead of a span table",
+    )
     args = parser.parse_args(argv)
+    if args.metrics:
+        return _report_metrics(args.trace)
     try:
         events = load_trace_events(args.trace)
     except OSError as exc:
