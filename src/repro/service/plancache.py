@@ -276,7 +276,8 @@ class PlanCache:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
                 self._insert(plan)
-            self._count("service_cache_disk_promotions_total")
+            if count:
+                self._count("service_cache_disk_promotions_total")
             return plan, "disk"
         if count:
             with self._lock:

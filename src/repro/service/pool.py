@@ -187,9 +187,16 @@ def _run_job(
     compiled_json: Optional[dict] = None
     compile_ms = 0.0
     if job.get("plan") is not None:
-        # The shared cache hit; the local copy (same content hash)
-        # just saves re-parsing the JSON.
-        plan = plans.get(fp) or CachedPlan.from_json(job["plan"])
+        # The shared cache hit.  The transmitted plan is what the
+        # parent is vouching for, so it is what the canary must
+        # validate — a stale worker-local copy may only stand in for
+        # it when the content is identical, otherwise a poisoned
+        # shared entry would be validated against a clean local copy
+        # and survive.
+        plan = CachedPlan.from_json(job["plan"])
+        local = plans.get(fp)
+        if local is not None and local.to_json() == plan.to_json():
+            plan = local
     else:
         # A parent-side miss is authoritative: the plan may have been
         # invalidated (poisoned entry, tripped breaker), so a stale
@@ -381,11 +388,24 @@ class ProcessPlanExecutor(ExecutorBase):
         self.hang_timeout_s = hang_timeout_s
         self.chaos = chaos
         if mp_start_method is None:
+            # Workers are started from a multithreaded parent
+            # (dispatcher, shard runners, supervisor, user threads);
+            # plain "fork" would inherit any lock held at fork time in
+            # the locked state and can deadlock the child.  The worker
+            # protocol is JSON-pure and needs no inherited state, so
+            # default to "forkserver" (forks from a clean,
+            # single-threaded server) or "spawn", keeping "fork" as an
+            # explicit opt-in.
             methods = multiprocessing.get_all_start_methods()
-            mp_start_method = (
-                "fork" if "fork" in methods else "spawn"
-            )
+            for preferred in ("forkserver", "spawn", "fork"):
+                if preferred in methods:
+                    mp_start_method = preferred
+                    break
         self._ctx = multiprocessing.get_context(mp_start_method)
+        if mp_start_method == "forkserver":
+            # Import the worker's module tree once in the fork server
+            # so each worker fork starts warm instead of re-importing.
+            self._ctx.set_forkserver_preload(["repro.service.pool"])
         chaos_json = (
             chaos.to_json() if chaos and chaos.enabled() else None
         )
@@ -439,7 +459,11 @@ class ProcessPlanExecutor(ExecutorBase):
             t.join(join_timeout)
         self._threads.clear()
         for shard in self._shards:
-            with shard.lock:
+            # A runner wedged mid-call holds shard.lock; don't let it
+            # hang shutdown — the workers are daemons and get reaped
+            # regardless.
+            acquired = shard.lock.acquire(timeout=join_timeout)
+            try:
                 if shard.conn is not None and shard.alive():
                     try:
                         shard.conn.send({"kind": "stop"})
@@ -447,6 +471,9 @@ class ProcessPlanExecutor(ExecutorBase):
                     except (BrokenPipeError, OSError):
                         pass
                 shard.reap()
+            finally:
+                if acquired:
+                    shard.lock.release()
 
     # -- breaker plumbing ----------------------------------------------
     def _breaker(self, fp: str) -> CircuitBreaker:
@@ -587,7 +614,13 @@ class ProcessPlanExecutor(ExecutorBase):
     def _call_worker(
         self, shard: _WorkerShard, job: Dict[str, Any], budget_s: float
     ) -> Tuple[str, Optional[Dict[str, Any]]]:
-        """``("ok", reply)``, ``("died", None)`` or ``("hung", None)``."""
+        """``("ok", reply)``, ``("died", None)`` or ``("hung", None)``.
+
+        Caller holds ``shard.lock`` for the whole round trip: the
+        supervisor's non-blocking acquire reads a held lock as "a call
+        is in flight", which is only true if the lock really is held
+        from send to reply (and through any in-call restart).
+        """
         for attempt in range(2):
             if not shard.alive():
                 self._restart_worker(shard, "idle_death")
@@ -686,13 +719,18 @@ class ProcessPlanExecutor(ExecutorBase):
         )
         budget_s = max(budget_s, 0.05)
 
-        status, reply = self._call_worker(shard, job, budget_s)
+        # Hold the shard lock across the whole round trip (and the
+        # restart that follows a crash/hang) so the supervisor never
+        # reaps or respawns this worker mid-call out from under us.
+        with shard.lock:
+            status, reply = self._call_worker(shard, job, budget_s)
+            if status != "ok":
+                self._restart_worker(
+                    shard, "death" if status == "died" else "hang"
+                )
         if status != "ok":
             reason = (
                 "worker_death" if status == "died" else "worker_hang"
-            )
-            self._restart_worker(
-                shard, "death" if status == "died" else "hang"
             )
             self._record_lethal(fp, reason)
             for item in live:

@@ -329,6 +329,41 @@ class TestPlanMutationCampaign:
         assert healed["status"] == "ok"
         assert healed["validated"] is True
 
+    def test_mutation_caught_despite_warm_worker_local_cache(
+        self, denoise_plan
+    ):
+        """Poisoning the *shared* cache after the worker has cached a
+        clean local copy must still be caught: the canary validates
+        the plan the parent transmitted, not the worker's stale one."""
+        spec, options, fp, base = denoise_plan
+        fuzzer = PlanFuzzer()
+        kind = fuzzer.mutations(base)[0]
+        mutated = fuzzer.mutate(base, kind)
+        assert mutated.to_json() != base.to_json()
+        svc = StencilService(
+            ServiceConfig(workers=1, worker_mode="process"),
+            registry=MetricsRegistry(),
+        )
+        with svc:
+            warm = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=60.0,
+            )
+            assert warm["status"] == "ok"  # worker-local cache now hot
+            svc.cache.put(mutated)  # poison only the shared entry
+            poisoned = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=60.0,
+            )
+            healed = svc.handle(
+                {"spec": spec.to_json(), "validate": True},
+                wait_timeout=60.0,
+            )
+        assert poisoned["status"] == "validation_failed"
+        assert poisoned["cache"] == "hit"
+        assert healed["status"] == "ok"
+        assert healed["validated"] is True
+
 
 class TestDiskCorruptionCampaign:
     @pytest.mark.parametrize("mode", DISK_CORRUPTIONS)
