@@ -19,8 +19,10 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import queue
 import sys
-from collections import deque
+import threading
+import time
 from typing import Optional, Sequence
 
 from .flow.automation import compile_accelerator
@@ -386,7 +388,12 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_submit(args) -> int:
-    """One-shot client: spin a service, submit, print responses."""
+    """One-shot client: spin a service, submit, print responses.
+
+    ``circuit_open`` responses carry a ``retry_after_s`` hint (the
+    breaker cooldown remaining); with ``--client-retries`` the client
+    honors it — sleeps that long and resubmits — before giving up.
+    """
     from .service import StencilService
 
     for name in args.benchmark:
@@ -396,25 +403,70 @@ def cmd_submit(args) -> int:
         slots = []
         for name in args.benchmark:
             for k in range(args.count):
-                request = {"benchmark": name, "seed": args.seed + k}
+                request = {
+                    "proto": 1,
+                    "benchmark": name,
+                    "seed": args.seed + k,
+                }
                 if args.grid:
                     request["grid"] = list(args.grid)
                 if args.streams != 1:
                     request["streams"] = args.streams
-                slots.append(service.submit(request))
+                slots.append((request, service.submit(request)))
         failures = 0
-        for slot in slots:
+        for request, slot in slots:
             response = slot.result()
-            print(json.dumps(response, sort_keys=True))
-            if response["status"] != "ok":
+            retries = args.client_retries
+            while response.status == "circuit_open" and retries > 0:
+                delay = response.retry_after_s or 0.05
+                time.sleep(min(delay, args.client_retry_cap))
+                retries -= 1
+                response = service.handle(request)
+            print(json.dumps(response.to_json(), sort_keys=True))
+            if not response.ok:
                 failures += 1
         service.shutdown(drain=True)
     return 0 if failures == 0 else 1
 
 
+def _stream_jsonl(submit_line, lines) -> None:
+    """Shared serve/route loop: submit each request line, stream the
+    responses back in submission order as they resolve.
+
+    A writer thread blocks on the oldest unanswered slot, so a
+    long-running head request delays (but never drops) the responses
+    behind it, and every response is flushed the moment it is ready —
+    required by the router, whose nodes answer over these pipes while
+    more requests keep arriving.
+    """
+    slots: "queue.Queue" = queue.Queue()
+    done = object()
+
+    def writer() -> None:
+        while True:
+            slot = slots.get()
+            if slot is done:
+                return
+            print(
+                json.dumps(slot.result().to_json(), sort_keys=True),
+                flush=True,
+            )
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        slots.put(submit_line(line))
+    slots.put(done)
+    thread.join()
+
+
 def cmd_serve(args) -> int:
     """JSONL server: one request per stdin line, one response per
-    stdout line (submission order), graceful drain on EOF."""
+    stdout line (submission order, streamed as results resolve),
+    graceful drain on EOF."""
     from .service import StencilService
 
     with _obs_session(args):
@@ -424,23 +476,7 @@ def cmd_serve(args) -> int:
             f"{args.queue}, reading JSONL requests from stdin",
             file=sys.stderr,
         )
-        pending = deque()
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            pending.append(service.submit_json(line))
-            while pending and pending[0].done():
-                print(
-                    json.dumps(pending.popleft().result(),
-                               sort_keys=True),
-                    flush=True,
-                )
-        while pending:
-            print(
-                json.dumps(pending.popleft().result(), sort_keys=True),
-                flush=True,
-            )
+        _stream_jsonl(service.submit_json, sys.stdin)
         drained = service.shutdown(drain=True)
         print(
             f"drained: {drained}, cache "
@@ -449,6 +485,71 @@ def cmd_serve(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def cmd_route(args) -> int:
+    """Multi-node JSONL front end: rendezvous-hash each request's
+    plan fingerprint onto one of N ``repro serve`` subprocesses, with
+    failover to the next node in rendezvous order when a node dies."""
+    from .service.router import NodeConfig, Router, RouterConfig
+
+    extra = []
+    for flag, value in (
+        ("--chaos-seed", args.chaos_seed),
+        ("--chaos-rate", args.chaos_rate),
+        ("--chaos-hang-rate", args.chaos_hang_rate),
+        ("--chaos-slow-rate", args.chaos_slow_rate),
+    ):
+        if flag == "--chaos-seed" and not (
+            args.chaos_rate or args.chaos_hang_rate
+            or args.chaos_slow_rate
+        ):
+            continue  # only forward the seed with an active fault rate
+        if value:
+            extra += [flag, str(value)]
+    node = NodeConfig(
+        workers=args.workers,
+        queue=args.queue,
+        max_batch=args.max_batch,
+        worker_mode=args.worker_mode,
+        validate_every=args.validate_every,
+        cache_dir=args.cache_dir,
+        hang_timeout_s=args.hang_timeout,
+        extra_args=tuple(extra),
+    )
+    config = RouterConfig(
+        nodes=args.nodes,
+        node=node,
+        max_retries=args.router_retries,
+        failover_grace_s=args.failover_grace,
+        node_metrics_dir=args.node_metrics_dir,
+        chaos_seed=args.chaos_seed,
+        node_kill_rate=args.node_kill_rate,
+    )
+    with _obs_session(args):
+        router = Router(config).start()
+        print(
+            f"repro router: {args.nodes} nodes x {args.workers} "
+            "workers, reading JSONL requests from stdin",
+            file=sys.stderr,
+        )
+        _stream_jsonl(router.submit_json, sys.stdin)
+        clean = router.close()
+        counters = router.metrics.snapshot()["counters"]
+        failovers = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_failovers_total")
+        )
+        restarts = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_node_restarts_total")
+        )
+        print(
+            f"clean shutdown: {clean}, failovers: {int(failovers)}, "
+            f"node restarts: {int(restarts)}",
+            file=sys.stderr,
+        )
+    return 0 if clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -551,6 +652,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--grid", type=_parse_grid, default=None)
     p_submit.add_argument("--streams", type=int, default=1)
     p_submit.add_argument("--seed", type=int, default=2014)
+    p_submit.add_argument(
+        "--client-retries", type=int, default=0, metavar="N",
+        help=(
+            "resubmit a circuit_open response up to N times, sleeping "
+            "its retry_after_s breaker hint between tries (default 0)"
+        ),
+    )
+    p_submit.add_argument(
+        "--client-retry-cap", type=float, default=5.0, metavar="S",
+        help="longest the client will sleep on one breaker hint",
+    )
     _add_service_flags(p_submit)
     _add_obs_flags(p_submit)
     p_submit.set_defaults(func=cmd_submit)
@@ -562,6 +674,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_flags(p_serve)
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_route = sub.add_parser(
+        "route",
+        help=(
+            "run the multi-node fingerprint router over JSONL "
+            "stdin/stdout (N repro-serve subprocesses)"
+        ),
+    )
+    router_group = p_route.add_argument_group("router")
+    router_group.add_argument(
+        "--nodes", type=int, default=2,
+        help="service-node subprocesses to spawn (default 2)",
+    )
+    router_group.add_argument(
+        "--router-retries", type=int, default=2, metavar="N",
+        help="failover budget per request (default 2)",
+    )
+    router_group.add_argument(
+        "--failover-grace", type=float, default=2.0, metavar="S",
+        help=(
+            "kill a node that is silent this long past an in-flight "
+            "deadline (wedge detection, default 2)"
+        ),
+    )
+    router_group.add_argument(
+        "--node-metrics-dir", default=None, metavar="DIR",
+        help=(
+            "each node exports node-N.json metrics here on graceful "
+            "shutdown"
+        ),
+    )
+    router_group.add_argument(
+        "--node-kill-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "whole-node chaos: kill the owning node right after "
+            "dispatch on fraction P of attempts (seeded by "
+            "--chaos-seed)"
+        ),
+    )
+    _add_service_flags(p_route)
+    _add_obs_flags(p_route)
+    p_route.set_defaults(func=cmd_route)
     return parser
 
 

@@ -261,6 +261,72 @@ def format_service_metrics(snapshot: dict) -> str:
             ],
         )
 
+    router_statuses = _label_rows(
+        snapshot, "router_requests_total", "status"
+    )
+    dispatches = _label_rows(snapshot, "router_dispatch_total", "node")
+    node_up = {}
+    for key, value in gauges.items():
+        base, labels = _split_key(key)
+        if base == "router_node_up" and "node" in labels:
+            node_up[labels["node"]] = value
+    restarts = _label_rows(
+        snapshot, "router_node_restarts_total", "node"
+    )
+    router_pairs = [
+        (status, fmt(v))
+        for status, v in sorted(router_statuses.items())
+    ]
+    router_pairs += [
+        (f"dispatched_node_{k}", fmt(v))
+        for k, v in sorted(dispatches.items())
+    ]
+    router_pairs += [
+        ("nodes_up", fmt(sum(node_up.values()))) if node_up else
+        ("nodes_up", None),
+        (
+            "node_restarts",
+            fmt(sum(restarts.values())) if restarts else None,
+        ),
+        (
+            "failovers",
+            (
+                fmt(counters["router_failovers_total"])
+                if "router_failovers_total" in counters
+                else None
+            ),
+        ),
+        (
+            "ownership_churn",
+            (
+                fmt(counters["router_ownership_churn_total"])
+                if "router_ownership_churn_total" in counters
+                else None
+            ),
+        ),
+        (
+            "chaos_node_kills",
+            (
+                fmt(
+                    sum(
+                        _label_rows(
+                            snapshot,
+                            "router_chaos_node_kills_total",
+                            "node",
+                        ).values()
+                    )
+                )
+                if any(
+                    k.startswith("router_chaos_node_kills_total")
+                    for k in counters
+                )
+                else None
+            ),
+        ),
+    ]
+    if router_statuses or dispatches:
+        section("router", router_pairs)
+
     if not sections:
         return "(no service metrics in this snapshot)"
     return "\n".join(sections)

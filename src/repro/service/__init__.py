@@ -23,19 +23,32 @@ a long-running service around that observation:
 * :mod:`repro.service.chaos` — deterministic fault injection (worker
   kills/hangs/slowdowns, cached-plan field fuzzing, disk-tier
   corruption) for the chaos campaign tests;
+* :mod:`repro.service.proto` — the versioned wire protocol: typed
+  ``Request`` / ``Response`` dataclasses (``proto: 1``) with a closed
+  status and error-kind taxonomy, plus the legacy bare-dict
+  compatibility shim;
 * :mod:`repro.service.api` — the :class:`StencilService` facade plus
   the JSON request/response surface behind ``repro serve`` /
-  ``repro submit``.
+  ``repro submit``;
+* :mod:`repro.service.router` — the multi-node front end:
+  rendezvous-hashes each request's plan fingerprint onto one of N
+  service-node subprocesses, collapses identical in-flight requests
+  globally and fails requests over to the next node in rendezvous
+  order when a node dies (``repro route``).
 """
 
 from .api import ServiceConfig, StencilService
 from .chaos import ChaosConfig, ChaosInjector, PlanFuzzer
 from .executor import (
     CanarySampler,
+    Executor,
     PlanExecutor,
     PlanValidationError,
     compile_plan,
+    executor_backends,
+    make_executor,
     make_response,
+    register_executor,
     validate_plan,
 )
 from .pool import CircuitBreaker, ProcessPlanExecutor, shard_of
@@ -45,6 +58,17 @@ from .fingerprint import (
     fingerprint,
 )
 from .plancache import CachedPlan, CacheStats, PlanCache
+from .proto import (
+    ERROR_KINDS,
+    PROTO_VERSION,
+    STATUSES,
+    ErrorInfo,
+    ProtoError,
+    Request,
+    Response,
+    error_response,
+)
+from .router import NodeConfig, Router, RouterConfig, rendezvous_order
 from .scheduler import (
     QueueClosedError,
     ResultSlot,
@@ -60,21 +84,37 @@ __all__ = [
     "ChaosInjector",
     "CircuitBreaker",
     "CompileOptions",
+    "ERROR_KINDS",
+    "ErrorInfo",
+    "Executor",
     "FINGERPRINT_VERSION",
+    "NodeConfig",
+    "PROTO_VERSION",
     "PlanCache",
     "PlanExecutor",
     "PlanFuzzer",
     "PlanValidationError",
     "ProcessPlanExecutor",
+    "ProtoError",
     "QueueClosedError",
+    "Request",
+    "Response",
     "ResultSlot",
+    "Router",
+    "RouterConfig",
+    "STATUSES",
     "Scheduler",
     "ServiceConfig",
     "StencilService",
     "WorkItem",
     "compile_plan",
+    "error_response",
+    "executor_backends",
     "fingerprint",
+    "make_executor",
     "make_response",
+    "register_executor",
+    "rendezvous_order",
     "shard_of",
     "validate_plan",
 ]

@@ -40,13 +40,12 @@ from typing import Any, Dict, Optional
 
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracing import span
-from ..stencil.kernels import get_benchmark
-from ..stencil.spec import StencilSpec
 from .chaos import ChaosConfig
-from .executor import PlanExecutor, make_response
-from .fingerprint import CompileOptions, fingerprint
+from .executor import executor_backends, make_executor, make_response
+from .fingerprint import fingerprint
 from .plancache import PlanCache
-from .pool import ProcessPlanExecutor
+from .proto import ProtoError, Request, error_response
+from .pool import ProcessPlanExecutor  # noqa: F401 (registers backend)
 from .scheduler import QueueClosedError, ResultSlot, Scheduler, WorkItem
 
 __all__ = ["ServiceConfig", "StencilService"]
@@ -76,9 +75,10 @@ class ServiceConfig:
     chaos: Optional[ChaosConfig] = None  # process mode only
 
     def __post_init__(self) -> None:
-        if self.worker_mode not in ("thread", "process"):
+        if self.worker_mode not in executor_backends():
             raise ValueError(
-                f"worker_mode must be 'thread' or 'process', "
+                f"worker_mode must be one of "
+                f"{', '.join(repr(n) for n in executor_backends())}, "
                 f"got {self.worker_mode!r}"
             )
         if self.chaos is not None and self.chaos.enabled() and (
@@ -124,18 +124,12 @@ class StencilService:
             canary_hot_weight=self.config.canary_hot_weight,
             canary_hot_window=self.config.canary_hot_window,
         )
-        if self.config.worker_mode == "process":
-            self.executor = ProcessPlanExecutor(
-                breaker_threshold=self.config.breaker_threshold,
-                breaker_cooldown_s=self.config.breaker_cooldown_s,
-                hang_timeout_s=self.config.hang_timeout_s,
-                chaos=self.config.chaos,
-                **shared,
-            )
-        else:
-            self.executor = PlanExecutor(
-                fault_hook=fault_hook, **shared
-            )
+        self.executor = make_executor(
+            self.config.worker_mode,
+            config=self.config,
+            shared=shared,
+            fault_hook=fault_hook,
+        )
         self._started = False
         self._seq = 0
 
@@ -176,62 +170,35 @@ class StencilService:
         self.shutdown(drain=exc_type is None)
 
     # -- request parsing -----------------------------------------------
-    @staticmethod
-    def _parse_grid(value) -> Optional[tuple]:
-        if value is None:
-            return None
-        if isinstance(value, str):
-            parts = tuple(int(p) for p in value.lower().split("x"))
-        else:
-            parts = tuple(int(p) for p in value)
-        if not parts or any(p <= 0 for p in parts):
-            raise ValueError(f"grid extents must be positive: {value!r}")
-        return parts
-
-    def _parse(self, request: Dict[str, Any], request_id: str) -> WorkItem:
-        has_benchmark = "benchmark" in request
-        has_spec = "spec" in request
-        if has_benchmark == has_spec:
-            raise ValueError(
-                "request needs exactly one of 'benchmark' or 'spec'"
-            )
-        if has_benchmark:
-            spec = get_benchmark(str(request["benchmark"]))
-        else:
-            spec = StencilSpec.from_json(request["spec"])
-        grid = self._parse_grid(request.get("grid"))
-        if grid is not None:
-            spec = spec.with_grid(grid)
-        options = CompileOptions(
-            offchip_streams=int(request.get("streams", 1))
+    def _parse(self, req: Request, request_id: str) -> WorkItem:
+        spec, options = req.resolve_spec()
+        timeout_s = (
+            self.config.default_timeout_s
+            if req.timeout_s is None
+            else req.timeout_s
         )
-        timeout_s = float(
-            request.get("timeout_s", self.config.default_timeout_s)
-        )
-        if timeout_s <= 0:
-            raise ValueError("timeout_s must be positive")
-        validate = request.get("validate")
-        if validate is not None:
-            validate = bool(validate)
         return WorkItem(
             request_id=request_id,
             spec=spec,
             options=options,
             fingerprint=fingerprint(spec, options),
-            seed=int(request.get("seed", 2014)),
+            seed=req.seed,
             deadline=time.monotonic() + timeout_s,
             slot=self.scheduler.make_slot(),
-            validate=validate,
-            retries_left=int(
-                request.get("retries", self.config.max_retries)
+            validate=req.validate,
+            retries_left=(
+                self.config.max_retries
+                if req.retries is None
+                else req.retries
             ),
-            raw=request,
+            request=req,
+            raw=req.raw or req.to_json(),
         )
 
     # -- submission ----------------------------------------------------
-    def _next_id(self, request: Dict[str, Any]) -> str:
-        if "id" in request and request["id"] is not None:
-            return str(request["id"])
+    def _next_id(self, req: Request) -> str:
+        if req.id is not None:
+            return req.id
         self._seq += 1
         return f"req-{self._seq}"
 
@@ -240,25 +207,51 @@ class StencilService:
             "service_requests_total", {"status": status}
         ).inc()
 
+    def _resolve_invalid(
+        self, request_id, message: str, kind: str = "bad_request"
+    ) -> ResultSlot:
+        slot = self.scheduler.make_slot()
+        slot.resolve(
+            error_response(request_id, "invalid", message, kind=kind)
+        )
+        self._count("invalid")
+        return slot
+
     def submit(
         self,
-        request: Dict[str, Any],
+        request,
         block: bool = True,
         admission_timeout: Optional[float] = None,
     ) -> ResultSlot:
         """Admit one request; always returns a slot that will resolve.
 
-        Parse failures, a full queue (non-blocking admission) and a
-        draining service all resolve the slot immediately with
-        ``invalid`` / ``rejected`` responses — a submitter can always
-        block on the slot, nothing is dropped without a response.
+        ``request`` is either a typed :class:`repro.service.proto.Request`
+        or a wire dict — versioned (``proto: 1``) or a legacy bare
+        dict, which passes the compatibility shim and increments the
+        ``service_proto_legacy_total`` deprecation counter.  Parse
+        failures, a full queue (non-blocking admission) and a draining
+        service all resolve the slot immediately with ``invalid`` /
+        ``rejected`` responses — a submitter can always block on the
+        slot, nothing is dropped without a response.
         """
         if not self._started:
             self.start()
-        request_id = self._next_id(request)
+        if isinstance(request, Request):
+            req = request
+        else:
+            try:
+                req = Request.from_json(request, registry=self.metrics)
+            except ProtoError as exc:
+                return self._resolve_invalid(
+                    request.get("id") if isinstance(request, dict)
+                    else None,
+                    str(exc),
+                    kind=exc.kind,
+                )
+        request_id = self._next_id(req)
         with span("service.admit", request=request_id):
             try:
-                item = self._parse(request, request_id)
+                item = self._parse(req, request_id)
             except (KeyError, TypeError, ValueError) as exc:
                 # str(KeyError) wraps the message in repr quotes.
                 message = (
@@ -266,16 +259,7 @@ class StencilService:
                     if isinstance(exc, KeyError) and exc.args
                     else str(exc)
                 )
-                slot = self.scheduler.make_slot()
-                slot.resolve(
-                    {
-                        "id": request_id,
-                        "status": "invalid",
-                        "error": message,
-                    }
-                )
-                self._count("invalid")
-                return slot
+                return self._resolve_invalid(request_id, message)
             try:
                 admitted = self.scheduler.submit(
                     item, block=block, timeout=admission_timeout
@@ -288,12 +272,16 @@ class StencilService:
             return item.slot
 
     def _resolve_rejection(self, item: WorkItem) -> None:
-        reason = (
-            "service is draining"
-            if self.scheduler.closed
-            else f"queue full ({self.scheduler.max_queue})"
+        if self.scheduler.closed:
+            reason, kind = "service is draining", "draining"
+        else:
+            reason = f"queue full ({self.scheduler.max_queue})"
+            kind = "queue_full"
+        item.slot.resolve(
+            make_response(
+                item, "rejected", error=reason, error_kind=kind
+            )
         )
-        item.slot.resolve(make_response(item, "rejected", error=reason))
         self._count("rejected")
 
     def submit_json(self, line: str, **kwargs) -> ResultSlot:
@@ -303,22 +291,15 @@ class StencilService:
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as exc:
-            slot = self.scheduler.make_slot()
-            slot.resolve(
-                {
-                    "id": None,
-                    "status": "invalid",
-                    "error": f"bad request JSON: {exc}",
-                }
+            return self._resolve_invalid(
+                None, f"bad request JSON: {exc}"
             )
-            self._count("invalid")
-            return slot
         return self.submit(request, **kwargs)
 
     def handle(
         self,
-        request: Dict[str, Any],
+        request,
         wait_timeout: Optional[float] = None,
-    ) -> Dict[str, Any]:
+    ):
         """Synchronous convenience: submit and wait for the response."""
         return self.submit(request).result(wait_timeout)

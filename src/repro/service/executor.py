@@ -52,17 +52,30 @@ from ..stencil.golden import golden_output_sequence, make_input
 from ..stencil.spec import StencilSpec
 from .fingerprint import CompileOptions
 from .plancache import CachedPlan, PlanCache
+from .proto import ErrorInfo, Response, default_error_kind
 from .scheduler import Scheduler, WorkItem
+
+try:  # pragma: no cover - 3.8+ always has typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
 
 __all__ = [
     "LATENCY_BUCKETS_MS",
     "CanarySampler",
+    "Executor",
     "ExecutorBase",
     "PlanExecutor",
     "PlanValidationError",
     "compile_plan",
     "execute_stencil",
+    "executor_backends",
+    "make_executor",
     "make_response",
+    "register_executor",
     "validate_plan",
 ]
 
@@ -191,21 +204,35 @@ def validate_plan(
 
 
 def make_response(
-    item: WorkItem, status: str, **fields: Any
-) -> Dict[str, Any]:
-    """The JSON response shape shared by every resolution path."""
-    response: Dict[str, Any] = {
-        "id": item.request_id,
-        "status": status,
-        "benchmark": item.spec.name,
-        "fingerprint": item.fingerprint,
-        "latency_ms": round(
+    item: WorkItem,
+    status: str,
+    error: Optional[str] = None,
+    error_kind: Optional[str] = None,
+    **fields: Any,
+) -> Response:
+    """The typed ``proto: 1`` response shared by every resolution path.
+
+    ``error`` is the human-readable detail; ``error_kind`` pins the
+    taxonomy entry (defaults to the status's canonical kind).
+    """
+    info = None
+    if error is not None or status != "ok":
+        info = ErrorInfo(
+            kind=error_kind or default_error_kind(status),
+            detail=error or "",
+        )
+    return Response(
+        id=item.request_id,
+        status=status,
+        benchmark=item.spec.name,
+        fingerprint=item.fingerprint,
+        latency_ms=round(
             (time.monotonic() - item.admitted_at) * 1e3, 3
         ),
-        "attempts": item.attempts,
-    }
-    response.update(fields)
-    return response
+        attempts=item.attempts,
+        error=info,
+        **fields,
+    )
 
 
 class CanarySampler:
@@ -328,16 +355,16 @@ class ExecutorBase:
         return self.sampler.should_validate(item.fingerprint)
 
     # -- resolution paths ----------------------------------------------
-    def _resolve(self, item: WorkItem, response: Dict[str, Any]) -> None:
+    def _resolve(self, item: WorkItem, response: Response) -> None:
         if item.slot.resolve(response):
             self.registry.counter(
                 "service_requests_total",
-                {"status": response["status"]},
+                {"status": response.status},
             ).inc()
             self.registry.histogram(
                 "service_request_latency_ms",
                 buckets=LATENCY_BUCKETS_MS,
-            ).observe(response["latency_ms"])
+            ).observe(response.latency_ms)
 
     def _resolve_timeout(self, item: WorkItem) -> None:
         self._resolve(
@@ -370,7 +397,11 @@ class ExecutorBase:
         return self.scheduler.requeue(item)
 
     def _retry_or_fail(
-        self, item: WorkItem, error: str, backoff: bool = True
+        self,
+        item: WorkItem,
+        error: str,
+        backoff: bool = True,
+        kind: Optional[str] = None,
     ) -> None:
         if item.retries_left > 0 and not item.expired():
             item.retries_left -= 1
@@ -383,7 +414,66 @@ class ExecutorBase:
             if self._requeue(item):
                 return
             error = f"{error} (retry requeue failed: queue full)"
-        self._resolve(item, make_response(item, "error", error=error))
+        self._resolve(
+            item,
+            make_response(item, "error", error=error, error_kind=kind),
+        )
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The contract every execution backend satisfies.
+
+    A backend drains the shared :class:`Scheduler`, resolves every
+    admitted :class:`WorkItem` exactly once, and exposes two
+    lifecycle calls.  :class:`StencilService` (and the router's node
+    spawner) select a backend *by name* through the factory registry
+    below — there is no backend ``if``/``else`` anywhere else.
+    """
+
+    def start(self) -> None:
+        """Begin draining the scheduler."""
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        """Stop after the scheduler is idle; join worker resources."""
+
+
+#: name -> factory(config, shared, fault_hook) for executor backends.
+_EXECUTOR_BACKENDS: Dict[str, Callable[..., "ExecutorBase"]] = {}
+
+
+def register_executor(name: str) -> Callable:
+    """Class decorator-style registration of one executor backend.
+
+    The registered callable receives ``(config, shared, fault_hook)``
+    where ``config`` is the :class:`~repro.service.api.ServiceConfig`
+    and ``shared`` the kwargs every :class:`ExecutorBase` takes.
+    """
+
+    def _register(factory: Callable[..., "ExecutorBase"]):
+        _EXECUTOR_BACKENDS[name] = factory
+        return factory
+
+    return _register
+
+
+def executor_backends() -> Tuple[str, ...]:
+    """The registered backend names (sorted, for error messages)."""
+    return tuple(sorted(_EXECUTOR_BACKENDS))
+
+
+def make_executor(
+    name: str, config: Any, shared: Dict[str, Any], fault_hook=None
+) -> "ExecutorBase":
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _EXECUTOR_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {name!r} (registered: "
+            f"{', '.join(executor_backends())})"
+        ) from None
+    return factory(config, shared, fault_hook)
 
 
 class PlanExecutor(ExecutorBase):
@@ -474,7 +564,11 @@ class PlanExecutor(ExecutorBase):
             )
         except Exception as exc:
             for item in live:
-                self._retry_or_fail(item, f"compile failed: {exc}")
+                self._retry_or_fail(
+                    item,
+                    f"compile failed: {exc}",
+                    kind="compile_failed",
+                )
             return
         compile_ms = (time.perf_counter() - started) * 1e3
         self.registry.counter(
@@ -534,3 +628,9 @@ class PlanExecutor(ExecutorBase):
             )
         except Exception as exc:
             self._retry_or_fail(item, str(exc))
+
+
+@register_executor("thread")
+def _make_thread_executor(config, shared, fault_hook) -> PlanExecutor:
+    """``worker_mode="thread"``: N threads inside this process."""
+    return PlanExecutor(fault_hook=fault_hook, **shared)

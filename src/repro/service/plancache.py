@@ -349,6 +349,9 @@ class PlanCache:
                     plan = compile_fn()
                 self.put(plan)
                 outcome = "miss"
+                # One real compile ran (followers coalesce): the exact
+                # count global single-flight assertions lean on.
+                self._count("service_plan_compiles_total")
             flight.resolve(plan)
             return plan, outcome
         except BaseException as exc:

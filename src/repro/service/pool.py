@@ -55,6 +55,7 @@ from .executor import (
     compile_plan,
     execute_stencil,
     make_response,
+    register_executor,
     validate_plan,
 )
 from .fingerprint import CompileOptions
@@ -151,6 +152,19 @@ class CircuitBreaker:
             if tripped:  # already open (concurrent shard failures)
                 self._opened_at = self._clock()
             return None
+
+    def retry_after_s(self) -> float:
+        """Cooldown seconds left before the next half-open probe.
+
+        Zero unless the breaker is currently open; clients receiving a
+        ``circuit_open`` response can back off exactly this long
+        instead of guessing.
+        """
+        with self._lock:
+            if self.state != BREAKER_OPEN or self._opened_at is None:
+                return 0.0
+            elapsed = self._clock() - self._opened_at
+            return max(0.0, self.cooldown_s - elapsed)
 
 
 # ---------------------------------------------------------------------
@@ -664,6 +678,7 @@ class ProcessPlanExecutor(ExecutorBase):
             return
         breaker = self._breaker(fp)
         if not breaker.allow():
+            retry_after = round(breaker.retry_after_s(), 3)
             for item in live:
                 self._resolve(
                     item,
@@ -674,6 +689,8 @@ class ProcessPlanExecutor(ExecutorBase):
                             "circuit breaker open: this plan "
                             "repeatedly crashed workers"
                         ),
+                        error_kind="circuit_open",
+                        retry_after_s=retry_after,
                     ),
                 )
             return
@@ -743,6 +760,7 @@ class ProcessPlanExecutor(ExecutorBase):
                         f"worker {status} while executing plan "
                         f"{fp[:12]}",
                         backoff=False,
+                        kind="worker_lost",
                     )
             return
 
@@ -754,13 +772,18 @@ class ProcessPlanExecutor(ExecutorBase):
                 "service_pool_jobs_total", {"outcome": "compile_error"}
             ).inc()
             for item in live:
-                self._retry_or_fail(item, reply["error"])
+                self._retry_or_fail(
+                    item, reply["error"], kind="compile_failed"
+                )
             return
 
         # Harvest a worker-side compile into the shared cache.
         if reply.get("plan") is not None:
             self.cache.put(CachedPlan.from_json(reply["plan"]))
             plan = CachedPlan.from_json(reply["plan"])
+            # A worker actually ran the Fig 11 flow: count the real
+            # compile, so single-flight tests can assert exact counts.
+            self.registry.counter("service_plan_compiles_total").inc()
         self.registry.counter(
             "service_cache_total", {"outcome": outcome}
         ).inc()
@@ -813,3 +836,17 @@ class ProcessPlanExecutor(ExecutorBase):
         closed = breaker.record_success()
         if closed == BREAKER_CLOSED:
             self._publish_breaker(fp, BREAKER_CLOSED)
+
+
+@register_executor("process")
+def _make_process_executor(
+    config, shared, fault_hook
+) -> ProcessPlanExecutor:
+    """``worker_mode="process"``: the crash-isolated sharded pool."""
+    return ProcessPlanExecutor(
+        breaker_threshold=config.breaker_threshold,
+        breaker_cooldown_s=config.breaker_cooldown_s,
+        hang_timeout_s=config.hang_timeout_s,
+        chaos=config.chaos,
+        **shared,
+    )

@@ -1,0 +1,444 @@
+"""The service's versioned wire protocol: typed requests and responses.
+
+Every JSONL line that crosses a service boundary — ``repro submit``,
+``repro serve``, the multi-node router of :mod:`repro.service.router`
+and the parent/node pipes underneath it — is one of two documents:
+
+* a :class:`Request` (``proto: 1``, exactly one of ``benchmark`` or
+  ``spec``, plus grid/seed/timeout/validate/retry knobs);
+* a :class:`Response` (``proto: 1``, a closed ``status`` vocabulary,
+  and on failure a structured ``error`` object with a closed
+  ``kind`` taxonomy and a free-text ``detail``).
+
+Versioning rules
+----------------
+``proto`` is an integer, currently :data:`PROTO_VERSION` (1).  A
+request *without* a ``proto`` field is accepted as a legacy bare dict
+through a compatibility shim — it parses exactly like version 1 but
+increments the ``service_proto_legacy_total`` deprecation counter so
+operators can see how much unversioned traffic remains.  A request
+with an unknown ``proto`` value is rejected up front with
+``error.kind = "unsupported_proto"`` rather than half-parsed.
+
+Error taxonomy
+--------------
+``status`` stays the eight values the service has always emitted
+(:data:`STATUSES`); the new ``error.kind`` (:data:`ERROR_KINDS`)
+subdivides the failure statuses so clients can branch without string
+matching — e.g. ``circuit_open`` responses carry
+``retry_after_s`` (the breaker cooldown remaining) and
+``kind = "circuit_open"``, while a crashed node surfaces as
+``kind = "worker_lost"``.  ``to_json``/``from_json`` round-trip
+losslessly (property-tested) and ``from_json`` validates both closed
+vocabularies, so a response that leaves one process always parses in
+the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "ERROR_KINDS",
+    "PROTO_VERSION",
+    "STATUSES",
+    "ErrorInfo",
+    "ProtoError",
+    "Request",
+    "Response",
+    "default_error_kind",
+]
+
+#: Bump on any incompatible change to the request/response shapes.
+PROTO_VERSION = 1
+
+#: The closed response-status vocabulary (unchanged since PR 2/3).
+STATUSES = (
+    "ok",
+    "invalid",
+    "rejected",
+    "timeout",
+    "error",
+    "validation_failed",
+    "circuit_open",
+    "cancelled",
+)
+
+#: The closed ``error.kind`` taxonomy subdividing failure statuses.
+ERROR_KINDS = (
+    "bad_request",       # unparseable / self-contradictory request
+    "unsupported_proto",  # unknown ``proto`` version
+    "queue_full",        # bounded admission queue rejected the request
+    "draining",          # service is shutting down gracefully
+    "deadline",          # per-request deadline expired
+    "compile_failed",    # the Fig 11 pipeline raised
+    "execution_failed",  # golden execution raised / retries exhausted
+    "plan_validation",   # structural check or cycle-sim canary tripped
+    "circuit_open",      # per-plan breaker is quarantining this plan
+    "worker_lost",       # worker process / service node died or hung
+    "cancelled",         # non-drain shutdown resolved the request
+    "internal",          # anything that escaped the taxonomy
+)
+
+#: The default ``error.kind`` for each failure status.
+_STATUS_DEFAULT_KIND = {
+    "invalid": "bad_request",
+    "rejected": "queue_full",
+    "timeout": "deadline",
+    "error": "execution_failed",
+    "validation_failed": "plan_validation",
+    "circuit_open": "circuit_open",
+    "cancelled": "cancelled",
+}
+
+
+def default_error_kind(status: str) -> str:
+    """The taxonomy kind implied by a failure ``status`` alone."""
+    return _STATUS_DEFAULT_KIND.get(status, "internal")
+
+
+class ProtoError(ValueError):
+    """A document that does not parse as this protocol version.
+
+    ``kind`` is the :data:`ERROR_KINDS` entry the rejection maps to
+    (``bad_request`` or ``unsupported_proto``), so the caller can
+    build a well-formed error :class:`Response` from the exception.
+    """
+
+    def __init__(self, message: str, kind: str = "bad_request") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured failure payload: a closed ``kind`` plus free text."""
+
+    kind: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ERROR_KINDS:
+            raise ProtoError(
+                f"unknown error kind {self.kind!r} "
+                f"(expected one of {', '.join(ERROR_KINDS)})"
+            )
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+    @classmethod
+    def from_json(cls, data: Any) -> "ErrorInfo":
+        if isinstance(data, str):  # legacy flat error strings
+            return cls(kind="internal", detail=data)
+        if not isinstance(data, dict):
+            raise ProtoError("error must be an object or a string")
+        return cls(
+            kind=str(data.get("kind", "internal")),
+            detail=str(data.get("detail", "")),
+        )
+
+
+def _check_proto_version(data: Dict[str, Any]) -> bool:
+    """Validate ``data['proto']``; returns True when the field exists.
+
+    Raises :class:`ProtoError` (kind ``unsupported_proto``) on any
+    value other than :data:`PROTO_VERSION`.
+    """
+    if "proto" not in data or data["proto"] is None:
+        return False
+    version = data["proto"]
+    if not isinstance(version, int) or isinstance(version, bool) or (
+        version != PROTO_VERSION
+    ):
+        raise ProtoError(
+            f"unsupported proto version {version!r} "
+            f"(this service speaks proto {PROTO_VERSION})",
+            kind="unsupported_proto",
+        )
+    return True
+
+
+def _parse_grid(value: Any) -> Optional[Tuple[int, ...]]:
+    """Normalize ``[24, 32]`` / ``"24x32"`` / None to a tuple."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        parts = tuple(int(p) for p in value.lower().split("x"))
+    else:
+        parts = tuple(int(p) for p in value)
+    if not parts or any(p <= 0 for p in parts):
+        raise ProtoError(f"grid extents must be positive: {value!r}")
+    return parts
+
+
+@dataclass(frozen=True)
+class Request:
+    """One compile-and-execute request (``proto: 1``).
+
+    Exactly one of ``benchmark`` (a registered kernel name) or
+    ``spec`` (:meth:`StencilSpec.to_json` output) must be set; the
+    rest are optional knobs with service-side defaults.  ``raw`` is
+    the original wire dict (excluded from equality) so downstream
+    hooks can see request fields outside the protocol.
+    """
+
+    id: Optional[str] = None
+    benchmark: Optional[str] = None
+    spec: Optional[dict] = None
+    grid: Optional[Tuple[int, ...]] = None
+    streams: int = 1
+    seed: int = 2014
+    timeout_s: Optional[float] = None
+    validate: Optional[bool] = None
+    retries: Optional[int] = None
+    proto: int = PROTO_VERSION
+    raw: Dict[str, Any] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.spec is None):
+            raise ProtoError(
+                "request needs exactly one of 'benchmark' or 'spec'"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ProtoError("timeout_s must be positive")
+        if self.retries is not None and self.retries < 0:
+            raise ProtoError("retries must be >= 0")
+        if self.streams < 1:
+            raise ProtoError("streams must be >= 1")
+
+    def to_json(self) -> dict:
+        out: Dict[str, Any] = {"proto": self.proto}
+        if self.id is not None:
+            out["id"] = self.id
+        if self.benchmark is not None:
+            out["benchmark"] = self.benchmark
+        if self.spec is not None:
+            out["spec"] = self.spec
+        if self.grid is not None:
+            out["grid"] = list(self.grid)
+        if self.streams != 1:
+            out["streams"] = self.streams
+        if self.seed != 2014:
+            out["seed"] = self.seed
+        if self.timeout_s is not None:
+            out["timeout_s"] = self.timeout_s
+        if self.validate is not None:
+            out["validate"] = self.validate
+        if self.retries is not None:
+            out["retries"] = self.retries
+        return out
+
+    @classmethod
+    def from_json(
+        cls, data: Any, registry=None
+    ) -> "Request":
+        """Parse a wire dict; bare legacy dicts pass the compat shim.
+
+        A dict without ``proto`` is accepted but counted on
+        ``registry``'s ``service_proto_legacy_total`` deprecation
+        counter.  Unknown keys are ignored (and preserved in
+        ``raw``); unknown ``proto`` versions are rejected.
+        """
+        if not isinstance(data, dict):
+            raise ProtoError("request must be a JSON object")
+        versioned = _check_proto_version(data)
+        if not versioned and registry is not None:
+            registry.counter("service_proto_legacy_total").inc()
+        try:
+            spec = data.get("spec")
+            if spec is not None and not isinstance(spec, dict):
+                raise ProtoError("'spec' must be a JSON object")
+            request_id = data.get("id")
+            return cls(
+                id=None if request_id is None else str(request_id),
+                benchmark=(
+                    None
+                    if data.get("benchmark") is None
+                    else str(data["benchmark"])
+                ),
+                spec=spec,
+                grid=_parse_grid(data.get("grid")),
+                streams=int(data.get("streams", 1)),
+                seed=int(data.get("seed", 2014)),
+                timeout_s=(
+                    None
+                    if data.get("timeout_s") is None
+                    else float(data["timeout_s"])
+                ),
+                validate=(
+                    None
+                    if data.get("validate") is None
+                    else bool(data["validate"])
+                ),
+                retries=(
+                    None
+                    if data.get("retries") is None
+                    else int(data["retries"])
+                ),
+                raw=dict(data),
+            )
+        except ProtoError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ProtoError(str(exc)) from exc
+
+    def with_id(self, request_id: str) -> "Request":
+        return replace(self, id=request_id)
+
+    def resolve_spec(self):
+        """``(StencilSpec, CompileOptions)`` for this request.
+
+        Resolution can fail on content (unknown benchmark name, a
+        malformed embedded spec); those surface as the underlying
+        ``KeyError``/``ValueError`` for the service to map to an
+        ``invalid`` response.
+        """
+        from ..stencil.kernels import get_benchmark
+        from ..stencil.spec import StencilSpec
+        from .fingerprint import CompileOptions
+
+        if self.benchmark is not None:
+            spec = get_benchmark(self.benchmark)
+        else:
+            spec = StencilSpec.from_json(self.spec)
+        if self.grid is not None:
+            spec = spec.with_grid(self.grid)
+        return spec, CompileOptions(offchip_streams=self.streams)
+
+
+@dataclass
+class Response:
+    """One service response (``proto: 1``).
+
+    ``status`` is always one of :data:`STATUSES`; every non-``ok``
+    response carries a structured :class:`ErrorInfo`.  The dataclass
+    also implements read-only mapping access (``resp["status"]``,
+    ``resp.get(...)``, ``key in resp``) over its wire encoding, so
+    call sites written against the old bare-dict responses keep
+    working unchanged.
+    """
+
+    id: Optional[str]
+    status: str
+    proto: int = PROTO_VERSION
+    benchmark: Optional[str] = None
+    fingerprint: Optional[str] = None
+    latency_ms: Optional[float] = None
+    attempts: Optional[int] = None
+    cache: Optional[str] = None
+    n_outputs: Optional[int] = None
+    mean: Optional[float] = None
+    checksum: Optional[str] = None
+    validated: Optional[bool] = None
+    summary: Optional[dict] = None
+    retry_after_s: Optional[float] = None
+    node: Optional[int] = None
+    error: Optional[ErrorInfo] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ProtoError(
+                f"unknown status {self.status!r} "
+                f"(expected one of {', '.join(STATUSES)})"
+            )
+        if self.status != "ok" and self.error is None:
+            self.error = ErrorInfo(
+                kind=default_error_kind(self.status), detail=""
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        out: Dict[str, Any] = {
+            "proto": self.proto,
+            "id": self.id,
+            "status": self.status,
+        }
+        for name in (
+            "benchmark",
+            "fingerprint",
+            "latency_ms",
+            "attempts",
+            "cache",
+            "n_outputs",
+            "mean",
+            "checksum",
+            "validated",
+            "summary",
+            "retry_after_s",
+            "node",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.error is not None:
+            out["error"] = self.error.to_json()
+        return out
+
+    @classmethod
+    def from_json(cls, data: Any) -> "Response":
+        """Parse and *validate* a wire response dict.
+
+        Both closed vocabularies are enforced; responses written by
+        an incompatible future version fail here instead of leaking
+        malformed fields downstream.
+        """
+        if not isinstance(data, dict):
+            raise ProtoError("response must be a JSON object")
+        _check_proto_version(data)
+        if "status" not in data:
+            raise ProtoError("response is missing 'status'")
+        known = {f.name for f in fields(cls)}
+        kwargs: Dict[str, Any] = {
+            k: v for k, v in data.items() if k in known
+        }
+        if "error" in data and data["error"] is not None:
+            kwargs["error"] = ErrorInfo.from_json(data["error"])
+        else:
+            kwargs.pop("error", None)
+        request_id = kwargs.get("id")
+        kwargs["id"] = None if request_id is None else str(request_id)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ProtoError(str(exc)) from exc
+
+    # -- legacy mapping access (bare-dict compatibility) ---------------
+    def __getitem__(self, key: str) -> Any:
+        return self.to_json()[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.to_json()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.to_json().get(key, default)
+
+    def keys(self):
+        return self.to_json().keys()
+
+
+def error_response(
+    request_id: Optional[str],
+    status: str,
+    detail: str,
+    kind: Optional[str] = None,
+    **extra: Any,
+) -> Response:
+    """A failure :class:`Response` with a well-formed error object."""
+    return Response(
+        id=request_id,
+        status=status,
+        error=ErrorInfo(
+            kind=kind or default_error_kind(status), detail=detail
+        ),
+        **extra,
+    )
+
+
+__all__.append("error_response")

@@ -1,0 +1,739 @@
+"""Multi-node fingerprint router over service-node subprocesses.
+
+:class:`Router` is the front end of a small cluster: it owns the
+client-facing JSONL surface, spawns N *service nodes* (each one a
+``repro serve`` subprocess speaking the :mod:`repro.service.proto`
+JSONL protocol over its stdin/stdout pipes) and places every request
+on one node by **rendezvous hashing** its plan fingerprint:
+
+* the fingerprint is computed *at the router* from the parsed
+  request, so placement needs no node round trip;
+* :func:`rendezvous_order` ranks all nodes by a per-(fingerprint,
+  node) hash — each fingerprint has one deterministic *home* node and
+  a deterministic failover order, and adding/removing a node only
+  moves the fingerprints that hashed to it (minimal ownership churn);
+* an **in-flight owner table** pins a fingerprint to the node
+  currently serving it, which makes single-flight *global*:
+  concurrent identical requests all land on the owning node, whose
+  plan-cache single-flight collapses them into one compile.
+
+Failure handling keeps the service invariant — *nothing is dropped
+without a response*:
+
+* a node that **dies** mid-request (crash, chaos kill) fails its
+  in-flight requests over to the next alive node in rendezvous order,
+  within each request's retry/deadline budget;
+* a node that **wedges** (silent past every in-flight deadline plus a
+  grace period) is killed and treated the same way;
+* dead nodes are respawned by a supervisor thread, and with a shared
+  ``cache_dir`` the sibling promotes the already-compiled plan from
+  the disk tier instead of recompiling.
+
+Health, queue depth and ownership churn are exported per node through
+:mod:`repro.obs` (``router_node_up``, ``router_node_pending``,
+``router_ownership_churn_total``, ...).  Whole-node chaos (seeded
+kills of the owning node right after dispatch) reuses the
+:mod:`repro.service.chaos` decision function so campaigns replay
+exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry, get_metrics
+from ..obs.tracing import span
+from .chaos import ChaosConfig, ChaosInjector
+from .fingerprint import fingerprint
+from .proto import ProtoError, Request, Response, error_response
+from .scheduler import ResultSlot
+
+__all__ = [
+    "NodeConfig",
+    "Router",
+    "RouterConfig",
+    "rendezvous_order",
+]
+
+
+def rendezvous_order(fp: str, nodes: int) -> Tuple[int, ...]:
+    """All node indices by descending highest-random-weight score.
+
+    ``order[0]`` is the fingerprint's home node; ``order[1:]`` is its
+    failover sequence.  Pure function of ``(fp, nodes)``, so every
+    router instance agrees on placement without coordination.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    scores = []
+    for idx in range(nodes):
+        digest = hashlib.sha256(f"{fp}:{idx}".encode("utf-8")).digest()
+        scores.append((-int.from_bytes(digest[:8], "big"), idx))
+    scores.sort()
+    return tuple(idx for _, idx in scores)
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """How the router spawns each ``repro serve`` node."""
+
+    workers: int = 2
+    queue: int = 256
+    max_batch: int = 16
+    worker_mode: str = "thread"
+    validate_every: int = 0
+    cache_dir: Optional[str] = None  # share across nodes for failover
+    hang_timeout_s: float = 60.0
+    extra_args: Tuple[str, ...] = ()
+
+    def argv(self) -> List[str]:
+        out = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--workers", str(self.workers),
+            "--queue", str(self.queue),
+            "--max-batch", str(self.max_batch),
+            "--worker-mode", self.worker_mode,
+            "--validate-every", str(self.validate_every),
+            "--hang-timeout", str(self.hang_timeout_s),
+        ]
+        if self.cache_dir:
+            out += ["--cache-dir", self.cache_dir]
+        out += list(self.extra_args)
+        return out
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunables of one router instance."""
+
+    nodes: int = 2
+    node: NodeConfig = field(default_factory=NodeConfig)
+    default_timeout_s: float = 30.0
+    max_retries: int = 2  # failover budget per request
+    failover_grace_s: float = 2.0  # wedge = deadline + this, no reply
+    monitor_interval_s: float = 0.05
+    node_metrics_dir: Optional[str] = None  # node-N.json on clean exit
+    chaos_seed: int = 2014
+    node_kill_rate: float = 0.0  # kill the owning node after dispatch
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if not 0.0 <= self.node_kill_rate <= 1.0:
+            raise ValueError("node_kill_rate must be in [0, 1]")
+
+
+@dataclass
+class _Pending:
+    """One client request currently dispatched to a node."""
+
+    internal_id: str  # the id on the node wire ("rt-N")
+    client_id: Optional[str]
+    request: Request
+    fingerprint: str
+    slot: ResultSlot
+    deadline: float  # monotonic
+    retries_left: int
+    attempts: int = 0
+    node: int = -1
+    generation: int = -1  # node process generation dispatched to
+
+
+class _Node:
+    """One supervised ``repro serve`` subprocess behind pipes."""
+
+    def __init__(self, idx: int, config: RouterConfig) -> None:
+        self.idx = idx
+        self.config = config
+        self.proc: Optional[subprocess.Popen] = None
+        self.generation = -1
+        self.write_lock = threading.Lock()
+        self.closing = False  # stdin EOF sent (graceful drain)
+
+    def _argv(self) -> List[str]:
+        out = self.config.node.argv()
+        if self.config.node_metrics_dir:
+            out += [
+                "--metrics-out",
+                os.path.join(
+                    self.config.node_metrics_dir,
+                    f"node-{self.idx}.json",
+                ),
+            ]
+        return out
+
+    def spawn(self) -> None:
+        env = os.environ.copy()
+        # Make ``python -m repro`` resolvable even when the parent was
+        # launched from outside the source tree.
+        src = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        path = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + path if path else "")
+        self.proc = subprocess.Popen(
+            self._argv(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            bufsize=1,
+            env=env,
+        )
+        self.generation += 1
+        self.closing = False
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def send(self, wire: dict, generation: int) -> None:
+        """Write one request line to process ``generation``.
+
+        Raises OSError on a dead pipe *or* when the node has been
+        respawned since the caller picked it — without the generation
+        check a request registered against the old process could be
+        written into the new one's stdin, double-serving it after the
+        caller's failover re-dispatch.
+        """
+        line = json.dumps(wire, sort_keys=True) + "\n"
+        with self.write_lock:
+            if self.generation != generation:
+                raise BrokenPipeError("node was respawned")
+            if self.proc is None or self.proc.stdin is None:
+                raise BrokenPipeError("node has no stdin")
+            self.proc.stdin.write(line)
+            self.proc.stdin.flush()
+
+    def kill(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+
+    def close_stdin(self) -> None:
+        """EOF = graceful drain; the node answers stragglers, exports
+        its metrics file and exits on its own."""
+        self.closing = True
+        with self.write_lock:
+            if self.proc is not None and self.proc.stdin is not None:
+                try:
+                    self.proc.stdin.close()
+                except OSError:
+                    pass
+
+
+class Router:
+    """Rendezvous-hashing front end over N service-node subprocesses.
+
+    The client surface mirrors :class:`StencilService`:
+    :meth:`submit` / :meth:`submit_json` return a
+    :class:`~repro.service.scheduler.ResultSlot` that always resolves
+    with a typed :class:`~repro.service.proto.Response`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RouterConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or RouterConfig()
+        self.metrics = registry or get_metrics() or MetricsRegistry()
+        self._nodes = [
+            _Node(i, self.config) for i in range(self.config.nodes)
+        ]
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._pending: Dict[str, _Pending] = {}
+        #: fingerprint -> (node index, in-flight count): the global
+        #: single-flight owner table.
+        self._owners: Dict[str, List[int]] = {}
+        self._seq = 0
+        self._started = False
+        self._closed = False
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._readers: List[threading.Thread] = []
+        self._chaos: Optional[ChaosInjector] = None
+        if self.config.node_kill_rate > 0.0:
+            self._chaos = ChaosInjector(
+                ChaosConfig(
+                    seed=self.config.chaos_seed,
+                    kill_rate=self.config.node_kill_rate,
+                )
+            )
+        if self.config.node_metrics_dir:
+            os.makedirs(self.config.node_metrics_dir, exist_ok=True)
+
+    # -- telemetry -----------------------------------------------------
+    def _count(self, name: str, labels=None) -> None:
+        self.metrics.counter(name, labels).inc()
+
+    def _node_labels(self, idx: int) -> dict:
+        return {"node": str(idx)}
+
+    def _sync_gauges(self) -> None:
+        with self._lock:
+            per_node = [0] * len(self._nodes)
+            for entry in self._pending.values():
+                if 0 <= entry.node < len(per_node):
+                    per_node[entry.node] += 1
+            inflight = len(self._owners)
+        for node in self._nodes:
+            self.metrics.gauge(
+                "router_node_up", self._node_labels(node.idx)
+            ).set(1 if node.alive() else 0)
+            self.metrics.gauge(
+                "router_node_pending", self._node_labels(node.idx)
+            ).set(per_node[node.idx])
+        self.metrics.gauge("router_inflight_fingerprints").set(inflight)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "Router":
+        if self._started:
+            return self
+        self._started = True
+        for node in self._nodes:
+            self._spawn_node(node)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            name="router-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+        return self
+
+    def _spawn_node(self, node: _Node) -> None:
+        node.spawn()
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(node, node.generation),
+            name=f"router-node-{node.idx}-reader",
+            daemon=True,
+        )
+        reader.start()
+        self._readers.append(reader)
+        self.metrics.gauge(
+            "router_node_up", self._node_labels(node.idx)
+        ).set(1)
+
+    def __enter__(self) -> "Router":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- placement -----------------------------------------------------
+    def _pick_node(self, fp: str) -> Optional[int]:
+        """The owning node for ``fp`` (caller holds the lock).
+
+        A pinned in-flight owner wins (global single-flight); else the
+        first *alive* node in rendezvous order.  Returns None when no
+        node is alive right now.
+        """
+        owner = self._owners.get(fp)
+        if owner is not None and self._nodes[owner[0]].alive():
+            return owner[0]
+        for idx in rendezvous_order(fp, len(self._nodes)):
+            if self._nodes[idx].alive():
+                return idx
+        return None
+
+    def _pin(self, fp: str, idx: int) -> None:
+        """Record one more in-flight request for ``fp`` on ``idx``
+        (caller holds the lock); counts churn on an owner change."""
+        owner = self._owners.get(fp)
+        if owner is None:
+            self._owners[fp] = [idx, 1]
+            if idx != rendezvous_order(fp, len(self._nodes))[0]:
+                self._count("router_ownership_churn_total")
+        else:
+            if owner[0] != idx:
+                owner[0] = idx
+                self._count("router_ownership_churn_total")
+            owner[1] += 1
+
+    def _unpin(self, fp: str) -> None:
+        owner = self._owners.get(fp)
+        if owner is None:
+            return
+        owner[1] -= 1
+        if owner[1] <= 0:
+            del self._owners[fp]
+
+    # -- submission ----------------------------------------------------
+    def _take(self, internal_id: str) -> Optional[_Pending]:
+        """Claim exclusive ownership of a pending entry.
+
+        Every resolution/failover path goes through this: whoever
+        pops the entry from the table owns its fate, so a response
+        racing a node-death sweep can never double-handle one
+        request.  Returns None when someone else already took it.
+        """
+        with self._lock:
+            entry = self._pending.pop(internal_id, None)
+            if entry is not None:
+                self._unpin(entry.fingerprint)
+            if not self._pending:
+                self._drained.notify_all()
+        return entry
+
+    def _resolve_entry(
+        self, entry: _Pending, response: Response
+    ) -> None:
+        """Resolve a *taken* entry's client slot."""
+        response.id = entry.client_id
+        entry.slot.resolve(response)
+        self._count(
+            "router_requests_total", {"status": response.status}
+        )
+
+    def _resolve_direct(
+        self, request_id, status: str, detail: str, kind=None
+    ) -> ResultSlot:
+        """A response that never reached a node (parse failures...)."""
+        slot = ResultSlot()
+        slot.resolve(error_response(request_id, status, detail, kind=kind))
+        self._count("router_requests_total", {"status": status})
+        return slot
+
+    def submit_json(self, line: str) -> ResultSlot:
+        """Submit one JSON-encoded request line."""
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return self._resolve_direct(
+                None, "invalid", f"bad request JSON: {exc}"
+            )
+        return self.submit(data)
+
+    def submit(self, request) -> ResultSlot:
+        """Route one request (typed or wire dict) onto its node."""
+        if not self._started:
+            self.start()
+        if isinstance(request, Request):
+            req = request
+        else:
+            try:
+                req = Request.from_json(request, registry=self.metrics)
+            except ProtoError as exc:
+                return self._resolve_direct(
+                    request.get("id")
+                    if isinstance(request, dict)
+                    else None,
+                    "invalid",
+                    str(exc),
+                    kind=exc.kind,
+                )
+        if self._closed:
+            return self._resolve_direct(
+                req.id, "rejected", "router is draining", kind="draining"
+            )
+        try:
+            spec, options = req.resolve_spec()
+        except (KeyError, TypeError, ValueError) as exc:
+            message = (
+                exc.args[0]
+                if isinstance(exc, KeyError) and exc.args
+                else str(exc)
+            )
+            return self._resolve_direct(req.id, "invalid", message)
+        fp = fingerprint(spec, options)
+        timeout_s = (
+            self.config.default_timeout_s
+            if req.timeout_s is None
+            else req.timeout_s
+        )
+        with self._lock:
+            self._seq += 1
+            internal_id = f"rt-{self._seq}"
+        entry = _Pending(
+            internal_id=internal_id,
+            client_id=req.id,
+            request=req,
+            fingerprint=fp,
+            slot=ResultSlot(),
+            deadline=time.monotonic() + timeout_s,
+            retries_left=(
+                self.config.max_retries
+                if req.retries is None
+                else req.retries
+            ),
+        )
+        with span(
+            "router.dispatch",
+            request=internal_id,
+            fingerprint=fp[:12],
+        ):
+            self._dispatch(entry)
+        return entry.slot
+
+    def _dispatch(self, entry: _Pending) -> None:
+        """Place ``entry`` on its owning node (initial or failover)."""
+        while True:
+            with self._lock:
+                idx = self._pick_node(entry.fingerprint)
+                if idx is not None:
+                    self._pin(entry.fingerprint, idx)
+                    node = self._nodes[idx]
+                    entry.node = idx
+                    entry.generation = node.generation
+                    self._pending[entry.internal_id] = entry
+            if idx is None:
+                # Every node is down; the supervisor respawns them on
+                # its next tick — wait it out within the deadline.
+                if time.monotonic() > entry.deadline:
+                    self._resolve_entry(
+                        entry,
+                        error_response(
+                            None,
+                            "timeout",
+                            "no service node became available "
+                            "before the deadline",
+                            kind="worker_lost",
+                            fingerprint=entry.fingerprint,
+                            attempts=entry.attempts,
+                        ),
+                    )
+                    return
+                time.sleep(self.config.monitor_interval_s)
+                continue
+            wire = replace(
+                entry.request, id=entry.internal_id
+            ).to_json()
+            try:
+                node.send(wire, entry.generation)
+            except OSError:
+                # Died (or was respawned) between the liveness check
+                # and the write; undo the registration and retry.
+                if self._take(entry.internal_id) is None:
+                    return  # a sweep already owns this entry
+                if not self._budget_left(entry):
+                    self._resolve_exhausted(entry, idx)
+                    return
+                entry.attempts += 1
+                entry.retries_left -= 1
+                self._count("router_failovers_total")
+                continue
+            self._count(
+                "router_dispatch_total", self._node_labels(idx)
+            )
+            if self._chaos is not None and (
+                self._chaos.decision(
+                    entry.internal_id, entry.attempts
+                )
+                == "kill"
+            ):
+                # Whole-node chaos: the owning node dies right after
+                # accepting the request (the worst time).
+                self._count(
+                    "router_chaos_node_kills_total",
+                    self._node_labels(idx),
+                )
+                node.kill()
+            # The node may have died after the write but before the
+            # line was consumed — after the death sweep for this
+            # generation already ran, in which case nobody else will
+            # ever reclaim this entry.  Re-check and self-fail-over.
+            if (
+                node.generation != entry.generation
+                or not node.alive()
+            ):
+                reclaimed = self._take(entry.internal_id)
+                if reclaimed is not None:
+                    self._fail_over(reclaimed, idx)
+            return
+
+    def _budget_left(self, entry: _Pending) -> bool:
+        return (
+            entry.retries_left > 0
+            and time.monotonic() <= entry.deadline
+        )
+
+    def _resolve_exhausted(self, entry: _Pending, idx: int) -> None:
+        expired = time.monotonic() > entry.deadline
+        self._resolve_entry(
+            entry,
+            error_response(
+                None,
+                "timeout" if expired else "error",
+                f"service node {idx} was lost mid-request and the "
+                + ("deadline expired" if expired else
+                   "failover budget is exhausted"),
+                kind="worker_lost",
+                fingerprint=entry.fingerprint,
+                attempts=entry.attempts + 1,
+                node=idx,
+            ),
+        )
+
+    # -- node I/O ------------------------------------------------------
+    def _read_loop(self, node: _Node, generation: int) -> None:
+        proc = node.proc
+        assert proc is not None and proc.stdout is not None
+        for line in proc.stdout:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                response = Response.from_json(data)
+            except (ProtoError, ValueError):
+                self._count("router_bad_node_lines_total")
+                continue
+            self._on_response(node, response)
+        proc.wait()
+        self._on_node_exit(node, generation)
+
+    def _on_response(self, node: _Node, response: Response) -> None:
+        entry = self._take(response.id or "")
+        if entry is None:
+            self._count("router_unmatched_responses_total")
+            return
+        response.node = node.idx
+        self._resolve_entry(entry, response)
+
+    def _on_node_exit(self, node: _Node, generation: int) -> None:
+        """Fail over everything in flight on a dead node."""
+        with self._lock:
+            orphans = [
+                e
+                for e in self._pending.values()
+                if e.node == node.idx and e.generation == generation
+            ]
+        self.metrics.gauge(
+            "router_node_up", self._node_labels(node.idx)
+        ).set(0)
+        for entry in orphans:
+            taken = self._take(entry.internal_id)
+            if taken is None:
+                continue  # resolved or reclaimed while we iterated
+            self._fail_over(taken, node.idx)
+
+    def _fail_over(self, entry: _Pending, idx: int) -> None:
+        """Re-dispatch a *taken* entry whose node was lost, within
+        the retry/deadline budget; resolve it otherwise — a lost node
+        never drops a request without a response."""
+        if self._closed or not self._budget_left(entry):
+            self._resolve_orphan_final(entry, idx)
+            return
+        entry.attempts += 1
+        entry.retries_left -= 1
+        self._count("router_failovers_total")
+        self._dispatch(entry)
+
+    def _resolve_orphan_final(self, entry: _Pending, idx: int) -> None:
+        if self._closed:
+            response = error_response(
+                None,
+                "cancelled",
+                f"service node {idx} exited during router shutdown",
+                kind="cancelled",
+                fingerprint=entry.fingerprint,
+                attempts=entry.attempts + 1,
+                node=idx,
+            )
+            entry.slot.resolve(response)
+            self._count(
+                "router_requests_total", {"status": response.status}
+            )
+        else:
+            self._resolve_exhausted(entry, idx)
+
+    # -- supervision ---------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.monitor_interval_s):
+            now = time.monotonic()
+            for node in self._nodes:
+                if not node.alive():
+                    if not node.closing and not self._closed:
+                        self._count(
+                            "router_node_restarts_total",
+                            self._node_labels(node.idx),
+                        )
+                        self._spawn_node(node)
+                    continue
+                # Wedge detection: a node holding a request past its
+                # deadline plus grace without answering is stuck —
+                # kill it so the failover path takes over.
+                with self._lock:
+                    wedged = any(
+                        e.node == node.idx
+                        and e.generation == node.generation
+                        and now
+                        > e.deadline + self.config.failover_grace_s
+                        for e in self._pending.values()
+                    )
+                if wedged:
+                    self._count(
+                        "router_node_wedges_total",
+                        self._node_labels(node.idx),
+                    )
+                    node.kill()
+            self._sync_gauges()
+
+    # -- shutdown ------------------------------------------------------
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._drained:
+            while self._pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._drained.wait(remaining)
+        return True
+
+    def close(self, timeout: float = 60.0) -> bool:
+        """Drain, stop the nodes gracefully and reap everything.
+
+        Returns True when every in-flight request resolved and every
+        node exited within ``timeout``.  Nodes get stdin EOF, answer
+        their stragglers, export their metrics files (when
+        ``node_metrics_dir`` is set) and exit on their own.
+        """
+        if not self._started:
+            return True
+        self._closed = True
+        drained = self.wait_drained(timeout)
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        for node in self._nodes:
+            node.close_stdin()
+        clean = True
+        budget = time.monotonic() + timeout
+        for node in self._nodes:
+            if node.proc is None:
+                continue
+            try:
+                node.proc.wait(
+                    timeout=max(0.1, budget - time.monotonic())
+                )
+            except subprocess.TimeoutExpired:
+                node.kill()
+                node.proc.wait()
+                clean = False
+        for reader in self._readers:
+            reader.join(timeout=5.0)
+        self._started = False
+        return drained and clean
+
+    # -- convenience ---------------------------------------------------
+    def handle(self, request, wait_timeout=None) -> Response:
+        """Synchronous submit-and-wait."""
+        return self.submit(request).result(wait_timeout)

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional
 
 from ..stencil.spec import StencilSpec
 from .fingerprint import CompileOptions
+from .proto import Response
 
 __all__ = ["QueueClosedError", "ResultSlot", "Scheduler", "WorkItem"]
 
@@ -38,16 +39,20 @@ class QueueClosedError(RuntimeError):
 
 
 class ResultSlot:
-    """A write-once response cell the submitter blocks on."""
+    """A write-once response cell the submitter blocks on.
+
+    Resolutions are typed :class:`repro.service.proto.Response`
+    objects (which still support legacy mapping access).
+    """
 
     __slots__ = ("_event", "_response", "_on_resolve")
 
     def __init__(self, on_resolve=None) -> None:
         self._event = threading.Event()
-        self._response: Optional[Dict[str, Any]] = None
+        self._response: Optional[Response] = None
         self._on_resolve = on_resolve
 
-    def resolve(self, response: Dict[str, Any]) -> bool:
+    def resolve(self, response: Response) -> bool:
         """Set the response; returns False if already resolved."""
         if self._event.is_set():
             return False
@@ -60,9 +65,7 @@ class ResultSlot:
     def done(self) -> bool:
         return self._event.is_set()
 
-    def result(
-        self, timeout: Optional[float] = None
-    ) -> Dict[str, Any]:
+    def result(self, timeout: Optional[float] = None) -> Response:
         if not self._event.wait(timeout):
             raise TimeoutError("no response within the wait timeout")
         assert self._response is not None
@@ -88,6 +91,9 @@ class WorkItem:
     #: shard's process mid-request).  Ignored by the thread executor.
     shard_hops: int = 0
     admitted_at: float = field(default_factory=time.monotonic)
+    #: The typed wire request this item was parsed from (None for
+    #: synthetic items built directly in tests).
+    request: Optional[Any] = None  # proto.Request
     raw: Dict[str, Any] = field(default_factory=dict)
 
     def expired(self, now: Optional[float] = None) -> bool:

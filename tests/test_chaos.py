@@ -247,6 +247,10 @@ class TestWorkerFaultCampaigns:
             r["status"] in ("error", "circuit_open") for r in lethal
         )
         assert lethal[-1]["status"] == "circuit_open"
+        # The breaker-aware client hint: cooldown remaining, so a
+        # client can back off exactly that long instead of guessing.
+        assert 0.0 < lethal[-1]["retry_after_s"] <= 60.0
+        assert lethal[-1]["error"]["kind"] == "circuit_open"
         assert bystander["status"] == "ok"
         assert state == "open"
         counters = snap["counters"]

@@ -1,0 +1,234 @@
+"""The versioned wire protocol: round trips, taxonomy, compat shim.
+
+Every JSONL line crossing a service boundary is a ``proto: 1``
+:class:`Request` or :class:`Response`.  These tests pin the contract:
+
+* ``to_json``/``from_json`` round-trip losslessly (property-tested
+  over generated requests and responses);
+* both closed vocabularies (``status``, ``error.kind``) are enforced
+  on parse, and unknown ``proto`` versions are rejected up front;
+* legacy bare dicts still parse through the compatibility shim and
+  increment the ``service_proto_legacy_total`` deprecation counter.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.proto import (
+    ERROR_KINDS,
+    PROTO_VERSION,
+    STATUSES,
+    ErrorInfo,
+    ProtoError,
+    Request,
+    Response,
+    default_error_kind,
+    error_response,
+)
+
+BENCHMARKS = ("DENOISE", "SOBEL", "BICUBIC")
+
+
+# -- strategies --------------------------------------------------------
+request_strategy = st.builds(
+    Request,
+    id=st.one_of(st.none(), st.text(min_size=1, max_size=12)),
+    benchmark=st.sampled_from(BENCHMARKS),
+    grid=st.one_of(
+        st.none(),
+        st.lists(
+            st.integers(min_value=1, max_value=64),
+            min_size=1,
+            max_size=3,
+        ).map(tuple),
+    ),
+    streams=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+    timeout_s=st.one_of(
+        st.none(),
+        st.floats(min_value=0.5, max_value=600, allow_nan=False),
+    ),
+    validate=st.one_of(st.none(), st.booleans()),
+    retries=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+)
+
+error_strategy = st.builds(
+    ErrorInfo,
+    kind=st.sampled_from(ERROR_KINDS),
+    detail=st.text(max_size=40),
+)
+
+
+@st.composite
+def response_strategy(draw):
+    status = draw(st.sampled_from(STATUSES))
+    return Response(
+        id=draw(st.one_of(st.none(), st.text(min_size=1, max_size=12))),
+        status=status,
+        benchmark=draw(st.one_of(st.none(), st.sampled_from(BENCHMARKS))),
+        fingerprint=draw(st.one_of(st.none(), st.text(min_size=4, max_size=16))),
+        latency_ms=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            )
+        ),
+        attempts=draw(st.one_of(st.none(), st.integers(1, 5))),
+        cache=draw(
+            st.one_of(
+                st.none(),
+                st.sampled_from(["hit", "disk", "miss", "coalesced"]),
+            )
+        ),
+        validated=draw(st.one_of(st.none(), st.booleans())),
+        retry_after_s=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=60, allow_nan=False),
+            )
+        ),
+        node=draw(st.one_of(st.none(), st.integers(0, 7))),
+        error=draw(st.one_of(st.none(), error_strategy))
+        if status != "ok"
+        else None,
+    )
+
+
+class TestRequestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(request_strategy)
+    def test_round_trip_is_lossless(self, req):
+        wire = req.to_json()
+        assert wire["proto"] == PROTO_VERSION
+        # Through actual JSON text, exactly like the JSONL pipes.
+        parsed = Request.from_json(json.loads(json.dumps(wire)))
+        assert parsed == req
+        # A second hop changes nothing (idempotent encoding).
+        assert Request.from_json(parsed.to_json()) == parsed
+
+    @settings(max_examples=100, deadline=None)
+    @given(request_strategy)
+    def test_unknown_keys_ignored_but_preserved_in_raw(self, req):
+        wire = req.to_json()
+        wire["x_experimental"] = {"nested": True}
+        parsed = Request.from_json(wire)
+        assert parsed == req
+        assert parsed.raw["x_experimental"] == {"nested": True}
+
+    def test_exactly_one_of_benchmark_or_spec(self):
+        with pytest.raises(ProtoError):
+            Request(benchmark=None, spec=None)
+        with pytest.raises(ProtoError):
+            Request(benchmark="DENOISE", spec={"name": "x"})
+
+    def test_grid_string_form_accepted(self):
+        parsed = Request.from_json(
+            {"proto": 1, "benchmark": "SOBEL", "grid": "10x12"}
+        )
+        assert parsed.grid == (10, 12)
+
+    def test_bad_fields_raise_proto_error(self):
+        for bad in (
+            {"proto": 1, "benchmark": "SOBEL", "timeout_s": 0},
+            {"proto": 1, "benchmark": "SOBEL", "retries": -1},
+            {"proto": 1, "benchmark": "SOBEL", "streams": 0},
+            {"proto": 1, "benchmark": "SOBEL", "grid": [0, 4]},
+            {"proto": 1, "benchmark": "SOBEL", "spec": "not-an-object"},
+            {"proto": 1, "benchmark": "SOBEL", "seed": "banana"},
+            "not a dict",
+        ):
+            with pytest.raises(ProtoError):
+                Request.from_json(bad)
+
+
+class TestResponseRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(response_strategy())
+    def test_round_trip_is_lossless(self, resp):
+        wire = resp.to_json()
+        assert wire["proto"] == PROTO_VERSION
+        parsed = Response.from_json(json.loads(json.dumps(wire)))
+        assert parsed == resp
+        assert Response.from_json(parsed.to_json()) == parsed
+
+    @settings(max_examples=100, deadline=None)
+    @given(response_strategy())
+    def test_mapping_access_matches_wire_encoding(self, resp):
+        wire = resp.to_json()
+        for key, value in wire.items():
+            assert key in resp
+            assert resp[key] == value
+            assert resp.get(key) == value
+        assert resp.get("definitely_not_a_field") is None
+        assert set(resp.keys()) == set(wire.keys())
+
+    def test_failure_without_error_gets_default_kind(self):
+        for status in STATUSES:
+            resp = Response(id="r", status=status)
+            if status == "ok":
+                assert resp.error is None
+            else:
+                assert resp.error is not None
+                assert resp.error.kind == default_error_kind(status)
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtoError):
+            Response(id="r", status="sideways")
+        with pytest.raises(ProtoError):
+            Response.from_json({"id": "r", "status": "sideways"})
+
+    def test_missing_status_rejected(self):
+        with pytest.raises(ProtoError):
+            Response.from_json({"id": "r"})
+
+    def test_legacy_string_error_parses_as_internal(self):
+        parsed = Response.from_json(
+            {"id": "r", "status": "error", "error": "it broke"}
+        )
+        assert parsed.error.kind == "internal"
+        assert parsed.error.detail == "it broke"
+
+
+class TestVersioning:
+    def test_unknown_version_rejected_with_kind(self):
+        for bad in (0, 2, 99, "1", 1.5, True):
+            with pytest.raises(ProtoError) as excinfo:
+                Request.from_json({"proto": bad, "benchmark": "SOBEL"})
+            assert excinfo.value.kind == "unsupported_proto"
+        with pytest.raises(ProtoError):
+            Response.from_json({"proto": 7, "id": "r", "status": "ok"})
+
+    def test_legacy_dict_counts_deprecation(self):
+        registry = MetricsRegistry()
+        Request.from_json({"benchmark": "SOBEL"}, registry=registry)
+        Request.from_json(
+            {"proto": 1, "benchmark": "SOBEL"}, registry=registry
+        )
+        assert (
+            registry.counter("service_proto_legacy_total").value == 1
+        )
+
+
+class TestErrorTaxonomy:
+    def test_kinds_are_closed(self):
+        with pytest.raises(ProtoError):
+            ErrorInfo(kind="made_up", detail="")
+
+    def test_every_failure_status_has_a_default_kind(self):
+        for status in STATUSES:
+            if status == "ok":
+                continue
+            assert default_error_kind(status) in ERROR_KINDS
+
+    def test_error_response_helper(self):
+        resp = error_response(
+            "r9", "circuit_open", "cooling down", retry_after_s=1.5
+        )
+        assert resp["status"] == "circuit_open"
+        assert resp["error"]["kind"] == "circuit_open"
+        assert resp["retry_after_s"] == 1.5
+        assert Response.from_json(resp.to_json()) == resp

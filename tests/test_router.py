@@ -1,0 +1,273 @@
+"""The multi-node fingerprint router: placement, single-flight, failover.
+
+Unit tests cover :func:`rendezvous_order` (deterministic permutation,
+minimal ownership movement when the cluster grows).  The integration
+tests spawn *real* ``repro serve`` subprocess nodes through
+:class:`Router` and pin the three headline guarantees:
+
+* **global single-flight** — a burst of concurrent identical requests
+  across 2 nodes produces exactly one cold compile, proven by summing
+  the ``service_plan_compiles_total`` counters each node exports on
+  graceful shutdown;
+* **failover** — a seeded chaos campaign kills the owning node right
+  after dispatch, mid-request; every request still gets a response
+  (zero dropped), survivors complete on the sibling from the shared
+  disk cache tier, and the whole campaign replays deterministically;
+* **protocol** — every response the router returns parses as a
+  ``proto: 1`` :class:`Response`, and legacy unversioned dict requests
+  still work through the compat shim (counted as deprecated).
+"""
+
+import collections
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.chaos import ChaosConfig, ChaosInjector
+from repro.service.fingerprint import CompileOptions, fingerprint
+from repro.service.proto import Response
+from repro.service.router import (
+    NodeConfig,
+    Router,
+    RouterConfig,
+    rendezvous_order,
+)
+from repro.stencil.kernels import get_benchmark
+
+
+def _fp(benchmark: str, grid) -> str:
+    spec = get_benchmark(benchmark).with_grid(tuple(grid))
+    return fingerprint(spec, CompileOptions())
+
+
+class TestRendezvousOrder:
+    def test_is_a_deterministic_permutation(self):
+        for n in (1, 2, 3, 8):
+            order = rendezvous_order("abc123", n)
+            assert sorted(order) == list(range(n))
+            assert order == rendezvous_order("abc123", n)
+
+    def test_distinct_fingerprints_spread_over_nodes(self):
+        homes = collections.Counter(
+            rendezvous_order(f"fp-{i}", 4)[0] for i in range(200)
+        )
+        assert set(homes) == {0, 1, 2, 3}
+        assert max(homes.values()) < 120  # no pathological skew
+
+    def test_growing_the_cluster_moves_only_new_winners(self):
+        # The HRW property: going from 4 to 5 nodes, a fingerprint's
+        # home changes only when node 4 wins it outright.
+        moved = 0
+        for i in range(300):
+            before = rendezvous_order(f"fp-{i}", 4)[0]
+            after = rendezvous_order(f"fp-{i}", 5)[0]
+            if after != before:
+                assert after == 4
+                moved += 1
+        assert 0 < moved < 150  # roughly 1/5 of keys move
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            rendezvous_order("fp", 0)
+
+
+def _read_node_counters(metrics_dir):
+    """Summed counters over every node-N.json metrics export."""
+    totals = collections.Counter()
+    for name in sorted(os.listdir(metrics_dir)):
+        if not name.startswith("node-"):
+            continue
+        with open(os.path.join(metrics_dir, name)) as fh:
+            snapshot = json.load(fh)
+        for key, value in snapshot.get("counters", {}).items():
+            totals[key] += value
+    return totals
+
+
+@pytest.mark.slow
+class TestRouterSingleFlight:
+    def test_concurrent_identical_requests_compile_once(self, tmp_path):
+        """>=64 identical in-flight requests over 2 nodes -> 1 compile."""
+        metrics_dir = str(tmp_path / "metrics")
+        registry = MetricsRegistry()
+        config = RouterConfig(
+            nodes=2,
+            node=NodeConfig(
+                workers=2, cache_dir=str(tmp_path / "cache")
+            ),
+            node_metrics_dir=metrics_dir,
+        )
+        router = Router(config, registry=registry).start()
+        try:
+            slots = [
+                router.submit(
+                    {
+                        "proto": 1,
+                        "id": f"c{k}",
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": 2014 + k,
+                    }
+                )
+                for k in range(64)
+            ]
+            responses = [slot.result(timeout=120) for slot in slots]
+        finally:
+            assert router.close(timeout=120)
+        assert [r.id for r in responses] == [f"c{k}" for k in range(64)]
+        assert all(r.ok for r in responses), [
+            r.to_json() for r in responses if not r.ok
+        ]
+        # Global single-flight: identical fingerprints all pin to one
+        # owning node...
+        owner = rendezvous_order(_fp("SOBEL", (10, 12)), 2)[0]
+        assert {r.node for r in responses} == {owner}
+        # ...whose plan-cache single-flight ran exactly one compile.
+        counters = _read_node_counters(metrics_dir)
+        assert counters["service_plan_compiles_total"] == 1
+        # Every response validates as proto:1 (round-trips strictly).
+        for r in responses:
+            assert Response.from_json(r.to_json()) == r
+
+
+def _pick_campaign_seed(requests, kill_rate, retries):
+    """A chaos seed where the warm-up survives its first dispatch, at
+    least two later requests are killed mid-request, and every request
+    has a surviving attempt within the failover budget."""
+    for seed in range(5000):
+        chaos = ChaosInjector(
+            ChaosConfig(seed=seed, kill_rate=kill_rate)
+        )
+        decisions = [
+            [
+                chaos.decision(f"rt-{k + 1}", attempt)
+                for attempt in range(retries + 1)
+            ]
+            for k in range(requests)
+        ]
+        if decisions[0][0] != "none":
+            continue  # warm-up compile must land cleanly
+        kills = sum(1 for d in decisions[1:] if d[0] == "kill")
+        if kills < 2:
+            continue
+        if any("none" not in d for d in decisions):
+            continue  # someone would exhaust the failover budget
+        return seed, kills
+    raise AssertionError("no campaign seed found")
+
+
+@pytest.mark.slow
+class TestRouterFailover:
+    def test_node_killed_mid_request_drops_nothing(self, tmp_path):
+        """Seeded whole-node kills: every request answered, exactly
+        one cold compile across the cluster, campaign replays."""
+        requests = 10
+        kill_rate = 0.45
+        retries = 2
+        seed, expected_kills = _pick_campaign_seed(
+            requests, kill_rate, retries
+        )
+        registry = MetricsRegistry()
+        config = RouterConfig(
+            nodes=2,
+            node=NodeConfig(
+                workers=2, cache_dir=str(tmp_path / "cache")
+            ),
+            max_retries=retries,
+            chaos_seed=seed,
+            node_kill_rate=kill_rate,
+        )
+        router = Router(config, registry=registry).start()
+        responses = []
+        try:
+            for k in range(requests):
+                slot = router.submit(
+                    {
+                        "proto": 1,
+                        "id": f"f{k}",
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": 7000 + k,
+                        "timeout_s": 120.0,
+                    }
+                )
+                # Sequential submit-and-wait keeps the internal ids
+                # and chaos decisions fully deterministic.
+                responses.append(slot.result(timeout=150))
+        finally:
+            router.close(timeout=120)
+        # Zero dropped-without-response, correct ids, all typed.
+        assert [r.id for r in responses] == [
+            f"f{k}" for k in range(requests)
+        ]
+        for r in responses:
+            assert Response.from_json(r.to_json()) == r
+        # The seed guarantees a surviving attempt for everyone.
+        assert all(r.ok for r in responses), [
+            r.to_json() for r in responses if not r.ok
+        ]
+        # One cold compile total: the warm-up missed; every request
+        # that failed over finished on the sibling by promoting the
+        # plan from the shared disk tier, not by recompiling.
+        outcomes = [r.cache for r in responses]
+        assert outcomes[0] == "miss"
+        assert all(o in ("hit", "disk", "coalesced") for o in outcomes[1:])
+        # The chaos actually fired and the failover path actually ran.
+        counters = registry.snapshot()["counters"]
+        chaos_kills = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_chaos_node_kills_total")
+        )
+        failovers = counters.get("router_failovers_total", 0)
+        restarts = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_node_restarts_total")
+        )
+        assert chaos_kills >= expected_kills
+        assert failovers >= 1
+        assert restarts >= 1
+
+
+@pytest.mark.slow
+class TestRouterProtocolSurface:
+    def test_shim_invalid_and_churn_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        config = RouterConfig(
+            nodes=1,
+            node=NodeConfig(workers=2, cache_dir=str(tmp_path / "c")),
+        )
+        router = Router(config, registry=registry).start()
+        try:
+            # Legacy unversioned dict still works through the shim...
+            legacy = router.handle(
+                {"benchmark": "SOBEL", "grid": [10, 12]},
+                wait_timeout=120,
+            )
+            assert legacy.ok
+            # ...and is counted as deprecated traffic.
+            counters = registry.snapshot()["counters"]
+            assert counters.get("service_proto_legacy_total") == 1
+            # Unknown benchmark: rejected at the router, no node trip.
+            bad = router.handle(
+                {"proto": 1, "benchmark": "BOGUS"}, wait_timeout=30
+            )
+            assert bad.status == "invalid"
+            assert bad.error.kind == "bad_request"
+            # Unsupported version: rejected with the right kind.
+            vbad = router.handle(
+                {"proto": 99, "benchmark": "SOBEL"}, wait_timeout=30
+            )
+            assert vbad.status == "invalid"
+            assert vbad.error.kind == "unsupported_proto"
+            # Bad JSON line.
+            jbad = router.submit_json("{nope").result(timeout=30)
+            assert jbad.status == "invalid"
+        finally:
+            assert router.close(timeout=120)
+        # Health gauges were exported for the node.
+        gauges = registry.snapshot()["gauges"]
+        assert any(
+            k.startswith("router_node_up") for k in gauges
+        )

@@ -361,7 +361,7 @@ class TestServiceApi:
                 wait_timeout=30.0,
             )
         assert reply["status"] == "error"
-        assert "permanent fault" in reply["error"]
+        assert "permanent fault" in reply["error"]["detail"]
 
     def test_queued_deadline_times_out(self):
         gate = threading.Event()
@@ -419,5 +419,5 @@ class TestServiceApi:
             {"benchmark": "DENOISE", "grid": [12, 16]}
         ).result(5.0)
         assert reply["status"] == "rejected"
-        assert "draining" in reply["error"]
+        assert "draining" in reply["error"]["detail"]
         svc.shutdown()

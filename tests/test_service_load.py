@@ -181,8 +181,8 @@ class TestCanaryFaultInjection:
             assert flagged["status"] == "validation_failed"
             assert flagged["validated"] is False
             assert (
-                "deadlock" in flagged["error"]
-                or "diverge" in flagged["error"]
+                "deadlock" in flagged["error"]["detail"]
+                or "diverge" in flagged["error"]["detail"]
             )
 
             # The poisoned entry was evicted from memory *and* disk...

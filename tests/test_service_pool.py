@@ -83,6 +83,19 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(threshold=0)
 
+    def test_retry_after_tracks_cooldown_remaining(self):
+        clock = FakeClock()
+        b = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        assert b.retry_after_s() == 0.0  # closed: no hint
+        b.record_failure()
+        assert b.retry_after_s() == pytest.approx(5.0)
+        clock.advance(3.5)
+        assert b.retry_after_s() == pytest.approx(1.5)
+        clock.advance(2.0)  # past the cooldown: probe allowed
+        assert b.retry_after_s() == 0.0
+        assert b.allow()  # half-open
+        assert b.retry_after_s() == 0.0
+
 
 class TestShardOf:
     def test_stable_and_in_range(self):
