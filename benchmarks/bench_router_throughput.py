@@ -3,9 +3,14 @@
 Not a paper artifact; it tracks the serving layer's engineering: what
 the router's extra hop (fingerprint-at-router, rendezvous placement,
 pipe round trip to a node subprocess) costs on a warm mixed load, and
-how the cluster behaves when a whole node is chaos-killed mid-campaign.
-Writes ``benchmarks/results/BENCH_router_throughput.json`` with the
-derived numbers next to the harness's automatic record.
+what end-to-end distributed tracing adds on top of it.  The campaign
+runs twice — tracing off, then tracing on (router tracer installed and
+per-node ``--trace-out`` exports active) — over the same disk cache,
+and asserts the traced fabric keeps at least 95 % of the untraced
+throughput.  Per-stage latency percentiles (from the merged fabric
+metrics) land in
+``benchmarks/results/BENCH_router_throughput.json`` next to the
+harness's automatic record.
 """
 
 import json
@@ -15,6 +20,7 @@ import time
 from conftest import emit
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, install_tracer, uninstall_tracer
 from repro.service.router import NodeConfig, Router, RouterConfig
 
 GRIDS = {
@@ -24,6 +30,7 @@ GRIDS = {
 }
 
 N_REQUESTS = 96
+MAX_TRACING_OVERHEAD = 0.05
 
 
 def _mixed_requests(n, tag):
@@ -49,29 +56,83 @@ def _run_campaign(router, requests):
     return responses, wall_s
 
 
-def bench_router_throughput(tmp_path):
+def _run_mode(tmp_path, tag, trace_dir=None):
+    """One full fabric campaign; returns (rps, snapshot, fabric)."""
     registry = MetricsRegistry()
     config = RouterConfig(
         nodes=2,
         node=NodeConfig(workers=2, cache_dir=str(tmp_path / "cache")),
+        trace_dir=trace_dir,
     )
+    if trace_dir is not None:
+        install_tracer(Tracer(name="router"))
     router = Router(config, registry=registry).start()
     try:
-        # Cold pass: 3 distinct fingerprints compile once each.
-        cold, cold_s = _run_campaign(
-            router, _mixed_requests(len(GRIDS), "cold")
+        cold, _ = _run_campaign(
+            router, _mixed_requests(len(GRIDS), f"{tag}-cold")
         )
-        # Warm pass: the measured mixed load.
-        warm, warm_s = _run_campaign(
-            router, _mixed_requests(N_REQUESTS, "warm")
+        # Two warm passes; the faster one is the mode's throughput
+        # (absorbs a stray GC pause or scheduler hiccup).
+        best_rps = 0.0
+        warm_wall = None
+        for k in range(2):
+            warm, warm_s = _run_campaign(
+                router, _mixed_requests(N_REQUESTS, f"{tag}-w{k}")
+            )
+            assert all(r.ok for r in warm)
+            best_rps = max(best_rps, N_REQUESTS / warm_s)
+            warm_wall = warm_s
+        fabric = (
+            router.fabric_snapshot() if trace_dir is not None else None
         )
     finally:
         clean = router.close(timeout=120)
-    ok = sum(1 for r in warm if r.ok)
+        if trace_dir is not None:
+            uninstall_tracer()
     assert all(r.ok for r in cold)
-    assert ok == N_REQUESTS
     assert clean
-    counters = registry.snapshot()["counters"]
+    return best_rps, warm_wall, registry.snapshot(), fabric
+
+
+def _stage_percentiles(fabric):
+    """``{layer.stage: {count, p50, p95, p99}}`` from the merged
+    fabric snapshot (router + every node, same bucket layout)."""
+    merged = MetricsRegistry()
+    merged.merge_snapshot(fabric["merged"])
+    out = {}
+    for metric in merged.metrics():
+        if getattr(metric, "kind", "") != "histogram":
+            continue
+        if metric.name not in ("service_stage_ms", "router_stage_ms"):
+            continue
+        if metric.count == 0:
+            continue
+        layer = "router" if metric.name.startswith("router") else "node"
+        stage = dict(metric.labels).get("stage", "?")
+        out[f"{layer}.{stage}"] = {
+            "count": metric.count,
+            "p50_ms": round(metric.quantile(0.5), 3),
+            "p95_ms": round(metric.quantile(0.95), 3),
+            "p99_ms": round(metric.quantile(0.99), 3),
+        }
+    return out
+
+
+def bench_router_throughput(tmp_path):
+    trace_dir = str(tmp_path / "traces")
+    off_rps, _, off_snapshot, _ = _run_mode(tmp_path, "off")
+    on_rps, warm_s, _, fabric = _run_mode(
+        tmp_path, "on", trace_dir=trace_dir
+    )
+
+    # The tracing tax on the full fabric: id generation, span records
+    # in router and nodes, worker span relay.  It must stay under 5 %.
+    assert on_rps >= (1.0 - MAX_TRACING_OVERHEAD) * off_rps, (
+        f"tracing overhead too high: {on_rps:.1f} rps traced vs "
+        f"{off_rps:.1f} rps untraced"
+    )
+
+    counters = off_snapshot["counters"]
     per_node = {
         k.split('node="')[1].rstrip('"}'): v
         for k, v in counters.items()
@@ -79,15 +140,21 @@ def bench_router_throughput(tmp_path):
     }
     rows = {
         "requests": N_REQUESTS,
-        "nodes": config.nodes,
+        "nodes": 2,
         "warm_wall_s": round(warm_s, 3),
-        "warm_rps": round(N_REQUESTS / warm_s, 1),
-        "cold_wall_s": round(cold_s, 3),
+        "warm_rps": round(off_rps, 1),
+        "tracing_off_rps": round(off_rps, 1),
+        "tracing_on_rps": round(on_rps, 1),
+        "tracing_overhead_pct": round(
+            100.0 * (1.0 - on_rps / off_rps), 2
+        ),
         "dispatch_per_node": per_node,
         "failovers": counters.get("router_failovers_total", 0),
+        "stage_percentiles_ms": _stage_percentiles(fabric),
     }
     emit(
-        "router throughput (2 nodes, warm mixed load)",
+        "router throughput (2 nodes, warm mixed load, "
+        "tracing off vs on)",
         json.dumps(rows, indent=2, sort_keys=True),
     )
     out_dir = os.environ.get(

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import glob
 import json
+import os
 import queue
 import sys
 import threading
@@ -103,7 +105,9 @@ def _obs_session(args):
     if not (args.trace_out or args.metrics_out or args.profile):
         yield None, None
         return
-    tracer = install_tracer(Tracer())
+    tracer = install_tracer(
+        Tracer(name=f"{getattr(args, 'command', 'cli')}-{os.getpid()}")
+    )
     registry = install_metrics(MetricsRegistry())
     try:
         yield tracer, registry
@@ -523,10 +527,19 @@ def cmd_route(args) -> int:
         max_retries=args.router_retries,
         failover_grace_s=args.failover_grace,
         node_metrics_dir=args.node_metrics_dir,
+        trace_dir=args.trace_dir,
         chaos_seed=args.chaos_seed,
         node_kill_rate=args.node_kill_rate,
     )
-    with _obs_session(args):
+    with _obs_session(args) as (session_tracer, _):
+        own_tracer = None
+        if args.trace_dir and session_tracer is None:
+            # Distributed tracing without the single-process obs flags:
+            # the router needs its own tracer so its spans land next to
+            # the per-node files the stitcher will merge.
+            from .obs import Tracer, install_tracer
+
+            own_tracer = install_tracer(Tracer(name="router"))
         router = Router(config).start()
         print(
             f"repro router: {args.nodes} nodes x {args.workers} "
@@ -534,7 +547,24 @@ def cmd_route(args) -> int:
             file=sys.stderr,
         )
         _stream_jsonl(router.submit_json, sys.stdin)
+        if args.fabric_snapshot:
+            # Collected over the live node pipes, so it must happen
+            # before close() tears the fabric down.
+            with open(args.fabric_snapshot, "w", encoding="utf-8") as fh:
+                json.dump(router.fabric_snapshot(), fh, sort_keys=True)
+            print(
+                f"wrote {args.fabric_snapshot}", file=sys.stderr
+            )
         clean = router.close()
+        tracer = session_tracer or own_tracer
+        if args.trace_dir and tracer is not None:
+            path = os.path.join(args.trace_dir, "router.jsonl")
+            n = tracer.export_jsonl(path)
+            print(f"wrote {path} ({n} spans)", file=sys.stderr)
+        if own_tracer is not None:
+            from .obs import uninstall_tracer
+
+            uninstall_tracer()
         counters = router.metrics.snapshot()["counters"]
         failovers = sum(
             v for k, v in counters.items()
@@ -550,6 +580,156 @@ def cmd_route(args) -> int:
             file=sys.stderr,
         )
     return 0 if clean else 1
+
+
+def cmd_trace(args) -> int:
+    """Stitch a fabric run's per-process traces and print one
+    request's cross-process timeline, critical path and stage
+    coverage."""
+    from .obs.stitch import (
+        critical_path,
+        events_for_trace,
+        format_timeline,
+        stage_coverage,
+        stitch_traces,
+        trace_ids,
+    )
+
+    paths = sorted(glob.glob(os.path.join(args.trace_dir, "*.jsonl")))
+    if not paths:
+        print(
+            f"error: no .jsonl trace files in {args.trace_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        document = stitch_traces(paths)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+        print(
+            f"wrote {args.out} "
+            f"({len(document['traceEvents'])} events)",
+            file=sys.stderr,
+        )
+    process_names = {
+        e["pid"]: e["args"]["name"]
+        for e in document["traceEvents"]
+        if e.get("ph") == "M"
+    }
+    counts = trace_ids(document)
+    if not counts:
+        print("error: stitched trace contains no spans with a "
+              "trace_id", file=sys.stderr)
+        return 1
+
+    def request_of(trace_id: str):
+        for event in events_for_trace(document, trace_id):
+            request = event["args"].get("request")
+            if request is not None:
+                return request
+        return None
+
+    if args.request_id:
+        target = next(
+            (
+                tid
+                for tid in counts
+                if any(
+                    e["args"].get("request") == args.request_id
+                    for e in events_for_trace(document, tid)
+                )
+            ),
+            None,
+        )
+        if target is None:
+            known = sorted(
+                str(request_of(tid)) for tid in counts
+            )
+            print(
+                f"error: no trace for request {args.request_id!r} "
+                f"(known requests: {', '.join(known)})",
+                file=sys.stderr,
+            )
+            return 1
+    elif len(counts) == 1:
+        target = next(iter(counts))
+    else:
+        print(f"{len(counts)} traces in {args.trace_dir}; pick a "
+              "request id:")
+        for tid, n in sorted(counts.items()):
+            print(f"  {request_of(tid)}  trace={tid}  spans={n}")
+        return 0
+
+    events = events_for_trace(document, target)
+    pids = sorted({e["pid"] for e in events})
+    print(
+        f"trace {target}: {len(events)} spans across "
+        f"{len(pids)} processes"
+    )
+    print()
+    print(format_timeline(events, process_names))
+    coverage = stage_coverage(document, target)
+    if coverage is not None:
+        print()
+        print(f"stage coverage: {100.0 * coverage:.1f}% of the root "
+              "span's wall-clock attributed to named stages")
+    path_events = critical_path(document, target)
+    if path_events:
+        print()
+        print("critical path:")
+        for event in path_events:
+            process = process_names.get(
+                event["pid"], f"pid-{event['pid']}"
+            )
+            print(
+                f"  {event['name']} ({process}) "
+                f"{event['dur'] / 1e3:.3f} ms"
+            )
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Aggregate fabric metrics snapshots into one summary table."""
+    from .obs.report import format_fabric_summary
+
+    parts = []
+    for path in args.snapshot:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {path}: not valid JSON ({exc})",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(data, dict):
+            print(f"error: {path}: not a metrics snapshot",
+                  file=sys.stderr)
+            return 2
+        if "router" in data and "nodes" in data:
+            # A `repro route --fabric-snapshot` document.
+            parts.append(("router", data["router"]))
+            for idx in sorted(data["nodes"], key=str):
+                parts.append((f"node-{idx}", data["nodes"][idx]))
+        elif "counters" in data or "histograms" in data:
+            label = os.path.splitext(os.path.basename(path))[0]
+            parts.append((label, data))
+        else:
+            print(f"error: {path}: not a metrics snapshot",
+                  file=sys.stderr)
+            return 2
+    try:
+        print(format_fabric_summary(parts))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -713,9 +893,68 @@ def build_parser() -> argparse.ArgumentParser:
             "--chaos-seed)"
         ),
     )
+    router_group.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "distributed tracing: router and every node export JSONL "
+            "span files here; stitch them with `repro trace`"
+        ),
+    )
+    router_group.add_argument(
+        "--fabric-snapshot", default=None, metavar="FILE",
+        help=(
+            "collect every node's metrics over the live pipes on "
+            "shutdown and write the aggregated fabric snapshot as "
+            "JSON (input for `repro top`)"
+        ),
+    )
     _add_service_flags(p_route)
     _add_obs_flags(p_route)
     p_route.set_defaults(func=cmd_route)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help=(
+            "stitch a fabric run's per-process JSONL traces and print "
+            "one request's cross-process timeline and critical path"
+        ),
+    )
+    p_trace.add_argument(
+        "request_id", nargs="?", default=None,
+        help=(
+            "client request id to inspect (omit to auto-pick when the "
+            "run had one request, or to list the traces)"
+        ),
+    )
+    p_trace.add_argument(
+        "--trace-dir", required=True, metavar="DIR",
+        help="directory of JSONL traces from `repro route --trace-dir`",
+    )
+    p_trace.add_argument(
+        "--out", default=None, metavar="FILE",
+        help=(
+            "also write the stitched Chrome trace_event JSON "
+            "(chrome://tracing / Perfetto)"
+        ),
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help=(
+            "aggregate fabric metrics snapshots: per-node health, "
+            "cache hit rates, stage latency percentiles, slowest "
+            "requests"
+        ),
+    )
+    p_top.add_argument(
+        "snapshot", nargs="+",
+        help=(
+            "JSON metrics files: `repro route --fabric-snapshot` "
+            "documents and/or plain --metrics-out .json snapshots"
+        ),
+    )
+    p_top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -8,7 +8,10 @@ A dependency-free instrumentation layer with three pillars:
   histograms with Prometheus-text and JSON exporters;
 * :mod:`repro.obs.probe` — the :class:`SimProbe` hook the cycle
   simulator drives (per-module fire/stall counters, FIFO occupancy
-  histograms, deadlock pre-state ring buffer).
+  histograms, deadlock pre-state ring buffer);
+* :mod:`repro.obs.stitch` — merges the per-process JSONL exports of a
+  router fabric run into one wall-clock-aligned Chrome trace and
+  computes per-request critical paths and stage coverage.
 
 Everything is opt-in: with no tracer/registry installed and no probe
 attached, instrumented code paths cost one global read (spans) or one
@@ -27,14 +30,23 @@ from .metrics import (
     uninstall_metrics,
 )
 from .probe import MetricsProbe, SimProbe
+from .stitch import (
+    critical_path,
+    events_for_trace,
+    stage_coverage,
+    stitch_traces,
+)
 from .tracing import (
     Span,
     SpanRecord,
     Tracer,
     get_tracer,
     install_tracer,
+    new_span_id,
+    new_trace_id,
     record_span,
     span,
+    trace_context,
     uninstall_tracer,
 )
 
@@ -48,12 +60,19 @@ __all__ = [
     "SpanRecord",
     "SimProbe",
     "Tracer",
+    "critical_path",
+    "events_for_trace",
     "get_metrics",
     "get_tracer",
     "install_metrics",
     "install_tracer",
+    "new_span_id",
+    "new_trace_id",
     "record_span",
     "span",
+    "stage_coverage",
+    "stitch_traces",
+    "trace_context",
     "uninstall_metrics",
     "uninstall_tracer",
 ]

@@ -155,13 +155,88 @@ class Histogram:
         out.append((math.inf, total + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus style).
+
+        The rank ``q * count`` is located in the cumulative bucket
+        distribution and interpolated linearly inside its bucket, with
+        the first bucket anchored at 0 (observations are assumed
+        non-negative, true of every duration/latency histogram here).
+        A rank landing in the ``+Inf`` bucket clamps to the highest
+        finite bound — the estimate cannot exceed what the buckets can
+        resolve.  Returns ``nan`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cum_prev = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            cum = cum_prev + n
+            if rank <= cum:
+                if n == 0:
+                    return lower
+                return lower + (bound - lower) * (rank - cum_prev) / n
+            cum_prev = cum
+            lower = bound
+        return self.buckets[-1]
+
+    def merge_counts(
+        self, per_bucket: Sequence[int], total_sum: float, total_count: int
+    ) -> None:
+        """Fold another histogram's non-cumulative counts into this one.
+
+        ``per_bucket`` must include the trailing ``+Inf`` bucket (so its
+        length is ``len(self.buckets) + 1``); bounds are validated by
+        the caller (:meth:`MetricsRegistry.merge_snapshot`).
+        """
+        if len(per_bucket) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge "
+                f"{len(per_bucket)} buckets into {len(self.counts)}"
+            )
+        for i, n in enumerate(per_bucket):
+            self.counts[i] += n
+        self.sum += total_sum
+        self.count += total_count
+
+
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def split_metric_key(key: str) -> Tuple[str, Labels]:
+    """Invert the snapshot key: ``name{a="x",b="y"}`` → name + labels.
+
+    Label values never contain quotes in this codebase (they are
+    fingerprint prefixes, enum words and small ints), so a regex over
+    the brace suffix is exact.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, ()
+    name = key[:brace]
+    labels = tuple(_LABEL_PAIR_RE.findall(key[brace:]))
+    return name, labels
+
 
 class MetricsRegistry:
-    """Thread-safe get-or-create store of named metrics."""
+    """Thread-safe get-or-create store of named metrics.
+
+    Besides the three metric kinds, the registry keeps a small top-K
+    **exemplar** store per name (:meth:`record_exemplar`): the K
+    largest-valued observations with their attached labels, so a
+    fabric summary can show *which* requests were the slow ones, not
+    just that a p99 exists.
+    """
+
+    EXEMPLAR_K = 8
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[Tuple[str, str, Labels], object] = {}
+        self._exemplars: Dict[str, List[Dict[str, object]]] = {}
 
     # -- get-or-create -------------------------------------------------
     def _get(self, kind, cls, name, labels, **kwargs):
@@ -208,6 +283,29 @@ class MetricsRegistry:
         with self._lock:
             return [m for _, m in sorted(self._metrics.items(),
                                          key=lambda kv: kv[0])]
+
+    # -- exemplars -----------------------------------------------------
+    def record_exemplar(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Keep this observation if it is among the K largest for
+        ``name`` (e.g. the slowest requests seen, with their ids)."""
+        entry = {
+            "value": float(value),
+            "labels": {k: str(v) for k, v in (labels or {}).items()},
+        }
+        with self._lock:
+            store = self._exemplars.setdefault(_sanitize(name), [])
+            store.append(entry)
+            store.sort(key=lambda e: -e["value"])
+            del store[self.EXEMPLAR_K:]
+
+    def exemplars(self, name: str) -> List[Dict[str, object]]:
+        with self._lock:
+            return [dict(e) for e in self._exemplars.get(name, [])]
 
     # -- exporters -----------------------------------------------------
     def to_prometheus(self, fileobj: Optional[IO[str]] = None) -> str:
@@ -271,11 +369,75 @@ class MetricsRegistry:
                 out["counters"][key] = metric.value
             else:
                 out["gauges"][key] = metric.value
+        with self._lock:
+            if self._exemplars:
+                out["exemplars"] = {
+                    name: [dict(e) for e in entries]
+                    for name, entries in sorted(self._exemplars.items())
+                }
         return out
 
     def export_json(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.snapshot(), fh, indent=1, sort_keys=True)
+
+    # -- merging -------------------------------------------------------
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and gauges add; histograms add per-bucket counts after
+        reconstructing them from the exported cumulative form, raising
+        ``ValueError`` on a bucket-bound mismatch rather than silently
+        misbinning (two processes disagreeing on bounds is a bug worth
+        surfacing, not averaging away); exemplar stores merge keeping
+        the K largest.  This is how the router builds one fabric-wide
+        registry from per-node snapshots collected over the pipes.
+        """
+        if not isinstance(snapshot, dict):
+            raise ValueError("metrics snapshot must be a JSON object")
+        for key, value in (snapshot.get("counters") or {}).items():
+            name, labels = split_metric_key(key)
+            self._get("counter", Counter, name, labels).inc(float(value))
+        for key, value in (snapshot.get("gauges") or {}).items():
+            name, labels = split_metric_key(key)
+            gauge = self._get("gauge", Gauge, name, labels)
+            gauge.set(gauge.value + float(value))
+        for key, data in (snapshot.get("histograms") or {}).items():
+            name, labels = split_metric_key(key)
+            pairs = data.get("buckets") or []
+            bounds = tuple(
+                float(b) for b, _ in pairs if b != "+Inf"
+            )
+            if not bounds:
+                raise ValueError(
+                    f"histogram {key}: snapshot has no finite buckets"
+                )
+            hist = self._get(
+                "histogram", Histogram, name, labels, buckets=bounds
+            )
+            if hist.buckets != bounds:
+                raise ValueError(
+                    f"histogram {key}: bucket bounds {bounds} do not "
+                    f"match existing {hist.buckets}"
+                )
+            per_bucket, prev = [], 0
+            for _, cum in pairs:
+                per_bucket.append(int(cum) - prev)
+                prev = int(cum)
+            hist.merge_counts(
+                per_bucket,
+                float(data.get("sum", 0.0)),
+                int(data.get("count", prev)),
+            )
+        for name, entries in (snapshot.get("exemplars") or {}).items():
+            for entry in entries:
+                self.record_exemplar(
+                    name, entry.get("value", 0.0), entry.get("labels")
+                )
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another live registry into this one (via snapshot)."""
+        self.merge_snapshot(other.snapshot())
 
 
 # ---------------------------------------------------------------------

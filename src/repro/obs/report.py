@@ -13,6 +13,7 @@ import json
 from typing import Dict, IO, Iterable, List
 
 __all__ = [
+    "format_fabric_summary",
     "format_service_metrics",
     "format_summary",
     "load_trace_events",
@@ -56,11 +57,15 @@ def load_trace_events(path: str) -> List[dict]:
             return [
                 _normalize(e) for e in data if e.get("ph", "X") == "X"
             ]
-    return [
-        _normalize(json.loads(line))
-        for line in text.splitlines()
-        if line.strip()
-    ]
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        raw = json.loads(line)
+        if not isinstance(raw, dict) or "name" not in raw:
+            continue  # trace_meta header or other non-span line
+        events.append(_normalize(raw))
+    return events
 
 
 def summarize_events(events: Iterable[dict]) -> List[dict]:
@@ -329,6 +334,136 @@ def format_service_metrics(snapshot: dict) -> str:
 
     if not sections:
         return "(no service metrics in this snapshot)"
+    return "\n".join(sections)
+
+
+def _fabric_node_rows(parts) -> List[dict]:
+    """One health row per metrics source (router or node)."""
+    rows = []
+    for label, snap in parts:
+        if snap is None:
+            rows.append(
+                {
+                    "source": label,
+                    "health": "unreachable",
+                    "requests": "-",
+                    "ok": "-",
+                    "errors": "-",
+                    "cache_hit_rate": "-",
+                    "restarts": "-",
+                }
+            )
+            continue
+        statuses = _label_rows(snap, "service_requests_total", "status")
+        if not statuses:
+            statuses = _label_rows(
+                snap, "router_requests_total", "status"
+            )
+        ok = statuses.get("ok", 0)
+        total = sum(statuses.values())
+        outcomes = _label_rows(snap, "service_cache_total", "outcome")
+        lookups = sum(outcomes.values())
+        served = (
+            outcomes.get("hit", 0)
+            + outcomes.get("disk", 0)
+            + outcomes.get("coalesced", 0)
+        )
+        restarts = sum(
+            _label_rows(
+                snap, "service_worker_restarts_total", "reason"
+            ).values()
+        ) + sum(
+            _label_rows(
+                snap, "router_node_restarts_total", "node"
+            ).values()
+        )
+        rows.append(
+            {
+                "source": label,
+                "health": "ok" if total == ok else "degraded",
+                "requests": int(total),
+                "ok": int(ok),
+                "errors": int(total - ok),
+                "cache_hit_rate": (
+                    round(served / lookups, 3) if lookups else "-"
+                ),
+                "restarts": int(restarts),
+            }
+        )
+    return rows
+
+
+def _stage_percentile_rows(registry) -> List[dict]:
+    """p50/p95/p99 per named stage over the merged histograms."""
+    rows = []
+    for metric in registry.metrics():
+        if getattr(metric, "kind", "") != "histogram":
+            continue
+        if metric.name not in ("service_stage_ms", "router_stage_ms"):
+            continue
+        if metric.count == 0:
+            continue
+        layer = (
+            "router" if metric.name.startswith("router") else "node"
+        )
+        stage = dict(metric.labels).get("stage", "?")
+        rows.append(
+            {
+                "stage": f"{layer}.{stage}",
+                "count": metric.count,
+                "p50_ms": round(metric.quantile(0.5), 3),
+                "p95_ms": round(metric.quantile(0.95), 3),
+                "p99_ms": round(metric.quantile(0.99), 3),
+                "mean_ms": round(metric.sum / metric.count, 3),
+            }
+        )
+    rows.sort(key=lambda r: -r["p95_ms"])
+    return rows
+
+
+def format_fabric_summary(parts) -> str:
+    """Render the router fabric's aggregated telemetry (`repro top`).
+
+    ``parts`` is ``[(label, registry_snapshot_or_None), ...]`` — one
+    entry per process (router + each node; None marks a node that did
+    not answer the metrics control request).  All reachable snapshots
+    are merged via :meth:`MetricsRegistry.merge_snapshot`, then three
+    sections are printed: per-source health, merged per-stage latency
+    percentiles, and the slowest request exemplars fabric-wide.
+    """
+    from .metrics import MetricsRegistry
+
+    merged = MetricsRegistry()
+    for _, snap in parts:
+        if snap is not None:
+            merged.merge_snapshot(snap)
+
+    sections = [
+        f"fabric summary ({len(parts)} sources)",
+        "",
+        "per-node health:",
+        format_summary(_fabric_node_rows(parts)),
+    ]
+    stage_rows = _stage_percentile_rows(merged)
+    if stage_rows:
+        sections += [
+            "",
+            "stage latency (merged, ms):",
+            format_summary(stage_rows),
+        ]
+    slow = merged.exemplars(
+        "router_request_latency_ms"
+    ) or merged.exemplars("service_request_latency_ms")
+    if slow:
+        lines = []
+        for entry in slow:
+            labels = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry["labels"].items())
+            )
+            lines.append(
+                f"  {entry['value']:10.3f} ms  {labels}"
+            )
+        sections += ["", "slowest requests:"] + lines
     return "\n".join(sections)
 
 

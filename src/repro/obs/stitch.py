@@ -1,0 +1,313 @@
+"""Stitch per-process JSONL traces into one cross-process timeline.
+
+Each process of the router fabric — the router itself and every
+``repro serve`` node — exports its own JSONL span file whose
+timestamps are *monotonic* microseconds since that process's tracer
+epoch (pool-worker spans ride home inside node replies and land in the
+node's file with the worker's pid).  Monotonic clocks are incomparable
+across processes, but every file's ``trace_meta`` header carries the
+wall-clock anchor captured at the same instant as the epoch
+(:attr:`repro.obs.tracing.Tracer.epoch_unix_us`), so:
+
+    absolute_us = epoch_unix_us + ts_us
+
+places every span on one absolute axis.  :func:`stitch_traces` merges
+any number of files that way, rebases everything to the earliest span
+(timestamps in the output are strictly non-negative) and emits a
+Chrome ``trace_event`` document loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev, with one pid row per process (router, each
+node, each pool worker) named via metadata events.
+
+On top of the stitched events, :func:`critical_path` walks the
+``span_id``/``parent_span_id`` tree of one trace to the leaf chain
+that dominated the request's wall-clock, and :func:`stage_coverage`
+measures how much of the root span's duration is attributed to named
+child stages — the honesty check behind "≥90 % of the request's
+wall-clock is accounted for".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "critical_path",
+    "events_for_trace",
+    "format_timeline",
+    "load_jsonl_trace",
+    "stage_coverage",
+    "stitch_traces",
+    "trace_ids",
+]
+
+
+def load_jsonl_trace(
+    path: str,
+) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Parse one JSONL trace export into ``(meta, span_records)``.
+
+    ``meta`` is the ``trace_meta`` header (None for pre-header files).
+    Raises ``ValueError`` naming the offending line on truncated or
+    non-JSONL content, so callers can fail with one clean message.
+    """
+    meta: Optional[Dict[str, Any]] = None
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSONL ({exc})"
+                ) from exc
+            if not isinstance(data, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object per line"
+                )
+            if data.get("kind") == "trace_meta":
+                meta = data
+            elif "name" in data and "ts_us" in data:
+                records.append(data)
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: not a span record "
+                    "(missing 'name'/'ts_us')"
+                )
+    return meta, records
+
+
+def _process_label(
+    meta: Optional[Dict[str, Any]], pid: int, record_pid: int
+) -> str:
+    if meta is not None and record_pid in (0, int(meta.get("pid", 0))):
+        return str(meta.get("process", f"pid-{pid}"))
+    # A span recorded on behalf of another process (a pool worker's
+    # foreign span): the worker has no meta line of its own.
+    return f"pool-worker-{pid}"
+
+
+def stitch_traces(paths: Sequence[str]) -> Dict[str, Any]:
+    """Merge JSONL trace files into one Chrome trace_event document.
+
+    Files without a ``trace_meta`` header cannot be placed on the
+    shared wall-clock axis and are rejected (``ValueError``) — a
+    half-aligned trace silently lies about ordering.  The returned
+    document's ``traceEvents`` hold one complete ("X") event per span
+    with absolute, min-rebased (hence non-negative) timestamps plus
+    one ``process_name`` metadata ("M") event per pid row.
+    """
+    loaded = []
+    for path in paths:
+        meta, records = load_jsonl_trace(path)
+        if meta is None:
+            raise ValueError(
+                f"{path}: no trace_meta header — cannot align its "
+                "monotonic timestamps with the other processes"
+            )
+        loaded.append((path, meta, records))
+
+    events: List[Dict[str, Any]] = []
+    names: Dict[int, str] = {}
+    for path, meta, records in loaded:
+        epoch_us = float(meta["epoch_unix_us"])
+        meta_pid = int(meta.get("pid", 0))
+        for rec in records:
+            pid = int(rec.get("pid", 0)) or meta_pid
+            args = dict(rec.get("args", {}))
+            for key in ("trace_id", "span_id", "parent_span_id"):
+                if rec.get(key) is not None:
+                    args[key] = rec[key]
+            events.append(
+                {
+                    "name": rec["name"],
+                    "ph": "X",
+                    "ts": epoch_us + float(rec["ts_us"]),
+                    "dur": float(rec.get("dur_us", 0.0)),
+                    "pid": pid,
+                    "tid": int(rec.get("tid", 0)),
+                    "args": args,
+                }
+            )
+            names.setdefault(
+                pid, _process_label(meta, pid, int(rec.get("pid", 0)))
+            )
+    if events:
+        base = min(e["ts"] for e in events)
+        for e in events:
+            e["ts"] = round(e["ts"] - base, 3)
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    meta_events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+        for pid, label in sorted(names.items())
+    ]
+    return {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def _complete_events(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [
+        e
+        for e in document.get("traceEvents", [])
+        if e.get("ph", "X") == "X"
+    ]
+
+
+def trace_ids(document: Dict[str, Any]) -> Dict[str, int]:
+    """``trace_id -> span count`` over a stitched document."""
+    counts: Dict[str, int] = {}
+    for event in _complete_events(document):
+        tid = event.get("args", {}).get("trace_id")
+        if tid:
+            counts[tid] = counts.get(tid, 0) + 1
+    return counts
+
+
+def events_for_trace(
+    document: Dict[str, Any], trace_id: str
+) -> List[Dict[str, Any]]:
+    """All complete events of one trace, sorted by start time."""
+    out = [
+        e
+        for e in _complete_events(document)
+        if e.get("args", {}).get("trace_id") == trace_id
+    ]
+    out.sort(key=lambda e: (e["ts"], -e["dur"]))
+    return out
+
+
+def _find_root(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The trace's root: no parent within the set; longest wins ties."""
+    span_ids = {
+        e["args"].get("span_id")
+        for e in events
+        if e["args"].get("span_id")
+    }
+    roots = [
+        e
+        for e in events
+        if e["args"].get("parent_span_id") not in span_ids
+    ]
+    if not roots:
+        return None
+    return max(roots, key=lambda e: e["dur"])
+
+
+def critical_path(
+    document: Dict[str, Any], trace_id: str
+) -> List[Dict[str, Any]]:
+    """The root-to-leaf chain of dominant spans for one trace.
+
+    Starting at the root span, repeatedly descend into the
+    longest-duration child (by ``parent_span_id`` linkage) — the chain
+    a latency optimisation has to shorten.  Returns the events on the
+    chain, root first; empty when the trace has no spans.
+    """
+    events = events_for_trace(document, trace_id)
+    root = _find_root(events)
+    if root is None:
+        return []
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    for event in events:
+        parent = event["args"].get("parent_span_id")
+        if parent:
+            children.setdefault(parent, []).append(event)
+    path = [root]
+    seen = {id(root)}
+    node = root
+    while True:
+        span_id = node["args"].get("span_id")
+        candidates = [
+            c
+            for c in children.get(span_id or "", [])
+            if id(c) not in seen
+        ]
+        if not candidates:
+            break
+        node = max(candidates, key=lambda e: e["dur"])
+        seen.add(id(node))
+        path.append(node)
+    return path
+
+
+def stage_coverage(
+    document: Dict[str, Any], trace_id: str
+) -> Optional[float]:
+    """Fraction of the root span's wall-clock covered by child stages.
+
+    The union of all non-root span intervals, clipped to the root's
+    interval, over the root's duration.  Overlapping children (a node
+    span inside the router's ``node_wait``) count once — this measures
+    *attribution*, not double-booked time.  None when the trace has no
+    root or a zero-length root.
+    """
+    events = events_for_trace(document, trace_id)
+    root = _find_root(events)
+    if root is None or root["dur"] <= 0:
+        return None
+    lo, hi = root["ts"], root["ts"] + root["dur"]
+    intervals = []
+    for event in events:
+        if event is root:
+            continue
+        start = max(event["ts"], lo)
+        end = min(event["ts"] + event["dur"], hi)
+        if end > start:
+            intervals.append((start, end))
+    intervals.sort()
+    covered = 0.0
+    cursor = lo
+    for start, end in intervals:
+        start = max(start, cursor)
+        if end > start:
+            covered += end - start
+            cursor = end
+    return covered / root["dur"]
+
+
+def format_timeline(
+    events: List[Dict[str, Any]],
+    names: Optional[Dict[int, str]] = None,
+) -> str:
+    """An aligned, indented text rendering of one trace's events."""
+    if not events:
+        return "(no spans)"
+    by_span = {
+        e["args"].get("span_id"): e
+        for e in events
+        if e["args"].get("span_id")
+    }
+
+    def depth(event: Dict[str, Any]) -> int:
+        d, seen = 0, set()
+        node = event
+        while True:
+            parent = node["args"].get("parent_span_id")
+            if not parent or parent in seen or parent not in by_span:
+                return d
+            seen.add(parent)
+            node = by_span[parent]
+            d += 1
+
+    lines = []
+    for event in events:
+        pid = event.get("pid", 0)
+        process = (names or {}).get(pid, f"pid-{pid}")
+        indent = "  " * depth(event)
+        lines.append(
+            f"{event['ts'] / 1e3:10.3f} ms  "
+            f"{event['dur'] / 1e3:9.3f} ms  "
+            f"{process:<16} {indent}{event['name']}"
+        )
+    return "\n".join(lines)

@@ -17,11 +17,36 @@ Instrumentation sites call the module-level :func:`span` helper, which
 is a **no-op unless a tracer is installed** (:func:`install_tracer`):
 without one it returns a shared stateless null context manager, so the
 instrumented code pays a single global read per call site.
+
+Distributed tracing
+-------------------
+One request to the router fabric crosses three process layers (router,
+service node, pool worker), each with its own tracer.  Three pieces
+make their spans stitch into one timeline:
+
+* **trace context** — every span carries a ``trace_id`` plus its own
+  ``span_id`` and ``parent_span_id`` (W3C-traceparent style).  The
+  context rides the wire in the proto ``Request`` and is re-entered in
+  the receiving process with :func:`trace_context`; spans opened under
+  it link to the remote parent, so the whole fabric shares one tree.
+* **a wall-clock anchor** — each tracer records ``time.time_ns`` next
+  to its monotonic epoch at construction.  Timestamps stay monotonic
+  in-process (immune to clock steps mid-run), but the anchor lets
+  :mod:`repro.obs.stitch` place every process's spans on one absolute
+  axis.  JSONL exports start with a ``trace_meta`` line carrying the
+  anchor, the pid and a human process name.
+* **foreign spans** (:meth:`Tracer.add_foreign`) — a process without
+  its own export path (a pool worker that may be chaos-killed at any
+  time) times its stages with absolute wall-clock timestamps and ships
+  them home in its reply; the parent re-records them, preserving the
+  worker's pid/tid so the stitched trace shows the worker as its own
+  process row.
 """
 
 from __future__ import annotations
 
 import functools
+import itertools
 import json
 import os
 import threading
@@ -33,13 +58,27 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "current_trace_context",
     "get_tracer",
     "install_tracer",
+    "new_span_id",
+    "new_trace_id",
     "record_span",
     "span",
+    "trace_context",
     "traced",
     "uninstall_tracer",
 ]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return os.urandom(8).hex()
 
 
 @dataclass(frozen=True)
@@ -53,9 +92,13 @@ class SpanRecord:
     depth: int
     parent: Optional[str]
     args: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+    pid: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "ts_us": round(self.start_us, 3),
             "dur_us": round(self.duration_us, 3),
@@ -64,24 +107,106 @@ class SpanRecord:
             "parent": self.parent,
             "args": self.args,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_span_id is not None:
+            out["parent_span_id"] = self.parent_span_id
+        if self.pid:
+            out["pid"] = self.pid
+        return out
 
     def as_chrome_event(self, pid: int) -> Dict[str, Any]:
         """A Chrome ``trace_event`` complete ("X") event."""
+        args = dict(self.args)
+        if self.trace_id is not None:
+            args["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            args["span_id"] = self.span_id
+        if self.parent_span_id is not None:
+            args["parent_span_id"] = self.parent_span_id
         return {
             "name": self.name,
             "ph": "X",
             "ts": round(self.start_us, 3),
             "dur": round(self.duration_us, 3),
-            "pid": pid,
+            "pid": self.pid or pid,
             "tid": self.thread_id,
-            "args": self.args,
+            "args": args,
         }
+
+
+class _TraceContext:
+    """Thread-local ``(trace_id, parent_span_id)`` the next span joins."""
+
+    __slots__ = ("trace_id", "parent_span_id")
+
+    def __init__(self, trace_id: str, parent_span_id: Optional[str]):
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+
+
+_context_local = threading.local()
+
+
+def _context_stack() -> List[_TraceContext]:
+    stack = getattr(_context_local, "stack", None)
+    if stack is None:
+        stack = []
+        _context_local.stack = stack
+    return stack
+
+
+def current_trace_context() -> Optional[_TraceContext]:
+    """The innermost active trace context on this thread, if any."""
+    stack = getattr(_context_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+class trace_context:
+    """Context manager joining this thread's spans to a remote trace.
+
+    While active, spans opened on this thread record ``trace_id`` and
+    link their ``parent_span_id`` chain back to ``parent_span_id``
+    (the caller's span id in another process).  Passing
+    ``trace_id=None`` is a no-op — call sites can apply it
+    unconditionally for requests with or without a wire context.
+    """
+
+    __slots__ = ("_ctx",)
+
+    def __init__(
+        self,
+        trace_id: Optional[str],
+        parent_span_id: Optional[str] = None,
+    ) -> None:
+        self._ctx = (
+            _TraceContext(trace_id, parent_span_id)
+            if trace_id is not None
+            else None
+        )
+
+    def __enter__(self) -> "trace_context":
+        if self._ctx is not None:
+            _context_stack().append(self._ctx)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._ctx is not None:
+            stack = _context_stack()
+            if stack and stack[-1] is self._ctx:
+                stack.pop()
+        return False
 
 
 class Span:
     """Context manager timing one named region (created by a tracer)."""
 
-    __slots__ = ("_tracer", "name", "args", "_start_ns", "_depth", "_parent")
+    __slots__ = (
+        "_tracer", "name", "args", "_start_ns", "_depth", "_parent",
+        "trace_id", "span_id", "parent_span_id",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]):
         self._tracer = tracer
@@ -90,6 +215,9 @@ class Span:
         self._start_ns = 0
         self._depth = 0
         self._parent: Optional[str] = None
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
 
     def annotate(self, **kwargs: Any) -> "Span":
         """Attach extra key/value arguments to the span."""
@@ -98,7 +226,18 @@ class Span:
 
     def __enter__(self) -> "Span":
         stack = self._tracer._stack()
-        self._parent = stack[-1].name if stack else None
+        if stack:
+            enclosing = stack[-1]
+            self._parent = enclosing.name
+            self.trace_id = enclosing.trace_id
+            self.parent_span_id = enclosing.span_id
+        else:
+            ctx = current_trace_context()
+            if ctx is not None:
+                self.trace_id = ctx.trace_id
+                self.parent_span_id = ctx.parent_span_id
+        if self.trace_id is not None:
+            self.span_id = self._tracer._next_span_id()
         self._depth = len(stack)
         stack.append(self)
         self._start_ns = time.perf_counter_ns()
@@ -136,13 +275,27 @@ class Tracer:
 
     All timestamps are monotonic nanoseconds relative to the tracer's
     construction, exported as microseconds (the trace_event unit).
+    ``epoch_unix_us`` records the wall clock at the same instant, so a
+    stitcher can align several processes' traces on one absolute axis
+    (see :func:`repro.obs.stitch.stitch_traces`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self._epoch_ns = time.perf_counter_ns()
+        self.epoch_unix_us = time.time_ns() / 1e3
+        self.name = name or f"pid-{os.getpid()}"
+        self.pid = os.getpid()
         self._lock = threading.Lock()
         self._records: List[SpanRecord] = []
         self._local = threading.local()
+        # Span ids only need uniqueness across the processes of one
+        # fabric run: pid plus a random salt plus a counter is cheap
+        # enough for hot spans and unique enough for stitching.
+        self._id_prefix = f"{os.getpid() & 0xFFFF:04x}{os.urandom(2).hex()}"
+        self._id_seq = itertools.count(1)
+
+    def _next_span_id(self) -> str:
+        return f"{self._id_prefix}{next(self._id_seq) & 0xFFFFFFFF:08x}"
 
     # -- recording -----------------------------------------------------
     def span(self, name: str, **args: Any) -> Span:
@@ -165,18 +318,32 @@ class Tracer:
             depth=span_obj._depth,
             parent=span_obj._parent,
             args=dict(span_obj.args),
+            trace_id=span_obj.trace_id,
+            span_id=span_obj.span_id,
+            parent_span_id=span_obj.parent_span_id,
+            # pid stays 0 for locally recorded spans: the exporter's
+            # trace_meta header names the owning process once, and
+            # only foreign (relayed) spans need a per-record pid.
         )
         with self._lock:
             self._records.append(record)
 
     def add_complete(
-        self, name: str, start_ns: int, end_ns: int, **args: Any
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent_span_id: Optional[str] = None,
+        **args: Any,
     ) -> None:
         """Record an externally timed region (no nesting bookkeeping).
 
         Used by call sites whose begin/end do not bracket a ``with``
-        block (e.g. the off-chip stream, which starts on its first pop
-        and ends at exhaustion many cycles later).
+        block (e.g. a request's full router residency, which starts at
+        submission and ends when its response slot resolves on another
+        thread).  Trace-context ids may be passed explicitly.
         """
         record = SpanRecord(
             name=name,
@@ -186,6 +353,34 @@ class Tracer:
             depth=0,
             parent=None,
             args=args,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_span_id=parent_span_id,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    def add_foreign(self, rec: Dict[str, Any]) -> None:
+        """Re-record a span timed in *another* process.
+
+        ``rec`` uses absolute wall-clock timestamps (``ts_unix_us``,
+        ``dur_us``) plus the remote ``pid``/``tid`` and optional trace
+        ids; this tracer converts the timestamp onto its own epoch so
+        one export stays internally consistent, while the preserved
+        pid keeps the remote process on its own row after stitching.
+        """
+        record = SpanRecord(
+            name=str(rec["name"]),
+            start_us=float(rec["ts_unix_us"]) - self.epoch_unix_us,
+            duration_us=float(rec["dur_us"]),
+            thread_id=int(rec.get("tid", 0)),
+            depth=int(rec.get("depth", 0)),
+            parent=rec.get("parent"),
+            args=dict(rec.get("args", {})),
+            trace_id=rec.get("trace_id"),
+            span_id=rec.get("span_id"),
+            parent_span_id=rec.get("parent_span_id"),
+            pid=int(rec.get("pid", 0)),
         )
         with self._lock:
             self._records.append(record)
@@ -202,9 +397,21 @@ class Tracer:
             self._records.clear()
 
     # -- exporters -----------------------------------------------------
+    def meta(self) -> Dict[str, Any]:
+        """The ``trace_meta`` header: who recorded this file, and how
+        its monotonic timestamps map onto the wall clock."""
+        return {
+            "kind": "trace_meta",
+            "process": self.name,
+            "pid": self.pid,
+            "epoch_unix_us": round(self.epoch_unix_us, 3),
+        }
+
     def to_jsonl(self, fileobj: IO[str]) -> int:
-        """Write one JSON object per span; returns the line count."""
+        """Write a ``trace_meta`` header line, then one JSON object per
+        span; returns the span count (the header is not counted)."""
         records = self.records
+        fileobj.write(json.dumps(self.meta()) + "\n")
         for record in records:
             fileobj.write(json.dumps(record.as_dict()) + "\n")
         return len(records)
@@ -214,7 +421,7 @@ class Tracer:
             return self.to_jsonl(fh)
 
     def chrome_events(self) -> List[Dict[str, Any]]:
-        pid = os.getpid()
+        pid = self.pid
         return [r.as_chrome_event(pid) for r in self.records]
 
     def to_chrome(self, fileobj: IO[str]) -> int:
@@ -268,10 +475,22 @@ def span(name: str, **args: Any):
 
 
 def record_span(name: str, start_ns: int, end_ns: int, **args: Any) -> None:
-    """Record an externally timed span if a tracer is installed."""
+    """Record an externally timed span if a tracer is installed.
+
+    ``trace_id``/``span_id``/``parent_span_id`` keyword arguments are
+    promoted onto the record itself; everything else lands in ``args``.
+    """
     tracer = _tracer
     if tracer is not None:
-        tracer.add_complete(name, start_ns, end_ns, **args)
+        tracer.add_complete(
+            name,
+            start_ns,
+            end_ns,
+            trace_id=args.pop("trace_id", None),
+            span_id=args.pop("span_id", None),
+            parent_span_id=args.pop("parent_span_id", None),
+            **args,
+        )
 
 
 def traced(name: str):

@@ -39,12 +39,17 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..obs.metrics import MetricsRegistry, get_metrics
-from ..obs.tracing import span
+from ..obs.tracing import span, trace_context
 from .chaos import ChaosConfig
-from .executor import executor_backends, make_executor, make_response
+from .executor import (
+    executor_backends,
+    make_executor,
+    make_response,
+    observe_stage,
+)
 from .fingerprint import fingerprint
 from .plancache import PlanCache
-from .proto import ProtoError, Request, error_response
+from .proto import ProtoError, Request, Response, error_response
 from .pool import ProcessPlanExecutor  # noqa: F401 (registers backend)
 from .scheduler import QueueClosedError, ResultSlot, Scheduler, WorkItem
 
@@ -191,6 +196,8 @@ class StencilService:
                 if req.retries is None
                 else req.retries
             ),
+            trace_id=req.trace_id,
+            parent_span_id=req.parent_span_id,
             request=req,
             raw=req.raw or req.to_json(),
         )
@@ -236,6 +243,8 @@ class StencilService:
         """
         if not self._started:
             self.start()
+        if isinstance(request, dict) and "control" in request:
+            return self._handle_control(request)
         if isinstance(request, Request):
             req = request
         else:
@@ -249,27 +258,71 @@ class StencilService:
                     kind=exc.kind,
                 )
         request_id = self._next_id(req)
-        with span("service.admit", request=request_id):
-            try:
-                item = self._parse(req, request_id)
-            except (KeyError, TypeError, ValueError) as exc:
-                # str(KeyError) wraps the message in repr quotes.
-                message = (
-                    exc.args[0]
-                    if isinstance(exc, KeyError) and exc.args
-                    else str(exc)
+        admit_start_ns = time.perf_counter_ns()
+        try:
+            with trace_context(req.trace_id, req.parent_span_id), span(
+                "service.admit", request=request_id
+            ):
+                try:
+                    item = self._parse(req, request_id)
+                except (KeyError, TypeError, ValueError) as exc:
+                    # str(KeyError) wraps the message in repr quotes.
+                    message = (
+                        exc.args[0]
+                        if isinstance(exc, KeyError) and exc.args
+                        else str(exc)
+                    )
+                    return self._resolve_invalid(request_id, message)
+                try:
+                    admitted = self.scheduler.submit(
+                        item, block=block, timeout=admission_timeout
+                    )
+                except QueueClosedError:
+                    admitted = False
+                if not admitted:
+                    self.metrics.counter("service_rejected_total").inc()
+                    self._resolve_rejection(item)
+                return item.slot
+        finally:
+            observe_stage(
+                self.metrics,
+                "admit",
+                (time.perf_counter_ns() - admit_start_ns) / 1e6,
+            )
+
+    def _handle_control(self, request: Dict[str, Any]) -> ResultSlot:
+        """Answer an out-of-band control request on the same pipe.
+
+        Control documents are dicts with a ``control`` verb instead of
+        a benchmark/spec; they ride the ordinary request channel so the
+        router needs no side band.  ``{"control": "metrics"}`` answers
+        with an ``ok`` response whose ``summary`` is this node's full
+        metrics snapshot — the router merges these into the fabric
+        registry (see :meth:`MetricsRegistry.merge_snapshot`).
+        """
+        request_id = (
+            None if request.get("id") is None else str(request["id"])
+        )
+        slot = self.scheduler.make_slot()
+        verb = request.get("control")
+        if verb == "metrics":
+            slot.resolve(
+                Response(
+                    id=request_id,
+                    status="ok",
+                    summary=self.metrics.snapshot(),
                 )
-                return self._resolve_invalid(request_id, message)
-            try:
-                admitted = self.scheduler.submit(
-                    item, block=block, timeout=admission_timeout
+            )
+        else:
+            slot.resolve(
+                error_response(
+                    request_id,
+                    "invalid",
+                    f"unknown control verb {verb!r}",
+                    kind="bad_request",
                 )
-            except QueueClosedError:
-                admitted = False
-            if not admitted:
-                self.metrics.counter("service_rejected_total").inc()
-                self._resolve_rejection(item)
-            return item.slot
+            )
+        return slot
 
     def _resolve_rejection(self, item: WorkItem) -> None:
         if self.scheduler.closed:

@@ -46,7 +46,7 @@ from ..flow.automation import compile_accelerator
 from ..microarch.memory_system import build_memory_system
 from ..microarch.tradeoff import with_offchip_streams
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracing import span
+from ..obs.tracing import record_span, span, trace_context
 from ..sim.engine import ChainSimulator, DeadlockError
 from ..stencil.golden import golden_output_sequence, make_input
 from ..stencil.spec import StencilSpec
@@ -65,6 +65,8 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "LATENCY_BUCKETS_MS",
+    "STAGE_BUCKETS_MS",
+    "observe_stage",
     "CanarySampler",
     "Executor",
     "ExecutorBase",
@@ -83,6 +85,33 @@ __all__ = [
 LATENCY_BUCKETS_MS = (
     0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 5000,
 )
+
+#: Finer-grained buckets for per-stage attribution: stages like a
+#: memory cache hit or admission run tens of microseconds, while a cold
+#: compile runs hundreds of milliseconds — one bucket ladder must
+#: resolve both.  Every process uses these exact bounds so fabric-wide
+#: histogram merges (:meth:`MetricsRegistry.merge_snapshot`) line up.
+STAGE_BUCKETS_MS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+    25, 50, 100, 250, 500, 1000, 5000,
+)
+
+
+def observe_stage(
+    registry: MetricsRegistry,
+    stage: str,
+    ms: float,
+    name: str = "service_stage_ms",
+) -> None:
+    """Record one named stage's duration in the shared stage histogram.
+
+    Stage digests (``repro top``, the router bench) read these back
+    through :meth:`Histogram.quantile`, so p50/p95/p99 per stage come
+    from one code path instead of ad-hoc percentile math.
+    """
+    registry.histogram(
+        name, {"stage": stage}, buckets=STAGE_BUCKETS_MS
+    ).observe(ms)
 
 
 class PlanValidationError(RuntimeError):
@@ -356,7 +385,34 @@ class ExecutorBase:
 
     # -- resolution paths ----------------------------------------------
     def _resolve(self, item: WorkItem, response: Response) -> None:
+        if response.trace_id is None:
+            response.trace_id = item.trace_id
         if item.slot.resolve(response):
+            end_ns = time.perf_counter_ns()
+            record_span(
+                "service.request",
+                item.admitted_ns,
+                end_ns,
+                trace_id=item.trace_id,
+                parent_span_id=item.parent_span_id,
+                request=item.request_id,
+                status=response.status,
+            )
+            observe_stage(
+                self.registry,
+                "node_total",
+                (end_ns - item.admitted_ns) / 1e6,
+            )
+            if response.latency_ms is not None:
+                self.registry.record_exemplar(
+                    "service_request_latency_ms",
+                    response.latency_ms,
+                    {
+                        "request": item.request_id,
+                        "benchmark": item.spec.name,
+                        "status": response.status,
+                    },
+                )
             self.registry.counter(
                 "service_requests_total",
                 {"status": response.status},
@@ -545,8 +601,14 @@ class PlanExecutor(ExecutorBase):
 
     def _process_group(self, fp: str, items: List[WorkItem]) -> None:
         """One cache round trip serves every request in the group."""
+        dequeued_ns = time.perf_counter_ns()
         live: List[WorkItem] = []
         for item in items:
+            observe_stage(
+                self.registry,
+                "queue_wait",
+                (dequeued_ns - item.admitted_ns) / 1e6,
+            )
             if item.expired():
                 self._resolve_timeout(item)
             else:
@@ -556,12 +618,20 @@ class PlanExecutor(ExecutorBase):
         exemplar = live[0]
         started = time.perf_counter()
         try:
-            plan, outcome = self.cache.get_or_compile(
-                fp,
-                lambda: compile_plan(
-                    exemplar.spec, exemplar.options, fp
-                ),
-            )
+            with trace_context(
+                exemplar.trace_id, exemplar.parent_span_id
+            ), span(
+                "service.cache_lookup",
+                fingerprint=fp[:12],
+                group=len(live),
+            ) as lookup_span:
+                plan, outcome = self.cache.get_or_compile(
+                    fp,
+                    lambda: compile_plan(
+                        exemplar.spec, exemplar.options, fp
+                    ),
+                )
+                lookup_span.annotate(outcome=outcome)
         except Exception as exc:
             for item in live:
                 self._retry_or_fail(
@@ -571,6 +641,13 @@ class PlanExecutor(ExecutorBase):
                 )
             return
         compile_ms = (time.perf_counter() - started) * 1e3
+        # "compile" holds the cold path; warm lookups (memory or disk
+        # promotion) are attributed to "cache_lookup".
+        observe_stage(
+            self.registry,
+            "compile" if outcome == "miss" else "cache_lookup",
+            compile_ms,
+        )
         self.registry.counter(
             "service_cache_total", {"outcome": outcome}
         ).inc()
@@ -592,7 +669,10 @@ class PlanExecutor(ExecutorBase):
             return
         item.attempts += 1
         try:
-            with span(
+            execute_start_ns = time.perf_counter_ns()
+            with trace_context(
+                item.trace_id, item.parent_span_id
+            ), span(
                 "service.execute",
                 benchmark=item.spec.name,
                 request=item.request_id,
@@ -602,11 +682,23 @@ class PlanExecutor(ExecutorBase):
                 grid, outputs, digest = execute_stencil(
                     item.spec, item.seed
                 )
+            observe_stage(
+                self.registry,
+                "execute",
+                (time.perf_counter_ns() - execute_start_ns) / 1e6,
+            )
             validated: Optional[bool] = None
             if self._should_validate(item):
                 self.registry.counter("service_validation_total").inc()
-                validate_plan(
-                    item.spec, item.options, plan, grid, outputs
+                canary_start_ns = time.perf_counter_ns()
+                with trace_context(item.trace_id, item.parent_span_id):
+                    validate_plan(
+                        item.spec, item.options, plan, grid, outputs
+                    )
+                observe_stage(
+                    self.registry,
+                    "canary",
+                    (time.perf_counter_ns() - canary_start_ns) / 1e6,
                 )
                 validated = True
             self._resolve(

@@ -271,11 +271,14 @@ class PlanCache:
                 {"outcome": "hit" if plan is not None else "miss"},
             )
         if plan is not None:
-            with self._lock:
-                if count:
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                self._insert(plan)
+            with span(
+                "service.cache_promote", fingerprint=fp[:12]
+            ):
+                with self._lock:
+                    if count:
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                    self._insert(plan)
             if count:
                 self._count("service_cache_disk_promotions_total")
             return plan, "disk"

@@ -47,6 +47,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import get_tracer, span, trace_context
 from .chaos import ChaosConfig, ChaosInjector
 from .executor import (
     LATENCY_BUCKETS_MS,
@@ -55,6 +56,7 @@ from .executor import (
     compile_plan,
     execute_stencil,
     make_response,
+    observe_stage,
     register_executor,
     validate_plan,
 )
@@ -187,6 +189,55 @@ def _reset_forked_observability() -> None:
     _metrics._registry = None
 
 
+class _WorkerSpans:
+    """Collects worker-side stage spans for the reply.
+
+    A pool worker has no tracer of its own (it may be chaos-killed at
+    any instant, so it can never own an export file).  Instead each
+    stage is timed with *absolute* wall-clock timestamps
+    (``time.time_ns``) and shipped home in the job reply; the parent
+    re-records them through :meth:`Tracer.add_foreign`, which maps the
+    absolute time onto its own epoch while preserving this process's
+    pid/tid — so the stitched trace shows the worker as its own
+    process row.  Only execs that carry a ``trace_id`` produce spans;
+    untraced traffic pays two clock reads and an ``if``.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def add(
+        self,
+        name: str,
+        start_unix_ns: int,
+        end_unix_ns: int,
+        trace_id: Optional[str],
+        parent_span_id: Optional[str],
+        **args: Any,
+    ) -> None:
+        if trace_id is None:
+            return
+        self.records.append(
+            {
+                "name": name,
+                "ts_unix_us": start_unix_ns / 1e3,
+                "dur_us": (end_unix_ns - start_unix_ns) / 1e3,
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0xFFFFFFFF,
+                "trace_id": trace_id,
+                "span_id": os.urandom(8).hex(),
+                "parent_span_id": parent_span_id,
+                "args": args,
+            }
+        )
+
+
+def _exec_trace(exc_spec: Dict[str, Any]) -> Tuple[Optional[str], Optional[str]]:
+    return exc_spec.get("trace_id"), exc_spec.get("parent_span_id")
+
+
 def _run_job(
     job: Dict[str, Any],
     plans: Dict[str, CachedPlan],
@@ -198,6 +249,13 @@ def _run_job(
     fp = job["fingerprint"]
     spec = StencilSpec.from_json(job["spec"])
     options = CompileOptions.from_json(job["options"])
+    spans = _WorkerSpans()
+    # The compile (if one happens) serves the whole group; its span is
+    # attributed to the first traced exec.
+    group_trace = next(
+        (t for t in map(_exec_trace, job["execs"]) if t[0] is not None),
+        (None, None),
+    )
     compiled_json: Optional[dict] = None
     compile_ms = 0.0
     if job.get("plan") is not None:
@@ -219,11 +277,20 @@ def _run_job(
         plan = None
     if plan is None:
         started = time.perf_counter()
+        compile_start_unix = time.time_ns()
         try:
             plan = compile_plan(spec, options, fp)
         except Exception as exc:
             return {"kind": "error", "error": f"compile failed: {exc}"}
         compile_ms = (time.perf_counter() - started) * 1e3
+        spans.add(
+            "worker.compile",
+            compile_start_unix,
+            time.time_ns(),
+            group_trace[0],
+            group_trace[1],
+            fingerprint=fp[:12],
+        )
         compiled_json = plan.to_json()
     plans[fp] = plan
     if len(plans) > 64:  # tiny worker-local cache, drop the oldest
@@ -232,15 +299,35 @@ def _run_job(
     exec_results: List[Dict[str, Any]] = []
     for exc_spec in job["execs"]:
         request_id = exc_spec["id"]
+        exec_trace_id, exec_parent = _exec_trace(exc_spec)
         if chaos is not None:
             chaos.apply(request_id, exc_spec.get("attempt", 0), fp)
         try:
+            exec_start_unix = time.time_ns()
             grid, outputs, digest = execute_stencil(
                 spec, exc_spec["seed"]
             )
+            spans.add(
+                "worker.execute",
+                exec_start_unix,
+                time.time_ns(),
+                exec_trace_id,
+                exec_parent,
+                request=request_id,
+                benchmark=spec.name,
+            )
             validated: Optional[bool] = None
             if exc_spec.get("validate"):
+                validate_start_unix = time.time_ns()
                 validate_plan(spec, options, plan, grid, outputs)
+                spans.add(
+                    "worker.validate",
+                    validate_start_unix,
+                    time.time_ns(),
+                    exec_trace_id,
+                    exec_parent,
+                    request=request_id,
+                )
                 validated = True
             mean = (
                 float(sum(outputs) / len(outputs)) if outputs else 0.0
@@ -279,6 +366,7 @@ def _run_job(
         "plan": compiled_json,
         "compile_ms": compile_ms,
         "execs": exec_results,
+        "spans": spans.records,
     }
 
 
@@ -668,8 +756,14 @@ class ProcessPlanExecutor(ExecutorBase):
     def _process_group(
         self, shard: _WorkerShard, fp: str, items: List[WorkItem]
     ) -> None:
+        dequeued_ns = time.perf_counter_ns()
         live: List[WorkItem] = []
         for item in items:
+            observe_stage(
+                self.registry,
+                "queue_wait",
+                (dequeued_ns - item.admitted_ns) / 1e6,
+            )
             if item.expired():
                 self._resolve_timeout(item)
             else:
@@ -699,11 +793,20 @@ class ProcessPlanExecutor(ExecutorBase):
 
         exemplar = live[0]
         started = time.perf_counter()
-        plan, tier = self.cache.lookup(fp)
-        outcome = {"memory": "hit", "disk": "disk", "miss": "miss"}[
-            tier
-        ]
+        with trace_context(
+            exemplar.trace_id, exemplar.parent_span_id
+        ), span(
+            "service.cache_lookup",
+            fingerprint=fp[:12],
+            group=len(live),
+        ) as lookup_span:
+            plan, tier = self.cache.lookup(fp)
+            outcome = {"memory": "hit", "disk": "disk", "miss": "miss"}[
+                tier
+            ]
+            lookup_span.annotate(outcome=outcome)
         lookup_ms = (time.perf_counter() - started) * 1e3
+        observe_stage(self.registry, "cache_lookup", lookup_ms)
         self._note_cache_outcome(fp, outcome)
 
         execs = []
@@ -718,6 +821,8 @@ class ProcessPlanExecutor(ExecutorBase):
                     "seed": item.seed,
                     "validate": validate,
                     "attempt": item.attempts,
+                    "trace_id": item.trace_id,
+                    "parent_span_id": item.parent_span_id,
                 }
             )
         job = {
@@ -739,12 +844,28 @@ class ProcessPlanExecutor(ExecutorBase):
         # Hold the shard lock across the whole round trip (and the
         # restart that follows a crash/hang) so the supervisor never
         # reaps or respawns this worker mid-call out from under us.
-        with shard.lock:
-            status, reply = self._call_worker(shard, job, budget_s)
-            if status != "ok":
-                self._restart_worker(
-                    shard, "death" if status == "died" else "hang"
-                )
+        call_start_ns = time.perf_counter_ns()
+        with trace_context(
+            exemplar.trace_id, exemplar.parent_span_id
+        ), span(
+            "service.pool_call",
+            shard=shard.index,
+            fingerprint=fp[:12],
+            group=len(live),
+        ):
+            with shard.lock:
+                status, reply = self._call_worker(shard, job, budget_s)
+                if status != "ok":
+                    self._restart_worker(
+                        shard, "death" if status == "died" else "hang"
+                    )
+        observe_stage(
+            self.registry,
+            "pool_roundtrip",
+            (time.perf_counter_ns() - call_start_ns) / 1e6,
+        )
+        if reply is not None:
+            self._harvest_worker_spans(reply)
         if status != "ok":
             reason = (
                 "worker_death" if status == "died" else "worker_hang"
@@ -829,6 +950,26 @@ class ProcessPlanExecutor(ExecutorBase):
             self._retry_or_fail(
                 item, "worker reply missing this request"
             )
+
+    def _harvest_worker_spans(self, reply: Dict[str, Any]) -> None:
+        """Fold the worker's stage spans into this process's tracer
+        and the stage histograms (``worker.execute`` → stage
+        ``worker_execute`` and so on)."""
+        records = reply.get("spans") or []
+        if not records:
+            return
+        tracer = get_tracer()
+        for rec in records:
+            try:
+                if tracer is not None:
+                    tracer.add_foreign(rec)
+                observe_stage(
+                    self.registry,
+                    str(rec["name"]).replace(".", "_"),
+                    float(rec["dur_us"]) / 1e3,
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # a malformed span never fails the request
 
     def _on_breaker_success(
         self, fp: str, breaker: CircuitBreaker

@@ -36,6 +36,8 @@ the next.
 
 from __future__ import annotations
 
+import sys
+import threading
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Tuple
 
@@ -140,6 +142,37 @@ class ErrorInfo:
         )
 
 
+_legacy_warning_lock = threading.Lock()
+_legacy_warned = False
+
+
+def _warn_legacy_once() -> None:
+    """One stderr line, the first time an unversioned dict is parsed.
+
+    Complements the ``service_proto_legacy_total`` counter: the counter
+    tells operators *how much* legacy traffic remains, this tells a
+    human at a terminal immediately that some exists at all.
+    """
+    global _legacy_warned
+    with _legacy_warning_lock:
+        if _legacy_warned:
+            return
+        _legacy_warned = True
+    print(
+        "warning: parsed a legacy bare-dict request without a 'proto' "
+        f"field; clients should send proto: {PROTO_VERSION} "
+        "(this warning is printed once per process)",
+        file=sys.stderr,
+    )
+
+
+def _reset_legacy_warning() -> None:
+    """Test hook: allow the one-time legacy warning to fire again."""
+    global _legacy_warned
+    with _legacy_warning_lock:
+        _legacy_warned = False
+
+
 def _check_proto_version(data: Dict[str, Any]) -> bool:
     """Validate ``data['proto']``; returns True when the field exists.
 
@@ -182,6 +215,12 @@ class Request:
     rest are optional knobs with service-side defaults.  ``raw`` is
     the original wire dict (excluded from equality) so downstream
     hooks can see request fields outside the protocol.
+
+    ``trace_id``/``parent_span_id`` are the W3C-traceparent-style
+    distributed-tracing context (32/16 lowercase hex): the originating
+    process stamps them so every hop — router, node, pool worker —
+    records its spans into the same trace.  Both are optional and do
+    not participate in plan fingerprinting.
     """
 
     id: Optional[str] = None
@@ -193,6 +232,8 @@ class Request:
     timeout_s: Optional[float] = None
     validate: Optional[bool] = None
     retries: Optional[int] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
     proto: int = PROTO_VERSION
     raw: Dict[str, Any] = field(
         default_factory=dict, compare=False, repr=False
@@ -230,6 +271,10 @@ class Request:
             out["validate"] = self.validate
         if self.retries is not None:
             out["retries"] = self.retries
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.parent_span_id is not None:
+            out["parent_span_id"] = self.parent_span_id
         return out
 
     @classmethod
@@ -246,8 +291,10 @@ class Request:
         if not isinstance(data, dict):
             raise ProtoError("request must be a JSON object")
         versioned = _check_proto_version(data)
-        if not versioned and registry is not None:
-            registry.counter("service_proto_legacy_total").inc()
+        if not versioned:
+            _warn_legacy_once()
+            if registry is not None:
+                registry.counter("service_proto_legacy_total").inc()
         try:
             spec = data.get("spec")
             if spec is not None and not isinstance(spec, dict):
@@ -279,6 +326,16 @@ class Request:
                     if data.get("retries") is None
                     else int(data["retries"])
                 ),
+                trace_id=(
+                    None
+                    if data.get("trace_id") is None
+                    else str(data["trace_id"])
+                ),
+                parent_span_id=(
+                    None
+                    if data.get("parent_span_id") is None
+                    else str(data["parent_span_id"])
+                ),
                 raw=dict(data),
             )
         except ProtoError:
@@ -288,6 +345,14 @@ class Request:
 
     def with_id(self, request_id: str) -> "Request":
         return replace(self, id=request_id)
+
+    def with_trace(
+        self, trace_id: str, parent_span_id: Optional[str] = None
+    ) -> "Request":
+        """A copy carrying the given distributed-trace context."""
+        return replace(
+            self, trace_id=trace_id, parent_span_id=parent_span_id
+        )
 
     def resolve_spec(self):
         """``(StencilSpec, CompileOptions)`` for this request.
@@ -337,6 +402,7 @@ class Response:
     summary: Optional[dict] = None
     retry_after_s: Optional[float] = None
     node: Optional[int] = None
+    trace_id: Optional[str] = None
     error: Optional[ErrorInfo] = None
 
     def __post_init__(self) -> None:
@@ -373,6 +439,7 @@ class Response:
             "summary",
             "retry_after_s",
             "node",
+            "trace_id",
         ):
             value = getattr(self, name)
             if value is not None:

@@ -50,10 +50,23 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry, get_metrics
-from ..obs.tracing import span
+from ..obs.tracing import (
+    new_span_id,
+    new_trace_id,
+    record_span,
+    span,
+    trace_context,
+)
 from .chaos import ChaosConfig, ChaosInjector
+from .executor import observe_stage
 from .fingerprint import fingerprint
-from .proto import ProtoError, Request, Response, error_response
+from .proto import (
+    PROTO_VERSION,
+    ProtoError,
+    Request,
+    Response,
+    error_response,
+)
 from .scheduler import ResultSlot
 
 __all__ = [
@@ -125,6 +138,13 @@ class RouterConfig:
     failover_grace_s: float = 2.0  # wedge = deadline + this, no reply
     monitor_interval_s: float = 0.05
     node_metrics_dir: Optional[str] = None  # node-N.json on clean exit
+    #: Directory for per-process JSONL trace files: each node exports
+    #: ``node-<idx>-g<generation>.jsonl`` on clean exit (the generation
+    #: suffix keeps a respawned node from overwriting its predecessor).
+    #: The router's own tracer is installed by the caller (the CLI
+    #: writes ``router.jsonl`` beside them); stitch with
+    #: :func:`repro.obs.stitch.stitch_traces` / ``repro trace``.
+    trace_dir: Optional[str] = None
     chaos_seed: int = 2014
     node_kill_rate: float = 0.0  # kill the owning node after dispatch
 
@@ -149,6 +169,17 @@ class _Pending:
     attempts: int = 0
     node: int = -1
     generation: int = -1  # node process generation dispatched to
+    #: Distributed-trace context: the trace this request belongs to
+    #: and the id of its root ``router.request`` span, which every
+    #: downstream span (node and pool worker) hangs off.
+    trace_id: Optional[str] = None
+    root_span_id: Optional[str] = None
+    #: Allocated per dispatch attempt so the node's spans parent to
+    #: the ``router.node_wait`` span covering *that* attempt, keeping
+    #: the critical path connected across the process boundary.
+    node_wait_span_id: Optional[str] = None
+    start_ns: int = 0  # perf_counter_ns at submission
+    sent_ns: int = 0  # perf_counter_ns of the successful node write
 
 
 class _Node:
@@ -170,6 +201,14 @@ class _Node:
                 os.path.join(
                     self.config.node_metrics_dir,
                     f"node-{self.idx}.json",
+                ),
+            ]
+        if self.config.trace_dir:
+            out += [
+                "--trace-out",
+                os.path.join(
+                    self.config.trace_dir,
+                    f"node-{self.idx}-g{self.generation + 1}.jsonl",
                 ),
             ]
         return out
@@ -254,6 +293,10 @@ class Router:
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
         self._pending: Dict[str, _Pending] = {}
+        #: Outstanding control requests (metrics collection) by wire
+        #: id — kept apart from ``_pending`` so control replies never
+        #: enter the request resolution/failover machinery.
+        self._controls: Dict[str, ResultSlot] = {}
         #: fingerprint -> (node index, in-flight count): the global
         #: single-flight owner table.
         self._owners: Dict[str, List[int]] = {}
@@ -273,6 +316,8 @@ class Router:
             )
         if self.config.node_metrics_dir:
             os.makedirs(self.config.node_metrics_dir, exist_ok=True)
+        if self.config.trace_dir:
+            os.makedirs(self.config.trace_dir, exist_ok=True)
 
     # -- telemetry -----------------------------------------------------
     def _count(self, name: str, labels=None) -> None:
@@ -392,6 +437,54 @@ class Router:
     ) -> None:
         """Resolve a *taken* entry's client slot."""
         response.id = entry.client_id
+        if response.trace_id is None:
+            response.trace_id = entry.trace_id
+        end_ns = time.perf_counter_ns()
+        if entry.start_ns:
+            # The request's full router residency — the root span of
+            # the distributed trace — plus the node round trip (which
+            # is where almost all of the wall-clock goes, so stage
+            # coverage stays honest).
+            record_span(
+                "router.request",
+                entry.start_ns,
+                end_ns,
+                trace_id=entry.trace_id,
+                span_id=entry.root_span_id,
+                request=entry.client_id or entry.internal_id,
+                fingerprint=entry.fingerprint[:12],
+                status=response.status,
+            )
+            total_ms = (end_ns - entry.start_ns) / 1e6
+            observe_stage(
+                self.metrics, "total", total_ms, name="router_stage_ms"
+            )
+            self.metrics.record_exemplar(
+                "router_request_latency_ms",
+                total_ms,
+                {
+                    "request": entry.client_id or entry.internal_id,
+                    "benchmark": entry.request.benchmark or "spec",
+                    "status": response.status,
+                    "node": str(entry.node),
+                },
+            )
+        if entry.sent_ns:
+            record_span(
+                "router.node_wait",
+                entry.sent_ns,
+                end_ns,
+                trace_id=entry.trace_id,
+                span_id=entry.node_wait_span_id,
+                parent_span_id=entry.root_span_id,
+                node=entry.node,
+            )
+            observe_stage(
+                self.metrics,
+                "node_wait",
+                (end_ns - entry.sent_ns) / 1e6,
+                name="router_stage_ms",
+            )
         entry.slot.resolve(response)
         self._count(
             "router_requests_total", {"status": response.status}
@@ -455,6 +548,14 @@ class Router:
             if req.timeout_s is None
             else req.timeout_s
         )
+        # The router is the trace origin: requests arriving without a
+        # context get a fresh trace id here, and every request gets a
+        # root span id that all downstream spans (node, pool worker)
+        # parent to over the wire.
+        start_ns = time.perf_counter_ns()
+        trace_id = req.trace_id or new_trace_id()
+        root_span_id = new_span_id()
+        req = req.with_trace(trace_id, root_span_id)
         with self._lock:
             self._seq += 1
             internal_id = f"rt-{self._seq}"
@@ -470,13 +571,22 @@ class Router:
                 if req.retries is None
                 else req.retries
             ),
+            trace_id=trace_id,
+            root_span_id=root_span_id,
+            start_ns=start_ns,
         )
-        with span(
+        with trace_context(trace_id, root_span_id), span(
             "router.dispatch",
             request=internal_id,
             fingerprint=fp[:12],
         ):
             self._dispatch(entry)
+        observe_stage(
+            self.metrics,
+            "dispatch",
+            (time.perf_counter_ns() - start_ns) / 1e6,
+            name="router_stage_ms",
+        )
         return entry.slot
 
     def _dispatch(self, entry: _Pending) -> None:
@@ -509,8 +619,11 @@ class Router:
                     return
                 time.sleep(self.config.monitor_interval_s)
                 continue
+            entry.node_wait_span_id = new_span_id()
             wire = replace(
-                entry.request, id=entry.internal_id
+                entry.request,
+                id=entry.internal_id,
+                parent_span_id=entry.node_wait_span_id,
             ).to_json()
             try:
                 node.send(wire, entry.generation)
@@ -526,6 +639,7 @@ class Router:
                 entry.retries_left -= 1
                 self._count("router_failovers_total")
                 continue
+            entry.sent_ns = time.perf_counter_ns()
             self._count(
                 "router_dispatch_total", self._node_labels(idx)
             )
@@ -597,6 +711,12 @@ class Router:
         self._on_node_exit(node, generation)
 
     def _on_response(self, node: _Node, response: Response) -> None:
+        with self._lock:
+            control = self._controls.pop(response.id or "", None)
+        if control is not None:
+            response.node = node.idx
+            control.resolve(response)
+            return
         entry = self._take(response.id or "")
         if entry is None:
             self._count("router_unmatched_responses_total")
@@ -650,6 +770,78 @@ class Router:
             )
         else:
             self._resolve_exhausted(entry, idx)
+
+    # -- telemetry aggregation -----------------------------------------
+    def collect_node_metrics(
+        self, timeout_s: float = 5.0
+    ) -> Dict[int, Optional[dict]]:
+        """One metrics snapshot per node, over the existing pipes.
+
+        Sends the ``{"control": "metrics"}`` document down each alive
+        node's stdin and matches the replies out-of-band (they never
+        touch the request failover machinery).  A dead, draining or
+        unresponsive node maps to ``None`` — aggregation degrades, it
+        never blocks the fabric.
+        """
+        slots: Dict[int, Tuple[str, ResultSlot]] = {}
+        out: Dict[int, Optional[dict]] = {}
+        for node in self._nodes:
+            out[node.idx] = None
+            if not node.alive() or node.closing:
+                continue
+            with self._lock:
+                self._seq += 1
+                control_id = f"ctl-{self._seq}"
+                slot = ResultSlot()
+                self._controls[control_id] = slot
+            wire = {
+                "proto": PROTO_VERSION,
+                "id": control_id,
+                "control": "metrics",
+            }
+            try:
+                node.send(wire, node.generation)
+            except OSError:
+                with self._lock:
+                    self._controls.pop(control_id, None)
+                continue
+            slots[node.idx] = (control_id, slot)
+        deadline = time.monotonic() + timeout_s
+        for idx, (control_id, slot) in slots.items():
+            try:
+                reply = slot.result(
+                    max(0.01, deadline - time.monotonic())
+                )
+            except TimeoutError:
+                with self._lock:
+                    self._controls.pop(control_id, None)
+                continue
+            if reply.ok and isinstance(reply.summary, dict):
+                out[idx] = reply.summary
+        return out
+
+    def fabric_snapshot(self, timeout_s: float = 5.0) -> dict:
+        """The whole fabric's telemetry in one document.
+
+        ``router`` is this process's registry, ``nodes`` maps node
+        index to its snapshot (``None`` when unreachable) and
+        ``merged`` folds router plus every reachable node into one
+        registry via :meth:`MetricsRegistry.merge_snapshot` — the
+        input of ``repro top``.
+        """
+        node_snapshots = self.collect_node_metrics(timeout_s)
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
+        for snapshot in node_snapshots.values():
+            if snapshot is not None:
+                merged.merge_snapshot(snapshot)
+        return {
+            "router": self.metrics.snapshot(),
+            "nodes": {
+                str(idx): snap for idx, snap in node_snapshots.items()
+            },
+            "merged": merged.snapshot(),
+        }
 
     # -- supervision ---------------------------------------------------
     def _monitor_loop(self) -> None:

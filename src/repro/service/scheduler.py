@@ -91,6 +91,14 @@ class WorkItem:
     #: shard's process mid-request).  Ignored by the thread executor.
     shard_hops: int = 0
     admitted_at: float = field(default_factory=time.monotonic)
+    #: perf_counter_ns at admission, for span timestamps (the float
+    #: ``admitted_at`` stays for deadline math).
+    admitted_ns: int = field(default_factory=time.perf_counter_ns)
+    #: Distributed-trace context inherited from the wire request: the
+    #: trace every stage span of this item joins, and the caller's
+    #: span id the node-side root span hangs off.
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
     #: The typed wire request this item was parsed from (None for
     #: synthetic items built directly in tests).
     request: Optional[Any] = None  # proto.Request

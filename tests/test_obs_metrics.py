@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_metrics,
     install_metrics,
+    split_metric_key,
     uninstall_metrics,
 )
 
@@ -126,6 +127,145 @@ class TestJsonSnapshot:
         hist = snap["histograms"]["sizes"]
         assert hist["count"] == 5
         assert hist["buckets"][-1] == ["+Inf", 5]
+
+
+class TestHistogramQuantile:
+    """Bucket-interpolated quantiles, exact at bucket boundaries."""
+
+    def _hist(self):
+        hist = Histogram("h", (), buckets=(1, 2, 4))
+        # One observation per finite bucket, one in +Inf:
+        # counts per bucket = [1, 1, 1, 1], total 4.
+        for v in (0.5, 1.5, 3.0, 10.0):
+            hist.observe(v)
+        return hist
+
+    def test_exact_bucket_boundaries(self):
+        hist = self._hist()
+        # rank q*count lands exactly on each cumulative boundary:
+        # the interpolation must return the bucket's upper bound.
+        assert hist.quantile(0.25) == pytest.approx(1.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        assert hist.quantile(0.75) == pytest.approx(4.0)
+
+    def test_interpolates_within_a_bucket(self):
+        hist = self._hist()
+        # rank 1.5 is halfway through bucket (1, 2].
+        assert hist.quantile(0.375) == pytest.approx(1.5)
+
+    def test_first_bucket_anchors_at_zero(self):
+        hist = Histogram("h", (), buckets=(10,))
+        hist.observe(5)
+        hist.observe(5)
+        # Halfway through [0, 10] with no lower bound information.
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        hist = self._hist()
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+        only_inf = Histogram("h", (), buckets=(1,))
+        only_inf.observe(99)
+        assert only_inf.quantile(0.5) == pytest.approx(1.0)
+
+    def test_empty_and_invalid(self):
+        hist = Histogram("h", (), buckets=(1, 2))
+        assert math.isnan(hist.quantile(0.5))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_empty_bucket_returns_lower_edge(self):
+        hist = Histogram("h", (), buckets=(1, 2, 4))
+        hist.observe(0.5)
+        # q beyond the data sits on an empty bucket boundary.
+        assert hist.quantile(1.0) == pytest.approx(1.0)
+
+
+class TestSplitMetricKey:
+    def test_bare_name(self):
+        assert split_metric_key("requests_total") == (
+            "requests_total",
+            (),
+        )
+
+    def test_labels_parse_in_order(self):
+        name, labels = split_metric_key(
+            'stage_ms{stage="cache_lookup",node="1"}'
+        )
+        assert name == "stage_ms"
+        assert dict(labels) == {"stage": "cache_lookup", "node": "1"}
+
+
+class TestMergeSnapshot:
+    def test_counters_gauges_histograms_sum(self):
+        a = populated_registry()
+        b = MetricsRegistry()
+        b.merge_snapshot(a.snapshot())
+        b.merge_snapshot(a.snapshot())
+        snap = b.snapshot()
+        assert snap["counters"]['events_total{kind="a"}'] == 6
+        assert snap["gauges"]["level"] == 15.0
+        hist = snap["histograms"]["sizes"]
+        assert hist["count"] == 10
+        assert hist["sum"] == 2 * (0 + 1 + 3 + 5 + 100)
+        # Per-bucket counts doubled, not just the totals.
+        assert hist["buckets"] == [
+            [1.0, 4], [4.0, 6], [16.0, 8], ["+Inf", 10],
+        ]
+
+    def test_merge_registry_convenience(self):
+        a = populated_registry()
+        b = MetricsRegistry()
+        b.counter("events_total", labels={"kind": "a"}).inc(10)
+        b.merge(a)
+        assert (
+            b.snapshot()["counters"]['events_total{kind="a"}'] == 13
+        )
+
+    def test_mismatched_buckets_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("sizes", buckets=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("sizes", buckets=(1, 4)).observe(1)
+        with pytest.raises(ValueError, match="do not match"):
+            b.merge_snapshot(a.snapshot())
+
+    def test_quantiles_work_on_merged_histograms(self):
+        a = MetricsRegistry()
+        hist = a.histogram("lat_ms", buckets=(1, 2, 4))
+        for v in (0.5, 1.5, 3.0, 10.0):
+            hist.observe(v)
+        b = MetricsRegistry()
+        b.merge_snapshot(a.snapshot())
+        merged = b.histogram("lat_ms", buckets=(1, 2, 4))
+        assert merged.quantile(0.5) == pytest.approx(2.0)
+
+
+class TestExemplars:
+    def test_keeps_top_k_by_value(self):
+        reg = MetricsRegistry()
+        for k in range(2 * MetricsRegistry.EXEMPLAR_K):
+            reg.record_exemplar(
+                "latency_ms", float(k), {"request": f"r{k}"}
+            )
+        kept = reg.exemplars("latency_ms")
+        assert len(kept) == MetricsRegistry.EXEMPLAR_K
+        values = [e["value"] for e in kept]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 2.0 * MetricsRegistry.EXEMPLAR_K - 1
+
+    def test_snapshot_merge_round_trip(self):
+        a = MetricsRegistry()
+        a.record_exemplar("latency_ms", 12.5, {"request": "slow-1"})
+        snap = a.snapshot()
+        assert snap["exemplars"]["latency_ms"][0]["value"] == 12.5
+        b = MetricsRegistry()
+        b.record_exemplar("latency_ms", 99.0, {"request": "slower"})
+        b.merge_snapshot(snap)
+        values = [e["value"] for e in b.exemplars("latency_ms")]
+        assert values == [99.0, 12.5]
+
+    def test_snapshot_omits_key_when_empty(self):
+        assert "exemplars" not in MetricsRegistry().snapshot()
 
 
 class TestGlobalInstall:

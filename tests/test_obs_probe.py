@@ -173,10 +173,12 @@ class TestCliObservability:
             ]
         )
         assert rc == 0
-        names = [
-            json.loads(line)["name"]
+        lines = [
+            json.loads(line)
             for line in trace.read_text().splitlines()
         ]
+        assert lines[0].get("kind") == "trace_meta"
+        names = [rec["name"] for rec in lines[1:]]
         assert "flow.explore" in names
         assert names.count("explore.candidate") >= 4
         assert isinstance(json.loads(metrics.read_text()), dict)

@@ -129,3 +129,53 @@ def test_metrics_mode_rejects_non_metrics_json(
     out = captured.out + captured.err
     assert rc in (1, 2)
     assert "metrics" in out or "JSON" in out
+
+
+def test_truncated_jsonl_trace_fails_cleanly(
+    obs_report, tmp_path, capsys
+):
+    """A chaos-killed run can tear a trace file mid-line; the tool
+    must print one error line and exit nonzero, not traceback."""
+    path = tmp_path / "torn.jsonl"
+    whole = _traced_file(tmp_path, "jsonl").read_text()
+    path.write_text(whole[: len(whole) - 20])
+    rc = obs_report.main([str(path)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error:" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
+
+
+def test_non_jsonl_garbage_fails_cleanly(obs_report, tmp_path, capsys):
+    path = tmp_path / "garbage.jsonl"
+    path.write_text("not json at all\x00\x01")
+    rc = obs_report.main([str(path)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error:" in captured.err
+
+
+def test_truncated_metrics_json_fails_cleanly(
+    obs_report, tmp_path, capsys
+):
+    registry = MetricsRegistry()
+    registry.counter("service_requests_total").inc()
+    path = tmp_path / "metrics.json"
+    registry.export_json(str(path))
+    path.write_text(path.read_text()[:-10])
+    rc = obs_report.main([str(path), "--metrics"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error:" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
+
+
+def test_jsonl_with_meta_header_skips_it(obs_report, tmp_path, capsys):
+    """The trace_meta header line must not count as a span."""
+    path = _traced_file(tmp_path, "jsonl")
+    first = path.read_text().splitlines()[0]
+    assert '"trace_meta"' in first
+    rc = obs_report.main([str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "3 spans" in out

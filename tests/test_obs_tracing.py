@@ -11,8 +11,11 @@ from repro.obs.tracing import (
     Tracer,
     get_tracer,
     install_tracer,
+    new_span_id,
+    new_trace_id,
     record_span,
     span,
+    trace_context,
     traced,
     uninstall_tracer,
 )
@@ -128,14 +131,110 @@ class TestGlobalInstall:
         assert record.args == {"words": 7}
 
 
+class TestTraceContext:
+    def test_id_shapes(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        assert new_trace_id() != new_trace_id()
+
+    def test_spans_inherit_context_and_chain(self):
+        tracer = install_tracer()
+        trace_id = new_trace_id()
+        with trace_context(trace_id, "cafe000011112222"):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        inner, outer = tracer.records
+        assert inner.trace_id == outer.trace_id == trace_id
+        assert outer.parent_span_id == "cafe000011112222"
+        assert inner.parent_span_id == outer.span_id
+        assert outer.span_id != inner.span_id
+
+    def test_none_context_is_noop(self):
+        tracer = install_tracer()
+        with trace_context(None):
+            with span("plain"):
+                pass
+        (rec,) = tracer.records
+        assert rec.trace_id is None and rec.span_id is None
+        # Untraced spans keep the original JSONL schema keys.
+        assert "trace_id" not in rec.as_dict()
+
+    def test_context_is_thread_local(self):
+        tracer = install_tracer()
+        seen = {}
+
+        def work():
+            with span("other-thread"):
+                pass
+            seen["records"] = len(tracer.records)
+
+        with trace_context(new_trace_id()):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        other = next(
+            r for r in tracer.records if r.name == "other-thread"
+        )
+        assert other.trace_id is None
+
+    def test_record_span_with_explicit_ids(self):
+        tracer = install_tracer()
+        record_span(
+            "ext",
+            1_000,
+            2_000,
+            trace_id="f" * 32,
+            span_id="a" * 16,
+            parent_span_id="b" * 16,
+            note="x",
+        )
+        (rec,) = tracer.records
+        assert rec.trace_id == "f" * 32
+        assert rec.span_id == "a" * 16
+        assert rec.parent_span_id == "b" * 16
+        assert rec.args == {"note": "x"}
+
+    def test_add_foreign_rebases_onto_local_epoch(self):
+        tracer = Tracer()
+        remote_start = tracer.epoch_unix_us + 5_000.0
+        tracer.add_foreign(
+            {
+                "name": "worker.execute",
+                "ts_unix_us": remote_start,
+                "dur_us": 250.0,
+                "pid": 4242,
+                "tid": 7,
+                "trace_id": "c" * 32,
+                "span_id": "d" * 16,
+                "parent_span_id": "e" * 16,
+                "args": {"request": "r1"},
+            }
+        )
+        (rec,) = tracer.records
+        assert rec.start_us == pytest.approx(5_000.0)
+        assert rec.pid == 4242 and rec.thread_id == 7
+        assert rec.trace_id == "c" * 32
+        # The foreign pid survives into both export formats so the
+        # stitcher can draw the worker as its own process row.
+        assert rec.as_dict()["pid"] == 4242
+        assert rec.as_chrome_event(1)["pid"] == 4242
+
+
 class TestExporters:
     def test_jsonl_round_trip_schema(self, tmp_path):
         tracer = traced_tree()
         path = tmp_path / "trace.jsonl"
         n = tracer.export_jsonl(str(path))
         lines = path.read_text().splitlines()
-        assert n == len(lines) == 5
-        for line in lines:
+        # First line is the trace_meta header (the stitcher's clock
+        # anchor), then one span per line.
+        assert n == 5 and len(lines) == 6
+        meta = json.loads(lines[0])
+        assert meta["kind"] == "trace_meta"
+        assert meta["pid"] > 0 and meta["epoch_unix_us"] > 0
+        assert meta["process"] == tracer.name
+        for line in lines[1:]:
             rec = json.loads(line)
             assert set(rec) == {
                 "name", "ts_us", "dur_us", "tid", "depth",

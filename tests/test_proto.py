@@ -212,6 +212,40 @@ class TestVersioning:
             registry.counter("service_proto_legacy_total").value == 1
         )
 
+    def test_legacy_dict_warns_on_stderr_once(self, capsys):
+        from repro.service import proto as proto_mod
+
+        proto_mod._reset_legacy_warning()
+        Request.from_json({"benchmark": "SOBEL"})
+        Request.from_json({"benchmark": "DENOISE"})
+        err = capsys.readouterr().err
+        assert err.count("legacy bare-dict request") == 1
+        # Versioned requests never trigger the warning.
+        proto_mod._reset_legacy_warning()
+        Request.from_json({"proto": 1, "benchmark": "SOBEL"})
+        assert "legacy" not in capsys.readouterr().err
+
+
+class TestTracePropagation:
+    def test_round_trip_and_with_trace(self):
+        req = Request(benchmark="SOBEL", id="r1")
+        wire = req.to_json()
+        assert "trace_id" not in wire  # absent until stamped
+        stamped = req.with_trace("a" * 32, "b" * 16)
+        assert stamped.trace_id == "a" * 32
+        assert stamped.parent_span_id == "b" * 16
+        assert req.trace_id is None  # original untouched
+        parsed = Request.from_json(stamped.to_json())
+        assert parsed.trace_id == "a" * 32
+        assert parsed.parent_span_id == "b" * 16
+
+    def test_response_trace_id_round_trips(self):
+        resp = Response(id="r1", status="ok", trace_id="c" * 32)
+        parsed = Response.from_json(resp.to_json())
+        assert parsed.trace_id == "c" * 32
+        bare = Response(id="r1", status="ok")
+        assert "trace_id" not in bare.to_json()
+
 
 class TestErrorTaxonomy:
     def test_kinds_are_closed(self):

@@ -271,3 +271,101 @@ class TestRouterProtocolSurface:
         assert any(
             k.startswith("router_node_up") for k in gauges
         )
+
+
+@pytest.mark.slow
+class TestFabricAggregation:
+    def test_collect_and_merge_node_metrics(self, tmp_path):
+        """The router pulls every node's metrics snapshot over the
+        live request pipes and merges them with its own registry into
+        one fabric view."""
+        registry = MetricsRegistry()
+        config = RouterConfig(
+            nodes=2,
+            node=NodeConfig(
+                workers=2, cache_dir=str(tmp_path / "cache")
+            ),
+        )
+        router = Router(config, registry=registry).start()
+        try:
+            slots = [
+                router.submit(
+                    {
+                        "proto": 1,
+                        "id": f"m{k}",
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": k,
+                    }
+                )
+                for k in range(4)
+            ]
+            responses = [s.result(timeout=120) for s in slots]
+            assert all(r.ok for r in responses)
+            per_node = router.collect_node_metrics(timeout_s=60)
+            fabric = router.fabric_snapshot(timeout_s=60)
+        finally:
+            assert router.close(timeout=120)
+
+        assert set(per_node) == {0, 1}
+        reachable = [s for s in per_node.values() if s is not None]
+        assert reachable
+        # All four requests are visible through the node pipes.
+        node_requests = sum(
+            v
+            for snap in reachable
+            for k, v in snap["counters"].items()
+            if k.startswith("service_requests_total")
+        )
+        assert node_requests == 4
+
+        assert set(fabric) == {"router", "nodes", "merged"}
+        assert set(fabric["nodes"]) == {"0", "1"}
+        merged = fabric["merged"]
+        # Router-side and node-side views agree in the merge.
+        for prefix in ("router_requests_total", "service_requests_total"):
+            assert (
+                sum(
+                    v
+                    for k, v in merged["counters"].items()
+                    if k.startswith(prefix)
+                )
+                == 4
+            ), prefix
+        # Stage attribution histograms from both layers merged in.
+        assert any(
+            k.startswith("router_stage_ms") for k in merged["histograms"]
+        )
+        assert any(
+            k.startswith("service_stage_ms")
+            for k in merged["histograms"]
+        )
+        # Slow-request exemplars survive the pipe and the merge.
+        exemplars = merged.get("exemplars", {})
+        assert "router_request_latency_ms" in exemplars
+        assert "service_request_latency_ms" in exemplars
+
+    def test_control_requests_skip_dead_nodes(self, tmp_path):
+        registry = MetricsRegistry()
+        config = RouterConfig(
+            nodes=2,
+            node=NodeConfig(
+                workers=1, cache_dir=str(tmp_path / "cache")
+            ),
+            # Slow the supervisor's respawn so the killed node stays
+            # down for the collection window.
+            monitor_interval_s=5.0,
+        )
+        router = Router(config, registry=registry).start()
+        try:
+            assert router.handle(
+                {"proto": 1, "benchmark": "SOBEL", "grid": [10, 12]},
+                wait_timeout=120,
+            ).ok
+            router._nodes[0].kill()
+            per_node = router.collect_node_metrics(timeout_s=30)
+        finally:
+            assert router.close(timeout=120)
+        assert set(per_node) == {0, 1}
+        assert per_node[0] is None
+        assert per_node[1] is not None

@@ -323,6 +323,40 @@ class TestServiceApi:
             reply = svc.submit_json("{not json").result(5.0)
         assert reply["status"] == "invalid"
 
+    def test_metrics_control_request(self):
+        """A ``{"control": "metrics"}`` document on the request
+        channel answers with this node's full registry snapshot."""
+        with self._service() as svc:
+            assert (
+                svc.handle(
+                    {"benchmark": "DENOISE", "grid": [12, 16]},
+                    wait_timeout=30.0,
+                )["status"]
+                == "ok"
+            )
+            reply = svc.submit(
+                {"proto": 1, "id": "ctl-1", "control": "metrics"}
+            ).result(10.0)
+        assert reply.ok and reply.id == "ctl-1"
+        snap = reply.summary
+        assert set(snap) >= {"counters", "gauges", "histograms"}
+        assert (
+            snap["counters"]['service_requests_total{status="ok"}']
+            == 1  # the control itself is not counted as a request
+        )
+        assert any(
+            k.startswith("service_stage_ms") for k in snap["histograms"]
+        )
+
+    def test_unknown_control_verb_rejected(self):
+        with self._service() as svc:
+            reply = svc.submit(
+                {"proto": 1, "id": "ctl-2", "control": "reboot"}
+            ).result(10.0)
+        assert not reply.ok
+        assert reply.status == "invalid"
+        assert reply.error.kind == "bad_request"
+
     def test_retry_then_succeed(self):
         failures = {"count": 0}
 

@@ -82,6 +82,22 @@ def main(argv=None) -> int:
     except OSError as exc:
         print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # Truncated or non-JSONL content must fail with one clean
+        # line, not a traceback: these files are produced by runs
+        # that may have been chaos-killed mid-write.
+        print(
+            f"error: {args.trace} is not a trace file: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except (KeyError, TypeError) as exc:
+        print(
+            f"error: {args.trace} has malformed span records "
+            f"({exc!r})",
+            file=sys.stderr,
+        )
+        return 2
     if not events:
         print(f"no spans in {args.trace}")
         return 1
