@@ -32,6 +32,17 @@ GRIDS = {
 N_REQUESTS = 96
 MAX_TRACING_OVERHEAD = 0.05
 
+#: Backend comparison through the full fabric: one hot fingerprint on
+#: a grid big enough that node-side execution, not the router hop,
+#: carries the interpreted cost.  The compiled kernel collapses that
+#: execution, but the router adds a pipe round trip per request that
+#: both backends pay equally — so the end-to-end ratio here is a floor,
+#: not the ~10x the bare-service bench asserts.
+BACKEND_SPEC = ("RICIAN", (224, 256))
+BACKEND_SEEDS = 2
+BACKEND_REQUESTS = {"interpreted": 32, "compiled": 128}
+MIN_ROUTED_SPEEDUP = 2.0
+
 
 def _mixed_requests(n, tag):
     names = sorted(GRIDS)
@@ -94,6 +105,59 @@ def _run_mode(tmp_path, tag, trace_dir=None):
     return best_rps, warm_wall, registry.snapshot(), fabric
 
 
+def _backend_requests(n, tag):
+    name, grid = BACKEND_SPEC
+    return [
+        {
+            "proto": 1,
+            "id": f"{tag}-{k}",
+            "benchmark": name,
+            "grid": list(grid),
+            "seed": k % BACKEND_SEEDS,
+            "timeout_s": 300.0,
+        }
+        for k in range(n)
+    ]
+
+
+def _backend_campaign(tmp_path, backend):
+    """Warm same-fingerprint throughput of one backend, routed."""
+    config = RouterConfig(
+        nodes=2,
+        node=NodeConfig(
+            workers=1,
+            backend=backend,
+            cache_dir=str(tmp_path / f"cache-{backend}"),
+        ),
+    )
+    n = BACKEND_REQUESTS[backend]
+    router = Router(config, registry=MetricsRegistry()).start()
+    try:
+        warm, _ = _run_campaign(
+            router, _backend_requests(BACKEND_SEEDS, f"{backend}-warm")
+        )
+        assert all(r.ok for r in warm)
+        checksums = {
+            k % BACKEND_SEEDS: r["checksum"] for k, r in enumerate(warm)
+        }
+        best_rps = 0.0
+        for k in range(2):
+            requests = _backend_requests(n, f"{backend}-b{k}")
+            replies, wall_s = _run_campaign(router, requests)
+            for req, r in zip(requests, replies):
+                assert r.ok
+                assert r["checksum"] == checksums[req["seed"]]
+            best_rps = max(best_rps, n / wall_s)
+    finally:
+        assert router.close(timeout=120)
+    return {
+        "backend": backend,
+        "requests": n,
+        "warm_rps": round(best_rps, 2),
+        "checksums": checksums,
+    }
+
+
 def _stage_percentiles(fabric):
     """``{layer.stage: {count, p50, p95, p99}}`` from the merged
     fabric snapshot (router + every node, same bucket layout)."""
@@ -120,6 +184,28 @@ def _stage_percentiles(fabric):
 
 def bench_router_throughput(tmp_path):
     trace_dir = str(tmp_path / "traces")
+    backend_passes = {
+        name: _backend_campaign(tmp_path, name)
+        for name in ("interpreted", "compiled")
+    }
+    # Both backends must answer the routed load bit-identically before
+    # the speedup means anything.
+    assert (
+        backend_passes["interpreted"]["checksums"]
+        == backend_passes["compiled"]["checksums"]
+    )
+    backend_checksums = backend_passes["interpreted"].pop("checksums")
+    backend_passes["compiled"].pop("checksums")
+    routed_speedup = round(
+        backend_passes["compiled"]["warm_rps"]
+        / backend_passes["interpreted"]["warm_rps"],
+        2,
+    )
+    assert routed_speedup >= MIN_ROUTED_SPEEDUP, (
+        f"routed compiled speedup {routed_speedup}x is below the "
+        f"{MIN_ROUTED_SPEEDUP}x floor: {backend_passes}"
+    )
+
     off_rps, _, off_snapshot, _ = _run_mode(tmp_path, "off")
     on_rps, warm_s, _, fabric = _run_mode(
         tmp_path, "on", trace_dir=trace_dir
@@ -151,6 +237,16 @@ def bench_router_throughput(tmp_path):
         "dispatch_per_node": per_node,
         "failovers": counters.get("router_failovers_total", 0),
         "stage_percentiles_ms": _stage_percentiles(fabric),
+        # Warm execution-backend comparison through the routed fabric
+        # (same fingerprint, same seeds, same checksums end to end).
+        "backends": {
+            "benchmark": BACKEND_SPEC[0],
+            "grid": list(BACKEND_SPEC[1]),
+            "interpreted": backend_passes["interpreted"],
+            "compiled": backend_passes["compiled"],
+            "checksums": backend_checksums,
+            "speedup": routed_speedup,
+        },
     }
     emit(
         "router throughput (2 nodes, warm mixed load, "

@@ -324,6 +324,7 @@ def _service_config(args):
         validate_every=args.validate_every,
         cache_dir=args.cache_dir,
         worker_mode=args.worker_mode,
+        backend=getattr(args, "backend", "interpreted"),
         hang_timeout_s=args.hang_timeout,
         chaos=chaos,
     )
@@ -342,6 +343,18 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
             "thread workers in-process, or a crash-isolated "
             "fingerprint-sharded multiprocessing pool with supervised "
             "restarts and circuit breaking (default thread)"
+        ),
+    )
+    group.add_argument(
+        # Validated by ServiceConfig (not argparse choices) so an
+        # unknown backend exits with the CLI's one-line error contract.
+        "--backend", default="interpreted", metavar="NAME",
+        help=(
+            "execution backend: 'interpreted' runs the paper-exact "
+            "golden reference per request; 'compiled' lowers each plan "
+            "to a batched vectorized kernel (bufferize -> convert) and "
+            "falls back to interpreted where lowering is unsupported "
+            "(default interpreted)"
         ),
     )
     group.add_argument(
@@ -511,11 +524,18 @@ def cmd_route(args) -> int:
             continue  # only forward the seed with an active fault rate
         if value:
             extra += [flag, str(value)]
+    backend = getattr(args, "backend", "interpreted")
+    if backend not in ("interpreted", "compiled"):
+        raise ValueError(
+            f"backend must be one of 'interpreted', 'compiled', "
+            f"got {backend!r}"
+        )
     node = NodeConfig(
         workers=args.workers,
         queue=args.queue,
         max_batch=args.max_batch,
         worker_mode=args.worker_mode,
+        backend=backend,
         validate_every=args.validate_every,
         cache_dir=args.cache_dir,
         hang_timeout_s=args.hang_timeout,

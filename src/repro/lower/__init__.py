@@ -1,0 +1,46 @@
+"""Compiled execution backend: bufferize → convert → batched kernels.
+
+The value-lowering pipeline that turns a compiled stencil plan into a
+flat, backend-neutral :class:`~repro.lower.program.BufferProgram` and
+then into a vectorized NumPy kernel executed once per request batch —
+see the module docstrings of :mod:`repro.lower.program`,
+:mod:`repro.lower.bufferize`, :mod:`repro.lower.convert`,
+:mod:`repro.lower.engine` and :mod:`repro.lower.executor`.
+"""
+
+from .bufferize import GATHER_POINT_LIMIT, bufferize, bufferize_plan
+from .convert import CompiledKernel, convert, kernel_from_plan
+from .engine import CompiledEngine, LowerResult
+from .executor import CompiledPlanExecutor
+from .program import (
+    BUFFER_PROGRAM_VERSION,
+    BufferProgram,
+    BufferRead,
+    LoweringError,
+    LoweringUnsupported,
+    ProgramMismatchError,
+    program_from_json,
+    program_to_json,
+    validate_program,
+)
+
+__all__ = [
+    "BUFFER_PROGRAM_VERSION",
+    "GATHER_POINT_LIMIT",
+    "BufferProgram",
+    "BufferRead",
+    "CompiledEngine",
+    "CompiledKernel",
+    "CompiledPlanExecutor",
+    "LowerResult",
+    "LoweringError",
+    "LoweringUnsupported",
+    "ProgramMismatchError",
+    "bufferize",
+    "bufferize_plan",
+    "convert",
+    "kernel_from_plan",
+    "program_from_json",
+    "program_to_json",
+    "validate_program",
+]

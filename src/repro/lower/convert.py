@@ -1,0 +1,320 @@
+"""Convert: turn a :class:`BufferProgram` into a NumPy batch kernel.
+
+The second half of the value-lowering split.  One
+:class:`CompiledKernel` is built per plan fingerprint and then reused
+for every request: executing a grid is a handful of ndarray ops instead
+of a per-request walk of the spec tree and a per-point Python loop.
+Same-fingerprint batches stack their input grids on a leading axis and
+run through the *same* ops in one call.
+
+Bit-exactness contract
+----------------------
+The kernel must reproduce :func:`repro.stencil.golden.golden_output_sequence`
+*bit for bit* (the service digests outputs with SHA-256, so "close" is
+not enough).  Two properties make that hold:
+
+* the op list replays :func:`repro.stencil.expr.evaluate`'s exact
+  post-order and operator semantics (``+ - * /`` operators,
+  ``np.minimum``/``np.maximum``, ``abs``, ``math.sqrt``-or-``np.sqrt``)
+  — all IEEE-754 double ops with one correctly rounded result, so
+  scalar and array evaluation agree element for element;
+* reads are strided views for box domains (exactly the shifted slices
+  ``run_golden`` takes) and flat gather tables for skewed polyhedra
+  (exactly the per-point loads of ``iter_outputs_pointwise``).
+
+Every converter call re-derives the program from the plan
+(:func:`repro.lower.bufferize.bufferize_plan` is cheap and
+deterministic) and refuses a stored sidecar that disagrees
+(:class:`ProgramMismatchError`) — a corrupted cache entry can make the
+service *fail*, never answer wrong.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..polyhedral.domain import domain_from_json
+from ..stencil.spec import StencilSpec
+from .bufferize import bufferize_plan
+from .program import (
+    BufferProgram,
+    LoweringError,
+    LoweringUnsupported,
+    ProgramMismatchError,
+    program_from_json,
+    program_to_json,
+    validate_program,
+)
+
+__all__ = ["CompiledKernel", "convert", "kernel_from_plan"]
+
+
+#: Working-set budget for one batched replay, in bytes.  A batch of B
+#: grids materializes ``reads x B x n_outputs`` float64 intermediates;
+#: past a few MB those spill out of cache and the batched kernel runs
+#: *slower* than B single runs.  ``run_batch`` therefore splits large
+#: batches into sub-chunks sized to this budget — pure partitioning of
+#: the leading axis, so every row's arithmetic is unchanged and bit
+#: identity is preserved.
+BATCH_WORKING_SET_BYTES = 4 * 1024 * 1024
+
+#: Per-grid value-array footprint below which a same-fingerprint batch
+#: is fused into one stacked ``run_batch`` call.  Fusing amortizes the
+#: per-op ndarray dispatch cost and wins big on small grids (5x at
+#: 16x20); past ~32KB per grid the stack copy plus the fatter working
+#: set cost more than the dispatch they save, and per-grid strided
+#: views win (measured crossover ~1-3k outputs).
+FUSE_BATCH_ITEM_BYTES = 32 * 1024
+
+
+class CompiledKernel:
+    """An executable lowering of one fingerprint's plan.
+
+    ``run`` executes one grid; ``run_batch`` executes a stack of grids
+    (leading batch axis) through the same ndarray ops.  Outputs come
+    back as contiguous float64 rows in the accelerator's lexicographic
+    emission order — ready to digest.
+    """
+
+    def __init__(self, program: BufferProgram) -> None:
+        validate_program(program)
+        self.program = program
+        self.n_outputs = program.n_outputs
+        self._grid = tuple(program.grid)
+        if program.mode == "box":
+            lows, shape = program.lows, program.shape
+            self._slices: List[Tuple[slice, ...]] = [
+                tuple(
+                    slice(lo + d, lo + d + extent)
+                    for lo, extent, d in zip(lows, shape, read.offset)
+                )
+                for read in program.reads
+            ]
+            self._gather: Optional[np.ndarray] = None
+        else:
+            domain = domain_from_json(program.domain)
+            points = list(domain.iter_points())
+            if len(points) != program.n_outputs:
+                raise LoweringError(
+                    f"gather domain yields {len(points)} points but "
+                    f"the program claims {program.n_outputs}"
+                )
+            dim = len(self._grid)
+            pts = np.asarray(points, dtype=np.int64).reshape(-1, dim)
+            strides = np.ones(dim, dtype=np.int64)
+            for j in range(dim - 2, -1, -1):
+                strides[j] = strides[j + 1] * self._grid[j + 1]
+            for read in program.reads:
+                shifted = pts + np.asarray(read.offset, dtype=np.int64)
+                if pts.size and (
+                    (shifted < 0).any()
+                    or (shifted >= np.asarray(self._grid)).any()
+                ):
+                    raise LoweringUnsupported(
+                        "out_of_bounds",
+                        f"read {read.array}{list(read.offset)} leaves "
+                        "the grid over the gathered domain",
+                    )
+            base = pts @ strides if pts.size else np.zeros(
+                0, dtype=np.int64
+            )
+            self._gather = np.stack(
+                [base + read.flat for read in program.reads]
+            ) if program.reads else np.zeros((0, 0), dtype=np.int64)
+            self._slices = []
+
+    # -- execution -----------------------------------------------------
+    def run(self, grid: np.ndarray) -> np.ndarray:
+        """One grid in, one flat float64 output row out."""
+        return self.run_batch(grid[np.newaxis, ...])[0]
+
+    def run_many(self, grids: List[np.ndarray]) -> List[np.ndarray]:
+        """One output row per input grid, choosing the cheaper shape.
+
+        Small grids fuse into a single stacked :meth:`run_batch` call;
+        large grids run one at a time over strided views of the caller's
+        (cached) arrays, skipping the stack copy entirely.  Row values
+        are bit-identical either way — only the execution shape differs.
+        """
+        if len(grids) == 1:
+            return [self.run(grids[0])]
+        per_item = len(self.program.reads) * self.n_outputs * 8
+        if per_item <= FUSE_BATCH_ITEM_BYTES:
+            rows = self.run_batch(np.stack(grids))
+            return [rows[i] for i in range(rows.shape[0])]
+        return [self.run(g) for g in grids]
+
+    def run_batch(self, grids: np.ndarray) -> np.ndarray:
+        """``(batch,) + grid`` in, ``(batch, n_outputs)`` out."""
+        if tuple(grids.shape[1:]) != self._grid:
+            raise ValueError(
+                f"input batch shaped {grids.shape} does not match grid "
+                f"{self._grid}"
+            )
+        batch = grids.shape[0]
+        per_row = max(
+            1, len(self.program.reads) * self.n_outputs * 8
+        )
+        chunk = max(1, BATCH_WORKING_SET_BYTES // per_row)
+        if batch <= chunk:
+            return self._run_chunk(grids)
+        out = np.empty((batch, self.n_outputs), dtype=np.float64)
+        for start in range(0, batch, chunk):
+            piece = grids[start:start + chunk]
+            out[start:start + piece.shape[0]] = self._run_chunk(piece)
+        return out
+
+    def _run_chunk(self, grids: np.ndarray) -> np.ndarray:
+        batch = grids.shape[0]
+        if self.program.mode == "box":
+            values = [
+                grids[(slice(None),) + s] for s in self._slices
+            ]
+        else:
+            flat = grids.reshape(batch, -1)
+            values = [flat[:, idx] for idx in self._gather]
+        out = np.asarray(self._replay(values), dtype=np.float64)
+        if out.ndim == 0:  # constant-folded result (defensive)
+            out = np.broadcast_to(out, (batch, self.n_outputs))
+        return np.ascontiguousarray(
+            out.reshape(batch, -1), dtype=np.float64
+        )
+
+    #: opcode -> ufunc for the binary stack ops.  Each is the exact
+    #: ufunc the plain operator dispatches to (``a + b`` IS
+    #: ``np.add(a, b)``), so writing through ``out=`` cannot change a
+    #: single bit of the result — it only changes where it lands.
+    _BINARY_UFUNCS = {
+        "add": np.add,
+        "sub": np.subtract,
+        "mul": np.multiply,
+        "div": np.true_divide,
+        "min": np.minimum,
+        "max": np.maximum,
+    }
+
+    def _replay(self, values: List[np.ndarray]):
+        """Run the stack program with ``evaluate``'s exact op set.
+
+        Array temporaries are recycled in place: a binary op whose
+        operand is already a scratch buffer owned by this call writes
+        its result over that operand (``out=``) instead of allocating
+        a fresh output-sized array per op.  On cache-sized grids this
+        keeps one hot buffer resident instead of streaming a new
+        allocation through memory for every op (~3x on the RICIAN
+        chain).  Scratch buffers are per call, never pooled across
+        calls, so returned rows are always freshly owned memory.
+        Scalar-only arithmetic stays in plain Python, exactly like
+        :func:`repro.stencil.expr.evaluate`.
+        """
+        stack: List = []
+        owned: List[bool] = []  # parallel: is stack[i] our scratch?
+        ufuncs = self._BINARY_UFUNCS
+        for op in self.program.ops:
+            kind = op["op"]
+            if kind == "read":
+                stack.append(values[op["ref"]])
+                owned.append(False)
+            elif kind == "const":
+                stack.append(op["value"])
+                owned.append(False)
+            elif kind in ufuncs:
+                r = stack.pop()
+                r_owned = owned.pop()
+                left = stack[-1]
+                if not (
+                    isinstance(left, np.ndarray)
+                    or isinstance(r, np.ndarray)
+                ):
+                    # scalar op scalar: Python float semantics, as in
+                    # the interpreted evaluator.
+                    if kind == "add":
+                        stack[-1] = left + r
+                    elif kind == "sub":
+                        stack[-1] = left - r
+                    elif kind == "mul":
+                        stack[-1] = left * r
+                    elif kind == "div":
+                        stack[-1] = left / r
+                    else:
+                        # np.minimum/np.maximum even on scalars — the
+                        # interpreted evaluator's NaN propagation.
+                        stack[-1] = ufuncs[kind](left, r)
+                    continue
+                out = left if owned[-1] else (r if r_owned else None)
+                if out is None:
+                    stack[-1] = ufuncs[kind](left, r)
+                else:
+                    stack[-1] = ufuncs[kind](left, r, out=out)
+                owned[-1] = True
+            elif kind == "neg":
+                v = stack[-1]
+                if isinstance(v, np.ndarray):
+                    stack[-1] = (
+                        np.negative(v, out=v) if owned[-1]
+                        else np.negative(v)
+                    )
+                    owned[-1] = True
+                else:
+                    stack[-1] = -v
+            elif kind == "abs":
+                v = stack[-1]
+                if isinstance(v, np.ndarray):
+                    stack[-1] = (
+                        np.absolute(v, out=v) if owned[-1]
+                        else np.absolute(v)
+                    )
+                    owned[-1] = True
+                else:
+                    stack[-1] = abs(v)
+            elif kind == "sqrt":
+                v = stack[-1]
+                if isinstance(v, np.ndarray):
+                    stack[-1] = (
+                        np.sqrt(v, out=v) if owned[-1]
+                        else np.sqrt(v)
+                    )
+                    owned[-1] = True
+                else:
+                    stack[-1] = math.sqrt(v)
+            else:  # pragma: no cover - validate_program rejects these
+                raise LoweringError(f"unknown opcode {kind!r}")
+        return stack[-1]
+
+
+def convert(program: BufferProgram) -> CompiledKernel:
+    """Build the NumPy kernel for a (validated) buffer program."""
+    return CompiledKernel(program)
+
+
+def kernel_from_plan(
+    plan,
+    spec: Optional[StencilSpec] = None,
+) -> Tuple[CompiledKernel, dict]:
+    """Lower a cached plan end to end: ``(kernel, program_json)``.
+
+    Re-runs bufferize unconditionally; when the plan carries a stored
+    sidecar program the fresh lowering must match it exactly, otherwise
+    the sidecar is corrupt and :class:`ProgramMismatchError` is raised
+    (the caller evicts the plan and fails the request cleanly).
+    """
+    fresh = bufferize_plan(plan, spec=spec)
+    fresh_json = program_to_json(fresh)
+    stored = getattr(plan, "buffer_program", None)
+    if stored is not None:
+        try:
+            stored_program = program_from_json(stored)
+            validate_program(stored_program)
+            matches = program_to_json(stored_program) == fresh_json
+        except (LoweringError, KeyError, TypeError, ValueError):
+            matches = False
+        if not matches:
+            raise ProgramMismatchError(
+                f"stored buffer program for plan "
+                f"{plan.fingerprint[:12]} diverges from a fresh "
+                "lowering of the cached spec"
+            )
+    return convert(fresh), fresh_json

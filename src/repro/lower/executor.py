@@ -1,0 +1,243 @@
+"""The ``compiled`` executor backend: batched vectorized execution.
+
+Registers under the existing executor registry
+(:func:`repro.service.executor.register_executor`), so it drops into
+the thread service, the router's node spawner and the canary paths by
+name — ``ServiceConfig(backend="compiled")`` maps thread-mode services
+here, and the process pool reuses the same engine inside its workers.
+
+Execution path per same-fingerprint group:
+
+1. the shared :class:`~repro.lower.engine.CompiledEngine` lowers the
+   plan once (bufferize → convert, persisted as the plan's cache
+   sidecar) and returns the memoized kernel afterwards;
+2. the group's input grids execute through ``CompiledKernel.run_many``
+   — small grids fuse into one stacked ``run_batch`` call, large ones
+   run as strided views without the stack copy;
+3. each row is digested exactly like the interpreted path (same
+   SHA-256 over the same bytes — bit-identity is the contract, and the
+   sampled canary re-runs the interpreted golden path to prove it).
+
+When the lowering refuses a plan (:class:`LoweringUnsupported` — e.g.
+multi-stream partitions, oversized gather domains) the group falls
+back to the inherited interpreted path and the reason lands in
+``service_lower_fallback_total``.  A corrupt stored program
+(:class:`ProgramMismatchError`) resolves as a validation failure and
+evicts the plan — never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..obs.tracing import span, trace_context
+from ..service.executor import (
+    PlanExecutor,
+    PlanValidationError,
+    execute_stencil,
+    make_response,
+    observe_stage,
+    register_executor,
+    validate_plan,
+)
+from ..service.plancache import CachedPlan
+from ..service.scheduler import WorkItem
+from .engine import CompiledEngine
+from .program import LoweringUnsupported, ProgramMismatchError
+
+__all__ = ["CompiledPlanExecutor"]
+
+
+class CompiledPlanExecutor(PlanExecutor):
+    """Thread-pool executor running lowered kernels per fingerprint."""
+
+    def __init__(self, *args, engine: Optional[CompiledEngine] = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.engine = engine or CompiledEngine()
+
+    # -- lowering plumbing ---------------------------------------------
+    def _count_fallback(self, reason: str, n: int) -> None:
+        self.registry.counter(
+            "service_lower_fallback_total", {"reason": reason}
+        ).inc(n)
+        self.registry.counter(
+            "service_lower_requests_total", {"path": "fallback"}
+        ).inc(n)
+
+    def _kernel(self, plan: CachedPlan):
+        """Lower (or fetch) the plan's kernel; persist a new sidecar."""
+        try:
+            result = self.engine.kernel_for(plan)
+        except ProgramMismatchError as exc:
+            self.engine.forget(plan.fingerprint)
+            raise PlanValidationError(str(exc)) from exc
+        if result.built:
+            observe_stage(
+                self.registry, "lower_bufferize", result.bufferize_ms
+            )
+            observe_stage(
+                self.registry, "lower_convert", result.convert_ms
+            )
+            self.registry.counter(
+                "service_lower_total",
+                {
+                    "outcome": (
+                        "lowered"
+                        if result.program_json is not None
+                        else "cached"
+                    )
+                },
+            ).inc()
+        if result.program_json is not None:
+            # First lowering of this plan: write the sidecar through
+            # the content-addressed cache so restarts (and pool
+            # workers) skip straight to convert.
+            plan.buffer_program = result.program_json
+            self.cache.put(plan)
+        return result.kernel
+
+    # -- the batched group hook ----------------------------------------
+    def _execute_group(
+        self, live: List[WorkItem], plan: CachedPlan, outcome: str
+    ) -> None:
+        try:
+            kernel = self._kernel(plan)
+        except LoweringUnsupported as exc:
+            self._count_fallback(exc.reason, len(live))
+            super()._execute_group(live, plan, outcome)
+            return
+        except PlanValidationError as exc:
+            for item in live:
+                self._resolve_validation_failure(
+                    item, outcome, str(exc)
+                )
+            return
+
+        runnable: List[WorkItem] = []
+        for item in live:
+            if item.expired():
+                self._resolve_timeout(item)
+                continue
+            item.attempts += 1
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(item)
+            except Exception as exc:
+                self._retry_or_fail(item, str(exc))
+                continue
+            runnable.append(item)
+        if not runnable:
+            return
+
+        exemplar = runnable[0]
+        execute_start_ns = time.perf_counter_ns()
+        try:
+            with trace_context(
+                exemplar.trace_id, exemplar.parent_span_id
+            ), span(
+                "lower.execute",
+                benchmark=exemplar.spec.name,
+                batch=len(runnable),
+            ):
+                rows = kernel.run_many(
+                    [
+                        self.engine.input_grid(item.spec, item.seed)
+                        for item in runnable
+                    ]
+                )
+        except Exception as exc:
+            # A kernel that cannot execute is a lowering gap, not a
+            # request failure: fall back to the interpreted path.
+            self._count_fallback("kernel_error", len(runnable))
+            self.registry.counter(
+                "service_lower_kernel_errors_total"
+            ).inc()
+            for item in runnable:
+                item.attempts -= 1  # the interpreted path re-counts
+            super()._execute_group(runnable, plan, outcome)
+            return
+        observe_stage(
+            self.registry,
+            "lower_execute",
+            (time.perf_counter_ns() - execute_start_ns) / 1e6,
+        )
+        observe_stage(
+            self.registry,
+            "execute",
+            (time.perf_counter_ns() - execute_start_ns) / 1e6,
+        )
+        for item, row in zip(runnable, rows):
+            self._finish_item(item, plan, outcome, row)
+
+    def _finish_item(
+        self,
+        item: WorkItem,
+        plan: CachedPlan,
+        outcome: str,
+        row: np.ndarray,
+    ) -> None:
+        try:
+            row = np.ascontiguousarray(row, dtype=np.float64)
+            # Hash the row's buffer directly — same bytes as
+            # ``row.tobytes()`` (C-contiguous float64) without copying
+            # a megabyte per request on large grids.
+            digest = hashlib.sha256(row.data).hexdigest()
+            validated: Optional[bool] = None
+            if self._should_validate(item):
+                self.registry.counter("service_validation_total").inc()
+                canary_start_ns = time.perf_counter_ns()
+                with trace_context(item.trace_id, item.parent_span_id):
+                    # The compiled canary proves bit-identity against
+                    # the interpreted golden path before the usual
+                    # cycle-sim plan validation.
+                    grid, outputs, golden_digest = execute_stencil(
+                        item.spec, item.seed
+                    )
+                    if golden_digest != digest:
+                        raise PlanValidationError(
+                            "compiled kernel outputs diverge from the "
+                            "golden reference"
+                        )
+                    validate_plan(
+                        item.spec, item.options, plan, grid, outputs
+                    )
+                observe_stage(
+                    self.registry,
+                    "canary",
+                    (time.perf_counter_ns() - canary_start_ns) / 1e6,
+                )
+                validated = True
+            self._resolve(
+                item,
+                make_response(
+                    item,
+                    "ok",
+                    cache=outcome,
+                    n_outputs=int(row.size),
+                    mean=float(np.mean(row)) if row.size else 0.0,
+                    checksum=digest[:16],
+                    validated=validated,
+                    summary=plan.summary,
+                ),
+            )
+            self.registry.counter(
+                "service_lower_requests_total", {"path": "compiled"}
+            ).inc()
+        except PlanValidationError as exc:
+            self.engine.forget(item.fingerprint)
+            self._resolve_validation_failure(item, outcome, str(exc))
+        except Exception as exc:
+            self._retry_or_fail(item, str(exc))
+
+
+@register_executor("compiled")
+def _make_compiled_executor(
+    config, shared, fault_hook
+) -> CompiledPlanExecutor:
+    """``backend="compiled"`` (thread mode): batched lowered kernels."""
+    return CompiledPlanExecutor(fault_hook=fault_hook, **shared)

@@ -226,6 +226,55 @@ def format_service_metrics(snapshot: dict) -> str:
         ],
     )
 
+    paths = _label_rows(
+        snapshot, "service_lower_requests_total", "path"
+    )
+    lowerings = _label_rows(snapshot, "service_lower_total", "outcome")
+    reasons = _label_rows(
+        snapshot, "service_lower_fallback_total", "reason"
+    )
+    path_total = sum(paths.values())
+    lower_pairs = [
+        (f"requests_{k}", fmt(v)) for k, v in sorted(paths.items())
+    ]
+    lower_pairs += [
+        (
+            "compiled_share",
+            (
+                round(paths.get("compiled", 0) / path_total, 3)
+                if path_total
+                else None
+            ),
+        ),
+    ]
+    lower_pairs += [
+        (f"lowerings_{k}", fmt(v))
+        for k, v in sorted(lowerings.items())
+    ]
+    lower_pairs += [
+        (f"fallback_{k}", fmt(v)) for k, v in sorted(reasons.items())
+    ]
+    lower_pairs += [
+        (
+            "kernel_errors",
+            (
+                fmt(counters["service_lower_kernel_errors_total"])
+                if "service_lower_kernel_errors_total" in counters
+                else None
+            ),
+        ),
+        (
+            "sidecar_corrupt_files",
+            (
+                fmt(counters["service_cache_sidecar_corrupt_total"])
+                if "service_cache_sidecar_corrupt_total" in counters
+                else None
+            ),
+        ),
+    ]
+    if paths or lowerings or reasons:
+        section("lowering (compiled backend)", lower_pairs)
+
     jobs = _label_rows(snapshot, "service_pool_jobs_total", "outcome")
     restarts = _label_rows(
         snapshot, "service_worker_restarts_total", "reason"
@@ -451,6 +500,31 @@ def format_fabric_summary(parts) -> str:
             "stage latency (merged, ms):",
             format_summary(stage_rows),
         ]
+    merged_snap = merged.snapshot()
+    paths = _label_rows(
+        merged_snap, "service_lower_requests_total", "path"
+    )
+    if paths:
+        total = sum(paths.values())
+        reasons = _label_rows(
+            merged_snap, "service_lower_fallback_total", "reason"
+        )
+        parts_txt = ", ".join(
+            f"{k}={int(v)}" for k, v in sorted(paths.items())
+        )
+        line = (
+            f"  {parts_txt} "
+            f"(compiled share {paths.get('compiled', 0) / total:.1%})"
+        )
+        sections += ["", "compiled backend (merged):", line]
+        if reasons:
+            sections.append(
+                "  fallbacks: "
+                + ", ".join(
+                    f"{k}={int(v)}"
+                    for k, v in sorted(reasons.items())
+                )
+            )
     slow = merged.exemplars(
         "router_request_latency_ms"
     ) or merged.exemplars("service_request_latency_ms")

@@ -51,7 +51,10 @@ __all__ = [
 #: Exit code a chaos-killed worker dies with (aids log forensics).
 CHAOS_KILL_EXIT = 23
 
-#: Every plan-field mutation the fuzzer can apply.
+#: Every plan-field mutation the fuzzer can apply.  The
+#: ``corrupt_program_*`` / ``drop_program_read`` kinds damage the
+#: lowered :class:`~repro.lower.program.BufferProgram` attached by the
+#: compiled backend and only apply when the plan carries one.
 PLAN_MUTATIONS = (
     "shrink_widest_fifo",
     "zero_first_fifo",
@@ -62,6 +65,9 @@ PLAN_MUTATIONS = (
     "inflate_bank_count",
     "shrink_bank_count",
     "corrupt_total_buffer",
+    "corrupt_program_offset",
+    "drop_program_read",
+    "corrupt_program_bounds",
 )
 
 #: Every way :func:`corrupt_disk_file` can damage a cache file.
@@ -200,6 +206,12 @@ class PlanFuzzer:
                 continue
             if kind == "shrink_bank_count" and plan.num_banks <= 1:
                 continue
+            if kind in (
+                "corrupt_program_offset",
+                "drop_program_read",
+                "corrupt_program_bounds",
+            ) and plan.buffer_program is None:
+                continue
             out.append(kind)
         return out
 
@@ -231,6 +243,20 @@ class PlanFuzzer:
             data["num_banks"] -= 1
         elif kind == "corrupt_total_buffer":
             data["total_buffer"] += 13
+        elif kind == "corrupt_program_offset":
+            # A flipped flat offset: the kernel would read one cell
+            # over — the stored program no longer matches a fresh
+            # lowering, so the compiled backend must reject it.
+            program = data["buffer_program"]
+            program["reads"][0]["flat"] += 1
+        elif kind == "drop_program_read":
+            data["buffer_program"]["reads"].pop()
+        elif kind == "corrupt_program_bounds":
+            program = data["buffer_program"]
+            if program.get("mode") == "box" and program.get("shape"):
+                program["shape"][-1] += 1
+            else:
+                program["n_outputs"] += 1
         else:
             raise ValueError(f"unknown mutation {kind!r}")
         return CachedPlan.from_json(data)

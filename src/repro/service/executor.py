@@ -657,6 +657,19 @@ class PlanExecutor(ExecutorBase):
             buckets=LATENCY_BUCKETS_MS,
         ).observe(compile_ms)
         self._note_cache_outcome(fp, outcome)
+        self._execute_group(live, plan, outcome)
+
+    def _execute_group(
+        self, live: List[WorkItem], plan: CachedPlan, outcome: str
+    ) -> None:
+        """Execute one same-fingerprint group against its plan.
+
+        The backend hook: the base class runs the interpreted golden
+        path per item; :class:`repro.lower.executor.CompiledPlanExecutor`
+        overrides this to run the whole group through one vectorized
+        kernel call (falling back here when the lowering refuses the
+        plan).
+        """
         for item in live:
             self._process_item(item, plan, outcome)
 

@@ -32,6 +32,7 @@ from ..stencil.spec import StencilSpec
 __all__ = [
     "FINGERPRINT_VERSION",
     "CompileOptions",
+    "canonical_digest",
     "canonical_payload",
     "fingerprint",
 ]
@@ -71,13 +72,21 @@ def canonical_payload(
     }
 
 
+def canonical_digest(payload) -> str:
+    """SHA-256 hex digest of any JSON-safe value, canonically encoded.
+
+    Sorted keys, no whitespace — the one hashing convention shared by
+    plan fingerprints and lowered buffer-program digests, so equal
+    content always means equal digest.
+    """
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def fingerprint(
     spec: StencilSpec, options: CompileOptions = CompileOptions()
 ) -> str:
     """SHA-256 hex digest of the canonical request encoding."""
-    text = json.dumps(
-        canonical_payload(spec, options),
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return canonical_digest(canonical_payload(spec, options))

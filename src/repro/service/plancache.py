@@ -19,6 +19,7 @@ and that the file matches its fingerprint key.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import threading
@@ -51,9 +52,15 @@ class CachedPlan:
     total_buffer: int
     summary: dict
     version: int = FINGERPRINT_VERSION
+    #: Lowered ``BufferProgram`` JSON (see :mod:`repro.lower.program`),
+    #: attached by the compiled backend on first lowering.  ``None``
+    #: for plans that have not been lowered yet — including every plan
+    #: cached before the lowering existed, which re-lowers once on
+    #: first compiled use.
+    buffer_program: Optional[dict] = None
 
-    def to_json(self) -> dict:
-        return {
+    def to_json(self, include_program: bool = True) -> dict:
+        data = {
             "fingerprint": self.fingerprint,
             "version": self.version,
             "spec": self.spec,
@@ -64,6 +71,13 @@ class CachedPlan:
             "total_buffer": self.total_buffer,
             "summary": self.summary,
         }
+        if include_program and self.buffer_program is not None:
+            # Deep-copied: callers mutate to_json() output (the chaos
+            # fuzzer does) and must never reach back into this plan.
+            data["buffer_program"] = copy.deepcopy(
+                self.buffer_program
+            )
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "CachedPlan":
@@ -77,6 +91,7 @@ class CachedPlan:
             total_buffer=int(data["total_buffer"]),
             summary=data["summary"],
             version=int(data.get("version", -1)),
+            buffer_program=data.get("buffer_program"),
         )
 
     def encoded_size(self) -> int:
@@ -184,6 +199,58 @@ class PlanCache:
             return None
         return os.path.join(self.disk_dir, f"{fp}.json")
 
+    def _sidecar_path(self, fp: str) -> Optional[str]:
+        """The lowered ``BufferProgram`` sidecar next to the plan.
+
+        The program lives in its own ``<fp>.lower.json`` file so the
+        plan file keeps its pre-lowering byte format: old cache
+        directories load unchanged (program ``None`` → one-time
+        re-lowering) and the plan-file corruption detector never sees
+        the sidecar.
+        """
+        if not self.disk_dir:
+            return None
+        return os.path.join(self.disk_dir, f"{fp}.lower.json")
+
+    def _remove_sidecar(self, fp: str) -> None:
+        path = self._sidecar_path(fp)
+        if path is not None and os.path.exists(path):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def _load_sidecar(self, fp: str) -> Optional[dict]:
+        """Best-effort sidecar read: any damage degrades to ``None``.
+
+        A corrupt sidecar is counted and deleted but never fails the
+        plan lookup — the compiled backend simply re-lowers (and its
+        converter independently re-checks whatever loads here against
+        a fresh bufferize, so a *valid-looking but wrong* sidecar
+        still cannot produce a wrong answer).
+        """
+        path = self._sidecar_path(fp)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                program = json.load(fh)
+            if (
+                not isinstance(program, dict)
+                or program.get("fingerprint") != fp
+            ):
+                raise ValueError("sidecar does not match its plan")
+        except OSError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            self._count("service_cache_sidecar_corrupt_total")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        return program
+
     def _insert(self, plan: CachedPlan) -> None:
         """Insert into the LRU (caller holds the lock) and evict."""
         size = plan.encoded_size()
@@ -224,12 +291,14 @@ class PlanCache:
                 os.remove(path)
             except OSError:
                 pass
+            self._remove_sidecar(fp)  # no orphaned programs
             return None
         if (
             plan.version != FINGERPRINT_VERSION
             or plan.fingerprint != fp
         ):
             return None  # stale format or misfiled entry
+        plan.buffer_program = self._load_sidecar(fp)
         return plan
 
     def _store_disk(self, plan: CachedPlan) -> None:
@@ -238,8 +307,21 @@ class PlanCache:
             return
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(plan.to_json(), fh, sort_keys=True)
+            # The plan file stays program-free (pre-lowering byte
+            # format); the program goes in the sidecar.
+            json.dump(plan.to_json(include_program=False), fh,
+                      sort_keys=True)
         os.replace(tmp, path)  # atomic against concurrent readers
+        side = self._sidecar_path(plan.fingerprint)
+        if side is None:
+            return
+        if plan.buffer_program is None:
+            self._remove_sidecar(plan.fingerprint)
+            return
+        tmp = side + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(plan.buffer_program, fh, sort_keys=True)
+        os.replace(tmp, side)
 
     # -- public API ----------------------------------------------------
     def get(self, fp: str) -> Optional[CachedPlan]:
@@ -309,6 +391,7 @@ class PlanCache:
                 dropped = True
             except OSError:
                 pass
+        self._remove_sidecar(fp)
         return dropped
 
     def get_or_compile(

@@ -46,8 +46,12 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as _np
+
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import get_tracer, span, trace_context
+from ..lower.engine import CompiledEngine
+from ..lower.program import LoweringUnsupported, ProgramMismatchError
 from .chaos import ChaosConfig, ChaosInjector
 from .executor import (
     LATENCY_BUCKETS_MS,
@@ -242,6 +246,7 @@ def _run_job(
     job: Dict[str, Any],
     plans: Dict[str, CachedPlan],
     chaos: Optional[ChaosInjector],
+    engine: Optional[CompiledEngine] = None,
 ) -> Dict[str, Any]:
     """Execute one fingerprint group inside the worker process."""
     from ..stencil.spec import StencilSpec
@@ -296,6 +301,62 @@ def _run_job(
     if len(plans) > 64:  # tiny worker-local cache, drop the oldest
         plans.pop(next(iter(plans)))
 
+    # Lower the plan once per job when the compiled backend is on; the
+    # engine memoizes per fingerprint so warm jobs pay a dict lookup.
+    kernel = None
+    lower: Dict[str, Any] = {}
+    if job.get("backend") == "compiled" and engine is not None:
+        lower_start_unix = time.time_ns()
+        try:
+            result = engine.kernel_for(plan, spec=spec)
+        except LoweringUnsupported as exc:
+            lower["fallback_reasons"] = {
+                exc.reason: len(job["execs"])
+            }
+        except ProgramMismatchError as exc:
+            # The transmitted plan carries a corrupt stored program:
+            # fail every exec as a validation failure so the parent
+            # invalidates the shared entry — never a wrong answer.
+            engine.forget(fp)
+            plans.pop(fp, None)
+            return {
+                "kind": "result",
+                "plan": compiled_json,
+                "compile_ms": compile_ms,
+                "execs": [
+                    {
+                        "id": e["id"],
+                        "ok": False,
+                        "error_kind": "validation",
+                        "error": str(exc),
+                    }
+                    for e in job["execs"]
+                ],
+                "spans": spans.records,
+                "lower": lower,
+            }
+        else:
+            kernel = result.kernel
+            if result.built:
+                spans.add(
+                    "worker.lower",
+                    lower_start_unix,
+                    time.time_ns(),
+                    group_trace[0],
+                    group_trace[1],
+                    fingerprint=fp[:12],
+                )
+                lower["bufferize_ms"] = result.bufferize_ms
+                lower["convert_ms"] = result.convert_ms
+                lower["outcome"] = (
+                    "lowered"
+                    if result.program_json is not None
+                    else "cached"
+                )
+            if result.program_json is not None:
+                lower["program"] = result.program_json
+                plan.buffer_program = result.program_json
+
     exec_results: List[Dict[str, Any]] = []
     for exc_spec in job["execs"]:
         request_id = exc_spec["id"]
@@ -304,9 +365,47 @@ def _run_job(
             chaos.apply(request_id, exc_spec.get("attempt", 0), fp)
         try:
             exec_start_unix = time.time_ns()
-            grid, outputs, digest = execute_stencil(
-                spec, exc_spec["seed"]
-            )
+            result_row: Optional[_np.ndarray] = None
+            if kernel is not None:
+                try:
+                    grid = engine.input_grid(spec, exc_spec["seed"])
+                    result_row = _np.ascontiguousarray(
+                        kernel.run(grid), dtype=_np.float64
+                    )
+                except Exception:
+                    # A kernel that cannot execute is a lowering gap:
+                    # this exec silently takes the interpreted path.
+                    lower["kernel_errors"] = (
+                        lower.get("kernel_errors", 0) + 1
+                    )
+                    reasons = lower.setdefault(
+                        "fallback_reasons", {}
+                    )
+                    reasons["kernel_error"] = (
+                        reasons.get("kernel_error", 0) + 1
+                    )
+                    result_row = None
+            if result_row is not None:
+                digest = hashlib.sha256(
+                    result_row.tobytes()
+                ).hexdigest()
+                n_outputs = int(result_row.size)
+                mean = (
+                    float(sum(result_row.tolist()) / result_row.size)
+                    if result_row.size
+                    else 0.0
+                )
+                lower["compiled"] = lower.get("compiled", 0) + 1
+            else:
+                grid, outputs, digest = execute_stencil(
+                    spec, exc_spec["seed"]
+                )
+                n_outputs = len(outputs)
+                mean = (
+                    float(sum(outputs) / len(outputs))
+                    if outputs
+                    else 0.0
+                )
             spans.add(
                 "worker.execute",
                 exec_start_unix,
@@ -319,6 +418,17 @@ def _run_job(
             validated: Optional[bool] = None
             if exc_spec.get("validate"):
                 validate_start_unix = time.time_ns()
+                if result_row is not None:
+                    # The compiled canary first proves bit-identity
+                    # against the interpreted golden path.
+                    grid, outputs, golden_digest = execute_stencil(
+                        spec, exc_spec["seed"]
+                    )
+                    if golden_digest != digest:
+                        raise PlanValidationError(
+                            "compiled kernel outputs diverge from "
+                            "the golden reference"
+                        )
                 validate_plan(spec, options, plan, grid, outputs)
                 spans.add(
                     "worker.validate",
@@ -329,14 +439,11 @@ def _run_job(
                     request=request_id,
                 )
                 validated = True
-            mean = (
-                float(sum(outputs) / len(outputs)) if outputs else 0.0
-            )
             exec_results.append(
                 {
                     "id": request_id,
                     "ok": True,
-                    "n_outputs": len(outputs),
+                    "n_outputs": n_outputs,
                     "mean": mean,
                     "checksum": digest[:16],
                     "validated": validated,
@@ -344,6 +451,8 @@ def _run_job(
             )
         except PlanValidationError as exc:
             plans.pop(fp, None)  # the parent will invalidate too
+            if engine is not None:
+                engine.forget(fp)
             exec_results.append(
                 {
                     "id": request_id,
@@ -367,6 +476,7 @@ def _run_job(
         "compile_ms": compile_ms,
         "execs": exec_results,
         "spans": spans.records,
+        "lower": lower,
     }
 
 
@@ -379,6 +489,7 @@ def _worker_main(conn, shard_id: int, chaos_json: Optional[dict]) -> None:
         else None
     )
     plans: Dict[str, CachedPlan] = {}
+    engine = CompiledEngine()  # worker-local kernel/grid caches
     while True:
         try:
             msg = conn.recv()
@@ -391,7 +502,7 @@ def _worker_main(conn, shard_id: int, chaos_json: Optional[dict]) -> None:
             conn.send({"kind": "pong", "shard": shard_id})
             continue
         try:
-            reply = _run_job(msg, plans, chaos)
+            reply = _run_job(msg, plans, chaos, engine)
         except Exception as exc:  # belt and braces: never die silently
             reply = {"kind": "error", "error": f"worker error: {exc}"}
         try:
@@ -470,6 +581,7 @@ class ProcessPlanExecutor(ExecutorBase):
         hang_timeout_s: float = 60.0,
         chaos: Optional[ChaosConfig] = None,
         mp_start_method: Optional[str] = None,
+        backend: str = "interpreted",
         **canary_kwargs: Any,
     ) -> None:
         super().__init__(
@@ -489,6 +601,7 @@ class ProcessPlanExecutor(ExecutorBase):
         self.breaker_cooldown_s = breaker_cooldown_s
         self.hang_timeout_s = hang_timeout_s
         self.chaos = chaos
+        self.backend = backend  # execution strategy inside workers
         if mp_start_method is None:
             # Workers are started from a multithreaded parent
             # (dispatcher, shard runners, supervisor, user threads);
@@ -831,6 +944,7 @@ class ProcessPlanExecutor(ExecutorBase):
             "spec": exemplar.spec.to_json(),
             "options": exemplar.options.to_json(),
             "plan": plan.to_json() if plan is not None else None,
+            "backend": self.backend,
             "execs": execs,
         }
         budget_s = min(
@@ -905,6 +1019,7 @@ class ProcessPlanExecutor(ExecutorBase):
             # A worker actually ran the Fig 11 flow: count the real
             # compile, so single-flight tests can assert exact counts.
             self.registry.counter("service_plan_compiles_total").inc()
+        plan = self._fold_lower(reply, plan)
         self.registry.counter(
             "service_cache_total", {"outcome": outcome}
         ).inc()
@@ -951,6 +1066,59 @@ class ProcessPlanExecutor(ExecutorBase):
                 item, "worker reply missing this request"
             )
 
+    def _fold_lower(
+        self, reply: Dict[str, Any], plan: Optional[CachedPlan]
+    ) -> Optional[CachedPlan]:
+        """Attribute the worker's lowering work in the parent registry.
+
+        Pool workers have no metrics registry (they may be chaos-killed
+        at any instant), so the reply's ``lower`` dict carries stage
+        timings, path counts and — on first lowering — the buffer
+        program to persist as the shared cache's sidecar.
+        """
+        lower = reply.get("lower")
+        if not lower:
+            return plan
+        program = lower.get("program")
+        if program is not None and plan is not None:
+            plan.buffer_program = program
+            self.cache.put(plan)
+        outcome = lower.get("outcome")
+        if outcome is not None:
+            observe_stage(
+                self.registry,
+                "lower_bufferize",
+                float(lower.get("bufferize_ms", 0.0)),
+            )
+            observe_stage(
+                self.registry,
+                "lower_convert",
+                float(lower.get("convert_ms", 0.0)),
+            )
+            self.registry.counter(
+                "service_lower_total", {"outcome": str(outcome)}
+            ).inc()
+        compiled = int(lower.get("compiled", 0))
+        if compiled:
+            self.registry.counter(
+                "service_lower_requests_total", {"path": "compiled"}
+            ).inc(compiled)
+        reasons = lower.get("fallback_reasons") or {}
+        for reason, count in reasons.items():
+            self.registry.counter(
+                "service_lower_fallback_total",
+                {"reason": str(reason)},
+            ).inc(int(count))
+            self.registry.counter(
+                "service_lower_requests_total", {"path": "fallback"}
+            ).inc(int(count))
+        kernel_errors = int(lower.get("kernel_errors", 0))
+        if kernel_errors:
+            self.registry.counter(
+                "service_lower_kernel_errors_total"
+            ).inc(kernel_errors)
+        return plan
+
     def _harvest_worker_spans(self, reply: Dict[str, Any]) -> None:
         """Fold the worker's stage spans into this process's tracer
         and the stage histograms (``worker.execute`` → stage
@@ -989,5 +1157,6 @@ def _make_process_executor(
         breaker_cooldown_s=config.breaker_cooldown_s,
         hang_timeout_s=config.hang_timeout_s,
         chaos=config.chaos,
+        backend=getattr(config, "backend", "interpreted"),
         **shared,
     )

@@ -102,6 +102,7 @@ class NodeConfig:
     queue: int = 256
     max_batch: int = 16
     worker_mode: str = "thread"
+    backend: str = "interpreted"  # execution backend on every node
     validate_every: int = 0
     cache_dir: Optional[str] = None  # share across nodes for failover
     hang_timeout_s: float = 60.0
@@ -121,6 +122,8 @@ class NodeConfig:
             "--validate-every", str(self.validate_every),
             "--hang-timeout", str(self.hang_timeout_s),
         ]
+        if self.backend != "interpreted":
+            out += ["--backend", self.backend]
         if self.cache_dir:
             out += ["--cache-dir", self.cache_dir]
         out += list(self.extra_args)
