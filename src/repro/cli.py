@@ -483,11 +483,17 @@ def _stream_jsonl(submit_line, lines) -> None:
 def cmd_serve(args) -> int:
     """JSONL server: one request per stdin line, one response per
     stdout line (submission order, streamed as results resolve),
-    graceful drain on EOF."""
+    graceful drain on EOF.  With ``--listen`` the data plane moves to
+    a TCP socket (handshaken proto:1 JSONL); stdout carries a single
+    ``{"listening": "host:port"}`` announcement and stdin keeps its
+    lifecycle role — EOF still means drain-and-exit, so supervisors
+    (the router) manage socket nodes exactly like pipe nodes."""
     from .service import StencilService
 
     with _obs_session(args):
         service = StencilService(_service_config(args)).start()
+        if getattr(args, "listen", None):
+            return _serve_listen(args, service)
         print(
             f"repro service: {args.workers} workers, queue "
             f"{args.queue}, reading JSONL requests from stdin",
@@ -501,6 +507,61 @@ def cmd_serve(args) -> int:
             f"{service.cache.stats.misses} misses",
             file=sys.stderr,
         )
+    return 0
+
+
+def _serve_listen(args, service) -> int:
+    """The ``repro serve --listen`` body (service already started)."""
+    from .service.transport import (
+        SocketChaos,
+        SocketServer,
+        parse_address,
+    )
+
+    host, port = parse_address(args.listen)
+    chaos = None
+    if (
+        args.sock_kill_rate
+        or args.sock_half_open_rate
+        or args.sock_trickle_rate
+    ):
+        chaos = SocketChaos(
+            seed=args.chaos_seed,
+            conn_kill_rate=args.sock_kill_rate,
+            half_open_rate=args.sock_half_open_rate,
+            trickle_rate=args.sock_trickle_rate,
+        )
+    server = SocketServer(
+        service.submit_json,
+        host=host,
+        port=port,
+        backends=(getattr(args, "backend", "interpreted"),),
+        registry=service.metrics,
+        chaos=chaos,
+    )
+    bound_host, bound_port = server.start()
+    # The one stdout line: where we actually bound (port 0 resolves
+    # here).  Parsed by the router and by shell scripts alike.
+    print(
+        json.dumps({"listening": f"{bound_host}:{bound_port}"}),
+        flush=True,
+    )
+    print(
+        f"repro service: {args.workers} workers, queue {args.queue}, "
+        f"serving proto:1 JSONL on {bound_host}:{bound_port}",
+        file=sys.stderr,
+    )
+    # Lifecycle stays on stdin: block until the supervisor closes it.
+    for _ in sys.stdin:
+        pass
+    server.stop()
+    drained = service.shutdown(drain=True)
+    print(
+        f"drained: {drained}, cache "
+        f"{service.cache.stats.hits} hits / "
+        f"{service.cache.stats.misses} misses",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -530,6 +591,10 @@ def cmd_route(args) -> int:
             f"backend must be one of 'interpreted', 'compiled', "
             f"got {backend!r}"
         )
+    remotes = tuple(getattr(args, "connect", None) or ())
+    transport = getattr(args, "transport", "pipe")
+    if remotes:
+        transport = "tcp"
     node = NodeConfig(
         workers=args.workers,
         queue=args.queue,
@@ -539,10 +604,11 @@ def cmd_route(args) -> int:
         validate_every=args.validate_every,
         cache_dir=args.cache_dir,
         hang_timeout_s=args.hang_timeout,
+        transport=transport,
         extra_args=tuple(extra),
     )
     config = RouterConfig(
-        nodes=args.nodes,
+        nodes=len(remotes) or args.nodes,
         node=node,
         max_retries=args.router_retries,
         failover_grace_s=args.failover_grace,
@@ -550,6 +616,8 @@ def cmd_route(args) -> int:
         trace_dir=args.trace_dir,
         chaos_seed=args.chaos_seed,
         node_kill_rate=args.node_kill_rate,
+        conn_kill_rate=getattr(args, "conn_kill_rate", 0.0),
+        remotes=remotes,
     )
     with _obs_session(args) as (session_tracer, _):
         own_tracer = None
@@ -717,6 +785,7 @@ def cmd_top(args) -> int:
     from .obs.report import format_fabric_summary
 
     parts = []
+    node_status = {}
     for path in args.snapshot:
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -735,8 +804,12 @@ def cmd_top(args) -> int:
         if "router" in data and "nodes" in data:
             # A `repro route --fabric-snapshot` document.
             parts.append(("router", data["router"]))
+            statuses = data.get("node_status") or {}
             for idx in sorted(data["nodes"], key=str):
-                parts.append((f"node-{idx}", data["nodes"][idx]))
+                label = f"node-{idx}"
+                parts.append((label, data["nodes"][idx]))
+                if str(idx) in statuses:
+                    node_status[label] = statuses[str(idx)]
         elif "counters" in data or "histograms" in data:
             label = os.path.splitext(os.path.basename(path))[0]
             parts.append((label, data))
@@ -745,7 +818,7 @@ def cmd_top(args) -> int:
                   file=sys.stderr)
             return 2
     try:
-        print(format_fabric_summary(parts))
+        print(format_fabric_summary(parts, node_status))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -871,6 +944,40 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the stencil service over JSONL stdin/stdout",
     )
+    listen_group = p_serve.add_argument_group("socket transport")
+    listen_group.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help=(
+            "serve proto:1 JSONL over TCP instead of stdout: bind "
+            "HOST:PORT (port 0 = ephemeral), print one "
+            '{"listening": "host:port"} line on stdout, then answer '
+            "socket clients after a connect-time handshake; stdin "
+            "EOF still triggers the graceful drain"
+        ),
+    )
+    listen_group.add_argument(
+        "--sock-kill-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "socket chaos (needs --listen): abruptly close the "
+            "client's connection instead of writing a response, on "
+            "fraction P of responses (seeded by --chaos-seed)"
+        ),
+    )
+    listen_group.add_argument(
+        "--sock-half-open-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "socket chaos (needs --listen): go half-open — swallow "
+            "this and all later responses while keeping the socket "
+            "up — on fraction P of responses"
+        ),
+    )
+    listen_group.add_argument(
+        "--sock-trickle-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "socket chaos (needs --listen): trickle the response out "
+            "a few bytes at a time on fraction P of responses"
+        ),
+    )
     _add_service_flags(p_serve)
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
@@ -911,6 +1018,33 @@ def build_parser() -> argparse.ArgumentParser:
             "whole-node chaos: kill the owning node right after "
             "dispatch on fraction P of attempts (seeded by "
             "--chaos-seed)"
+        ),
+    )
+    router_group.add_argument(
+        "--transport", choices=["pipe", "tcp"], default="pipe",
+        help=(
+            "how the router reaches its nodes: proto:1 JSONL over "
+            "subprocess pipes (default), or over localhost TCP "
+            "sockets with handshake, reconnect backoff and "
+            "heartbeats (nodes are spawned with --listen)"
+        ),
+    )
+    router_group.add_argument(
+        "--connect", action="append", default=None, metavar="ADDR",
+        dest="connect",
+        help=(
+            "connect to an already-running `repro serve --listen` "
+            "endpoint (host:port) instead of spawning nodes; repeat "
+            "for more nodes — implies --transport tcp and overrides "
+            "--nodes"
+        ),
+    )
+    router_group.add_argument(
+        "--conn-kill-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "connection chaos (tcp transport): sever the owning "
+            "node's socket right after dispatch on fraction P of "
+            "attempts (seeded by --chaos-seed)"
         ),
     )
     router_group.add_argument(

@@ -10,6 +10,7 @@ is the command-line wrapper.
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, IO, Iterable, List
 
 __all__ = [
@@ -386,15 +387,41 @@ def format_service_metrics(snapshot: dict) -> str:
     return "\n".join(sections)
 
 
-def _fabric_node_rows(parts) -> List[dict]:
-    """One health row per metrics source (router or node)."""
+def _format_last_seen(last_seen, now=None) -> str:
+    """Human-readable age of a node's last observed activity."""
+    if not last_seen:
+        return "never seen"
+    if now is None:
+        now = time.time()
+    age = max(0.0, now - float(last_seen))
+    if age < 120:
+        return f"last seen {age:.0f}s ago"
+    if age < 7200:
+        return f"last seen {age / 60:.0f}m ago"
+    return f"last seen {age / 3600:.1f}h ago"
+
+
+def _fabric_node_rows(parts, node_status=None) -> List[dict]:
+    """One health row per metrics source (router or node).
+
+    ``node_status`` optionally maps a source label to the router's
+    :meth:`Router.node_status` entry for that node, so unreachable
+    rows can report when the node was last heard from.
+    """
+    node_status = node_status or {}
     rows = []
     for label, snap in parts:
         if snap is None:
+            health = "unreachable"
+            status = node_status.get(label)
+            if status is not None:
+                health += (
+                    f" ({_format_last_seen(status.get('last_seen'))})"
+                )
             rows.append(
                 {
                     "source": label,
-                    "health": "unreachable",
+                    "health": health,
                     "requests": "-",
                     "ok": "-",
                     "errors": "-",
@@ -470,15 +497,18 @@ def _stage_percentile_rows(registry) -> List[dict]:
     return rows
 
 
-def format_fabric_summary(parts) -> str:
+def format_fabric_summary(parts, node_status=None) -> str:
     """Render the router fabric's aggregated telemetry (`repro top`).
 
     ``parts`` is ``[(label, registry_snapshot_or_None), ...]`` — one
     entry per process (router + each node; None marks a node that did
-    not answer the metrics control request).  All reachable snapshots
-    are merged via :meth:`MetricsRegistry.merge_snapshot`, then three
-    sections are printed: per-source health, merged per-stage latency
-    percentiles, and the slowest request exemplars fabric-wide.
+    not answer the metrics control request).  ``node_status``
+    optionally maps a source label to that node's
+    :meth:`Router.node_status` entry, annotating unreachable rows with
+    a last-seen age.  All reachable snapshots are merged via
+    :meth:`MetricsRegistry.merge_snapshot`, then three sections are
+    printed: per-source health, merged per-stage latency percentiles,
+    and the slowest request exemplars fabric-wide.
     """
     from .metrics import MetricsRegistry
 
@@ -491,7 +521,7 @@ def format_fabric_summary(parts) -> str:
         f"fabric summary ({len(parts)} sources)",
         "",
         "per-node health:",
-        format_summary(_fabric_node_rows(parts)),
+        format_summary(_fabric_node_rows(parts, node_status)),
     ]
     stage_rows = _stage_percentile_rows(merged)
     if stage_rows:

@@ -34,7 +34,16 @@ a long-running service around that observation:
   rendezvous-hashes each request's plan fingerprint onto one of N
   service-node subprocesses, collapses identical in-flight requests
   globally and fails requests over to the next node in rendezvous
-  order when a node dies (``repro route``).
+  order when a node dies (``repro route``);
+* :mod:`repro.service.transport` — the TCP socket transport for the
+  proto:1 wire protocol: connect-time handshakes, reconnect with
+  seeded full-jitter backoff, heartbeat wedge detection and seeded
+  socket-level fault injection (``repro serve --listen``,
+  ``repro route --transport tcp`` / ``--connect``);
+* :mod:`repro.service.lease` — cross-process single-flight lease
+  files in a shared ``cache_dir``, so N routers sharing a cache
+  perform exactly one cold compile per fingerprint (pid-liveness
+  staleness, fsync'd atomic stealing, crashed-run cleanup).
 """
 
 from .api import ServiceConfig, StencilService
@@ -68,6 +77,7 @@ from .proto import (
     Response,
     error_response,
 )
+from .lease import FileLease, LeaseInfo, cleanup_stale_artifacts
 from .router import NodeConfig, Router, RouterConfig, rendezvous_order
 from .scheduler import (
     QueueClosedError,
@@ -75,8 +85,22 @@ from .scheduler import (
     Scheduler,
     WorkItem,
 )
+from .transport import (
+    BackoffPolicy,
+    HandshakeError,
+    Heartbeat,
+    Hello,
+    NodeUnavailableError,
+    SocketChaos,
+    SocketConnection,
+    SocketServer,
+    TransportError,
+    connect_with_backoff,
+    parse_address,
+)
 
 __all__ = [
+    "BackoffPolicy",
     "CachedPlan",
     "CacheStats",
     "CanarySampler",
@@ -88,7 +112,13 @@ __all__ = [
     "ErrorInfo",
     "Executor",
     "FINGERPRINT_VERSION",
+    "FileLease",
+    "HandshakeError",
+    "Heartbeat",
+    "Hello",
+    "LeaseInfo",
     "NodeConfig",
+    "NodeUnavailableError",
     "PROTO_VERSION",
     "PlanCache",
     "PlanExecutor",
@@ -105,14 +135,21 @@ __all__ = [
     "STATUSES",
     "Scheduler",
     "ServiceConfig",
+    "SocketChaos",
+    "SocketConnection",
+    "SocketServer",
     "StencilService",
+    "TransportError",
     "WorkItem",
+    "cleanup_stale_artifacts",
     "compile_plan",
+    "connect_with_backoff",
     "error_response",
     "executor_backends",
     "fingerprint",
     "make_executor",
     "make_response",
+    "parse_address",
     "register_executor",
     "rendezvous_order",
     "shard_of",

@@ -76,6 +76,11 @@ class ServiceConfig:
     cache_entries: int = 128
     cache_bytes: int = 16 * 1024 * 1024
     cache_dir: Optional[str] = None
+    #: Cross-process compile coherence over a shared ``cache_dir``
+    #: (lease files; see :mod:`repro.service.lease`).  No effect
+    #: without a ``cache_dir``.
+    use_leases: bool = True
+    lease_ttl_s: float = 120.0
     worker_mode: str = "thread"  # "thread" | "process"
     backend: str = "interpreted"  # "interpreted" | "compiled"
     breaker_threshold: int = 3  # lethal events before the circuit opens
@@ -122,6 +127,8 @@ class StencilService:
             max_bytes=self.config.cache_bytes,
             disk_dir=self.config.cache_dir,
             registry=self.metrics,
+            use_leases=self.config.use_leases,
+            lease_ttl_s=self.config.lease_ttl_s,
         )
         self.scheduler = Scheduler(
             max_queue=self.config.max_queue, registry=self.metrics
@@ -353,6 +360,16 @@ class StencilService:
                     status="ok",
                     summary=self.metrics.snapshot(),
                 )
+            )
+        elif verb == "ping":
+            # Liveness probe.  The TCP transport answers pings at the
+            # socket layer (out of band); this in-band fallback keeps
+            # the verb meaningful over plain pipes too.
+            summary = {"pong": True}
+            if "t" in request:
+                summary["t"] = request["t"]
+            slot.resolve(
+                Response(id=request_id, status="ok", summary=summary)
             )
         else:
             slot.resolve(

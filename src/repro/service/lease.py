@@ -1,0 +1,349 @@
+"""Cross-process single-flight leases over a shared ``cache_dir``.
+
+The in-process plan cache already guarantees one cold compile per
+fingerprint *within* a router; when N routers share one on-disk cache
+tier they still race — each one's in-memory single-flight is blind to
+the others.  This module closes that hole with **lease files** next to
+the cached plans:
+
+* acquisition is ``O_CREAT | O_EXCL`` — the atomic create either wins
+  or loses, no read-modify-write window;
+* the lease body records its owner (``host``, ``pid``, a unique
+  ``token``) plus an expiry stamp, all fsync'd before the file is
+  visible under its final name;
+* **staleness** is decided by pid-liveness first (same host, owner pid
+  gone → stale *immediately*, not after a wall-clock TTL) and the
+  expiry stamp as the cross-host fallback;
+* **stealing** a stale lease is an fsync'd unique-tempfile +
+  ``os.replace`` + read-back: the stealer only believes it owns the
+  lease after reading its own token back from the final path.
+  Concurrent stealers are serialized through an ``fcntl.flock`` guard
+  file (auto-released by the kernel if a stealer crashes mid-steal) so
+  two replace races cannot both read their own token back;
+* release is a token-checked unlink — a holder that was stolen from
+  (it hung past expiry, say) must *not* delete the thief's lease.
+
+Routers also call :func:`cleanup_stale_artifacts` at startup to sweep
+leases and temp files orphaned by a previous crashed run, so a crash
+never degrades the next run's cold-compile latency by a TTL.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = [
+    "FileLease",
+    "LeaseInfo",
+    "cleanup_stale_artifacts",
+    "lease_path",
+]
+
+LEASE_SUFFIX = ".lease"
+_STEAL_GUARD = ".lease-steal-guard"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is ``pid`` a live process on *this* host?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def lease_path(directory: str, fingerprint: str) -> str:
+    return os.path.join(directory, fingerprint + LEASE_SUFFIX)
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """The decoded body of a lease file."""
+
+    token: str
+    host: str
+    pid: int
+    acquired_at: float  # unix time, informational only
+    expires_at: float   # unix time, cross-host staleness fallback
+
+    def to_json(self) -> dict:
+        return {
+            "token": self.token,
+            "host": self.host,
+            "pid": self.pid,
+            "acquired_at": self.acquired_at,
+            "expires_at": self.expires_at,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LeaseInfo":
+        return cls(
+            token=str(data["token"]),
+            host=str(data["host"]),
+            pid=int(data["pid"]),
+            acquired_at=float(data["acquired_at"]),
+            expires_at=float(data["expires_at"]),
+        )
+
+    def stale(self, now: Optional[float] = None) -> bool:
+        """Dead-owner (same host) or expired (any host)?
+
+        Pid-liveness is the primary signal: a crashed holder on this
+        host frees its lease the moment anyone looks, without waiting
+        out the TTL.  Expiry covers remote hosts and wedged-but-alive
+        holders.
+        """
+        if self.host == socket.gethostname() and not _pid_alive(
+            self.pid
+        ):
+            return True
+        return (now if now is not None else time.time()) >= (
+            self.expires_at
+        )
+
+
+def read_lease(path: str) -> Optional[LeaseInfo]:
+    """The lease at ``path``, or None when absent/corrupt.
+
+    A torn or garbage lease file reads as *no lease* — the same
+    fail-open posture the disk cache tier takes with corrupt plans —
+    because a lease that cannot name its owner cannot be honored.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return LeaseInfo.from_json(json.load(handle))
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _write_payload(path: str, payload: bytes, exclusive: bool) -> bool:
+    """Write + fsync ``payload`` at ``path``; False if O_EXCL lost."""
+    flags = os.O_WRONLY | os.O_CREAT
+    if exclusive:
+        flags |= os.O_EXCL
+    try:
+        fd = os.open(path, flags, 0o644)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return True
+
+
+class FileLease:
+    """One fingerprint's compile lease in a shared cache directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        fingerprint: str,
+        ttl_s: float = 120.0,
+        registry=None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self.ttl_s = ttl_s
+        self.path = lease_path(directory, fingerprint)
+        self.token = f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex}"
+        self._registry = registry
+        self._clock = clock
+        self._held = False
+
+    # -- telemetry -----------------------------------------------------
+    def _count(self, name: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(name).inc()
+
+    # -- internals -----------------------------------------------------
+    def _payload(self) -> bytes:
+        now = self._clock()
+        info = LeaseInfo(
+            token=self.token,
+            host=socket.gethostname(),
+            pid=os.getpid(),
+            acquired_at=now,
+            expires_at=now + self.ttl_s,
+        )
+        return (
+            json.dumps(info.to_json(), sort_keys=True) + "\n"
+        ).encode("utf-8")
+
+    def _steal(self) -> bool:
+        """Replace a stale lease with ours; True only on confirmed win.
+
+        The replace itself is atomic but *blind* — two stealers can
+        both replace, last writer wins.  The flock guard serializes
+        them (and is crash-safe: the kernel drops the lock with the
+        holder), and the read-back-token check is the final arbiter
+        either way.
+        """
+        guard_fd = None
+        if fcntl is not None:
+            guard = os.path.join(self.directory, _STEAL_GUARD)
+            try:
+                guard_fd = os.open(
+                    guard, os.O_WRONLY | os.O_CREAT, 0o644
+                )
+                fcntl.flock(guard_fd, fcntl.LOCK_EX)
+            except OSError:
+                if guard_fd is not None:
+                    os.close(guard_fd)
+                    guard_fd = None
+        try:
+            current = read_lease(self.path)
+            if current is not None and not current.stale(self._clock()):
+                return False  # someone live got here first
+            tmp = f"{self.path}.steal-{uuid.uuid4().hex}.tmp"
+            if not _write_payload(tmp, self._payload(), exclusive=True):
+                return False
+            try:
+                os.replace(tmp, self.path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return False
+            confirmed = read_lease(self.path)
+            won = confirmed is not None and confirmed.token == self.token
+            if won:
+                self._count("service_lease_steals_total")
+            return won
+        finally:
+            if guard_fd is not None:
+                try:
+                    fcntl.flock(guard_fd, fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                os.close(guard_fd)
+
+    # -- public surface ------------------------------------------------
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def try_acquire(self) -> bool:
+        """One non-blocking attempt: fresh create, or steal-if-stale."""
+        os.makedirs(self.directory, exist_ok=True)
+        if _write_payload(self.path, self._payload(), exclusive=True):
+            self._held = True
+            self._count("service_lease_acquired_total")
+            return True
+        current = read_lease(self.path)
+        if current is None:
+            # Just-released: retry the exclusive create; losing again
+            # means either a live racer won (fine) or a *corrupt* file
+            # is squatting on the path — replace it via the steal path
+            # (whose guard + read-back arbitrate concurrent replacers).
+            if _write_payload(
+                self.path, self._payload(), exclusive=True
+            ):
+                self._held = True
+                self._count("service_lease_acquired_total")
+                return True
+            if (
+                os.path.exists(self.path)
+                and read_lease(self.path) is None
+                and self._steal()
+            ):
+                self._held = True
+                self._count("service_lease_acquired_total")
+                return True
+            return False
+        if current.token == self.token:
+            self._held = True
+            return True
+        if current.stale(self._clock()) and self._steal():
+            self._held = True
+            self._count("service_lease_acquired_total")
+            return True
+        return False
+
+    def holder(self) -> Optional[LeaseInfo]:
+        return read_lease(self.path)
+
+    def release(self) -> None:
+        """Token-checked unlink; never deletes a thief's lease."""
+        if not self._held:
+            return
+        self._held = False
+        current = read_lease(self.path)
+        if current is None or current.token != self.token:
+            return  # stolen from us while we overran — leave it
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FileLease":
+        self.try_acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+def cleanup_stale_artifacts(
+    directory: str, registry=None
+) -> List[str]:
+    """Sweep a cache dir for artifacts orphaned by a crashed run.
+
+    Removes lease files whose owner is stale (dead pid on this host,
+    or expired) and any ``*.tmp`` scratch files left behind by a write
+    that never reached its ``os.replace``.  Returns the removed paths;
+    counts them in ``service_stale_artifacts_removed_total``.  Live
+    leases held by running processes are left strictly alone.
+    """
+    removed: List[str] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in sorted(entries):
+        path = os.path.join(directory, name)
+        if name.endswith(".tmp") or name == _STEAL_GUARD:
+            try:
+                os.unlink(path)
+                removed.append(path)
+            except OSError:
+                pass
+        elif name.endswith(LEASE_SUFFIX):
+            info = read_lease(path)
+            if info is not None and not info.stale():
+                continue  # held by a live owner — hands off
+            try:
+                os.unlink(path)
+                removed.append(path)
+            except OSError:
+                pass
+    if removed and registry is not None:
+        registry.counter(
+            "service_stale_artifacts_removed_total"
+        ).inc(len(removed))
+    return removed

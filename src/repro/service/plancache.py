@@ -23,12 +23,14 @@ import copy
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs.tracing import span
 from .fingerprint import FINGERPRINT_VERSION
+from .lease import FileLease
 
 __all__ = ["CachedPlan", "CacheStats", "PlanCache"]
 
@@ -158,6 +160,8 @@ class PlanCache:
         max_bytes: int = 16 * 1024 * 1024,
         disk_dir: Optional[str] = None,
         registry=None,
+        use_leases: bool = True,
+        lease_ttl_s: float = 120.0,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -166,6 +170,11 @@ class PlanCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.disk_dir = disk_dir
+        #: Cross-process single-flight via lease files in ``disk_dir``
+        #: (see :mod:`repro.service.lease`).  Memory-only caches never
+        #: lease — there is no shared medium to be coherent over.
+        self.use_leases = use_leases and disk_dir is not None
+        self.lease_ttl_s = lease_ttl_s
         self._lock = threading.RLock()
         self._lru: "OrderedDict[str, Tuple[CachedPlan, int]]" = (
             OrderedDict()
@@ -403,10 +412,13 @@ class PlanCache:
         """Single-flight lookup: returns ``(plan, outcome)``.
 
         ``outcome`` is ``"hit"`` (memory tier), ``"disk"`` (disk tier,
-        promoted), ``"miss"`` (this caller ran ``compile_fn``) or
+        promoted), ``"miss"`` (this caller ran ``compile_fn``),
         ``"coalesced"`` (another caller's in-flight compile was
-        shared).  ``compile_fn`` runs exactly once per fingerprint no
-        matter how many callers race.
+        shared) or ``"lease"`` (another *process* compiled it; the
+        plan arrived through the shared disk tier while this caller
+        waited on its lease file).  ``compile_fn`` runs exactly once
+        per fingerprint no matter how many callers race — and, with a
+        disk tier, exactly once across every process sharing it.
         """
         plan, tier = self.lookup(fp)
         if plan is not None:
@@ -431,13 +443,9 @@ class PlanCache:
             plan, tier = self.lookup(fp, count=False)
             outcome = "hit" if tier == "memory" else "disk"
             if plan is None:
-                with span("service.cache_compile", fingerprint=fp[:12]):
-                    plan = compile_fn()
-                self.put(plan)
-                outcome = "miss"
-                # One real compile ran (followers coalesce): the exact
-                # count global single-flight assertions lean on.
-                self._count("service_plan_compiles_total")
+                plan, outcome = self._compile_under_lease(
+                    fp, compile_fn, timeout
+                )
             flight.resolve(plan)
             return plan, outcome
         except BaseException as exc:
@@ -446,3 +454,75 @@ class PlanCache:
         finally:
             with self._flight_lock:
                 self._flights.pop(fp, None)
+
+    def _run_compile(
+        self, fp: str, compile_fn: Callable[[], CachedPlan]
+    ) -> CachedPlan:
+        with span("service.cache_compile", fingerprint=fp[:12]):
+            plan = compile_fn()
+        self.put(plan)
+        # One real compile ran (followers coalesce): the exact count
+        # global single-flight assertions lean on.
+        self._count("service_plan_compiles_total")
+        return plan
+
+    def _compile_under_lease(
+        self,
+        fp: str,
+        compile_fn: Callable[[], CachedPlan],
+        timeout: Optional[float],
+    ) -> Tuple[CachedPlan, str]:
+        """The in-process flight leader's cross-process arbitration.
+
+        Without a disk tier this is just the compile.  With one, the
+        leader must first win the fingerprint's *lease file* — another
+        router sharing the cache directory may already be compiling.
+        A losing leader polls (lease + disk) with growing pauses: when
+        the remote holder publishes, the plan arrives via the normal
+        disk-promotion path (outcome ``"lease"``); when the holder
+        *crashes*, its lease goes stale by pid-liveness and the next
+        ``try_acquire`` steals it — within one poll interval, not a
+        wall-clock TTL.  A holder that fails the compile releases, and
+        the next waiter retries rather than inheriting the exception.
+        """
+        if not self.use_leases:
+            return self._run_compile(fp, compile_fn), "miss"
+        lease = FileLease(
+            self.disk_dir,
+            fp,
+            ttl_s=self.lease_ttl_s,
+            registry=self._registry,
+        )
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        waited = False
+        attempt = 0
+        while True:
+            if lease.try_acquire():
+                try:
+                    # The remote holder may have published while this
+                    # process waited in line.
+                    plan, _tier = self.lookup(fp, count=False)
+                    if plan is not None:
+                        return plan, "lease"
+                    return self._run_compile(fp, compile_fn), "miss"
+                finally:
+                    lease.release()
+            if not waited:
+                waited = True
+                self._count("service_lease_waits_total")
+            plan, _tier = self.lookup(fp, count=False)
+            if plan is not None:
+                return plan, "lease"
+            now = time.monotonic()
+            if deadline is not None and now > deadline:
+                raise TimeoutError(
+                    "timed out waiting for the cross-process compile "
+                    f"lease on {fp[:12]}"
+                )
+            pause = min(0.25, 0.01 * (2 ** min(attempt, 6)))
+            if deadline is not None:
+                pause = min(pause, max(0.0, deadline - now))
+            time.sleep(pause)
+            attempt += 1

@@ -79,6 +79,8 @@ ERROR_KINDS = (
     "plan_validation",   # structural check or cycle-sim canary tripped
     "circuit_open",      # per-plan breaker is quarantining this plan
     "worker_lost",       # worker process / service node died or hung
+    "handshake_failed",  # socket peer spoke an incompatible dialect
+    "node_unavailable",  # reconnect/backoff budget exhausted, no node
     "cancelled",         # non-drain shutdown resolved the request
     "internal",          # anything that escaped the taxonomy
 )

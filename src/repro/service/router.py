@@ -58,8 +58,9 @@ from ..obs.tracing import (
     trace_context,
 )
 from .chaos import ChaosConfig, ChaosInjector
-from .executor import observe_stage
+from .executor import STAGE_BUCKETS_MS, observe_stage
 from .fingerprint import fingerprint
+from .lease import cleanup_stale_artifacts
 from .proto import (
     PROTO_VERSION,
     ProtoError,
@@ -68,6 +69,15 @@ from .proto import (
     error_response,
 )
 from .scheduler import ResultSlot
+from .transport import (
+    BackoffPolicy,
+    Heartbeat,
+    Hello,
+    SocketConnection,
+    TransportError,
+    connect_with_backoff,
+    parse_address,
+)
 
 __all__ = [
     "NodeConfig",
@@ -96,7 +106,7 @@ def rendezvous_order(fp: str, nodes: int) -> Tuple[int, ...]:
 
 @dataclass(frozen=True)
 class NodeConfig:
-    """How the router spawns each ``repro serve`` node."""
+    """How the router spawns (and reaches) each ``repro serve`` node."""
 
     workers: int = 2
     queue: int = 256
@@ -106,7 +116,20 @@ class NodeConfig:
     validate_every: int = 0
     cache_dir: Optional[str] = None  # share across nodes for failover
     hang_timeout_s: float = 60.0
+    #: ``"pipe"`` (default): proto:1 JSONL over the subprocess's
+    #: stdin/stdout.  ``"tcp"``: the node listens on localhost
+    #: (``repro serve --listen``) and the router connects through
+    #: :mod:`repro.service.transport` — handshake, reconnect with
+    #: backoff, heartbeats.  Every pipe-path behavior is unchanged.
+    transport: str = "pipe"
     extra_args: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("pipe", "tcp"):
+            raise ValueError(
+                f"transport must be 'pipe' or 'tcp', "
+                f"got {self.transport!r}"
+            )
 
     def argv(self) -> List[str]:
         out = [
@@ -126,6 +149,10 @@ class NodeConfig:
             out += ["--backend", self.backend]
         if self.cache_dir:
             out += ["--cache-dir", self.cache_dir]
+        if self.transport == "tcp":
+            # Port 0: the node binds an ephemeral port and announces
+            # it as a ``{"listening": "host:port"}`` line on stdout.
+            out += ["--listen", "127.0.0.1:0"]
         out += list(self.extra_args)
         return out
 
@@ -150,12 +177,46 @@ class RouterConfig:
     trace_dir: Optional[str] = None
     chaos_seed: int = 2014
     node_kill_rate: float = 0.0  # kill the owning node after dispatch
+    #: Seeded *connection* chaos (TCP transport only): sever the
+    #: owning node's socket right after a successful dispatch write —
+    #: the in-flight request must fail over, never drop.
+    conn_kill_rate: float = 0.0
+    #: Already-running ``repro serve --listen`` endpoints
+    #: (``host:port``) the router connects to instead of spawning
+    #: subprocesses.  Non-empty ``remotes`` overrides ``nodes``; the
+    #: router supervises the *connections* (reconnect with backoff)
+    #: but never the remote processes.
+    remotes: Tuple[str, ...] = ()
+    connect_attempts: int = 5  # per-connect backoff budget
+    reconnect_base_s: float = 0.05  # backoff envelope (full jitter)
+    reconnect_cap_s: float = 2.0
+    heartbeat_interval_s: float = 2.0
+    heartbeat_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ValueError("nodes must be >= 1")
         if not 0.0 <= self.node_kill_rate <= 1.0:
             raise ValueError("node_kill_rate must be in [0, 1]")
+        if not 0.0 <= self.conn_kill_rate <= 1.0:
+            raise ValueError("conn_kill_rate must be in [0, 1]")
+        if self.conn_kill_rate and self.transport != "tcp":
+            raise ValueError(
+                "conn_kill_rate needs the tcp transport "
+                "(there is no connection to kill over pipes)"
+            )
+
+    @property
+    def transport(self) -> str:
+        """The resolved fabric transport (remotes force ``tcp``)."""
+        return "tcp" if self.remotes else self.node.transport
+
+    def backoff(self) -> BackoffPolicy:
+        return BackoffPolicy(
+            base_s=self.reconnect_base_s,
+            cap_s=self.reconnect_cap_s,
+            seed=self.chaos_seed,
+        )
 
 
 @dataclass
@@ -188,6 +249,8 @@ class _Pending:
 class _Node:
     """One supervised ``repro serve`` subprocess behind pipes."""
 
+    transport = "pipe"
+
     def __init__(self, idx: int, config: RouterConfig) -> None:
         self.idx = idx
         self.config = config
@@ -195,6 +258,21 @@ class _Node:
         self.generation = -1
         self.write_lock = threading.Lock()
         self.closing = False  # stdin EOF sent (graceful drain)
+        #: Unix time of the last line received from this node (0 =
+        #: never) — what ``repro top`` renders for unreachable rows.
+        self.last_seen = 0.0
+
+    def ready(self) -> bool:
+        """Dispatchable right now (for TCP: *connected*)."""
+        return self.alive()
+
+    def break_link(self) -> None:
+        """Force the failover path for everything in flight here.
+
+        Over pipes the process *is* the link, so this kills it; the
+        TCP override severs just the connection and keeps the (still
+        healthy) process for the reconnect."""
+        self.kill()
 
     def _argv(self) -> List[str]:
         out = self.config.node.argv()
@@ -274,6 +352,152 @@ class _Node:
                     pass
 
 
+class _TcpNode(_Node):
+    """A local ``repro serve --listen`` node reached over a socket.
+
+    Lifecycle (drain-on-stdin-EOF, metrics export, respawn) stays on
+    the subprocess pipes; *data* rides the TCP connection.  The node's
+    ``generation`` advances on every successful **connect** — a lost
+    connection orphans exactly the requests written into it, whether
+    or not the process survived — and :meth:`send` keeps the same
+    generation-checked contract the pipe path has.
+    """
+
+    transport = "tcp"
+
+    def __init__(self, idx: int, config: RouterConfig) -> None:
+        super().__init__(idx, config)
+        self.conn: Optional[SocketConnection] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.heartbeat = Heartbeat(
+            interval_s=config.heartbeat_interval_s,
+            timeout_s=config.heartbeat_timeout_s,
+        )
+        self.spawn_count = 0
+        #: Reconnect pacing: the monitor skips this node until here.
+        self.next_attempt_at = 0.0
+        self.connect_attempt = 0
+
+    def _argv(self) -> List[str]:
+        # The base names trace files by generation (== spawn count for
+        # pipes); here generations advance per *connect*, so count
+        # spawns separately to keep one trace file per process.
+        out = self.config.node.argv()
+        if self.config.node_metrics_dir:
+            out += [
+                "--metrics-out",
+                os.path.join(
+                    self.config.node_metrics_dir,
+                    f"node-{self.idx}.json",
+                ),
+            ]
+        if self.config.trace_dir:
+            out += [
+                "--trace-out",
+                os.path.join(
+                    self.config.trace_dir,
+                    f"node-{self.idx}-g{self.spawn_count + 1}.jsonl",
+                ),
+            ]
+        return out
+
+    def spawn(self) -> None:
+        """Start the process and read its ``listening`` announcement."""
+        super().spawn()
+        self.generation -= 1  # undo: TCP generations advance on connect
+        self.spawn_count += 1
+        self.address = None
+        assert self.proc is not None and self.proc.stdout is not None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break  # process died before announcing
+            try:
+                data = json.loads(line)
+                self.address = parse_address(str(data["listening"]))
+                return
+            except (KeyError, TypeError, ValueError):
+                continue  # tolerate stray stdout noise
+
+    def connect(self, hello: Hello, backoff: BackoffPolicy) -> None:
+        """One connect+handshake try; raises TransportError/OSError."""
+        if self.address is None:
+            raise BrokenPipeError("node never announced its address")
+        old = self.conn
+        if old is not None:
+            old.close()
+        conn = connect_with_backoff(
+            self.address,
+            hello,
+            backoff,
+            max_attempts=1,
+        )
+        with self.write_lock:
+            self.conn = conn
+            self.generation += 1
+            self.closing = False
+        self.heartbeat.reset()
+        self.connect_attempt = 0
+        self.next_attempt_at = 0.0
+
+    def ready(self) -> bool:
+        return self.conn is not None and not self.conn.closed
+
+    def needs_respawn(self) -> bool:
+        return self.proc is None or self.proc.poll() is not None
+
+    def send(self, wire: dict, generation: int) -> None:
+        with self.write_lock:
+            if self.generation != generation:
+                raise BrokenPipeError("node connection was replaced")
+            conn = self.conn
+        if conn is None or conn.closed:
+            raise BrokenPipeError("node is not connected")
+        conn.send(wire)
+
+    def break_link(self) -> None:
+        if self.conn is not None:
+            self.conn.close()
+
+    def kill(self) -> None:
+        super().kill()
+        self.break_link()
+
+    def close_stdin(self) -> None:
+        super().close_stdin()  # child drains, exports metrics, exits
+
+
+class _RemoteNode(_TcpNode):
+    """An externally managed ``repro serve --listen`` endpoint.
+
+    The router supervises only the connection: it reconnects with
+    backoff but never spawns, kills or drains the remote process.
+    """
+
+    def __init__(
+        self, idx: int, config: RouterConfig, address: Tuple[str, int]
+    ) -> None:
+        super().__init__(idx, config)
+        self.address = address
+
+    def spawn(self) -> None:
+        self.spawn_count += 1  # no process: the endpoint just exists
+
+    def alive(self) -> bool:
+        return self.ready()
+
+    def needs_respawn(self) -> bool:
+        return False
+
+    def kill(self) -> None:
+        self.break_link()  # the remote process is not ours to kill
+
+    def close_stdin(self) -> None:
+        self.closing = True
+        self.break_link()
+
+
 class Router:
     """Rendezvous-hashing front end over N service-node subprocesses.
 
@@ -290,9 +514,27 @@ class Router:
     ) -> None:
         self.config = config or RouterConfig()
         self.metrics = registry or get_metrics() or MetricsRegistry()
-        self._nodes = [
-            _Node(i, self.config) for i in range(self.config.nodes)
-        ]
+        if self.config.remotes:
+            self._nodes: List[_Node] = [
+                _RemoteNode(i, self.config, parse_address(addr))
+                for i, addr in enumerate(self.config.remotes)
+            ]
+        elif self.config.transport == "tcp":
+            self._nodes = [
+                _TcpNode(i, self.config)
+                for i in range(self.config.nodes)
+            ]
+        else:
+            self._nodes = [
+                _Node(i, self.config)
+                for i in range(self.config.nodes)
+            ]
+        self._hello = Hello(
+            node_id=f"router-{os.getpid()}",
+            role="client",
+            backends=(self.config.node.backend,),
+        )
+        self._backoff = self.config.backoff()
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
         self._pending: Dict[str, _Pending] = {}
@@ -317,6 +559,16 @@ class Router:
                     kill_rate=self.config.node_kill_rate,
                 )
             )
+        self._conn_chaos: Optional[ChaosInjector] = None
+        if self.config.conn_kill_rate > 0.0:
+            # A distinct seed offset keeps connection kills and whole-
+            # node kills independent draws in mixed campaigns.
+            self._conn_chaos = ChaosInjector(
+                ChaosConfig(
+                    seed=self.config.chaos_seed + 1,
+                    kill_rate=self.config.conn_kill_rate,
+                )
+            )
         if self.config.node_metrics_dir:
             os.makedirs(self.config.node_metrics_dir, exist_ok=True)
         if self.config.trace_dir:
@@ -339,7 +591,7 @@ class Router:
         for node in self._nodes:
             self.metrics.gauge(
                 "router_node_up", self._node_labels(node.idx)
-            ).set(1 if node.alive() else 0)
+            ).set(1 if node.ready() else 0)
             self.metrics.gauge(
                 "router_node_pending", self._node_labels(node.idx)
             ).set(per_node[node.idx])
@@ -350,6 +602,12 @@ class Router:
         if self._started:
             return self
         self._started = True
+        if self.config.node.cache_dir:
+            # Sweep leases/tmp files orphaned by a crashed previous
+            # run, so its cold compiles are not TTL-gated for ours.
+            cleanup_stale_artifacts(
+                self.config.node.cache_dir, registry=self.metrics
+            )
         for node in self._nodes:
             self._spawn_node(node)
         self._monitor = threading.Thread(
@@ -362,6 +620,11 @@ class Router:
 
     def _spawn_node(self, node: _Node) -> None:
         node.spawn()
+        if isinstance(node, _TcpNode):
+            # A failed first connect is not fatal: the monitor keeps
+            # retrying with backoff until the endpoint answers.
+            self._connect_tcp(node)
+            return
         reader = threading.Thread(
             target=self._read_loop,
             args=(node, node.generation),
@@ -373,6 +636,45 @@ class Router:
         self.metrics.gauge(
             "router_node_up", self._node_labels(node.idx)
         ).set(1)
+
+    def _connect_tcp(self, node: "_TcpNode") -> bool:
+        """One connect+handshake attempt; schedules the next on loss."""
+        try:
+            node.connect(self._hello, self._backoff)
+        except (TransportError, OSError) as exc:
+            kind = getattr(exc, "kind", "")
+            if kind == "handshake_failed":
+                self._count(
+                    "router_handshake_failures_total",
+                    self._node_labels(node.idx),
+                )
+            self._count(
+                "router_connect_failures_total",
+                self._node_labels(node.idx),
+            )
+            pause = self._backoff.delay(
+                node.connect_attempt, f"node-{node.idx}"
+            )
+            node.connect_attempt += 1
+            node.next_attempt_at = time.monotonic() + pause
+            return False
+        if node.generation > 0:
+            self._count(
+                "router_reconnects_total", self._node_labels(node.idx)
+            )
+        conn, generation = node.conn, node.generation
+        reader = threading.Thread(
+            target=self._tcp_read_loop,
+            args=(node, conn, generation),
+            name=f"router-node-{node.idx}-reader-g{generation}",
+            daemon=True,
+        )
+        reader.start()
+        self._readers.append(reader)
+        self.metrics.gauge(
+            "router_node_up", self._node_labels(node.idx)
+        ).set(1)
+        return True
 
     def __enter__(self) -> "Router":
         return self.start()
@@ -389,10 +691,10 @@ class Router:
         node is alive right now.
         """
         owner = self._owners.get(fp)
-        if owner is not None and self._nodes[owner[0]].alive():
+        if owner is not None and self._nodes[owner[0]].ready():
             return owner[0]
         for idx in rendezvous_order(fp, len(self._nodes)):
-            if self._nodes[idx].alive():
+            if self._nodes[idx].ready():
                 return idx
         return None
 
@@ -431,6 +733,30 @@ class Router:
             entry = self._pending.pop(internal_id, None)
             if entry is not None:
                 self._unpin(entry.fingerprint)
+            if not self._pending:
+                self._drained.notify_all()
+        return entry
+
+    def _take_if(
+        self, internal_id: str, attempts: int
+    ) -> Optional[_Pending]:
+        """Claim the entry only while it is still the incarnation
+        dispatched with ``attempts``.
+
+        A node-death sweep can take a just-written entry and
+        re-dispatch it (bumping ``attempts``) before the writer's own
+        post-write check runs; an unconditional take there would steal
+        the *new* in-flight incarnation and fail it over a second
+        time, burning retry budget on a request that was already
+        placed cleanly.  Matching on the attempt count makes the
+        reclaim race-free: whoever re-dispatched owns the entry.
+        """
+        with self._lock:
+            entry = self._pending.get(internal_id)
+            if entry is None or entry.attempts != attempts:
+                return None
+            del self._pending[internal_id]
+            self._unpin(entry.fingerprint)
             if not self._pending:
                 self._drained.notify_all()
         return entry
@@ -628,12 +954,15 @@ class Router:
                 id=entry.internal_id,
                 parent_span_id=entry.node_wait_span_id,
             ).to_json()
+            written_attempts = entry.attempts
             try:
                 node.send(wire, entry.generation)
             except OSError:
                 # Died (or was respawned) between the liveness check
                 # and the write; undo the registration and retry.
-                if self._take(entry.internal_id) is None:
+                if self._take_if(
+                    entry.internal_id, written_attempts
+                ) is None:
                     return  # a sweep already owns this entry
                 if not self._budget_left(entry):
                     self._resolve_exhausted(entry, idx)
@@ -659,15 +988,31 @@ class Router:
                     self._node_labels(idx),
                 )
                 node.kill()
+            if self._conn_chaos is not None and (
+                self._conn_chaos.decision(
+                    entry.internal_id, entry.attempts
+                )
+                == "kill"
+            ):
+                # Connection chaos: the socket dies right after the
+                # request was written into it — the node may even
+                # compute the answer, but this link never delivers it.
+                self._count(
+                    "router_chaos_conn_kills_total",
+                    self._node_labels(idx),
+                )
+                node.break_link()
             # The node may have died after the write but before the
             # line was consumed — after the death sweep for this
             # generation already ran, in which case nobody else will
             # ever reclaim this entry.  Re-check and self-fail-over.
             if (
                 node.generation != entry.generation
-                or not node.alive()
+                or not node.ready()
             ):
-                reclaimed = self._take(entry.internal_id)
+                reclaimed = self._take_if(
+                    entry.internal_id, written_attempts
+                )
                 if reclaimed is not None:
                     self._fail_over(reclaimed, idx)
             return
@@ -703,6 +1048,7 @@ class Router:
             line = line.strip()
             if not line:
                 continue
+            node.last_seen = time.time()
             try:
                 data = json.loads(line)
                 response = Response.from_json(data)
@@ -711,6 +1057,54 @@ class Router:
                 continue
             self._on_response(node, response)
         proc.wait()
+        self._on_node_exit(node, generation)
+
+    def _tcp_read_loop(
+        self,
+        node: "_TcpNode",
+        conn: SocketConnection,
+        generation: int,
+    ) -> None:
+        """Reader for one connection generation.
+
+        Exits on *connection* loss — process death, chaos kill, wedge
+        teardown all surface here as EOF — and fails over exactly the
+        requests written into this generation.  Pongs are consumed at
+        this layer (RTT histogram); everything else takes the same
+        response path as the pipe transport.
+        """
+        while True:
+            line = conn.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            node.last_seen = time.time()
+            try:
+                data = json.loads(line)
+            except ValueError:
+                self._count("router_bad_node_lines_total")
+                continue
+            if isinstance(data, dict) and isinstance(
+                data.get("summary"), dict
+            ) and data["summary"].get("pong"):
+                rtt = node.heartbeat.observe_pong(
+                    str(data.get("id"))
+                )
+                if rtt is not None:
+                    self.metrics.histogram(
+                        "router_heartbeat_rtt_ms",
+                        buckets=STAGE_BUCKETS_MS,
+                    ).observe(rtt * 1e3)
+                continue
+            try:
+                response = Response.from_json(data)
+            except (ProtoError, ValueError):
+                self._count("router_bad_node_lines_total")
+                continue
+            self._on_response(node, response)
+        conn.close()
         self._on_node_exit(node, generation)
 
     def _on_response(self, node: _Node, response: Response) -> None:
@@ -790,7 +1184,7 @@ class Router:
         out: Dict[int, Optional[dict]] = {}
         for node in self._nodes:
             out[node.idx] = None
-            if not node.alive() or node.closing:
+            if not node.ready() or node.closing:
                 continue
             with self._lock:
                 self._seq += 1
@@ -821,7 +1215,28 @@ class Router:
                 continue
             if reply.ok and isinstance(reply.summary, dict):
                 out[idx] = reply.summary
+        for node in self._nodes:
+            # A node that could not be pulled (dead, draining, wedged
+            # or mid-reconnect) degrades the snapshot, never fails it
+            # — but the misses are themselves telemetry.
+            if out[node.idx] is None and not node.closing:
+                self._count(
+                    "fabric_metrics_pull_failures_total",
+                    self._node_labels(node.idx),
+                )
         return out
+
+    def node_status(self) -> Dict[int, dict]:
+        """Reachability + liveness facts per node, for ``repro top``."""
+        return {
+            node.idx: {
+                "reachable": node.ready(),
+                "transport": node.transport,
+                "last_seen": node.last_seen or None,
+                "generation": node.generation,
+            }
+            for node in self._nodes
+        }
 
     def fabric_snapshot(self, timeout_s: float = 5.0) -> dict:
         """The whole fabric's telemetry in one document.
@@ -843,6 +1258,10 @@ class Router:
             "nodes": {
                 str(idx): snap for idx, snap in node_snapshots.items()
             },
+            "node_status": {
+                str(idx): status
+                for idx, status in self.node_status().items()
+            },
             "merged": merged.snapshot(),
         }
 
@@ -851,6 +1270,9 @@ class Router:
         while not self._stop.wait(self.config.monitor_interval_s):
             now = time.monotonic()
             for node in self._nodes:
+                if isinstance(node, _TcpNode):
+                    self._supervise_tcp(node, now)
+                    continue
                 if not node.alive():
                     if not node.closing and not self._closed:
                         self._count(
@@ -859,24 +1281,85 @@ class Router:
                         )
                         self._spawn_node(node)
                     continue
-                # Wedge detection: a node holding a request past its
-                # deadline plus grace without answering is stuck —
-                # kill it so the failover path takes over.
-                with self._lock:
-                    wedged = any(
-                        e.node == node.idx
-                        and e.generation == node.generation
-                        and now
-                        > e.deadline + self.config.failover_grace_s
-                        for e in self._pending.values()
-                    )
-                if wedged:
+                if self._request_wedged(node, now):
                     self._count(
                         "router_node_wedges_total",
                         self._node_labels(node.idx),
                     )
                     node.kill()
             self._sync_gauges()
+
+    def _request_wedged(self, node: _Node, now: float) -> bool:
+        """A node holding a request past its deadline plus grace
+        without answering is stuck — break the link so the failover
+        path takes over."""
+        with self._lock:
+            return any(
+                e.node == node.idx
+                and e.generation == node.generation
+                and now > e.deadline + self.config.failover_grace_s
+                for e in self._pending.values()
+            )
+
+    def _supervise_tcp(self, node: "_TcpNode", now: float) -> None:
+        """One supervision tick of a TCP node.
+
+        Ordering matters: process death forces respawn+reconnect; a
+        live process with a lost connection reconnects, paced by the
+        backoff schedule; a live connection gets heartbeat service —
+        send a due ping, and tear down a link whose outstanding ping
+        aged past the heartbeat timeout (the half-open signature).
+        """
+        if self._closed or node.closing:
+            return
+        if node.needs_respawn():
+            if now < node.next_attempt_at:
+                return
+            node.break_link()
+            self._count(
+                "router_node_restarts_total",
+                self._node_labels(node.idx),
+            )
+            node.spawn()
+            if node.address is None:
+                # Died before announcing a port — pace the respawns
+                # so a crash-looping child cannot melt the monitor.
+                pause = self._backoff.delay(
+                    node.connect_attempt, f"spawn-{node.idx}"
+                )
+                node.connect_attempt += 1
+                node.next_attempt_at = time.monotonic() + pause
+                return
+            self._connect_tcp(node)
+            return
+        if not node.ready():
+            if now >= node.next_attempt_at:
+                self._connect_tcp(node)
+            return
+        if node.heartbeat.wedged():
+            self._count(
+                "router_node_wedges_total",
+                self._node_labels(node.idx),
+            )
+            node.break_link()  # reader EOFs -> failover -> reconnect
+            return
+        if node.heartbeat.due():
+            conn = node.conn
+            ping = node.heartbeat.make_ping(
+                scope=f"hb-{node.idx}-g{node.generation}"
+            )
+            try:
+                if conn is not None:
+                    conn.send(ping)
+            except OSError:
+                node.break_link()
+                return
+        if self._request_wedged(node, now):
+            self._count(
+                "router_node_wedges_total",
+                self._node_labels(node.idx),
+            )
+            node.break_link()
 
     # -- shutdown ------------------------------------------------------
     def wait_drained(self, timeout: Optional[float] = None) -> bool:
@@ -923,6 +1406,9 @@ class Router:
                 node.kill()
                 node.proc.wait()
                 clean = False
+        for node in self._nodes:
+            if isinstance(node, _TcpNode):
+                node.break_link()  # unblock readers still in readline
         for reader in self._readers:
             reader.join(timeout=5.0)
         self._started = False

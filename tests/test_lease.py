@@ -1,0 +1,333 @@
+"""Unit tests for repro.service.lease: cross-process single-flight
+lease files, pid-liveness staleness, stealing and crash cleanup."""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.lease import (
+    FileLease,
+    LeaseInfo,
+    cleanup_stale_artifacts,
+    lease_path,
+    read_lease,
+)
+from repro.service.plancache import CachedPlan, PlanCache
+
+FP = "a" * 64
+
+
+def _dead_pid():
+    """The pid of a child that has provably exited (and been reaped)."""
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    return proc.pid
+
+
+def _write_lease(directory, fp, pid, expires_in=3600.0, token="other"):
+    """Plant a foreign lease file as if another process held it."""
+    import socket as socket_mod
+
+    now = time.time()
+    info = LeaseInfo(
+        token=token,
+        host=socket_mod.gethostname(),
+        pid=pid,
+        acquired_at=now,
+        expires_at=now + expires_in,
+    )
+    path = lease_path(directory, fp)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(info.to_json(), fh)
+    return path
+
+
+class TestFileLease:
+    def test_acquire_release_cycle(self, tmp_path):
+        registry = MetricsRegistry()
+        lease = FileLease(str(tmp_path), FP, registry=registry)
+        assert lease.try_acquire()
+        assert lease.held
+        assert os.path.exists(lease.path)
+        holder = lease.holder()
+        assert holder.pid == os.getpid()
+        assert holder.token == lease.token
+        lease.release()
+        assert not lease.held
+        assert not os.path.exists(lease.path)
+        assert (
+            registry.counter("service_lease_acquired_total").value == 1
+        )
+
+    def test_contention_live_holder_wins(self, tmp_path):
+        first = FileLease(str(tmp_path), FP)
+        second = FileLease(str(tmp_path), FP)
+        assert first.try_acquire()
+        assert not second.try_acquire()
+        first.release()
+        assert second.try_acquire()
+        second.release()
+
+    def test_reacquire_is_idempotent(self, tmp_path):
+        lease = FileLease(str(tmp_path), FP)
+        assert lease.try_acquire()
+        assert lease.try_acquire()  # already ours
+        lease.release()
+
+    def test_crashed_holder_lease_is_stolen_immediately(self, tmp_path):
+        """Regression: pid-liveness frees a dead holder's lease on the
+        next acquire attempt — a crash must never cost the TTL."""
+        _write_lease(
+            str(tmp_path), FP, _dead_pid(), expires_in=3600.0
+        )
+        registry = MetricsRegistry()
+        lease = FileLease(str(tmp_path), FP, registry=registry)
+        start = time.monotonic()
+        assert lease.try_acquire()  # single non-blocking attempt
+        assert time.monotonic() - start < 1.0
+        assert lease.holder().pid == os.getpid()
+        assert (
+            registry.counter("service_lease_steals_total").value == 1
+        )
+        lease.release()
+
+    def test_live_holder_with_future_expiry_is_not_stolen(
+        self, tmp_path
+    ):
+        _write_lease(str(tmp_path), FP, os.getpid(), expires_in=3600.0)
+        lease = FileLease(str(tmp_path), FP)
+        assert not lease.try_acquire()
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        """Expiry is the cross-host fallback: a live-pid lease past its
+        expiry stamp is fair game."""
+        _write_lease(str(tmp_path), FP, os.getpid(), expires_in=-1.0)
+        lease = FileLease(str(tmp_path), FP)
+        assert lease.try_acquire()
+        lease.release()
+
+    def test_corrupt_lease_reads_as_no_lease(self, tmp_path):
+        path = lease_path(str(tmp_path), FP)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert read_lease(path) is None
+        lease = FileLease(str(tmp_path), FP)
+        assert lease.try_acquire()
+        lease.release()
+
+    def test_release_never_deletes_a_thiefs_lease(self, tmp_path):
+        """An overrun holder whose lease was stolen must leave the
+        thief's lease file alone on release."""
+        lease = FileLease(str(tmp_path), FP)
+        assert lease.try_acquire()
+        # Simulate the steal: replace the file with a foreign lease.
+        thief_path = _write_lease(
+            str(tmp_path), FP, os.getpid(), token="thief"
+        )
+        lease.release()
+        assert os.path.exists(thief_path)
+        assert read_lease(thief_path).token == "thief"
+
+    def test_concurrent_stealers_elect_exactly_one_winner(
+        self, tmp_path
+    ):
+        _write_lease(str(tmp_path), FP, _dead_pid())
+        leases = [FileLease(str(tmp_path), FP) for _ in range(8)]
+        results = [None] * len(leases)
+        barrier = threading.Barrier(len(leases))
+
+        def worker(k):
+            barrier.wait()
+            results[k] = leases[k].try_acquire()
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(len(leases))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(results) == 1
+        winner = leases[results.index(True)]
+        assert read_lease(winner.path).token == winner.token
+
+    def test_context_manager(self, tmp_path):
+        with FileLease(str(tmp_path), FP) as lease:
+            assert lease.held
+        assert not os.path.exists(lease.path)
+
+    def test_rejects_nonpositive_ttl(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileLease(str(tmp_path), FP, ttl_s=0.0)
+
+
+class TestCleanupStaleArtifacts:
+    def test_sweeps_orphans_and_spares_live_leases(self, tmp_path):
+        directory = str(tmp_path)
+        # Orphans: a dead holder's lease, a torn tmp file, the guard.
+        dead = _write_lease(directory, "b" * 64, _dead_pid())
+        tmp = os.path.join(directory, "c" * 64 + ".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write("torn")
+        guard = os.path.join(directory, ".lease-steal-guard")
+        open(guard, "w").close()
+        # Survivors: a live lease and a cached plan file.
+        live = FileLease(directory, FP)
+        assert live.try_acquire()
+        plan_file = os.path.join(directory, "d" * 64 + ".json")
+        with open(plan_file, "w", encoding="utf-8") as fh:
+            fh.write("{}")
+
+        registry = MetricsRegistry()
+        removed = cleanup_stale_artifacts(directory, registry=registry)
+        assert sorted(removed) == sorted([dead, tmp, guard])
+        assert os.path.exists(live.path)
+        assert os.path.exists(plan_file)
+        assert (
+            registry.counter(
+                "service_stale_artifacts_removed_total"
+            ).value == 3
+        )
+        live.release()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert cleanup_stale_artifacts(
+            str(tmp_path / "never-created")
+        ) == []
+
+
+def _make_plan(fp=FP):
+    return CachedPlan(
+        fingerprint=fp,
+        spec={},
+        options={},
+        fifo_capacities=[1],
+        filter_order=["w"],
+        num_banks=1,
+        total_buffer=1,
+        summary={},
+    )
+
+
+class TestPlanCacheLeases:
+    """Cross-process arbitration through PlanCache.get_or_compile."""
+
+    def test_two_caches_one_disk_dir_one_compile(self, tmp_path):
+        """The headline invariant, in-process: two PlanCaches sharing a
+        disk dir produce exactly one compile between them."""
+        registry = MetricsRegistry()
+        caches = [
+            PlanCache(disk_dir=str(tmp_path), registry=registry)
+            for _ in range(2)
+        ]
+        compiles = []
+
+        def compile_fn():
+            compiles.append(1)
+            time.sleep(0.05)  # widen the race window
+            return _make_plan()
+
+        outcomes = [None, None]
+
+        def run(k):
+            outcomes[k] = caches[k].get_or_compile(FP, compile_fn)[1]
+
+        threads = [
+            threading.Thread(target=run, args=(k,)) for k in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(compiles) == 1
+        assert sorted(outcomes) == ["lease", "miss"]
+        assert (
+            registry.counter("service_plan_compiles_total").value == 1
+        )
+        # No lease files linger once both callers are done.
+        assert not [
+            n for n in os.listdir(str(tmp_path)) if n.endswith(".lease")
+        ]
+
+    def test_waiter_steals_crashed_holders_lease(self, tmp_path):
+        """A lease whose holder crashed mid-compile is stolen within
+        one poll interval (pid-liveness), and the waiter compiles."""
+        _write_lease(
+            str(tmp_path), FP, _dead_pid(), expires_in=3600.0
+        )
+        cache = PlanCache(disk_dir=str(tmp_path))
+        start = time.monotonic()
+        plan, outcome = cache.get_or_compile(
+            FP, _make_plan, timeout=10.0
+        )
+        assert time.monotonic() - start < 2.0  # not the 1h TTL
+        assert outcome == "miss"
+        assert plan.fingerprint == FP
+
+    def test_waiter_adopts_remote_holders_published_plan(
+        self, tmp_path
+    ):
+        """While a live foreign lease blocks us, the plan appearing on
+        disk resolves the wait with outcome ``lease``."""
+        _write_lease(str(tmp_path), FP, os.getpid(), expires_in=3600.0)
+        cache = PlanCache(disk_dir=str(tmp_path))
+        publisher = PlanCache(
+            disk_dir=str(tmp_path), use_leases=False
+        )
+
+        def publish():
+            time.sleep(0.1)
+            publisher.put(_make_plan())
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        try:
+            plan, outcome = cache.get_or_compile(
+                FP,
+                lambda: pytest.fail("waiter must not compile"),
+                timeout=10.0,
+            )
+        finally:
+            thread.join()
+        assert outcome == "lease"
+        assert plan.fingerprint == FP
+
+    def test_wait_times_out_behind_a_live_holder(self, tmp_path):
+        _write_lease(str(tmp_path), FP, os.getpid(), expires_in=3600.0)
+        cache = PlanCache(disk_dir=str(tmp_path))
+        with pytest.raises(TimeoutError):
+            cache.get_or_compile(
+                FP,
+                lambda: pytest.fail("must not compile"),
+                timeout=0.2,
+            )
+
+    def test_memory_only_cache_never_leases(self, tmp_path):
+        cache = PlanCache()  # no disk tier
+        assert not cache.use_leases
+        plan, outcome = cache.get_or_compile(FP, _make_plan)
+        assert outcome == "miss"
+        assert plan.fingerprint == FP
+
+    def test_holder_compile_failure_releases_for_the_next_caller(
+        self, tmp_path
+    ):
+        cache = PlanCache(disk_dir=str(tmp_path))
+
+        def boom():
+            raise RuntimeError("compile exploded")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compile(FP, boom)
+        # The lease is gone; a retry compiles cleanly.
+        assert read_lease(lease_path(str(tmp_path), FP)) is None
+        plan, outcome = cache.get_or_compile(FP, _make_plan)
+        assert outcome == "miss"
+        assert plan.fingerprint == FP

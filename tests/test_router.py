@@ -21,6 +21,7 @@ tests spawn *real* ``repro serve`` subprocess nodes through
 import collections
 import json
 import os
+import time
 
 import pytest
 
@@ -319,7 +320,9 @@ class TestFabricAggregation:
         )
         assert node_requests == 4
 
-        assert set(fabric) == {"router", "nodes", "merged"}
+        assert set(fabric) == {
+            "router", "nodes", "merged", "node_status"
+        }
         assert set(fabric["nodes"]) == {"0", "1"}
         merged = fabric["merged"]
         # Router-side and node-side views agree in the merge.
@@ -369,3 +372,487 @@ class TestFabricAggregation:
         assert set(per_node) == {0, 1}
         assert per_node[0] is None
         assert per_node[1] is not None
+
+
+# ---------------------------------------------------------------------------
+# TCP socket transport
+# ---------------------------------------------------------------------------
+def _tcp_config(tmp_path, **overrides):
+    """A 2-node TCP-transport router sharing one disk cache tier."""
+    node_kwargs = overrides.pop("node_kwargs", {})
+    defaults = dict(
+        nodes=2,
+        node=NodeConfig(
+            workers=2,
+            cache_dir=str(tmp_path / "cache"),
+            transport="tcp",
+            **node_kwargs,
+        ),
+        heartbeat_interval_s=0.5,
+        heartbeat_timeout_s=2.0,
+        reconnect_base_s=0.02,
+        reconnect_cap_s=0.25,
+    )
+    defaults.update(overrides)
+    return RouterConfig(**defaults)
+
+
+@pytest.mark.slow
+class TestTcpTransport:
+    def test_campaign_over_real_sockets(self, tmp_path):
+        """The pipe-mode guarantees carry over TCP verbatim: every
+        request answered ok, one owner, proto:1 round-trips, node
+        status reports reachable tcp nodes."""
+        metrics_dir = str(tmp_path / "metrics")
+        registry = MetricsRegistry()
+        config = _tcp_config(
+            tmp_path, node_metrics_dir=metrics_dir
+        )
+        router = Router(config, registry=registry).start()
+        try:
+            slots = [
+                router.submit(
+                    {
+                        "proto": 1,
+                        "id": f"t{k}",
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": 4100 + k,
+                    }
+                )
+                for k in range(12)
+            ]
+            responses = [slot.result(timeout=120) for slot in slots]
+            # A node that owned no requests only proves liveness via
+            # heartbeat pongs; the campaign can finish before the
+            # first ping lands, so give the monitor a few intervals.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                status = router.node_status()
+                if all(
+                    s["last_seen"] is not None for s in status.values()
+                ):
+                    break
+                time.sleep(0.1)
+            fabric = router.fabric_snapshot(timeout_s=60)
+        finally:
+            assert router.close(timeout=120)
+        assert [r.id for r in responses] == [
+            f"t{k}" for k in range(12)
+        ]
+        assert all(r.ok for r in responses), [
+            r.to_json() for r in responses if not r.ok
+        ]
+        for r in responses:
+            assert Response.from_json(r.to_json()) == r
+        # Single-flight still holds over sockets.
+        counters = _read_node_counters(metrics_dir)
+        assert counters["service_plan_compiles_total"] == 1
+        # Liveness bookkeeping: both nodes connected and spoke.
+        assert set(status) == {0, 1}
+        for node_status in status.values():
+            assert node_status["reachable"] is True
+            assert node_status["transport"] == "tcp"
+            assert node_status["last_seen"] is not None
+        assert set(fabric["node_status"]) == {"0", "1"}
+        # Handshakes succeeded (counted node-side per connection).
+        assert counters["service_connections_total"] >= 2
+
+    def test_conn_kill_chaos_drops_nothing(self, tmp_path):
+        """Seeded connection kills right after the dispatch write:
+        the link dies, the request fails over, nothing is dropped."""
+        requests = 10
+        kill_rate = 0.45
+        retries = 2
+        seed, expected_kills = _pick_campaign_seed(
+            requests, kill_rate, retries
+        )
+        registry = MetricsRegistry()
+        config = _tcp_config(
+            tmp_path,
+            max_retries=retries,
+            # Router conn chaos draws from ``chaos_seed + 1``.
+            chaos_seed=seed - 1,
+            conn_kill_rate=kill_rate,
+        )
+        router = Router(config, registry=registry).start()
+        responses = []
+        try:
+            for k in range(requests):
+                slot = router.submit(
+                    {
+                        "proto": 1,
+                        "id": f"ck{k}",
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": 8200 + k,
+                        "timeout_s": 120.0,
+                    }
+                )
+                responses.append(slot.result(timeout=150))
+        finally:
+            assert router.close(timeout=120)
+        assert [r.id for r in responses] == [
+            f"ck{k}" for k in range(requests)
+        ]
+        for r in responses:
+            assert Response.from_json(r.to_json()) == r
+        assert all(r.ok for r in responses), [
+            r.to_json() for r in responses if not r.ok
+        ]
+        counters = registry.snapshot()["counters"]
+        conn_kills = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_chaos_conn_kills_total")
+        )
+        reconnects = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_reconnects_total")
+        )
+        assert conn_kills >= expected_kills
+        assert reconnects >= 1
+        # A severed connection is not a dead process: the node keeps
+        # its warm process across reconnects (no restarts required).
+        assert sum(
+            v for k, v in counters.items()
+            if k.startswith("router_failovers_total")
+        ) >= 1
+
+
+def _pick_socket_chaos_seed(requests, half_open_rate, trickle_rate):
+    """A seed where the warm-up compile lands cleanly, exactly one
+    request goes half-open (bounding the campaign's wall clock) and
+    at least one response gets trickled."""
+    for seed in range(5000):
+        chaos = ChaosInjector(
+            ChaosConfig(
+                seed=seed,
+                hang_rate=half_open_rate,
+                slow_rate=trickle_rate,
+            )
+        )
+        decisions = [
+            chaos.decision(f"rt-{k + 1}", 0) for k in range(requests)
+        ]
+        if decisions[0] != "none":
+            continue
+        if decisions.count("hang") != 1:
+            continue
+        if "slow" not in decisions:
+            continue
+        if decisions[-1] == "hang":
+            continue  # let the campaign end on a delivered response
+        return seed
+    raise AssertionError("no socket chaos seed found")
+
+
+@pytest.mark.slow
+class TestTcpSocketChaos:
+    def test_half_open_and_trickle_faults(self, tmp_path):
+        """Server-side seeded socket faults: a half-open connection
+        (responses silently swallowed, socket stays up) is detected by
+        the heartbeat wedge detector and torn down; trickled responses
+        arrive intact.  Every request ends in a correct result or a
+        clean typed error — never a hang, never silence."""
+        requests = 8
+        half_open_rate = 0.2
+        trickle_rate = 0.25
+        seed = _pick_socket_chaos_seed(
+            requests, half_open_rate, trickle_rate
+        )
+        registry = MetricsRegistry()
+        config = _tcp_config(
+            tmp_path,
+            max_retries=1,
+            failover_grace_s=1.0,
+            node_kwargs=dict(
+                extra_args=(
+                    "--chaos-seed", str(seed),
+                    "--sock-half-open-rate", str(half_open_rate),
+                    "--sock-trickle-rate", str(trickle_rate),
+                ),
+            ),
+        )
+        router = Router(config, registry=registry).start()
+        responses = []
+        try:
+            for k in range(requests):
+                slot = router.submit(
+                    {
+                        "proto": 1,
+                        "id": f"ho{k}",
+                        "benchmark": "SOBEL",
+                        "grid": [10, 12],
+                        "seed": 9300 + k,
+                        "timeout_s": 25.0,
+                    }
+                )
+                responses.append(slot.result(timeout=60))
+        finally:
+            assert router.close(timeout=120)
+        assert [r.id for r in responses] == [
+            f"ho{k}" for k in range(requests)
+        ]
+        # Correct result or clean structured error for every request.
+        for r in responses:
+            assert Response.from_json(r.to_json()) == r
+            if not r.ok:
+                assert r.status in ("error", "timeout")
+                assert r.error is not None
+                assert r.error.kind == "worker_lost"
+        # The faults actually fired: at least one wedge was detected
+        # and the link was rebuilt.
+        counters = registry.snapshot()["counters"]
+        wedges = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_node_wedges_total")
+        )
+        reconnects = sum(
+            v for k, v in counters.items()
+            if k.startswith("router_reconnects_total")
+        )
+        assert wedges >= 1
+        assert reconnects >= 1
+        # Most of the campaign still lands: only the half-open victim
+        # may exhaust its budget (its retry re-draws the same seeded
+        # fault on every node).
+        assert sum(1 for r in responses if r.ok) >= requests - 2
+
+
+@pytest.mark.slow
+class TestCrossRouterLeases:
+    def test_two_routers_one_cache_one_compile(self, tmp_path):
+        """The headline acceptance: two router processes sharing one
+        cache_dir, a concurrent identical burst through both over TCP,
+        exactly one cold compile in the whole fabric."""
+        cache_dir = str(tmp_path / "cache")
+        metrics_dirs = [
+            str(tmp_path / f"metrics-{r}") for r in range(2)
+        ]
+        routers = [
+            Router(
+                _tcp_config(
+                    tmp_path,
+                    node=NodeConfig(
+                        workers=2,
+                        cache_dir=cache_dir,
+                        transport="tcp",
+                    ),
+                    node_metrics_dir=metrics_dirs[r],
+                ),
+                registry=MetricsRegistry(),
+            ).start()
+            for r in range(2)
+        ]
+        try:
+            slots = [
+                (r, router.submit(
+                    {
+                        "proto": 1,
+                        "id": f"x{r}-{k}",
+                        "benchmark": "DENOISE",
+                        "grid": [10, 12],
+                        "seed": 5000 + k,
+                    }
+                ))
+                for k in range(32)
+                for r, router in enumerate(routers)
+            ]
+            responses = [
+                (r, slot.result(timeout=180)) for r, slot in slots
+            ]
+        finally:
+            for router in routers:
+                assert router.close(timeout=120)
+        assert all(resp.ok for _, resp in responses), [
+            resp.to_json() for _, resp in responses if not resp.ok
+        ]
+        # Exactly one cold compile across both routers' four nodes.
+        compiles = sum(
+            _read_node_counters(d)["service_plan_compiles_total"]
+            for d in metrics_dirs
+        )
+        assert compiles == 1
+        # No lease files linger after a clean campaign.
+        assert not [
+            n for n in os.listdir(cache_dir) if n.endswith(".lease")
+        ]
+
+    def test_crashed_holders_lease_never_costs_the_ttl(self, tmp_path):
+        """A lease whose holder crashed (dead pid, huge TTL) is stolen
+        by pid-liveness on the first poll — the request completes in
+        request time, not lease-TTL time."""
+        import socket as socket_mod
+        import time as time_mod
+        import uuid
+
+        from repro.service.lease import lease_path
+
+        cache_dir = str(tmp_path / "cache")
+        config = RouterConfig(
+            nodes=1,
+            node=NodeConfig(workers=2, cache_dir=cache_dir),
+        )
+        router = Router(config, registry=MetricsRegistry()).start()
+        try:
+            # Plant the crashed holder *after* startup cleanup ran.
+            os.makedirs(cache_dir, exist_ok=True)
+            proc = __import__("multiprocessing").Process(
+                target=lambda: None
+            )
+            proc.start()
+            proc.join()
+            fp = _fp("SOBEL", (10, 12))
+            now = time_mod.time()
+            with open(
+                lease_path(cache_dir, fp), "w", encoding="utf-8"
+            ) as fh:
+                json.dump(
+                    {
+                        "token": f"crashed:{uuid.uuid4().hex}",
+                        "host": socket_mod.gethostname(),
+                        "pid": proc.pid,
+                        "acquired_at": now,
+                        "expires_at": now + 3600.0,
+                    },
+                    fh,
+                )
+            start = time_mod.monotonic()
+            response = router.handle(
+                {
+                    "proto": 1,
+                    "benchmark": "SOBEL",
+                    "grid": [10, 12],
+                    "timeout_s": 60.0,
+                },
+                wait_timeout=90,
+            )
+            elapsed = time_mod.monotonic() - start
+        finally:
+            assert router.close(timeout=120)
+        assert response.ok, response.to_json()
+        assert response.cache == "miss"  # the waiter stole + compiled
+        assert elapsed < 60.0  # nowhere near the 1h TTL
+
+    def test_startup_cleanup_sweeps_crashed_run_artifacts(
+        self, tmp_path
+    ):
+        """Router.start() removes orphaned leases and torn tmp files
+        left by a previous crashed run, and counts the sweep."""
+        import socket as socket_mod
+        import time as time_mod
+
+        cache_dir = str(tmp_path / "cache")
+        os.makedirs(cache_dir)
+        proc = __import__("multiprocessing").Process(
+            target=lambda: None
+        )
+        proc.start()
+        proc.join()
+        now = time_mod.time()
+        stale_lease = os.path.join(cache_dir, "e" * 64 + ".lease")
+        with open(stale_lease, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "token": "crashed",
+                    "host": socket_mod.gethostname(),
+                    "pid": proc.pid,
+                    "acquired_at": now,
+                    "expires_at": now + 3600.0,
+                },
+                fh,
+            )
+        torn_tmp = os.path.join(cache_dir, "f" * 64 + ".json.tmp")
+        with open(torn_tmp, "w", encoding="utf-8") as fh:
+            fh.write('{"torn":')
+        survivor = os.path.join(cache_dir, "a" * 64 + ".json")
+        with open(survivor, "w", encoding="utf-8") as fh:
+            fh.write("{}")
+
+        registry = MetricsRegistry()
+        config = RouterConfig(
+            nodes=1,
+            node=NodeConfig(workers=1, cache_dir=cache_dir),
+        )
+        router = Router(config, registry=registry).start()
+        try:
+            assert not os.path.exists(stale_lease)
+            assert not os.path.exists(torn_tmp)
+            assert os.path.exists(survivor)
+            counters = registry.snapshot()["counters"]
+            assert (
+                counters["service_stale_artifacts_removed_total"] == 2
+            )
+        finally:
+            assert router.close(timeout=120)
+
+
+@pytest.mark.slow
+class TestRemoteNodes:
+    def test_router_connects_to_an_external_listener(self, tmp_path):
+        """``remotes``: the router connects to an already-running
+        ``repro serve --listen`` endpoint, supervises the *connection*
+        only, and leaves the process running on close."""
+        import subprocess
+        import sys as sys_mod
+
+        proc = subprocess.Popen(
+            [
+                sys_mod.executable, "-u", "-m", "repro", "serve",
+                "--listen", "127.0.0.1:0",
+                "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            address = None
+            for _ in range(200):
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                try:
+                    address = json.loads(line).get("listening")
+                except ValueError:
+                    continue
+                if address:
+                    break
+            assert address, "serve --listen never announced its port"
+            config = RouterConfig(
+                remotes=(address,),
+                node=NodeConfig(
+                    workers=2,
+                    cache_dir=str(tmp_path / "cache"),
+                    transport="tcp",
+                ),
+            )
+            router = Router(
+                config, registry=MetricsRegistry()
+            ).start()
+            try:
+                for k in range(2):
+                    response = router.handle(
+                        {
+                            "proto": 1,
+                            "benchmark": "SOBEL",
+                            "grid": [10, 12],
+                            "seed": 6600 + k,
+                        },
+                        wait_timeout=120,
+                    )
+                    assert response.ok, response.to_json()
+            finally:
+                assert router.close(timeout=60)
+            # The router never owned the process: still alive.
+            assert proc.poll() is None
+        finally:
+            if proc.poll() is None:
+                proc.stdin.close()  # EOF -> graceful drain + exit
+                try:
+                    proc.wait(timeout=60)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
