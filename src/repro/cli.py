@@ -325,6 +325,8 @@ def _service_config(args):
         cache_dir=args.cache_dir,
         worker_mode=args.worker_mode,
         backend=getattr(args, "backend", "interpreted"),
+        converter=getattr(args, "converter", "numpy"),
+        gather_limit=getattr(args, "gather_limit", None),
         hang_timeout_s=args.hang_timeout,
         chaos=chaos,
     )
@@ -355,6 +357,25 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
             "to a batched vectorized kernel (bufferize -> convert) and "
             "falls back to interpreted where lowering is unsupported "
             "(default interpreted)"
+        ),
+    )
+    group.add_argument(
+        # Validated by ServiceConfig, like --backend.
+        "--converter", default="numpy", metavar="NAME",
+        help=(
+            "kernel converter under --backend compiled: 'numpy' "
+            "(vectorized replay) or 'c' (cffi-built generated C, "
+            "degrading to numpy when no C toolchain is available; "
+            "default numpy)"
+        ),
+    )
+    group.add_argument(
+        # Validated by ServiceConfig (positive int).
+        "--gather-limit", type=int, default=None, metavar="POINTS",
+        help=(
+            "gather-domain size above which the compiled backend "
+            "replays the table in fixed-size chunks instead of "
+            "materializing it (default: engine built-in)"
         ),
     )
     group.add_argument(
@@ -591,6 +612,15 @@ def cmd_route(args) -> int:
             f"backend must be one of 'interpreted', 'compiled', "
             f"got {backend!r}"
         )
+    converter = getattr(args, "converter", "numpy")
+    if converter not in ("numpy", "c"):
+        raise ValueError(
+            f"converter must be one of 'numpy', 'c', "
+            f"got {converter!r}"
+        )
+    gather_limit = getattr(args, "gather_limit", None)
+    if gather_limit:
+        extra += ["--gather-limit", str(gather_limit)]
     remotes = tuple(getattr(args, "connect", None) or ())
     transport = getattr(args, "transport", "pipe")
     if remotes:
@@ -601,6 +631,7 @@ def cmd_route(args) -> int:
         max_batch=args.max_batch,
         worker_mode=args.worker_mode,
         backend=backend,
+        converter=converter,
         validate_every=args.validate_every,
         cache_dir=args.cache_dir,
         hang_timeout_s=args.hang_timeout,

@@ -8,10 +8,25 @@ see the module docstrings of :mod:`repro.lower.program`,
 :mod:`repro.lower.engine` and :mod:`repro.lower.executor`.
 """
 
-from .bufferize import GATHER_POINT_LIMIT, bufferize, bufferize_plan
-from .convert import CompiledKernel, convert, kernel_from_plan
-from .engine import CompiledEngine, LowerResult
+from .bufferize import (
+    GATHER_HARD_LIMIT,
+    GATHER_POINT_LIMIT,
+    bufferize,
+    bufferize_plan,
+    stream_parts,
+)
+from .convert import (
+    CompiledKernel,
+    ConverterUnavailable,
+    convert,
+    converter_names,
+    get_converter,
+    kernel_from_plan,
+    register_converter,
+)
+from .engine import CompiledEngine, LowerResult, LoweringConfig
 from .executor import CompiledPlanExecutor
+from .gather import GATHER_CHUNK_POINTS, iter_point_chunks
 from .program import (
     BUFFER_PROGRAM_VERSION,
     BufferProgram,
@@ -19,6 +34,7 @@ from .program import (
     LoweringError,
     LoweringUnsupported,
     ProgramMismatchError,
+    ProgramPart,
     program_from_json,
     program_to_json,
     validate_program,
@@ -26,21 +42,31 @@ from .program import (
 
 __all__ = [
     "BUFFER_PROGRAM_VERSION",
+    "GATHER_CHUNK_POINTS",
+    "GATHER_HARD_LIMIT",
     "GATHER_POINT_LIMIT",
     "BufferProgram",
     "BufferRead",
     "CompiledEngine",
     "CompiledKernel",
     "CompiledPlanExecutor",
+    "ConverterUnavailable",
     "LowerResult",
+    "LoweringConfig",
     "LoweringError",
     "LoweringUnsupported",
     "ProgramMismatchError",
+    "ProgramPart",
     "bufferize",
     "bufferize_plan",
     "convert",
+    "converter_names",
+    "get_converter",
+    "iter_point_chunks",
     "kernel_from_plan",
     "program_from_json",
     "program_to_json",
+    "register_converter",
+    "stream_parts",
     "validate_program",
 ]

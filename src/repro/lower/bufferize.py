@@ -15,15 +15,27 @@ reuse offsets is refused (:class:`LoweringUnsupported`), which both
 keeps the compiled path honest and makes a fuzzed ``fifo_capacities``
 fail closed.
 
-Constructs not covered yet (each falls back to the interpreted
-executor):
+Multi-stream plans (``offchip_streams > 1``) lower to a sequence of
+per-stream sub-programs: the greedy Fig 14 chain breaking
+(:func:`repro.microarch.tradeoff.select_breaks`) is replicated over the
+flat deltas, the window's read slots split into contiguous segments at
+the removed FIFOs, and each segment becomes one
+:class:`~repro.lower.program.ProgramPart` executed in emission order
+against the shared output domain.  The surviving deltas must equal the
+plan's multi-stream ``fifo_capacities`` — the same honesty check,
+stream-aware.
 
-* multi-stream plans (``offchip_streams > 1``) — the partition is
-  split across stream FIFOs and no longer matches the flat deltas;
-* out-of-bounds reads (an explicit iteration domain that pushes the
-  window outside the grid);
-* gather domains larger than :data:`GATHER_POINT_LIMIT` points — the
-  gather table is enumerated once per process, so it is bounded.
+Gather domains whose bounding box exceeds :data:`GATHER_POINT_LIMIT`
+points lower to *chunked* gather tables: the converter enumerates the
+domain lazily in fixed-size chunks (each far under the limit) and
+replays the kernel per chunk without ever materializing the full
+``reads x points`` table.  Only boxes past :data:`GATHER_HARD_LIMIT`
+are refused — at that size the output row itself stops being a sane
+single-request payload.
+
+Still not covered (falls back to the interpreted executor):
+out-of-bounds reads — an explicit iteration domain that pushes the
+window outside the grid.
 """
 
 from __future__ import annotations
@@ -38,14 +50,28 @@ from .program import (
     BufferRead,
     LoweringError,
     LoweringUnsupported,
+    ProgramPart,
     validate_program,
 )
 
-__all__ = ["GATHER_POINT_LIMIT", "bufferize", "linearize_expr"]
+__all__ = [
+    "GATHER_HARD_LIMIT",
+    "GATHER_POINT_LIMIT",
+    "bufferize",
+    "linearize_expr",
+    "stream_parts",
+]
 
-#: Upper bound on the gather table (non-box domains enumerate their
-#: points once per process at convert time; this keeps that bounded).
+#: Bounding-box size past which a gather domain is *chunked* instead of
+#: enumerated into one eager full table (the ``reads x points`` table
+#: stays cache-resident below this; above it the converter replays
+#: fixed-size chunks).
 GATHER_POINT_LIMIT = 1 << 18
+
+#: Bounding-box size past which a gather domain is refused outright —
+#: past this the flat output row itself is no longer a sane
+#: single-request payload, chunked or not.
+GATHER_HARD_LIMIT = 1 << 24
 
 
 def _strides(extents: Tuple[int, ...]) -> List[int]:
@@ -119,12 +145,72 @@ def _reuse_offsets(spec: StencilSpec, domain) -> List[int]:
     ]
 
 
+def stream_parts(
+    spec: StencilSpec,
+    read_slots: dict,
+    deltas: List[int],
+    offchip_streams: int,
+) -> Tuple[List[ProgramPart], List[int]]:
+    """Replicate Fig 14 chain breaking over the flat reuse deltas.
+
+    Returns ``(parts, kept_deltas)``.  The greedy break selection is
+    exactly :func:`repro.microarch.tradeoff.select_breaks` with the
+    delta index standing in for the FIFO id (FIFO ``k`` sits between
+    filters ``k`` and ``k + 1``): each of the ``streams - 1`` breaks
+    removes the largest remaining delta, ties toward the upstream end.
+    The surviving deltas are the multi-stream plan's
+    ``fifo_capacities``; the window's read slots split into contiguous
+    filter segments at the removed FIFOs, one :class:`ProgramPart` per
+    segment in emission order.
+    """
+    offsets = spec.window.offsets  # descending lex == filter order
+    n = len(offsets)
+    if offchip_streams > n:
+        raise LoweringUnsupported(
+            "multi_stream",
+            f"{offchip_streams} off-chip streams exceed the window's "
+            f"{n} references",
+        )
+    remaining = list(range(n - 1))
+    breaks: List[int] = []
+    for _ in range(offchip_streams - 1):
+        victim = max(remaining, key=lambda k: (deltas[k], -k))
+        breaks.append(victim)
+        remaining.remove(victim)
+    try:
+        window_slots = [
+            read_slots[(spec.input_array, offset)]
+            for offset in offsets
+        ]
+    except KeyError as exc:  # pragma: no cover - spec enforces this
+        raise LoweringError(
+            f"window reference {exc} missing from the expression"
+        ) from exc
+    segments: List[Tuple[int, int]] = []
+    start = 0
+    for k in sorted(breaks):
+        segments.append((start, k))
+        start = k + 1
+    segments.append((start, n - 1))
+    parts = [
+        ProgramPart(
+            stream=stream,
+            reads=tuple(window_slots[first:last + 1]),
+            reuse_offsets=tuple(deltas[first:last]),
+        )
+        for stream, (first, last) in enumerate(segments)
+    ]
+    kept = [deltas[k] for k in range(n - 1) if k not in set(breaks)]
+    return parts, kept
+
+
 def bufferize(
     spec: StencilSpec,
     fingerprint: str,
     fifo_capacities: Optional[List[int]] = None,
     offchip_streams: int = 1,
     gather_limit: int = GATHER_POINT_LIMIT,
+    gather_hard_limit: int = GATHER_HARD_LIMIT,
 ) -> BufferProgram:
     """Lower ``spec`` (+ its compiled partition) to a buffer program.
 
@@ -132,14 +218,12 @@ def bufferize(
     it is cross-checked against the flat reuse offsets (see the module
     docstring).  Raises :class:`LoweringUnsupported` for constructs the
     lowering does not cover.
+
+    ``gather_limit`` picks eager vs chunked gather enumeration (it
+    never changes the emitted program — chunking is a converter
+    decision, so the sidecar stays deterministic across differently
+    configured nodes); only ``gather_hard_limit`` refuses.
     """
-    if offchip_streams > 1:
-        raise LoweringUnsupported(
-            "multi_stream",
-            f"multi-stream plans ({offchip_streams} off-chip streams) "
-            "split the reuse chain across stream FIFOs; the flat "
-            "lowering models the single-stream chain only",
-        )
     domain = spec.iteration_domain
     grid = tuple(int(g) for g in spec.grid)
     grid_strides = _strides(grid)
@@ -159,11 +243,17 @@ def bufferize(
     ops = linearize_expr(spec.expression, read_slots)
 
     reuse = _reuse_offsets(spec, domain)
+    parts: List[ProgramPart] = []
+    if offchip_streams > 1:
+        parts, reuse = stream_parts(
+            spec, read_slots, reuse, offchip_streams
+        )
     if fifo_capacities is not None and list(fifo_capacities) != reuse:
         raise LoweringUnsupported(
             "partition_mismatch",
             f"plan's FIFO partition {list(fifo_capacities)} disagrees "
-            f"with the flat reuse offsets {reuse}",
+            f"with the flat reuse offsets {reuse} "
+            f"({offchip_streams} stream(s))",
         )
 
     if isinstance(domain, BoxDomain):
@@ -191,33 +281,50 @@ def bufferize(
             shape=shape,
             base=_dot(lows, grid_strides),
             reuse_offsets=reuse,
+            parts=parts,
         )
     else:
         lows, highs = domain.bounding_box()
         volume = 1
         for lo, hi in zip(lows, highs):
             volume *= max(hi - lo + 1, 0)
-        if volume > gather_limit:
+        if volume > gather_hard_limit:
             raise LoweringUnsupported(
                 "gather_limit",
                 f"iteration domain bounding box holds {volume} points "
-                f"(> {gather_limit}); too large to gather-lower",
+                f"(> {gather_hard_limit}); too large to gather-lower "
+                "even chunked",
             )
+        if volume > gather_limit:
+            # Chunked regime: count the domain vectorized — the
+            # pure-Python point walk of ``domain.count()`` would
+            # dominate the whole lowering at this size.
+            from .gather import count_points
+
+            n_outputs = count_points(domain)
+        else:
+            n_outputs = domain.count()
         program = BufferProgram(
             fingerprint=fingerprint,
             grid=grid,
             mode="gather",
             reads=reads,
             ops=ops,
-            n_outputs=domain.count(),
+            n_outputs=n_outputs,
             domain=domain_to_json(domain),
             reuse_offsets=reuse,
+            parts=parts,
         )
     validate_program(program)
     return program
 
 
-def bufferize_plan(plan, spec: Optional[StencilSpec] = None) -> BufferProgram:
+def bufferize_plan(
+    plan,
+    spec: Optional[StencilSpec] = None,
+    gather_limit: int = GATHER_POINT_LIMIT,
+    gather_hard_limit: int = GATHER_HARD_LIMIT,
+) -> BufferProgram:
     """Bufferize straight from a cached plan (the service entry point).
 
     ``plan`` is a :class:`repro.service.plancache.CachedPlan`; the spec
@@ -234,4 +341,6 @@ def bufferize_plan(plan, spec: Optional[StencilSpec] = None) -> BufferProgram:
         offchip_streams=int(
             (plan.options or {}).get("offchip_streams", 1)
         ),
+        gather_limit=gather_limit,
+        gather_hard_limit=gather_hard_limit,
     )

@@ -32,13 +32,18 @@ service *fail*, never answer wrong.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..polyhedral.domain import domain_from_json
 from ..stencil.spec import StencilSpec
-from .bufferize import bufferize_plan
+from .bufferize import (
+    GATHER_HARD_LIMIT,
+    GATHER_POINT_LIMIT,
+    bufferize_plan,
+)
+from .gather import GATHER_CHUNK_POINTS, gather_base
 from .program import (
     BufferProgram,
     LoweringError,
@@ -49,7 +54,75 @@ from .program import (
     validate_program,
 )
 
-__all__ = ["CompiledKernel", "convert", "kernel_from_plan"]
+__all__ = [
+    "CompiledKernel",
+    "ConverterUnavailable",
+    "convert",
+    "converter_names",
+    "get_converter",
+    "kernel_from_plan",
+    "register_converter",
+]
+
+
+class ConverterUnavailable(LoweringError):
+    """The selected converter cannot run in this environment.
+
+    Raised at *build* time (never mid-execution) — e.g. the C converter
+    with no C toolchain on the box.  The engine degrades to the NumPy
+    converter and counts the reason; it never fails the request.
+    """
+
+
+#: name -> builder ``(program, gather_limit=...) -> kernel``.  Every
+#: converter target consumes the same :class:`BufferProgram` and must
+#: honor the same bit-exactness contract; ``numpy`` is always present,
+#: others (``c``) register on import and may raise
+#: :class:`ConverterUnavailable` from their builder.
+_CONVERTERS: Dict[str, Callable] = {}
+
+
+def register_converter(name: str) -> Callable:
+    """Class/function decorator adding a converter target by name."""
+
+    def decorate(builder: Callable) -> Callable:
+        _CONVERTERS[name] = builder
+        return builder
+
+    return decorate
+
+
+def _probe_optional_converters() -> None:
+    """Import-register optional targets; absence is not an error.
+
+    The C converter registers on import; pulling it in lazily keeps
+    ``repro.lower.convert`` importable on boxes without cffi (its
+    builder still raises :class:`ConverterUnavailable` there, which is
+    the per-build degradation signal).
+    """
+    if "c" not in _CONVERTERS:
+        try:
+            from . import convert_c  # noqa: F401
+        except Exception:
+            pass
+
+
+def get_converter(name: str) -> Callable:
+    """The registered builder for ``name``."""
+    _probe_optional_converters()
+    try:
+        return _CONVERTERS[name]
+    except KeyError:
+        raise LoweringError(
+            f"unknown converter {name!r} "
+            f"(registered: {sorted(_CONVERTERS)})"
+        ) from None
+
+
+def converter_names() -> List[str]:
+    """Registered converter names (after the lazy probes)."""
+    _probe_optional_converters()
+    return sorted(_CONVERTERS)
 
 
 #: Working-set budget for one batched replay, in bytes.  A batch of B
@@ -79,11 +152,32 @@ class CompiledKernel:
     emission order — ready to digest.
     """
 
-    def __init__(self, program: BufferProgram) -> None:
+    def __init__(
+        self,
+        program: BufferProgram,
+        gather_limit: int = GATHER_POINT_LIMIT,
+    ) -> None:
         validate_program(program)
         self.program = program
         self.n_outputs = program.n_outputs
         self._grid = tuple(program.grid)
+        # Read slots materialize per stream part in emission order
+        # (the software analogue of each off-chip stream delivering
+        # its segment's data), then any non-window reads.  Values stay
+        # indexed by slot, so the op tape is part-agnostic.
+        if program.parts:
+            self._slot_order: List[int] = [
+                slot for part in program.parts for slot in part.reads
+            ]
+            covered = set(self._slot_order)
+            self._slot_order.extend(
+                s for s in range(len(program.reads))
+                if s not in covered
+            )
+        else:
+            self._slot_order = list(range(len(program.reads)))
+        self._gather: Optional[np.ndarray] = None
+        self._gather_base: Optional[np.ndarray] = None
         if program.mode == "box":
             lows, shape = program.lows, program.shape
             self._slices: List[Tuple[slice, ...]] = [
@@ -93,9 +187,23 @@ class CompiledKernel:
                 )
                 for read in program.reads
             ]
-            self._gather: Optional[np.ndarray] = None
         else:
+            self._slices = []
             domain = domain_from_json(program.domain)
+            lows, highs = domain.bounding_box()
+            volume = 1
+            for lo, hi in zip(lows, highs):
+                volume *= max(hi - lo + 1, 0)
+            if volume > gather_limit:
+                # Chunked regime: keep one output row's worth of flat
+                # indices; per-read tables are rebuilt per chunk at
+                # execution time, never the full ``reads x points``
+                # table.
+                self._gather_base = gather_base(
+                    domain, self._grid, program.reads,
+                    program.n_outputs,
+                )
+                return
             points = list(domain.iter_points())
             if len(points) != program.n_outputs:
                 raise LoweringError(
@@ -124,7 +232,6 @@ class CompiledKernel:
             self._gather = np.stack(
                 [base + read.flat for read in program.reads]
             ) if program.reads else np.zeros((0, 0), dtype=np.int64)
-            self._slices = []
 
     # -- execution -----------------------------------------------------
     def run(self, grid: np.ndarray) -> np.ndarray:
@@ -170,18 +277,53 @@ class CompiledKernel:
     def _run_chunk(self, grids: np.ndarray) -> np.ndarray:
         batch = grids.shape[0]
         if self.program.mode == "box":
-            values = [
-                grids[(slice(None),) + s] for s in self._slices
-            ]
-        else:
+            values: List = [None] * len(self.program.reads)
+            for slot in self._slot_order:
+                values[slot] = grids[
+                    (slice(None),) + self._slices[slot]
+                ]
+        elif self._gather is not None:
             flat = grids.reshape(batch, -1)
-            values = [flat[:, idx] for idx in self._gather]
+            values = [None] * len(self.program.reads)
+            for slot in self._slot_order:
+                values[slot] = flat[:, self._gather[slot]]
+        else:
+            return self._run_gather_chunked(grids)
         out = np.asarray(self._replay(values), dtype=np.float64)
         if out.ndim == 0:  # constant-folded result (defensive)
             out = np.broadcast_to(out, (batch, self.n_outputs))
         return np.ascontiguousarray(
             out.reshape(batch, -1), dtype=np.float64
         )
+
+    def _run_gather_chunked(self, grids: np.ndarray) -> np.ndarray:
+        """Replay fixed-size point chunks against the flat base row.
+
+        Each chunk rebuilds its per-read index tables from one slice
+        of ``_gather_base`` — the working set is ``reads x chunk``
+        instead of ``reads x points``.  Every output element sees the
+        same ufunc ops on the same operands as the eager table, so
+        chunking cannot change a bit.
+        """
+        batch = grids.shape[0]
+        flat = grids.reshape(batch, -1)
+        reads = self.program.reads
+        out = np.empty((batch, self.n_outputs), dtype=np.float64)
+        for start in range(0, self.n_outputs, GATHER_CHUNK_POINTS):
+            stop = min(start + GATHER_CHUNK_POINTS, self.n_outputs)
+            base = self._gather_base[start:stop]
+            values: List = [None] * len(reads)
+            for slot in self._slot_order:
+                values[slot] = flat[:, base + reads[slot].flat]
+            piece = np.asarray(
+                self._replay(values), dtype=np.float64
+            )
+            if piece.ndim == 0:  # constant-folded (defensive)
+                piece = np.broadcast_to(
+                    piece, (batch, stop - start)
+                )
+            out[:, start:stop] = piece.reshape(batch, -1)
+        return out
 
     #: opcode -> ufunc for the binary stack ops.  Each is the exact
     #: ufunc the plain operator dispatches to (``a + b`` IS
@@ -285,14 +427,26 @@ class CompiledKernel:
         return stack[-1]
 
 
-def convert(program: BufferProgram) -> CompiledKernel:
-    """Build the NumPy kernel for a (validated) buffer program."""
-    return CompiledKernel(program)
+@register_converter("numpy")
+def convert(
+    program: BufferProgram,
+    gather_limit: int = GATHER_POINT_LIMIT,
+    artifact_dir: Optional[str] = None,
+) -> CompiledKernel:
+    """Build the NumPy kernel for a (validated) buffer program.
+
+    ``artifact_dir`` is part of the uniform converter-builder
+    signature; the NumPy target has nothing to persist.
+    """
+    del artifact_dir
+    return CompiledKernel(program, gather_limit=gather_limit)
 
 
 def kernel_from_plan(
     plan,
     spec: Optional[StencilSpec] = None,
+    gather_limit: int = GATHER_POINT_LIMIT,
+    gather_hard_limit: int = GATHER_HARD_LIMIT,
 ) -> Tuple[CompiledKernel, dict]:
     """Lower a cached plan end to end: ``(kernel, program_json)``.
 
@@ -301,7 +455,10 @@ def kernel_from_plan(
     the sidecar is corrupt and :class:`ProgramMismatchError` is raised
     (the caller evicts the plan and fails the request cleanly).
     """
-    fresh = bufferize_plan(plan, spec=spec)
+    fresh = bufferize_plan(
+        plan, spec=spec, gather_limit=gather_limit,
+        gather_hard_limit=gather_hard_limit,
+    )
     fresh_json = program_to_json(fresh)
     stored = getattr(plan, "buffer_program", None)
     if stored is not None:
@@ -317,4 +474,4 @@ def kernel_from_plan(
                 f"{plan.fingerprint[:12]} diverges from a fresh "
                 "lowering of the cached spec"
             )
-    return convert(fresh), fresh_json
+    return convert(fresh, gather_limit=gather_limit), fresh_json

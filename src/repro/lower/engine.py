@@ -37,9 +37,19 @@ import numpy as np
 from ..obs.tracing import span
 from ..stencil.golden import make_input
 from ..stencil.spec import StencilSpec
-from .bufferize import bufferize_plan
-from .convert import CompiledKernel, convert
+from .bufferize import (
+    GATHER_HARD_LIMIT,
+    GATHER_POINT_LIMIT,
+    bufferize_plan,
+)
+from .convert import (
+    CompiledKernel,
+    ConverterUnavailable,
+    convert,
+    get_converter,
+)
 from .program import (
+    BUFFER_PROGRAM_VERSION,
     LoweringUnsupported,
     ProgramMismatchError,
     program_from_json,
@@ -47,10 +57,38 @@ from .program import (
     validate_program,
 )
 
-__all__ = ["CompiledEngine", "LowerResult"]
+__all__ = ["CompiledEngine", "LowerResult", "LoweringConfig"]
 
 #: Input-grid LRU budget (float64 bytes across all cached grids).
 GRID_CACHE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class LoweringConfig:
+    """Everything that can change what ``kernel_for`` produces.
+
+    The engine's kernel and unsupported-verdict memos are keyed on
+    ``(fingerprint, config.key())`` — a verdict reached under one
+    gather limit or converter must never answer for another (the
+    PR-8-era memo keyed on fingerprint alone cached a ``gather_limit``
+    refusal forever, even after the limit was raised).
+
+    ``artifact_dir`` is deliberately *not* part of the key: it decides
+    where the C converter persists its build, never what the kernel
+    computes.
+    """
+
+    converter: str = "numpy"
+    gather_limit: int = GATHER_POINT_LIMIT
+    gather_hard_limit: int = GATHER_HARD_LIMIT
+    artifact_dir: Optional[str] = None
+
+    def key(self) -> Tuple:
+        return (
+            self.converter,
+            int(self.gather_limit),
+            int(self.gather_hard_limit),
+        )
 
 
 @dataclass
@@ -65,16 +103,24 @@ class LowerResult:
     convert_ms: float = 0.0
     #: False when the kernel came straight from the in-process cache.
     built: bool = False
+    #: Converter that actually built the kernel ("numpy" when the
+    #: configured target degraded).
+    converter: str = "numpy"
+    #: Why the configured converter degraded to NumPy, if it did.
+    converter_fallback: Optional[str] = None
 
 
 class CompiledEngine:
     """Bufferize → convert → execute, memoized per fingerprint."""
 
     def __init__(
-        self, grid_cache_bytes: int = GRID_CACHE_BYTES
+        self,
+        grid_cache_bytes: int = GRID_CACHE_BYTES,
+        config: Optional[LoweringConfig] = None,
     ) -> None:
-        self._kernels: Dict[str, CompiledKernel] = {}
-        self._unsupported: Dict[str, LoweringUnsupported] = {}
+        self.config = config or LoweringConfig()
+        self._kernels: Dict[Tuple, Tuple[CompiledKernel, str]] = {}
+        self._unsupported: Dict[Tuple, LoweringUnsupported] = {}
         self._lock = threading.Lock()
         self._grid_cache_bytes = grid_cache_bytes
         self._grids: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
@@ -83,7 +129,10 @@ class CompiledEngine:
 
     # -- lowering ------------------------------------------------------
     def kernel_for(
-        self, plan, spec: Optional[StencilSpec] = None
+        self,
+        plan,
+        spec: Optional[StencilSpec] = None,
+        config: Optional[LoweringConfig] = None,
     ) -> LowerResult:
         """The kernel for a cached plan, lowering on first use.
 
@@ -91,12 +140,17 @@ class CompiledEngine:
         interpreted path) or :class:`ProgramMismatchError` (the stored
         sidecar is corrupt; fail the request and evict the plan).
         """
+        cfg = config or self.config
         fp = plan.fingerprint
+        key = (fp, cfg.key())
         with self._lock:
-            kernel = self._kernels.get(fp)
-            if kernel is not None:
-                return LowerResult(kernel=kernel, program_json=None)
-            unsupported = self._unsupported.get(fp)
+            hit = self._kernels.get(key)
+            if hit is not None:
+                kernel, used = hit
+                return LowerResult(
+                    kernel=kernel, program_json=None, converter=used
+                )
+            unsupported = self._unsupported.get(key)
         if unsupported is not None:
             raise unsupported
         if spec is None:
@@ -107,14 +161,22 @@ class CompiledEngine:
                 "lower.bufferize", fingerprint=fp[:12],
                 benchmark=spec.name,
             ):
-                fresh = bufferize_plan(plan, spec=spec)
+                fresh = bufferize_plan(
+                    plan, spec=spec,
+                    gather_limit=cfg.gather_limit,
+                    gather_hard_limit=cfg.gather_hard_limit,
+                )
         except LoweringUnsupported as exc:
             with self._lock:
-                self._unsupported[fp] = exc
+                self._unsupported[key] = exc
             raise
         bufferize_ms = (time.perf_counter() - started) * 1e3
         fresh_json = program_to_json(fresh)
         stored = getattr(plan, "buffer_program", None)
+        if stored is not None and self._stale_version(stored):
+            # A sidecar written by an older IR is not corruption —
+            # treat it as absent, re-lower and overwrite.
+            stored = None
         if stored is not None and not self._matches(
             stored, fresh_json
         ):
@@ -123,19 +185,37 @@ class CompiledEngine:
                 "from a fresh lowering of the cached spec"
             )
         started = time.perf_counter()
+        used = cfg.converter
+        converter_fallback: Optional[str] = None
         try:
             with span(
                 "lower.convert", fingerprint=fp[:12],
-                benchmark=spec.name,
+                benchmark=spec.name, converter=cfg.converter,
             ):
-                kernel = convert(fresh)
+                try:
+                    builder = get_converter(cfg.converter)
+                    kernel = builder(
+                        fresh,
+                        gather_limit=cfg.gather_limit,
+                        artifact_dir=cfg.artifact_dir,
+                    )
+                except ConverterUnavailable as exc:
+                    # Per-build degradation: the configured target
+                    # cannot run here (no toolchain, no cffi, compile
+                    # failure) — the NumPy converter is bit-identical,
+                    # so use it and report why.
+                    used = "numpy"
+                    converter_fallback = str(exc)
+                    kernel = convert(
+                        fresh, gather_limit=cfg.gather_limit
+                    )
         except LoweringUnsupported as exc:
             with self._lock:
-                self._unsupported[fp] = exc
+                self._unsupported[key] = exc
             raise
         convert_ms = (time.perf_counter() - started) * 1e3
         with self._lock:
-            self._kernels[fp] = kernel
+            self._kernels[key] = (kernel, used)
             if len(self._kernels) > 256:  # bound the per-process cache
                 self._kernels.pop(next(iter(self._kernels)))
         return LowerResult(
@@ -144,7 +224,18 @@ class CompiledEngine:
             bufferize_ms=bufferize_ms,
             convert_ms=convert_ms,
             built=True,
+            converter=used,
+            converter_fallback=converter_fallback,
         )
+
+    @staticmethod
+    def _stale_version(stored: dict) -> bool:
+        try:
+            return int(
+                stored.get("version", -1)
+            ) != BUFFER_PROGRAM_VERSION
+        except (TypeError, ValueError):
+            return False
 
     @staticmethod
     def _matches(stored: dict, fresh_json: dict) -> bool:
@@ -156,10 +247,15 @@ class CompiledEngine:
         return program_to_json(stored_program) == fresh_json
 
     def forget(self, fp: str) -> None:
-        """Drop one fingerprint (mirrors a plan-cache invalidation)."""
+        """Drop one fingerprint (mirrors a plan-cache invalidation).
+
+        Every config variant of the fingerprint goes — invalidation is
+        about the plan, not about how it was lowered.
+        """
         with self._lock:
-            self._kernels.pop(fp, None)
-            self._unsupported.pop(fp, None)
+            for memo in (self._kernels, self._unsupported):
+                for key in [k for k in memo if k[0] == fp]:
+                    memo.pop(key, None)
 
     # -- content-addressed input grids ---------------------------------
     def input_grid(self, spec: StencilSpec, seed: int) -> np.ndarray:

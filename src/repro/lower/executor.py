@@ -46,10 +46,34 @@ from ..service.executor import (
 )
 from ..service.plancache import CachedPlan
 from ..service.scheduler import WorkItem
-from .engine import CompiledEngine
+from .engine import CompiledEngine, LoweringConfig
 from .program import LoweringUnsupported, ProgramMismatchError
 
-__all__ = ["CompiledPlanExecutor"]
+__all__ = ["CompiledPlanExecutor", "lowering_config_from_service"]
+
+
+def lowering_config_from_service(config) -> LoweringConfig:
+    """Build the engine's :class:`LoweringConfig` from a ServiceConfig.
+
+    Reads the optional knobs defensively so bare test doubles (and
+    older configs) keep working; the plan cache's directory doubles as
+    the C converter's artifact directory, putting ``<fp>.c.so`` next
+    to the plan and program sidecars it belongs to.
+    """
+    kwargs = {}
+    converter = getattr(config, "converter", None)
+    if converter:
+        kwargs["converter"] = str(converter)
+    gather_limit = getattr(config, "gather_limit", None)
+    if gather_limit:
+        kwargs["gather_limit"] = int(gather_limit)
+    gather_hard_limit = getattr(config, "gather_hard_limit", None)
+    if gather_hard_limit:
+        kwargs["gather_hard_limit"] = int(gather_hard_limit)
+    cache_dir = getattr(config, "cache_dir", None)
+    if cache_dir:
+        kwargs["artifact_dir"] = str(cache_dir)
+    return LoweringConfig(**kwargs)
 
 
 class CompiledPlanExecutor(PlanExecutor):
@@ -93,6 +117,14 @@ class CompiledPlanExecutor(PlanExecutor):
                     )
                 },
             ).inc()
+            self.registry.counter(
+                "service_lower_converter_total",
+                {"converter": result.converter},
+            ).inc()
+            if result.converter_fallback is not None:
+                self.registry.counter(
+                    "service_lower_converter_fallback_total"
+                ).inc()
         if result.program_json is not None:
             # First lowering of this plan: write the sidecar through
             # the content-addressed cache so restarts (and pool
@@ -240,4 +272,9 @@ def _make_compiled_executor(
     config, shared, fault_hook
 ) -> CompiledPlanExecutor:
     """``backend="compiled"`` (thread mode): batched lowered kernels."""
-    return CompiledPlanExecutor(fault_hook=fault_hook, **shared)
+    engine = CompiledEngine(
+        config=lowering_config_from_service(config)
+    )
+    return CompiledPlanExecutor(
+        engine=engine, fault_hook=fault_hook, **shared
+    )

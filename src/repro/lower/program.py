@@ -38,6 +38,7 @@ __all__ = [
     "LoweringError",
     "LoweringUnsupported",
     "ProgramMismatchError",
+    "ProgramPart",
     "program_from_json",
     "program_to_json",
     "validate_program",
@@ -115,6 +116,47 @@ class BufferRead:
         )
 
 
+@dataclass(frozen=True)
+class ProgramPart:
+    """One partition stream's sub-program (Fig 14 chain breaking).
+
+    A multi-stream plan removes its largest reuse FIFOs and feeds each
+    downstream sub-chain from its own off-chip stream.  The lowering
+    mirrors that: the window's read slots split into contiguous
+    segments at the removed FIFOs, and each segment becomes one
+    ``ProgramPart`` — a sub-program over a subset of the read slots,
+    with its own within-segment reuse offsets (the capacities of the
+    FIFOs that *survive* inside the segment).  Parts execute in
+    emission order (``stream`` 0 first) against the shared output
+    domain; the concatenation of their reuse offsets is exactly the
+    multi-stream plan's ``fifo_capacities``.
+    """
+
+    stream: int
+    #: Read-slot indices into ``BufferProgram.reads``, filter order.
+    reads: Tuple[int, ...]
+    #: Flat reuse deltas between this part's adjacent reads
+    #: (``len(reads) - 1`` entries — the segment's surviving FIFOs).
+    reuse_offsets: Tuple[int, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "stream": self.stream,
+            "reads": list(self.reads),
+            "reuse_offsets": list(self.reuse_offsets),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ProgramPart":
+        return cls(
+            stream=int(data["stream"]),
+            reads=tuple(int(v) for v in data["reads"]),
+            reuse_offsets=tuple(
+                int(v) for v in data["reuse_offsets"]
+            ),
+        )
+
+
 @dataclass
 class BufferProgram:
     """A fully lowered stencil plan (see the module docstring)."""
@@ -137,12 +179,17 @@ class BufferProgram:
     #: over the stream hull — the paper's non-uniform FIFO depths,
     #: cross-checked against ``CachedPlan.fifo_capacities``.
     reuse_offsets: List[int] = field(default_factory=list)
+    #: Per-stream sub-programs (multi-stream plans only).  Empty means
+    #: one implicit stream covering every read — the canonical JSON
+    #: omits the key entirely in that case, so single-stream sidecars
+    #: written before parts existed still round-trip byte-identically.
+    parts: List[ProgramPart] = field(default_factory=list)
     version: int = BUFFER_PROGRAM_VERSION
 
 
 def program_to_json(program: BufferProgram) -> dict:
     """Canonical JSON encoding (inverse of :func:`program_from_json`)."""
-    return {
+    data = {
         "version": program.version,
         "fingerprint": program.fingerprint,
         "grid": list(program.grid),
@@ -156,6 +203,9 @@ def program_to_json(program: BufferProgram) -> dict:
         "domain": program.domain,
         "reuse_offsets": list(program.reuse_offsets),
     }
+    if program.parts:
+        data["parts"] = [p.to_json() for p in program.parts]
+    return data
 
 
 def program_from_json(data: dict) -> BufferProgram:
@@ -172,6 +222,9 @@ def program_from_json(data: dict) -> BufferProgram:
         base=int(data.get("base", 0)),
         domain=data.get("domain"),
         reuse_offsets=[int(v) for v in data.get("reuse_offsets", [])],
+        parts=[
+            ProgramPart.from_json(p) for p in data.get("parts", [])
+        ],
         version=int(data.get("version", -1)),
     )
 
@@ -212,6 +265,41 @@ def validate_program(program: BufferProgram) -> None:
             )
     elif program.domain is None:
         raise LoweringError("gather program carries no domain")
+    if program.parts:
+        seen_slots = set()
+        concat: List[int] = []
+        for k, part in enumerate(program.parts):
+            if part.stream != k:
+                raise LoweringError(
+                    f"part {k} carries stream index {part.stream} "
+                    "(parts must be in emission order)"
+                )
+            if not part.reads:
+                raise LoweringError(f"part {k} reads nothing")
+            if len(part.reuse_offsets) != len(part.reads) - 1:
+                raise LoweringError(
+                    f"part {k} has {len(part.reuse_offsets)} reuse "
+                    f"offsets for {len(part.reads)} reads"
+                )
+            for slot in part.reads:
+                if not 0 <= slot < len(program.reads):
+                    raise LoweringError(
+                        f"part {k} references read slot {slot} out "
+                        f"of {len(program.reads)} reads"
+                    )
+                if slot in seen_slots:
+                    raise LoweringError(
+                        f"read slot {slot} appears in more than one "
+                        "part (streams must be disjoint)"
+                    )
+                seen_slots.add(slot)
+            concat.extend(part.reuse_offsets)
+        if concat != list(program.reuse_offsets):
+            raise LoweringError(
+                "concatenated per-part reuse offsets disagree with "
+                "the program's reuse offsets (the multi-stream "
+                "partition)"
+            )
     depth = 0
     for op in program.ops:
         kind = op.get("op")

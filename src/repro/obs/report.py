@@ -252,6 +252,23 @@ def format_service_metrics(snapshot: dict) -> str:
         (f"lowerings_{k}", fmt(v))
         for k, v in sorted(lowerings.items())
     ]
+    converters = _label_rows(
+        snapshot, "service_lower_converter_total", "converter"
+    )
+    lower_pairs += [
+        (f"converter_{k}", fmt(v))
+        for k, v in sorted(converters.items())
+    ]
+    lower_pairs += [
+        (
+            "converter_fallbacks",
+            (
+                fmt(counters["service_lower_converter_fallback_total"])
+                if "service_lower_converter_fallback_total" in counters
+                else None
+            ),
+        ),
+    ]
     lower_pairs += [
         (f"fallback_{k}", fmt(v)) for k, v in sorted(reasons.items())
     ]
@@ -547,6 +564,17 @@ def format_fabric_summary(parts, node_status=None) -> str:
             f"(compiled share {paths.get('compiled', 0) / total:.1%})"
         )
         sections += ["", "compiled backend (merged):", line]
+        converters = _label_rows(
+            merged_snap, "service_lower_converter_total", "converter"
+        )
+        if converters:
+            sections.append(
+                "  converters: "
+                + ", ".join(
+                    f"{k}={int(v)}"
+                    for k, v in sorted(converters.items())
+                )
+            )
         if reasons:
             sections.append(
                 "  fallbacks: "

@@ -51,12 +51,23 @@ from .proto import ProtoError, Request, Response, error_response
 from .pool import ProcessPlanExecutor  # noqa: F401 (registers backend)
 from .scheduler import QueueClosedError, ResultSlot, Scheduler, WorkItem
 
-__all__ = ["EXECUTION_BACKENDS", "ServiceConfig", "StencilService"]
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "LOWER_CONVERTERS",
+    "ServiceConfig",
+    "StencilService",
+]
 
 #: Request execution strategies, orthogonal to ``worker_mode``:
 #: ``"interpreted"`` runs the paper-exact golden reference per request,
 #: ``"compiled"`` runs batched lowered kernels (:mod:`repro.lower`).
 EXECUTION_BACKENDS = ("interpreted", "compiled")
+
+#: Converter targets behind the compiled backend's ``BufferProgram``
+#: IR: ``"numpy"`` is the vectorized ufunc replay, ``"c"`` generates C
+#: built via cffi (degrading per build to ``"numpy"`` when no C
+#: toolchain is present).  Meaningless with ``backend="interpreted"``.
+LOWER_CONVERTERS = ("numpy", "c")
 
 
 @dataclass(frozen=True)
@@ -83,6 +94,16 @@ class ServiceConfig:
     lease_ttl_s: float = 120.0
     worker_mode: str = "thread"  # "thread" | "process"
     backend: str = "interpreted"  # "interpreted" | "compiled"
+    converter: str = "numpy"  # "numpy" | "c" (compiled backend only)
+    #: Gather domains whose bounding box exceeds this many points are
+    #: lowered chunked instead of eagerly tabulated.  ``None`` keeps
+    #: the library default (:data:`repro.lower.GATHER_POINT_LIMIT`);
+    #: benches and CI set it low to exercise chunking on small grids.
+    gather_limit: Optional[int] = None
+    #: Refuse to lower gather domains whose bounding box exceeds this
+    #: many points (fallback reason ``gather_limit``).  ``None`` keeps
+    #: the library default (:data:`repro.lower.GATHER_HARD_LIMIT`).
+    gather_hard_limit: Optional[int] = None
     breaker_threshold: int = 3  # lethal events before the circuit opens
     breaker_cooldown_s: float = 5.0
     hang_timeout_s: float = 60.0  # unresponsive-worker kill deadline
@@ -94,6 +115,25 @@ class ServiceConfig:
                 f"backend must be one of "
                 f"{', '.join(repr(n) for n in EXECUTION_BACKENDS)}, "
                 f"got {self.backend!r}"
+            )
+        if self.converter not in LOWER_CONVERTERS:
+            raise ValueError(
+                f"converter must be one of "
+                f"{', '.join(repr(n) for n in LOWER_CONVERTERS)}, "
+                f"got {self.converter!r}"
+            )
+        if self.gather_limit is not None and self.gather_limit < 1:
+            raise ValueError(
+                f"gather_limit must be positive, got "
+                f"{self.gather_limit!r}"
+            )
+        if (
+            self.gather_hard_limit is not None
+            and self.gather_hard_limit < 1
+        ):
+            raise ValueError(
+                f"gather_hard_limit must be positive, got "
+                f"{self.gather_hard_limit!r}"
             )
         if self.worker_mode not in ("thread", "process"):
             raise ValueError(

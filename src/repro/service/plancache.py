@@ -222,12 +222,28 @@ class PlanCache:
         return os.path.join(self.disk_dir, f"{fp}.lower.json")
 
     def _remove_sidecar(self, fp: str) -> None:
-        path = self._sidecar_path(fp)
-        if path is not None and os.path.exists(path):
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        """Drop the program sidecar and any built converter artifacts.
+
+        The C converter persists ``<fp>.c.so`` / ``<fp>.c.json`` next
+        to the plan; an invalidated plan must take its compiled
+        library with it, or a stale artifact could outlive the plan
+        that generated it (the artifact meta's source digest would
+        refuse it anyway — this just keeps the directory honest).
+        """
+        candidates = [self._sidecar_path(fp)]
+        if self.disk_dir:
+            candidates.append(
+                os.path.join(self.disk_dir, f"{fp}.c.so")
+            )
+            candidates.append(
+                os.path.join(self.disk_dir, f"{fp}.c.json")
+            )
+        for path in candidates:
+            if path is not None and os.path.exists(path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
 
     def _load_sidecar(self, fp: str) -> Optional[dict]:
         """Best-effort sidecar read: any damage degrades to ``None``.

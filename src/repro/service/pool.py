@@ -50,7 +50,7 @@ import numpy as _np
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import get_tracer, span, trace_context
-from ..lower.engine import CompiledEngine
+from ..lower.engine import CompiledEngine, LoweringConfig
 from ..lower.program import LoweringUnsupported, ProgramMismatchError
 from .chaos import ChaosConfig, ChaosInjector
 from .executor import (
@@ -242,6 +242,30 @@ def _exec_trace(exc_spec: Dict[str, Any]) -> Tuple[Optional[str], Optional[str]]
     return exc_spec.get("trace_id"), exc_spec.get("parent_span_id")
 
 
+def _lowering_config_from_job(
+    job: Dict[str, Any]
+) -> Optional[LoweringConfig]:
+    """Rebuild the parent's lowering config from the job envelope.
+
+    Workers are spawned generic, so the converter choice and gather
+    limits ride each job; ``None`` lets the worker engine use its
+    defaults (identical to the parent's defaults).
+    """
+    raw = job.get("lower_config")
+    if not raw:
+        return None
+    kwargs: Dict[str, Any] = {}
+    if raw.get("converter"):
+        kwargs["converter"] = str(raw["converter"])
+    if raw.get("gather_limit"):
+        kwargs["gather_limit"] = int(raw["gather_limit"])
+    if raw.get("gather_hard_limit"):
+        kwargs["gather_hard_limit"] = int(raw["gather_hard_limit"])
+    if raw.get("artifact_dir"):
+        kwargs["artifact_dir"] = str(raw["artifact_dir"])
+    return LoweringConfig(**kwargs)
+
+
 def _run_job(
     job: Dict[str, Any],
     plans: Dict[str, CachedPlan],
@@ -306,9 +330,12 @@ def _run_job(
     kernel = None
     lower: Dict[str, Any] = {}
     if job.get("backend") == "compiled" and engine is not None:
+        lower_cfg = _lowering_config_from_job(job)
         lower_start_unix = time.time_ns()
         try:
-            result = engine.kernel_for(plan, spec=spec)
+            result = engine.kernel_for(
+                plan, spec=spec, config=lower_cfg
+            )
         except LoweringUnsupported as exc:
             lower["fallback_reasons"] = {
                 exc.reason: len(job["execs"])
@@ -353,6 +380,9 @@ def _run_job(
                     if result.program_json is not None
                     else "cached"
                 )
+                lower["converter"] = result.converter
+                if result.converter_fallback is not None:
+                    lower["converter_fallback"] = 1
             if result.program_json is not None:
                 lower["program"] = result.program_json
                 plan.buffer_program = result.program_json
@@ -582,6 +612,7 @@ class ProcessPlanExecutor(ExecutorBase):
         chaos: Optional[ChaosConfig] = None,
         mp_start_method: Optional[str] = None,
         backend: str = "interpreted",
+        lower_config: Optional[Dict[str, Any]] = None,
         **canary_kwargs: Any,
     ) -> None:
         super().__init__(
@@ -602,6 +633,9 @@ class ProcessPlanExecutor(ExecutorBase):
         self.hang_timeout_s = hang_timeout_s
         self.chaos = chaos
         self.backend = backend  # execution strategy inside workers
+        # JSON-safe lowering knobs (converter, gather limits, artifact
+        # dir) shipped with each compiled job — workers are generic.
+        self.lower_config = dict(lower_config) if lower_config else None
         if mp_start_method is None:
             # Workers are started from a multithreaded parent
             # (dispatcher, shard runners, supervisor, user threads);
@@ -945,6 +979,7 @@ class ProcessPlanExecutor(ExecutorBase):
             "options": exemplar.options.to_json(),
             "plan": plan.to_json() if plan is not None else None,
             "backend": self.backend,
+            "lower_config": self.lower_config,
             "execs": execs,
         }
         budget_s = min(
@@ -1098,6 +1133,16 @@ class ProcessPlanExecutor(ExecutorBase):
             self.registry.counter(
                 "service_lower_total", {"outcome": str(outcome)}
             ).inc()
+        converter = lower.get("converter")
+        if converter:
+            self.registry.counter(
+                "service_lower_converter_total",
+                {"converter": str(converter)},
+            ).inc()
+        if int(lower.get("converter_fallback", 0)):
+            self.registry.counter(
+                "service_lower_converter_fallback_total"
+            ).inc(int(lower["converter_fallback"]))
         compiled = int(lower.get("compiled", 0))
         if compiled:
             self.registry.counter(
@@ -1152,11 +1197,20 @@ def _make_process_executor(
     config, shared, fault_hook
 ) -> ProcessPlanExecutor:
     """``worker_mode="process"``: the crash-isolated sharded pool."""
+    from ..lower.executor import lowering_config_from_service
+
+    lower_cfg = lowering_config_from_service(config)
     return ProcessPlanExecutor(
         breaker_threshold=config.breaker_threshold,
         breaker_cooldown_s=config.breaker_cooldown_s,
         hang_timeout_s=config.hang_timeout_s,
         chaos=config.chaos,
         backend=getattr(config, "backend", "interpreted"),
+        lower_config={
+            "converter": lower_cfg.converter,
+            "gather_limit": lower_cfg.gather_limit,
+            "gather_hard_limit": lower_cfg.gather_hard_limit,
+            "artifact_dir": lower_cfg.artifact_dir,
+        },
         **shared,
     )

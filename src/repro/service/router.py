@@ -113,6 +113,7 @@ class NodeConfig:
     max_batch: int = 16
     worker_mode: str = "thread"
     backend: str = "interpreted"  # execution backend on every node
+    converter: str = "numpy"  # kernel converter under "compiled"
     validate_every: int = 0
     cache_dir: Optional[str] = None  # share across nodes for failover
     hang_timeout_s: float = 60.0
@@ -147,6 +148,8 @@ class NodeConfig:
         ]
         if self.backend != "interpreted":
             out += ["--backend", self.backend]
+        if self.converter != "numpy":
+            out += ["--converter", self.converter]
         if self.cache_dir:
             out += ["--cache-dir", self.cache_dir]
         if self.transport == "tcp":

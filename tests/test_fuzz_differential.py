@@ -190,3 +190,182 @@ def test_fuzz_corpus_is_stable():
     again = _random_spec(rng, 0)
     assert first.grid == again.grid
     assert first.window.offsets == again.window.offsets
+
+
+# ----------------------------------------------------------------------
+# Compiled vs interpreted vs golden on the newly-lowered shapes
+# (skewed polyhedral domains, multi-stream partitions) plus random
+# multi-array kernels against their golden reference.
+# ----------------------------------------------------------------------
+
+SKEWED_CASES = 8
+STREAM_CASES = 8
+MULTI_CASES = 6
+
+
+def _compiled_digest(spec, seed, streams=1, gather_limit=None):
+    """SHA-256 of the lowered kernel's output row (the service's
+    compiled path in miniature: plan -> bufferize -> convert -> run)."""
+    import hashlib
+
+    import numpy as _np
+
+    from repro.lower import bufferize_plan, convert
+    from repro.service.executor import compile_plan
+    from repro.service.fingerprint import CompileOptions, fingerprint
+    from repro.stencil import make_input
+
+    opts = CompileOptions(offchip_streams=streams)
+    plan = compile_plan(spec, opts, fingerprint(spec, opts))
+    program = bufferize_plan(plan)
+    kwargs = {} if gather_limit is None else {
+        "gather_limit": gather_limit
+    }
+    kernel = convert(program, **kwargs)
+    row = _np.ascontiguousarray(
+        kernel.run(make_input(spec, seed=seed)), dtype=_np.float64
+    )
+    return hashlib.sha256(row.tobytes()).hexdigest()
+
+
+def _interpreted_digest(spec, seed):
+    from repro.service.executor import execute_stencil
+
+    _, _, digest = execute_stencil(spec, seed)
+    return digest
+
+
+def _random_skewed_spec(rng, index):
+    """A random kernel over a Fig 9-style parallelogram domain
+    ``{1 <= i <= rows, i + 1 <= j <= i + cols}`` — reuse distances
+    change dynamically, so lowering takes the gather path."""
+    from repro.polyhedral.domain import IntegerPolyhedron
+
+    n_points = rng.randint(2, 5)
+    offsets = {(0, 0)}
+    while len(offsets) < n_points:
+        offsets.add((rng.randint(-1, 1), rng.randint(-1, 1)))
+    window = StencilWindow.from_offsets(sorted(offsets))
+    weights = [
+        (o, round(rng.uniform(-2.0, 2.0), 3)) for o in window.offsets
+    ]
+    rows = rng.randint(4, 9)
+    cols = rng.randint(4, 9)
+    domain = IntegerPolyhedron(
+        coefficients=[(1, 0), (-1, 0), (1, -1), (-1, 1)],
+        bounds=[rows, -1, -1, cols],
+    )
+    return StencilSpec(
+        name=f"FUZZ_SKEW_{index}",
+        grid=(rows + 2, rows + cols + 2),
+        window=window,
+        expression=weighted_sum(weights, "A"),
+        iteration_domain=domain,
+    )
+
+
+def _skewed_cases():
+    rng = random.Random(FUZZ_SEED + 1)
+    return [
+        (k, _random_skewed_spec(rng, k)) for k in range(SKEWED_CASES)
+    ]
+
+
+_SKEWED = _skewed_cases()
+
+
+@pytest.mark.parametrize(
+    "index,spec",
+    _SKEWED,
+    ids=[f"skew{k}" for k, _ in _SKEWED],
+)
+def test_random_skewed_spec_compiled_matches_interpreted(index, spec):
+    """Three-way differential on random skewed domains: the compiled
+    kernel (eager AND chunked gather) must emit byte-for-byte what the
+    interpreted path emits, which in turn is the golden sequence."""
+    golden = _interpreted_digest(spec, seed=index)
+    assert _compiled_digest(spec, seed=index) == golden, (
+        f"skewed case {index}: eager compiled digest diverges"
+    )
+    assert _compiled_digest(spec, seed=index, gather_limit=2) == (
+        golden
+    ), f"skewed case {index}: chunked compiled digest diverges"
+
+
+_STREAMABLE = [
+    (k, spec)
+    for k, spec, _ in _CASES
+    if spec.window.n_points >= 3
+][:STREAM_CASES]
+
+
+@pytest.mark.parametrize(
+    "index,spec",
+    _STREAMABLE,
+    ids=[f"case{k}-streams" for k, _ in _STREAMABLE],
+)
+def test_random_spec_multi_stream_compiled_matches_interpreted(
+    index, spec
+):
+    """Multi-stream plans (per-stream sub-programs) over the random
+    corpus: the stream split must never change a single output bit."""
+    golden = _interpreted_digest(spec, seed=index)
+    for streams in (2, min(3, spec.window.n_points)):
+        assert _compiled_digest(spec, seed=index, streams=streams) == (
+            golden
+        ), (
+            f"case {index}: {streams}-stream compiled digest "
+            "diverges from interpreted/golden"
+        )
+
+
+def _random_multi_spec(rng, index):
+    """A random two-array kernel (one memory system per array)."""
+    from repro.stencil.expr import Ref
+    from repro.stencil.multi import MultiArraySpec
+
+    expr = None
+    for array in ("A", "B"):
+        n_points = rng.randint(1, 3)
+        offsets = set()
+        while len(offsets) < n_points:
+            offsets.add((rng.randint(-1, 1), rng.randint(-1, 1)))
+        for offset in sorted(offsets):
+            term = round(rng.uniform(-2.0, 2.0), 3) * Ref(
+                offset, array
+            )
+            expr = term if expr is None else expr + term
+    grid = (rng.randint(6, 10), rng.randint(6, 10))
+    return MultiArraySpec(f"FUZZ_MULTI_{index}", grid, expr)
+
+
+def _multi_cases():
+    rng = random.Random(FUZZ_SEED + 2)
+    return [
+        (k, _random_multi_spec(rng, k)) for k in range(MULTI_CASES)
+    ]
+
+
+_MULTI = _multi_cases()
+
+
+@pytest.mark.parametrize(
+    "index,spec",
+    _MULTI,
+    ids=[f"multi{k}" for k, _ in _MULTI],
+)
+def test_random_multi_array_spec_matches_golden(index, spec):
+    """Random multi-array kernels: one simulated memory system per
+    array, outputs matching the golden sequence in lex order."""
+    from repro.sim.multi import MultiArraySimulator
+    from repro.stencil.multi import golden_multi_sequence, make_inputs
+
+    grids = make_inputs(spec, seed=index)
+    result = MultiArraySimulator(spec, grids).run()
+    golden = golden_multi_sequence(spec, grids)
+    assert len(result.outputs) == len(golden), (
+        f"multi case {index}: output count mismatch"
+    )
+    assert np.allclose(result.output_values(), golden), (
+        f"multi case {index}: simulated values diverge from golden"
+    )

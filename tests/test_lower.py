@@ -8,6 +8,7 @@ path instead of answering wrong.
 """
 
 import hashlib
+import json
 
 import numpy as np
 import pytest
@@ -15,6 +16,7 @@ import pytest
 from repro.lower import (
     BUFFER_PROGRAM_VERSION,
     CompiledEngine,
+    LoweringConfig,
     LoweringError,
     LoweringUnsupported,
     ProgramMismatchError,
@@ -84,18 +86,51 @@ class TestBufferize:
             bufferize(denoise_small, fp, fifo_capacities=wrong)
         assert excinfo.value.reason == "partition_mismatch"
 
-    def test_multi_stream_is_unsupported(self, denoise_small):
-        plan, _, _ = plan_for(denoise_small, streams=2)
+    @pytest.mark.parametrize("streams", [2, 3])
+    def test_multi_stream_lowers_to_parts(
+        self, denoise_small, streams
+    ):
+        """A multi-stream plan lowers to one sub-program per partition
+        stream; concatenating the per-part reuse deltas reproduces the
+        plan's (post-break) FIFO capacities exactly."""
+        plan, _, _ = plan_for(denoise_small, streams=streams)
+        program = bufferize_plan(plan)
+        assert len(program.parts) == streams
+        assert [p.stream for p in program.parts] == list(
+            range(streams)
+        )
+        concat = [
+            d for p in program.parts for d in p.reuse_offsets
+        ]
+        assert concat == list(plan.fifo_capacities)
+        covered = sorted(
+            s for p in program.parts for s in p.reads
+        )
+        assert covered == sorted(set(covered))  # disjoint slots
+        validate_program(program)
+
+    def test_too_many_streams_is_unsupported(self, denoise_small):
+        fp = fingerprint(denoise_small, CompileOptions())
         with pytest.raises(LoweringUnsupported) as excinfo:
-            bufferize_plan(plan)
+            bufferize(denoise_small, fp, offchip_streams=99)
         assert excinfo.value.reason == "multi_stream"
 
-    def test_gather_limit_is_unsupported(self):
+    def test_gather_hard_limit_is_unsupported(self):
         spec = skewed_denoise(rows=8, cols=10)
         fp = fingerprint(spec, CompileOptions())
         with pytest.raises(LoweringUnsupported) as excinfo:
-            bufferize(spec, fp, gather_limit=4)
+            bufferize(spec, fp, gather_hard_limit=4)
         assert excinfo.value.reason == "gather_limit"
+
+    def test_gather_limit_never_changes_the_program(self):
+        """Chunking is a converter decision: the emitted program (and
+        therefore the persisted sidecar) is identical whether the
+        gather domain is enumerated eagerly or chunked."""
+        spec = skewed_denoise(rows=8, cols=10)
+        fp = fingerprint(spec, CompileOptions())
+        eager = program_to_json(bufferize(spec, fp))
+        chunked = program_to_json(bufferize(spec, fp, gather_limit=4))
+        assert eager == chunked
 
     def test_out_of_bounds_reads_are_unsupported(self):
         """A domain whose window reaches past the grid edge must not
@@ -122,6 +157,45 @@ class TestProgramCodec:
         assert data["version"] == BUFFER_PROGRAM_VERSION
         again = program_from_json(data)
         assert program_to_json(again) == data
+
+    def test_single_stream_json_has_no_parts_key(self, denoise_small):
+        """Single-stream sidecars keep their pre-parts canonical JSON
+        so programs persisted before this field existed still match
+        byte-for-byte on re-lowering."""
+        plan, _, _ = plan_for(denoise_small)
+        data = program_to_json(bufferize_plan(plan))
+        assert "parts" not in data
+
+    def test_parts_round_trip(self, denoise_small):
+        plan, _, _ = plan_for(denoise_small, streams=2)
+        program = bufferize_plan(plan)
+        data = program_to_json(program)
+        assert len(data["parts"]) == 2
+        again = program_from_json(data)
+        assert again.parts == program.parts
+        assert program_to_json(again) == data
+
+    def test_validation_rejects_corrupt_parts(self, denoise_small):
+        plan, _, _ = plan_for(denoise_small, streams=2)
+        base = program_to_json(bufferize_plan(plan))
+
+        def mutate(fn):
+            data = json.loads(json.dumps(base))
+            fn(data)
+            return data
+
+        bad_order = mutate(
+            lambda d: d["parts"].reverse()
+        )
+        bad_slot = mutate(
+            lambda d: d["parts"][0]["reads"].__setitem__(0, 99)
+        )
+        bad_reuse = mutate(
+            lambda d: d["parts"][-1].update(reuse_offsets=[1, 2, 3])
+        )
+        for data in (bad_order, bad_slot, bad_reuse):
+            with pytest.raises(LoweringError):
+                validate_program(program_from_json(data))
 
     def test_validation_rejects_corrupt_programs(self, denoise_small):
         plan, _, _ = plan_for(denoise_small)
@@ -171,6 +245,39 @@ class TestBitIdentity:
         _, _, golden_digest = execute_stencil(spec, 3)
         assert digest == golden_digest
 
+    @pytest.mark.parametrize("streams", [2, 3])
+    def test_multi_stream_kernel_matches_golden(
+        self, denoise_small, streams
+    ):
+        plan, _, _ = plan_for(denoise_small, streams=streams)
+        kernel = convert(bufferize_plan(plan))
+        for seed in (2014, 7):
+            row = kernel.run(make_input(denoise_small, seed=seed))
+            digest = hashlib.sha256(
+                np.ascontiguousarray(row, dtype=np.float64).tobytes()
+            ).hexdigest()
+            _, _, golden_digest = execute_stencil(denoise_small, seed)
+            assert digest == golden_digest
+
+    def test_chunked_gather_matches_eager(self):
+        """Forcing the chunked regime (tiny gather_limit) replays the
+        gather table chunk by chunk and still reproduces the eager
+        kernel bit for bit."""
+        spec = skewed_denoise(rows=8, cols=10)
+        plan, _, _ = plan_for(spec)
+        program = bufferize_plan(plan)
+        eager = convert(program)
+        chunked = convert(program, gather_limit=4)
+        grid = make_input(spec, seed=3)
+        assert np.array_equal(chunked.run(grid), eager.run(grid))
+        digest = hashlib.sha256(
+            np.ascontiguousarray(
+                chunked.run(grid), dtype=np.float64
+            ).tobytes()
+        ).hexdigest()
+        _, _, golden_digest = execute_stencil(spec, 3)
+        assert digest == golden_digest
+
     def test_batch_rows_match_single_runs(self, denoise_small):
         plan, _, _ = plan_for(denoise_small)
         kernel = convert(bufferize_plan(plan))
@@ -192,12 +299,40 @@ class TestEngine:
         assert not second.built
         assert second.kernel is first.kernel
 
-    def test_unsupported_verdict_is_cached(self, denoise_small):
-        plan, _, _ = plan_for(denoise_small, streams=2)
-        engine = CompiledEngine()
+    def test_unsupported_verdict_is_cached(self):
+        spec = skewed_denoise(rows=8, cols=10)
+        plan, _, _ = plan_for(spec)
+        tight = LoweringConfig(gather_limit=2, gather_hard_limit=4)
+        engine = CompiledEngine(config=tight)
         for _ in range(2):
             with pytest.raises(LoweringUnsupported):
                 engine.kernel_for(plan)
+
+    def test_unsupported_memo_is_keyed_on_config(self):
+        """Regression: the engine once memoized LoweringUnsupported by
+        fingerprint alone, so a refusal under one lowering config
+        (tiny gather hard limit) poisoned every other config of the
+        same plan for the life of the engine."""
+        spec = skewed_denoise(rows=8, cols=10)
+        plan, _, _ = plan_for(spec)
+        engine = CompiledEngine()
+        tight = LoweringConfig(gather_limit=2, gather_hard_limit=4)
+        with pytest.raises(LoweringUnsupported):
+            engine.kernel_for(plan, config=tight)
+        # The default config must still lower this plan.
+        result = engine.kernel_for(plan)
+        assert result.built
+        # ... and the tight config's verdict survives alongside it.
+        with pytest.raises(LoweringUnsupported):
+            engine.kernel_for(plan, config=tight)
+
+    def test_multi_stream_kernel_is_memoized(self, denoise_small):
+        plan, _, _ = plan_for(denoise_small, streams=2)
+        engine = CompiledEngine()
+        first = engine.kernel_for(plan)
+        assert first.built
+        second = engine.kernel_for(plan)
+        assert second.kernel is first.kernel
 
     def test_matching_sidecar_is_not_repersisted(self, denoise_small):
         plan, _, _ = plan_for(denoise_small)

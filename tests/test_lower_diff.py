@@ -22,7 +22,9 @@ from repro.lower import (
     LoweringUnsupported,
     bufferize_plan,
     convert,
+    get_converter,
 )
+from repro.lower.convert_c import c_toolchain
 from repro.microarch.memory_system import build_memory_system
 from repro.service.executor import compile_plan
 from repro.service.fingerprint import CompileOptions, fingerprint
@@ -60,10 +62,20 @@ def random_spec(rng: random.Random, ndim: int) -> StencilSpec:
     return StencilSpec(f"RAND{ndim}D", grid, window)
 
 
-def compiled_outputs(spec: StencilSpec, grid: np.ndarray) -> np.ndarray:
-    opts = CompileOptions()
+def compiled_outputs(
+    spec: StencilSpec,
+    grid: np.ndarray,
+    streams: int = 1,
+    gather_limit=None,
+    converter: str = "numpy",
+) -> np.ndarray:
+    opts = CompileOptions(offchip_streams=streams)
     plan = compile_plan(spec, opts, fingerprint(spec, opts))
-    kernel = convert(bufferize_plan(plan))
+    program = bufferize_plan(plan)
+    kwargs = {} if gather_limit is None else {
+        "gather_limit": gather_limit
+    }
+    kernel = get_converter(converter)(program, **kwargs)
     return np.ascontiguousarray(kernel.run(grid), dtype=np.float64)
 
 
@@ -124,6 +136,75 @@ class TestSkewedDomains:
         spec = skewed_denoise(rows=rows, cols=cols)
         grid = make_input(spec, seed=rows * cols)
         assert_three_way_exact(spec, grid)
+
+    @pytest.mark.parametrize("rows,cols", [(6, 8), (9, 7)])
+    def test_chunked_gather_matches_eager_and_golden(self, rows, cols):
+        """Forcing chunked gather replay (tiny limit) must not change
+        a single output bit relative to the eager table or golden."""
+        spec = skewed_denoise(rows=rows, cols=cols)
+        grid = make_input(spec, seed=rows + cols)
+        golden = np.asarray(
+            golden_output_sequence(spec, grid), dtype=np.float64
+        )
+        chunked = compiled_outputs(spec, grid, gather_limit=2)
+        assert np.array_equal(chunked, golden)
+        assert np.array_equal(chunked, compiled_outputs(spec, grid))
+
+
+class TestMultiStream:
+    @pytest.mark.parametrize("case", range(4))
+    @pytest.mark.parametrize("streams", [2, 3])
+    def test_multi_stream_three_way_exact(self, case, streams):
+        """The per-stream sub-programs reproduce golden bit-for-bit
+        over the random corpus (2D only: enough window points)."""
+        rng = random.Random(CAMPAIGN_SEED + case)
+        spec = random_spec(rng, ndim=2)
+        if spec.window.n_points <= streams:
+            pytest.skip("window too small for this stream count")
+        grid = np.random.default_rng(case).uniform(
+            -9, 9, size=spec.grid
+        )
+        golden = np.asarray(
+            golden_output_sequence(spec, grid), dtype=np.float64
+        )
+        compiled = compiled_outputs(spec, grid, streams=streams)
+        assert np.array_equal(compiled, golden), spec.name
+
+
+@pytest.mark.skipif(
+    c_toolchain() is None, reason="no C toolchain on this machine"
+)
+class TestCConverterDiff:
+    @pytest.mark.parametrize("case", range(4))
+    def test_c_three_way_exact(self, case):
+        rng = random.Random(CAMPAIGN_SEED + case)
+        spec = random_spec(rng, ndim=rng.choice((1, 2, 2, 3)))
+        grid = np.random.default_rng(case).uniform(
+            -9, 9, size=spec.grid
+        )
+        golden = np.asarray(
+            golden_output_sequence(spec, grid), dtype=np.float64
+        )
+        assert np.array_equal(
+            compiled_outputs(spec, grid, converter="c"), golden
+        )
+
+    def test_c_skewed_gather_exact(self):
+        spec = skewed_denoise(rows=7, cols=9)
+        grid = make_input(spec, seed=63)
+        golden = np.asarray(
+            golden_output_sequence(spec, grid), dtype=np.float64
+        )
+        for gather_limit in (None, 2):
+            assert np.array_equal(
+                compiled_outputs(
+                    spec,
+                    grid,
+                    converter="c",
+                    gather_limit=gather_limit,
+                ),
+                golden,
+            )
 
 
 class TestCampaignCoversFallbacks:

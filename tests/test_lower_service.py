@@ -21,7 +21,7 @@ from repro.service import ServiceConfig, StencilService
 from repro.service.chaos import ChaosConfig, ChaosInjector, PlanFuzzer
 from repro.service.executor import compile_plan, execute_stencil
 from repro.service.fingerprint import CompileOptions, fingerprint
-from repro.stencil import DENOISE
+from repro.stencil import DENOISE, SOBEL
 
 from conftest import small_spec
 
@@ -70,7 +70,11 @@ class TestThreadCompiledBackend:
             counter(snap, 'service_lower_total{outcome="lowered"}') == 1
         )
 
-    def test_multi_stream_falls_back_interpreted(self, registry):
+    def test_multi_stream_compiles_bit_identical(self, registry):
+        """Multi-stream plans no longer fall back: the per-stream
+        sub-programs execute compiled and reproduce the interpreted
+        checksum exactly."""
+        spec = SOBEL.with_grid((10, 12))
         svc = StencilService(
             ServiceConfig(backend="compiled"), registry=registry
         )
@@ -84,18 +88,19 @@ class TestThreadCompiledBackend:
                 }
             )
         assert reply["status"] == "ok"
+        assert reply["checksum"] == golden_checksum(spec, 1)
         snap = registry.snapshot()
         assert (
             counter(
                 snap,
                 'service_lower_fallback_total{reason="multi_stream"}',
             )
-            >= 1
+            == 0
         )
         assert (
             counter(
                 snap,
-                'service_lower_requests_total{path="fallback"}',
+                'service_lower_requests_total{path="compiled"}',
             )
             >= 1
         )
@@ -144,7 +149,8 @@ class TestProcessCompiledBackend:
             == 3
         )
 
-    def test_multi_stream_falls_back(self, registry):
+    def test_multi_stream_compiles_in_workers(self, registry):
+        spec = SOBEL.with_grid((10, 12))
         svc = StencilService(
             ServiceConfig(
                 backend="compiled", worker_mode="process", workers=1
@@ -157,15 +163,24 @@ class TestProcessCompiledBackend:
                     "benchmark": "SOBEL",
                     "grid": [10, 12],
                     "streams": 2,
+                    "seed": 0,
                 },
                 wait_timeout=60.0,
             )
         assert reply["status"] == "ok"
+        assert reply["checksum"] == golden_checksum(spec, 0)
         snap = registry.snapshot()
         assert (
             counter(
                 snap,
                 'service_lower_fallback_total{reason="multi_stream"}',
+            )
+            == 0
+        )
+        assert (
+            counter(
+                snap,
+                'service_lower_requests_total{path="compiled"}',
             )
             >= 1
         )
@@ -453,12 +468,25 @@ class TestBackendCli:
         assert argv[argv.index("--backend") + 1] == "compiled"
         assert "--backend" not in NodeConfig().argv()
 
+    def test_node_config_forwards_converter(self):
+        from repro.service.router import NodeConfig
+
+        argv = NodeConfig(backend="compiled", converter="c").argv()
+        assert argv[argv.index("--converter") + 1] == "c"
+        assert "--converter" not in NodeConfig().argv()
+
 
 class TestLoweringReport:
     def snapshot(self):
+        from repro.stencil import skewed_denoise
+
         registry = MetricsRegistry()
+        # A tiny hard limit turns the (small) skewed spec into a
+        # lowering refusal served interpreted — the report must show
+        # both sides of the split.
         svc = StencilService(
-            ServiceConfig(backend="compiled"), registry=registry
+            ServiceConfig(backend="compiled", gather_hard_limit=4),
+            registry=registry,
         )
         with svc:
             for seed in range(3):
@@ -470,7 +498,7 @@ class TestLoweringReport:
                     }
                 )
             svc.handle(
-                {"benchmark": "SOBEL", "grid": [10, 12], "streams": 2}
+                {"spec": skewed_denoise(8, 10).to_json(), "seed": 0}
             )
         return registry.snapshot()
 
@@ -478,15 +506,17 @@ class TestLoweringReport:
         text = format_service_metrics(self.snapshot())
         assert "lowering (compiled backend)" in text
         assert "requests_compiled: 3" in text
-        assert "fallback_multi_stream: 1" in text
+        assert "fallback_gather_limit: 1" in text
         assert "compiled_share: 0.75" in text
+        assert "converter_numpy: 1" in text
 
     def test_fabric_summary_surfaces_backend_split(self):
         snap = self.snapshot()
         text = format_fabric_summary([("node-0", snap)])
         assert "compiled backend (merged)" in text
         assert "compiled=3" in text
-        assert "fallbacks: multi_stream=1" in text
+        assert "converters: numpy=1" in text
+        assert "fallbacks: gather_limit=1" in text
         # Lowering stage timings ride the existing stage table.
         assert "node.lower_execute" in text
 
