@@ -64,6 +64,15 @@ CONVERTER_SPECS = {
 }
 CONVERTER_REQUESTS = 240
 
+#: proto:2 workload contract: a warm t-step iterate workload (one
+#: round trip, intermediates server-side) vs the same chain driven by
+#: the client as t sequential per-step requests.
+ITERATE_STEPS = 8
+ITERATE_GRID = (24, 28)
+ITERATE_ROUNDS = 24
+MIN_ITERATE_SPEEDUP = 3.0
+WORKLOAD_MIX_REQUESTS = 48
+
 
 def _warm_backend_requests(n):
     name, grid = WARM_BACKEND_SPEC
@@ -385,6 +394,212 @@ def _compiled_coverage_pass():
     return record
 
 
+def _iterate_vs_roundtrips_pass():
+    """The iterate-workload ratchet: one warm iterate(t) request must
+    finish the t-step chain >= MIN_ITERATE_SPEEDUP x faster than the
+    client driving the same chain as t sequential per-step requests.
+
+    Both paths hit the same warm plan cache and the same compiled
+    kernels; the iterate request wins by paying one round trip
+    (admission queue, batching, slot wakeup) instead of t, and by
+    keeping the intermediates server-side.  One worker keeps the
+    measurement clean; the baseline is inherently sequential because
+    step k+1's input is step k's output.
+    """
+    from repro.integration.chaining import intermediate_grid_shape
+    from repro.stencil.kernels import DENOISE
+
+    config = ServiceConfig(
+        workers=1, max_queue=64, max_batch=16, backend="compiled"
+    )
+    iterate_wire = {
+        "proto": 2,
+        "workload": {
+            "kind": "iterate",
+            "benchmark": "DENOISE",
+            "steps": ITERATE_STEPS,
+        },
+        "grid": list(ITERATE_GRID),
+        "timeout_s": 300.0,
+    }
+    spec = DENOISE.with_grid(ITERATE_GRID)
+    step_specs = []
+    for _ in range(ITERATE_STEPS):
+        step_specs.append(spec.to_json())
+        spec = spec.with_grid(intermediate_grid_shape(spec))
+
+    with StencilService(config, registry=MetricsRegistry()) as svc:
+        # Warm-up: compile + lower every per-step fingerprint once.
+        warm = svc.handle(dict(iterate_wire), wait_timeout=300.0)
+        assert warm["status"] == "ok"
+        stage_checksums = [s["checksum"] for s in warm["stages"]]
+        for spec_json in step_specs:
+            reply = svc.handle(
+                {"proto": 1, "spec": spec_json, "timeout_s": 300.0},
+                wait_timeout=300.0,
+            )
+            assert reply["status"] == "ok"
+        # The baseline's step-0 request answers the iterate workload's
+        # stage-0 digest — same kernel, same seeded input.
+        first = svc.handle(
+            {"proto": 1, "spec": step_specs[0], "timeout_s": 300.0},
+            wait_timeout=300.0,
+        )
+        assert first["checksum"] == stage_checksums[0]
+
+        gc.collect()
+        started = time.perf_counter()
+        for k in range(ITERATE_ROUNDS):
+            req = dict(iterate_wire)
+            req["seed"] = k % 5
+            reply = svc.submit(req).result(300.0)
+            assert reply["status"] == "ok"
+        iterate_wall = time.perf_counter() - started
+
+        gc.collect()
+        started = time.perf_counter()
+        for k in range(ITERATE_ROUNDS):
+            for spec_json in step_specs:
+                reply = svc.submit({
+                    "proto": 1,
+                    "spec": spec_json,
+                    "seed": k % 5,
+                    "timeout_s": 300.0,
+                }).result(300.0)
+                assert reply["status"] == "ok"
+        baseline_wall = time.perf_counter() - started
+
+    speedup = round(baseline_wall / iterate_wall, 3)
+    record = {
+        "steps": ITERATE_STEPS,
+        "grid": list(ITERATE_GRID),
+        "chains": ITERATE_ROUNDS,
+        "iterate_wall_s": round(iterate_wall, 6),
+        "iterate_chains_per_s": round(ITERATE_ROUNDS / iterate_wall, 2),
+        "roundtrip_wall_s": round(baseline_wall, 6),
+        "roundtrip_chains_per_s": round(
+            ITERATE_ROUNDS / baseline_wall, 2
+        ),
+        "speedup": speedup,
+    }
+    assert speedup >= MIN_ITERATE_SPEEDUP, (
+        f"warm iterate workload only {speedup}x over client round "
+        f"trips (contract {MIN_ITERATE_SPEEDUP}x): {record}"
+    )
+    return record
+
+
+def _workload_mix_pass():
+    """Mixed proto:2 traffic on the compiled backend: iterate chains,
+    two-kernel graphs and classic singles interleaved.  Every reply is
+    checked against a local golden replay of its planned stages, and
+    the compiled share must stay over the MIN_COMPILED_SHARE ratchet
+    (pipelines lower all-or-nothing, so one refusing stage would show
+    up here immediately)."""
+    from repro.service.executor import execute_pipeline
+    from repro.service.workload import Workload, plan_workload
+
+    registry = MetricsRegistry()
+    config = ServiceConfig(
+        workers=4, max_queue=64, max_batch=16, backend="compiled"
+    )
+    shapes = [
+        (
+            {
+                "kind": "iterate",
+                "benchmark": "DENOISE",
+                "steps": 4,
+            },
+            (20, 24),
+        ),
+        (
+            {
+                "kind": "graph",
+                "nodes": [
+                    {"id": "den", "benchmark": "DENOISE"},
+                    {"id": "ric", "benchmark": "RICIAN"},
+                ],
+                "edges": [["den", "ric"]],
+            },
+            (20, 24),
+        ),
+        ({"kind": "single", "benchmark": "SOBEL"}, (20, 24)),
+    ]
+    requests = []
+    for k in range(WORKLOAD_MIX_REQUESTS):
+        workload, grid = shapes[k % len(shapes)]
+        requests.append({
+            "id": f"wl-{k}",
+            "proto": 2,
+            "workload": workload,
+            "grid": list(grid),
+            "seed": k % 5,
+            "timeout_s": 300.0,
+        })
+
+    expected = {}
+
+    def expected_checksum(req):
+        key = (req["seed"], json.dumps(req["workload"], sort_keys=True))
+        if key not in expected:
+            plan = plan_workload(
+                Workload.from_json(req["workload"]),
+                grid=tuple(req["grid"]),
+            )
+            _, results = execute_pipeline(plan.stages, req["seed"])
+            expected[key] = results[-1][1][:16]
+        return expected[key]
+
+    started = time.perf_counter()
+    with StencilService(config, registry=registry) as svc:
+        slots = [svc.submit(req) for req in requests]
+        replies = [slot.result(300.0) for slot in slots]
+    wall_s = time.perf_counter() - started
+    assert all(r["status"] == "ok" for r in replies)
+    for req, reply in zip(requests, replies):
+        assert reply["checksum"] == expected_checksum(req), (
+            req["id"],
+            dict(reply),
+        )
+
+    counters = registry.snapshot()["counters"]
+    compiled = int(
+        counters.get(
+            'service_lower_requests_total{path="compiled"}', 0
+        )
+    )
+    fallback = int(
+        counters.get(
+            'service_lower_requests_total{path="fallback"}', 0
+        )
+    )
+    share = (
+        compiled / (compiled + fallback) if compiled + fallback else None
+    )
+    kinds = {
+        key.split('kind="')[1].rstrip('"}'): int(value)
+        for key, value in counters.items()
+        if key.startswith("service_workload_requests_total{")
+    }
+    record = {
+        "requests": WORKLOAD_MIX_REQUESTS,
+        "wall_s": round(wall_s, 6),
+        "requests_per_s": round(WORKLOAD_MIX_REQUESTS / wall_s, 2),
+        "kinds": kinds,
+        "stages": int(
+            counters.get("service_workload_stages_total", 0)
+        ),
+        "compiled_requests": compiled,
+        "fallback_requests": fallback,
+        "compiled_share": round(share, 4) if share is not None else None,
+    }
+    assert share is not None and share >= MIN_COMPILED_SHARE, (
+        f"workload-mix compiled share {share} below the "
+        f"{MIN_COMPILED_SHARE} ratchet: {record}"
+    )
+    return record
+
+
 def _mixed_requests(n):
     names = sorted(SERVICE_GRIDS)
     return [
@@ -506,6 +721,8 @@ def bench_service_throughput():
     )
     converter_passes, converter_speedups = _converter_comparison()
     coverage = _compiled_coverage_pass()
+    iterate_record = _iterate_vs_roundtrips_pass()
+    workload_mix = _workload_mix_pass()
 
     registry = MetricsRegistry()
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
@@ -599,6 +816,10 @@ def bench_service_throughput():
         # Mixed multi-stream + gather-heavy workload: per-reason
         # fallback counts and the compiled-share ratchet.
         "compiled_coverage": coverage,
+        # proto:2 workloads: the warm iterate-vs-round-trips ratchet
+        # and the mixed single/iterate/graph compiled-share pass.
+        "iterate_workload": iterate_record,
+        "workload_mix": workload_mix,
     }
     assert record["cache"]["miss"] == len(SERVICE_GRIDS)
     assert record["disk_restart"]["promotions"] == len(SERVICE_GRIDS)

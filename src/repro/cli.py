@@ -302,6 +302,25 @@ def cmd_simulate(args) -> int:
     return 0 if matches else 1
 
 
+def _lowering_from_args(args):
+    """Parse ``--lowering`` (one consolidated JSON pass-through) into
+    a :class:`~repro.lower.engine.LoweringConfig`, or None when the
+    flag is absent (legacy ``--converter``/``--gather-limit`` knobs
+    then apply)."""
+    from .lower.engine import LoweringConfig
+
+    raw = getattr(args, "lowering", None)
+    if not raw:
+        return None
+    try:
+        data = json.loads(raw)
+    except ValueError as exc:
+        raise ValueError(f"--lowering is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ValueError("--lowering must be a JSON object")
+    return LoweringConfig.from_json(data)
+
+
 def _service_config(args):
     from .service import ChaosConfig, ServiceConfig
 
@@ -325,6 +344,7 @@ def _service_config(args):
         cache_dir=args.cache_dir,
         worker_mode=args.worker_mode,
         backend=getattr(args, "backend", "interpreted"),
+        lowering=_lowering_from_args(args),
         converter=getattr(args, "converter", "numpy"),
         gather_limit=getattr(args, "gather_limit", None),
         hang_timeout_s=args.hang_timeout,
@@ -379,6 +399,15 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     group.add_argument(
+        "--lowering", default=None, metavar="JSON",
+        help=(
+            "consolidated lowering config as a JSON object (keys: "
+            "converter, gather_limit, gather_hard_limit, artifact_dir); "
+            "overrides --converter/--gather-limit.  This is the single "
+            "pass-through the router uses to configure its nodes"
+        ),
+    )
+    group.add_argument(
         "--queue", type=int, default=256,
         help="bounded admission queue size (default 256)",
     )
@@ -425,6 +454,71 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _submit_requests(args) -> list:
+    """Build the wire dicts for ``repro submit``, validating workload
+    shapes client-side so a malformed workload (cyclic graph, steps < 1,
+    dangling edge, bad JSON) exits rc 2 with a one-line error before
+    any workers spin up.  WorkloadError subclasses ValueError, so it
+    rides the CLI's standard error contract."""
+    from .service.workload import Workload
+
+    workload = None
+    if getattr(args, "workload", None):
+        if args.benchmark:
+            raise ValueError(
+                "--workload replaces the benchmark arguments; "
+                "pass one or the other"
+            )
+        try:
+            data = json.loads(args.workload)
+        except ValueError as exc:
+            raise ValueError(f"--workload is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ValueError("--workload must be a JSON object")
+        workload = Workload.from_json(data)
+    elif not args.benchmark:
+        raise ValueError("pass at least one benchmark name or --workload")
+    else:
+        for name in args.benchmark:
+            get_benchmark(name)  # fail fast on typos, before any workers
+
+    requests = []
+
+    def finish(request: dict) -> None:
+        if args.grid:
+            request["grid"] = list(args.grid)
+        if args.streams != 1:
+            request["streams"] = args.streams
+        requests.append(request)
+
+    if workload is not None:
+        for k in range(args.count):
+            finish({
+                "proto": 2,
+                "workload": workload.to_json(),
+                "seed": args.seed + k,
+            })
+        return requests
+    steps = getattr(args, "steps", 1)
+    for name in args.benchmark:
+        for k in range(args.count):
+            if steps != 1:
+                # Validates steps >= 1 (WorkloadError -> rc 2).
+                iterate = Workload.iterate(benchmark=name, steps=steps)
+                finish({
+                    "proto": 2,
+                    "workload": iterate.to_json(),
+                    "seed": args.seed + k,
+                })
+            else:
+                finish({
+                    "proto": 1,
+                    "benchmark": name,
+                    "seed": args.seed + k,
+                })
+    return requests
+
+
 def cmd_submit(args) -> int:
     """One-shot client: spin a service, submit, print responses.
 
@@ -434,23 +528,12 @@ def cmd_submit(args) -> int:
     """
     from .service import StencilService
 
-    for name in args.benchmark:
-        get_benchmark(name)  # fail fast on typos, before any workers
+    wire_requests = _submit_requests(args)
     with _obs_session(args):
         service = StencilService(_service_config(args)).start()
         slots = []
-        for name in args.benchmark:
-            for k in range(args.count):
-                request = {
-                    "proto": 1,
-                    "benchmark": name,
-                    "seed": args.seed + k,
-                }
-                if args.grid:
-                    request["grid"] = list(args.grid)
-                if args.streams != 1:
-                    request["streams"] = args.streams
-                slots.append((request, service.submit(request)))
+        for request in wire_requests:
+            slots.append((request, service.submit(request)))
         failures = 0
         for request, slot in slots:
             response = slot.result()
@@ -618,9 +701,15 @@ def cmd_route(args) -> int:
             f"converter must be one of 'numpy', 'c', "
             f"got {converter!r}"
         )
-    gather_limit = getattr(args, "gather_limit", None)
-    if gather_limit:
-        extra += ["--gather-limit", str(gather_limit)]
+    lowering = _lowering_from_args(args)
+    if lowering is None:
+        from .lower.engine import LoweringConfig
+
+        kwargs = {"converter": converter}
+        gather_limit = getattr(args, "gather_limit", None)
+        if gather_limit:
+            kwargs["gather_limit"] = int(gather_limit)
+        lowering = LoweringConfig(**kwargs)
     remotes = tuple(getattr(args, "connect", None) or ())
     transport = getattr(args, "transport", "pipe")
     if remotes:
@@ -631,7 +720,7 @@ def cmd_route(args) -> int:
         max_batch=args.max_batch,
         worker_mode=args.worker_mode,
         backend=backend,
-        converter=converter,
+        lowering=lowering,
         validate_every=args.validate_every,
         cache_dir=args.cache_dir,
         hang_timeout_s=args.hang_timeout,
@@ -946,12 +1035,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit benchmark requests to an in-process service",
     )
     p_submit.add_argument(
-        "benchmark", nargs="+",
-        help="one or more benchmark names (repeated --count times each)",
+        "benchmark", nargs="*",
+        help=(
+            "one or more benchmark names (repeated --count times "
+            "each); omit when submitting a raw --workload object"
+        ),
     )
     p_submit.add_argument(
         "--count", type=int, default=1,
         help="submissions per benchmark (distinct seeds)",
+    )
+    p_submit.add_argument(
+        "--steps", type=int, default=1, metavar="T",
+        help=(
+            "run each benchmark as a proto:2 iterate(T) workload — T "
+            "chained applications of the kernel with intermediates "
+            "kept server-side (default 1 = classic single request)"
+        ),
+    )
+    p_submit.add_argument(
+        "--workload", default=None, metavar="JSON",
+        help=(
+            "submit one proto:2 workload object (kind single/iterate/"
+            "graph), validated client-side; replaces the benchmark "
+            "arguments"
+        ),
     )
     p_submit.add_argument("--grid", type=_parse_grid, default=None)
     p_submit.add_argument("--streams", type=int, default=1)

@@ -90,6 +90,35 @@ class LoweringConfig:
             int(self.gather_hard_limit),
         )
 
+    def to_json(self) -> dict:
+        """Wire encoding — the one lowering pass-through dict shared
+        by pool job protocol and router node argv."""
+        out = {
+            "converter": self.converter,
+            "gather_limit": int(self.gather_limit),
+            "gather_hard_limit": int(self.gather_hard_limit),
+        }
+        if self.artifact_dir is not None:
+            out["artifact_dir"] = str(self.artifact_dir)
+        return out
+
+    @classmethod
+    def from_json(cls, data: Optional[dict]) -> "LoweringConfig":
+        """Parse the wire encoding; missing keys keep the defaults."""
+        data = data or {}
+        kwargs: Dict[str, object] = {}
+        if data.get("converter"):
+            kwargs["converter"] = str(data["converter"])
+        if data.get("gather_limit"):
+            kwargs["gather_limit"] = int(data["gather_limit"])
+        if data.get("gather_hard_limit"):
+            kwargs["gather_hard_limit"] = int(
+                data["gather_hard_limit"]
+            )
+        if data.get("artifact_dir"):
+            kwargs["artifact_dir"] = str(data["artifact_dir"])
+        return cls(**kwargs)
+
 
 @dataclass
 class LowerResult:

@@ -38,10 +38,13 @@ from ..obs.tracing import span, trace_context
 from ..service.executor import (
     PlanExecutor,
     PlanValidationError,
+    execute_pipeline,
     execute_stencil,
     make_response,
     observe_stage,
     register_executor,
+    stage_summaries,
+    validate_pipeline,
     validate_plan,
 )
 from ..service.plancache import CachedPlan
@@ -53,13 +56,19 @@ __all__ = ["CompiledPlanExecutor", "lowering_config_from_service"]
 
 
 def lowering_config_from_service(config) -> LoweringConfig:
-    """Build the engine's :class:`LoweringConfig` from a ServiceConfig.
+    """The engine's :class:`LoweringConfig` for a ServiceConfig.
 
-    Reads the optional knobs defensively so bare test doubles (and
-    older configs) keep working; the plan cache's directory doubles as
-    the C converter's artifact directory, putting ``<fp>.c.so`` next
-    to the plan and program sidecars it belongs to.
+    ``ServiceConfig`` carries a fully-resolved ``lowering`` config
+    (legacy converter/gather knobs are folded into it at validation
+    time), so the common path is a plain attribute read.  Bare test
+    doubles (and older configs) that only set the legacy fields are
+    still read defensively; the plan cache's directory doubles as the
+    C converter's artifact directory, putting ``<fp>.c.so`` next to
+    the plan and program sidecars it belongs to.
     """
+    lowering = getattr(config, "lowering", None)
+    if isinstance(lowering, LoweringConfig):
+        return lowering
     kwargs = {}
     converter = getattr(config, "converter", None)
     if converter:
@@ -205,6 +214,195 @@ class CompiledPlanExecutor(PlanExecutor):
         )
         for item, row in zip(runnable, rows):
             self._finish_item(item, plan, outcome, row)
+
+    # -- the batched pipeline hook -------------------------------------
+    def _execute_pipeline_group(
+        self,
+        live: List[WorkItem],
+        plans: List[CachedPlan],
+        outcome: str,
+    ) -> None:
+        """Run a multi-stage workload group through lowered kernels.
+
+        Every stage lowers independently; any refusal sends the whole
+        pipeline down the inherited interpreted chain (no mixed-mode
+        execution — the hand-off bytes must come from one path).  When
+        all stages lower, each stage executes as one batched
+        ``run_many`` over the group, and the Fig 13c reshape hand-off
+        happens in-process between stages.
+        """
+        from ..integration.chaining import intermediate_grid_shape
+
+        try:
+            kernels = [self._kernel(plan) for plan in plans]
+        except LoweringUnsupported as exc:
+            self._count_fallback(exc.reason, len(live))
+            super()._execute_pipeline_group(live, plans, outcome)
+            return
+        except PlanValidationError as exc:
+            for item in live:
+                self._fail_pipeline_validation(
+                    item, plans, outcome, str(exc)
+                )
+            return
+
+        runnable: List[WorkItem] = []
+        for item in live:
+            if item.expired():
+                self._resolve_timeout(item)
+                continue
+            item.attempts += 1
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(item)
+            except Exception as exc:
+                self._retry_or_fail(item, str(exc))
+                continue
+            runnable.append(item)
+        if not runnable:
+            return
+
+        exemplar = runnable[0]
+        stages = exemplar.stages
+        current = [
+            self.engine.input_grid(stages[0].spec, item.seed)
+            for item in runnable
+        ]
+        # per_item[i] collects (arr, digest) per stage for item i —
+        # the same shape execute_pipeline returns, so the summaries
+        # and canary helpers are shared with the interpreted path.
+        per_item: List[List] = [[] for _ in runnable]
+        execute_start_ns = time.perf_counter_ns()
+        try:
+            with trace_context(
+                exemplar.trace_id, exemplar.parent_span_id
+            ), span(
+                "lower.execute",
+                benchmark=exemplar.label or exemplar.spec.name,
+                batch=len(runnable),
+                stages=len(stages),
+            ):
+                for idx, (stage, kernel) in enumerate(
+                    zip(stages, kernels)
+                ):
+                    rows = kernel.run_many(current)
+                    arrs = [
+                        np.ascontiguousarray(row, dtype=np.float64)
+                        for row in rows
+                    ]
+                    for results, arr in zip(per_item, arrs):
+                        results.append(
+                            (arr, hashlib.sha256(arr.data).hexdigest())
+                        )
+                    if idx + 1 < len(stages):
+                        shape = intermediate_grid_shape(stage.spec)
+                        current = [arr.reshape(shape) for arr in arrs]
+        except Exception as exc:
+            self._count_fallback("kernel_error", len(runnable))
+            self.registry.counter(
+                "service_lower_kernel_errors_total"
+            ).inc()
+            for item in runnable:
+                item.attempts -= 1  # the interpreted path re-counts
+            super()._execute_pipeline_group(runnable, plans, outcome)
+            return
+        execute_ms = (
+            time.perf_counter_ns() - execute_start_ns
+        ) / 1e6
+        observe_stage(self.registry, "lower_execute", execute_ms)
+        observe_stage(self.registry, "execute", execute_ms)
+        for item, results in zip(runnable, per_item):
+            self._finish_pipeline_item(item, plans, outcome, results)
+
+    def _finish_pipeline_item(
+        self,
+        item: WorkItem,
+        plans: List[CachedPlan],
+        outcome: str,
+        results: List,
+    ) -> None:
+        try:
+            validated: Optional[bool] = None
+            if self._should_validate(item):
+                self.registry.counter("service_validation_total").inc()
+                canary_start_ns = time.perf_counter_ns()
+                with trace_context(item.trace_id, item.parent_span_id):
+                    # Bit-identity first: every stage's compiled digest
+                    # must match the interpreted chained replay, then
+                    # the usual per-stage cycle-sim plan validation.
+                    grid, golden = execute_pipeline(
+                        item.stages, item.seed
+                    )
+                    for stage, (_, got), (_, want) in zip(
+                        item.stages, results, golden
+                    ):
+                        if got != want:
+                            raise PlanValidationError(
+                                f"compiled stage {stage.index} "
+                                f"({stage.spec.name}) outputs diverge "
+                                "from the golden chained reference"
+                            )
+                    validate_pipeline(
+                        item.stages, plans, grid, golden
+                    )
+                observe_stage(
+                    self.registry,
+                    "canary",
+                    (time.perf_counter_ns() - canary_start_ns) / 1e6,
+                )
+                validated = True
+            final_arr, final_digest = results[-1]
+            self._resolve(
+                item,
+                make_response(
+                    item,
+                    "ok",
+                    cache=outcome,
+                    n_outputs=int(final_arr.size),
+                    mean=(
+                        float(np.mean(final_arr))
+                        if final_arr.size
+                        else 0.0
+                    ),
+                    checksum=final_digest[:16],
+                    validated=validated,
+                    summary=plans[-1].summary,
+                    stages=stage_summaries(item.stages, results),
+                ),
+            )
+            self.registry.counter(
+                "service_lower_requests_total", {"path": "compiled"}
+            ).inc()
+        except PlanValidationError as exc:
+            self._fail_pipeline_validation(
+                item, plans, outcome, str(exc)
+            )
+        except Exception as exc:
+            self._retry_or_fail(item, str(exc))
+
+    def _fail_pipeline_validation(
+        self,
+        item: WorkItem,
+        plans: List[CachedPlan],
+        outcome: str,
+        error: str,
+    ) -> None:
+        for plan in plans:
+            self.cache.invalidate(plan.fingerprint)
+            self.engine.forget(plan.fingerprint)
+        self.registry.counter(
+            "service_validation_failures_total"
+        ).inc()
+        self._resolve(
+            item,
+            make_response(
+                item,
+                "validation_failed",
+                cache=outcome,
+                validated=False,
+                error=error,
+            ),
+        )
 
     def _finish_item(
         self,

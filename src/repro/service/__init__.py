@@ -24,9 +24,14 @@ a long-running service around that observation:
   kills/hangs/slowdowns, cached-plan field fuzzing, disk-tier
   corruption) for the chaos campaign tests;
 * :mod:`repro.service.proto` — the versioned wire protocol: typed
-  ``Request`` / ``Response`` dataclasses (``proto: 1``) with a closed
-  status and error-kind taxonomy, plus the legacy bare-dict
-  compatibility shim;
+  ``Request`` / ``Response`` dataclasses (``proto: 2`` workload
+  envelope, ``proto: 1`` flat benchmark/spec) with a closed status
+  and error-kind taxonomy, plus the legacy bare-dict compatibility
+  shim;
+* :mod:`repro.service.workload` — typed ``single``/``iterate``/
+  ``graph`` workload descriptions with structural validation and
+  content-addressed fingerprints, and the planner that lowers them
+  onto the chaining/fusion machinery as per-stage compile plans;
 * :mod:`repro.service.api` — the :class:`StencilService` facade plus
   the JSON request/response surface behind ``repro serve`` /
   ``repro submit``;
@@ -85,6 +90,15 @@ from .scheduler import (
     Scheduler,
     WorkItem,
 )
+from .workload import (
+    KernelRef,
+    PlannedStage,
+    Workload,
+    WorkloadError,
+    WorkloadPlan,
+    plan_workload,
+    request_fingerprint,
+)
 from .transport import (
     BackoffPolicy,
     HandshakeError,
@@ -116,6 +130,7 @@ __all__ = [
     "HandshakeError",
     "Heartbeat",
     "Hello",
+    "KernelRef",
     "LeaseInfo",
     "NodeConfig",
     "NodeUnavailableError",
@@ -124,6 +139,7 @@ __all__ = [
     "PlanExecutor",
     "PlanFuzzer",
     "PlanValidationError",
+    "PlannedStage",
     "ProcessPlanExecutor",
     "ProtoError",
     "QueueClosedError",
@@ -141,6 +157,9 @@ __all__ = [
     "StencilService",
     "TransportError",
     "WorkItem",
+    "Workload",
+    "WorkloadError",
+    "WorkloadPlan",
     "cleanup_stale_artifacts",
     "compile_plan",
     "connect_with_backoff",
@@ -150,8 +169,10 @@ __all__ = [
     "make_executor",
     "make_response",
     "parse_address",
+    "plan_workload",
     "register_executor",
     "rendezvous_order",
+    "request_fingerprint",
     "shard_of",
     "validate_plan",
 ]

@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional
 
 from ..obs.metrics import MetricsRegistry, get_metrics
 from ..obs.tracing import span, trace_context
+from ..lower.engine import LoweringConfig
 from ..lower.executor import (  # noqa: F401 (registers backend)
     CompiledPlanExecutor,
 )
@@ -50,6 +51,7 @@ from .plancache import PlanCache
 from .proto import ProtoError, Request, Response, error_response
 from .pool import ProcessPlanExecutor  # noqa: F401 (registers backend)
 from .scheduler import QueueClosedError, ResultSlot, Scheduler, WorkItem
+from .workload import WorkloadError, WorkloadPlan, plan_workload
 
 __all__ = [
     "EXECUTION_BACKENDS",
@@ -94,6 +96,12 @@ class ServiceConfig:
     lease_ttl_s: float = 120.0
     worker_mode: str = "thread"  # "thread" | "process"
     backend: str = "interpreted"  # "interpreted" | "compiled"
+    #: The one carrier of every lowering knob (converter, gather
+    #: limits, artifact dir).  Normally derived in ``__post_init__``
+    #: from the legacy convenience fields below plus ``cache_dir``;
+    #: pass an explicit :class:`LoweringConfig` to set everything in
+    #: one place (the legacy fields are then overwritten to mirror it).
+    lowering: Optional[LoweringConfig] = None
     converter: str = "numpy"  # "numpy" | "c" (compiled backend only)
     #: Gather domains whose bounding box exceeds this many points are
     #: lowered chunked instead of eagerly tabulated.  ``None`` keeps
@@ -116,24 +124,83 @@ class ServiceConfig:
                 f"{', '.join(repr(n) for n in EXECUTION_BACKENDS)}, "
                 f"got {self.backend!r}"
             )
-        if self.converter not in LOWER_CONVERTERS:
-            raise ValueError(
-                f"converter must be one of "
-                f"{', '.join(repr(n) for n in LOWER_CONVERTERS)}, "
-                f"got {self.converter!r}"
+        if self.lowering is None:
+            # Derive the single carrier from the legacy convenience
+            # fields (validated first so the error messages stay
+            # field-specific).
+            if self.converter not in LOWER_CONVERTERS:
+                raise ValueError(
+                    f"converter must be one of "
+                    f"{', '.join(repr(n) for n in LOWER_CONVERTERS)}, "
+                    f"got {self.converter!r}"
+                )
+            if self.gather_limit is not None and self.gather_limit < 1:
+                raise ValueError(
+                    f"gather_limit must be positive, got "
+                    f"{self.gather_limit!r}"
+                )
+            if (
+                self.gather_hard_limit is not None
+                and self.gather_hard_limit < 1
+            ):
+                raise ValueError(
+                    f"gather_hard_limit must be positive, got "
+                    f"{self.gather_hard_limit!r}"
+                )
+            kwargs = {"converter": self.converter}
+            if self.gather_limit is not None:
+                kwargs["gather_limit"] = int(self.gather_limit)
+            if self.gather_hard_limit is not None:
+                kwargs["gather_hard_limit"] = int(
+                    self.gather_hard_limit
+                )
+            if self.cache_dir:
+                # The plan cache's directory doubles as the converter
+                # artifact directory (<fp>.c.so sits next to the plan
+                # and program sidecars it belongs to).
+                kwargs["artifact_dir"] = str(self.cache_dir)
+            object.__setattr__(
+                self, "lowering", LoweringConfig(**kwargs)
             )
-        if self.gather_limit is not None and self.gather_limit < 1:
-            raise ValueError(
-                f"gather_limit must be positive, got "
-                f"{self.gather_limit!r}"
+        else:
+            if not isinstance(self.lowering, LoweringConfig):
+                raise ValueError(
+                    "lowering must be a LoweringConfig, got "
+                    f"{self.lowering!r}"
+                )
+            if self.lowering.converter not in LOWER_CONVERTERS:
+                raise ValueError(
+                    f"converter must be one of "
+                    f"{', '.join(repr(n) for n in LOWER_CONVERTERS)}, "
+                    f"got {self.lowering.converter!r}"
+                )
+            if (
+                self.lowering.artifact_dir is None
+                and self.cache_dir
+            ):
+                object.__setattr__(
+                    self,
+                    "lowering",
+                    LoweringConfig(
+                        converter=self.lowering.converter,
+                        gather_limit=self.lowering.gather_limit,
+                        gather_hard_limit=(
+                            self.lowering.gather_hard_limit
+                        ),
+                        artifact_dir=str(self.cache_dir),
+                    ),
+                )
+            # Keep the legacy mirror fields consistent for readers.
+            object.__setattr__(
+                self, "converter", self.lowering.converter
             )
-        if (
-            self.gather_hard_limit is not None
-            and self.gather_hard_limit < 1
-        ):
-            raise ValueError(
-                f"gather_hard_limit must be positive, got "
-                f"{self.gather_hard_limit!r}"
+            object.__setattr__(
+                self, "gather_limit", self.lowering.gather_limit
+            )
+            object.__setattr__(
+                self,
+                "gather_hard_limit",
+                self.lowering.gather_hard_limit,
             )
         if self.worker_mode not in ("thread", "process"):
             raise ValueError(
@@ -210,6 +277,9 @@ class StencilService:
         # Inline-spec requests are not memoized (their identity is the
         # whole JSON document).
         self._resolve_memo: Dict[tuple, tuple] = {}
+        # Workload planning (chain/fuse walk + per-stage fingerprints)
+        # is likewise memoized for registered-benchmark workloads.
+        self._workload_memo: Dict[tuple, WorkloadPlan] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "StencilService":
@@ -263,8 +333,51 @@ class StencilService:
             self._resolve_memo[key] = hit
         return hit
 
+    def _plan_workload(self, req: Request) -> WorkloadPlan:
+        """Lower ``req.workload`` into stages, memoized when possible."""
+        memo_key = req.workload.memo_key()
+        key = None
+        if memo_key is not None:
+            key = (memo_key, req.grid, req.streams)
+            hit = self._workload_memo.get(key)
+            if hit is not None:
+                return hit
+        plan = plan_workload(
+            req.workload, grid=req.grid, streams=req.streams
+        )
+        if key is not None:
+            if len(self._workload_memo) >= 512:  # defensive bound
+                self._workload_memo.clear()
+            self._workload_memo[key] = plan
+        return plan
+
+    def _count_workload(self, req: Request, plan: WorkloadPlan) -> None:
+        self.metrics.counter(
+            "service_workload_requests_total",
+            {"kind": req.workload.kind},
+        ).inc()
+        self.metrics.counter("service_workload_stages_total").inc(
+            len(plan.stages)
+        )
+        if plan.fused_edges:
+            self.metrics.counter("service_workload_fused_total").inc(
+                plan.fused_edges
+            )
+
     def _parse(self, req: Request, request_id: str) -> WorkItem:
-        spec, options, plan_fp = self._resolve(req)
+        stages = None
+        label = None
+        if req.workload is not None:
+            plan = self._plan_workload(req)
+            self._count_workload(req, plan)
+            spec = plan.stages[0].spec
+            options = plan.stages[0].options
+            plan_fp = plan.fingerprint
+            if len(plan.stages) > 1:
+                stages = plan.stages
+                label = plan.label
+        else:
+            spec, options, plan_fp = self._resolve(req)
         timeout_s = (
             self.config.default_timeout_s
             if req.timeout_s is None
@@ -275,6 +388,8 @@ class StencilService:
             spec=spec,
             options=options,
             fingerprint=plan_fp,
+            stages=stages,
+            label=label,
             seed=req.seed,
             deadline=time.monotonic() + timeout_s,
             slot=self.scheduler.make_slot(),
@@ -321,9 +436,11 @@ class StencilService:
         """Admit one request; always returns a slot that will resolve.
 
         ``request`` is either a typed :class:`repro.service.proto.Request`
-        or a wire dict — versioned (``proto: 1``) or a legacy bare
-        dict, which passes the compatibility shim and increments the
-        ``service_proto_legacy_total`` deprecation counter.  Parse
+        or a wire dict — ``proto: 2`` with a ``workload`` object,
+        ``proto: 1`` with ``benchmark``/``spec`` (counted on the
+        ``service_proto_v1_total`` deprecation counter), or a legacy
+        bare dict, which passes the compatibility shim and increments
+        ``service_proto_legacy_total``.  Parse
         failures, a full queue (non-blocking admission) and a draining
         service all resolve the slot immediately with ``invalid`` /
         ``rejected`` responses — a submitter can always block on the
@@ -353,6 +470,10 @@ class StencilService:
             ):
                 try:
                     item = self._parse(req, request_id)
+                except WorkloadError as exc:
+                    return self._resolve_invalid(
+                        request_id, str(exc), kind="bad_workload"
+                    )
                 except (KeyError, TypeError, ValueError) as exc:
                     # str(KeyError) wraps the message in repr quotes.
                     message = (

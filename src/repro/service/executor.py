@@ -73,12 +73,16 @@ __all__ = [
     "PlanExecutor",
     "PlanValidationError",
     "compile_plan",
+    "execute_pipeline",
     "execute_stencil",
     "executor_backends",
     "make_executor",
     "make_response",
     "register_executor",
+    "stage_summaries",
+    "validate_pipeline",
     "validate_plan",
+    "worse_cache_outcome",
 ]
 
 #: Millisecond buckets shared by the service latency histograms.
@@ -118,6 +122,18 @@ class PlanValidationError(RuntimeError):
     """The structural checks or cycle-sim canary contradicted a plan."""
 
 
+#: Cache-outcome severity order for folding per-stage outcomes into
+#: one response field (a pipeline that compiled any stage is a miss).
+_CACHE_OUTCOME_RANK = {"hit": 0, "coalesced": 1, "disk": 2, "miss": 3}
+
+
+def worse_cache_outcome(a: str, b: str) -> str:
+    """The more expensive of two plan-cache outcomes."""
+    if _CACHE_OUTCOME_RANK.get(b, 0) > _CACHE_OUTCOME_RANK.get(a, 0):
+        return b
+    return a
+
+
 def compile_plan(
     spec: StencilSpec, options: CompileOptions, fp: str
 ) -> CachedPlan:
@@ -155,6 +171,72 @@ def execute_stencil(
         np.asarray(outputs, dtype=np.float64).tobytes()
     ).hexdigest()
     return grid, outputs, digest
+
+
+def execute_pipeline(stages, seed: int):
+    """Golden chained execution of a multi-stage workload plan.
+
+    Returns ``(input grid, [(outputs array, digest), ...])`` — one
+    entry per stage.  The hand-off is the Fig 13c property: stage k's
+    lexicographic output sequence reshaped to its iteration-domain box
+    *is* stage k+1's input grid, so intermediates never leave the
+    process (and never cross the wire).  Stage digests are computed
+    exactly like :func:`execute_stencil`'s — SHA-256 over the
+    C-contiguous float64 output bytes — so a pipeline stage digest is
+    bit-comparable with the equivalent single-kernel request's.
+    """
+    from ..integration.chaining import intermediate_grid_shape
+
+    grid = make_input(stages[0].spec, seed=seed)
+    current = grid
+    results = []
+    for idx, stage in enumerate(stages):
+        with span(
+            "service.stage",
+            stage=stage.index,
+            benchmark=stage.spec.name,
+        ):
+            outputs = golden_output_sequence(stage.spec, current)
+        arr = np.ascontiguousarray(
+            np.asarray(outputs, dtype=np.float64)
+        )
+        digest = hashlib.sha256(arr.data).hexdigest()
+        results.append((arr, digest))
+        if idx + 1 < len(stages):
+            current = arr.reshape(intermediate_grid_shape(stage.spec))
+    return grid, results
+
+
+def stage_summaries(stages, results) -> List[dict]:
+    """The per-stage response dicts (``Response.stages``)."""
+    return [
+        {
+            "stage": stage.index,
+            "name": stage.spec.name,
+            "fingerprint": stage.fingerprint,
+            "checksum": digest[:16],
+            "n_outputs": int(arr.size),
+        }
+        for stage, (arr, digest) in zip(stages, results)
+    ]
+
+
+def validate_pipeline(stages, plans, grid, results) -> None:
+    """Cycle-sim canary for every stage of a pipeline.
+
+    Each stage's cached plan is validated against the rebuilt chain
+    with that stage's actual input grid (recovered by replaying the
+    reshape hand-off) and its golden outputs.
+    """
+    from ..integration.chaining import intermediate_grid_shape
+
+    current = grid
+    for idx, (stage, plan, (arr, _)) in enumerate(
+        zip(stages, plans, results)
+    ):
+        validate_plan(stage.spec, stage.options, plan, current, arr)
+        if idx + 1 < len(stages):
+            current = arr.reshape(intermediate_grid_shape(stage.spec))
 
 
 def validate_plan(
@@ -239,7 +321,7 @@ def make_response(
     error_kind: Optional[str] = None,
     **fields: Any,
 ) -> Response:
-    """The typed ``proto: 1`` response shared by every resolution path.
+    """The typed response shared by every resolution path.
 
     ``error`` is the human-readable detail; ``error_kind`` pins the
     taxonomy entry (defaults to the status's canonical kind).
@@ -253,7 +335,7 @@ def make_response(
     return Response(
         id=item.request_id,
         status=status,
-        benchmark=item.spec.name,
+        benchmark=getattr(item, "label", None) or item.spec.name,
         fingerprint=item.fingerprint,
         latency_ms=round(
             (time.monotonic() - item.admitted_at) * 1e3, 3
@@ -616,6 +698,9 @@ class PlanExecutor(ExecutorBase):
         if not live:
             return
         exemplar = live[0]
+        if getattr(exemplar, "stages", None):
+            self._process_pipeline_group(live)
+            return
         started = time.perf_counter()
         try:
             with trace_context(
@@ -658,6 +743,164 @@ class PlanExecutor(ExecutorBase):
         ).observe(compile_ms)
         self._note_cache_outcome(fp, outcome)
         self._execute_group(live, plan, outcome)
+
+    # -- pipeline (multi-stage workload) groups ------------------------
+    def _process_pipeline_group(self, live: List[WorkItem]) -> None:
+        """Compile/fetch every stage plan, then execute the chain.
+
+        The group key is the *workload* fingerprint, but each stage is
+        an ordinary plan under its own fingerprint — so a pipeline
+        stage and an equivalent single-kernel request share one cache
+        entry, and the stage compiles once for the whole group.
+        """
+        exemplar = live[0]
+        plans: List[CachedPlan] = []
+        worst = "hit"
+        for stage in exemplar.stages:
+            started = time.perf_counter()
+            try:
+                with trace_context(
+                    exemplar.trace_id, exemplar.parent_span_id
+                ), span(
+                    "service.cache_lookup",
+                    fingerprint=stage.fingerprint[:12],
+                    stage=stage.index,
+                    group=len(live),
+                ) as lookup_span:
+                    plan, outcome = self.cache.get_or_compile(
+                        stage.fingerprint,
+                        lambda stage=stage: compile_plan(
+                            stage.spec,
+                            stage.options,
+                            stage.fingerprint,
+                        ),
+                    )
+                    lookup_span.annotate(outcome=outcome)
+            except Exception as exc:
+                for item in live:
+                    self._retry_or_fail(
+                        item,
+                        f"compile failed (stage {stage.index}, "
+                        f"{stage.spec.name}): {exc}",
+                        kind="compile_failed",
+                    )
+                return
+            compile_ms = (time.perf_counter() - started) * 1e3
+            observe_stage(
+                self.registry,
+                "compile" if outcome == "miss" else "cache_lookup",
+                compile_ms,
+            )
+            self.registry.counter(
+                "service_cache_total", {"outcome": outcome}
+            ).inc()
+            self.registry.histogram(
+                "service_compile_ms",
+                {"cache": outcome},
+                buckets=LATENCY_BUCKETS_MS,
+            ).observe(compile_ms)
+            self._note_cache_outcome(stage.fingerprint, outcome)
+            worst = worse_cache_outcome(worst, outcome)
+            plans.append(plan)
+        self._execute_pipeline_group(live, plans, worst)
+
+    def _execute_pipeline_group(
+        self,
+        live: List[WorkItem],
+        plans: List[CachedPlan],
+        outcome: str,
+    ) -> None:
+        """Run one same-workload group through its chained stages.
+
+        The backend hook, like :meth:`_execute_group`: the base class
+        chains the interpreted golden path per item; the compiled
+        executor overrides it to run every stage as one batched kernel
+        call across the group.
+        """
+        for item in live:
+            self._process_pipeline_item(item, plans, outcome)
+
+    def _process_pipeline_item(
+        self,
+        item: WorkItem,
+        plans: List[CachedPlan],
+        cache_outcome: str,
+    ) -> None:
+        if item.expired():
+            self._resolve_timeout(item)
+            return
+        item.attempts += 1
+        try:
+            execute_start_ns = time.perf_counter_ns()
+            with trace_context(
+                item.trace_id, item.parent_span_id
+            ), span(
+                "service.execute",
+                benchmark=item.label or item.spec.name,
+                request=item.request_id,
+                stages=len(item.stages),
+            ):
+                if self.fault_hook is not None:
+                    self.fault_hook(item)
+                grid, results = execute_pipeline(
+                    item.stages, item.seed
+                )
+            observe_stage(
+                self.registry,
+                "execute",
+                (time.perf_counter_ns() - execute_start_ns) / 1e6,
+            )
+            validated: Optional[bool] = None
+            if self._should_validate(item):
+                self.registry.counter("service_validation_total").inc()
+                canary_start_ns = time.perf_counter_ns()
+                with trace_context(item.trace_id, item.parent_span_id):
+                    validate_pipeline(
+                        item.stages, plans, grid, results
+                    )
+                observe_stage(
+                    self.registry,
+                    "canary",
+                    (time.perf_counter_ns() - canary_start_ns) / 1e6,
+                )
+                validated = True
+            final_arr, final_digest = results[-1]
+            self._resolve(
+                item,
+                make_response(
+                    item,
+                    "ok",
+                    cache=cache_outcome,
+                    n_outputs=int(final_arr.size),
+                    mean=(
+                        float(np.mean(final_arr))
+                        if final_arr.size
+                        else 0.0
+                    ),
+                    checksum=final_digest[:16],
+                    validated=validated,
+                    summary=plans[-1].summary,
+                    stages=stage_summaries(item.stages, results),
+                ),
+            )
+        except PlanValidationError as exc:
+            for plan in plans:
+                self.cache.invalidate(plan.fingerprint)
+            self.registry.counter(
+                "service_validation_failures_total"
+            ).inc()
+            self._resolve(
+                item,
+                make_response(
+                    item,
+                    "validation_failed",
+                    cache=cache_outcome,
+                    validated=False,
+                    error=str(exc),
+                ),
+            )
+        except Exception as exc:
+            self._retry_or_fail(item, str(exc))
 
     def _execute_group(
         self, live: List[WorkItem], plan: CachedPlan, outcome: str

@@ -58,11 +58,15 @@ from .executor import (
     ExecutorBase,
     PlanValidationError,
     compile_plan,
+    execute_pipeline,
     execute_stencil,
     make_response,
     observe_stage,
     register_executor,
+    stage_summaries,
+    validate_pipeline,
     validate_plan,
+    worse_cache_outcome,
 )
 from .fingerprint import CompileOptions
 from .plancache import CachedPlan, PlanCache
@@ -254,16 +258,7 @@ def _lowering_config_from_job(
     raw = job.get("lower_config")
     if not raw:
         return None
-    kwargs: Dict[str, Any] = {}
-    if raw.get("converter"):
-        kwargs["converter"] = str(raw["converter"])
-    if raw.get("gather_limit"):
-        kwargs["gather_limit"] = int(raw["gather_limit"])
-    if raw.get("gather_hard_limit"):
-        kwargs["gather_hard_limit"] = int(raw["gather_hard_limit"])
-    if raw.get("artifact_dir"):
-        kwargs["artifact_dir"] = str(raw["artifact_dir"])
-    return LoweringConfig(**kwargs)
+    return LoweringConfig.from_json(raw)
 
 
 def _run_job(
@@ -510,6 +505,306 @@ def _run_job(
     }
 
 
+def _run_pipeline_job(
+    job: Dict[str, Any],
+    plans: Dict[str, CachedPlan],
+    chaos: Optional[ChaosInjector],
+    engine: Optional[CompiledEngine] = None,
+) -> Dict[str, Any]:
+    """Execute one multi-stage workload group inside the worker.
+
+    Mirrors :func:`_run_job` stage by stage: every pipeline stage is
+    an ordinary plan under its own fingerprint (compiled here on a
+    parent-side miss and shipped home in ``plans``), intermediates
+    hand off in-process via the Fig 13c reshape, and each exec's reply
+    carries per-stage digests next to the final checksum.
+    """
+    from ..stencil.spec import StencilSpec
+    from .workload import PlannedStage
+
+    spans = _WorkerSpans()
+    group_trace = next(
+        (t for t in map(_exec_trace, job["execs"]) if t[0] is not None),
+        (None, None),
+    )
+    compiled_plans: Dict[str, dict] = {}
+    compile_ms = 0.0
+    stages: List[PlannedStage] = []
+    stage_plans: List[CachedPlan] = []
+    for index, st in enumerate(job["pipeline"]):
+        fp = st["fingerprint"]
+        spec = StencilSpec.from_json(st["spec"])
+        options = CompileOptions.from_json(st["options"])
+        if st.get("plan") is not None:
+            plan = CachedPlan.from_json(st["plan"])
+            local = plans.get(fp)
+            if local is not None and local.to_json() == plan.to_json():
+                plan = local
+        else:
+            plans.pop(fp, None)
+            plan = None
+        if plan is None:
+            started = time.perf_counter()
+            compile_start_unix = time.time_ns()
+            try:
+                plan = compile_plan(spec, options, fp)
+            except Exception as exc:
+                return {
+                    "kind": "error",
+                    "error": (
+                        f"compile failed (stage {index}, "
+                        f"{spec.name}): {exc}"
+                    ),
+                }
+            compile_ms += (time.perf_counter() - started) * 1e3
+            spans.add(
+                "worker.compile",
+                compile_start_unix,
+                time.time_ns(),
+                group_trace[0],
+                group_trace[1],
+                fingerprint=fp[:12],
+                stage=index,
+            )
+            compiled_plans[fp] = plan.to_json()
+        plans[fp] = plan
+        stages.append(
+            PlannedStage(
+                index=index,
+                name=st.get("name") or spec.name,
+                spec=spec,
+                options=options,
+                fingerprint=fp,
+            )
+        )
+        stage_plans.append(plan)
+    while len(plans) > 64:
+        plans.pop(next(iter(plans)))
+
+    def _all_failed(error: str) -> Dict[str, Any]:
+        return {
+            "kind": "result",
+            "plans": compiled_plans,
+            "compile_ms": compile_ms,
+            "execs": [
+                {
+                    "id": e["id"],
+                    "ok": False,
+                    "error_kind": "validation",
+                    "error": error,
+                }
+                for e in job["execs"]
+            ],
+            "spans": spans.records,
+            "lower": lower,
+        }
+
+    # Lower every stage when the compiled backend is on; any refusal
+    # sends the whole pipeline down the interpreted chain (the
+    # hand-off bytes must come from one path).
+    kernels: Optional[List] = None
+    lower: Dict[str, Any] = {}
+    if job.get("backend") == "compiled" and engine is not None:
+        lower_cfg = _lowering_config_from_job(job)
+        lower_start_unix = time.time_ns()
+        built = False
+        kernels = []
+        try:
+            for stage, plan in zip(stages, stage_plans):
+                result = engine.kernel_for(
+                    plan, spec=stage.spec, config=lower_cfg
+                )
+                if result.built:
+                    built = True
+                    lower["bufferize_ms"] = lower.get(
+                        "bufferize_ms", 0.0
+                    ) + result.bufferize_ms
+                    lower["convert_ms"] = lower.get(
+                        "convert_ms", 0.0
+                    ) + result.convert_ms
+                    lower["converter"] = result.converter
+                    if result.converter_fallback is not None:
+                        lower["converter_fallback"] = (
+                            lower.get("converter_fallback", 0) + 1
+                        )
+                if result.program_json is not None:
+                    lower["outcome"] = "lowered"
+                    lower.setdefault("programs", {})[
+                        stage.fingerprint
+                    ] = result.program_json
+                    plan.buffer_program = result.program_json
+                kernels.append(result.kernel)
+        except LoweringUnsupported as exc:
+            lower["fallback_reasons"] = {
+                exc.reason: len(job["execs"])
+            }
+            kernels = None
+        except ProgramMismatchError as exc:
+            for stage in stages:
+                engine.forget(stage.fingerprint)
+                plans.pop(stage.fingerprint, None)
+            return _all_failed(str(exc))
+        else:
+            if built:
+                lower.setdefault("outcome", "cached")
+                spans.add(
+                    "worker.lower",
+                    lower_start_unix,
+                    time.time_ns(),
+                    group_trace[0],
+                    group_trace[1],
+                    stages=len(stages),
+                )
+
+    exec_results: List[Dict[str, Any]] = []
+    for exc_spec in job["execs"]:
+        request_id = exc_spec["id"]
+        exec_trace_id, exec_parent = _exec_trace(exc_spec)
+        if chaos is not None:
+            chaos.apply(
+                request_id,
+                exc_spec.get("attempt", 0),
+                job["fingerprint"],
+            )
+        try:
+            exec_start_unix = time.time_ns()
+            grid = None
+            results = None
+            if kernels is not None:
+                try:
+                    from ..integration.chaining import (
+                        intermediate_grid_shape,
+                    )
+
+                    grid = engine.input_grid(
+                        stages[0].spec, exc_spec["seed"]
+                    )
+                    current = grid
+                    results = []
+                    for idx, (stage, kernel) in enumerate(
+                        zip(stages, kernels)
+                    ):
+                        arr = _np.ascontiguousarray(
+                            kernel.run(current), dtype=_np.float64
+                        )
+                        results.append(
+                            (
+                                arr,
+                                hashlib.sha256(
+                                    arr.data
+                                ).hexdigest(),
+                            )
+                        )
+                        if idx + 1 < len(stages):
+                            current = arr.reshape(
+                                intermediate_grid_shape(stage.spec)
+                            )
+                except Exception:
+                    lower["kernel_errors"] = (
+                        lower.get("kernel_errors", 0) + 1
+                    )
+                    reasons = lower.setdefault(
+                        "fallback_reasons", {}
+                    )
+                    reasons["kernel_error"] = (
+                        reasons.get("kernel_error", 0) + 1
+                    )
+                    results = None
+            compiled_row = results is not None
+            if results is None:
+                grid, results = execute_pipeline(
+                    stages, exc_spec["seed"]
+                )
+            else:
+                lower["compiled"] = lower.get("compiled", 0) + 1
+            spans.add(
+                "worker.execute",
+                exec_start_unix,
+                time.time_ns(),
+                exec_trace_id,
+                exec_parent,
+                request=request_id,
+                benchmark=stages[-1].spec.name,
+                stages=len(stages),
+            )
+            validated: Optional[bool] = None
+            if exc_spec.get("validate"):
+                validate_start_unix = time.time_ns()
+                if compiled_row:
+                    golden_grid, golden = execute_pipeline(
+                        stages, exc_spec["seed"]
+                    )
+                    for stage, (_, got), (_, want) in zip(
+                        stages, results, golden
+                    ):
+                        if got != want:
+                            raise PlanValidationError(
+                                f"compiled stage {stage.index} "
+                                f"({stage.spec.name}) outputs "
+                                "diverge from the golden chained "
+                                "reference"
+                            )
+                    grid, results = golden_grid, golden
+                validate_pipeline(
+                    stages, stage_plans, grid, results
+                )
+                spans.add(
+                    "worker.validate",
+                    validate_start_unix,
+                    time.time_ns(),
+                    exec_trace_id,
+                    exec_parent,
+                    request=request_id,
+                )
+                validated = True
+            final_arr, final_digest = results[-1]
+            exec_results.append(
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "n_outputs": int(final_arr.size),
+                    "mean": (
+                        float(final_arr.mean())
+                        if final_arr.size
+                        else 0.0
+                    ),
+                    "checksum": final_digest[:16],
+                    "validated": validated,
+                    "stages": stage_summaries(stages, results),
+                }
+            )
+        except PlanValidationError as exc:
+            for stage in stages:
+                plans.pop(stage.fingerprint, None)
+                if engine is not None:
+                    engine.forget(stage.fingerprint)
+            exec_results.append(
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error_kind": "validation",
+                    "error": str(exc),
+                }
+            )
+        except Exception as exc:
+            exec_results.append(
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error_kind": "exception",
+                    "error": str(exc),
+                }
+            )
+    return {
+        "kind": "result",
+        "plans": compiled_plans,
+        "compile_ms": compile_ms,
+        "execs": exec_results,
+        "spans": spans.records,
+        "lower": lower,
+    }
+
+
 def _worker_main(conn, shard_id: int, chaos_json: Optional[dict]) -> None:
     """The worker-process loop: recv a job, run it, send the reply."""
     _reset_forked_observability()
@@ -532,7 +827,10 @@ def _worker_main(conn, shard_id: int, chaos_json: Optional[dict]) -> None:
             conn.send({"kind": "pong", "shard": shard_id})
             continue
         try:
-            reply = _run_job(msg, plans, chaos, engine)
+            if msg.get("pipeline"):
+                reply = _run_pipeline_job(msg, plans, chaos, engine)
+            else:
+                reply = _run_job(msg, plans, chaos, engine)
         except Exception as exc:  # belt and braces: never die silently
             reply = {"kind": "error", "error": f"worker error: {exc}"}
         try:
@@ -939,6 +1237,9 @@ class ProcessPlanExecutor(ExecutorBase):
             self._publish_breaker(fp, BREAKER_HALF_OPEN)
 
         exemplar = live[0]
+        if getattr(exemplar, "stages", None):
+            self._process_pipeline_group(shard, fp, live, breaker)
+            return
         started = time.perf_counter()
         with trace_context(
             exemplar.trace_id, exemplar.parent_span_id
@@ -1101,6 +1402,216 @@ class ProcessPlanExecutor(ExecutorBase):
                 item, "worker reply missing this request"
             )
 
+    def _process_pipeline_group(
+        self,
+        shard: _WorkerShard,
+        fp: str,
+        live: List[WorkItem],
+        breaker: CircuitBreaker,
+    ) -> None:
+        """One multi-stage workload group's worker round trip.
+
+        The breaker stays keyed on the *workload* fingerprint (a
+        pipeline that kills workers quarantines as one unit), while
+        plan-cache traffic happens per stage fingerprint — so pipeline
+        stages and equivalent single-kernel requests share entries.
+        """
+        exemplar = live[0]
+        started = time.perf_counter()
+        stage_plans: Dict[str, Optional[CachedPlan]] = {}
+        worst = "hit"
+        with trace_context(
+            exemplar.trace_id, exemplar.parent_span_id
+        ), span(
+            "service.cache_lookup",
+            fingerprint=fp[:12],
+            stages=len(exemplar.stages),
+            group=len(live),
+        ) as lookup_span:
+            for stage in exemplar.stages:
+                plan, tier = self.cache.lookup(stage.fingerprint)
+                outcome = {
+                    "memory": "hit", "disk": "disk", "miss": "miss",
+                }[tier]
+                stage_plans[stage.fingerprint] = plan
+                self.registry.counter(
+                    "service_cache_total", {"outcome": outcome}
+                ).inc()
+                self._note_cache_outcome(stage.fingerprint, outcome)
+                worst = worse_cache_outcome(worst, outcome)
+            lookup_span.annotate(outcome=worst)
+        lookup_ms = (time.perf_counter() - started) * 1e3
+        observe_stage(self.registry, "cache_lookup", lookup_ms)
+
+        execs = []
+        for item in live:
+            item.attempts += 1
+            validate = self._should_validate(item)
+            if validate:
+                self.registry.counter("service_validation_total").inc()
+            execs.append(
+                {
+                    "id": item.request_id,
+                    "seed": item.seed,
+                    "validate": validate,
+                    "attempt": item.attempts,
+                    "trace_id": item.trace_id,
+                    "parent_span_id": item.parent_span_id,
+                }
+            )
+        job = {
+            "kind": "job",
+            "fingerprint": fp,
+            "pipeline": [
+                {
+                    "fingerprint": stage.fingerprint,
+                    "name": stage.name,
+                    "spec": stage.spec.to_json(),
+                    "options": stage.options.to_json(),
+                    "plan": (
+                        stage_plans[stage.fingerprint].to_json()
+                        if stage_plans[stage.fingerprint] is not None
+                        else None
+                    ),
+                }
+                for stage in exemplar.stages
+            ],
+            "backend": self.backend,
+            "lower_config": self.lower_config,
+            "execs": execs,
+        }
+        budget_s = min(
+            max(item.deadline for item in live)
+            - time.monotonic()
+            + 0.25,
+            self.hang_timeout_s,
+        )
+        budget_s = max(budget_s, 0.05)
+
+        call_start_ns = time.perf_counter_ns()
+        with trace_context(
+            exemplar.trace_id, exemplar.parent_span_id
+        ), span(
+            "service.pool_call",
+            shard=shard.index,
+            fingerprint=fp[:12],
+            group=len(live),
+        ):
+            with shard.lock:
+                status, reply = self._call_worker(shard, job, budget_s)
+                if status != "ok":
+                    self._restart_worker(
+                        shard, "death" if status == "died" else "hang"
+                    )
+        observe_stage(
+            self.registry,
+            "pool_roundtrip",
+            (time.perf_counter_ns() - call_start_ns) / 1e6,
+        )
+        if reply is not None:
+            self._harvest_worker_spans(reply)
+        if status != "ok":
+            reason = (
+                "worker_death" if status == "died" else "worker_hang"
+            )
+            self._record_lethal(fp, reason)
+            for item in live:
+                if item.expired():
+                    self._resolve_timeout(item)
+                else:
+                    item.shard_hops += 1
+                    self._retry_or_fail(
+                        item,
+                        f"worker {status} while executing workload "
+                        f"{fp[:12]}",
+                        backoff=False,
+                        kind="worker_lost",
+                    )
+            return
+
+        if reply.get("kind") == "error":
+            self._on_breaker_success(fp, breaker)
+            self.registry.counter(
+                "service_pool_jobs_total", {"outcome": "compile_error"}
+            ).inc()
+            for item in live:
+                self._retry_or_fail(
+                    item, reply["error"], kind="compile_failed"
+                )
+            return
+
+        # Harvest worker-side stage compiles into the shared cache.
+        for plan_json in (reply.get("plans") or {}).values():
+            harvested = CachedPlan.from_json(plan_json)
+            self.cache.put(harvested)
+            stage_plans[harvested.fingerprint] = harvested
+            self.registry.counter("service_plan_compiles_total").inc()
+        # Persist worker-side lowerings as the plans' cache sidecars.
+        lower = reply.get("lower") or {}
+        for stage_fp, program in (lower.get("programs") or {}).items():
+            plan = stage_plans.get(stage_fp)
+            if plan is not None:
+                plan.buffer_program = program
+                self.cache.put(plan)
+        self._fold_lower(reply, None)
+        self.registry.histogram(
+            "service_compile_ms",
+            {"cache": worst},
+            buckets=LATENCY_BUCKETS_MS,
+        ).observe(
+            reply["compile_ms"] if worst == "miss" else lookup_ms
+        )
+        self._on_breaker_success(fp, breaker)
+        self.registry.counter(
+            "service_pool_jobs_total", {"outcome": "ok"}
+        ).inc()
+
+        final_plan = stage_plans.get(exemplar.stages[-1].fingerprint)
+        by_id = {item.request_id: item for item in live}
+        for result in reply["execs"]:
+            item = by_id.pop(result["id"], None)
+            if item is None:
+                continue
+            if result["ok"]:
+                self._resolve(
+                    item,
+                    make_response(
+                        item,
+                        "ok",
+                        cache=worst,
+                        n_outputs=result["n_outputs"],
+                        mean=result["mean"],
+                        checksum=result["checksum"],
+                        validated=result["validated"],
+                        summary=(
+                            final_plan.summary if final_plan else {}
+                        ),
+                        stages=result.get("stages"),
+                    ),
+                )
+            elif result["error_kind"] == "validation":
+                for stage in item.stages:
+                    self.cache.invalidate(stage.fingerprint)
+                self.registry.counter(
+                    "service_validation_failures_total"
+                ).inc()
+                self._resolve(
+                    item,
+                    make_response(
+                        item,
+                        "validation_failed",
+                        cache=worst,
+                        validated=False,
+                        error=result["error"],
+                    ),
+                )
+            else:
+                self._retry_or_fail(item, result["error"])
+        for item in by_id.values():
+            self._retry_or_fail(
+                item, "worker reply missing this request"
+            )
+
     def _fold_lower(
         self, reply: Dict[str, Any], plan: Optional[CachedPlan]
     ) -> Optional[CachedPlan]:
@@ -1199,18 +1710,12 @@ def _make_process_executor(
     """``worker_mode="process"``: the crash-isolated sharded pool."""
     from ..lower.executor import lowering_config_from_service
 
-    lower_cfg = lowering_config_from_service(config)
     return ProcessPlanExecutor(
         breaker_threshold=config.breaker_threshold,
         breaker_cooldown_s=config.breaker_cooldown_s,
         hang_timeout_s=config.hang_timeout_s,
         chaos=config.chaos,
         backend=getattr(config, "backend", "interpreted"),
-        lower_config={
-            "converter": lower_cfg.converter,
-            "gather_limit": lower_cfg.gather_limit,
-            "gather_hard_limit": lower_cfg.gather_hard_limit,
-            "artifact_dir": lower_cfg.artifact_dir,
-        },
+        lower_config=lowering_config_from_service(config).to_json(),
         **shared,
     )

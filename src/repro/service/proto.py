@@ -4,21 +4,31 @@ Every JSONL line that crosses a service boundary — ``repro submit``,
 ``repro serve``, the multi-node router of :mod:`repro.service.router`
 and the parent/node pipes underneath it — is one of two documents:
 
-* a :class:`Request` (``proto: 1``, exactly one of ``benchmark`` or
-  ``spec``, plus grid/seed/timeout/validate/retry knobs);
-* a :class:`Response` (``proto: 1``, a closed ``status`` vocabulary,
-  and on failure a structured ``error`` object with a closed
-  ``kind`` taxonomy and a free-text ``detail``).
+* a :class:`Request` — ``proto: 2`` with one structured ``workload``
+  object (:class:`repro.service.workload.Workload`: ``single`` /
+  ``iterate`` / ``graph``), or ``proto: 1`` with exactly one of the
+  legacy ``benchmark``/``spec`` fields, plus grid/seed/timeout/
+  validate/retry knobs either way;
+* a :class:`Response` (a closed ``status`` vocabulary, and on failure
+  a structured ``error`` object with a closed ``kind`` taxonomy and a
+  free-text ``detail``).
 
 Versioning rules
 ----------------
-``proto`` is an integer, currently :data:`PROTO_VERSION` (1).  A
-request *without* a ``proto`` field is accepted as a legacy bare dict
-through a compatibility shim — it parses exactly like version 1 but
-increments the ``service_proto_legacy_total`` deprecation counter so
-operators can see how much unversioned traffic remains.  A request
-with an unknown ``proto`` value is rejected up front with
-``error.kind = "unsupported_proto"`` rather than half-parsed.
+``proto`` is an integer; the service speaks every version in
+:data:`ACCEPTED_PROTO_VERSIONS` and emits :data:`PROTO_VERSION` (2).
+A ``proto: 1`` request parses through a compatibility shim — its
+``benchmark``/``spec`` pair is equivalent to a ``single`` workload
+(see :meth:`Request.effective_workload`) — and is counted on the
+``service_proto_v1_total`` deprecation counter.  A request *without*
+a ``proto`` field is accepted as a legacy bare dict: it parses
+exactly like version 1 but increments the older
+``service_proto_legacy_total`` counter so operators can see how much
+unversioned traffic remains.  A request with an unknown ``proto``
+value is rejected up front with
+``error.kind = "unsupported_proto"`` rather than half-parsed, and a
+malformed ``workload`` object (cyclic graph, dangling edge,
+``steps < 1``…) with ``error.kind = "bad_workload"``.
 
 Error taxonomy
 --------------
@@ -39,9 +49,12 @@ from __future__ import annotations
 import sys
 import threading
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
+from .workload import Workload, WorkloadError
 
 __all__ = [
+    "ACCEPTED_PROTO_VERSIONS",
     "ERROR_KINDS",
     "PROTO_VERSION",
     "STATUSES",
@@ -53,7 +66,10 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the request/response shapes.
-PROTO_VERSION = 1
+PROTO_VERSION = 2
+
+#: Every version this service still parses (proto:1 via the shim).
+ACCEPTED_PROTO_VERSIONS = (1, 2)
 
 #: The closed response-status vocabulary (unchanged since PR 2/3).
 STATUSES = (
@@ -70,6 +86,7 @@ STATUSES = (
 #: The closed ``error.kind`` taxonomy subdividing failure statuses.
 ERROR_KINDS = (
     "bad_request",       # unparseable / self-contradictory request
+    "bad_workload",      # structurally invalid ``workload`` object
     "unsupported_proto",  # unknown ``proto`` version
     "queue_full",        # bounded admission queue rejected the request
     "draining",          # service is shutting down gracefully
@@ -175,24 +192,25 @@ def _reset_legacy_warning() -> None:
         _legacy_warned = False
 
 
-def _check_proto_version(data: Dict[str, Any]) -> bool:
-    """Validate ``data['proto']``; returns True when the field exists.
+def _check_proto_version(data: Dict[str, Any]) -> Optional[int]:
+    """Validate ``data['proto']``; returns the version, None if absent.
 
     Raises :class:`ProtoError` (kind ``unsupported_proto``) on any
-    value other than :data:`PROTO_VERSION`.
+    value outside :data:`ACCEPTED_PROTO_VERSIONS`.
     """
     if "proto" not in data or data["proto"] is None:
-        return False
+        return None
     version = data["proto"]
     if not isinstance(version, int) or isinstance(version, bool) or (
-        version != PROTO_VERSION
+        version not in ACCEPTED_PROTO_VERSIONS
     ):
         raise ProtoError(
             f"unsupported proto version {version!r} "
-            f"(this service speaks proto {PROTO_VERSION})",
+            f"(this service speaks proto "
+            f"{' and '.join(str(v) for v in ACCEPTED_PROTO_VERSIONS)})",
             kind="unsupported_proto",
         )
-    return True
+    return version
 
 
 def _parse_grid(value: Any) -> Optional[Tuple[int, ...]]:
@@ -210,13 +228,18 @@ def _parse_grid(value: Any) -> Optional[Tuple[int, ...]]:
 
 @dataclass(frozen=True)
 class Request:
-    """One compile-and-execute request (``proto: 1``).
+    """One compile-and-execute request.
 
-    Exactly one of ``benchmark`` (a registered kernel name) or
-    ``spec`` (:meth:`StencilSpec.to_json` output) must be set; the
-    rest are optional knobs with service-side defaults.  ``raw`` is
-    the original wire dict (excluded from equality) so downstream
-    hooks can see request fields outside the protocol.
+    Exactly one of ``workload`` (a typed
+    :class:`~repro.service.workload.Workload` — the ``proto: 2``
+    envelope), ``benchmark`` (a registered kernel name) or ``spec``
+    (:meth:`StencilSpec.to_json` output) must be set; the last two
+    are the ``proto: 1`` shape, equivalent to a ``single`` workload
+    (:meth:`effective_workload`).  ``proto`` is derived from the form
+    used when not given explicitly.  The rest are optional knobs with
+    service-side defaults.  ``raw`` is the original wire dict
+    (excluded from equality) so downstream hooks can see request
+    fields outside the protocol.
 
     ``trace_id``/``parent_span_id`` are the W3C-traceparent-style
     distributed-tracing context (32/16 lowercase hex): the originating
@@ -228,6 +251,7 @@ class Request:
     id: Optional[str] = None
     benchmark: Optional[str] = None
     spec: Optional[dict] = None
+    workload: Optional[Workload] = None
     grid: Optional[Tuple[int, ...]] = None
     streams: int = 1
     seed: int = 2014
@@ -236,15 +260,34 @@ class Request:
     retries: Optional[int] = None
     trace_id: Optional[str] = None
     parent_span_id: Optional[str] = None
-    proto: int = PROTO_VERSION
+    proto: Optional[int] = None
     raw: Dict[str, Any] = field(
         default_factory=dict, compare=False, repr=False
     )
 
     def __post_init__(self) -> None:
-        if (self.benchmark is None) == (self.spec is None):
+        forms = sum(
+            value is not None
+            for value in (self.benchmark, self.spec, self.workload)
+        )
+        if forms != 1:
             raise ProtoError(
-                "request needs exactly one of 'benchmark' or 'spec'"
+                "request needs exactly one of 'workload', "
+                "'benchmark' or 'spec'"
+            )
+        expected = 2 if self.workload is not None else 1
+        if self.proto is None:
+            object.__setattr__(self, "proto", expected)
+        elif self.proto != expected:
+            raise ProtoError(
+                (
+                    "'workload' requires proto: 2"
+                    if expected == 2
+                    else "proto 2 requests describe their work in a "
+                    "'workload' object, not top-level "
+                    "'benchmark'/'spec'"
+                ),
+                kind="bad_workload",
             )
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ProtoError("timeout_s must be positive")
@@ -261,6 +304,8 @@ class Request:
             out["benchmark"] = self.benchmark
         if self.spec is not None:
             out["spec"] = self.spec
+        if self.workload is not None:
+            out["workload"] = self.workload.to_json()
         if self.grid is not None:
             out["grid"] = list(self.grid)
         if self.streams != 1:
@@ -283,20 +328,55 @@ class Request:
     def from_json(
         cls, data: Any, registry=None
     ) -> "Request":
-        """Parse a wire dict; bare legacy dicts pass the compat shim.
+        """Parse a wire dict; older dialects pass the compat shims.
 
-        A dict without ``proto`` is accepted but counted on
-        ``registry``'s ``service_proto_legacy_total`` deprecation
-        counter.  Unknown keys are ignored (and preserved in
-        ``raw``); unknown ``proto`` versions are rejected.
+        A ``proto: 1`` request is counted on ``registry``'s
+        ``service_proto_v1_total`` deprecation counter; a dict without
+        ``proto`` is accepted as version 1 but counted on the older
+        ``service_proto_legacy_total`` counter.  Unknown keys are
+        ignored (and preserved in ``raw``); unknown ``proto`` versions
+        are rejected, and a ``proto: 2`` request must carry a valid
+        ``workload`` object (``error.kind = "bad_workload"``
+        otherwise).
         """
         if not isinstance(data, dict):
             raise ProtoError("request must be a JSON object")
-        versioned = _check_proto_version(data)
-        if not versioned:
+        version = _check_proto_version(data)
+        if version is None:
             _warn_legacy_once()
             if registry is not None:
                 registry.counter("service_proto_legacy_total").inc()
+        elif version == 1 and registry is not None:
+            registry.counter("service_proto_v1_total").inc()
+        workload_raw = data.get("workload")
+        workload: Optional[Workload] = None
+        if version == 2:
+            if (
+                data.get("benchmark") is not None
+                or data.get("spec") is not None
+            ):
+                raise ProtoError(
+                    "proto 2 requests describe their work in a "
+                    "'workload' object, not top-level "
+                    "'benchmark'/'spec'",
+                    kind="bad_workload",
+                )
+            if workload_raw is None:
+                raise ProtoError(
+                    "proto 2 requests need a 'workload' object",
+                    kind="bad_workload",
+                )
+            try:
+                workload = Workload.from_json(workload_raw)
+            except WorkloadError as exc:
+                raise ProtoError(
+                    str(exc), kind="bad_workload"
+                ) from exc
+        elif workload_raw is not None:
+            raise ProtoError(
+                "'workload' requires proto: 2",
+                kind="bad_workload",
+            )
         try:
             spec = data.get("spec")
             if spec is not None and not isinstance(spec, dict):
@@ -310,6 +390,7 @@ class Request:
                     else str(data["benchmark"])
                 ),
                 spec=spec,
+                workload=workload,
                 grid=_parse_grid(data.get("grid")),
                 streams=int(data.get("streams", 1)),
                 seed=int(data.get("seed", 2014)),
@@ -356,18 +437,36 @@ class Request:
             self, trace_id=trace_id, parent_span_id=parent_span_id
         )
 
+    def effective_workload(self) -> Workload:
+        """This request as a typed workload (the proto:1 → 2 shim).
+
+        A legacy ``benchmark``/``spec`` request is exactly a
+        ``single`` workload of that kernel; proto:2 requests return
+        their workload unchanged.
+        """
+        if self.workload is not None:
+            return self.workload
+        return Workload.single(
+            benchmark=self.benchmark, spec=self.spec
+        )
+
     def resolve_spec(self):
-        """``(StencilSpec, CompileOptions)`` for this request.
+        """``(StencilSpec, CompileOptions)`` for a legacy request.
 
         Resolution can fail on content (unknown benchmark name, a
         malformed embedded spec); those surface as the underlying
         ``KeyError``/``ValueError`` for the service to map to an
-        ``invalid`` response.
+        ``invalid`` response.  Workload requests are lowered through
+        :func:`repro.service.workload.plan_workload` instead.
         """
         from ..stencil.kernels import get_benchmark
         from ..stencil.spec import StencilSpec
         from .fingerprint import CompileOptions
 
+        if self.workload is not None:
+            raise ValueError(
+                "workload requests are planned via plan_workload()"
+            )
         if self.benchmark is not None:
             spec = get_benchmark(self.benchmark)
         else:
@@ -379,10 +478,14 @@ class Request:
 
 @dataclass
 class Response:
-    """One service response (``proto: 1``).
+    """One service response.
 
     ``status`` is always one of :data:`STATUSES`; every non-``ok``
-    response carries a structured :class:`ErrorInfo`.  The dataclass
+    response carries a structured :class:`ErrorInfo`.  Responses to
+    multi-stage workloads additionally carry ``stages`` — one dict per
+    pipeline stage (name, fingerprint, per-stage checksum, output
+    count) so clients can validate every hand-off without the
+    intermediate grids ever crossing the wire.  The dataclass
     also implements read-only mapping access (``resp["status"]``,
     ``resp.get(...)``, ``key in resp``) over its wire encoding, so
     call sites written against the old bare-dict responses keep
@@ -402,6 +505,7 @@ class Response:
     checksum: Optional[str] = None
     validated: Optional[bool] = None
     summary: Optional[dict] = None
+    stages: Optional[List[dict]] = None
     retry_after_s: Optional[float] = None
     node: Optional[int] = None
     trace_id: Optional[str] = None
@@ -439,6 +543,7 @@ class Response:
             "checksum",
             "validated",
             "summary",
+            "stages",
             "retry_after_s",
             "node",
             "trace_id",

@@ -57,9 +57,9 @@ from ..obs.tracing import (
     span,
     trace_context,
 )
+from ..lower.engine import LoweringConfig
 from .chaos import ChaosConfig, ChaosInjector
 from .executor import STAGE_BUCKETS_MS, observe_stage
-from .fingerprint import fingerprint
 from .lease import cleanup_stale_artifacts
 from .proto import (
     PROTO_VERSION,
@@ -69,6 +69,7 @@ from .proto import (
     error_response,
 )
 from .scheduler import ResultSlot
+from .workload import WorkloadError, request_fingerprint
 from .transport import (
     BackoffPolicy,
     Heartbeat,
@@ -114,6 +115,11 @@ class NodeConfig:
     worker_mode: str = "thread"
     backend: str = "interpreted"  # execution backend on every node
     converter: str = "numpy"  # kernel converter under "compiled"
+    #: The resolved lowering configuration shipped to every node as
+    #: one ``--lowering`` JSON pass-through.  Derived from
+    #: ``converter`` when unset; when given, ``converter`` mirrors it
+    #: so existing readers keep working.
+    lowering: Optional[LoweringConfig] = None
     validate_every: int = 0
     cache_dir: Optional[str] = None  # share across nodes for failover
     hang_timeout_s: float = 60.0
@@ -130,6 +136,21 @@ class NodeConfig:
             raise ValueError(
                 f"transport must be 'pipe' or 'tcp', "
                 f"got {self.transport!r}"
+            )
+        if self.lowering is None:
+            object.__setattr__(
+                self,
+                "lowering",
+                LoweringConfig(converter=self.converter),
+            )
+        elif not isinstance(self.lowering, LoweringConfig):
+            raise ValueError(
+                "lowering must be a LoweringConfig, got "
+                f"{type(self.lowering).__name__}"
+            )
+        else:
+            object.__setattr__(
+                self, "converter", self.lowering.converter
             )
 
     def argv(self) -> List[str]:
@@ -148,8 +169,14 @@ class NodeConfig:
         ]
         if self.backend != "interpreted":
             out += ["--backend", self.backend]
-        if self.converter != "numpy":
-            out += ["--converter", self.converter]
+        if self.lowering is not None and (
+            self.lowering.to_json() != LoweringConfig().to_json()
+        ):
+            # One consolidated pass-through instead of per-knob flags.
+            out += [
+                "--lowering",
+                json.dumps(self.lowering.to_json(), sort_keys=True),
+            ]
         if self.cache_dir:
             out += ["--cache-dir", self.cache_dir]
         if self.transport == "tcp":
@@ -796,7 +823,12 @@ class Router:
                 total_ms,
                 {
                     "request": entry.client_id or entry.internal_id,
-                    "benchmark": entry.request.benchmark or "spec",
+                    "benchmark": entry.request.benchmark
+                    or (
+                        "workload"
+                        if entry.request.workload is not None
+                        else "spec"
+                    ),
                     "status": response.status,
                     "node": str(entry.node),
                 },
@@ -866,7 +898,14 @@ class Router:
                 req.id, "rejected", "router is draining", kind="draining"
             )
         try:
-            spec, options = req.resolve_spec()
+            # Workload requests route on their *plan* fingerprint
+            # (stage chain included), so the whole pipeline lands on
+            # one node and its intermediates never cross the wire.
+            fp = request_fingerprint(req)
+        except WorkloadError as exc:
+            return self._resolve_direct(
+                req.id, "invalid", str(exc), kind="bad_workload"
+            )
         except (KeyError, TypeError, ValueError) as exc:
             message = (
                 exc.args[0]
@@ -874,7 +913,6 @@ class Router:
                 else str(exc)
             )
             return self._resolve_direct(req.id, "invalid", message)
-        fp = fingerprint(spec, options)
         timeout_s = (
             self.config.default_timeout_s
             if req.timeout_s is None

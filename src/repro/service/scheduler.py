@@ -83,6 +83,15 @@ class WorkItem:
     seed: int
     deadline: float  # time.monotonic() deadline
     slot: ResultSlot
+    #: Multi-stage pipeline plan (a tuple of
+    #: :class:`repro.service.workload.PlannedStage`) when this item is
+    #: a lowered workload of more than one stage; ``spec``/``options``
+    #: then mirror stage 0 and ``fingerprint`` is the workload
+    #: fingerprint.  ``None`` for ordinary single-kernel items.
+    stages: Optional[tuple] = None
+    #: Display name for multi-stage items (e.g. ``DENOISE->RICIAN``);
+    #: responses fall back to ``spec.name`` when unset.
+    label: Optional[str] = None
     validate: Optional[bool] = None  # None = sampled by the executor
     retries_left: int = 0
     attempts: int = 0

@@ -472,8 +472,9 @@ class TestBackendCli:
         from repro.service.router import NodeConfig
 
         argv = NodeConfig(backend="compiled", converter="c").argv()
-        assert argv[argv.index("--converter") + 1] == "c"
-        assert "--converter" not in NodeConfig().argv()
+        lowering = json.loads(argv[argv.index("--lowering") + 1])
+        assert lowering["converter"] == "c"
+        assert "--lowering" not in NodeConfig().argv()
 
 
 class TestLoweringReport:

@@ -1,12 +1,18 @@
 """The versioned wire protocol: round trips, taxonomy, compat shim.
 
-Every JSONL line crossing a service boundary is a ``proto: 1``
-:class:`Request` or :class:`Response`.  These tests pin the contract:
+Every JSONL line crossing a service boundary is a :class:`Request` or
+:class:`Response`.  ``proto: 2`` requests describe their work in a
+typed ``workload`` object (single / iterate / graph); ``proto: 1``
+requests keep the flat ``benchmark``/``spec`` shape and parse through
+a compat shim counted on ``service_proto_v1_total``.  These tests pin
+the contract:
 
 * ``to_json``/``from_json`` round-trip losslessly (property-tested
-  over generated requests and responses);
+  over generated requests — both proto dialects — and responses);
 * both closed vocabularies (``status``, ``error.kind``) are enforced
   on parse, and unknown ``proto`` versions are rejected up front;
+* the proto/shape cross-checks reject mixed envelopes with
+  ``error.kind = "bad_workload"``;
 * legacy bare dicts still parse through the compatibility shim and
   increment the ``service_proto_legacy_total`` deprecation counter.
 """
@@ -29,6 +35,7 @@ from repro.service.proto import (
     default_error_kind,
     error_response,
 )
+from repro.service.workload import Workload
 
 BENCHMARKS = ("DENOISE", "SOBEL", "BICUBIC")
 
@@ -60,6 +67,48 @@ error_strategy = st.builds(
     ErrorInfo,
     kind=st.sampled_from(ERROR_KINDS),
     detail=st.text(max_size=40),
+)
+
+
+@st.composite
+def workload_strategy(draw):
+    """A structurally valid workload of any kind."""
+    kind = draw(st.sampled_from(["single", "iterate", "graph"]))
+    fuse = draw(st.sampled_from(["auto", "never", "always"]))
+    if kind == "single":
+        return Workload.single(benchmark=draw(st.sampled_from(BENCHMARKS)))
+    if kind == "iterate":
+        return Workload.iterate(
+            benchmark=draw(st.sampled_from(BENCHMARKS)),
+            steps=draw(st.integers(min_value=1, max_value=6)),
+            fuse=fuse,
+        )
+    n = draw(st.integers(min_value=1, max_value=4))
+    nodes = tuple(
+        {"id": f"n{i}", "benchmark": draw(st.sampled_from(BENCHMARKS))}
+        for i in range(n)
+    )
+    edges = tuple([f"n{i}", f"n{i + 1}"] for i in range(n - 1))
+    return Workload.from_json(
+        {"kind": "graph", "nodes": list(nodes), "edges": list(edges),
+         "fuse": fuse}
+    )
+
+
+workload_request_strategy = st.builds(
+    Request,
+    id=st.one_of(st.none(), st.text(min_size=1, max_size=12)),
+    workload=workload_strategy(),
+    grid=st.one_of(
+        st.none(),
+        st.lists(
+            st.integers(min_value=1, max_value=64),
+            min_size=1,
+            max_size=3,
+        ).map(tuple),
+    ),
+    streams=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
 )
 
 
@@ -103,11 +152,22 @@ class TestRequestRoundTrip:
     @given(request_strategy)
     def test_round_trip_is_lossless(self, req):
         wire = req.to_json()
-        assert wire["proto"] == PROTO_VERSION
+        # Flat benchmark/spec requests stay on the proto:1 dialect.
+        assert wire["proto"] == 1
         # Through actual JSON text, exactly like the JSONL pipes.
         parsed = Request.from_json(json.loads(json.dumps(wire)))
         assert parsed == req
         # A second hop changes nothing (idempotent encoding).
+        assert Request.from_json(parsed.to_json()) == parsed
+
+    @settings(max_examples=200, deadline=None)
+    @given(workload_request_strategy)
+    def test_workload_round_trip_is_lossless(self, req):
+        wire = req.to_json()
+        assert wire["proto"] == PROTO_VERSION
+        parsed = Request.from_json(json.loads(json.dumps(wire)))
+        assert parsed == req
+        assert parsed.workload == req.workload
         assert Request.from_json(parsed.to_json()) == parsed
 
     @settings(max_examples=100, deadline=None)
@@ -119,11 +179,49 @@ class TestRequestRoundTrip:
         assert parsed == req
         assert parsed.raw["x_experimental"] == {"nested": True}
 
-    def test_exactly_one_of_benchmark_or_spec(self):
+    def test_exactly_one_of_benchmark_spec_or_workload(self):
         with pytest.raises(ProtoError):
             Request(benchmark=None, spec=None)
         with pytest.raises(ProtoError):
             Request(benchmark="DENOISE", spec={"name": "x"})
+        with pytest.raises(ProtoError):
+            Request(
+                benchmark="DENOISE",
+                workload=Workload.single(benchmark="SOBEL"),
+            )
+
+    def test_proto_shape_cross_checks(self):
+        # A workload rides proto 2, flat benchmark/spec ride proto 1;
+        # mixing the dialects is a bad_workload error either way.
+        with pytest.raises(ProtoError) as excinfo:
+            Request(benchmark="DENOISE", proto=2)
+        assert excinfo.value.kind == "bad_workload"
+        with pytest.raises(ProtoError) as excinfo:
+            Request(workload=Workload.single(benchmark="SOBEL"), proto=1)
+        assert excinfo.value.kind == "bad_workload"
+        for wire in (
+            {"proto": 2, "benchmark": "SOBEL"},
+            {"proto": 2, "spec": {"name": "x"}},
+            {"proto": 2},
+            {"proto": 2, "workload": "not-an-object"},
+            {"proto": 2, "workload": {"kind": "iterate"}},
+            {"proto": 1, "workload": {"kind": "single",
+                                      "benchmark": "SOBEL"}},
+        ):
+            with pytest.raises(ProtoError) as excinfo:
+                Request.from_json(wire)
+            assert excinfo.value.kind == "bad_workload", wire
+
+    def test_effective_workload_wraps_proto1_shapes(self):
+        req = Request.from_json({"proto": 1, "benchmark": "SOBEL"})
+        wrapped = req.effective_workload()
+        assert wrapped.kind == "single"
+        assert wrapped.kernel.benchmark == "SOBEL"
+        wl = Workload.iterate(benchmark="SOBEL", steps=2)
+        req2 = Request(workload=wl)
+        assert req2.effective_workload() is wl
+        with pytest.raises(ValueError):
+            req2.resolve_spec()
 
     def test_grid_string_form_accepted(self):
         parsed = Request.from_json(
@@ -195,7 +293,7 @@ class TestResponseRoundTrip:
 
 class TestVersioning:
     def test_unknown_version_rejected_with_kind(self):
-        for bad in (0, 2, 99, "1", 1.5, True):
+        for bad in (0, 3, 99, "1", 1.5, True):
             with pytest.raises(ProtoError) as excinfo:
                 Request.from_json({"proto": bad, "benchmark": "SOBEL"})
             assert excinfo.value.kind == "unsupported_proto"
@@ -210,6 +308,23 @@ class TestVersioning:
         )
         assert (
             registry.counter("service_proto_legacy_total").value == 1
+        )
+
+    def test_proto_v1_counts_on_own_counter(self):
+        registry = MetricsRegistry()
+        Request.from_json(
+            {"proto": 1, "benchmark": "SOBEL"}, registry=registry
+        )
+        Request.from_json(
+            {
+                "proto": 2,
+                "workload": {"kind": "single", "benchmark": "SOBEL"},
+            },
+            registry=registry,
+        )
+        assert registry.counter("service_proto_v1_total").value == 1
+        assert (
+            registry.counter("service_proto_legacy_total").value == 0
         )
 
     def test_legacy_dict_warns_on_stderr_once(self, capsys):
